@@ -1,0 +1,255 @@
+// Package analogflow_bench contains the benchmark harness that regenerates
+// every table and figure of the paper's evaluation (see DESIGN.md for the
+// experiment index).  Each benchmark wraps the corresponding function of
+// internal/experiments and additionally reports the headline metric of that
+// artifact (relative error, speedup, utilisation, ...) through b.ReportMetric
+// so that `go test -bench=. -benchmem` output doubles as the reproduction
+// record captured in EXPERIMENTS.md.
+package analogflow_bench
+
+import (
+	"testing"
+
+	"analogflow/internal/core"
+	"analogflow/internal/experiments"
+	"analogflow/internal/graph"
+	"analogflow/internal/maxflow"
+	"analogflow/internal/rmat"
+)
+
+// BenchmarkTable1Parameters renders the design-parameter table (Table 1).
+func BenchmarkTable1Parameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1Parameters().Render() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig05Waveform reproduces Figure 5c: the transient waveform of the
+// worked example on the full MNA circuit emulation.
+func BenchmarkFig05Waveform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, wf, err := experiments.Figure5Waveform()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(wf.FinalFlowValue, "flow-value")
+		b.ReportMetric(wf.ConvergenceTime*1e9, "conv-ns")
+	}
+}
+
+// BenchmarkFig08Quantization reproduces the Figure 8 quantization example.
+func BenchmarkFig08Quantization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8Quantization(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkFig10 runs one family of the Figure 10 sweep and reports the mean
+// relative error and the 10 GHz speedup of the largest instance.
+func benchmarkFig10(b *testing.B, family string, sizes []int) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure10Sweep(family, sizes, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(100*res.MeanRelativeError(), "mean-err-%")
+		b.ReportMetric(last.Speedup10GHz, "speedup-10G")
+		b.ReportMetric(last.Circuit10GHz*1e6, "circuit-us")
+	}
+}
+
+// BenchmarkFig10Dense reproduces Figure 10a (dense graphs, |E| ∝ |V|²).
+func BenchmarkFig10Dense(b *testing.B) {
+	benchmarkFig10(b, "dense", []int{256, 384, 512, 640, 768, 896, 960})
+}
+
+// BenchmarkFig10Sparse reproduces Figure 10b (sparse graphs, |E| ∝ |V|).
+func BenchmarkFig10Sparse(b *testing.B) {
+	benchmarkFig10(b, "sparse", []int{256, 384, 512, 640, 768, 896, 960})
+}
+
+// BenchmarkPowerModel reproduces the Section 5.2 power/energy analysis.
+func BenchmarkPowerModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PowerAnalysis(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15Trajectory reproduces the Figure 15 quasi-static trajectory.
+func BenchmarkFig15Trajectory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, traj, err := experiments.Figure15Trajectory()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(traj.FinalFlowValue, "flow-value")
+	}
+}
+
+// BenchmarkOpAmpPrecision reproduces the Section 4.2 precision analysis.
+func BenchmarkOpAmpPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.OpAmpPrecisionSweep().Render() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkVariationSweep reproduces the Section 4.3 variation study.
+func BenchmarkVariationSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.VariationSweep(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusteredUtilisation reproduces the Section 6.2 clustered
+// architecture comparison.
+func BenchmarkClusteredUtilisation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ClusteredUtilization(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDualDecomposition reproduces the Section 6.4 decomposition study.
+func BenchmarkDualDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DualDecomposition(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation and component benchmarks --------------------------------------
+
+// BenchmarkAblationPruning measures the effect of the s-t-core preprocessing
+// pass (an implementation choice DESIGN.md calls out) on the behavioural
+// solver.
+func BenchmarkAblationPruning(b *testing.B) {
+	g := rmat.MustGenerate(rmat.SparseParams(512, 3))
+	for _, prune := range []bool{true, false} {
+		name := "with-prune"
+		if !prune {
+			name = "without-prune"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := core.DefaultParams()
+			p.PruneGraph = prune
+			solver, err := core.NewSolver(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := solver.Solve(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.SubstratePower, "substrate-W")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQuantizationLevels sweeps the number of voltage levels,
+// the accuracy/cost knob of Section 4.1.
+func BenchmarkAblationQuantizationLevels(b *testing.B) {
+	g := rmat.MustGenerate(rmat.DefaultParams(256, 1024, 7))
+	for _, levels := range []int{8, 20, 64} {
+		b.Run(map[int]string{8: "N=8", 20: "N=20", 64: "N=64"}[levels], func(b *testing.B) {
+			p := core.DefaultParams().WithLevels(levels)
+			p.ReadoutNoiseSigma = 0
+			solver, err := core.NewSolver(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := solver.Solve(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.RelativeError, "rel-err-%")
+			}
+		})
+	}
+}
+
+// BenchmarkPushRelabelBaseline measures the CPU baseline on its own, per
+// graph family, for the Figure 10 comparison.
+func BenchmarkPushRelabelBaseline(b *testing.B) {
+	for _, family := range []string{"dense", "sparse"} {
+		b.Run(family, func(b *testing.B) {
+			var g *graph.Graph
+			if family == "dense" {
+				g = rmat.MustGenerate(rmat.DenseParams(960, 1))
+			} else {
+				g = rmat.MustGenerate(rmat.SparseParams(960, 1))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := maxflow.SolvePushRelabel(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClassicalSolvers compares the three combinatorial algorithms on a
+// mid-sized instance (a sanity check that the baseline is a fair one).
+func BenchmarkClassicalSolvers(b *testing.B) {
+	g := rmat.MustGenerate(rmat.SparseParams(512, 5))
+	for _, alg := range []maxflow.Algorithm{maxflow.PushRelabel, maxflow.Dinic, maxflow.EdmondsKarp} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := maxflow.Solve(g, alg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBehavioralSolver measures the host-side cost of one behavioural
+// substrate solve at the paper's largest evaluation size.
+func BenchmarkBehavioralSolver(b *testing.B) {
+	g := rmat.MustGenerate(rmat.SparseParams(960, 1))
+	solver, err := core.NewSolver(core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCircuitSolveFigure5 measures one full MNA operating-point solve of
+// the paper's worked example (the circuit-mode path).
+func BenchmarkCircuitSolveFigure5(b *testing.B) {
+	p := core.DefaultParams()
+	p.Mode = core.ModeCircuit
+	p.Variation = core.DefaultCleanVariation()
+	solver, err := core.NewSolver(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.PaperFigure5()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.RelativeError, "rel-err-%")
+	}
+}

@@ -1,0 +1,151 @@
+// Command experiments regenerates the paper's tables and figures from the
+// analogflow implementation and prints them as ASCII tables.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run all
+//	experiments -run fig10-sparse -sizes 256,384,512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"analogflow/internal/experiments"
+)
+
+var order = []string{
+	"table1", "fig5", "fig8", "fig10-dense", "fig10-sparse",
+	"power", "fig15", "opamp", "variation", "cluster", "decompose",
+}
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list the available experiments")
+		run   = flag.String("run", "all", "experiment to run (or \"all\")")
+		sizes = flag.String("sizes", "256,384,512,640,768,896,960", "comma-separated vertex counts for the Figure 10 sweeps")
+		seed  = flag.Int64("seed", 1, "random seed for synthetic workloads")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range order {
+			fmt.Println(name)
+		}
+		return
+	}
+	sweepSizes, err := parseSizes(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+
+	selected := map[string]bool{}
+	if *run == "all" {
+		for _, name := range order {
+			selected[name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+
+	for _, name := range order {
+		if !selected[name] {
+			continue
+		}
+		if err := runOne(name, sweepSizes, *seed); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+}
+
+func runOne(name string, sizes []int, seed int64) error {
+	switch name {
+	case "table1":
+		fmt.Println(experiments.Table1Parameters().Render())
+	case "fig5":
+		tab, _, err := experiments.Figure5Waveform()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	case "fig8":
+		tab, err := experiments.Figure8Quantization()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	case "fig10-dense", "fig10-sparse":
+		family := strings.TrimPrefix(name, "fig10-")
+		res, err := experiments.Figure10Sweep(family, sizes, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table().Render())
+		fmt.Printf("mean relative error: %.1f%%\n\n", 100*res.MeanRelativeError())
+	case "power":
+		tab, err := experiments.PowerAnalysis()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	case "fig15":
+		tab, _, err := experiments.Figure15Trajectory()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	case "opamp":
+		fmt.Println(experiments.OpAmpPrecisionSweep().Render())
+	case "variation":
+		tab, err := experiments.VariationSweep(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	case "cluster":
+		tab, err := experiments.ClusteredUtilization(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	case "decompose":
+		tab, err := experiments.DualDecomposition(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q (use -list)", name)
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 4 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

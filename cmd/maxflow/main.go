@@ -1,0 +1,125 @@
+// Command maxflow solves a max-flow instance with either the analog substrate
+// model or the classical CPU algorithms, and prints the resulting flow value,
+// solution quality and substrate metrics.
+//
+// Usage:
+//
+//	maxflow -input graph.dimacs [-solver behavioral|circuit|push-relabel|dinic|edmonds-karp]
+//	maxflow -rmat 256 -sparse          # synthetic R-MAT instance instead of a file
+//	maxflow -example figure5           # one of the paper's worked examples
+//
+// The DIMACS max-flow format is read from -input ("-" for stdin).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"analogflow/internal/core"
+	"analogflow/internal/graph"
+	"analogflow/internal/maxflow"
+	"analogflow/internal/rmat"
+)
+
+func main() {
+	var (
+		input    = flag.String("input", "", "DIMACS max-flow file to read (\"-\" for stdin)")
+		example  = flag.String("example", "", "use a paper example instead of a file: figure5 or figure15")
+		rmatSize = flag.Int("rmat", 0, "generate an R-MAT instance with this many vertices")
+		sparse   = flag.Bool("sparse", true, "use the sparse R-MAT preset (dense otherwise)")
+		seed     = flag.Int64("seed", 1, "random seed for synthetic instances")
+		solver   = flag.String("solver", "behavioral", "solver: behavioral, circuit, push-relabel, dinic or edmonds-karp")
+		levels   = flag.Int("levels", 20, "number of quantization voltage levels")
+		gbw      = flag.Float64("gbw", 10e9, "op-amp gain-bandwidth product in Hz")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*input, *example, *rmatSize, *sparse, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: %s\n", g)
+
+	switch *solver {
+	case "behavioral", "circuit":
+		params := core.DefaultParams().WithLevels(*levels).WithGBW(*gbw)
+		if *solver == "circuit" {
+			params.Mode = core.ModeCircuit
+		}
+		s, err := core.NewSolver(params)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		res, err := s.Solve(g)
+		if err != nil {
+			fatal(err)
+		}
+		host := time.Since(start)
+		fmt.Printf("solver:              analog substrate (%s mode)\n", res.Mode)
+		fmt.Printf("flow value:          %.4f\n", res.FlowValue)
+		fmt.Printf("exact optimum:       %.4f\n", res.ExactValue)
+		fmt.Printf("relative error:      %.2f%%\n", 100*res.RelativeError)
+		fmt.Printf("convergence time:    %.3e s (modelled substrate time)\n", res.ConvergenceTime)
+		fmt.Printf("programming time:    %.3e s\n", res.ProgrammingTime)
+		fmt.Printf("substrate power:     %.3f W\n", res.SubstratePower)
+		fmt.Printf("energy per solve:    %.3e J\n", res.Energy)
+		fmt.Printf("pruned away:         %d vertices, %d edges\n", res.PrunedVertices, res.PrunedEdges)
+		fmt.Printf("host wall time:      %s\n", host)
+	case "push-relabel", "dinic", "edmonds-karp":
+		alg := map[string]maxflow.Algorithm{
+			"push-relabel": maxflow.PushRelabel,
+			"dinic":        maxflow.Dinic,
+			"edmonds-karp": maxflow.EdmondsKarp,
+		}[*solver]
+		start := time.Now()
+		f, err := maxflow.Solve(g, alg)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("solver:       %s\n", alg)
+		fmt.Printf("flow value:   %.4f\n", f.Value)
+		fmt.Printf("wall time:    %s\n", elapsed)
+		cut, err := maxflow.MinCut(g, f)
+		if err == nil {
+			fmt.Printf("min-cut size: %d edges, capacity %.4f\n", len(cut.Edges), cut.Capacity)
+		}
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+}
+
+func loadGraph(input, example string, rmatSize int, sparse bool, seed int64) (*graph.Graph, error) {
+	switch {
+	case example == "figure5":
+		return graph.PaperFigure5(), nil
+	case example == "figure15":
+		return graph.PaperFigure15(), nil
+	case example != "":
+		return nil, fmt.Errorf("unknown example %q", example)
+	case rmatSize > 0:
+		if sparse {
+			return rmat.Generate(rmat.SparseParams(rmatSize, seed))
+		}
+		return rmat.Generate(rmat.DenseParams(rmatSize, seed))
+	case input == "-":
+		return graph.ReadDIMACS(os.Stdin)
+	case input != "":
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadDIMACS(f)
+	default:
+		return nil, fmt.Errorf("provide -input, -example or -rmat (see -help)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "maxflow:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Network traffic engineering — the Internet-routing motivation the paper
+// cites (max-flow/min-cost routing with QoS guarantees).  A two-tier
+// backbone topology is generated, the maximum achievable throughput between
+// an ingress and an egress point is computed exactly and on the analog
+// substrate, and the bottleneck links (the min cut) are reported, including
+// a what-if study after one backbone link is upgraded.
+//
+// Run with:
+//
+//	go run ./examples/netrouting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"analogflow/internal/core"
+	"analogflow/internal/graph"
+	"analogflow/internal/maxflow"
+)
+
+func main() {
+	g, names := buildBackbone()
+	fmt.Println("backbone instance:", g)
+
+	exact, err := maxflow.SolveDinic(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cut, err := maxflow.MinCut(g, exact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max ingress->egress throughput: %.0f Gb/s\n", exact.Value)
+	fmt.Println("bottleneck links (the minimum cut):")
+	for _, ei := range cut.Edges {
+		e := g.Edge(ei)
+		fmt.Printf("  %-12s -> %-12s %4.0f Gb/s\n", names[e.From], names[e.To], e.Capacity)
+	}
+
+	solver, err := core.NewSolver(core.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analog substrate estimate:      %.1f Gb/s (%.1f%% error, %.3g s convergence)\n",
+		res.FlowValue, 100*res.RelativeError, res.ConvergenceTime)
+
+	// What-if: upgrade the first bottleneck link and re-evaluate — the
+	// reconfigurable substrate only needs a new clamp level for that edge.
+	upgraded := g.Clone()
+	caps := make([]float64, g.NumEdges())
+	for i := range caps {
+		caps[i] = g.Edge(i).Capacity
+	}
+	caps[cut.Edges[0]] *= 2
+	upgraded, err = upgraded.WithCapacities(caps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := maxflow.OptimalValue(upgraded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resAfter, err := solver.Solve(upgraded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := g.Edge(cut.Edges[0])
+	fmt.Printf("\nafter doubling %s -> %s:\n", names[e.From], names[e.To])
+	fmt.Printf("  exact throughput:  %.0f Gb/s (was %.0f)\n", after, exact.Value)
+	fmt.Printf("  analog estimate:   %.1f Gb/s\n", resAfter.FlowValue)
+}
+
+// buildBackbone constructs a small two-tier ISP-like topology: an ingress
+// router, two core rings, regional aggregation routers and an egress router.
+func buildBackbone() (*graph.Graph, []string) {
+	names := []string{
+		"ingress",   // 0 (source)
+		"egress",    // 1 (sink)
+		"core-a",    // 2
+		"core-b",    // 3
+		"core-c",    // 4
+		"core-d",    // 5
+		"agg-east",  // 6
+		"agg-west",  // 7
+		"agg-north", // 8
+		"agg-south", // 9
+	}
+	g := graph.MustNew(len(names), 0, 1)
+	add := func(a, b int, gbps float64) {
+		g.MustAddEdge(a, b, gbps)
+	}
+	// Ingress into the core.
+	add(0, 2, 400)
+	add(0, 3, 400)
+	// Core mesh.
+	add(2, 4, 200)
+	add(2, 5, 150)
+	add(3, 4, 150)
+	add(3, 5, 200)
+	add(2, 3, 100)
+	add(4, 5, 100)
+	// Core to aggregation.
+	add(4, 6, 160)
+	add(4, 8, 120)
+	add(5, 7, 160)
+	add(5, 9, 120)
+	// Aggregation to the egress metro.
+	add(6, 1, 150)
+	add(7, 1, 150)
+	add(8, 1, 100)
+	add(9, 1, 100)
+	// Cross links between aggregation sites.
+	add(6, 7, 80)
+	add(8, 9, 80)
+	return g, names
+}

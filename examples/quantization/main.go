@@ -1,0 +1,63 @@
+// Accuracy/cost trade-off study: Section 4.1 of the paper notes that the
+// number of voltage levels N trades solution accuracy against circuit cost
+// (one clamp voltage source per level).  This example sweeps N for a fixed
+// workload and prints the resulting relative error, the number of physical
+// voltage sources actually needed, and the substrate metrics — the data a
+// designer would use to pick N.
+//
+// Run with:
+//
+//	go run ./examples/quantization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"analogflow/internal/core"
+	"analogflow/internal/maxflow"
+	"analogflow/internal/quantize"
+	"analogflow/internal/rmat"
+)
+
+func main() {
+	// A workload whose capacities span the full 1..100 range, so that coarse
+	// quantization genuinely hurts (capacities below one step disappear from
+	// the substrate altogether).
+	g := rmat.MustGenerate(rmat.DefaultParams(256, 1024, 42))
+	exact, err := maxflow.OptimalValue(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %v, exact max-flow %.1f\n\n", g, exact)
+	fmt.Printf("%-8s  %-14s  %-14s  %-12s  %-12s\n",
+		"levels", "rel. error", "sources used", "worst step", "convergence")
+
+	for _, levels := range []int{4, 8, 12, 16, 20, 32, 64, 128} {
+		params := core.DefaultParams().WithLevels(levels)
+		params.ReadoutNoiseSigma = 0 // isolate the quantization contribution
+		solver, err := core.NewSolver(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := solver.Solve(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scheme := quantize.Scheme{Levels: levels, Vdd: 1}
+		qres, err := quantize.Quantize(g, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d  %-14s  %-14d  %-12.2f  %.3g s\n",
+			levels,
+			fmt.Sprintf("%.2f%%", 100*res.RelativeError),
+			len(qres.UsedLevels),
+			scheme.StepSize(g.MaxCapacity()),
+			res.ConvergenceTime)
+	}
+
+	fmt.Println("\nThe paper's Table 1 design point (N = 20) keeps the error in the")
+	fmt.Println("single-digit percent range while needing only a handful of shared")
+	fmt.Println("clamp voltage sources — the same trend this sweep shows.")
+}

@@ -1,0 +1,388 @@
+// Package builder constructs the analog max-flow circuit of Section 2 of the
+// paper from a flow graph: one capacity-clamp widget per edge (two diodes and
+// a shared clamp voltage source), one flow-conservation widget per interior
+// vertex (an inverter sub-widget per incoming edge plus the vertex summing
+// node with its negative resistor), and the objective row that couples every
+// source-adjacent edge node to the Vflow drive through the widget resistance r.
+//
+// The same package also builds the min-cut dual circuit of Section 6.3.
+//
+// The builder does not decide voltage levels itself: callers pass the clamp
+// voltage of every edge (exact capacities or the quantized levels produced by
+// internal/quantize), which keeps the quantization policy out of the circuit
+// topology.
+package builder
+
+import (
+	"fmt"
+
+	"analogflow/internal/circuit"
+	"analogflow/internal/device"
+	"analogflow/internal/graph"
+)
+
+// NegativeResistorMode selects how negative resistances are realised.
+type NegativeResistorMode int
+
+const (
+	// NegResIdeal stamps an ideal negative conductance whose magnitude is
+	// degraded by the finite op-amp gain error of Section 4.2 (the realised
+	// value is -(1+δ)R with δ = (R0/R)/A).  This is the default and is what
+	// the crossbar-scale experiments use.
+	NegResIdeal NegativeResistorMode = iota
+	// NegResOpAmp expands every negative resistor into the op-amp based
+	// negative-impedance-converter circuit of Figure 9a, including the
+	// op-amp's single-pole gain-bandwidth dynamics.  Intended for small
+	// circuits and for validating the ideal mode.
+	NegResOpAmp
+)
+
+func (m NegativeResistorMode) String() string {
+	switch m {
+	case NegResIdeal:
+		return "ideal"
+	case NegResOpAmp:
+		return "opamp"
+	default:
+		return fmt.Sprintf("negres-mode(%d)", int(m))
+	}
+}
+
+// Options configures circuit construction.
+type Options struct {
+	// WidgetResistance is the common positive resistance r of the widgets,
+	// equal to the memristor LRS resistance when the circuit is mapped onto
+	// the crossbar (Table 1: 10 kOhm).
+	WidgetResistance float64
+	// VflowVoltage is the drive voltage applied by the objective source
+	// (Table 1: 3 V).
+	VflowVoltage float64
+	// Diode is the clamp diode model.
+	Diode device.DiodeModel
+	// OpAmp is the op-amp model used for negative resistors (its gain sets
+	// the ideal-mode gain error; its GBW sets the op-amp-mode dynamics).
+	OpAmp device.OpAmpModel
+	// NegResMode selects ideal or op-amp negative resistors.
+	NegResMode NegativeResistorMode
+	// ParasiticCapacitance, when positive, attaches this capacitance from
+	// every circuit node to ground (the paper adds 20 fF per net).
+	ParasiticCapacitance float64
+	// ParasiticOnEdgeNodesOnly restricts the parasitic capacitors to the
+	// edge nodes x_i and the Vflow rail.  The internal widget nodes are
+	// driven by op-amp outputs (low impedance) in the real substrate, so for
+	// transient studies with ideal negative resistors this avoids the
+	// artificial slow poles that the high-impedance ideal model would
+	// otherwise exhibit at those nodes.
+	ParasiticOnEdgeNodesOnly bool
+	// NegResSaturation, when positive, bounds the output of the negative
+	// resistance converters at the given voltage (the supply-rail limit of
+	// their op-amps).  Saturation keeps runaway modes of pathological graph
+	// structures bounded, but it also creates spurious equilibria in which a
+	// constraint widget gives up; it is therefore disabled by default and
+	// enabled only for robustness studies.
+	NegResSaturation float64
+	// VflowWaveform optionally overrides the objective drive waveform; when
+	// nil a DC source at VflowVoltage is used (steady-state analyses) — pass
+	// a circuit.Step to reproduce the paper's compute-phase step drive.
+	VflowWaveform circuit.Waveform
+	// PerturbResistance, when non-nil, maps a nominal resistance to the
+	// value actually instantiated, modelling process variation and parasitic
+	// series resistance (Section 4.3).  It is applied to every widget
+	// resistor and negative-resistor magnitude.
+	PerturbResistance func(nominal float64) float64
+}
+
+// DefaultOptions returns the Table 1 configuration.
+func DefaultOptions() Options {
+	return Options{
+		WidgetResistance:     10e3,
+		VflowVoltage:         3,
+		Diode:                device.DefaultDiode(),
+		OpAmp:                device.DefaultOpAmp(),
+		NegResMode:           NegResIdeal,
+		ParasiticCapacitance: 20e-15,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.WidgetResistance <= 0 {
+		return fmt.Errorf("builder: widget resistance must be positive, got %g", o.WidgetResistance)
+	}
+	if o.VflowVoltage <= 0 {
+		return fmt.Errorf("builder: Vflow must be positive, got %g", o.VflowVoltage)
+	}
+	if err := o.Diode.Validate(); err != nil {
+		return err
+	}
+	if err := o.OpAmp.Validate(); err != nil {
+		return err
+	}
+	if o.ParasiticCapacitance < 0 {
+		return fmt.Errorf("builder: negative parasitic capacitance %g", o.ParasiticCapacitance)
+	}
+	if o.NegResSaturation < 0 {
+		return fmt.Errorf("builder: negative saturation voltage %g", o.NegResSaturation)
+	}
+	switch o.NegResMode {
+	case NegResIdeal, NegResOpAmp:
+	default:
+		return fmt.Errorf("builder: unknown negative resistor mode %v", o.NegResMode)
+	}
+	return nil
+}
+
+// Circuit is the constructed analog max-flow circuit together with the
+// bookkeeping needed to read the solution back out.
+type Circuit struct {
+	Netlist *circuit.Netlist
+	Options Options
+	Graph   *graph.Graph
+
+	// EdgeNode[i] is the circuit node x_i carrying the flow of edge i.
+	EdgeNode []circuit.NodeID
+	// EdgeNegNode[i] is the negated node x_i^- of edge i, or -2 when the
+	// edge terminates at the sink and needs no inverter widget.
+	EdgeNegNode []circuit.NodeID
+	// VertexNode[v] is the conservation summing node nt of interior vertex
+	// v, or -2 for the source and sink.
+	VertexNode []circuit.NodeID
+	// ClampVoltage[i] is the capacity clamp voltage of edge i as built.
+	ClampVoltage []float64
+	// VflowNode is the node driven by the objective source.
+	VflowNode circuit.NodeID
+	// VflowElementIndex is the netlist element index of the Vflow source,
+	// used to read the delivered current I_flow.
+	VflowElementIndex int
+	// SourceEdgeIndices are the graph edges incident to the source (the x_i
+	// of Figure 3); the flow value is the sum of their node voltages.
+	SourceEdgeIndices []int
+	// ClampSourceNodes maps each distinct clamp voltage to the node of the
+	// shared voltage source that provides it.
+	ClampSourceNodes map[float64]circuit.NodeID
+	// NumNegativeResistors counts the negative resistances instantiated
+	// (one per inverter widget plus one per interior vertex), which the
+	// power model translates into op-amp count.
+	NumNegativeResistors int
+
+	negResSaturation float64
+}
+
+// NoNode marks a node that does not exist for a particular edge or vertex.
+const NoNode circuit.NodeID = -2
+
+// BuildMaxFlow constructs the analog circuit for g.  clampVoltages[i] is the
+// clamp (capacity) voltage of edge i; pass the raw capacities for an
+// un-quantized build or quantize.Result.EdgeVoltages for a quantized one.
+func BuildMaxFlow(g *graph.Graph, clampVoltages []float64, opts Options) (*Circuit, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(clampVoltages) != g.NumEdges() {
+		return nil, fmt.Errorf("builder: %d clamp voltages for %d edges", len(clampVoltages), g.NumEdges())
+	}
+	for i, v := range clampVoltages {
+		if v <= 0 {
+			return nil, fmt.Errorf("builder: clamp voltage of edge %d must be positive, got %g", i, v)
+		}
+	}
+
+	perturb := opts.PerturbResistance
+	if perturb == nil {
+		perturb = func(r float64) float64 { return r }
+	}
+	r := opts.WidgetResistance
+
+	c := &Circuit{
+		Netlist:          circuit.NewNetlist(),
+		Options:          opts,
+		Graph:            g,
+		EdgeNode:         make([]circuit.NodeID, g.NumEdges()),
+		EdgeNegNode:      make([]circuit.NodeID, g.NumEdges()),
+		VertexNode:       make([]circuit.NodeID, g.NumVertices()),
+		ClampVoltage:     append([]float64(nil), clampVoltages...),
+		ClampSourceNodes: make(map[float64]circuit.NodeID),
+	}
+	c.negResSaturation = opts.NegResSaturation
+	nl := c.Netlist
+
+	// --- objective drive node and source.
+	c.VflowNode = nl.AddNode("vflow")
+	wave := opts.VflowWaveform
+	if wave == nil {
+		wave = circuit.DC{Value: opts.VflowVoltage}
+	}
+	c.VflowElementIndex = nl.NumElements()
+	nl.Add(circuit.NewVoltageSource("Vflow", c.VflowNode, circuit.Ground, wave))
+
+	// --- one node x_i per edge, plus its capacity clamp widget.
+	for i := 0; i < g.NumEdges(); i++ {
+		c.EdgeNode[i] = nl.AddNode(fmt.Sprintf("x%d", i))
+		c.EdgeNegNode[i] = NoNode
+		c.addCapacityClamp(i)
+	}
+
+	// --- conservation widget per interior vertex.
+	for v := 0; v < g.NumVertices(); v++ {
+		c.VertexNode[v] = NoNode
+		if v == g.Source() || v == g.Sink() {
+			continue
+		}
+		c.addConservationWidget(v, perturb)
+	}
+
+	// --- objective row: every source-adjacent edge connects to Vflow via r.
+	for _, ei := range g.OutEdges(g.Source()) {
+		c.SourceEdgeIndices = append(c.SourceEdgeIndices, ei)
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Robj_e%d", ei),
+			c.VflowNode, c.EdgeNode[ei], perturb(r)))
+	}
+	if len(c.SourceEdgeIndices) == 0 {
+		return nil, fmt.Errorf("builder: source vertex has no outgoing edges")
+	}
+
+	// --- parasitic capacitance on the circuit nodes.
+	if opts.ParasiticCapacitance > 0 {
+		if opts.ParasiticOnEdgeNodesOnly {
+			attach := append([]circuit.NodeID{c.VflowNode}, c.EdgeNode...)
+			for _, n := range attach {
+				nl.Add(circuit.NewCapacitor(fmt.Sprintf("Cpar_%s", nl.NodeName(n)),
+					n, circuit.Ground, opts.ParasiticCapacitance))
+			}
+		} else {
+			for n := 0; n < nl.NumNodes(); n++ {
+				nl.Add(circuit.NewCapacitor(fmt.Sprintf("Cpar_%s", nl.NodeName(circuit.NodeID(n))),
+					circuit.NodeID(n), circuit.Ground, opts.ParasiticCapacitance))
+			}
+		}
+	}
+	if err := nl.CheckNodes(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// addCapacityClamp adds the Figure 1 widget for edge i: a diode to ground
+// keeping V(x_i) >= 0 and a diode into the clamp source keeping V(x_i) <= c_i.
+// Clamp sources are shared between edges with the same voltage, exactly as
+// the quantized substrate shares one source per voltage level.
+func (c *Circuit) addCapacityClamp(i int) {
+	nl := c.Netlist
+	x := c.EdgeNode[i]
+	v := c.ClampVoltage[i]
+	src, ok := c.ClampSourceNodes[v]
+	if !ok {
+		src = nl.AddNode(fmt.Sprintf("vcap_%g", v))
+		nl.Add(circuit.NewVoltageSource(fmt.Sprintf("Vcap_%g", v), src, circuit.Ground, circuit.DC{Value: v}))
+		c.ClampSourceNodes[v] = src
+	}
+	// Lower clamp: anode at ground, cathode at x_i -> conducts when V(x_i)<0.
+	nl.Add(circuit.NewDiode(fmt.Sprintf("Dlo_e%d", i), circuit.Ground, x, c.Options.Diode))
+	// Upper clamp: anode at x_i, cathode at the clamp source -> conducts when
+	// V(x_i) > c_i.
+	nl.Add(circuit.NewDiode(fmt.Sprintf("Dhi_e%d", i), x, src, c.Options.Diode))
+}
+
+// addConservationWidget adds the Figure 2 widget for interior vertex v.
+func (c *Circuit) addConservationWidget(v int, perturb func(float64) float64) {
+	nl := c.Netlist
+	g := c.Graph
+	r := c.Options.WidgetResistance
+	nt := nl.AddNode(fmt.Sprintf("nt%d", v))
+	c.VertexNode[v] = nt
+
+	inEdges := g.InEdges(v)
+	outEdges := g.OutEdges(v)
+	degree := len(inEdges) + len(outEdges)
+
+	// Inverter sub-widget per incoming edge: x_i -- r -- P -- r -- x_i^-,
+	// with a negative resistor of magnitude r/2 from P to ground enforcing
+	// V(x_i^-) = -V(x_i).  The negated node then joins the summing node nt
+	// through another r.
+	for _, ei := range inEdges {
+		p := nl.AddNode(fmt.Sprintf("p_e%d_v%d", ei, v))
+		neg := nl.AddNode(fmt.Sprintf("xneg%d_v%d", ei, v))
+		c.EdgeNegNode[ei] = neg
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rinv_a_e%d_v%d", ei, v), c.EdgeNode[ei], p, perturb(r)))
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rinv_b_e%d_v%d", ei, v), neg, p, perturb(r)))
+		c.addNegativeResistor(fmt.Sprintf("NRinv_e%d_v%d", ei, v), p, perturb(r/2))
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rcons_in_e%d_v%d", ei, v), neg, nt, perturb(r)))
+	}
+	// Outgoing edges connect their x nodes directly to nt through r.
+	for _, ei := range outEdges {
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rcons_out_e%d_v%d", ei, v), c.EdgeNode[ei], nt, perturb(r)))
+	}
+	// The vertex negative resistor of magnitude r/N closes the KCL identity
+	// sum(V(x_in)) = sum(V(y_out)).
+	if degree > 0 {
+		c.addNegativeResistor(fmt.Sprintf("NRcons_v%d", v), nt, perturb(r/float64(degree)))
+	}
+}
+
+// addNegativeResistor instantiates a negative resistance of the given
+// magnitude between node n and ground, in whichever realisation the options
+// select.
+func (c *Circuit) addNegativeResistor(label string, n circuit.NodeID, magnitude float64) {
+	nl := c.Netlist
+	c.NumNegativeResistors++
+	switch c.Options.NegResMode {
+	case NegResOpAmp:
+		// Negative impedance converter (Figure 9a): op-amp with its
+		// non-inverting input at the port, feedback resistors R0/R0, and the
+		// target resistance from the output back to the port.
+		r0 := c.Options.WidgetResistance
+		fb := nl.AddNode(label + ".fb")
+		out := nl.AddNode(label + ".out")
+		nl.Add(circuit.NewOpAmp(nl, label+".oa", n, fb, out, c.Options.OpAmp))
+		nl.Add(circuit.NewResistor(label+".r0a", out, fb, r0))
+		nl.Add(circuit.NewResistor(label+".r0b", fb, circuit.Ground, r0))
+		nl.Add(circuit.NewResistor(label+".rt", out, n, magnitude))
+	default:
+		nr := circuit.NewNegativeResistor(label, n, circuit.Ground, magnitude)
+		// Finite op-amp gain degrades the realised magnitude (Section 4.2),
+		// and the converter saturates at its op-amp's supply rail.
+		nr.GainError = c.Options.OpAmp.NegativeResistorPrecision(c.Options.WidgetResistance, magnitude)
+		nr.Saturation = c.negResSaturation
+		nl.Add(nr)
+	}
+}
+
+// EdgeVoltages extracts the per-edge node voltages from a solved unknown
+// vector accessor.
+func (c *Circuit) EdgeVoltages(voltage func(circuit.NodeID) float64) []float64 {
+	out := make([]float64, len(c.EdgeNode))
+	for i, n := range c.EdgeNode {
+		out[i] = voltage(n)
+	}
+	return out
+}
+
+// FlowValueVolts returns the objective value in volts: the net flow out of
+// the source, i.e. the sum of the source-outgoing edge node voltages
+// (Equation 7a of the paper re-expressed through the node voltages rather
+// than I_flow) minus the voltages of any edges directed back into the source.
+// The subtraction matters on synthetic graphs with cycles through the source,
+// where circulating flow would otherwise inflate the reading.
+func (c *Circuit) FlowValueVolts(voltage func(circuit.NodeID) float64) float64 {
+	var sum float64
+	for _, ei := range c.SourceEdgeIndices {
+		sum += voltage(c.EdgeNode[ei])
+	}
+	for _, ei := range c.Graph.InEdges(c.Graph.Source()) {
+		sum -= voltage(c.EdgeNode[ei])
+	}
+	return sum
+}
+
+// Describe returns a short multi-line summary of the constructed circuit,
+// used by the CLI tools.
+func (c *Circuit) Describe() string {
+	st := c.Netlist.Stats()
+	return fmt.Sprintf("analog max-flow circuit: %d nodes, %d elements (%d resistors, %d negative resistors, %d diodes, %d sources, %d capacitors), %d MNA unknowns",
+		c.Netlist.NumNodes(), c.Netlist.NumElements(),
+		st["resistor"], st["negative-resistor"]+st["opamp"], st["diode"], st["vsource"], st["capacitor"],
+		c.Netlist.Size())
+}

@@ -1,0 +1,220 @@
+package builder
+
+import (
+	"fmt"
+
+	"analogflow/internal/circuit"
+	"analogflow/internal/graph"
+)
+
+// This file implements the min-cut dual circuit of Section 6.3 of the paper.
+//
+// The min-cut linear program (Figure 12) is
+//
+//	minimize   sum c_ij * d_ij
+//	subject to d_ij - p_i + p_j >= 0   for every edge (i, j)
+//	           p_s - p_t        >= 1
+//	           p_i >= 0, d_ij >= 0
+//
+// where p_i indicates which side of the cut vertex i is on and d_ij whether
+// edge (i, j) is cut.  The circuit (Figure 13) drives the d and p node
+// voltages DOWN through per-variable resistors weighted by the edge
+// capacities (objective), while constraint widgets built from negative
+// resistors and diodes keep every constraint satisfied, mirroring the
+// max-flow construction with the inequality directions reversed.
+
+// MinCutCircuit is the constructed dual circuit with its readout maps.
+type MinCutCircuit struct {
+	Netlist *circuit.Netlist
+	Options Options
+	Graph   *graph.Graph
+
+	// EdgeCutNode[i] is the node carrying d_ij for edge i.
+	EdgeCutNode []circuit.NodeID
+	// VertexPotentialNode[v] is the node carrying p_v.
+	VertexPotentialNode []circuit.NodeID
+	// ObjectiveNode is the node the objective source pulls down.
+	ObjectiveNode circuit.NodeID
+	// ObjectiveElementIndex is the netlist index of the objective source.
+	ObjectiveElementIndex int
+
+	railNodes map[float64]circuit.NodeID
+}
+
+// BuildMinCut constructs the dual (min-cut) circuit for g.
+//
+// Construction summary, per element of the LP:
+//
+//   - d_ij >= 0 and p_i >= 0: ground-clamp diodes, exactly as the max-flow
+//     lower clamps.
+//   - d_ij - p_i + p_j >= 0: a three-input summing widget (resistors into a
+//     summing node with a negative resistor of magnitude r/3) produces the
+//     combination; a diode to ground prevents it from going negative.
+//     The p_i term enters through an inverter widget identical to the
+//     max-flow one.
+//   - p_s - p_t >= 1: the source potential node is tied to 1 V and the sink
+//     potential to 0 V, the standard normalisation of the dual LP.
+//   - objective: each d_ij node is pulled toward ground through a resistor
+//     proportional to 1/c_ij from a 0 V objective rail (Figure 13a), so the
+//     circuit minimises sum c_ij d_ij subject to the constraints.
+func BuildMinCut(g *graph.Graph, opts Options) (*MinCutCircuit, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	r := opts.WidgetResistance
+	c := &MinCutCircuit{
+		Netlist:             circuit.NewNetlist(),
+		Options:             opts,
+		Graph:               g,
+		EdgeCutNode:         make([]circuit.NodeID, g.NumEdges()),
+		VertexPotentialNode: make([]circuit.NodeID, g.NumVertices()),
+	}
+	nl := c.Netlist
+
+	// Objective rail at 0 V: the pull-down reference.
+	c.ObjectiveNode = nl.AddNode("obj")
+	c.ObjectiveElementIndex = nl.NumElements()
+	nl.Add(circuit.NewVoltageSource("Vobj", c.ObjectiveNode, circuit.Ground, circuit.DC{Value: 0}))
+
+	// Vertex potential nodes.  Source fixed at 1 V, sink at 0 V.
+	for v := 0; v < g.NumVertices(); v++ {
+		c.VertexPotentialNode[v] = nl.AddNode(fmt.Sprintf("p%d", v))
+	}
+	nl.Add(circuit.NewVoltageSource("Vps", c.VertexPotentialNode[g.Source()], circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewVoltageSource("Vpt", c.VertexPotentialNode[g.Sink()], circuit.Ground, circuit.DC{Value: 0}))
+
+	maxCap := g.MaxCapacity()
+	if maxCap <= 0 {
+		return nil, fmt.Errorf("builder: min-cut requires at least one positive capacity")
+	}
+
+	for v := 0; v < g.NumVertices(); v++ {
+		if v == g.Source() || v == g.Sink() {
+			continue
+		}
+		p := c.VertexPotentialNode[v]
+		// p_v >= 0 clamp.
+		nl.Add(circuit.NewDiode(fmt.Sprintf("Dp%d", v), circuit.Ground, p, opts.Diode))
+		// p_v <= 1 clamp keeps the potentials in the unit box (any optimal
+		// dual solution can be normalised into it).
+		oneNode, ok := findOrAddRail(c, nl, 1)
+		if ok {
+			nl.Add(circuit.NewDiode(fmt.Sprintf("Dp%d_hi", v), p, oneNode, opts.Diode))
+		}
+		// A weak pull-down keeps unconstrained potentials at 0 (minimal cut
+		// side assignment); magnitude chosen much weaker than the constraint
+		// widgets so it never fights an active constraint.
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rleak_p%d", v), p, circuit.Ground, 100*r))
+	}
+
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		d := nl.AddNode(fmt.Sprintf("d%d", i))
+		c.EdgeCutNode[i] = d
+		// d_ij >= 0 clamp.
+		nl.Add(circuit.NewDiode(fmt.Sprintf("Dd%d", i), circuit.Ground, d, opts.Diode))
+		// Objective pull-down: resistance inversely proportional to the edge
+		// capacity (Figure 13a uses conductance proportional to c_ij), so
+		// cutting a fat edge costs proportionally more current.
+		robj := r * maxCap / e.Capacity
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Robj_d%d", i), d, c.ObjectiveNode, robj))
+
+		// Constraint d_ij - p_i + p_j >= 0, rearranged as d_ij + p_j >= p_i:
+		// a diode from a summing node that carries (p_i - p_j) into d_ij
+		// pulls d_ij up whenever p_i - p_j would exceed it.
+		pi := c.VertexPotentialNode[e.From]
+		pj := c.VertexPotentialNode[e.To]
+		diff := nl.AddNode(fmt.Sprintf("diff%d", i))
+		inv := nl.AddNode(fmt.Sprintf("pinv%d", i))
+		pnode := nl.AddNode(fmt.Sprintf("pw%d", i))
+		// Inverter producing -p_j (same widget as the max-flow inverter).
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rinv_a_d%d", i), pj, pnode, r))
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rinv_b_d%d", i), inv, pnode, r))
+		c.addMinCutNegativeResistor(fmt.Sprintf("NRinv_d%d", i), pnode, r/2)
+		// Summing node: with equal resistors from p_i and from the inverted
+		// -p_j, the open-circuit voltage of the divider is exactly
+		// V(diff) = (p_i - p_j) / 2.
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rsum_a_d%d", i), pi, diff, r))
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rsum_b_d%d", i), inv, diff, r))
+		// Coupling diode: the d_ij node is halved by an identical divider,
+		// so the diode conducts whenever (p_i - p_j)/2 > d_ij/2 and drags
+		// d_ij up until d_ij >= p_i - p_j; the factor of two cancels.
+		half := nl.AddNode(fmt.Sprintf("dhalf%d", i))
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rhalf_a_d%d", i), d, half, r))
+		nl.Add(circuit.NewResistor(fmt.Sprintf("Rhalf_b_d%d", i), half, circuit.Ground, r))
+		nl.Add(circuit.NewDiode(fmt.Sprintf("Dcons_d%d", i), diff, half, opts.Diode))
+	}
+
+	if opts.ParasiticCapacitance > 0 {
+		for n := 0; n < nl.NumNodes(); n++ {
+			nl.Add(circuit.NewCapacitor(fmt.Sprintf("Cpar_%s", nl.NodeName(circuit.NodeID(n))),
+				circuit.NodeID(n), circuit.Ground, opts.ParasiticCapacitance))
+		}
+	}
+	if err := nl.CheckNodes(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// findOrAddRail returns the node of a DC rail at the given voltage, creating
+// it on first use.  The bool result is always true and exists only to keep
+// the call sites short.
+func findOrAddRail(c *MinCutCircuit, nl *circuit.Netlist, v float64) (circuit.NodeID, bool) {
+	if c.railNodes == nil {
+		c.railNodes = make(map[float64]circuit.NodeID)
+	}
+	if n, ok := c.railNodes[v]; ok {
+		return n, true
+	}
+	n := nl.AddNode(fmt.Sprintf("rail_%g", v))
+	nl.Add(circuit.NewVoltageSource(fmt.Sprintf("Vrail_%g", v), n, circuit.Ground, circuit.DC{Value: v}))
+	c.railNodes[v] = n
+	return n, true
+}
+
+// addMinCutNegativeResistor mirrors Circuit.addNegativeResistor for the dual
+// circuit (always the ideal realisation with gain-error degradation; the dual
+// prototype does not support the op-amp expansion).
+func (c *MinCutCircuit) addMinCutNegativeResistor(label string, n circuit.NodeID, magnitude float64) {
+	nr := circuit.NewNegativeResistor(label, n, circuit.Ground, magnitude)
+	nr.GainError = c.Options.OpAmp.NegativeResistorPrecision(c.Options.WidgetResistance, magnitude)
+	nr.Saturation = c.Options.NegResSaturation
+	c.Netlist.Add(nr)
+}
+
+// CutIndicators extracts the d_ij voltages from a solved circuit; values near
+// or above 0.5 indicate edges the analog solution wants in the cut set.
+func (c *MinCutCircuit) CutIndicators(voltage func(circuit.NodeID) float64) []float64 {
+	out := make([]float64, len(c.EdgeCutNode))
+	for i, n := range c.EdgeCutNode {
+		out[i] = voltage(n)
+	}
+	return out
+}
+
+// VertexPotentials extracts the p_v voltages.
+func (c *MinCutCircuit) VertexPotentials(voltage func(circuit.NodeID) float64) []float64 {
+	out := make([]float64, len(c.VertexPotentialNode))
+	for i, n := range c.VertexPotentialNode {
+		out[i] = voltage(n)
+	}
+	return out
+}
+
+// Partition thresholds the vertex potentials into a source-side indicator
+// (p_v >= 0.5 joins the source side), giving a discrete cut that can be
+// compared against the exact minimum cut.
+func (c *MinCutCircuit) Partition(voltage func(circuit.NodeID) float64) []bool {
+	p := c.VertexPotentials(voltage)
+	out := make([]bool, len(p))
+	for i, v := range p {
+		out[i] = v >= 0.5
+	}
+	out[c.Graph.Source()] = true
+	out[c.Graph.Sink()] = false
+	return out
+}

@@ -1,0 +1,109 @@
+package builder
+
+import (
+	"math"
+	"testing"
+
+	"analogflow/internal/graph"
+	"analogflow/internal/maxflow"
+	"analogflow/internal/mna"
+)
+
+// TestProbeStructuralPatterns checks which small graph patterns break the
+// analog solve.  Diagnostic only.
+func TestProbeStructuralPatterns(t *testing.T) {
+	type pattern struct {
+		name  string
+		build func() *graph.Graph
+	}
+	patterns := []pattern{
+		{"chain3", func() *graph.Graph {
+			g := graph.MustNew(5, 0, 4)
+			g.MustAddEdge(0, 1, 2)
+			g.MustAddEdge(1, 2, 2)
+			g.MustAddEdge(2, 3, 2)
+			g.MustAddEdge(3, 4, 2)
+			return g
+		}},
+		{"two-cycle", func() *graph.Graph {
+			g := graph.MustNew(4, 0, 3)
+			g.MustAddEdge(0, 1, 2)
+			g.MustAddEdge(1, 2, 2)
+			g.MustAddEdge(2, 1, 2)
+			g.MustAddEdge(2, 3, 2)
+			return g
+		}},
+		{"dead-end vertex", func() *graph.Graph {
+			g := graph.MustNew(5, 0, 4)
+			g.MustAddEdge(0, 1, 2)
+			g.MustAddEdge(1, 4, 2)
+			g.MustAddEdge(1, 2, 1) // vertex 2 has no outgoing edge
+			g.MustAddEdge(0, 3, 1) // vertex 3 likewise
+			return g
+		}},
+		{"source-only vertex", func() *graph.Graph {
+			g := graph.MustNew(4, 0, 3)
+			g.MustAddEdge(0, 1, 2)
+			g.MustAddEdge(1, 3, 2)
+			g.MustAddEdge(2, 1, 1) // vertex 2 has no incoming edge
+			return g
+		}},
+		{"edge into source", func() *graph.Graph {
+			g := graph.MustNew(3, 0, 2)
+			g.MustAddEdge(0, 1, 2)
+			g.MustAddEdge(1, 2, 2)
+			g.MustAddEdge(1, 0, 1)
+			return g
+		}},
+		{"edge out of sink", func() *graph.Graph {
+			g := graph.MustNew(3, 0, 2)
+			g.MustAddEdge(0, 1, 2)
+			g.MustAddEdge(1, 2, 2)
+			g.MustAddEdge(2, 1, 1)
+			return g
+		}},
+		{"triangle cycle", func() *graph.Graph {
+			g := graph.MustNew(5, 0, 4)
+			g.MustAddEdge(0, 1, 2)
+			g.MustAddEdge(1, 2, 2)
+			g.MustAddEdge(2, 3, 2)
+			g.MustAddEdge(3, 1, 2)
+			g.MustAddEdge(2, 4, 2)
+			return g
+		}},
+		{"parallel paths", func() *graph.Graph {
+			g := graph.MustNew(6, 0, 5)
+			g.MustAddEdge(0, 1, 3)
+			g.MustAddEdge(0, 2, 3)
+			g.MustAddEdge(1, 3, 2)
+			g.MustAddEdge(2, 4, 2)
+			g.MustAddEdge(1, 4, 1)
+			g.MustAddEdge(2, 3, 1)
+			g.MustAddEdge(3, 5, 3)
+			g.MustAddEdge(4, 5, 3)
+			return g
+		}},
+	}
+	for _, p := range patterns {
+		g := p.build()
+		exact, _ := maxflow.OptimalValue(g)
+		opts := DefaultOptions()
+		opts.VflowVoltage = 10 * g.MaxCapacity()
+		c, err := BuildMaxFlow(g, rawCapacities(g), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		eng, err := mna.NewEngine(c.Netlist, mna.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := eng.OperatingPoint(0)
+		if err != nil {
+			t.Logf("%-18s FAILED: %v", p.name, err)
+			continue
+		}
+		got := c.FlowValueVolts(sol.Voltage)
+		t.Logf("%-18s flow=%8.3f exact=%g relerr=%6.2f%% newton=%d",
+			p.name, got, exact, 100*math.Abs(got-exact)/math.Max(exact, 1e-9), sol.NewtonIterations)
+	}
+}

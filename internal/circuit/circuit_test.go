@@ -1,0 +1,289 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"analogflow/internal/device"
+	"analogflow/internal/numeric"
+)
+
+func TestNetlistNodes(t *testing.T) {
+	nl := NewNetlist()
+	a := nl.AddNode("a")
+	b := nl.AddNode("b")
+	if a != 0 || b != 1 {
+		t.Fatalf("node ids %d %d", a, b)
+	}
+	if nl.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d", nl.NumNodes())
+	}
+	if nl.NodeName(a) != "a" || nl.NodeName(Ground) != "0" {
+		t.Errorf("node names wrong")
+	}
+	if nl.NodeName(NodeID(55)) == "" {
+		t.Errorf("out-of-range node name should not be empty")
+	}
+}
+
+func TestNetlistElementsAndStats(t *testing.T) {
+	nl := NewNetlist()
+	a := nl.AddNode("a")
+	nl.Add(NewResistor("R1", a, Ground, 100))
+	nl.Add(NewResistor("R2", a, Ground, 200))
+	nl.Add(NewVoltageSource("V1", a, Ground, DC{1}))
+	if nl.NumElements() != 3 {
+		t.Errorf("NumElements = %d", nl.NumElements())
+	}
+	if nl.NumBranches() != 1 {
+		t.Errorf("NumBranches = %d, want 1", nl.NumBranches())
+	}
+	if nl.Size() != 2 {
+		t.Errorf("Size = %d, want 2", nl.Size())
+	}
+	stats := nl.Stats()
+	if stats["resistor"] != 2 || stats["vsource"] != 1 {
+		t.Errorf("stats wrong: %v", stats)
+	}
+	if err := nl.CheckNodes(); err != nil {
+		t.Errorf("CheckNodes: %v", err)
+	}
+	nl.Add(NewResistor("Rbad", NodeID(42), Ground, 1))
+	if err := nl.CheckNodes(); err == nil {
+		t.Errorf("CheckNodes accepted dangling node")
+	}
+}
+
+func TestWaveforms(t *testing.T) {
+	if (DC{3}).At(100) != 3 {
+		t.Errorf("DC wrong")
+	}
+	s := Step{Initial: 0, Final: 3, T0: 1, RiseTime: 2}
+	if s.At(0.5) != 0 || s.At(10) != 3 {
+		t.Errorf("step endpoints wrong")
+	}
+	if v := s.At(2); math.Abs(v-1.5) > 1e-12 {
+		t.Errorf("step mid-rise = %g, want 1.5", v)
+	}
+	abrupt := Step{Initial: 0, Final: 1, T0: 1}
+	if abrupt.At(1) != 1 || abrupt.At(0.999) != 0 {
+		t.Errorf("abrupt step wrong")
+	}
+	r := Ramp{Initial: 0, Final: 10, T0: 0, T1: 10}
+	if r.At(-1) != 0 || r.At(11) != 10 || math.Abs(r.At(5)-5) > 1e-12 {
+		t.Errorf("ramp wrong")
+	}
+	p := PWL{Times: []float64{0, 1, 2}, Values: []float64{0, 1, 0}}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid PWL rejected: %v", err)
+	}
+	if p.At(-1) != 0 || p.At(0.5) != 0.5 || p.At(1.5) != 0.5 || p.At(3) != 0 {
+		t.Errorf("PWL interpolation wrong")
+	}
+	if (PWL{}).At(1) != 0 {
+		t.Errorf("empty PWL should return 0")
+	}
+	bad := PWL{Times: []float64{0, 0}, Values: []float64{1, 2}}
+	if bad.Validate() == nil {
+		t.Errorf("non-increasing PWL accepted")
+	}
+	bad2 := PWL{Times: []float64{0}, Values: []float64{1, 2}}
+	if bad2.Validate() == nil {
+		t.Errorf("mismatched PWL accepted")
+	}
+	for _, w := range []Waveform{DC{1}, s, r, p} {
+		if w.String() == "" {
+			t.Errorf("empty waveform description")
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero resistance", func() { NewResistor("r", 0, Ground, 0) }},
+		{"negative magnitude", func() { NewNegativeResistor("nr", 0, Ground, -5) }},
+		{"zero capacitance", func() { NewCapacitor("c", 0, Ground, 0) }},
+		{"nil waveform", func() { NewVoltageSource("v", 0, Ground, nil) }},
+		{"nil memristor", func() { NewMemristorElement("m", 0, Ground, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestElementMetadata(t *testing.T) {
+	nl := NewNetlist()
+	a, b := nl.AddNode("a"), nl.AddNode("b")
+	mem := device.NewMemristor(device.DefaultMemristor())
+	elements := []Element{
+		NewResistor("R", a, b, 10),
+		NewNegativeResistor("NR", a, b, 10),
+		NewCapacitor("C", a, b, 1e-12),
+		NewVoltageSource("V", a, b, DC{1}),
+		NewDiode("D", a, b, device.DefaultDiode()),
+		&VCVS{Label: "E", OutP: a, OutN: Ground, CtrlP: b, CtrlN: Ground, Gain: 2},
+		NewOpAmp(nl, "OA", a, b, a, device.DefaultOpAmp()),
+		NewMemristorElement("M", a, b, mem),
+		&CurrentSource{Label: "I", A: a, B: b, Value: 1e-3},
+	}
+	wantTypes := []string{"resistor", "negative-resistor", "capacitor", "vsource",
+		"diode", "vcvs", "opamp", "memristor", "isource"}
+	wantBranches := []int{0, 0, 0, 1, 0, 1, 1, 0, 0}
+	wantLinear := []bool{true, true, true, true, false, true, true, true, true}
+	for i, el := range elements {
+		if el.TypeName() != wantTypes[i] {
+			t.Errorf("element %d type %q, want %q", i, el.TypeName(), wantTypes[i])
+		}
+		if el.NumBranches() != wantBranches[i] {
+			t.Errorf("element %d branches %d, want %d", i, el.NumBranches(), wantBranches[i])
+		}
+		if el.Linear() != wantLinear[i] {
+			t.Errorf("element %d linear %v, want %v", i, el.Linear(), wantLinear[i])
+		}
+		if el.Name() == "" || len(el.Nodes()) == 0 {
+			t.Errorf("element %d missing metadata", i)
+		}
+	}
+}
+
+func TestNegativeResistorEffective(t *testing.T) {
+	nr := NewNegativeResistor("NR", 0, Ground, 10e3)
+	if nr.EffectiveResistance() != -10e3 {
+		t.Errorf("effective resistance %g", nr.EffectiveResistance())
+	}
+	nr.GainError = 0.001
+	if math.Abs(nr.EffectiveResistance()+10e3*1.001) > 1e-9 {
+		t.Errorf("gain error not applied: %g", nr.EffectiveResistance())
+	}
+}
+
+// newCtx builds a stamping context over n unknowns for direct stamp tests.
+func newCtx(nNodes, size int) *StampContext {
+	return &StampContext{
+		NumNodes: nNodes,
+		A:        numeric.NewSparseBuilder(size),
+		B:        make([]float64, size),
+	}
+}
+
+func TestStampConductance(t *testing.T) {
+	ctx := newCtx(2, 2)
+	ctx.StampConductance(0, 1, 0.5)
+	m := ctx.A.ToDense()
+	if m.At(0, 0) != 0.5 || m.At(1, 1) != 0.5 || m.At(0, 1) != -0.5 || m.At(1, 0) != -0.5 {
+		t.Errorf("conductance stamp wrong: %+v", m)
+	}
+	// Stamps to ground are dropped.
+	ctx2 := newCtx(1, 1)
+	ctx2.StampConductance(0, Ground, 2)
+	if ctx2.A.ToDense().At(0, 0) != 2 {
+		t.Errorf("ground stamp wrong")
+	}
+}
+
+func TestStampCurrentSourceAndVCCS(t *testing.T) {
+	ctx := newCtx(2, 2)
+	ctx.StampCurrentSource(0, 1, 1e-3)
+	if ctx.B[0] != -1e-3 || ctx.B[1] != 1e-3 {
+		t.Errorf("current source stamp wrong: %v", ctx.B)
+	}
+	ctx2 := newCtx(3, 3)
+	ctx2.StampVCCS(0, Ground, Ground, 1, 2e-3)
+	m := ctx2.A.ToDense()
+	if m.At(1, 0) != -2e-3 {
+		t.Errorf("VCCS stamp wrong: %+v", m)
+	}
+}
+
+func TestStampContextAccessors(t *testing.T) {
+	ctx := newCtx(2, 4)
+	ctx.X = []float64{1.5, -2, 0.25, 3}
+	ctx.XPrev = []float64{1, 1, 1, 1}
+	ctx.BranchBase = 2
+	if ctx.V(0) != 1.5 || ctx.V(Ground) != 0 {
+		t.Errorf("V accessor wrong")
+	}
+	if ctx.VPrev(1) != 1 || ctx.VPrev(Ground) != 0 {
+		t.Errorf("VPrev accessor wrong")
+	}
+	if ctx.Branch(1) != 3 || ctx.BranchValue(0) != 0.25 {
+		t.Errorf("branch accessors wrong")
+	}
+	empty := newCtx(2, 2)
+	if empty.V(0) != 0 || empty.VPrev(0) != 0 || empty.BranchValue(0) != 0 {
+		t.Errorf("nil iterate accessors should return 0")
+	}
+}
+
+func TestCapacitorDCOpen(t *testing.T) {
+	c := NewCapacitor("C", 0, Ground, 1e-12)
+	ctx := newCtx(1, 1)
+	ctx.Dt = 0
+	c.Stamp(ctx)
+	if ctx.A.NNZ() != 0 {
+		t.Errorf("capacitor should not stamp at DC")
+	}
+	ctx.Dt = 1e-9
+	ctx.XPrev = []float64{2}
+	c.Stamp(ctx)
+	if ctx.A.ToDense().At(0, 0) != 1e-12/1e-9 {
+		t.Errorf("companion conductance wrong")
+	}
+	if math.Abs(ctx.B[0]-2e-3) > 1e-15 {
+		t.Errorf("companion current wrong: %g", ctx.B[0])
+	}
+}
+
+func TestDiodeHelpers(t *testing.T) {
+	d := NewDiode("D", 0, 1, device.DefaultDiode())
+	v := func(n NodeID) float64 {
+		if n == 0 {
+			return 0.4
+		}
+		return 0.1
+	}
+	if math.Abs(d.Voltage(v)-0.3) > 1e-12 {
+		t.Errorf("diode voltage accessor wrong")
+	}
+}
+
+func TestVoltageSourceDeliveredCurrent(t *testing.T) {
+	v := NewVoltageSource("V", 0, Ground, DC{1})
+	x := []float64{1, -0.25}
+	if v.DeliveredCurrent(x, 1) != 0.25 {
+		t.Errorf("delivered current wrong")
+	}
+}
+
+func TestMemristorElementPostStep(t *testing.T) {
+	model := device.DefaultMemristor()
+	dev := device.NewMemristor(model)
+	m := NewMemristorElement("M", 0, Ground, dev)
+	v := func(n NodeID) float64 {
+		if n == 0 {
+			return model.VThreshold * 2
+		}
+		return 0
+	}
+	for i := 0; i < 5; i++ {
+		m.PostStep(v, model.SwitchTime)
+	}
+	if dev.State() != device.LRS {
+		t.Errorf("memristor element did not switch under programming stimulus")
+	}
+	ctx := newCtx(1, 1)
+	m.Stamp(ctx)
+	if math.Abs(ctx.A.ToDense().At(0, 0)-1/model.RLRS) > 1e-15 {
+		t.Errorf("memristor stamp should use LRS conductance")
+	}
+}

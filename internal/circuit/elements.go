@@ -1,0 +1,393 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"analogflow/internal/device"
+)
+
+// Resistor is a linear two-terminal resistor.
+type Resistor struct {
+	Label      string
+	A, B       NodeID
+	Resistance float64
+}
+
+// NewResistor creates a resistor; the resistance must be nonzero (negative
+// values are allowed and represent an ideal negative resistor — see
+// NegativeResistor for the explicit type the builder uses).
+func NewResistor(label string, a, b NodeID, r float64) *Resistor {
+	if r == 0 {
+		panic(fmt.Sprintf("circuit: resistor %q with zero resistance", label))
+	}
+	return &Resistor{Label: label, A: a, B: b, Resistance: r}
+}
+
+func (r *Resistor) Name() string     { return r.Label }
+func (r *Resistor) TypeName() string { return "resistor" }
+func (r *Resistor) Nodes() []NodeID  { return []NodeID{r.A, r.B} }
+func (r *Resistor) NumBranches() int { return 0 }
+func (r *Resistor) Linear() bool     { return true }
+
+// Stamp implements Element.
+func (r *Resistor) Stamp(ctx *StampContext) {
+	ctx.StampConductance(r.A, r.B, 1/r.Resistance)
+}
+
+// NegativeResistor is a behavioural negative resistance of value -Magnitude
+// (Magnitude > 0), modelling the op-amp negative-impedance converter of the
+// paper's Figure 9a at the terminal level.  Two non-idealities of the real
+// realisation are included because both are essential to the behaviour of the
+// substrate:
+//
+//   - GainError degrades the realised magnitude to -(1+GainError)*Magnitude,
+//     the finite-open-loop-gain effect of Section 4.2.
+//   - Saturation bounds the current the converter can source: the op-amp
+//     output saturates at its supply, so beyond |v| = Saturation the element
+//     stops behaving as a negative resistance.  Without this bound,
+//     graph cycles can create unbounded ideal-circuit modes that no physical
+//     substrate exhibits.
+//
+// The builder uses this element in "ideal" mode; in "op-amp" mode it expands
+// negative resistors into the full Figure 9a sub-circuit instead.
+type NegativeResistor struct {
+	Label     string
+	A, B      NodeID
+	Magnitude float64
+	// GainError degrades the realised magnitude (see above).
+	GainError float64
+	// Saturation is the voltage beyond which the converter saturates.  Zero
+	// disables saturation (a strictly ideal negative conductance).
+	Saturation float64
+}
+
+// NewNegativeResistor creates a negative resistor of value -magnitude.
+func NewNegativeResistor(label string, a, b NodeID, magnitude float64) *NegativeResistor {
+	if magnitude <= 0 {
+		panic(fmt.Sprintf("circuit: negative resistor %q needs positive magnitude, got %g", label, magnitude))
+	}
+	return &NegativeResistor{Label: label, A: a, B: b, Magnitude: magnitude}
+}
+
+func (r *NegativeResistor) Name() string     { return r.Label }
+func (r *NegativeResistor) TypeName() string { return "negative-resistor" }
+func (r *NegativeResistor) Nodes() []NodeID  { return []NodeID{r.A, r.B} }
+func (r *NegativeResistor) NumBranches() int { return 0 }
+func (r *NegativeResistor) Linear() bool     { return r.Saturation <= 0 }
+
+// EffectiveResistance returns the realised (negative) small-signal resistance.
+func (r *NegativeResistor) EffectiveResistance() float64 {
+	return -(1 + r.GainError) * r.Magnitude
+}
+
+// saturatedIV returns the current flowing from A to B through the element and
+// its derivative with respect to the applied voltage v = V(A) - V(B):
+//
+//	i(v) = G * clip(v),  clip(v) = smooth saturation of v at +/-Saturation,
+//
+// where G = 1/EffectiveResistance() (negative).  Inside the linear window the
+// element is the ideal negative conductance; beyond it the current stays at
+// its saturated value, so the element can no longer pump energy into runaway
+// modes.
+func (r *NegativeResistor) saturatedIV(v float64) (i, di float64) {
+	g := 1 / r.EffectiveResistance()
+	vsat := r.Saturation
+	w := vsat / 20
+	softplus := func(x float64) float64 {
+		switch {
+		case x > 40:
+			return x
+		case x < -40:
+			return 0
+		default:
+			return math.Log1p(math.Exp(x))
+		}
+	}
+	sigmoid := func(x float64) float64 {
+		switch {
+		case x > 40:
+			return 1
+		case x < -40:
+			return 0
+		default:
+			return 1 / (1 + math.Exp(-x))
+		}
+	}
+	clip := -vsat + w*softplus((v+vsat)/w) - w*softplus((v-vsat)/w)
+	dclip := sigmoid((v+vsat)/w) - sigmoid((v-vsat)/w)
+	return g * clip, g * dclip
+}
+
+// Stamp implements Element.
+func (r *NegativeResistor) Stamp(ctx *StampContext) {
+	if r.Saturation <= 0 {
+		ctx.StampConductance(r.A, r.B, 1/r.EffectiveResistance())
+		return
+	}
+	v := ctx.V(r.A) - ctx.V(r.B)
+	i, di := r.saturatedIV(v)
+	ieq := i - di*v
+	ctx.StampConductance(r.A, r.B, di)
+	ctx.StampCurrentSource(r.A, r.B, ieq)
+}
+
+// Capacitor is a linear capacitor; during transient analysis it is replaced
+// by its backward-Euler companion model, during DC analysis it is an open
+// circuit.
+type Capacitor struct {
+	Label       string
+	A, B        NodeID
+	Capacitance float64
+}
+
+// NewCapacitor creates a capacitor (C > 0).
+func NewCapacitor(label string, a, b NodeID, c float64) *Capacitor {
+	if c <= 0 {
+		panic(fmt.Sprintf("circuit: capacitor %q needs positive capacitance, got %g", label, c))
+	}
+	return &Capacitor{Label: label, A: a, B: b, Capacitance: c}
+}
+
+func (c *Capacitor) Name() string     { return c.Label }
+func (c *Capacitor) TypeName() string { return "capacitor" }
+func (c *Capacitor) Nodes() []NodeID  { return []NodeID{c.A, c.B} }
+func (c *Capacitor) NumBranches() int { return 0 }
+func (c *Capacitor) Linear() bool     { return true }
+
+// Stamp implements Element.
+func (c *Capacitor) Stamp(ctx *StampContext) {
+	if ctx.Dt <= 0 {
+		return // open circuit at DC
+	}
+	g := c.Capacitance / ctx.Dt
+	ctx.StampConductance(c.A, c.B, g)
+	vPrev := ctx.VPrev(c.A) - ctx.VPrev(c.B)
+	// Companion current source g*vPrev flowing from B to A (it opposes the
+	// discharge), i.e. injected into A.
+	ctx.StampCurrentSource(c.B, c.A, g*vPrev)
+}
+
+// VoltageSource is an independent voltage source with an arbitrary waveform.
+// It adds one branch-current unknown.
+type VoltageSource struct {
+	Label       string
+	Plus, Minus NodeID
+	Waveform    Waveform
+}
+
+// NewVoltageSource creates a voltage source from Plus to Minus.
+func NewVoltageSource(label string, plus, minus NodeID, w Waveform) *VoltageSource {
+	if w == nil {
+		panic(fmt.Sprintf("circuit: voltage source %q with nil waveform", label))
+	}
+	return &VoltageSource{Label: label, Plus: plus, Minus: minus, Waveform: w}
+}
+
+func (v *VoltageSource) Name() string     { return v.Label }
+func (v *VoltageSource) TypeName() string { return "vsource" }
+func (v *VoltageSource) Nodes() []NodeID  { return []NodeID{v.Plus, v.Minus} }
+func (v *VoltageSource) NumBranches() int { return 1 }
+func (v *VoltageSource) Linear() bool     { return true }
+
+// Stamp implements Element.
+func (v *VoltageSource) Stamp(ctx *StampContext) {
+	br := ctx.Branch(0)
+	ip, in := index(v.Plus), index(v.Minus)
+	ctx.AddA(ip, br, 1)
+	ctx.AddA(in, br, -1)
+	ctx.AddA(br, ip, 1)
+	ctx.AddA(br, in, -1)
+	ctx.AddB(br, ctx.Scale()*v.Waveform.At(ctx.Time))
+}
+
+// DeliveredCurrent extracts the current the source pushes out of its Plus
+// terminal from a solved MNA vector; branchBase must be the branch index the
+// MNA engine assigned to this source.  (The raw branch unknown is the current
+// flowing into the Plus terminal, hence the sign flip.)
+func (v *VoltageSource) DeliveredCurrent(x []float64, branchBase int) float64 {
+	return -x[branchBase]
+}
+
+// Diode is a two-terminal clamping diode using one of the device.DiodeModel
+// variants.  It is the nonlinear element that enforces the paper's edge
+// capacity constraints.
+type Diode struct {
+	Label          string
+	Anode, Cathode NodeID
+	Model          device.DiodeModel
+}
+
+// NewDiode creates a diode with the given model.
+func NewDiode(label string, anode, cathode NodeID, model device.DiodeModel) *Diode {
+	return &Diode{Label: label, Anode: anode, Cathode: cathode, Model: model}
+}
+
+func (d *Diode) Name() string     { return d.Label }
+func (d *Diode) TypeName() string { return "diode" }
+func (d *Diode) Nodes() []NodeID  { return []NodeID{d.Anode, d.Cathode} }
+func (d *Diode) NumBranches() int { return 0 }
+func (d *Diode) Linear() bool     { return false }
+
+// Stamp implements Element: the diode is linearised around the current
+// iterate with its companion model i = g*v + ieq.
+func (d *Diode) Stamp(ctx *StampContext) {
+	v := ctx.V(d.Anode) - ctx.V(d.Cathode)
+	g, ieq := d.Model.Conductance(v)
+	ctx.StampConductance(d.Anode, d.Cathode, g)
+	// ieq flows from anode to cathode through the diode.
+	ctx.StampCurrentSource(d.Anode, d.Cathode, ieq)
+}
+
+// Voltage returns the diode voltage (anode minus cathode) in a solved vector.
+func (d *Diode) Voltage(v func(NodeID) float64) float64 {
+	return v(d.Anode) - v(d.Cathode)
+}
+
+// VCVS is a voltage-controlled voltage source (an ideal "E" element) with an
+// optional series output resistance: V(OutP)-V(OutN) = Gain*(V(CtrlP)-V(CtrlN)) - Rout*I.
+type VCVS struct {
+	Label        string
+	OutP, OutN   NodeID
+	CtrlP, CtrlN NodeID
+	Gain         float64
+	Rout         float64
+}
+
+func (e *VCVS) Name() string     { return e.Label }
+func (e *VCVS) TypeName() string { return "vcvs" }
+func (e *VCVS) Nodes() []NodeID  { return []NodeID{e.OutP, e.OutN, e.CtrlP, e.CtrlN} }
+func (e *VCVS) NumBranches() int { return 1 }
+func (e *VCVS) Linear() bool     { return true }
+
+// Stamp implements Element.
+func (e *VCVS) Stamp(ctx *StampContext) {
+	br := ctx.Branch(0)
+	iop, ion := index(e.OutP), index(e.OutN)
+	icp, icn := index(e.CtrlP), index(e.CtrlN)
+	ctx.AddA(iop, br, 1)
+	ctx.AddA(ion, br, -1)
+	ctx.AddA(br, iop, 1)
+	ctx.AddA(br, ion, -1)
+	ctx.AddA(br, icp, -e.Gain)
+	ctx.AddA(br, icn, e.Gain)
+	if e.Rout != 0 {
+		ctx.AddA(br, br, -e.Rout)
+	}
+}
+
+// OpAmp is a single-pole op-amp macromodel (see device.OpAmpModel): a
+// transconductance input stage into an internal R1||C1 node followed by a
+// unity-gain buffer with output resistance.  The internal node is a real
+// netlist node allocated at construction time, so the transient engine
+// naturally captures the gain-bandwidth-limited settling the paper's
+// convergence times depend on.
+type OpAmp struct {
+	Label      string
+	InP, InN   NodeID
+	Out        NodeID
+	Model      device.OpAmpModel
+	internal   NodeID
+	gm, r1, c1 float64
+}
+
+// NewOpAmp creates an op-amp and allocates its internal pole node on nl.
+func NewOpAmp(nl *Netlist, label string, inP, inN, out NodeID, model device.OpAmpModel) *OpAmp {
+	gm, r1, c1 := model.MacroParams()
+	return &OpAmp{
+		Label:    label,
+		InP:      inP,
+		InN:      inN,
+		Out:      out,
+		Model:    model,
+		internal: nl.AddNode(label + ".pole"),
+		gm:       gm,
+		r1:       r1,
+		c1:       c1,
+	}
+}
+
+func (o *OpAmp) Name() string     { return o.Label }
+func (o *OpAmp) TypeName() string { return "opamp" }
+func (o *OpAmp) Nodes() []NodeID  { return []NodeID{o.InP, o.InN, o.Out, o.internal} }
+func (o *OpAmp) NumBranches() int { return 1 }
+func (o *OpAmp) Linear() bool     { return true }
+
+// InternalNode exposes the pole node (for tests).
+func (o *OpAmp) InternalNode() NodeID { return o.internal }
+
+// Stamp implements Element.
+func (o *OpAmp) Stamp(ctx *StampContext) {
+	// Input transconductance: current gm*(V+ - V-) flows from ground into
+	// the internal node.
+	ctx.StampVCCS(o.InP, o.InN, Ground, o.internal, o.gm)
+	// Pole load R1 || C1 to ground.
+	ctx.StampConductance(o.internal, Ground, 1/o.r1)
+	if ctx.Dt > 0 {
+		g := o.c1 / ctx.Dt
+		ctx.StampConductance(o.internal, Ground, g)
+		ctx.StampCurrentSource(Ground, o.internal, g*ctx.VPrev(o.internal))
+	}
+	// Output buffer: unity-gain VCVS from the internal node with Rout.
+	br := ctx.Branch(0)
+	iout, iint := index(o.Out), index(o.internal)
+	ctx.AddA(iout, br, 1)
+	ctx.AddA(br, iout, 1)
+	ctx.AddA(br, iint, -1)
+	if o.Model.Rout != 0 {
+		ctx.AddA(br, br, -o.Model.Rout)
+	}
+}
+
+// MemristorElement wraps a device.Memristor as a circuit element.  During the
+// compute phase it behaves as a resistor at its current state resistance;
+// during programming transients its state is advanced by PostStep.
+type MemristorElement struct {
+	Label  string
+	A, B   NodeID
+	Device *device.Memristor
+}
+
+// NewMemristorElement wraps an existing memristor device.
+func NewMemristorElement(label string, a, b NodeID, dev *device.Memristor) *MemristorElement {
+	if dev == nil {
+		panic(fmt.Sprintf("circuit: memristor element %q with nil device", label))
+	}
+	return &MemristorElement{Label: label, A: a, B: b, Device: dev}
+}
+
+func (m *MemristorElement) Name() string     { return m.Label }
+func (m *MemristorElement) TypeName() string { return "memristor" }
+func (m *MemristorElement) Nodes() []NodeID  { return []NodeID{m.A, m.B} }
+func (m *MemristorElement) NumBranches() int { return 0 }
+func (m *MemristorElement) Linear() bool     { return true }
+
+// Stamp implements Element.
+func (m *MemristorElement) Stamp(ctx *StampContext) {
+	ctx.StampConductance(m.A, m.B, m.Device.Conductance())
+}
+
+// PostStep implements Stateful: the device integrates the applied voltage to
+// decide whether it switches state.
+func (m *MemristorElement) PostStep(v func(NodeID) float64, dt float64) {
+	m.Device.ApplyStimulus(v(m.A)-v(m.B), dt)
+}
+
+// CurrentSource is an independent current source driving Value amperes from
+// node A to node B through the source (i.e. injecting current into B).
+type CurrentSource struct {
+	Label string
+	A, B  NodeID
+	Value float64
+}
+
+func (s *CurrentSource) Name() string     { return s.Label }
+func (s *CurrentSource) TypeName() string { return "isource" }
+func (s *CurrentSource) Nodes() []NodeID  { return []NodeID{s.A, s.B} }
+func (s *CurrentSource) NumBranches() int { return 0 }
+func (s *CurrentSource) Linear() bool     { return true }
+
+// Stamp implements Element.
+func (s *CurrentSource) Stamp(ctx *StampContext) {
+	ctx.StampCurrentSource(s.A, s.B, ctx.Scale()*s.Value)
+}

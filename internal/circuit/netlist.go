@@ -1,0 +1,133 @@
+// Package circuit provides the netlist representation of the analog max-flow
+// substrate: circuit nodes, two-terminal and controlled elements, waveform
+// sources, and the "stamping" interface through which elements contribute to
+// the modified-nodal-analysis system assembled by internal/mna.
+//
+// The element set is exactly what the paper's substrate needs — resistors,
+// parasitic capacitors, (step) voltage sources, clamping diodes, negative
+// resistors (ideal or realised with an op-amp macromodel), op-amps and
+// memristor switches — but the package is general enough to describe any
+// lumped linear/piecewise-nonlinear circuit.
+package circuit
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a circuit node.  Ground is the distinguished reference
+// node and is never part of the unknown vector.
+type NodeID int
+
+// Ground is the reference node (0 V by definition).
+const Ground NodeID = -1
+
+// Netlist is a collection of named nodes and circuit elements.
+type Netlist struct {
+	nodeNames []string
+	elements  []Element
+}
+
+// NewNetlist returns an empty netlist.
+func NewNetlist() *Netlist {
+	return &Netlist{}
+}
+
+// AddNode creates a new node with the given name and returns its identifier.
+// Names are labels for debugging and netlist export; they need not be unique,
+// although the builder in internal/builder always generates unique ones.
+func (n *Netlist) AddNode(name string) NodeID {
+	n.nodeNames = append(n.nodeNames, name)
+	return NodeID(len(n.nodeNames) - 1)
+}
+
+// NumNodes returns the number of non-ground nodes.
+func (n *Netlist) NumNodes() int { return len(n.nodeNames) }
+
+// NodeName returns the name of a node ("0" for ground).
+func (n *Netlist) NodeName(id NodeID) string {
+	if id == Ground {
+		return "0"
+	}
+	if int(id) < 0 || int(id) >= len(n.nodeNames) {
+		return fmt.Sprintf("node(%d)", int(id))
+	}
+	return n.nodeNames[id]
+}
+
+// Add appends an element to the netlist.
+func (n *Netlist) Add(e Element) {
+	n.elements = append(n.elements, e)
+}
+
+// Elements returns the element list (not a copy; treat as read-only).
+func (n *Netlist) Elements() []Element { return n.elements }
+
+// NumElements returns the number of elements.
+func (n *Netlist) NumElements() int { return len(n.elements) }
+
+// NumBranches returns the total number of auxiliary (branch-current) unknowns
+// required by all elements.
+func (n *Netlist) NumBranches() int {
+	total := 0
+	for _, e := range n.elements {
+		total += e.NumBranches()
+	}
+	return total
+}
+
+// Size returns the dimension of the MNA system: nodes plus branch unknowns.
+func (n *Netlist) Size() int { return n.NumNodes() + n.NumBranches() }
+
+// Stats summarises the netlist composition by element type name; used by the
+// experiments and by DESIGN/EXPERIMENTS reporting.
+func (n *Netlist) Stats() map[string]int {
+	stats := make(map[string]int)
+	for _, e := range n.elements {
+		stats[e.TypeName()]++
+	}
+	return stats
+}
+
+// CheckNodes verifies that every element references only ground or nodes that
+// exist in this netlist.
+func (n *Netlist) CheckNodes() error {
+	for _, e := range n.elements {
+		for _, nd := range e.Nodes() {
+			if nd == Ground {
+				continue
+			}
+			if int(nd) < 0 || int(nd) >= len(n.nodeNames) {
+				return fmt.Errorf("circuit: element %q references unknown node %d", e.Name(), int(nd))
+			}
+		}
+	}
+	return nil
+}
+
+// Element is a circuit element that knows how to stamp its (possibly
+// linearised) contribution into the MNA system.
+type Element interface {
+	// Name is the instance name (e.g. "R_e12_cons").
+	Name() string
+	// TypeName is the element class ("resistor", "diode", ...).
+	TypeName() string
+	// Nodes returns every node the element connects to (ground included).
+	Nodes() []NodeID
+	// NumBranches is the number of auxiliary unknowns (branch currents) the
+	// element adds to the MNA system.
+	NumBranches() int
+	// Linear reports whether the element's stamp is independent of the
+	// current iterate; nonlinear elements force Newton iteration.
+	Linear() bool
+	// Stamp adds the element's contribution for the current iterate into the
+	// system described by ctx.
+	Stamp(ctx *StampContext)
+}
+
+// Stateful is implemented by elements whose internal state advances with
+// simulation time (memristors).  The transient engine calls PostStep after
+// every accepted timestep with the solved node-voltage accessor and the step
+// size.
+type Stateful interface {
+	PostStep(v func(NodeID) float64, dt float64)
+}

@@ -1,0 +1,125 @@
+package circuit
+
+import (
+	"analogflow/internal/numeric"
+)
+
+// StampContext carries the linear system being assembled plus the operating
+// point information elements need to linearise themselves.  One context is
+// created per Newton iteration by the MNA engine and passed to every
+// element's Stamp method.
+type StampContext struct {
+	// NumNodes is the number of non-ground nodes; branch unknowns follow the
+	// node unknowns in the vector ordering.
+	NumNodes int
+	// A is the MNA matrix builder (dimension NumNodes + total branches).
+	A *numeric.SparseBuilder
+	// B is the right-hand side vector.
+	B []float64
+	// X is the current Newton iterate (node voltages then branch currents).
+	// It may be nil on the very first iteration, in which case V returns 0.
+	X []float64
+	// XPrev is the solution at the previous accepted time point, used by
+	// companion models of reactive elements.  It is nil for DC analyses.
+	XPrev []float64
+	// Dt is the transient step size; 0 indicates a DC (operating-point)
+	// analysis in which capacitors are open circuits.
+	Dt float64
+	// Time is the simulation time at which sources are evaluated.
+	Time float64
+	// BranchBase is the index of the first branch unknown belonging to the
+	// element currently being stamped; the MNA engine sets it before each
+	// element's Stamp call.
+	BranchBase int
+	// SourceScale scales every independent source value; the MNA engine's
+	// homotopy (source-stepping) solver ramps it from a small value to 1 to
+	// obtain good Newton starting points for strongly nonlinear circuits.
+	// A zero value is treated as 1.
+	SourceScale float64
+}
+
+// Scale returns the effective independent-source scale factor.
+func (c *StampContext) Scale() float64 {
+	if c.SourceScale == 0 {
+		return 1
+	}
+	return c.SourceScale
+}
+
+// V returns the voltage of node n in the current iterate (0 for ground or
+// when no iterate exists yet).
+func (c *StampContext) V(n NodeID) float64 {
+	if n == Ground || c.X == nil {
+		return 0
+	}
+	return c.X[int(n)]
+}
+
+// VPrev returns the voltage of node n at the previous accepted time point.
+func (c *StampContext) VPrev(n NodeID) float64 {
+	if n == Ground || c.XPrev == nil {
+		return 0
+	}
+	return c.XPrev[int(n)]
+}
+
+// Branch returns the global unknown index of the element's k-th branch
+// variable.
+func (c *StampContext) Branch(k int) int { return c.BranchBase + k }
+
+// BranchValue returns the current iterate value of the element's k-th branch
+// variable (0 when no iterate exists yet).
+func (c *StampContext) BranchValue(k int) float64 {
+	if c.X == nil {
+		return 0
+	}
+	return c.X[c.Branch(k)]
+}
+
+// index maps a NodeID to a matrix index, or -1 for ground.
+func index(n NodeID) int { return int(n) }
+
+// AddA accumulates v into matrix entry (i, j); negative indices (ground) are
+// ignored, implementing the usual MNA convention that the ground row and
+// column are dropped.
+func (c *StampContext) AddA(i, j int, v float64) {
+	if i < 0 || j < 0 {
+		return
+	}
+	c.A.Add(i, j, v)
+}
+
+// AddB accumulates v into right-hand-side entry i (ignored for ground).
+func (c *StampContext) AddB(i int, v float64) {
+	if i < 0 {
+		return
+	}
+	c.B[i] += v
+}
+
+// StampConductance adds a two-terminal conductance g between nodes a and b.
+func (c *StampContext) StampConductance(a, b NodeID, g float64) {
+	ia, ib := index(a), index(b)
+	c.AddA(ia, ia, g)
+	c.AddA(ib, ib, g)
+	c.AddA(ia, ib, -g)
+	c.AddA(ib, ia, -g)
+}
+
+// StampCurrentSource adds an independent current source driving i amperes
+// from node a to node b through the source (the current leaves the circuit at
+// a and re-enters at b).
+func (c *StampContext) StampCurrentSource(a, b NodeID, i float64) {
+	c.AddB(index(a), -i)
+	c.AddB(index(b), i)
+}
+
+// StampVCCS adds a voltage-controlled current source: a current of
+// gm*(V(cp)-V(cn)) flows from node op to node on through the source.
+func (c *StampContext) StampVCCS(cp, cn, op, on NodeID, gm float64) {
+	icp, icn, iop, ion := index(cp), index(cn), index(op), index(on)
+	c.AddA(iop, icp, gm)
+	c.AddA(iop, icn, -gm)
+	c.AddA(ion, icp, -gm)
+	c.AddA(ion, icn, gm)
+}

@@ -1,0 +1,109 @@
+package circuit
+
+import "fmt"
+
+// Waveform describes the time dependence of an independent source.
+type Waveform interface {
+	// At returns the source value at time t.
+	At(t float64) float64
+	// String returns a short human-readable description.
+	String() string
+}
+
+// DC is a constant waveform.
+type DC struct{ Value float64 }
+
+// At implements Waveform.
+func (w DC) At(float64) float64 { return w.Value }
+
+func (w DC) String() string { return fmt.Sprintf("DC(%g)", w.Value) }
+
+// Step is a step from Initial to Final at time T0, with an optional linear
+// rise over RiseTime.  The paper's compute phase applies a step on Vflow.
+type Step struct {
+	Initial, Final float64
+	T0             float64
+	RiseTime       float64
+}
+
+// At implements Waveform.
+func (w Step) At(t float64) float64 {
+	switch {
+	case t < w.T0:
+		return w.Initial
+	case w.RiseTime <= 0 || t >= w.T0+w.RiseTime:
+		return w.Final
+	default:
+		frac := (t - w.T0) / w.RiseTime
+		return w.Initial + frac*(w.Final-w.Initial)
+	}
+}
+
+func (w Step) String() string {
+	return fmt.Sprintf("Step(%g->%g @%g rise=%g)", w.Initial, w.Final, w.T0, w.RiseTime)
+}
+
+// Ramp rises linearly from Initial at T0 to Final at T1 and holds afterwards.
+// The quasi-static trajectory study of Section 6.5 drives Vflow with a slow
+// ramp.
+type Ramp struct {
+	Initial, Final float64
+	T0, T1         float64
+}
+
+// At implements Waveform.
+func (w Ramp) At(t float64) float64 {
+	switch {
+	case t <= w.T0:
+		return w.Initial
+	case t >= w.T1:
+		return w.Final
+	default:
+		frac := (t - w.T0) / (w.T1 - w.T0)
+		return w.Initial + frac*(w.Final-w.Initial)
+	}
+}
+
+func (w Ramp) String() string {
+	return fmt.Sprintf("Ramp(%g->%g over [%g,%g])", w.Initial, w.Final, w.T0, w.T1)
+}
+
+// PWL is a piecewise-linear waveform through (Times[i], Values[i]) points.
+// Before the first point it holds Values[0]; after the last it holds the last
+// value.  Times must be strictly increasing.
+type PWL struct {
+	Times  []float64
+	Values []float64
+}
+
+// At implements Waveform.
+func (w PWL) At(t float64) float64 {
+	if len(w.Times) == 0 {
+		return 0
+	}
+	if t <= w.Times[0] {
+		return w.Values[0]
+	}
+	for i := 1; i < len(w.Times); i++ {
+		if t <= w.Times[i] {
+			frac := (t - w.Times[i-1]) / (w.Times[i] - w.Times[i-1])
+			return w.Values[i-1] + frac*(w.Values[i]-w.Values[i-1])
+		}
+	}
+	return w.Values[len(w.Values)-1]
+}
+
+func (w PWL) String() string { return fmt.Sprintf("PWL(%d points)", len(w.Times)) }
+
+// Validate checks that the PWL definition is well formed.
+func (w PWL) Validate() error {
+	if len(w.Times) != len(w.Values) {
+		return fmt.Errorf("circuit: PWL has %d times but %d values", len(w.Times), len(w.Values))
+	}
+	for i := 1; i < len(w.Times); i++ {
+		if w.Times[i] <= w.Times[i-1] {
+			return fmt.Errorf("circuit: PWL times not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+// Package cluster implements the clustered island-style architectures of
+// Section 6.2 of the paper.  A monolithic n x n crossbar wastes almost all of
+// its cells on sparse graphs (utilisation |E|/|V|² — a fraction of a percent
+// for the paper's sparse workloads), so the proposal is an FPGA-like fabric
+// of small mesh "processing islands" joined by a routing network: highly
+// connected subgraphs map into islands, and only the comparatively few edges
+// between subgraphs use the inter-island routing resources.
+//
+// The package provides the two architecture variants the paper sketches
+// (one-dimensional connection-box routing and two-dimensional switch-box
+// routing), a capacity-aware greedy partitioner that assigns vertices to
+// islands, and the utilisation/routing statistics used by the Section 6.2
+// evaluation in the benchmark harness.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"analogflow/internal/graph"
+)
+
+// Topology selects the inter-island routing structure.
+type Topology int
+
+const (
+	// Topology1D is the one-dimensional structure of Figure 11a: islands in
+	// a row, each connected to a shared routing channel through a
+	// connection box.  Simple to map, limited in routing flexibility.
+	Topology1D Topology = iota
+	// Topology2D is the two-dimensional structure of Figure 11b: islands on
+	// a grid with switch boxes at the corners, more flexible but costlier.
+	Topology2D
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Topology1D:
+		return "1d"
+	case Topology2D:
+		return "2d"
+	default:
+		return fmt.Sprintf("topology(%d)", int(t))
+	}
+}
+
+// Architecture describes a clustered substrate.
+type Architecture struct {
+	// Topology is the routing structure.
+	Topology Topology
+	// IslandSize is the mesh dimension of one island (an island hosts up to
+	// IslandSize vertices and IslandSize x IslandSize potential edges).
+	IslandSize int
+	// Islands is the number of islands in the fabric.
+	Islands int
+	// ChannelCapacity is the number of inter-island connections one routing
+	// channel (1-D) or switch box (2-D) can carry.
+	ChannelCapacity int
+}
+
+// DefaultArchitecture returns a 2-D fabric of 32-vertex islands sized to host
+// the paper's largest evaluation graphs.
+func DefaultArchitecture() Architecture {
+	return Architecture{
+		Topology:        Topology2D,
+		IslandSize:      32,
+		Islands:         32,
+		ChannelCapacity: 256,
+	}
+}
+
+// Validate checks the architecture.
+func (a Architecture) Validate() error {
+	switch a.Topology {
+	case Topology1D, Topology2D:
+	default:
+		return fmt.Errorf("cluster: unknown topology %v", a.Topology)
+	}
+	if a.IslandSize < 2 {
+		return fmt.Errorf("cluster: island size must be at least 2, got %d", a.IslandSize)
+	}
+	if a.Islands < 1 {
+		return fmt.Errorf("cluster: need at least one island, got %d", a.Islands)
+	}
+	if a.ChannelCapacity < 1 {
+		return fmt.Errorf("cluster: channel capacity must be positive, got %d", a.ChannelCapacity)
+	}
+	return nil
+}
+
+// VertexCapacity is the total number of vertices the fabric can host.
+func (a Architecture) VertexCapacity() int { return a.IslandSize * a.Islands }
+
+// CellsTotal is the total number of crossbar cells across all islands.
+func (a Architecture) CellsTotal() int { return a.Islands * a.IslandSize * a.IslandSize }
+
+// Mapping is the result of placing a graph onto a clustered architecture.
+type Mapping struct {
+	Architecture Architecture
+	// IslandOf[v] is the island index assigned to vertex v.
+	IslandOf []int
+	// IntraEdges / InterEdges count edges whose endpoints share an island
+	// versus edges that need inter-island routing.
+	IntraEdges, InterEdges int
+	// ChannelLoad is the number of inter-island connections routed through
+	// each channel (1-D: one entry per island boundary; 2-D: one entry per
+	// switch box).
+	ChannelLoad []int
+	// Utilization is the fraction of island cells used by intra-island
+	// edges — the quantity Section 6.2 wants to improve over the monolithic
+	// crossbar.
+	Utilization float64
+	// MonolithicUtilization is the utilisation of a single |V| x |V|
+	// crossbar hosting the same graph, for comparison.
+	MonolithicUtilization float64
+}
+
+// ErrDoesNotFit is returned when the graph exceeds the fabric's capacity.
+var ErrDoesNotFit = errors.New("cluster: graph does not fit the clustered architecture")
+
+// Map places g onto the architecture with a capacity-aware greedy clustering:
+// vertices are visited in descending degree order and each is assigned to the
+// island that already contains most of its neighbours and still has room.
+// Inter-island edges are then routed and the channel loads accumulated.
+func Map(g *graph.Graph, arch Architecture) (*Mapping, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	if n > arch.VertexCapacity() {
+		return nil, fmt.Errorf("%w: %d vertices onto %d islands of %d", ErrDoesNotFit, n, arch.Islands, arch.IslandSize)
+	}
+
+	// Vertices in descending degree order; hubs get placed first so their
+	// neighbourhoods cluster around them.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+
+	islandOf := make([]int, n)
+	for i := range islandOf {
+		islandOf[i] = -1
+	}
+	load := make([]int, arch.Islands)
+	for _, v := range order {
+		// Count already-placed neighbours per island.
+		affinity := make(map[int]int)
+		neighbours := func(edges []int, other func(graph.Edge) int) {
+			for _, ei := range edges {
+				o := other(g.Edge(ei))
+				if islandOf[o] >= 0 {
+					affinity[islandOf[o]]++
+				}
+			}
+		}
+		neighbours(g.OutEdges(v), func(e graph.Edge) int { return e.To })
+		neighbours(g.InEdges(v), func(e graph.Edge) int { return e.From })
+		best, bestScore := -1, -1
+		for island := 0; island < arch.Islands; island++ {
+			if load[island] >= arch.IslandSize {
+				continue
+			}
+			score := affinity[island]
+			if score > bestScore || (score == bestScore && best >= 0 && load[island] < load[best]) {
+				best, bestScore = island, score
+			}
+		}
+		if best < 0 {
+			return nil, ErrDoesNotFit
+		}
+		islandOf[v] = best
+		load[best]++
+	}
+
+	m := &Mapping{Architecture: arch, IslandOf: islandOf}
+	switch arch.Topology {
+	case Topology1D:
+		// One routing channel between consecutive islands; an edge from
+		// island a to island b loads every channel it crosses.
+		m.ChannelLoad = make([]int, arch.Islands-1)
+	default:
+		// One switch box per island for the 2-D abstraction.
+		m.ChannelLoad = make([]int, arch.Islands)
+	}
+	for _, e := range g.Edges() {
+		a, b := islandOf[e.From], islandOf[e.To]
+		if a == b {
+			m.IntraEdges++
+			continue
+		}
+		m.InterEdges++
+		switch arch.Topology {
+		case Topology1D:
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for ch := lo; ch < hi; ch++ {
+				m.ChannelLoad[ch]++
+			}
+		default:
+			m.ChannelLoad[a]++
+			m.ChannelLoad[b]++
+		}
+	}
+	usedCells := m.IntraEdges
+	m.Utilization = float64(usedCells) / float64(arch.CellsTotal())
+	m.MonolithicUtilization = float64(g.NumEdges()) / float64(n*n)
+	return m, nil
+}
+
+// Routable reports whether every channel load stays within the architecture's
+// channel capacity.
+func (m *Mapping) Routable() bool {
+	for _, l := range m.ChannelLoad {
+		if l > m.Architecture.ChannelCapacity {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxChannelLoad returns the highest channel load.
+func (m *Mapping) MaxChannelLoad() int {
+	max := 0
+	for _, l := range m.ChannelLoad {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// CutFraction returns the fraction of edges that cross island boundaries —
+// the clustering quality metric the partitioner minimises.
+func (m *Mapping) CutFraction() float64 {
+	total := m.IntraEdges + m.InterEdges
+	if total == 0 {
+		return 0
+	}
+	return float64(m.InterEdges) / float64(total)
+}
+
+// AreaAdvantage returns the ratio between the cell count of a monolithic
+// |V| x |V| crossbar and the clustered fabric's cell count — the area saving
+// the Section 6.2 proposal is after.
+func AreaAdvantage(g *graph.Graph, arch Architecture) float64 {
+	mono := g.NumVertices() * g.NumVertices()
+	return float64(mono) / float64(arch.CellsTotal())
+}
+
+// SweepIslandSizes maps g onto fabrics with the given island sizes (keeping
+// the vertex capacity roughly constant) and reports the resulting mappings,
+// the data behind the architecture-exploration experiment.
+func SweepIslandSizes(g *graph.Graph, sizes []int, topology Topology) (map[int]*Mapping, error) {
+	out := make(map[int]*Mapping, len(sizes))
+	for _, size := range sizes {
+		islands := (g.NumVertices() + size - 1) / size
+		if islands < 1 {
+			islands = 1
+		}
+		arch := Architecture{
+			Topology:        topology,
+			IslandSize:      size,
+			Islands:         islands,
+			ChannelCapacity: 1 << 20, // capacity analysed separately
+		}
+		m, err := Map(g, arch)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: island size %d: %w", size, err)
+		}
+		out[size] = m
+	}
+	return out, nil
+}

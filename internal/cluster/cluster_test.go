@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"analogflow/internal/graph"
+	"analogflow/internal/rmat"
+)
+
+func TestArchitectureValidate(t *testing.T) {
+	if err := DefaultArchitecture().Validate(); err != nil {
+		t.Errorf("default architecture invalid: %v", err)
+	}
+	cases := []func(*Architecture){
+		func(a *Architecture) { a.Topology = Topology(9) },
+		func(a *Architecture) { a.IslandSize = 1 },
+		func(a *Architecture) { a.Islands = 0 },
+		func(a *Architecture) { a.ChannelCapacity = 0 },
+	}
+	for i, mutate := range cases {
+		a := DefaultArchitecture()
+		mutate(&a)
+		if a.Validate() == nil {
+			t.Errorf("case %d: invalid architecture accepted", i)
+		}
+	}
+	if Topology1D.String() != "1d" || Topology2D.String() != "2d" || Topology(9).String() == "" {
+		t.Errorf("topology names wrong")
+	}
+	a := DefaultArchitecture()
+	if a.VertexCapacity() != 32*32 || a.CellsTotal() != 32*32*32 {
+		t.Errorf("capacity computations wrong")
+	}
+}
+
+func TestMapRejectsBadInput(t *testing.T) {
+	g := graph.PaperFigure5()
+	bad := DefaultArchitecture()
+	bad.IslandSize = 0
+	if _, err := Map(g, bad); err == nil {
+		t.Errorf("invalid architecture accepted")
+	}
+	tiny := Architecture{Topology: Topology1D, IslandSize: 2, Islands: 1, ChannelCapacity: 4}
+	if _, err := Map(g, tiny); err == nil {
+		t.Errorf("oversized graph accepted")
+	}
+}
+
+func TestMapFigure5SingleIsland(t *testing.T) {
+	g := graph.PaperFigure5()
+	arch := Architecture{Topology: Topology1D, IslandSize: 8, Islands: 2, ChannelCapacity: 8}
+	m, err := Map(g, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five vertices fit one island, so the greedy clustering should place
+	// them together: no inter-island edges.
+	if m.InterEdges != 0 || m.IntraEdges != g.NumEdges() {
+		t.Errorf("expected all edges intra-island: %+v", m)
+	}
+	if m.CutFraction() != 0 {
+		t.Errorf("cut fraction %g, want 0", m.CutFraction())
+	}
+	if !m.Routable() {
+		t.Errorf("mapping with no inter-island edges must be routable")
+	}
+	if m.MaxChannelLoad() != 0 {
+		t.Errorf("channel load should be zero")
+	}
+	for v, island := range m.IslandOf {
+		if island < 0 || island >= arch.Islands {
+			t.Errorf("vertex %d unassigned or out of range: %d", v, island)
+		}
+	}
+}
+
+func TestMapSparseGraphBeatsMonolithicUtilisation(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(256, 7))
+	arch := Architecture{Topology: Topology2D, IslandSize: 32, Islands: 8, ChannelCapacity: 1 << 20}
+	m, err := Map(g, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IntraEdges+m.InterEdges != g.NumEdges() {
+		t.Fatalf("edge accounting wrong: %d + %d != %d", m.IntraEdges, m.InterEdges, g.NumEdges())
+	}
+	// The whole point of Section 6.2: the clustered fabric uses its cells
+	// far better than one 256x256 crossbar.
+	if m.Utilization <= m.MonolithicUtilization {
+		t.Errorf("clustered utilisation %.4f not better than monolithic %.4f",
+			m.Utilization, m.MonolithicUtilization)
+	}
+	if adv := AreaAdvantage(g, arch); adv <= 1 {
+		t.Errorf("area advantage %.2f should exceed 1", adv)
+	}
+}
+
+func TestTopology1DChannelLoads(t *testing.T) {
+	// A path graph split across islands loads the channels between them.
+	g := graph.MustNew(8, 0, 7)
+	for v := 0; v < 7; v++ {
+		g.MustAddEdge(v, v+1, 1)
+	}
+	arch := Architecture{Topology: Topology1D, IslandSize: 2, Islands: 4, ChannelCapacity: 4}
+	m, err := Map(g, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ChannelLoad) != 3 {
+		t.Fatalf("1-D fabric with 4 islands should have 3 channels, got %d", len(m.ChannelLoad))
+	}
+	if m.InterEdges == 0 {
+		t.Errorf("a path over 4 islands must use inter-island edges")
+	}
+	if m.MaxChannelLoad() == 0 {
+		t.Errorf("channels should carry load")
+	}
+}
+
+func TestRoutabilityLimit(t *testing.T) {
+	// A dense bipartite-ish graph with a tiny channel capacity becomes
+	// unroutable on a 1-D fabric.
+	g := graph.MustNew(16, 0, 15)
+	for u := 0; u < 8; u++ {
+		for v := 8; v < 16; v++ {
+			if u != v {
+				g.MustAddEdge(u, v, 1)
+			}
+		}
+	}
+	arch := Architecture{Topology: Topology1D, IslandSize: 4, Islands: 4, ChannelCapacity: 2}
+	m, err := Map(g, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Routable() {
+		t.Errorf("expected an unroutable mapping with channel capacity 2 and %d inter edges", m.InterEdges)
+	}
+}
+
+func TestSweepIslandSizes(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(128, 3))
+	sweep, err := SweepIslandSizes(g, []int{8, 16, 32, 64}, Topology2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 4 {
+		t.Fatalf("sweep size %d", len(sweep))
+	}
+	// Larger islands capture more edges internally: the cut fraction is
+	// non-increasing (within noise) as island size grows.
+	if sweep[64].CutFraction() > sweep[8].CutFraction()+0.05 {
+		t.Errorf("cut fraction should shrink with island size: 8 -> %.3f, 64 -> %.3f",
+			sweep[8].CutFraction(), sweep[64].CutFraction())
+	}
+	if _, err := SweepIslandSizes(g, []int{1}, Topology2D); err == nil {
+		t.Errorf("invalid island size accepted")
+	}
+}
+
+// Property: every mapping assigns all vertices, respects island capacity, and
+// accounts for every edge exactly once.
+func TestMapInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 16 + int(uint64(seed)%64)
+		g, err := rmat.Generate(rmat.DefaultParams(n, 3*n, seed))
+		if err != nil {
+			return false
+		}
+		arch := Architecture{Topology: Topology2D, IslandSize: 16, Islands: (n + 15) / 16, ChannelCapacity: 1 << 20}
+		m, err := Map(g, arch)
+		if err != nil {
+			return false
+		}
+		perIsland := make([]int, arch.Islands)
+		for _, island := range m.IslandOf {
+			if island < 0 || island >= arch.Islands {
+				return false
+			}
+			perIsland[island]++
+		}
+		for _, load := range perIsland {
+			if load > arch.IslandSize {
+				return false
+			}
+		}
+		return m.IntraEdges+m.InterEdges == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"analogflow/internal/builder"
+	"analogflow/internal/circuit"
+	"analogflow/internal/graph"
+	"analogflow/internal/mna"
+	"analogflow/internal/variation"
+)
+
+// solveCircuit runs the full MNA circuit emulation: build the Section 2
+// circuit for the quantized instance, find its DC steady state (direct Newton
+// first, source-stepping homotopy as a fallback), read the edge-node voltages
+// back and de-quantize them into flows.
+func (s *Solver) solveCircuit(g *graph.Graph) (*Result, error) {
+	prep, err := s.prepare(g)
+	if err != nil {
+		return nil, err
+	}
+	if prep.empty() {
+		empty := s.emptyResult(prep, ModeCircuit)
+		if err := s.finalizeEmpty(empty, g); err != nil {
+			return nil, err
+		}
+		return empty, nil
+	}
+	res := &Result{Mode: ModeCircuit, Quantization: prep.qres}
+	work := prep.work
+
+	c, eng, err := s.buildCircuit(work, prep.clamps)
+	if err != nil {
+		return nil, err
+	}
+	res.CircuitDescription = c.Describe()
+
+	sol, waves, err := s.solveOperatingPoint(eng)
+	if err != nil {
+		return nil, fmt.Errorf("core: circuit solve failed (the ideal-negative-resistance substrate is "+
+			"numerically fragile on general graphs; see EXPERIMENTS.md): %w", err)
+	}
+
+	// Read the edge voltages and convert back to flow units.
+	res.EdgeVoltages = c.EdgeVoltages(sol.Voltage)
+	readFlow := graph.NewFlow(work)
+	saturated := 0
+	for i, v := range res.EdgeVoltages {
+		if v < 0 {
+			v = 0
+		}
+		if clamp := prep.clampOf(i); v > clamp {
+			v = clamp
+		}
+		readFlow.Edge[i] = prep.qres.ToFlowUnits(v)
+		if v >= prep.clampOf(i)*0.999 {
+			saturated++
+		}
+	}
+	res.FlowValue = prep.qres.ToFlowUnits(c.FlowValueVolts(sol.Voltage))
+	readFlow.RecomputeValue(work)
+
+	res.ConvergenceTime, _ = s.convergenceTimeModel(work, saturated)
+	res.Waves = waves
+	if err := s.finalize(res, prep, readFlow); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// buildCircuit constructs the quantized-domain circuit for a (pruned) graph.
+func (s *Solver) buildCircuit(pruned *graph.Graph, clampVoltages []float64) (*builder.Circuit, *mna.Engine, error) {
+	opts := s.params.Builder
+	opts.VflowVoltage = s.vflowVoltage(pruned)
+	if s.params.Variation.MismatchSigma > 0 || s.params.Variation.GlobalSigma > 0 || s.params.Variation.ParasiticResistance > 0 {
+		profile := s.params.Variation
+		if s.params.MatchedLayout || s.params.PostFabTuning {
+			profile.MismatchSigma = variation.EffectiveMismatch(profile, s.params.MatchedLayout, s.params.PostFabTuning, s.params.Tuning)
+		}
+		profile.Seed = s.params.Seed
+		sampler, err := variation.NewSampler(profile)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.PerturbResistance = sampler.PerturbFunc()
+	}
+	c, err := builder.BuildMaxFlow(pruned, clampVoltages, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := mna.NewEngine(c.Netlist, mna.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, eng, nil
+}
+
+// solveOperatingPoint finds the DC steady state, falling back to source
+// stepping when the direct Newton solve does not converge.  It returns the
+// solution and the total Newton iteration count (a proxy for the number of
+// constraint-activation waves).
+func (s *Solver) solveOperatingPoint(eng *mna.Engine) (*mna.Solution, int, error) {
+	if sol, err := eng.OperatingPoint(0); err == nil {
+		return sol, sol.NewtonIterations, nil
+	}
+	hres, err := eng.OperatingPointHomotopy(0, 8)
+	if err != nil {
+		return nil, 0, err
+	}
+	return hres.Solution, hres.TotalNewtonIterations, nil
+}
+
+// WaveformResult is the outcome of a transient emulation of the compute
+// phase (Section 3.2): Vflow steps up at t=0 and the node voltages settle
+// toward the max-flow solution, reproducing Figure 5c.
+type WaveformResult struct {
+	// Times are the recorded simulation times.
+	Times []float64
+	// EdgeVoltages[i] is the waveform of edge node x_i (volts, quantized
+	// domain), indexed [edge][time].
+	EdgeVoltages [][]float64
+	// FlowValueSeries is the de-quantized net source outflow over time.
+	FlowValueSeries []float64
+	// ConvergenceTime is the measured time at which the flow value settles
+	// within 0.1% of its final value (the paper's definition), or -1.
+	ConvergenceTime float64
+	// FinalFlowValue is the settled flow value in capacity units.
+	FinalFlowValue float64
+	// CircuitDescription summarises the simulated netlist.
+	CircuitDescription string
+}
+
+// SimulateWaveform runs a full transient of the substrate's compute phase on
+// g and records the edge-node waveforms.  Intended for small instances (the
+// paper's Figure 5); the cost grows with both circuit size and the number of
+// time steps.
+func (s *Solver) SimulateWaveform(g *graph.Graph, duration float64, steps int) (*WaveformResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if duration <= 0 || steps < 10 {
+		return nil, fmt.Errorf("core: waveform needs a positive duration and at least 10 steps")
+	}
+	prep, err := s.prepare(g)
+	if err != nil {
+		return nil, err
+	}
+	if prep.empty() {
+		return nil, fmt.Errorf("core: instance has no s-t structure to simulate")
+	}
+	work := prep.work
+	opts := s.params.Builder
+	// The waveform study uses the terminal-level negative-resistance model
+	// with the parasitic capacitance attached to the edge nodes only: the
+	// internal widget nodes are driven by op-amp outputs in the real
+	// substrate, so their settling is not limited by the wire parasitics.
+	// (The full op-amp expansion is available through builder.NegResOpAmp
+	// for DC studies; its conditional NIC stability makes long transients
+	// fragile, which EXPERIMENTS.md discusses.)
+	opts.NegResMode = builder.NegResIdeal
+	opts.ParasiticOnEdgeNodesOnly = true
+	opts.VflowVoltage = s.vflowVoltage(work)
+	opts.VflowWaveform = circuit.Step{Initial: 0, Final: opts.VflowVoltage, T0: 0, RiseTime: duration / 100}
+	c, err := builder.BuildMaxFlow(work, prep.clamps, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := mna.NewEngine(c.Netlist, mna.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	spec := mna.TransientSpec{
+		Stop:                 duration,
+		Step:                 duration / float64(steps),
+		Monitor:              func(sol *mna.Solution) float64 { return c.FlowValueVolts(sol.Voltage) },
+		ConvergenceTolerance: 1e-3,
+	}
+	tr, err := eng.Transient(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := &WaveformResult{
+		Times:              tr.Times,
+		ConvergenceTime:    tr.ConvergenceTime,
+		FinalFlowValue:     prep.qres.ToFlowUnits(tr.FinalMonitorValue),
+		CircuitDescription: c.Describe(),
+	}
+	out.EdgeVoltages = make([][]float64, work.NumEdges())
+	for i := 0; i < work.NumEdges(); i++ {
+		out.EdgeVoltages[i] = tr.VoltageSeries(c.EdgeNode[i])
+	}
+	out.FlowValueSeries = make([]float64, len(tr.MonitorValues))
+	for i, v := range tr.MonitorValues {
+		out.FlowValueSeries[i] = prep.qres.ToFlowUnits(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+// Package core is the top of the analogflow stack: it exposes the analog
+// max-flow solver the paper proposes as a single reusable component.  A
+// Solver owns the full pipeline — graph preprocessing, voltage quantization
+// (Section 4.1), circuit construction (Section 2), crossbar configuration
+// accounting (Section 3), non-ideality modelling (Section 4), and the
+// performance metrics of Section 5 (convergence time, power, energy).
+//
+// Two solver modes are provided:
+//
+//   - ModeCircuit runs the full SPICE-style modified-nodal-analysis emulation
+//     of the substrate (internal/builder + internal/mna).  It is the highest
+//     fidelity path and reproduces the paper's worked examples, but — as
+//     documented in EXPERIMENTS.md — the ideal-negative-resistance circuit is
+//     numerically fragile on arbitrary graphs, exactly the kind of
+//     reproduction finding this repository is meant to surface.
+//
+//   - ModeBehavioral models the substrate at the level the paper's own
+//     evaluation operates: the steady state is the optimum of the quantized,
+//     non-ideality-perturbed instance (justified by the paper's Section 4.3
+//     observation that the solution depends only on resistance ratios), and
+//     the convergence time follows the op-amp-dominated settling model of
+//     Section 5.1.  This path scales to the paper's 1000-vertex sweeps.
+package core
+
+import (
+	"fmt"
+
+	"analogflow/internal/builder"
+	"analogflow/internal/crossbar"
+	"analogflow/internal/power"
+	"analogflow/internal/quantize"
+	"analogflow/internal/variation"
+)
+
+// Mode selects the solver fidelity.
+type Mode int
+
+const (
+	// ModeBehavioral is the fast substrate model used for large sweeps.
+	ModeBehavioral Mode = iota
+	// ModeCircuit is the full MNA circuit emulation.
+	ModeCircuit
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBehavioral:
+		return "behavioral"
+	case ModeCircuit:
+		return "circuit"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Params collects every knob of the substrate.  DefaultParams reproduces
+// Table 1 of the paper.
+type Params struct {
+	// Mode selects the solver fidelity tier.
+	Mode Mode
+	// Crossbar describes the physical array (size, memristor model,
+	// programming voltages).
+	Crossbar crossbar.Config
+	// Quantization is the voltage-level scheme of Section 4.1.
+	Quantization quantize.Scheme
+	// Builder holds the circuit-construction options (widget resistance,
+	// diode and op-amp models, parasitics).
+	Builder builder.Options
+	// VflowMultiplier scales the objective drive: the actual Vflow is
+	// VflowMultiplier * Vdd, further raised automatically for deep graphs so
+	// that the drive can saturate the longest chain of conservation widgets.
+	// Table 1 uses 3 V against a 1 V supply.
+	VflowMultiplier float64
+	// Variation is the resistance-variation profile of the fabricated
+	// substrate (Section 4.3).
+	Variation variation.Profile
+	// MatchedLayout and PostFabTuning enable the two mitigation techniques
+	// of Sections 4.3.1 and 4.3.2.
+	MatchedLayout bool
+	PostFabTuning bool
+	// Tuning parameterises the post-fabrication tuning procedure.
+	Tuning variation.TuningSpec
+	// ReadoutNoiseSigma is the relative error of sensing a node voltage at
+	// the periphery (ADC/sense-amp imprecision), applied per edge in the
+	// behavioural model.
+	ReadoutNoiseSigma float64
+	// SettleCyclesPerWave calibrates the convergence-time model: the number
+	// of op-amp open-loop time constants one settling wave takes.  The value
+	// 3 matches the small-circuit transient simulations of internal/mna.
+	SettleCyclesPerWave float64
+	// Power is the Section 5.2 analytical power model.
+	Power power.Model
+	// PruneGraph enables the s-t-core preprocessing pass before mapping the
+	// graph onto the substrate.
+	PruneGraph bool
+	// Seed drives all stochastic models (variation draws, readout noise).
+	Seed int64
+}
+
+// DefaultParams returns the Table 1 configuration of the paper with the
+// behavioural solver and both variation mitigations enabled.
+func DefaultParams() Params {
+	return Params{
+		Mode:                ModeBehavioral,
+		Crossbar:            crossbar.DefaultConfig(),
+		Quantization:        quantize.DefaultScheme(),
+		Builder:             builder.DefaultOptions(),
+		VflowMultiplier:     3,
+		Variation:           variation.DefaultMatched(),
+		MatchedLayout:       true,
+		PostFabTuning:       true,
+		Tuning:              variation.DefaultTuning(),
+		ReadoutNoiseSigma:   0.01,
+		SettleCyclesPerWave: 3,
+		Power:               power.DefaultModel(),
+		PruneGraph:          true,
+		Seed:                1,
+	}
+}
+
+// Validate checks parameter consistency.
+func (p Params) Validate() error {
+	switch p.Mode {
+	case ModeBehavioral, ModeCircuit:
+	default:
+		return fmt.Errorf("core: unknown mode %v", p.Mode)
+	}
+	if err := p.Crossbar.Validate(); err != nil {
+		return err
+	}
+	if err := p.Quantization.Validate(); err != nil {
+		return err
+	}
+	if err := p.Builder.Validate(); err != nil {
+		return err
+	}
+	if p.VflowMultiplier <= 0 {
+		return fmt.Errorf("core: Vflow multiplier must be positive, got %g", p.VflowMultiplier)
+	}
+	if err := p.Variation.Validate(); err != nil {
+		return err
+	}
+	if err := p.Tuning.Validate(); err != nil {
+		return err
+	}
+	if p.ReadoutNoiseSigma < 0 {
+		return fmt.Errorf("core: negative readout noise sigma")
+	}
+	if p.SettleCyclesPerWave <= 0 {
+		return fmt.Errorf("core: settle cycles per wave must be positive")
+	}
+	if err := p.Power.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DefaultCleanVariation returns a variation profile with no process
+// variation and no parasitics, for studying the substrate's intrinsic
+// (quantization- and gain-limited) accuracy in isolation.
+func DefaultCleanVariation() variation.Profile {
+	return variation.Profile{}
+}
+
+// GBW returns the op-amp gain-bandwidth product used by the substrate; a
+// convenience for experiments that sweep it.
+func (p Params) GBW() float64 { return p.Builder.OpAmp.GBW }
+
+// WithGBW returns a copy of the parameters with a different op-amp GBW.
+func (p Params) WithGBW(gbw float64) Params {
+	p.Builder.OpAmp.GBW = gbw
+	return p
+}
+
+// WithLevels returns a copy of the parameters with a different number of
+// quantization levels.
+func (p Params) WithLevels(n int) Params {
+	p.Quantization.Levels = n
+	return p
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"analogflow/internal/graph"
+	"analogflow/internal/maxflow"
+	"analogflow/internal/quantize"
+)
+
+// Result is the outcome of one analog max-flow solve.
+type Result struct {
+	// Flow is the recovered flow on the original graph's edge indexing, in
+	// the original capacity units.
+	Flow *graph.Flow
+	// FlowValue is the net flow out of the source as read from the
+	// substrate, in capacity units.
+	FlowValue float64
+	// ExactValue is the true maximum flow of the instance (computed with
+	// Dinic's algorithm for reference), and RelativeError the deviation of
+	// the analog reading from it — the right-hand axis of Figure 10.
+	ExactValue    float64
+	RelativeError float64
+	// EdgeVoltages are the steady-state voltages of the edge nodes x_i, in
+	// volts (quantized domain).
+	EdgeVoltages []float64
+	// Quantization is the voltage-level assignment used.
+	Quantization *quantize.Result
+	// ConvergenceTime is the modelled (behavioural) or measured (circuit
+	// transient) settling time of the substrate, in seconds.
+	ConvergenceTime float64
+	// ProgrammingTime is the crossbar configuration time (Section 3.1).
+	ProgrammingTime float64
+	// SubstratePower and Energy follow the Section 5.2 analytical model.
+	SubstratePower float64
+	Energy         float64
+	// Waves is the number of settling waves the convergence model assumed
+	// (circuit mode reports Newton iterations here).
+	Waves int
+	// PrunedVertices / PrunedEdges report the preprocessing reductions.
+	PrunedVertices, PrunedEdges int
+	// Mode records which solver produced the result.
+	Mode Mode
+	// CircuitDescription summarises the constructed netlist (circuit mode
+	// and waveform runs only).
+	CircuitDescription string
+}
+
+// Solver is a configured analog max-flow substrate.
+type Solver struct {
+	params Params
+	rng    *rand.Rand
+}
+
+// NewSolver validates the parameters and returns a solver.
+func NewSolver(p Params) (*Solver, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Solver{params: p, rng: rand.New(rand.NewSource(p.Seed))}, nil
+}
+
+// Params returns the solver's parameters.
+func (s *Solver) Params() Params { return s.params }
+
+// Solve runs the configured pipeline on g.
+func (s *Solver) Solve(g *graph.Graph) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumVertices() > s.params.Crossbar.Rows || g.NumVertices() > s.params.Crossbar.Cols {
+		return nil, fmt.Errorf("core: graph with %d vertices exceeds the %dx%d crossbar",
+			g.NumVertices(), s.params.Crossbar.Rows, s.params.Crossbar.Cols)
+	}
+	switch s.params.Mode {
+	case ModeCircuit:
+		return s.solveCircuit(g)
+	default:
+		return s.solveBehavioral(g)
+	}
+}
+
+// prepared is the common front half of both pipelines.
+//
+// The original graph is first reduced to its s-t core (optional), then
+// quantized onto the voltage levels, and finally reduced again because
+// capacities below one quantization step map to level 0 and disappear from
+// the substrate.  The bookkeeping needed to map flows on the final "work"
+// graph back to the original indexing is kept alongside.
+type prepared struct {
+	original *graph.Graph
+	pr1      *graph.PruneResult // original -> core (nil when pruning disabled)
+	core     *graph.Graph       // s-t core of the original
+	qres     *quantize.Result   // quantization of core (per core edge)
+	pr2      *graph.PruneResult // quantized core -> work
+	work     *graph.Graph       // the graph actually mapped onto the substrate
+	clamps   []float64          // clamp voltage per work edge
+}
+
+// empty reports whether nothing can be mapped onto the substrate (max-flow 0
+// after preprocessing).
+func (p *prepared) empty() bool { return p == nil || p.work == nil || p.work.NumEdges() == 0 }
+
+// removedVertices / removedEdges aggregate both pruning passes.
+func (p *prepared) removedVertices() int {
+	n := 0
+	if p.pr1 != nil {
+		n += p.pr1.RemovedVertices
+	}
+	if p.pr2 != nil {
+		n += p.pr2.RemovedVertices
+	}
+	return n
+}
+
+func (p *prepared) removedEdges() int {
+	n := 0
+	if p.pr1 != nil {
+		n += p.pr1.RemovedEdges
+	}
+	if p.pr2 != nil {
+		n += p.pr2.RemovedEdges
+	}
+	return n
+}
+
+// clampOf returns the clamp voltage of work edge i.
+func (p *prepared) clampOf(i int) float64 { return p.clamps[i] }
+
+// expandFlow maps a flow on the work graph back to the original indexing.
+func (p *prepared) expandFlow(f *graph.Flow) *graph.Flow {
+	onCore := f
+	if p.pr2 != nil {
+		onCore = p.pr2.ExpandFlow(p.core, f)
+	}
+	if p.pr1 != nil {
+		return p.pr1.ExpandFlow(p.original, onCore)
+	}
+	out := onCore.Clone()
+	out.RecomputeValue(p.original)
+	return out
+}
+
+// prepare runs pruning and quantization.
+func (s *Solver) prepare(g *graph.Graph) (*prepared, error) {
+	p := &prepared{original: g}
+	coreGraph := g
+	if s.params.PruneGraph {
+		p.pr1 = graph.PruneToSTCore(g)
+		coreGraph = p.pr1.Graph
+	}
+	p.core = coreGraph
+	if coreGraph.NumEdges() == 0 {
+		return p, nil
+	}
+	qres, err := quantize.Quantize(coreGraph, s.params.Quantization)
+	if err != nil {
+		return nil, err
+	}
+	p.qres = qres
+	qGraph, err := coreGraph.WithCapacities(qres.QuantizedCapacities())
+	if err != nil {
+		return nil, err
+	}
+	// Drop edges that quantized to level 0 (and whatever becomes dead
+	// because of it).
+	p.pr2 = graph.PruneToSTCore(qGraph)
+	p.work = p.pr2.Graph
+	p.clamps = make([]float64, p.work.NumEdges())
+	for i := range p.clamps {
+		p.clamps[i] = qres.EdgeVoltages[p.pr2.EdgeMap[i]]
+	}
+	return p, nil
+}
+
+// finalize fills the metrics common to both modes and maps the work-domain
+// flow back onto the original graph.
+func (s *Solver) finalize(res *Result, prep *prepared, workFlow *graph.Flow) error {
+	res.PrunedVertices = prep.removedVertices()
+	res.PrunedEdges = prep.removedEdges()
+	res.Flow = prep.expandFlow(workFlow)
+	exact, err := maxflow.OptimalValue(prep.original)
+	if err != nil {
+		return err
+	}
+	res.ExactValue = exact
+	if exact != 0 {
+		res.RelativeError = math.Abs(res.FlowValue-exact) / exact
+	} else {
+		res.RelativeError = math.Abs(res.FlowValue)
+	}
+	res.ProgrammingTime = float64(prep.work.NumVertices()) * s.params.Crossbar.CycleTime
+	res.SubstratePower = s.params.Power.SubstratePower(prep.work.NumVertices(), prep.work.NumEdges())
+	res.Energy = s.params.Power.Energy(prep.work.NumVertices(), prep.work.NumEdges(), res.ConvergenceTime)
+	return nil
+}
+
+// emptyResult handles instances with no usable s-t structure (max-flow 0).
+func (s *Solver) emptyResult(prep *prepared, mode Mode) *Result {
+	res := &Result{
+		Flow:      graph.NewFlow(prep.original),
+		FlowValue: 0,
+		Mode:      mode,
+	}
+	res.PrunedVertices = prep.removedVertices()
+	res.PrunedEdges = prep.removedEdges()
+	return res
+}
+
+// convergenceTimeModel implements the settling-time model used for the
+// Figure 10 reproduction: the substrate converges through a sequence of
+// constraint-activation "waves" (roughly, a capacity clamp engaging and the
+// conservation widgets re-balancing around it); each wave settles with the
+// op-amp-dominated time constant A/(2*pi*GBW), plus the RC settling of the
+// parasitic capacitance through the widget resistance.
+func (s *Solver) convergenceTimeModel(pruned *graph.Graph, saturatedEdges int) (float64, int) {
+	depth := graph.LongestAugmentingDepth(pruned)
+	if depth < 1 {
+		depth = 1
+	}
+	waves := depth + int(math.Ceil(math.Log2(float64(saturatedEdges+2))))
+	opAmp := s.params.Builder.OpAmp
+	perWave := s.params.SettleCyclesPerWave*(opAmp.Gain/(2*math.Pi*opAmp.GBW)) +
+		s.params.SettleCyclesPerWave*s.params.Builder.WidgetResistance*s.params.Builder.ParasiticCapacitance
+	return float64(waves) * perWave, waves
+}
+
+// vflowVoltage picks the objective drive level: the Table 1 multiplier of the
+// supply, automatically raised for deep graphs so that the drive saturates
+// the longest chain of conservation widgets (the voltage-divider attenuation
+// along a chain of k widgets is roughly 1/(2k+1)).
+func (s *Solver) vflowVoltage(pruned *graph.Graph) float64 {
+	depth := graph.LongestAugmentingDepth(pruned)
+	base := s.params.VflowMultiplier * s.params.Quantization.Vdd
+	needed := float64(2*depth+4) * s.params.Quantization.Vdd
+	if needed > base {
+		return needed
+	}
+	return base
+}

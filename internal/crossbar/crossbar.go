@@ -1,0 +1,366 @@
+// Package crossbar implements the reconfigurable memristor crossbar
+// architecture of Section 3 of the paper: an n x n array of cells, each
+// containing the analog widget for one potential edge (i, j) behind a
+// memristor switch.  Programming the switches to the low-resistance state
+// (LRS) for exactly the edges of a graph turns the crossbar into a physical
+// copy of the graph's adjacency matrix; the first row implements the
+// objective coupling for the source vertex.
+//
+// The package models the row-by-row half-select programming protocol of
+// Section 3.1 at the device level (threshold switching with finite pulse
+// times), provides verification and utilisation reporting, and exposes the
+// post-fabrication tuning hook of Section 4.3.2.
+package crossbar
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"analogflow/internal/device"
+	"analogflow/internal/graph"
+	"analogflow/internal/variation"
+)
+
+// Config describes a crossbar instance.
+type Config struct {
+	// Rows and Cols give the array dimensions; a graph with n vertices needs
+	// an n x n array (Table 1 uses 1000 x 1000).
+	Rows, Cols int
+	// Memristor is the switch/resistor device model.
+	Memristor device.MemristorModel
+	// ProgramHigh and ProgramLow are the column and row programming voltages
+	// of the half-select scheme; their difference must exceed the memristor
+	// threshold while each in isolation must not.
+	ProgramHigh, ProgramLow float64
+	// CycleTime is the duration of one programming cycle (one row).
+	CycleTime float64
+	// VariationSigma, when positive, draws each cell's LRS resistance from a
+	// lognormal distribution to model process variation.
+	VariationSigma float64
+	// Seed makes variation reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the Table 1 crossbar: 1000 x 1000 cells, the default
+// memristor model, and a conservative 100 ns programming cycle.
+func DefaultConfig() Config {
+	return Config{
+		Rows:        1000,
+		Cols:        1000,
+		Memristor:   device.DefaultMemristor(),
+		ProgramHigh: 1.0,
+		ProgramLow:  -1.0,
+		CycleTime:   100e-9,
+	}
+}
+
+// Validate checks the configuration, including the half-select condition.
+func (c Config) Validate() error {
+	if c.Rows < 2 || c.Cols < 2 {
+		return fmt.Errorf("crossbar: need at least a 2x2 array, got %dx%d", c.Rows, c.Cols)
+	}
+	if err := c.Memristor.Validate(); err != nil {
+		return err
+	}
+	if c.CycleTime <= 0 {
+		return fmt.Errorf("crossbar: cycle time must be positive, got %g", c.CycleTime)
+	}
+	full := c.ProgramHigh - c.ProgramLow
+	if full <= c.Memristor.VThreshold {
+		return fmt.Errorf("crossbar: full-select voltage %g does not exceed threshold %g", full, c.Memristor.VThreshold)
+	}
+	if c.ProgramHigh >= c.Memristor.VThreshold || -c.ProgramLow >= c.Memristor.VThreshold {
+		return fmt.Errorf("crossbar: half-select voltages must stay below the threshold (high=%g low=%g threshold=%g)",
+			c.ProgramHigh, c.ProgramLow, c.Memristor.VThreshold)
+	}
+	if c.CycleTime < c.Memristor.SwitchTime {
+		return fmt.Errorf("crossbar: cycle time %g shorter than the memristor switch time %g", c.CycleTime, c.Memristor.SwitchTime)
+	}
+	if c.VariationSigma < 0 {
+		return fmt.Errorf("crossbar: negative variation sigma")
+	}
+	return nil
+}
+
+// ErrGraphTooLarge is returned when a graph does not fit onto the array.
+var ErrGraphTooLarge = errors.New("crossbar: graph does not fit onto the array")
+
+// Crossbar is a programmable memristor array.
+type Crossbar struct {
+	cfg   Config
+	cells [][]*device.Memristor
+	// configuredFor remembers the last successfully configured graph.
+	configuredFor *graph.Graph
+	// programmingCycles counts total row cycles issued over the lifetime of
+	// the array (endurance accounting).
+	programmingCycles int
+}
+
+// New builds a crossbar with all cells in HRS.
+func New(cfg Config) (*Crossbar, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := cfg.Memristor
+	model.VariationSigma = cfg.VariationSigma
+	cells := make([][]*device.Memristor, cfg.Rows)
+	for i := range cells {
+		cells[i] = make([]*device.Memristor, cfg.Cols)
+		for j := range cells[i] {
+			cells[i][j] = device.NewMemristorWithVariation(model, rng)
+		}
+	}
+	return &Crossbar{cfg: cfg, cells: cells}, nil
+}
+
+// Config returns the crossbar configuration.
+func (x *Crossbar) Config() Config { return x.cfg }
+
+// Cell returns the memristor at intersection (row, col).
+func (x *Crossbar) Cell(row, col int) *device.Memristor { return x.cells[row][col] }
+
+// State returns the switch state at (row, col).
+func (x *Crossbar) State(row, col int) device.MemristorState { return x.cells[row][col].State() }
+
+// ProgrammingCycles returns the number of row programming cycles issued.
+func (x *Crossbar) ProgrammingCycles() int { return x.programmingCycles }
+
+// ConfigurationReport summarises one configuration run.
+type ConfigurationReport struct {
+	// Cycles is the number of row cycles used (one per row, Section 3.1).
+	Cycles int
+	// ProgrammingTime is Cycles * CycleTime.
+	ProgrammingTime float64
+	// CellsSet is the number of switches programmed to LRS.
+	CellsSet int
+	// CellsCleared is the number of switches reset to HRS.
+	CellsCleared int
+	// HalfSelectDisturbances counts cells that unintentionally changed state
+	// during programming; it must be zero for a correct half-select design.
+	HalfSelectDisturbances int
+}
+
+// Fits reports whether the graph can be mapped onto the array (one row and
+// one column per vertex).
+func (x *Crossbar) Fits(g *graph.Graph) bool {
+	return g.NumVertices() <= x.cfg.Rows && g.NumVertices() <= x.cfg.Cols
+}
+
+// Configure programs the crossbar to encode the adjacency matrix of g using
+// the row-by-row half-select protocol of Section 3.1, with device-level
+// threshold switching.  Previously programmed cells that are not part of g
+// are reset first.
+func (x *Crossbar) Configure(g *graph.Graph) (*ConfigurationReport, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !x.Fits(g) {
+		return nil, fmt.Errorf("%w: %d vertices onto %dx%d", ErrGraphTooLarge, g.NumVertices(), x.cfg.Rows, x.cfg.Cols)
+	}
+	want := make([][]bool, x.cfg.Rows)
+	for i := range want {
+		want[i] = make([]bool, x.cfg.Cols)
+	}
+	for _, e := range g.Edges() {
+		want[e.From][e.To] = true
+	}
+
+	rep := &ConfigurationReport{}
+	before := make([][]device.MemristorState, x.cfg.Rows)
+	for i := range before {
+		before[i] = make([]device.MemristorState, x.cfg.Cols)
+		for j := range before[i] {
+			before[i][j] = x.cells[i][j].State()
+		}
+	}
+
+	// Reset pass: rows whose cells need clearing get a reverse pulse on the
+	// affected columns (same half-select scheme with inverted polarity).
+	for row := 0; row < x.cfg.Rows; row++ {
+		needsClear := false
+		for col := 0; col < x.cfg.Cols; col++ {
+			if !want[row][col] && x.cells[row][col].State() == device.LRS {
+				needsClear = true
+				break
+			}
+		}
+		if !needsClear {
+			continue
+		}
+		rep.Cycles++
+		x.programmingCycles++
+		for col := 0; col < x.cfg.Cols; col++ {
+			v := x.cellProgrammingVoltage(true, !want[row][col] && x.cells[row][col].State() == device.LRS)
+			if x.cells[row][col].ApplyStimulus(v, x.cfg.CycleTime) {
+				rep.CellsCleared++
+			}
+		}
+	}
+
+	// Set pass: one cycle per row (Section 3.1: "The programming stage takes
+	// n cycles to complete, one cycle for each row").
+	for row := 0; row < g.NumVertices(); row++ {
+		rep.Cycles++
+		x.programmingCycles++
+		for col := 0; col < x.cfg.Cols; col++ {
+			v := x.cellProgrammingVoltage(false, want[row][col] && x.cells[row][col].State() == device.HRS)
+			if x.cells[row][col].ApplyStimulus(v, x.cfg.CycleTime) {
+				rep.CellsSet++
+			}
+		}
+	}
+
+	// Verify and count disturbances.
+	for i := 0; i < x.cfg.Rows; i++ {
+		for j := 0; j < x.cfg.Cols; j++ {
+			wantState := device.HRS
+			if want[i][j] {
+				wantState = device.LRS
+			}
+			got := x.cells[i][j].State()
+			if got != wantState {
+				rep.HalfSelectDisturbances++
+			}
+		}
+	}
+	rep.ProgrammingTime = float64(rep.Cycles) * x.cfg.CycleTime
+	if rep.HalfSelectDisturbances > 0 {
+		return rep, fmt.Errorf("crossbar: %d cells in the wrong state after programming", rep.HalfSelectDisturbances)
+	}
+	x.configuredFor = g.Clone()
+	return rep, nil
+}
+
+// cellProgrammingVoltage returns the voltage across a cell during one cycle
+// of the half-select scheme.  reset selects the polarity; selected marks the
+// cell as the target of the pulse (full select); unselected cells see only
+// the half-select row or column voltage.
+func (x *Crossbar) cellProgrammingVoltage(reset, selected bool) float64 {
+	full := x.cfg.ProgramHigh - x.cfg.ProgramLow
+	half := -x.cfg.ProgramLow
+	if reset {
+		full, half = -full, -half
+	}
+	if selected {
+		return full
+	}
+	return half
+}
+
+// Verify checks that the programmed switch states encode exactly the
+// adjacency matrix of g.
+func (x *Crossbar) Verify(g *graph.Graph) error {
+	if !x.Fits(g) {
+		return ErrGraphTooLarge
+	}
+	want := make(map[[2]int]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		want[[2]int{e.From, e.To}] = true
+	}
+	for i := 0; i < x.cfg.Rows; i++ {
+		for j := 0; j < x.cfg.Cols; j++ {
+			expect := device.HRS
+			if want[[2]int{i, j}] {
+				expect = device.LRS
+			}
+			if got := x.cells[i][j].State(); got != expect {
+				return fmt.Errorf("crossbar: cell (%d,%d) is %v, want %v", i, j, got, expect)
+			}
+		}
+	}
+	return nil
+}
+
+// Utilization returns the fraction of cells in LRS, the paper's motivation
+// for the clustered architectures of Section 6.2 (sparse graphs waste most of
+// a monolithic crossbar).
+func (x *Crossbar) Utilization() float64 {
+	on := 0
+	for i := range x.cells {
+		for _, c := range x.cells[i] {
+			if c.State() == device.LRS {
+				on++
+			}
+		}
+	}
+	return float64(on) / float64(x.cfg.Rows*x.cfg.Cols)
+}
+
+// ActiveCells returns the number of LRS cells (edges present).
+func (x *Crossbar) ActiveCells() int {
+	on := 0
+	for i := range x.cells {
+		for _, c := range x.cells[i] {
+			if c.State() == device.LRS {
+				on++
+			}
+		}
+	}
+	return on
+}
+
+// ReadBackGraph reconstructs the encoded adjacency (with unit capacities)
+// from the switch states; the capacities themselves live in the clamp
+// voltage sources, not the switches.
+func (x *Crossbar) ReadBackGraph(source, sink, vertices int) (*graph.Graph, error) {
+	if vertices > x.cfg.Rows || vertices > x.cfg.Cols {
+		return nil, ErrGraphTooLarge
+	}
+	g, err := graph.New(vertices, source, sink)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < vertices; i++ {
+		for j := 0; j < vertices; j++ {
+			if i != j && x.cells[i][j].State() == device.LRS {
+				if _, err := g.AddEdge(i, j, 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// TuneActiveCells runs the Section 4.3.2 post-fabrication tuning procedure on
+// every LRS cell, pulling its resistance toward the nominal LRS value.  It
+// returns the worst and mean remaining relative error.
+func (x *Crossbar) TuneActiveCells(spec variation.TuningSpec) (worst, mean float64, err error) {
+	var active []*device.Memristor
+	for i := range x.cells {
+		for _, c := range x.cells[i] {
+			if c.State() == device.LRS {
+				active = append(active, c)
+			}
+		}
+	}
+	worst, mean, _, err = variation.TuneAll(active, x.cfg.Memristor.RLRS, spec)
+	return worst, mean, err
+}
+
+// AreaReport summarises array sizing for a graph, used by the Section 6.2
+// utilisation comparison between monolithic and clustered architectures.
+type AreaReport struct {
+	// CellsTotal is Rows*Cols of the smallest square array that fits the
+	// graph (|V| x |V|).
+	CellsTotal int
+	// CellsUsed is the number of edges (LRS cells).
+	CellsUsed int
+	// Utilization is CellsUsed / CellsTotal.
+	Utilization float64
+}
+
+// AreaFor reports the monolithic-crossbar area cost of a graph, independent
+// of any particular array instance.
+func AreaFor(g *graph.Graph) AreaReport {
+	n := g.NumVertices()
+	total := n * n
+	used := g.NumEdges()
+	return AreaReport{
+		CellsTotal:  total,
+		CellsUsed:   used,
+		Utilization: float64(used) / float64(total),
+	}
+}

@@ -1,0 +1,235 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"analogflow/internal/device"
+	"analogflow/internal/graph"
+	"analogflow/internal/rmat"
+	"analogflow/internal/variation"
+)
+
+// smallConfig returns a small array with fast programming for tests.
+func smallConfig(n int) Config {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = n, n
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Rows = 1 },
+		func(c *Config) { c.Memristor.RLRS = 0 },
+		func(c *Config) { c.CycleTime = 0 },
+		func(c *Config) { c.ProgramHigh, c.ProgramLow = 0.5, -0.5 },    // full select below threshold
+		func(c *Config) { c.ProgramHigh = 2 * c.Memristor.VThreshold }, // half select above threshold
+		func(c *Config) { c.CycleTime = c.Memristor.SwitchTime / 2 },
+		func(c *Config) { c.VariationSigma = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Errorf("zero config accepted")
+	}
+}
+
+func TestNewStartsAllHRS(t *testing.T) {
+	x, err := New(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.ActiveCells() != 0 || x.Utilization() != 0 {
+		t.Errorf("new crossbar should have no active cells")
+	}
+	if x.Config().Rows != 8 {
+		t.Errorf("config accessor wrong")
+	}
+	if x.State(0, 0) != device.HRS {
+		t.Errorf("cells should start in HRS")
+	}
+}
+
+func TestConfigureFigure5(t *testing.T) {
+	g := graph.PaperFigure5()
+	x, err := New(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := x.Configure(g)
+	if err != nil {
+		t.Fatalf("Configure: %v (report %+v)", err, rep)
+	}
+	if rep.CellsSet != g.NumEdges() {
+		t.Errorf("cells set %d, want %d", rep.CellsSet, g.NumEdges())
+	}
+	if rep.HalfSelectDisturbances != 0 {
+		t.Errorf("half-select disturbances: %d", rep.HalfSelectDisturbances)
+	}
+	if rep.Cycles != g.NumVertices() {
+		t.Errorf("programming cycles %d, want %d (one per row)", rep.Cycles, g.NumVertices())
+	}
+	if math.Abs(rep.ProgrammingTime-float64(rep.Cycles)*x.Config().CycleTime) > 1e-18 {
+		t.Errorf("programming time inconsistent")
+	}
+	if err := x.Verify(g); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// The edge (s, n1) exists, (n1, s) does not.
+	if x.State(0, 1) != device.LRS || x.State(1, 0) != device.HRS {
+		t.Errorf("switch states do not match adjacency")
+	}
+	if x.ActiveCells() != g.NumEdges() {
+		t.Errorf("active cells %d, want %d", x.ActiveCells(), g.NumEdges())
+	}
+	wantUtil := float64(g.NumEdges()) / 64
+	if math.Abs(x.Utilization()-wantUtil) > 1e-12 {
+		t.Errorf("utilization %g, want %g", x.Utilization(), wantUtil)
+	}
+	if x.ProgrammingCycles() != rep.Cycles {
+		t.Errorf("lifetime cycle counter wrong")
+	}
+}
+
+func TestReconfigure(t *testing.T) {
+	x, err := New(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := graph.PaperFigure5()
+	if _, err := x.Configure(g1); err != nil {
+		t.Fatal(err)
+	}
+	// Second graph with a different topology on the same substrate —
+	// the central reconfigurability claim of the paper.
+	g2 := graph.MustNew(4, 0, 3)
+	g2.MustAddEdge(0, 2, 1)
+	g2.MustAddEdge(2, 3, 1)
+	rep, err := x.Configure(g2)
+	if err != nil {
+		t.Fatalf("reconfigure: %v", err)
+	}
+	if err := x.Verify(g2); err != nil {
+		t.Errorf("after reconfiguration: %v", err)
+	}
+	if rep.CellsCleared == 0 {
+		t.Errorf("reconfiguration should have cleared stale cells")
+	}
+	// Old edges are gone.
+	if x.State(0, 1) != device.HRS {
+		t.Errorf("stale cell (0,1) still set")
+	}
+}
+
+func TestConfigureTooLarge(t *testing.T) {
+	x, err := New(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rmat.MustGenerate(rmat.DefaultParams(16, 32, 1))
+	if x.Fits(graph.PaperFigure5()) {
+		t.Errorf("the 5-vertex Figure 5 graph should not fit a 4x4 array")
+	}
+	if _, err := x.Configure(g); err == nil {
+		t.Errorf("oversized graph accepted")
+	}
+	if _, err := x.ReadBackGraph(0, 15, 16); err == nil {
+		t.Errorf("oversized readback accepted")
+	}
+}
+
+func TestReadBackGraph(t *testing.T) {
+	g := graph.PaperFigure5()
+	x, err := New(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Configure(g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := x.ReadBackGraph(g.Source(), g.Sink(), g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("read back %d edges, want %d", back.NumEdges(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !back.HasEdge(e.From, e.To) {
+			t.Errorf("edge (%d,%d) missing from readback", e.From, e.To)
+		}
+	}
+}
+
+func TestRandomGraphConfiguration(t *testing.T) {
+	g := rmat.MustGenerate(rmat.DefaultParams(64, 256, 9))
+	cfg := smallConfig(64)
+	x, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := x.Configure(g)
+	if err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	if rep.CellsSet != g.NumEdges() {
+		t.Errorf("cells set %d, want %d", rep.CellsSet, g.NumEdges())
+	}
+	if err := x.Verify(g); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestTuneActiveCells(t *testing.T) {
+	cfg := smallConfig(8)
+	cfg.VariationSigma = 0.1
+	cfg.Seed = 7
+	x, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Configure(graph.PaperFigure5()); err != nil {
+		t.Fatal(err)
+	}
+	// Before tuning, at least one active cell deviates noticeably.
+	preWorst := 0.0
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if x.State(i, j) == device.LRS {
+				dev := math.Abs(x.Cell(i, j).LRSResistance()-cfg.Memristor.RLRS) / cfg.Memristor.RLRS
+				if dev > preWorst {
+					preWorst = dev
+				}
+			}
+		}
+	}
+	if preWorst < 0.01 {
+		t.Fatalf("variation too small to exercise tuning: %g", preWorst)
+	}
+	worst, mean, err := x.TuneActiveCells(variation.DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > variation.DefaultTuning().TargetPrecision || mean > worst {
+		t.Errorf("tuning left worst=%g mean=%g", worst, mean)
+	}
+}
+
+func TestAreaFor(t *testing.T) {
+	g := graph.PaperFigure5()
+	rep := AreaFor(g)
+	if rep.CellsTotal != 25 || rep.CellsUsed != 5 {
+		t.Errorf("area report wrong: %+v", rep)
+	}
+	if math.Abs(rep.Utilization-0.2) > 1e-12 {
+		t.Errorf("utilization %g, want 0.2", rep.Utilization)
+	}
+}

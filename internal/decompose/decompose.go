@@ -1,0 +1,381 @@
+// Package decompose implements the dual-decomposition scheme of Section 6.4
+// of the paper, which lets a bounded-size substrate solve instances larger
+// than its crossbar by splitting the problem into overlapping subproblems and
+// iterating to consensus on the shared variables.
+//
+// Following the paper (and Strandmark & Kahl, which it cites), the graph's
+// vertices are split into two overlapping regions M and N; each region keeps
+// the edges between its vertices, the capacities of edges inside the overlap
+// are halved between the two copies, and a Lagrange multiplier per overlap
+// *vertex* prices flow imbalance between the copies.  Each outer iteration
+// solves the two region subproblems independently — on the analog substrate
+// in a real deployment, with any max-flow oracle here — and updates the
+// multipliers by (sub)gradient ascent until the shared quantities agree.
+package decompose
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"analogflow/internal/graph"
+	"analogflow/internal/maxflow"
+)
+
+// Oracle solves a max-flow subproblem.  The production substrate would be an
+// analog solver (core.Solver); the tests also use the exact combinatorial
+// solver.
+type Oracle func(g *graph.Graph) (*graph.Flow, error)
+
+// ExactOracle is the default subproblem solver (Dinic's algorithm).
+func ExactOracle(g *graph.Graph) (*graph.Flow, error) { return maxflow.SolveDinic(g) }
+
+// Options configures the decomposition.
+type Options struct {
+	// MaxIterations bounds the outer multiplier-update loop.
+	MaxIterations int
+	// StepSize is the initial subgradient step; it decays as 1/sqrt(k).
+	StepSize float64
+	// Tolerance is the consensus tolerance on the overlap imbalance,
+	// relative to the current flow value.
+	Tolerance float64
+	// Oracle solves the subproblems; nil selects ExactOracle.
+	Oracle Oracle
+}
+
+// DefaultOptions returns a configuration that converges on the evaluation
+// workloads within a few tens of iterations.
+func DefaultOptions() Options {
+	return Options{MaxIterations: 60, StepSize: 0.5, Tolerance: 0.02}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.MaxIterations < 1 {
+		return fmt.Errorf("decompose: need at least one iteration")
+	}
+	if o.StepSize <= 0 {
+		return fmt.Errorf("decompose: step size must be positive")
+	}
+	if o.Tolerance <= 0 {
+		return fmt.Errorf("decompose: tolerance must be positive")
+	}
+	return nil
+}
+
+// Partition splits the vertex set into two overlapping regions.
+type Partition struct {
+	// InM and InN mark region membership; overlap vertices are in both.
+	InM, InN []bool
+}
+
+// Validate checks that the partition covers every vertex, that the overlap is
+// non-empty (otherwise the regions cannot communicate), and that both
+// terminals are covered.
+func (p Partition) Validate(g *graph.Graph) error {
+	n := g.NumVertices()
+	if len(p.InM) != n || len(p.InN) != n {
+		return fmt.Errorf("decompose: partition length mismatch")
+	}
+	overlap := 0
+	for v := 0; v < n; v++ {
+		if !p.InM[v] && !p.InN[v] {
+			return fmt.Errorf("decompose: vertex %d not covered by either region", v)
+		}
+		if p.InM[v] && p.InN[v] {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		return errors.New("decompose: regions do not overlap")
+	}
+	return nil
+}
+
+// BisectByBFS builds a balanced two-region partition with a one-ring overlap:
+// vertices are levelled by BFS distance from the source and split at the
+// median level; the boundary level belongs to both regions.
+func BisectByBFS(g *graph.Graph) Partition {
+	n := g.NumVertices()
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[g.Source()] = 0
+	queue := []int{g.Source()}
+	maxLevel := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ei := range g.OutEdges(v) {
+			e := g.Edge(ei)
+			if level[e.To] < 0 {
+				level[e.To] = level[v] + 1
+				if level[e.To] > maxLevel {
+					maxLevel = level[e.To]
+				}
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	split := maxLevel / 2
+	p := Partition{InM: make([]bool, n), InN: make([]bool, n)}
+	for v := 0; v < n; v++ {
+		l := level[v]
+		switch {
+		case l < 0:
+			// Unreachable vertices go to both regions; they carry no flow.
+			p.InM[v], p.InN[v] = true, true
+		case l < split:
+			p.InM[v] = true
+		case l > split:
+			p.InN[v] = true
+		default:
+			p.InM[v], p.InN[v] = true, true
+		}
+	}
+	// The terminals must belong to their natural sides even if BFS placed
+	// them oddly (e.g. a source-adjacent sink).
+	p.InM[g.Source()] = true
+	p.InN[g.Sink()] = true
+	return p
+}
+
+// Result is the outcome of the decomposition.
+type Result struct {
+	// FlowValue is the consensus flow value (the average of the two region
+	// readings at the final iterate).
+	FlowValue float64
+	// Iterations is the number of outer iterations used.
+	Iterations int
+	// Converged reports whether the overlap imbalance fell below tolerance.
+	Converged bool
+	// Imbalance is the final relative overlap imbalance.
+	Imbalance float64
+	// SubproblemSizes reports |V| of the two region subproblems, to verify
+	// that each fits the substrate.
+	SubproblemSizes [2]int
+	// History records the flow-value estimate per iteration.
+	History []float64
+}
+
+// region is one side of the decomposition with its vertex mapping.
+type region struct {
+	graph      *graph.Graph
+	localOf    []int // localOf[global] = local index or -1
+	globalOf   []int
+	overlapSet []int // global ids of overlap vertices present in this region
+}
+
+// buildRegion extracts the subgraph induced by the region's vertices.  The
+// capacities of edges with both endpoints in the overlap are halved, per the
+// paper's E_M / E_N construction; lambda prices per-overlap-vertex throughput
+// by adjusting the capacity of a virtual bypass edge source->overlap vertex
+// (positive lambda encourages region M to push more through that vertex).
+func buildRegion(g *graph.Graph, in []bool, other []bool) (*region, error) {
+	n := g.NumVertices()
+	r := &region{localOf: make([]int, n)}
+	for v := 0; v < n; v++ {
+		r.localOf[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if in[v] {
+			r.localOf[v] = len(r.globalOf)
+			r.globalOf = append(r.globalOf, v)
+			if other[v] {
+				r.overlapSet = append(r.overlapSet, v)
+			}
+		}
+	}
+	src := r.localOf[g.Source()]
+	sink := r.localOf[g.Sink()]
+	// A region that lacks a terminal gets a virtual one appended.
+	nLocal := len(r.globalOf)
+	if src < 0 {
+		src = nLocal
+		nLocal++
+	}
+	if sink < 0 {
+		sink = nLocal
+		nLocal++
+	}
+	rg, err := graph.New(nLocal, src, sink)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range g.Edges() {
+		lu, lv := r.localOf[e.From], r.localOf[e.To]
+		if lu < 0 || lv < 0 {
+			continue
+		}
+		c := e.Capacity
+		if in[e.From] && other[e.From] && in[e.To] && other[e.To] {
+			c /= 2
+		}
+		if _, err := rg.AddEdge(lu, lv, c); err != nil {
+			return nil, err
+		}
+	}
+	r.graph = rg
+	return r, nil
+}
+
+// connectVirtualTerminals adds edges between the region's virtual terminal
+// (if any) and the overlap vertices so that flow can leave region M (which
+// may not contain the sink) through the overlap, and enter region N (which
+// may not contain the source) from the overlap.  Each virtual edge starts at
+// the overlap vertex's own throughput capacity — the most it could ever
+// carry — and the consensus iteration then tightens it.
+func connectVirtualTerminals(r *region, g *graph.Graph) {
+	src := r.graph.Source()
+	sink := r.graph.Sink()
+	hasRealSource := r.localOf[g.Source()] == src && src < len(r.globalOf)
+	hasRealSink := r.localOf[g.Sink()] == sink && sink < len(r.globalOf)
+	for _, ov := range r.overlapSet {
+		lv := r.localOf[ov]
+		vertexCap := 0.0
+		for _, ei := range g.OutEdges(ov) {
+			vertexCap += g.Edge(ei).Capacity
+		}
+		if vertexCap == 0 {
+			continue
+		}
+		if !hasRealSink {
+			r.graph.MustAddEdge(lv, sink, vertexCap)
+		}
+		if !hasRealSource {
+			r.graph.MustAddEdge(src, lv, vertexCap)
+		}
+	}
+}
+
+// Solve runs the dual decomposition of g under the given partition.
+func Solve(g *graph.Graph, part Partition, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := part.Validate(g); err != nil {
+		return nil, err
+	}
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = ExactOracle
+	}
+
+	regionM, err := buildRegion(g, part.InM, part.InN)
+	if err != nil {
+		return nil, err
+	}
+	regionN, err := buildRegion(g, part.InN, part.InM)
+	if err != nil {
+		return nil, err
+	}
+	connectVirtualTerminals(regionM, g)
+	connectVirtualTerminals(regionN, g)
+
+	res := &Result{SubproblemSizes: [2]int{regionM.graph.NumVertices(), regionN.graph.NumVertices()}}
+
+	// Per-overlap-vertex consensus targets: each region's virtual-terminal
+	// capacity at an overlap vertex is tightened toward the throughput the
+	// other region can actually sustain there.  This is the practical
+	// proportional variant of the Section 6.4 multiplier update (the price
+	// of a unit of disagreement is folded directly into the capacity the
+	// subproblem sees), and because each subproblem is a relaxation of the
+	// full problem, min(valueM, valueN) is a monotone-improving upper bound
+	// on the true max-flow.
+	overlapThroughput := func(r *region, f *graph.Flow) map[int]float64 {
+		out := make(map[int]float64, len(r.overlapSet))
+		for _, ov := range r.overlapSet {
+			lv := r.localOf[ov]
+			var through float64
+			for _, ei := range r.graph.OutEdges(lv) {
+				through += f.Edge[ei]
+			}
+			out[ov] = through
+		}
+		return out
+	}
+
+	best := math.Inf(1)
+	var flowM, flowN *graph.Flow
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		res.Iterations = iter
+		flowM, err = oracle(regionM.graph)
+		if err != nil {
+			return nil, err
+		}
+		flowN, err = oracle(regionN.graph)
+		if err != nil {
+			return nil, err
+		}
+		valueM := flowM.Value
+		valueN := flowN.Value
+		estimate := math.Min(valueM, valueN)
+		if estimate < best {
+			best = estimate
+		}
+		res.History = append(res.History, best)
+		res.FlowValue = best
+
+		// Consensus update on the virtual capacities.
+		tM := overlapThroughput(regionM, flowM)
+		tN := overlapThroughput(regionN, flowN)
+		var imbalance float64
+		targets := make(map[int]float64, len(regionM.overlapSet))
+		for _, ov := range regionM.overlapSet {
+			diff := tM[ov] - tN[ov]
+			imbalance += math.Abs(diff)
+			// Move each region's allowance a StepSize fraction of the way
+			// toward the smaller of the two throughputs.
+			lo := math.Min(tM[ov], tN[ov])
+			hi := math.Max(tM[ov], tN[ov])
+			targets[ov] = lo + (1-opts.StepSize)*(hi-lo)
+		}
+		denominator := math.Max(best, 1)
+		res.Imbalance = imbalance / denominator
+		if math.Abs(valueM-valueN) <= opts.Tolerance*denominator && res.Imbalance <= opts.Tolerance {
+			res.Converged = true
+			break
+		}
+		retargetVirtual(regionM, targets)
+		retargetVirtual(regionN, targets)
+	}
+	return res, nil
+}
+
+// retargetVirtual rewrites the virtual-terminal edge capacities of a region
+// to the given per-overlap-vertex targets.
+func retargetVirtual(r *region, targets map[int]float64) {
+	virtualStart := len(r.globalOf)
+	caps := make([]float64, r.graph.NumEdges())
+	changed := false
+	for i := 0; i < r.graph.NumEdges(); i++ {
+		e := r.graph.Edge(i)
+		caps[i] = e.Capacity
+		if e.From < virtualStart && e.To < virtualStart {
+			continue
+		}
+		ov := -1
+		if e.From < virtualStart {
+			ov = r.globalOf[e.From]
+		} else if e.To < virtualStart {
+			ov = r.globalOf[e.To]
+		}
+		if ov < 0 {
+			continue
+		}
+		if target, ok := targets[ov]; ok {
+			caps[i] = target
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	if adjusted, err := r.graph.WithCapacities(caps); err == nil {
+		r.graph = adjusted
+	}
+}

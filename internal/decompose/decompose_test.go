@@ -1,0 +1,175 @@
+package decompose
+
+import (
+	"math"
+	"testing"
+
+	"analogflow/internal/graph"
+	"analogflow/internal/maxflow"
+	"analogflow/internal/rmat"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+	bad := []Options{
+		{MaxIterations: 0, StepSize: 1, Tolerance: 0.1},
+		{MaxIterations: 10, StepSize: 0, Tolerance: 0.1},
+		{MaxIterations: 10, StepSize: 1, Tolerance: 0},
+	}
+	for i, o := range bad {
+		if o.Validate() == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	g := graph.PaperFigure5()
+	good := BisectByBFS(g)
+	if err := good.Validate(g); err != nil {
+		t.Errorf("BFS partition invalid: %v", err)
+	}
+	short := Partition{InM: []bool{true}, InN: []bool{true}}
+	if short.Validate(g) == nil {
+		t.Errorf("short partition accepted")
+	}
+	uncovered := Partition{InM: make([]bool, 5), InN: make([]bool, 5)}
+	if uncovered.Validate(g) == nil {
+		t.Errorf("uncovered partition accepted")
+	}
+	disjoint := Partition{InM: []bool{true, true, false, false, false}, InN: []bool{false, false, true, true, true}}
+	if disjoint.Validate(g) == nil {
+		t.Errorf("non-overlapping partition accepted")
+	}
+}
+
+func TestBisectByBFSCoversAndOverlaps(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(128, 3))
+	p := BisectByBFS(g)
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("BFS bisection invalid: %v", err)
+	}
+	if !p.InM[g.Source()] || !p.InN[g.Sink()] {
+		t.Errorf("terminals not assigned to their natural regions")
+	}
+	// Both regions are substantially smaller than the full graph on a deep
+	// instance (that is the point of decomposing).
+	countM, countN := 0, 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if p.InM[v] {
+			countM++
+		}
+		if p.InN[v] {
+			countN++
+		}
+	}
+	if countM == g.NumVertices() && countN == g.NumVertices() {
+		t.Errorf("bisection did not split the graph at all")
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	g := graph.PaperFigure5()
+	p := BisectByBFS(g)
+	bad := DefaultOptions()
+	bad.StepSize = 0
+	if _, err := Solve(g, p, bad); err == nil {
+		t.Errorf("invalid options accepted")
+	}
+	if _, err := Solve(g, Partition{InM: []bool{true}, InN: []bool{true}}, DefaultOptions()); err == nil {
+		t.Errorf("invalid partition accepted")
+	}
+}
+
+// A long path graph has an obvious bottleneck; the decomposition must find it
+// no matter which half it lands in.
+func TestSolvePathGraph(t *testing.T) {
+	const n = 12
+	g := graph.MustNew(n, 0, n-1)
+	for v := 0; v < n-1; v++ {
+		cap := 10.0
+		if v == 3 {
+			cap = 4 // bottleneck in the first half
+		}
+		g.MustAddEdge(v, v+1, cap)
+	}
+	exact, _ := maxflow.OptimalValue(g)
+	res, err := Solve(g, BisectByBFS(g), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("decomposition did not converge: %+v", res)
+	}
+	if math.Abs(res.FlowValue-exact)/exact > 0.1 {
+		t.Errorf("decomposed flow %.3f, exact %.3f", res.FlowValue, exact)
+	}
+	// Subproblems are genuinely smaller than the original.
+	if res.SubproblemSizes[0] >= n && res.SubproblemSizes[1] >= n {
+		t.Errorf("subproblems not smaller than the original: %v", res.SubproblemSizes)
+	}
+	if len(res.History) != res.Iterations {
+		t.Errorf("history length mismatch")
+	}
+}
+
+func TestSolvePathGraphBottleneckInSecondHalf(t *testing.T) {
+	const n = 12
+	g := graph.MustNew(n, 0, n-1)
+	for v := 0; v < n-1; v++ {
+		cap := 10.0
+		if v == 8 {
+			cap = 3 // bottleneck in the second half
+		}
+		g.MustAddEdge(v, v+1, cap)
+	}
+	exact, _ := maxflow.OptimalValue(g)
+	res, err := Solve(g, BisectByBFS(g), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FlowValue-exact)/exact > 0.1 {
+		t.Errorf("decomposed flow %.3f, exact %.3f", res.FlowValue, exact)
+	}
+}
+
+func TestSolveRMATInstance(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(200, 9))
+	exact, err := maxflow.OptimalValue(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == 0 {
+		t.Skip("instance has zero max-flow")
+	}
+	opts := DefaultOptions()
+	opts.MaxIterations = 120
+	res, err := Solve(g, BisectByBFS(g), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(res.FlowValue-exact) / exact
+	t.Logf("decomposition: %d iterations, converged=%v, flow %.1f vs exact %.1f (%.1f%% error)",
+		res.Iterations, res.Converged, res.FlowValue, exact, 100*relErr)
+	if relErr > 0.25 {
+		t.Errorf("decomposed flow %.3f too far from exact %.3f", res.FlowValue, exact)
+	}
+}
+
+func TestSolveWithCustomOracle(t *testing.T) {
+	g := graph.PaperFigure5()
+	calls := 0
+	opts := DefaultOptions()
+	opts.Oracle = func(sub *graph.Graph) (*graph.Flow, error) {
+		calls++
+		return maxflow.SolveDinic(sub)
+	}
+	if _, err := Solve(g, BisectByBFS(g), opts); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Errorf("custom oracle never invoked")
+	}
+}

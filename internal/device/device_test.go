@@ -1,0 +1,432 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiodeKindString(t *testing.T) {
+	if DiodeIdeal.String() != "ideal" || DiodeShockley.String() != "shockley" {
+		t.Errorf("kind names wrong")
+	}
+	if DiodeKind(9).String() == "" {
+		t.Errorf("unknown kind should still stringify")
+	}
+}
+
+func TestDiodeValidate(t *testing.T) {
+	if err := DefaultDiode().Validate(); err != nil {
+		t.Errorf("default diode invalid: %v", err)
+	}
+	if err := ShockleyDiode().Validate(); err != nil {
+		t.Errorf("shockley diode invalid: %v", err)
+	}
+	bad := DefaultDiode()
+	bad.ROn = 0
+	if bad.Validate() == nil {
+		t.Errorf("zero ROn accepted")
+	}
+	bad = DefaultDiode()
+	bad.ROff = 0.5
+	if bad.Validate() == nil {
+		t.Errorf("ROff < ROn accepted")
+	}
+	bad = DefaultDiode()
+	bad.VForward = -1
+	if bad.Validate() == nil {
+		t.Errorf("negative VForward accepted")
+	}
+	badS := ShockleyDiode()
+	badS.IS = 0
+	if badS.Validate() == nil {
+		t.Errorf("zero IS accepted")
+	}
+	if (DiodeModel{Kind: DiodeKind(9)}).Validate() == nil {
+		t.Errorf("unknown kind accepted")
+	}
+}
+
+func TestIdealDiodeRegions(t *testing.T) {
+	d := HardIdealDiode()
+	// Reverse biased: tiny conductance, no current offset.
+	g, ieq := d.Conductance(-1)
+	if g != 1/d.ROff || ieq != 0 {
+		t.Errorf("reverse region wrong: g=%g ieq=%g", g, ieq)
+	}
+	if d.IsOn(-0.1) {
+		t.Errorf("reverse-biased diode reported on")
+	}
+	// Forward biased: large conductance.
+	g, _ = d.Conductance(0.5)
+	if g != 1/d.ROn {
+		t.Errorf("forward conductance %g, want %g", g, 1/d.ROn)
+	}
+	if !d.IsOn(0.5) {
+		t.Errorf("forward-biased diode reported off")
+	}
+	// Current at exactly VForward is zero.
+	if i := d.Current(d.VForward); math.Abs(i) > 1e-15 {
+		t.Errorf("current at VForward = %g, want 0", i)
+	}
+	// Forward current follows (v - VForward)/ROn.
+	if i := d.Current(2); math.Abs(i-2/d.ROn) > 1e-9 {
+		t.Errorf("forward current %g", i)
+	}
+}
+
+func TestIdealDiodeForwardVoltage(t *testing.T) {
+	d := HardIdealDiode()
+	d.VForward = 0.7
+	if d.IsOn(0.5) {
+		t.Errorf("diode on below VForward")
+	}
+	if !d.IsOn(0.8) {
+		t.Errorf("diode off above VForward")
+	}
+	if i := d.Current(0.7); math.Abs(i) > 1e-12 {
+		t.Errorf("current at VForward = %g", i)
+	}
+	if i := d.Current(1.7); math.Abs(i-1.0/d.ROn) > 1e-9 {
+		t.Errorf("current 1V above VForward = %g", i)
+	}
+}
+
+func TestSmoothedIdealDiode(t *testing.T) {
+	d := DefaultDiode()
+	if d.TransitionWidth <= 0 {
+		t.Fatalf("default diode should be smoothed")
+	}
+	// Far from the transition the smoothed model matches the hard model.
+	hard := HardIdealDiode()
+	for _, v := range []float64{-2, -0.5, 0.5, 2} {
+		is, ih := d.Current(v), hard.Current(v)
+		if math.Abs(is-ih) > 1e-2*math.Abs(ih)+1e-3 {
+			t.Errorf("smoothed current at %g V: %g, hard model %g", v, is, ih)
+		}
+	}
+	// Within the transition the current and conductance are continuous and
+	// monotone.
+	prevI, prevG := d.Current(-0.01), 0.0
+	for v := -0.009; v <= 0.01; v += 0.001 {
+		g, _ := d.Conductance(v)
+		i := d.Current(v)
+		if i < prevI-1e-12 {
+			t.Fatalf("smoothed current not monotone at %g", v)
+		}
+		if g < prevG-1e-12 {
+			t.Fatalf("smoothed conductance not monotone at %g", v)
+		}
+		prevI, prevG = i, g
+	}
+	// Extreme voltages do not overflow.
+	if i := d.Current(1e6); math.IsNaN(i) || math.IsInf(i, 0) {
+		t.Errorf("overflow at extreme forward bias")
+	}
+	if i := d.Current(-1e6); math.IsNaN(i) || math.IsInf(i, 0) {
+		t.Errorf("overflow at extreme reverse bias")
+	}
+	// Negative transition width is rejected.
+	bad := DefaultDiode()
+	bad.TransitionWidth = -1
+	if bad.Validate() == nil {
+		t.Errorf("negative transition width accepted")
+	}
+}
+
+func TestShockleyDiode(t *testing.T) {
+	d := ShockleyDiode()
+	// Reverse: current ~ -Is.
+	if i := d.Current(-1); i > 0 || i < -2*d.IS {
+		t.Errorf("reverse current %g", i)
+	}
+	// Forward current is monotonically increasing.
+	prev := d.Current(0)
+	for v := 0.05; v < 0.9; v += 0.05 {
+		cur := d.Current(v)
+		if cur <= prev {
+			t.Fatalf("current not monotone at v=%g", v)
+		}
+		prev = cur
+	}
+	// Very large voltages do not overflow.
+	if i := d.Current(100); math.IsInf(i, 0) || math.IsNaN(i) {
+		t.Errorf("overflow at large forward bias: %g", i)
+	}
+	// Conductance is consistent with the linearisation i = g*v + ieq.
+	v := 0.6
+	g, ieq := d.Conductance(v)
+	if math.Abs(g*v+ieq-d.Current(v)) > 1e-9 {
+		t.Errorf("companion model inconsistent")
+	}
+	if !d.IsOn(0.7) || d.IsOn(0.0) {
+		t.Errorf("IsOn thresholds wrong")
+	}
+}
+
+func TestUnknownDiodeKindConductance(t *testing.T) {
+	d := DiodeModel{Kind: DiodeKind(9)}
+	g, ieq := d.Conductance(1)
+	if g <= 0 || ieq != 0 {
+		t.Errorf("unknown kind should fall back to tiny conductance")
+	}
+	if d.IsOn(1) {
+		t.Errorf("unknown kind should never be on")
+	}
+}
+
+func TestOpAmpValidate(t *testing.T) {
+	if err := DefaultOpAmp().Validate(); err != nil {
+		t.Errorf("default op-amp invalid: %v", err)
+	}
+	cases := []func(*OpAmpModel){
+		func(m *OpAmpModel) { m.Gain = 0.5 },
+		func(m *OpAmpModel) { m.GBW = 0 },
+		func(m *OpAmpModel) { m.Rout = -1 },
+		func(m *OpAmpModel) { m.SupplyCurrent = -1 },
+	}
+	for i, mutate := range cases {
+		m := DefaultOpAmp()
+		mutate(&m)
+		if m.Validate() == nil {
+			t.Errorf("case %d: invalid op-amp accepted", i)
+		}
+	}
+}
+
+func TestOpAmpMacroParams(t *testing.T) {
+	m := DefaultOpAmp()
+	gm, r1, c1 := m.MacroParams()
+	if math.Abs(gm*r1-m.Gain) > 1e-6*m.Gain {
+		t.Errorf("macromodel DC gain %g, want %g", gm*r1, m.Gain)
+	}
+	gbw := gm / (2 * math.Pi * c1)
+	if math.Abs(gbw-m.GBW) > 1e-6*m.GBW {
+		t.Errorf("macromodel GBW %g, want %g", gbw, m.GBW)
+	}
+	if m.PoleFrequency() != m.GBW/m.Gain {
+		t.Errorf("pole frequency wrong")
+	}
+	if m.UnityGainSettlingTime() <= 0 {
+		t.Errorf("settling time must be positive")
+	}
+	fast := FastOpAmp()
+	if fast.GBW != 50e9 {
+		t.Errorf("FastOpAmp GBW = %g", fast.GBW)
+	}
+	if fast.UnityGainSettlingTime() >= m.UnityGainSettlingTime() {
+		t.Errorf("faster GBW should settle faster")
+	}
+}
+
+func TestOpAmpPower(t *testing.T) {
+	m := DefaultOpAmp()
+	if p := m.Power(); math.Abs(p-500e-6) > 1e-12 {
+		t.Errorf("Pamp = %g, want 500e-6", p)
+	}
+}
+
+func TestNegativeResistorPrecision(t *testing.T) {
+	m := DefaultOpAmp()
+	// Paper: gain > 1000 gives precision of about 0.1 % for R0 ~= Rtarget.
+	prec := m.NegativeResistorPrecision(10e3, 10e3)
+	if prec > 1.0/m.Gain*1.001 || prec < 1.0/m.Gain*0.999 {
+		t.Errorf("precision %g, want ~%g", prec, 1/m.Gain)
+	}
+	lowGain := m
+	lowGain.Gain = 1000
+	if p := lowGain.NegativeResistorPrecision(10e3, 10e3); math.Abs(p-0.001) > 1e-9 {
+		t.Errorf("gain-1000 precision %g, want 0.001", p)
+	}
+	if !math.IsInf(m.NegativeResistorPrecision(1, 0), 1) {
+		t.Errorf("zero target should give infinite error")
+	}
+	reff := m.EffectiveNegativeResistance(10e3, 10e3)
+	if reff >= 0 {
+		t.Errorf("effective negative resistance should be negative: %g", reff)
+	}
+	if math.Abs(math.Abs(reff)-10e3) > 10e3*2/m.Gain {
+		t.Errorf("effective resistance %g too far from -10k", reff)
+	}
+}
+
+func TestMemristorModelValidate(t *testing.T) {
+	if err := DefaultMemristor().Validate(); err != nil {
+		t.Errorf("default memristor invalid: %v", err)
+	}
+	cases := []func(*MemristorModel){
+		func(m *MemristorModel) { m.RLRS = 0 },
+		func(m *MemristorModel) { m.RHRS = m.RLRS / 2 },
+		func(m *MemristorModel) { m.VThreshold = 0 },
+		func(m *MemristorModel) { m.DriftRate = -1 },
+	}
+	for i, mutate := range cases {
+		m := DefaultMemristor()
+		mutate(&m)
+		if m.Validate() == nil {
+			t.Errorf("case %d: invalid memristor accepted", i)
+		}
+	}
+	if r := DefaultMemristor().OffOnRatio(); math.Abs(r-100) > 1e-9 {
+		t.Errorf("off/on ratio %g, want 100", r)
+	}
+}
+
+func TestMemristorStates(t *testing.T) {
+	m := NewMemristor(DefaultMemristor())
+	if m.State() != HRS {
+		t.Fatalf("new memristor should start in HRS")
+	}
+	if m.Resistance() != 1e6 {
+		t.Errorf("HRS resistance %g", m.Resistance())
+	}
+	m.SetState(LRS)
+	if m.State() != LRS || m.Resistance() != 10e3 {
+		t.Errorf("LRS resistance %g", m.Resistance())
+	}
+	if m.ProgramCycles() != 1 {
+		t.Errorf("program cycles %d, want 1", m.ProgramCycles())
+	}
+	m.SetState(LRS) // no-op should not count a cycle
+	if m.ProgramCycles() != 1 {
+		t.Errorf("redundant SetState counted as a cycle")
+	}
+	if math.Abs(m.Conductance()-1e-4) > 1e-12 {
+		t.Errorf("conductance %g", m.Conductance())
+	}
+	if HRS.String() != "HRS" || LRS.String() != "LRS" {
+		t.Errorf("state names wrong")
+	}
+}
+
+func TestMemristorProgramming(t *testing.T) {
+	model := DefaultMemristor()
+	m := NewMemristor(model)
+	// Sub-threshold stimulus never switches.
+	for i := 0; i < 100; i++ {
+		if m.ApplyStimulus(model.VThreshold*0.9, model.SwitchTime) {
+			t.Fatalf("sub-threshold stimulus switched the device")
+		}
+	}
+	if m.State() != HRS {
+		t.Fatalf("state changed under sub-threshold stimulus")
+	}
+	// A single short pulse above threshold does not switch...
+	if m.ApplyStimulus(model.VThreshold*1.5, model.SwitchTime/4) {
+		t.Fatalf("switched before SwitchTime elapsed")
+	}
+	// ...but a sustained pulse does.
+	switched := false
+	for i := 0; i < 10 && !switched; i++ {
+		switched = m.ApplyStimulus(model.VThreshold*1.5, model.SwitchTime/4)
+	}
+	if !switched || m.State() != LRS {
+		t.Fatalf("sustained set pulse did not switch to LRS")
+	}
+	// Negative pulse resets to HRS.
+	switched = false
+	for i := 0; i < 10 && !switched; i++ {
+		switched = m.ApplyStimulus(-model.VThreshold*1.5, model.SwitchTime/2)
+	}
+	if !switched || m.State() != HRS {
+		t.Fatalf("reset pulse did not switch to HRS")
+	}
+	if m.ProgramCycles() != 2 {
+		t.Errorf("program cycles %d, want 2", m.ProgramCycles())
+	}
+}
+
+func TestMemristorInterruptedPulse(t *testing.T) {
+	model := DefaultMemristor()
+	m := NewMemristor(model)
+	// Accumulate half the switch time, drop below threshold, accumulate
+	// half again: should NOT switch because the accumulator resets.
+	m.ApplyStimulus(model.VThreshold*2, model.SwitchTime*0.6)
+	m.ApplyStimulus(0, model.SwitchTime)
+	if m.ApplyStimulus(model.VThreshold*2, model.SwitchTime*0.6) {
+		t.Fatalf("interrupted pulse switched the device")
+	}
+}
+
+func TestMemristorDriftAndTune(t *testing.T) {
+	model := DefaultMemristor()
+	model.DriftRate = 0.01 // 1 %/s for test visibility
+	m := NewMemristor(model)
+	m.SetState(LRS)
+	m.ApplyStimulus(0, 10) // age by 10 s
+	r := m.Resistance()
+	if r <= model.RLRS {
+		t.Errorf("drift did not increase resistance: %g", r)
+	}
+	if err := m.Tune(12e3); err != nil {
+		t.Fatal(err)
+	}
+	if m.LRSResistance() != 12e3 {
+		t.Errorf("tuned resistance not applied")
+	}
+	if m.Resistance() != 12e3 {
+		t.Errorf("tuning should reset drift, got %g", m.Resistance())
+	}
+	if err := m.Tune(-5); err == nil {
+		t.Errorf("negative tuned resistance accepted")
+	}
+}
+
+func TestMemristorVariation(t *testing.T) {
+	model := DefaultMemristor()
+	model.VariationSigma = 0.2
+	rng := rand.New(rand.NewSource(1))
+	var values []float64
+	for i := 0; i < 200; i++ {
+		m := NewMemristorWithVariation(model, rng)
+		values = append(values, m.LRSResistance())
+	}
+	var mean float64
+	distinct := false
+	for i, v := range values {
+		mean += v
+		if i > 0 && v != values[0] {
+			distinct = true
+		}
+	}
+	mean /= float64(len(values))
+	if !distinct {
+		t.Fatalf("variation produced identical devices")
+	}
+	// Lognormal with sigma 0.2 has median RLRS; mean within ~10 %.
+	if mean < model.RLRS*0.85 || mean > model.RLRS*1.25 {
+		t.Errorf("mean LRS %g too far from nominal %g", mean, model.RLRS)
+	}
+	// Zero sigma yields exactly nominal.
+	model.VariationSigma = 0
+	m := NewMemristorWithVariation(model, rng)
+	if m.LRSResistance() != model.RLRS {
+		t.Errorf("zero-sigma variation changed resistance")
+	}
+}
+
+// Property: diode companion model is consistent (i = g*v+ieq equals Current)
+// for both models over a wide voltage range.
+func TestDiodeCompanionConsistency(t *testing.T) {
+	models := []DiodeModel{DefaultDiode(), ShockleyDiode()}
+	f := func(raw float64) bool {
+		v := math.Mod(raw, 5)
+		if math.IsNaN(v) {
+			return true
+		}
+		for _, m := range models {
+			g, ieq := m.Conductance(v)
+			if math.Abs(g*v+ieq-m.Current(v)) > 1e-9*(1+math.Abs(m.Current(v))) {
+				return false
+			}
+			if g <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package device provides the behavioural device models used by the analog
+// max-flow substrate: clamping diodes (ideal piecewise-linear and Shockley),
+// operational amplifiers with finite open-loop gain and a single-pole
+// gain-bandwidth limit, and threshold-switching memristors with HRS/LRS
+// states, programmable LRS resistance, drift and process variation.
+//
+// The models are deliberately independent of the circuit/MNA machinery so
+// that they can be unit-tested as pure physics and reused by the analytical
+// power and convergence models.
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// DiodeKind selects the diode model used in simulation.
+type DiodeKind int
+
+const (
+	// DiodeIdeal is the paper's idealised clamp: zero forward drop, a small
+	// on-resistance and a very large off-resistance, switching piecewise on
+	// the sign of the applied voltage.
+	DiodeIdeal DiodeKind = iota
+	// DiodeShockley is the exponential junction model i = Is(exp(v/nVt)-1),
+	// used to study the impact of real turn-on voltages (Section 2.1,
+	// footnote 2 of the paper).
+	DiodeShockley
+)
+
+func (k DiodeKind) String() string {
+	switch k {
+	case DiodeIdeal:
+		return "ideal"
+	case DiodeShockley:
+		return "shockley"
+	default:
+		return fmt.Sprintf("diode-kind(%d)", int(k))
+	}
+}
+
+// DiodeModel collects the parameters of a diode.
+type DiodeModel struct {
+	Kind DiodeKind
+	// ROn and ROff are the piecewise-linear on/off resistances (Ohm) for the
+	// ideal model.
+	ROn, ROff float64
+	// VForward is the forward turn-on voltage of the ideal model.  The paper
+	// assumes 0 and notes that real diodes require adjusting the clamp
+	// sources by the turn-on voltage; both cases are supported.
+	VForward float64
+	// TransitionWidth, when positive, smooths the ideal model's on/off
+	// switch over a voltage window of this width (a softplus blend between
+	// the off and on conductances).  A hard piecewise switch makes the
+	// Newton iteration of the circuit simulator chatter between states; a
+	// millivolt-scale smoothing is electrically negligible for the volt
+	// scale clamp voltages of the substrate but makes the solve robust.
+	TransitionWidth float64
+	// IS is the saturation current (A) and N the emission coefficient for
+	// the Shockley model.  VT is the thermal voltage (V).
+	IS, N, VT float64
+}
+
+// DefaultDiode returns the clamp diode used throughout the paper's analysis:
+// an idealised diode with Ron = 1 Ohm, Roff = 1 GOhm, no forward drop, and a
+// 1 mV smoothed transition for simulator robustness.
+func DefaultDiode() DiodeModel {
+	return DiodeModel{Kind: DiodeIdeal, ROn: 1, ROff: 1e9, VForward: 0, TransitionWidth: 1e-3}
+}
+
+// HardIdealDiode returns the strictly piecewise-linear ideal diode (no
+// transition smoothing), matching the paper's analytical assumption exactly.
+// Prefer DefaultDiode for simulation.
+func HardIdealDiode() DiodeModel {
+	return DiodeModel{Kind: DiodeIdeal, ROn: 1, ROff: 1e9, VForward: 0}
+}
+
+// ShockleyDiode returns a realistic junction diode model.
+func ShockleyDiode() DiodeModel {
+	return DiodeModel{Kind: DiodeShockley, IS: 1e-14, N: 1.0, VT: 0.02585, ROn: 1, ROff: 1e9}
+}
+
+// Validate checks the model parameters.
+func (m DiodeModel) Validate() error {
+	switch m.Kind {
+	case DiodeIdeal:
+		if m.ROn <= 0 || m.ROff <= 0 {
+			return fmt.Errorf("device: diode on/off resistance must be positive (%g, %g)", m.ROn, m.ROff)
+		}
+		if m.ROff <= m.ROn {
+			return fmt.Errorf("device: diode ROff %g must exceed ROn %g", m.ROff, m.ROn)
+		}
+		if m.VForward < 0 {
+			return fmt.Errorf("device: negative forward voltage %g", m.VForward)
+		}
+		if m.TransitionWidth < 0 {
+			return fmt.Errorf("device: negative transition width %g", m.TransitionWidth)
+		}
+	case DiodeShockley:
+		if m.IS <= 0 || m.N <= 0 || m.VT <= 0 {
+			return fmt.Errorf("device: shockley parameters must be positive")
+		}
+	default:
+		return fmt.Errorf("device: unknown diode kind %v", m.Kind)
+	}
+	return nil
+}
+
+// Conductance returns the linearised (companion-model) conductance and
+// equivalent current source for the diode at operating voltage v (anode minus
+// cathode), as used by Newton iteration:
+//
+//	i(v) ≈ G*v + Ieq
+func (m DiodeModel) Conductance(v float64) (g, ieq float64) {
+	switch m.Kind {
+	case DiodeIdeal:
+		if m.TransitionWidth > 0 {
+			return m.smoothedIdeal(v)
+		}
+		if v >= m.VForward {
+			g = 1 / m.ROn
+			// Shift the I-V so current is zero exactly at VForward.
+			return g, -g * m.VForward
+		}
+		return 1 / m.ROff, 0
+	case DiodeShockley:
+		nvt := m.N * m.VT
+		// Limit the exponent to avoid overflow during Newton transients.
+		x := v / nvt
+		if x > 80 {
+			x = 80
+		}
+		e := math.Exp(x)
+		i := m.IS * (e - 1)
+		g = m.IS * e / nvt
+		if g < 1e-12 {
+			g = 1e-12
+		}
+		ieq = i - g*v
+		return g, ieq
+	default:
+		return 1e-12, 0
+	}
+}
+
+// smoothedIdeal blends the off and on branches of the ideal diode over a
+// window of TransitionWidth around VForward using a softplus, so that both
+// the current and its derivative are continuous:
+//
+//	i(v)  = Goff*v + (Gon-Goff) * w * softplus((v-VForward)/w)
+//	di/dv = Goff   + (Gon-Goff) * sigmoid((v-VForward)/w)
+func (m DiodeModel) smoothedIdeal(v float64) (g, ieq float64) {
+	gon := 1 / m.ROn
+	goff := 1 / m.ROff
+	w := m.TransitionWidth
+	x := (v - m.VForward) / w
+	var soft, sig float64
+	switch {
+	case x > 40:
+		soft = x
+		sig = 1
+	case x < -40:
+		soft = 0
+		sig = 0
+	default:
+		soft = math.Log1p(math.Exp(x))
+		sig = 1 / (1 + math.Exp(-x))
+	}
+	i := goff*v + (gon-goff)*w*soft
+	g = goff + (gon-goff)*sig
+	ieq = i - g*v
+	return g, ieq
+}
+
+// Current returns the diode current at a given applied voltage.
+func (m DiodeModel) Current(v float64) float64 {
+	g, ieq := m.Conductance(v)
+	return g*v + ieq
+}
+
+// IsOn reports whether the diode is conducting at voltage v (useful for the
+// active-set steady-state solver, which iterates on clamp states).
+func (m DiodeModel) IsOn(v float64) bool {
+	switch m.Kind {
+	case DiodeIdeal:
+		return v >= m.VForward
+	case DiodeShockley:
+		return v >= 3*m.N*m.VT
+	default:
+		return false
+	}
+}

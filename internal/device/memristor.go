@@ -1,0 +1,187 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MemristorState is the binary resistance state of a memristor switch.
+type MemristorState int
+
+const (
+	// HRS is the high-resistance ("off"/disconnected) state.
+	HRS MemristorState = iota
+	// LRS is the low-resistance ("on"/connected) state; in the substrate a
+	// LRS memristor doubles as the widget resistor r.
+	LRS
+)
+
+func (s MemristorState) String() string {
+	if s == LRS {
+		return "LRS"
+	}
+	return "HRS"
+}
+
+// MemristorModel holds the device parameters shared by all memristors on a
+// substrate (Table 1 of the paper: LRS 10 kOhm, HRS 1 MOhm).
+type MemristorModel struct {
+	// RLRS and RHRS are the nominal low- and high-resistance-state values in
+	// Ohm.
+	RLRS, RHRS float64
+	// VThreshold is the programming threshold voltage: an applied voltage
+	// with magnitude above the threshold switches the state (positive sets
+	// LRS, negative resets to HRS).
+	VThreshold float64
+	// SwitchTime is the time the stimulus must remain above threshold for
+	// the state to flip, modelling finite programming pulses.
+	SwitchTime float64
+	// DriftRate is the relative resistance drift per second in LRS,
+	// modelling long-term retention loss (Section 4.3.2 notes the tuning
+	// procedure may need repeating because of drift).
+	DriftRate float64
+	// VariationSigma is the lognormal sigma of device-to-device LRS
+	// resistance variation.
+	VariationSigma float64
+}
+
+// DefaultMemristor returns the paper's Table 1 memristor parameters.
+func DefaultMemristor() MemristorModel {
+	return MemristorModel{
+		RLRS:           10e3,
+		RHRS:           1e6,
+		VThreshold:     1.2,
+		SwitchTime:     10e-9,
+		DriftRate:      1e-6,
+		VariationSigma: 0.0,
+	}
+}
+
+// Validate checks the parameters.
+func (m MemristorModel) Validate() error {
+	if m.RLRS <= 0 || m.RHRS <= 0 {
+		return fmt.Errorf("device: memristor resistances must be positive")
+	}
+	if m.RHRS <= m.RLRS {
+		return fmt.Errorf("device: HRS resistance %g must exceed LRS resistance %g", m.RHRS, m.RLRS)
+	}
+	if m.VThreshold <= 0 {
+		return fmt.Errorf("device: memristor threshold must be positive")
+	}
+	if m.SwitchTime < 0 || m.DriftRate < 0 || m.VariationSigma < 0 {
+		return fmt.Errorf("device: negative memristor dynamics parameter")
+	}
+	return nil
+}
+
+// OffOnRatio returns RHRS / RLRS, the selectivity of the switch.
+func (m MemristorModel) OffOnRatio() float64 { return m.RHRS / m.RLRS }
+
+// Memristor is one memristive switch instance with its own state, tuned
+// resistance and accumulated drift.  It is the building block of the crossbar
+// in internal/crossbar.
+type Memristor struct {
+	Model MemristorModel
+	state MemristorState
+	// rLRS is this device's actual LRS resistance after process variation
+	// and post-fabrication tuning.
+	rLRS float64
+	// aboveThresholdTime accumulates how long the programming stimulus has
+	// exceeded the threshold.
+	aboveThresholdTime float64
+	// age tracks elapsed operating time for drift modelling.
+	age float64
+	// programCycles counts state flips, for endurance accounting.
+	programCycles int
+}
+
+// NewMemristor creates a memristor in HRS with nominal LRS resistance.
+func NewMemristor(model MemristorModel) *Memristor {
+	return &Memristor{Model: model, state: HRS, rLRS: model.RLRS}
+}
+
+// NewMemristorWithVariation creates a memristor whose LRS resistance is drawn
+// from a lognormal distribution around the nominal value, modelling process
+// variation.  Pass a deterministic rng for reproducible experiments.
+func NewMemristorWithVariation(model MemristorModel, rng *rand.Rand) *Memristor {
+	m := NewMemristor(model)
+	if model.VariationSigma > 0 {
+		m.rLRS = model.RLRS * math.Exp(rng.NormFloat64()*model.VariationSigma)
+	}
+	return m
+}
+
+// State returns the current resistance state.
+func (m *Memristor) State() MemristorState { return m.state }
+
+// ProgramCycles returns how many times the device has switched state.
+func (m *Memristor) ProgramCycles() int { return m.programCycles }
+
+// Resistance returns the present two-terminal resistance, including drift in
+// the LRS state.
+func (m *Memristor) Resistance() float64 {
+	if m.state == HRS {
+		return m.Model.RHRS
+	}
+	return m.rLRS * (1 + m.Model.DriftRate*m.age)
+}
+
+// Conductance returns 1/Resistance.
+func (m *Memristor) Conductance() float64 { return 1 / m.Resistance() }
+
+// SetState forces the state, as done by the crossbar programming controller
+// once the programming pulse has been verified.
+func (m *Memristor) SetState(s MemristorState) {
+	if m.state != s {
+		m.programCycles++
+	}
+	m.state = s
+	m.aboveThresholdTime = 0
+}
+
+// Tune overrides the LRS resistance, modelling the post-fabrication
+// fine-grained resistance tuning of Section 4.3.2.  Tuning also resets the
+// accumulated drift.
+func (m *Memristor) Tune(rLRS float64) error {
+	if rLRS <= 0 {
+		return fmt.Errorf("device: tuned resistance must be positive, got %g", rLRS)
+	}
+	m.rLRS = rLRS
+	m.age = 0
+	return nil
+}
+
+// LRSResistance returns the device's (possibly varied/tuned) LRS resistance
+// without drift.
+func (m *Memristor) LRSResistance() float64 { return m.rLRS }
+
+// ApplyStimulus advances the device by dt seconds with voltage v applied
+// across it (top electrode minus bottom electrode).  Sustained voltages above
+// +VThreshold set the device to LRS; below -VThreshold reset it to HRS.
+// Sub-threshold stimulus only ages the device.  It returns true if the state
+// changed.
+func (m *Memristor) ApplyStimulus(v, dt float64) bool {
+	m.age += dt
+	switch {
+	case v >= m.Model.VThreshold:
+		m.aboveThresholdTime += dt
+		if m.state != LRS && m.aboveThresholdTime >= m.Model.SwitchTime {
+			m.state = LRS
+			m.programCycles++
+			m.aboveThresholdTime = 0
+			return true
+		}
+	case v <= -m.Model.VThreshold:
+		m.aboveThresholdTime += dt
+		if m.state != HRS && m.aboveThresholdTime >= m.Model.SwitchTime {
+			m.state = HRS
+			m.programCycles++
+			m.aboveThresholdTime = 0
+			return true
+		}
+	default:
+		m.aboveThresholdTime = 0
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpAmpModel is a single-pole macromodel of an operational amplifier with
+// finite open-loop gain and a gain-bandwidth product, matching the Table 1
+// parameters of the paper (open-loop gain 1e4, GBW 10-50 GHz).
+//
+// The macromodel is the standard two-stage behavioural one:
+//
+//	stage 1: transconductance Gm from the differential input into an internal
+//	         node loaded by R1 || C1, giving DC gain A = Gm*R1 and a single
+//	         pole at 1/(2π R1 C1);
+//	stage 2: an ideal unity-gain buffer driving the output through Rout.
+//
+// The unity-gain bandwidth is then GBW = A * f_pole = Gm / (2π C1).
+type OpAmpModel struct {
+	// Gain is the DC open-loop gain A (dimensionless).
+	Gain float64
+	// GBW is the gain-bandwidth product in Hz.
+	GBW float64
+	// Rout is the output resistance in Ohm.
+	Rout float64
+	// SupplyCurrent is the quiescent current draw in A, used by the power
+	// model (the paper assumes 500 µA at a 1 V supply).
+	SupplyCurrent float64
+	// SupplyVoltage is the supply rail in V.
+	SupplyVoltage float64
+}
+
+// DefaultOpAmp returns the paper's Table 1 op-amp: gain 1e4, GBW 10 GHz,
+// 500 µA from a 1 V supply.
+func DefaultOpAmp() OpAmpModel {
+	return OpAmpModel{Gain: 1e4, GBW: 10e9, Rout: 10, SupplyCurrent: 500e-6, SupplyVoltage: 1}
+}
+
+// FastOpAmp returns the 50 GHz GBW variant used for the faster Figure 10
+// series.
+func FastOpAmp() OpAmpModel {
+	m := DefaultOpAmp()
+	m.GBW = 50e9
+	return m
+}
+
+// Validate checks the model for physical consistency.
+func (m OpAmpModel) Validate() error {
+	if m.Gain <= 1 {
+		return fmt.Errorf("device: op-amp gain must exceed 1, got %g", m.Gain)
+	}
+	if m.GBW <= 0 {
+		return fmt.Errorf("device: op-amp GBW must be positive, got %g", m.GBW)
+	}
+	if m.Rout < 0 {
+		return fmt.Errorf("device: negative output resistance %g", m.Rout)
+	}
+	if m.SupplyCurrent < 0 || m.SupplyVoltage < 0 {
+		return fmt.Errorf("device: negative supply parameters")
+	}
+	return nil
+}
+
+// MacroParams returns the internal macromodel parameters (Gm, R1, C1) chosen
+// so that the DC gain and GBW match the model.  R1 is fixed at 1 MOhm, a
+// conventional choice that keeps the numbers well scaled.
+func (m OpAmpModel) MacroParams() (gm, r1, c1 float64) {
+	r1 = 1e6
+	gm = m.Gain / r1
+	c1 = gm / (2 * math.Pi * m.GBW)
+	return gm, r1, c1
+}
+
+// PoleFrequency returns the open-loop pole frequency f_p = GBW / A in Hz.
+func (m OpAmpModel) PoleFrequency() float64 { return m.GBW / m.Gain }
+
+// UnityGainSettlingTime returns an estimate of the 0.1 %-settling time of the
+// amplifier in a unity-feedback configuration: about 7 closed-loop time
+// constants, τ = 1/(2π GBW).
+func (m OpAmpModel) UnityGainSettlingTime() float64 {
+	tau := 1 / (2 * math.Pi * m.GBW)
+	return 7 * tau
+}
+
+// Power returns the quiescent power dissipation Pamp of the amplifier,
+// the quantity the paper's Section 5.2 analytical power model multiplies by
+// the number of edges and vertices.
+func (m OpAmpModel) Power() float64 { return m.SupplyCurrent * m.SupplyVoltage }
+
+// NegativeResistorPrecision returns the relative error of a negative resistor
+// realised with this op-amp (Section 4.2 of the paper): the effective
+// resistance is Reff = -(1 + (1/A)*(R0/Rtarget)) * Rtarget, so the relative
+// error magnitude is roughly (R0/Rtarget)/A.
+func (m OpAmpModel) NegativeResistorPrecision(r0, rtarget float64) float64 {
+	if rtarget == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(r0/rtarget) / m.Gain
+}
+
+// EffectiveNegativeResistance returns the realised resistance of a negative
+// resistor of nominal value -rtarget built from this op-amp with feedback
+// resistors R0 (Figure 9a of the paper).
+func (m OpAmpModel) EffectiveNegativeResistance(r0, rtarget float64) float64 {
+	return -(1 + (r0/rtarget)/m.Gain) * rtarget
+}

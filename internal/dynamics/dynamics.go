@@ -1,0 +1,205 @@
+// Package dynamics implements the quasi-static circuit analysis of
+// Section 6.5 of the paper: instead of stepping Vflow abruptly, the drive is
+// raised slowly enough that the circuit tracks its steady state at every
+// intermediate level, and the trajectory of the node voltages through the
+// feasible region is recorded.  The paper uses the Figure 15 instance to show
+// that the trajectory moves through the interior of the feasible polytope
+// (conjecturing a loose connection to interior-point methods) and activates
+// the capacity constraints one by one as the drive grows.
+package dynamics
+
+import (
+	"fmt"
+	"math"
+
+	"analogflow/internal/builder"
+	"analogflow/internal/graph"
+	"analogflow/internal/mna"
+)
+
+// Options configures a quasi-static sweep.
+type Options struct {
+	// Builder holds the circuit construction options.
+	Builder builder.Options
+	// MaxVflow is the final drive level; the sweep ramps from 0 to MaxVflow.
+	MaxVflow float64
+	// Steps is the number of quasi-static levels evaluated.
+	Steps int
+}
+
+// DefaultOptions returns a sweep suitable for the paper's worked examples:
+// the drive ramps to ten times the largest capacity over 40 levels.
+func DefaultOptions(g *graph.Graph) Options {
+	return Options{
+		Builder:  builder.DefaultOptions(),
+		MaxVflow: 10 * g.MaxCapacity(),
+		Steps:    40,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if err := o.Builder.Validate(); err != nil {
+		return err
+	}
+	if o.MaxVflow <= 0 {
+		return fmt.Errorf("dynamics: MaxVflow must be positive, got %g", o.MaxVflow)
+	}
+	if o.Steps < 2 {
+		return fmt.Errorf("dynamics: need at least 2 steps, got %d", o.Steps)
+	}
+	return nil
+}
+
+// TrajectoryPoint is the circuit state at one quasi-static drive level.
+type TrajectoryPoint struct {
+	// Vflow is the drive level of this point.
+	Vflow float64
+	// EdgeVoltages are the edge-node voltages (flow values in volts).
+	EdgeVoltages []float64
+	// FlowValue is the net source outflow at this level.
+	FlowValue float64
+	// ActiveClamps lists the edges whose upper capacity clamp is engaged
+	// (voltage within 1% of the clamp level).
+	ActiveClamps []int
+}
+
+// Trajectory is the full quasi-static sweep result.
+type Trajectory struct {
+	Points []TrajectoryPoint
+	// ActivationOrder lists edges in the order their capacity clamps first
+	// became active as the drive grew — the "events" of the paper's
+	// Figure 15 narrative (x2 clamps first at Vflow=9, then x1/x3 at 19).
+	ActivationOrder []int
+	// FinalFlowValue is the flow value at the final drive level.
+	FinalFlowValue float64
+}
+
+// Sweep runs the quasi-static analysis of g.
+func Sweep(g *graph.Graph, opts Options) (*Trajectory, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	caps := make([]float64, g.NumEdges())
+	for i := 0; i < g.NumEdges(); i++ {
+		caps[i] = g.Edge(i).Capacity
+	}
+	bopts := opts.Builder
+	bopts.VflowVoltage = opts.MaxVflow
+	c, err := builder.BuildMaxFlow(g, caps, bopts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := mna.NewEngine(c.Netlist, mna.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	// The engine's homotopy solver is exactly a quasi-static ramp of the
+	// independent sources; every intermediate level is one trajectory point.
+	hres, err := eng.OperatingPointHomotopy(0, opts.Steps)
+	if err != nil {
+		return nil, fmt.Errorf("dynamics: quasi-static sweep failed: %w", err)
+	}
+
+	traj := &Trajectory{}
+	activated := make(map[int]bool)
+	for k, sol := range hres.Intermediate {
+		pt := TrajectoryPoint{
+			Vflow:        hres.Scales[k] * opts.MaxVflow,
+			EdgeVoltages: c.EdgeVoltages(sol.Voltage),
+			FlowValue:    c.FlowValueVolts(sol.Voltage),
+		}
+		for i, v := range pt.EdgeVoltages {
+			clamp := caps[i]
+			// A clamp counts as active once the node is within 3% of the
+			// clamp level; with finite op-amp gain the clamped node settles
+			// slightly below the ideal level.
+			if clamp > 0 && v >= clamp*0.97 {
+				pt.ActiveClamps = append(pt.ActiveClamps, i)
+				if !activated[i] {
+					activated[i] = true
+					traj.ActivationOrder = append(traj.ActivationOrder, i)
+				}
+			}
+		}
+		traj.Points = append(traj.Points, pt)
+	}
+	if len(traj.Points) > 0 {
+		traj.FinalFlowValue = traj.Points[len(traj.Points)-1].FlowValue
+	}
+	return traj, nil
+}
+
+// InteriorFraction reports the fraction of trajectory points that are strict
+// interior points of the feasible region (no clamp active and every
+// conservation constraint satisfied within tol) — quantifying the paper's
+// observation that the circuit moves through the interior rather than along
+// the vertices of the polytope.
+func (t *Trajectory) InteriorFraction(g *graph.Graph, tol float64) float64 {
+	if len(t.Points) == 0 {
+		return 0
+	}
+	interior := 0
+	for _, pt := range t.Points {
+		if len(pt.ActiveClamps) > 0 {
+			continue
+		}
+		strict := true
+		for i, v := range pt.EdgeVoltages {
+			if v <= tol || v >= g.Edge(i).Capacity-tol {
+				strict = false
+				break
+			}
+		}
+		if strict {
+			interior++
+		}
+	}
+	return float64(interior) / float64(len(t.Points))
+}
+
+// MonotoneFlow reports whether the flow value is non-decreasing along the
+// sweep (the paper's claim that the objective strictly increases with Vflow
+// until the optimum is reached), within a small tolerance.
+func (t *Trajectory) MonotoneFlow(tol float64) bool {
+	for i := 1; i < len(t.Points); i++ {
+		if t.Points[i].FlowValue < t.Points[i-1].FlowValue-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ActivationDriveLevels returns, for each edge in activation order, the drive
+// level at which its clamp first engaged.  For the paper's Figure 15 example
+// this reproduces the two events at Vflow = 9 V (x2) and Vflow = 19 V (x1).
+func (t *Trajectory) ActivationDriveLevels() map[int]float64 {
+	out := make(map[int]float64)
+	for _, pt := range t.Points {
+		for _, e := range pt.ActiveClamps {
+			if _, seen := out[e]; !seen {
+				out[e] = pt.Vflow
+			}
+		}
+	}
+	return out
+}
+
+// SaturationLevel returns the smallest drive level at which the flow value is
+// within relTol of its final value — how hard the substrate must be driven
+// before the answer stops improving, which sets the Vflow design point.
+func (t *Trajectory) SaturationLevel(relTol float64) float64 {
+	if len(t.Points) == 0 {
+		return math.NaN()
+	}
+	final := t.FinalFlowValue
+	for _, pt := range t.Points {
+		if math.Abs(pt.FlowValue-final) <= relTol*math.Abs(final) {
+			return pt.Vflow
+		}
+	}
+	return t.Points[len(t.Points)-1].Vflow
+}

@@ -1,0 +1,136 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+
+	"analogflow/internal/graph"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	g := graph.PaperFigure15()
+	if err := DefaultOptions(g).Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+	bad := DefaultOptions(g)
+	bad.MaxVflow = 0
+	if bad.Validate() == nil {
+		t.Errorf("zero MaxVflow accepted")
+	}
+	bad2 := DefaultOptions(g)
+	bad2.Steps = 1
+	if bad2.Validate() == nil {
+		t.Errorf("single step accepted")
+	}
+	bad3 := DefaultOptions(g)
+	bad3.Builder.WidgetResistance = 0
+	if bad3.Validate() == nil {
+		t.Errorf("invalid builder options accepted")
+	}
+}
+
+func TestSweepRejectsBadInput(t *testing.T) {
+	g := graph.PaperFigure15()
+	bad := DefaultOptions(g)
+	bad.Steps = 0
+	if _, err := Sweep(g, bad); err == nil {
+		t.Errorf("invalid options accepted")
+	}
+}
+
+// The Section 6.5 worked example: sweeping Vflow on the Figure 15 instance
+// activates the x2 clamp before the x1 clamp, the flow value grows
+// monotonically, and the final state is the optimum x1=4, x2=1, x3=3.
+func TestSweepFigure15(t *testing.T) {
+	g := graph.PaperFigure15()
+	opts := DefaultOptions(g)
+	opts.MaxVflow = 60 // comfortably past the paper's second activation at 19 V
+	opts.Steps = 60
+	traj, err := Sweep(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Points) != opts.Steps {
+		t.Fatalf("expected %d trajectory points, got %d", opts.Steps, len(traj.Points))
+	}
+	// Final state: the optimum of the instance.
+	final := traj.Points[len(traj.Points)-1]
+	want := []float64{4, 1, 3}
+	for i, w := range want {
+		if math.Abs(final.EdgeVoltages[i]-w) > 0.15*w {
+			t.Errorf("final V(x%d) = %.3f, want %g", i+1, final.EdgeVoltages[i], w)
+		}
+	}
+	if math.Abs(traj.FinalFlowValue-graph.PaperFigure15MaxFlow) > 0.15*graph.PaperFigure15MaxFlow {
+		t.Errorf("final flow %.3f, want %g", traj.FinalFlowValue, graph.PaperFigure15MaxFlow)
+	}
+	// The flow value never decreases along the sweep.
+	if !traj.MonotoneFlow(0.05) {
+		t.Errorf("flow value not monotone along the quasi-static sweep")
+	}
+	// x2 (edge index 1) activates before x1 (edge index 0), as in the
+	// paper's D -> B trajectory.
+	levels := traj.ActivationDriveLevels()
+	vx2, ok2 := levels[1]
+	vx1, ok1 := levels[0]
+	if !ok2 {
+		t.Fatalf("x2 clamp never activated; activation map: %v", levels)
+	}
+	if ok1 && vx1 < vx2 {
+		t.Errorf("x1 activated at %g V before x2 at %g V", vx1, vx2)
+	}
+	// The paper's ideal analysis places the first activation at Vflow = 9 V;
+	// the non-ideal widgets shift it upward but it must still happen well
+	// before the end of the ramp.
+	if vx2 >= opts.MaxVflow {
+		t.Errorf("x2 activation only at the final drive level (%g V)", vx2)
+	}
+	// Early trajectory points are interior points of the feasible region.
+	if frac := traj.InteriorFraction(g, 1e-3); frac <= 0 {
+		t.Errorf("expected some interior trajectory points, got fraction %g", frac)
+	}
+	// The answer stops improving (within 2%) before the end of the ramp.
+	if sat := traj.SaturationLevel(0.02); sat >= opts.MaxVflow || sat <= 0 {
+		t.Errorf("saturation level %g outside (0, %g)", sat, opts.MaxVflow)
+	}
+}
+
+func TestSweepFigure5ActivationOrder(t *testing.T) {
+	g := graph.PaperFigure5()
+	opts := DefaultOptions(g)
+	opts.Steps = 30
+	traj, err := Sweep(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unit-capacity edges x3 and x4 (indices 2 and 3) saturate in the
+	// optimum; they must appear in the activation order.
+	seen := map[int]bool{}
+	for _, e := range traj.ActivationOrder {
+		seen[e] = true
+	}
+	if !seen[2] && !seen[3] {
+		t.Errorf("neither bottleneck edge activated; order %v", traj.ActivationOrder)
+	}
+	// The big source edge x1 (capacity 3) never reaches its own clamp: the
+	// optimum only pushes 2 through it.
+	if seen[0] {
+		t.Errorf("x1 should not reach its capacity clamp (optimum is 2 of 3)")
+	}
+	if traj.FinalFlowValue < 1.6 || traj.FinalFlowValue > 2.4 {
+		t.Errorf("final flow %.3f outside the expected range around 2", traj.FinalFlowValue)
+	}
+}
+
+func TestTrajectoryHelpersOnEmpty(t *testing.T) {
+	empty := &Trajectory{}
+	if !math.IsNaN(empty.SaturationLevel(0.01)) {
+		t.Errorf("empty trajectory should return NaN saturation level")
+	}
+	if empty.InteriorFraction(graph.PaperFigure5(), 1e-3) != 0 {
+		t.Errorf("empty trajectory should have zero interior fraction")
+	}
+	if !empty.MonotoneFlow(0) {
+		t.Errorf("empty trajectory is trivially monotone")
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long column") || !strings.Contains(out, "note: a note") {
+		t.Errorf("render missing pieces:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 5 {
+		t.Errorf("render too short:\n%s", out)
+	}
+}
+
+func TestFigure8Quantization(t *testing.T) {
+	tab, err := Figure8Quantization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("expected 5 edge rows, got %d", len(tab.Rows))
+	}
+	// x1 (capacity 3 = C) quantizes to 1.00 V.
+	if tab.Rows[0][3] != "1.00" {
+		t.Errorf("x1 voltage %q, want 1.00", tab.Rows[0][3])
+	}
+	if tab.Render() == "" {
+		t.Errorf("empty rendering")
+	}
+}
+
+func TestTable1Parameters(t *testing.T) {
+	tab := Table1Parameters()
+	if len(tab.Rows) < 8 {
+		t.Fatalf("Table 1 should list at least 8 parameters, got %d", len(tab.Rows))
+	}
+	out := tab.Render()
+	for _, want := range []string{"Memristor LRS", "voltage levels", "crossbar"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestOpAmpPrecisionSweep(t *testing.T) {
+	tab := OpAmpPrecisionSweep()
+	if len(tab.Rows) < 5 {
+		t.Fatalf("too few gain points")
+	}
+	// The gain-1000 row meets the 0.1% target; the gain-100 row does not.
+	foundLow, foundHigh := false, false
+	for _, row := range tab.Rows {
+		if row[0] == "100" && row[2] == "false" {
+			foundLow = true
+		}
+		if row[0] == "10000" && row[2] == "true" {
+			foundHigh = true
+		}
+	}
+	if !foundLow || !foundHigh {
+		t.Errorf("precision threshold rows wrong: %+v", tab.Rows)
+	}
+}
+
+func TestFigure10SweepSmall(t *testing.T) {
+	res, err := Figure10Sweep("sparse", []int{64, 96}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Circuit10GHz <= 0 || row.Circuit50GHz <= 0 || row.PushRelabelTime <= 0 {
+			t.Errorf("non-positive timing in row %+v", row)
+		}
+		// 50 GHz must be faster than 10 GHz.
+		if row.Circuit50GHz >= row.Circuit10GHz {
+			t.Errorf("GBW=50G not faster than 10G: %+v", row)
+		}
+		if row.RelativeError > 0.25 {
+			t.Errorf("relative error %.2f suspiciously high", row.RelativeError)
+		}
+	}
+	if res.MeanRelativeError() < 0 {
+		t.Errorf("mean relative error negative")
+	}
+	if res.Table().Render() == "" {
+		t.Errorf("empty rendering")
+	}
+	if _, err := Figure10Sweep("nonsense", []int{16}, 1); err == nil {
+		t.Errorf("unknown family accepted")
+	}
+}
+
+func TestClusteredUtilization(t *testing.T) {
+	tab, err := ClusteredUtilization(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 island sizes, got %d", len(tab.Rows))
+	}
+}
+
+func TestVariationSweepSmall(t *testing.T) {
+	tab, err := VariationSweep(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 18 {
+		t.Fatalf("expected 18 configuration rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestDualDecompositionExperiment(t *testing.T) {
+	tab, err := DualDecomposition(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 6 {
+		t.Fatalf("too few rows: %d", len(tab.Rows))
+	}
+}
+
+func TestFigure15TrajectoryExperiment(t *testing.T) {
+	tab, traj, err := Figure15Trajectory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 30 {
+		t.Fatalf("expected 30 trajectory rows, got %d", len(tab.Rows))
+	}
+	if traj.FinalFlowValue < 3 || traj.FinalFlowValue > 5 {
+		t.Errorf("final flow %.2f outside the expected range around 4", traj.FinalFlowValue)
+	}
+}
+
+func TestFigure5WaveformExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waveform simulation skipped in -short mode")
+	}
+	tab, wf, err := Figure5Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 10 {
+		t.Fatalf("too few waveform rows")
+	}
+	if wf.FinalFlowValue < 1.0 || wf.FinalFlowValue > 2.5 {
+		t.Errorf("final flow %.2f outside expected range", wf.FinalFlowValue)
+	}
+}
+
+func TestPowerAnalysis(t *testing.T) {
+	tab, err := PowerAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "10000") || !strings.Contains(out, "300000") {
+		t.Errorf("power table missing the paper's 1e4 / 3e5 edge counts:\n%s", out)
+	}
+}

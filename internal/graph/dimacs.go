@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements reading and writing of max-flow instances in the
+// DIMACS max-flow format, the de-facto interchange format for network-flow
+// benchmarks.  The format is line oriented:
+//
+//	c <comment>
+//	p max <vertices> <edges>
+//	n <vertex> s            (source, 1-based)
+//	n <vertex> t            (sink, 1-based)
+//	a <from> <to> <capacity>
+//
+// Vertices are 1-based in the file and 0-based in Graph.
+
+// WriteDIMACS writes g to w in DIMACS max-flow format.
+func WriteDIMACS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "c analogflow max-flow instance\n")
+	fmt.Fprintf(bw, "p max %d %d\n", g.NumVertices(), g.NumEdges())
+	fmt.Fprintf(bw, "n %d s\n", g.Source()+1)
+	fmt.Fprintf(bw, "n %d t\n", g.Sink()+1)
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "a %d %d %g\n", e.From+1, e.To+1, e.Capacity)
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACS parses a DIMACS max-flow instance from r.
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var (
+		g       *Graph
+		n, m    int
+		source  = -1
+		sink    = -1
+		arcs    [][3]float64
+		gotProb bool
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "c":
+			continue
+		case "p":
+			if len(fields) != 4 || fields[1] != "max" {
+				return nil, fmt.Errorf("dimacs line %d: malformed problem line %q", lineNo, line)
+			}
+			var err1, err2 error
+			n, err1 = strconv.Atoi(fields[2])
+			m, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || n < 2 || m < 0 {
+				return nil, fmt.Errorf("dimacs line %d: bad problem sizes %q", lineNo, line)
+			}
+			gotProb = true
+		case "n":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dimacs line %d: malformed node descriptor %q", lineNo, line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("dimacs line %d: bad vertex id %q", lineNo, fields[1])
+			}
+			switch fields[2] {
+			case "s":
+				source = v - 1
+			case "t":
+				sink = v - 1
+			default:
+				return nil, fmt.Errorf("dimacs line %d: unknown node designator %q", lineNo, fields[2])
+			}
+		case "a":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dimacs line %d: malformed arc %q", lineNo, line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			c, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dimacs line %d: bad arc fields %q", lineNo, line)
+			}
+			arcs = append(arcs, [3]float64{float64(u - 1), float64(v - 1), c})
+		default:
+			return nil, fmt.Errorf("dimacs line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !gotProb {
+		return nil, fmt.Errorf("dimacs: missing problem line")
+	}
+	if source < 0 || sink < 0 {
+		return nil, fmt.Errorf("dimacs: missing source or sink designator")
+	}
+	var err error
+	g, err = New(n, source, sink)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range arcs {
+		if _, err := g.AddEdge(int(a[0]), int(a[1]), a[2]); err != nil {
+			return nil, fmt.Errorf("dimacs: arc %v: %w", a, err)
+		}
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("dimacs: problem line declares %d arcs, found %d", m, g.NumEdges())
+	}
+	return g, nil
+}

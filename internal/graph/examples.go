@@ -1,0 +1,60 @@
+package graph
+
+// This file provides the two worked examples from the paper as ready-made
+// graphs.  They are used throughout the test suites, the examples, and the
+// Figure 5 / Figure 8 / Figure 15 experiment harnesses.
+
+// PaperFigure5 returns the max-flow instance of Figure 5a of the paper:
+//
+//	vertices: s, n1, n2, n3, t   (indices 0..4)
+//	edges:    x1 = (s,  n1) cap 3
+//	          x2 = (n1, n2) cap 2
+//	          x3 = (n1, n3) cap 1
+//	          x4 = (n2, t)  cap 1
+//	          x5 = (n3, t)  cap 2
+//
+// Edge indices 0..4 correspond to the paper's x1..x5.  The exact max-flow
+// value of the instance is 2 (the paper's Figure 8 "exact solution |f|=2"):
+// each of the two s-t paths is limited to 1 by x4 and x3 respectively, so x1
+// carries 2 in the optimum even though its own capacity is 3, matching the
+// waveform of Figure 5c where V(x1) settles at 2 V and V(x3), V(x4) saturate
+// at 1 V.
+func PaperFigure5() *Graph {
+	g := MustNew(5, 0, 4)
+	g.MustAddEdge(0, 1, 3) // x1: s  -> n1
+	g.MustAddEdge(1, 2, 2) // x2: n1 -> n2
+	g.MustAddEdge(1, 3, 1) // x3: n1 -> n3
+	g.MustAddEdge(2, 4, 1) // x4: n2 -> t
+	g.MustAddEdge(3, 4, 2) // x5: n3 -> t
+	return g
+}
+
+// PaperFigure5MaxFlow is the optimal flow value of the Figure 5a instance.
+const PaperFigure5MaxFlow = 2.0
+
+// PaperFigure15 returns the max-flow instance of Figure 15a / Equation (8) of
+// the paper, used for the quasi-static trajectory study:
+//
+//	maximize x1
+//	x1 = x2 + x3, 0 <= x1 <= 4, 0 <= x2 <= 1, 0 <= x3 <= 4
+//
+// The two "infinite capacity" edges of the figure are modelled with a
+// capacity large enough never to bind (the paper uses them only so that the
+// flow is limited by x1, x2 and x3), but small enough that the Table 1
+// voltage quantizer still resolves the binding capacities.  Edge indices:
+// 0=x1 (s->n1), 1=x2 (n1->n2), 2=x3 (n1->n3), 3=(n2->t, unconstrained),
+// 4=(n3->t, unconstrained).
+func PaperFigure15() *Graph {
+	const unbounded = 8
+	g := MustNew(5, 0, 4)
+	g.MustAddEdge(0, 1, 4)         // x1
+	g.MustAddEdge(1, 2, 1)         // x2
+	g.MustAddEdge(1, 3, 4)         // x3
+	g.MustAddEdge(2, 4, unbounded) // n2 -> t, effectively uncapacitated
+	g.MustAddEdge(3, 4, unbounded) // n3 -> t, effectively uncapacitated
+	return g
+}
+
+// PaperFigure15MaxFlow is the optimal flow value of the Figure 15a instance:
+// x1 = 4 (x2 = 1, x3 = 3).
+const PaperFigure15MaxFlow = 4.0

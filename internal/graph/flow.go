@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Flow is an assignment of flow values to the edges of a Graph, indexed by
+// edge index.  It is the common output type of the classical algorithms in
+// internal/maxflow and of the analog substrate in internal/core, so the two
+// can be compared edge-by-edge.
+type Flow struct {
+	// Edge[i] is the flow f(e_i) on edge i.
+	Edge []float64
+	// Value is the net flow out of the source, |f|.
+	Value float64
+}
+
+// NewFlow returns an all-zero flow for g.
+func NewFlow(g *Graph) *Flow {
+	return &Flow{Edge: make([]float64, g.NumEdges())}
+}
+
+// Clone returns a deep copy of the flow.
+func (f *Flow) Clone() *Flow {
+	c := &Flow{Edge: make([]float64, len(f.Edge)), Value: f.Value}
+	copy(c.Edge, f.Edge)
+	return c
+}
+
+// RecomputeValue recomputes Value as the net flow out of the source of g and
+// stores and returns it.  It does not validate feasibility.
+func (f *Flow) RecomputeValue(g *Graph) float64 {
+	var v float64
+	for _, idx := range g.OutEdges(g.Source()) {
+		v += f.Edge[idx]
+	}
+	for _, idx := range g.InEdges(g.Source()) {
+		v -= f.Edge[idx]
+	}
+	f.Value = v
+	return v
+}
+
+// FeasibilityReport describes how far a flow is from being feasible for a
+// graph: the largest capacity violation, the largest negative flow, and the
+// largest conservation violation over the interior vertices.
+type FeasibilityReport struct {
+	MaxCapacityViolation     float64
+	MaxNegativeFlow          float64
+	MaxConservationViolation float64
+	// WorstVertex is the interior vertex with the largest conservation
+	// violation, or -1 if there is none.
+	WorstVertex int
+}
+
+// Feasible reports whether all violations are within tol.
+func (r FeasibilityReport) Feasible(tol float64) bool {
+	return r.MaxCapacityViolation <= tol &&
+		r.MaxNegativeFlow <= tol &&
+		r.MaxConservationViolation <= tol
+}
+
+func (r FeasibilityReport) String() string {
+	return fmt.Sprintf("feasibility{cap=%.3g neg=%.3g cons=%.3g worst=%d}",
+		r.MaxCapacityViolation, r.MaxNegativeFlow, r.MaxConservationViolation, r.WorstVertex)
+}
+
+// CheckFeasibility measures constraint violations of f on g.  Analog solutions
+// are only approximately feasible (quantization, finite op-amp gain), so the
+// report is quantitative rather than a boolean.
+func (f *Flow) CheckFeasibility(g *Graph) FeasibilityReport {
+	rep := FeasibilityReport{WorstVertex: -1}
+	for i, e := range g.Edges() {
+		fe := f.Edge[i]
+		if fe < 0 && -fe > rep.MaxNegativeFlow {
+			rep.MaxNegativeFlow = -fe
+		}
+		if over := fe - e.Capacity; over > rep.MaxCapacityViolation {
+			rep.MaxCapacityViolation = over
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if v == g.Source() || v == g.Sink() {
+			continue
+		}
+		var net float64
+		for _, idx := range g.InEdges(v) {
+			net += f.Edge[idx]
+		}
+		for _, idx := range g.OutEdges(v) {
+			net -= f.Edge[idx]
+		}
+		if math.Abs(net) > rep.MaxConservationViolation {
+			rep.MaxConservationViolation = math.Abs(net)
+			rep.WorstVertex = v
+		}
+	}
+	return rep
+}
+
+// RelativeError returns |f.Value - reference| / reference, the metric the
+// paper plots on the right axis of Figure 10.  If reference is zero the
+// absolute difference is returned.
+func (f *Flow) RelativeError(reference float64) float64 {
+	if reference == 0 {
+		return math.Abs(f.Value)
+	}
+	return math.Abs(f.Value-reference) / math.Abs(reference)
+}
+
+// Cut is an s-t cut: a partition of the vertices into a source side and a sink
+// side, together with the indices of the edges crossing from the source side
+// to the sink side and their total capacity.
+type Cut struct {
+	// SourceSide[v] is true if vertex v is on the source side of the cut.
+	SourceSide []bool
+	// Edges are indices of edges from the source side to the sink side.
+	Edges []int
+	// Capacity is the total capacity of the crossing edges.
+	Capacity float64
+}
+
+// CutFromPartition builds a Cut from a source-side indicator vector.
+func CutFromPartition(g *Graph, sourceSide []bool) (*Cut, error) {
+	if len(sourceSide) != g.NumVertices() {
+		return nil, fmt.Errorf("graph: partition has %d entries, graph has %d vertices", len(sourceSide), g.NumVertices())
+	}
+	if !sourceSide[g.Source()] {
+		return nil, fmt.Errorf("graph: source not on source side of cut")
+	}
+	if sourceSide[g.Sink()] {
+		return nil, fmt.Errorf("graph: sink on source side of cut")
+	}
+	c := &Cut{SourceSide: append([]bool(nil), sourceSide...)}
+	for i, e := range g.Edges() {
+		if sourceSide[e.From] && !sourceSide[e.To] {
+			c.Edges = append(c.Edges, i)
+			c.Capacity += e.Capacity
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,351 @@
+// Package graph provides the directed flow-network representation used by
+// every other subsystem in analogflow: the classical max-flow algorithms in
+// internal/maxflow, the analog-circuit construction in internal/builder, and
+// the crossbar mapping in internal/crossbar.
+//
+// A Graph is a directed multigraph with non-negative integral edge capacities,
+// a designated source and sink, and stable edge indices.  Edge indices matter
+// because the analog substrate identifies each edge with a circuit node (the
+// paper's x_i), so the mapping between graph edges and circuit nodes must be
+// deterministic and stable across the whole pipeline.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is a single directed, capacitated edge.  Edges are identified by their
+// index in Graph.Edges; that index is used everywhere downstream (flows,
+// circuit nodes, crossbar intersections).
+type Edge struct {
+	// From and To are vertex identifiers in [0, NumVertices).
+	From, To int
+	// Capacity is the non-negative edge capacity c_e.  The paper assumes
+	// nonzero integral capacities; we store float64 so that quantized and
+	// de-quantized capacities flow through the same type, but constructors
+	// validate non-negativity.
+	Capacity float64
+}
+
+// Graph is a directed flow network.  The zero value is an empty graph with no
+// vertices; use New to create a graph with a fixed vertex count.
+type Graph struct {
+	n      int
+	edges  []Edge
+	out    [][]int // out[v] = indices of edges leaving v
+	in     [][]int // in[v]  = indices of edges entering v
+	source int
+	sink   int
+}
+
+// Common errors returned by graph constructors and validators.
+var (
+	ErrVertexRange      = errors.New("graph: vertex out of range")
+	ErrNegativeCapacity = errors.New("graph: negative edge capacity")
+	ErrSelfLoop         = errors.New("graph: self loop not allowed")
+	ErrSameSourceSink   = errors.New("graph: source and sink must differ")
+)
+
+// New returns an empty graph with n vertices, source s and sink t.
+func New(n, s, t int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: need at least 2 vertices, got %d", n)
+	}
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return nil, ErrVertexRange
+	}
+	if s == t {
+		return nil, ErrSameSourceSink
+	}
+	return &Graph{
+		n:      n,
+		out:    make([][]int, n),
+		in:     make([][]int, n),
+		source: s,
+		sink:   t,
+	}, nil
+}
+
+// MustNew is New but panics on error.  Intended for tests and examples where
+// the arguments are literals.
+func MustNew(n, s, t int) *Graph {
+	g, err := New(n, s, t)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumVertices returns the number of vertices |V|.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of edges |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Source returns the source vertex s.
+func (g *Graph) Source() int { return g.source }
+
+// Sink returns the sink vertex t.
+func (g *Graph) Sink() int { return g.sink }
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Edges returns a copy of the edge list.  The copy keeps callers from
+// accidentally invalidating the adjacency indices.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// AddEdge appends a directed edge from u to v with the given capacity and
+// returns its index.  Self loops and negative capacities are rejected.
+// Parallel edges are allowed (they are common in reductions, e.g. undirected
+// graphs converted to directed ones).
+func (g *Graph) AddEdge(u, v int, capacity float64) (int, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return -1, ErrVertexRange
+	}
+	if u == v {
+		return -1, ErrSelfLoop
+	}
+	if capacity < 0 {
+		return -1, ErrNegativeCapacity
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{From: u, To: v, Capacity: capacity})
+	g.out[u] = append(g.out[u], idx)
+	g.in[v] = append(g.in[v], idx)
+	return idx, nil
+}
+
+// MustAddEdge is AddEdge but panics on error.
+func (g *Graph) MustAddEdge(u, v int, capacity float64) int {
+	idx, err := g.AddEdge(u, v, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// OutEdges returns the indices of edges leaving v.
+func (g *Graph) OutEdges(v int) []int { return g.out[v] }
+
+// InEdges returns the indices of edges entering v.
+func (g *Graph) InEdges(v int) []int { return g.in[v] }
+
+// OutDegree returns the number of edges leaving v.
+func (g *Graph) OutDegree(v int) int { return len(g.out[v]) }
+
+// InDegree returns the number of edges entering v.
+func (g *Graph) InDegree(v int) int { return len(g.in[v]) }
+
+// Degree returns in-degree plus out-degree of v (the paper's N = j + k used to
+// size the conservation widget's negative resistor).
+func (g *Graph) Degree(v int) int { return len(g.in[v]) + len(g.out[v]) }
+
+// MaxCapacity returns the largest edge capacity C, used by the quantizer.
+// It returns 0 for a graph with no edges.
+func (g *Graph) MaxCapacity() float64 {
+	var c float64
+	for _, e := range g.edges {
+		if e.Capacity > c {
+			c = e.Capacity
+		}
+	}
+	return c
+}
+
+// TotalCapacity returns the sum of all edge capacities.
+func (g *Graph) TotalCapacity() float64 {
+	var c float64
+	for _, e := range g.edges {
+		c += e.Capacity
+	}
+	return c
+}
+
+// SourceCapacity returns the total capacity out of the source, an upper bound
+// on the max-flow value.
+func (g *Graph) SourceCapacity() float64 {
+	var c float64
+	for _, i := range g.out[g.source] {
+		c += g.edges[i].Capacity
+	}
+	return c
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:      g.n,
+		edges:  make([]Edge, len(g.edges)),
+		out:    make([][]int, g.n),
+		in:     make([][]int, g.n),
+		source: g.source,
+		sink:   g.sink,
+	}
+	copy(c.edges, g.edges)
+	for v := 0; v < g.n; v++ {
+		c.out[v] = append([]int(nil), g.out[v]...)
+		c.in[v] = append([]int(nil), g.in[v]...)
+	}
+	return c
+}
+
+// WithCapacities returns a copy of the graph whose edge capacities are
+// replaced by caps (indexed by edge index).  It is used by the quantizer,
+// which rewrites capacities onto discrete voltage levels.
+func (g *Graph) WithCapacities(caps []float64) (*Graph, error) {
+	if len(caps) != len(g.edges) {
+		return nil, fmt.Errorf("graph: capacity slice has %d entries, graph has %d edges", len(caps), len(g.edges))
+	}
+	c := g.Clone()
+	for i := range c.edges {
+		if caps[i] < 0 {
+			return nil, ErrNegativeCapacity
+		}
+		c.edges[i].Capacity = caps[i]
+	}
+	return c, nil
+}
+
+// Validate performs structural sanity checks: adjacency lists consistent with
+// the edge list, all endpoints in range, no negative capacities.
+func (g *Graph) Validate() error {
+	if g.n < 2 {
+		return fmt.Errorf("graph: %d vertices", g.n)
+	}
+	if g.source < 0 || g.source >= g.n || g.sink < 0 || g.sink >= g.n {
+		return ErrVertexRange
+	}
+	if g.source == g.sink {
+		return ErrSameSourceSink
+	}
+	for i, e := range g.edges {
+		if e.From < 0 || e.From >= g.n || e.To < 0 || e.To >= g.n {
+			return fmt.Errorf("graph: edge %d endpoint out of range", i)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("graph: edge %d is a self loop", i)
+		}
+		if e.Capacity < 0 {
+			return fmt.Errorf("graph: edge %d has negative capacity", i)
+		}
+	}
+	seenOut := 0
+	for v := 0; v < g.n; v++ {
+		for _, idx := range g.out[v] {
+			if idx < 0 || idx >= len(g.edges) || g.edges[idx].From != v {
+				return fmt.Errorf("graph: out adjacency of vertex %d inconsistent", v)
+			}
+			seenOut++
+		}
+		for _, idx := range g.in[v] {
+			if idx < 0 || idx >= len(g.edges) || g.edges[idx].To != v {
+				return fmt.Errorf("graph: in adjacency of vertex %d inconsistent", v)
+			}
+		}
+	}
+	if seenOut != len(g.edges) {
+		return fmt.Errorf("graph: adjacency covers %d edges, graph has %d", seenOut, len(g.edges))
+	}
+	return nil
+}
+
+// String renders a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{|V|=%d |E|=%d s=%d t=%d}", g.n, len(g.edges), g.source, g.sink)
+}
+
+// HasEdge reports whether at least one edge u->v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n {
+		return false
+	}
+	for _, idx := range g.out[u] {
+		if g.edges[idx].To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AdjacencyMatrix returns the n x n capacity adjacency matrix.  Parallel edges
+// are summed.  The crossbar configuration in internal/crossbar is essentially
+// a physical realisation of this matrix (Section 3 of the paper).
+func (g *Graph) AdjacencyMatrix() [][]float64 {
+	m := make([][]float64, g.n)
+	for i := range m {
+		m[i] = make([]float64, g.n)
+	}
+	for _, e := range g.edges {
+		m[e.From][e.To] += e.Capacity
+	}
+	return m
+}
+
+// ReachableFromSource returns the set of vertices reachable from the source
+// through edges of positive capacity, as a boolean slice.
+func (g *Graph) ReachableFromSource() []bool {
+	seen := make([]bool, g.n)
+	stack := []int{g.source}
+	seen[g.source] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, idx := range g.out[v] {
+			e := g.edges[idx]
+			if e.Capacity > 0 && !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// SinkReachable reports whether the sink is reachable from the source, i.e.
+// whether a nonzero flow can exist at all.
+func (g *Graph) SinkReachable() bool {
+	return g.ReachableFromSource()[g.sink]
+}
+
+// FromUndirected builds a directed graph from an undirected edge list by
+// allocating two opposite directed edges with the same capacity, which is the
+// standard reduction the paper mentions in its footnote 1.
+func FromUndirected(n, s, t int, undirected []Edge) (*Graph, error) {
+	g, err := New(n, s, t)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range undirected {
+		if _, err := g.AddEdge(e.From, e.To, e.Capacity); err != nil {
+			return nil, err
+		}
+		if _, err := g.AddEdge(e.To, e.From, e.Capacity); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// SortedEdgeIndicesByCapacity returns edge indices sorted by descending
+// capacity, tie-broken by index.  Used by heuristics in internal/cluster.
+func (g *Graph) SortedEdgeIndicesByCapacity() []int {
+	idx := make([]int, len(g.edges))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := g.edges[idx[a]].Capacity, g.edges[idx[b]].Capacity
+		if ca != cb {
+			return ca > cb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}

@@ -1,0 +1,371 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, s, t int
+		wantErr bool
+	}{
+		{"ok", 4, 0, 3, false},
+		{"too small", 1, 0, 0, true},
+		{"source out of range", 4, -1, 3, true},
+		{"sink out of range", 4, 0, 4, true},
+		{"source equals sink", 4, 2, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.n, tc.s, tc.t)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("New(%d,%d,%d) err=%v wantErr=%v", tc.n, tc.s, tc.t, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on invalid arguments")
+		}
+	}()
+	MustNew(1, 0, 0)
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := MustNew(3, 0, 2)
+	if _, err := g.AddEdge(0, 0, 1); err != ErrSelfLoop {
+		t.Errorf("self loop: got %v", err)
+	}
+	if _, err := g.AddEdge(0, 5, 1); err != ErrVertexRange {
+		t.Errorf("range: got %v", err)
+	}
+	if _, err := g.AddEdge(0, 1, -1); err != ErrNegativeCapacity {
+		t.Errorf("negative: got %v", err)
+	}
+	if _, err := g.AddEdge(0, 1, 2); err != nil {
+		t.Errorf("valid edge: got %v", err)
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := PaperFigure5()
+	if g.NumVertices() != 5 || g.NumEdges() != 5 {
+		t.Fatalf("unexpected sizes: %v", g)
+	}
+	if got := g.OutDegree(1); got != 2 {
+		t.Errorf("out degree of n1 = %d, want 2", got)
+	}
+	if got := g.InDegree(4); got != 2 {
+		t.Errorf("in degree of t = %d, want 2", got)
+	}
+	if got := g.Degree(1); got != 3 {
+		t.Errorf("degree of n1 = %d, want 3", got)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Errorf("HasEdge wrong for (0,1)/(1,0)")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestMaxAndTotalCapacity(t *testing.T) {
+	g := PaperFigure5()
+	if got := g.MaxCapacity(); got != 3 {
+		t.Errorf("MaxCapacity = %g, want 3", got)
+	}
+	if got := g.TotalCapacity(); got != 9 { // 3+2+1+1+2
+		t.Errorf("TotalCapacity = %g, want 9", got)
+	}
+	if got := g.SourceCapacity(); got != 3 {
+		t.Errorf("SourceCapacity = %g, want 3", got)
+	}
+	empty := MustNew(2, 0, 1)
+	if got := empty.MaxCapacity(); got != 0 {
+		t.Errorf("empty MaxCapacity = %g, want 0", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := PaperFigure5()
+	c := g.Clone()
+	c.MustAddEdge(0, 2, 7)
+	if g.NumEdges() != 5 {
+		t.Errorf("mutating clone changed original: %d edges", g.NumEdges())
+	}
+	if c.NumEdges() != 6 {
+		t.Errorf("clone did not gain edge: %d edges", c.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("original invalid after clone mutation: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestWithCapacities(t *testing.T) {
+	g := PaperFigure5()
+	caps := []float64{1, 1, 1, 1, 1}
+	q, err := g.WithCapacities(caps)
+	if err != nil {
+		t.Fatalf("WithCapacities: %v", err)
+	}
+	for i := 0; i < q.NumEdges(); i++ {
+		if q.Edge(i).Capacity != 1 {
+			t.Errorf("edge %d capacity %g, want 1", i, q.Edge(i).Capacity)
+		}
+	}
+	if g.Edge(0).Capacity != 3 {
+		t.Errorf("original capacity modified")
+	}
+	if _, err := g.WithCapacities([]float64{1}); err == nil {
+		t.Errorf("short capacity slice accepted")
+	}
+	if _, err := g.WithCapacities([]float64{1, 1, 1, 1, -1}); err == nil {
+		t.Errorf("negative capacity accepted")
+	}
+}
+
+func TestAdjacencyMatrix(t *testing.T) {
+	g := PaperFigure5()
+	m := g.AdjacencyMatrix()
+	if m[0][1] != 3 || m[1][2] != 2 || m[1][3] != 1 || m[2][4] != 1 || m[3][4] != 2 {
+		t.Errorf("adjacency matrix wrong: %v", m)
+	}
+	var total float64
+	for _, row := range m {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != g.TotalCapacity() {
+		t.Errorf("matrix total %g != total capacity %g", total, g.TotalCapacity())
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := PaperFigure5()
+	if !g.SinkReachable() {
+		t.Errorf("sink should be reachable in Figure 5 graph")
+	}
+	// Disconnect the sink: zero-capacity edges do not count as reachable.
+	caps := []float64{3, 0, 0, 1, 2}
+	q, err := g.WithCapacities(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.SinkReachable() {
+		t.Errorf("sink should be unreachable with zeroed middle edges")
+	}
+}
+
+func TestFromUndirected(t *testing.T) {
+	und := []Edge{{From: 0, To: 1, Capacity: 2}, {From: 1, To: 2, Capacity: 5}}
+	g, err := FromUndirected(3, 0, 2, und)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("expected 4 directed edges, got %d", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Errorf("missing reverse edges")
+	}
+}
+
+func TestSortedEdgeIndicesByCapacity(t *testing.T) {
+	g := PaperFigure5()
+	idx := g.SortedEdgeIndicesByCapacity()
+	for i := 1; i < len(idx); i++ {
+		if g.Edge(idx[i-1]).Capacity < g.Edge(idx[i]).Capacity {
+			t.Fatalf("not sorted descending at %d", i)
+		}
+	}
+}
+
+func TestFlowFeasibility(t *testing.T) {
+	g := PaperFigure5()
+	f := NewFlow(g)
+	// Optimal flow for Figure 5: x1=2, x2=1, x3=1, x4=1, x5=1.
+	f.Edge[0], f.Edge[1], f.Edge[2], f.Edge[3], f.Edge[4] = 2, 1, 1, 1, 1
+	f.RecomputeValue(g)
+	if f.Value != 2 {
+		t.Errorf("flow value %g, want 2", f.Value)
+	}
+	rep := f.CheckFeasibility(g)
+	if !rep.Feasible(1e-12) {
+		t.Errorf("optimal flow reported infeasible: %v", rep)
+	}
+	// Violate conservation at n1.
+	f.Edge[1] = 2
+	rep = f.CheckFeasibility(g)
+	if rep.Feasible(1e-12) {
+		t.Errorf("conservation violation not detected")
+	}
+	if rep.WorstVertex != 1 {
+		t.Errorf("worst vertex %d, want 1", rep.WorstVertex)
+	}
+	// Violate capacity.
+	f2 := NewFlow(g)
+	f2.Edge[0] = 10
+	rep = f2.CheckFeasibility(g)
+	if rep.MaxCapacityViolation != 7 {
+		t.Errorf("capacity violation %g, want 7", rep.MaxCapacityViolation)
+	}
+	// Negative flow.
+	f3 := NewFlow(g)
+	f3.Edge[2] = -0.5
+	rep = f3.CheckFeasibility(g)
+	if rep.MaxNegativeFlow != 0.5 {
+		t.Errorf("negative flow %g, want 0.5", rep.MaxNegativeFlow)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	f := &Flow{Value: 2.1}
+	if got := f.RelativeError(2.0); got < 0.049 || got > 0.051 {
+		t.Errorf("relative error %g, want 0.05", got)
+	}
+	if got := f.RelativeError(0); got != 2.1 {
+		t.Errorf("relative error with zero reference %g, want 2.1", got)
+	}
+}
+
+func TestCutFromPartition(t *testing.T) {
+	g := PaperFigure5()
+	// The minimum cut of the Figure 5 instance is {s, n1, n2} vs {n3, t}:
+	// crossing edges are x3 (n1->n3, capacity 1) and x4 (n2->t, capacity 1),
+	// total capacity 2, matching the max-flow value the paper reports.
+	part := []bool{true, true, true, false, false}
+	cut, err := CutFromPartition(g, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Capacity != 2 { // x3 (1) + x4 (1)
+		t.Errorf("cut capacity %g, want 2", cut.Capacity)
+	}
+	if len(cut.Edges) != 2 {
+		t.Errorf("cut has %d edges, want 2", len(cut.Edges))
+	}
+	if _, err := CutFromPartition(g, []bool{true}); err == nil {
+		t.Errorf("short partition accepted")
+	}
+	bad := []bool{false, true, true, true, false}
+	if _, err := CutFromPartition(g, bad); err == nil {
+		t.Errorf("partition excluding source accepted")
+	}
+	bad2 := []bool{true, true, true, true, true}
+	if _, err := CutFromPartition(g, bad2); err == nil {
+		t.Errorf("partition including sink accepted")
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := PaperFigure5()
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: %v vs %v", g2, g)
+	}
+	if g2.Source() != g.Source() || g2.Sink() != g.Sink() {
+		t.Fatalf("round trip changed terminals")
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(i) != g2.Edge(i) {
+			t.Errorf("edge %d mismatch: %v vs %v", i, g.Edge(i), g2.Edge(i))
+		}
+	}
+}
+
+func TestDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing problem":     "n 1 s\nn 2 t\na 1 2 3\n",
+		"missing terminals":   "p max 2 1\na 1 2 3\n",
+		"bad record":          "p max 2 1\nn 1 s\nn 2 t\nz 1 2 3\n",
+		"bad arc":             "p max 2 1\nn 1 s\nn 2 t\na 1 2\n",
+		"bad node designator": "p max 2 1\nn 1 q\nn 2 t\na 1 2 3\n",
+		"arc count mismatch":  "p max 3 2\nn 1 s\nn 2 t\na 1 2 3\n",
+		"bad problem line":    "p min 2 1\nn 1 s\nn 2 t\na 1 2 3\n",
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadDIMACS(strings.NewReader(text)); err == nil {
+				t.Errorf("expected error for %q", name)
+			}
+		})
+	}
+}
+
+func TestPaperFigure15Graph(t *testing.T) {
+	g := PaperFigure15()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("expected 5 edges, got %d", g.NumEdges())
+	}
+	if g.Edge(0).Capacity != 4 || g.Edge(1).Capacity != 1 || g.Edge(2).Capacity != 4 {
+		t.Errorf("x1/x2/x3 capacities wrong")
+	}
+}
+
+// Property: random graphs generated edge-by-edge always validate, clone to an
+// equal structure, and have adjacency consistent with degree counts.
+func TestRandomGraphInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := MustNew(n, 0, n-1)
+		m := rng.Intn(60)
+		for i := 0; i < m; i++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.MustAddEdge(u, v, float64(1+rng.Intn(100)))
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		totalOut := 0
+		for v := 0; v < n; v++ {
+			totalOut += g.OutDegree(v)
+		}
+		if totalOut != g.NumEdges() {
+			return false
+		}
+		c := g.Clone()
+		if c.NumEdges() != g.NumEdges() || c.Validate() != nil {
+			return false
+		}
+		// DIMACS round trip preserves the instance.
+		var buf bytes.Buffer
+		if WriteDIMACS(&buf, g) != nil {
+			return false
+		}
+		g2, err := ReadDIMACS(&buf)
+		if err != nil || g2.NumEdges() != g.NumEdges() || g2.NumVertices() != g.NumVertices() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package graph
+
+// PruneResult is the outcome of PruneToSTCore: the reduced graph plus the
+// mappings needed to translate solutions back to the original instance.
+type PruneResult struct {
+	// Graph is the pruned graph.
+	Graph *Graph
+	// EdgeMap[i] is the original edge index of pruned edge i.
+	EdgeMap []int
+	// VertexMap[v] is the original vertex index of pruned vertex v.
+	VertexMap []int
+	// RemovedEdges counts edges dropped by the pruning.
+	RemovedEdges int
+	// RemovedVertices counts vertices dropped by the pruning.
+	RemovedVertices int
+}
+
+// PruneToSTCore removes the parts of the graph that cannot carry any s-t
+// flow: vertices that are unreachable from the source or cannot reach the
+// sink, edges incident to such vertices, edges directed into the source and
+// edges directed out of the sink.  None of these can carry positive flow in
+// at least one maximum flow, so the max-flow value is preserved exactly.
+//
+// The analog substrate benefits twice from the pass: the pruned instance
+// needs fewer crossbar cells (Section 3), and the removed structures are
+// precisely the ones whose conservation widgets add no information while
+// still loading the circuit.
+func PruneToSTCore(g *Graph) *PruneResult {
+	n := g.NumVertices()
+	// usable reports whether an edge may carry s-t flow structurally: it must
+	// have positive capacity and must not re-enter the source or leave the
+	// sink.  Reachability is computed over usable edges only so that the
+	// result is a fixpoint (pruning a pruned graph changes nothing).
+	usable := func(e Edge) bool {
+		return e.Capacity > 0 && e.To != g.Source() && e.From != g.Sink()
+	}
+	reachFromS := make([]bool, n)
+	reachFromS[g.Source()] = true
+	stack := []int{g.Source()}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, idx := range g.OutEdges(v) {
+			e := g.Edge(idx)
+			if usable(e) && !reachFromS[e.To] {
+				reachFromS[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	// Reverse reachability to the sink.
+	reachToT := make([]bool, n)
+	reachToT[g.Sink()] = true
+	stack = []int{g.Sink()}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, idx := range g.InEdges(v) {
+			e := g.Edge(idx)
+			if usable(e) && !reachToT[e.From] {
+				reachToT[e.From] = true
+				stack = append(stack, e.From)
+			}
+		}
+	}
+
+	keepVertex := make([]bool, n)
+	for v := 0; v < n; v++ {
+		keepVertex[v] = reachFromS[v] && reachToT[v]
+	}
+	// The terminals always survive so the pruned instance remains a valid
+	// flow network even when no s-t path exists.
+	keepVertex[g.Source()] = true
+	keepVertex[g.Sink()] = true
+
+	res := &PruneResult{}
+	newIndex := make([]int, n)
+	for v := 0; v < n; v++ {
+		newIndex[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if keepVertex[v] {
+			newIndex[v] = len(res.VertexMap)
+			res.VertexMap = append(res.VertexMap, v)
+		} else {
+			res.RemovedVertices++
+		}
+	}
+	pruned := MustNew(len(res.VertexMap), newIndex[g.Source()], newIndex[g.Sink()])
+	for i, e := range g.Edges() {
+		if !keepVertex[e.From] || !keepVertex[e.To] ||
+			e.To == g.Source() || e.From == g.Sink() || e.Capacity <= 0 {
+			res.RemovedEdges++
+			continue
+		}
+		pruned.MustAddEdge(newIndex[e.From], newIndex[e.To], e.Capacity)
+		res.EdgeMap = append(res.EdgeMap, i)
+	}
+	res.Graph = pruned
+	return res
+}
+
+// ExpandFlow maps a flow on the pruned graph back onto the original graph's
+// edge indexing (pruned-away edges carry zero flow).
+func (r *PruneResult) ExpandFlow(original *Graph, pruned *Flow) *Flow {
+	f := NewFlow(original)
+	for i, orig := range r.EdgeMap {
+		f.Edge[orig] = pruned.Edge[i]
+	}
+	f.RecomputeValue(original)
+	return f
+}
+
+// STDepth returns the breadth-first distance (in edges) from the source to
+// the sink, or -1 when the sink is unreachable.  The convergence-time model
+// of the analog substrate uses it as the number of widget "hops" a settling
+// wave must traverse.
+func STDepth(g *Graph) int {
+	dist := make([]int, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[g.Source()] = 0
+	queue := []int{g.Source()}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == g.Sink() {
+			return dist[v]
+		}
+		for _, idx := range g.OutEdges(v) {
+			e := g.Edge(idx)
+			if e.Capacity > 0 && dist[e.To] < 0 {
+				dist[e.To] = dist[v] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist[g.Sink()]
+}
+
+// LongestAugmentingDepth returns an upper estimate of the longest simple s-t
+// path length obtained from a DAG relaxation over BFS levels; the Vflow
+// auto-scaling of the analog solver uses it to pick a drive voltage large
+// enough to saturate the deepest chain of conservation widgets.
+func LongestAugmentingDepth(g *Graph) int {
+	// Longest path is NP-hard in general; a cheap, adequate proxy is the
+	// number of BFS levels that contain at least one vertex on an s-t path.
+	pr := PruneToSTCore(g)
+	p := pr.Graph
+	dist := make([]int, p.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[p.Source()] = 0
+	queue := []int{p.Source()}
+	maxLevel := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, idx := range p.OutEdges(v) {
+			e := p.Edge(idx)
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[v] + 1
+				if dist[e.To] > maxLevel {
+					maxLevel = dist[e.To]
+				}
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if maxLevel == 0 {
+		return 1
+	}
+	return maxLevel
+}

@@ -1,0 +1,226 @@
+// Package lp provides a small dense linear-programming toolkit: a standard
+// two-phase primal simplex solver and the max-flow / min-cut LP formulations
+// the paper works with (Section 2 states max-flow as the restricted LP the
+// circuit solves; Figure 12 gives the dual min-cut LP).
+//
+// The solver exists as an independent cross-check of the combinatorial
+// algorithms in internal/maxflow and of the analog substrate: all three must
+// agree on the optimal value.  It is a dense tableau implementation intended
+// for the instance sizes of the paper's examples and the unit tests, not for
+// the 8000-edge sweeps.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is a linear program in the canonical form
+//
+//	maximize   c^T x
+//	subject to A x <= b,  x >= 0
+//
+// (inequalities only; equalities are expressed as a pair of inequalities by
+// the formulation helpers).
+type Problem struct {
+	// C is the objective vector (length n).
+	C []float64
+	// A is the constraint matrix (m rows, each of length n).
+	A [][]float64
+	// B is the right-hand side (length m).
+	B []float64
+}
+
+// Validate checks dimensional consistency.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return errors.New("lp: empty objective")
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("lp: %d constraint rows but %d right-hand sides", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of solving a Problem.
+type Result struct {
+	// X is the optimal primal solution.
+	X []float64
+	// Value is the optimal objective value.
+	Value float64
+	// Iterations counts simplex pivots.
+	Iterations int
+}
+
+// Errors returned by Solve.
+var (
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrCycling    = errors.New("lp: iteration limit reached (possible cycling)")
+)
+
+const eps = 1e-9
+
+// Solve optimises the problem with the primal simplex method on the slack
+// form tableau.  Negative right-hand sides are handled by a preliminary
+// dual-feasibility phase (a simple big-M construction).
+func Solve(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Big-M: add artificial variables for rows with negative b so that the
+	// initial slack basis is feasible.
+	bigM := 0.0
+	for _, c := range p.C {
+		bigM += math.Abs(c)
+	}
+	for _, b := range p.B {
+		bigM += math.Abs(b)
+	}
+	bigM = 1e4 * (bigM + 1)
+
+	artificialRows := []int{}
+	for i := 0; i < m; i++ {
+		if p.B[i] < -eps {
+			artificialRows = append(artificialRows, i)
+		}
+	}
+	na := len(artificialRows)
+	total := n + m + na // structural + slack + artificial
+
+	// Tableau: rows 0..m-1 constraints, row m objective (stored negated so
+	// that we maximise by driving reduced costs non-negative).
+	tab := make([][]float64, m+1)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if p.B[i] < -eps {
+			sign = -1.0 // flip the row so b >= 0
+		}
+		for j := 0; j < n; j++ {
+			tab[i][j] = sign * p.A[i][j]
+		}
+		tab[i][n+i] = sign // slack
+		tab[i][total] = sign * p.B[i]
+		basis[i] = n + i
+	}
+	for k, row := range artificialRows {
+		tab[row][n+m+k] = 1
+		basis[row] = n + m + k
+	}
+	// Objective row: maximise c^T x - M * sum(artificials).
+	for j := 0; j < n; j++ {
+		tab[m][j] = -p.C[j]
+	}
+	for k := range artificialRows {
+		tab[m][n+m+k] = bigM
+	}
+	// Price out the artificial columns so the initial basis has zero reduced
+	// costs.
+	for k, row := range artificialRows {
+		_ = k
+		for j := 0; j <= total; j++ {
+			tab[m][j] -= bigM * tab[row][j]
+		}
+	}
+
+	res := &Result{}
+	maxIter := 5000 * (m + n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering variable: most negative reduced cost (Dantzig rule with
+		// Bland fallback every 100 iterations to avoid cycling).
+		pivotCol := -1
+		if iter%100 == 99 {
+			for j := 0; j < total; j++ {
+				if tab[m][j] < -eps {
+					pivotCol = j
+					break
+				}
+			}
+		} else {
+			best := -eps
+			for j := 0; j < total; j++ {
+				if tab[m][j] < best {
+					best = tab[m][j]
+					pivotCol = j
+				}
+			}
+		}
+		if pivotCol < 0 {
+			break // optimal
+		}
+		// Leaving variable: minimum ratio test.
+		pivotRow := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][pivotCol] > eps {
+				ratio := tab[i][total] / tab[i][pivotCol]
+				if ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && pivotRow >= 0 && basis[i] < basis[pivotRow]) {
+					bestRatio = ratio
+					pivotRow = i
+				}
+			}
+		}
+		if pivotRow < 0 {
+			return nil, ErrUnbounded
+		}
+		pivot(tab, basis, pivotRow, pivotCol)
+		res.Iterations++
+	}
+	if res.Iterations >= maxIter {
+		return nil, ErrCycling
+	}
+
+	// Any artificial variable still basic at a nonzero level means the
+	// original problem is infeasible.
+	for i, b := range basis {
+		if b >= n+m && tab[i][total] > 1e-6 {
+			return nil, ErrInfeasible
+		}
+	}
+
+	res.X = make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			res.X[b] = tab[i][total]
+		}
+	}
+	for j := 0; j < n; j++ {
+		res.Value += p.C[j] * res.X[j]
+	}
+	return res, nil
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func pivot(tab [][]float64, basis []int, row, col int) {
+	p := tab[row][col]
+	for j := range tab[row] {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		factor := tab[i][col]
+		if factor == 0 {
+			continue
+		}
+		for j := range tab[i] {
+			tab[i][j] -= factor * tab[row][j]
+		}
+	}
+	basis[row] = col
+}

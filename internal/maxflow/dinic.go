@@ -1,0 +1,136 @@
+package maxflow
+
+import (
+	"analogflow/internal/graph"
+)
+
+// SolveDinic computes a maximum flow with Dinitz's blocking-flow algorithm
+// (O(V²E) in general, O(E√V) on unit-capacity networks).  It is the exact
+// reference solver used to compute the "optimal solution" against which the
+// paper's Figure 10 relative errors are measured.
+func SolveDinic(g *graph.Graph) (*graph.Flow, error) {
+	if err := checkSolvable(g); err != nil {
+		return nil, err
+	}
+	r := newResidual(g)
+	eps := epsilonFor(r.maxArcCapacity())
+	level := make([]int, r.n)
+	iter := make([]int, r.n)
+
+	for dinicBFS(r, level, eps) {
+		copy(iter, r.head)
+		for {
+			pushed := dinicDFS(r, level, iter, r.s, inf, eps)
+			if pushed <= eps {
+				break
+			}
+		}
+	}
+	return r.flow(), nil
+}
+
+const inf = 1e300
+
+// dinicBFS builds the level graph; it returns false when the sink is no
+// longer reachable, which terminates the algorithm.
+func dinicBFS(r *residual, level []int, eps float64) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	level[r.s] = 0
+	queue := []int{r.s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for a := r.head[v]; a != -1; a = r.arcs[a].next {
+			to := r.arcs[a].to
+			if r.arcs[a].cap > eps && level[to] < 0 {
+				level[to] = level[v] + 1
+				queue = append(queue, to)
+			}
+		}
+	}
+	return level[r.t] >= 0
+}
+
+// dinicDFS sends a blocking-flow augmentation from v toward the sink along
+// strictly increasing levels, using iter as the current-arc pointers.
+func dinicDFS(r *residual, level, iter []int, v int, limit, eps float64) float64 {
+	if v == r.t {
+		return limit
+	}
+	for ; iter[v] != -1; iter[v] = r.arcs[iter[v]].next {
+		a := iter[v]
+		to := r.arcs[a].to
+		if r.arcs[a].cap <= eps || level[to] != level[v]+1 {
+			continue
+		}
+		avail := limit
+		if r.arcs[a].cap < avail {
+			avail = r.arcs[a].cap
+		}
+		pushed := dinicDFS(r, level, iter, to, avail, eps)
+		if pushed > eps {
+			r.push(a, pushed)
+			return pushed
+		}
+	}
+	return 0
+}
+
+// SolveEdmondsKarp computes a maximum flow by repeatedly augmenting along
+// shortest (fewest-edge) residual paths.  It is the simplest exact solver in
+// the package and serves as an independent cross-check of the other two in
+// the property-based tests.
+func SolveEdmondsKarp(g *graph.Graph) (*graph.Flow, error) {
+	if err := checkSolvable(g); err != nil {
+		return nil, err
+	}
+	r := newResidual(g)
+	eps := epsilonFor(r.maxArcCapacity())
+	parentArc := make([]int, r.n)
+
+	for {
+		// BFS for an augmenting path.
+		for i := range parentArc {
+			parentArc[i] = -1
+		}
+		parentArc[r.s] = -2
+		queue := []int{r.s}
+		found := false
+		for len(queue) > 0 && !found {
+			v := queue[0]
+			queue = queue[1:]
+			for a := r.head[v]; a != -1; a = r.arcs[a].next {
+				to := r.arcs[a].to
+				if r.arcs[a].cap > eps && parentArc[to] == -1 {
+					parentArc[to] = a
+					if to == r.t {
+						found = true
+						break
+					}
+					queue = append(queue, to)
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		// Bottleneck along the path.
+		bottleneck := inf
+		for v := r.t; v != r.s; {
+			a := parentArc[v]
+			if r.arcs[a].cap < bottleneck {
+				bottleneck = r.arcs[a].cap
+			}
+			v = r.arcs[a^1].to
+		}
+		// Augment.
+		for v := r.t; v != r.s; {
+			a := parentArc[v]
+			r.push(a, bottleneck)
+			v = r.arcs[a^1].to
+		}
+	}
+	return r.flow(), nil
+}

@@ -1,0 +1,224 @@
+package maxflow
+
+import (
+	"container/list"
+
+	"analogflow/internal/graph"
+)
+
+// SolvePushRelabel computes a maximum flow with the Goldberg-Tarjan
+// push-relabel algorithm, FIFO active-vertex selection, the gap heuristic and
+// periodic global relabelling — the configuration typically used by the
+// reference implementations the paper benchmarks against.
+func SolvePushRelabel(g *graph.Graph) (*graph.Flow, error) {
+	if err := checkSolvable(g); err != nil {
+		return nil, err
+	}
+	pr := newPushRelabelState(g)
+	pr.run()
+	return pr.r.flow(), nil
+}
+
+type pushRelabelState struct {
+	r      *residual
+	excess []float64
+	height []int
+	// countHeight[h] is the number of vertices at height h, used by the gap
+	// heuristic.
+	countHeight []int
+	active      *list.List
+	inQueue     []bool
+	eps         float64
+	// relabelBudget triggers a global relabelling once enough relabel
+	// operations have occurred.
+	relabelSinceGlobal int
+	relabelThreshold   int
+}
+
+func newPushRelabelState(g *graph.Graph) *pushRelabelState {
+	r := newResidual(g)
+	n := r.n
+	st := &pushRelabelState{
+		r:           r,
+		excess:      make([]float64, n),
+		height:      make([]int, n),
+		countHeight: make([]int, 2*n+1),
+		active:      list.New(),
+		inQueue:     make([]bool, n),
+		eps:         epsilonFor(r.maxArcCapacity()),
+	}
+	st.relabelThreshold = n
+	if st.relabelThreshold < 16 {
+		st.relabelThreshold = 16
+	}
+	return st
+}
+
+func (st *pushRelabelState) run() {
+	r := st.r
+	n := r.n
+	// Initialise: source at height n, saturate all source-adjacent arcs.
+	st.height[r.s] = n
+	for v := 0; v < n; v++ {
+		if v != r.s {
+			st.countHeight[0]++
+		}
+	}
+	st.countHeight[n]++
+	for a := r.head[r.s]; a != -1; a = r.arcs[a].next {
+		if r.arcs[a].cap > st.eps {
+			delta := r.arcs[a].cap
+			to := r.arcs[a].to
+			r.push(a, delta)
+			st.excess[to] += delta
+			st.excess[r.s] -= delta
+			st.enqueue(to)
+		}
+	}
+	st.globalRelabel()
+
+	for st.active.Len() > 0 {
+		front := st.active.Front()
+		v := front.Value.(int)
+		st.active.Remove(front)
+		st.inQueue[v] = false
+		st.discharge(v)
+		if st.relabelSinceGlobal >= st.relabelThreshold {
+			st.globalRelabel()
+			st.relabelSinceGlobal = 0
+		}
+	}
+}
+
+// enqueue marks v active if it carries excess and is neither terminal.
+func (st *pushRelabelState) enqueue(v int) {
+	if v == st.r.s || v == st.r.t || st.inQueue[v] {
+		return
+	}
+	if st.excess[v] > st.eps {
+		st.inQueue[v] = true
+		st.active.PushBack(v)
+	}
+}
+
+// discharge pushes the excess at v until it is exhausted or v is relabelled.
+func (st *pushRelabelState) discharge(v int) {
+	r := st.r
+	for st.excess[v] > st.eps {
+		pushed := false
+		for a := r.head[v]; a != -1; a = r.arcs[a].next {
+			arc := &r.arcs[a]
+			if arc.cap <= st.eps || st.height[v] != st.height[arc.to]+1 {
+				continue
+			}
+			delta := st.excess[v]
+			if arc.cap < delta {
+				delta = arc.cap
+			}
+			r.push(a, delta)
+			st.excess[v] -= delta
+			st.excess[arc.to] += delta
+			st.enqueue(arc.to)
+			pushed = true
+			if st.excess[v] <= st.eps {
+				break
+			}
+		}
+		if st.excess[v] <= st.eps {
+			return
+		}
+		if !pushed {
+			if !st.relabel(v) {
+				return
+			}
+		}
+	}
+}
+
+// relabel raises v to one more than its lowest admissible neighbour.  It
+// returns false when v became unreachable (height >= 2n), in which case its
+// excess can never reach the sink and is abandoned (it flows back to the
+// source implicitly via the height function).
+func (st *pushRelabelState) relabel(v int) bool {
+	r := st.r
+	oldHeight := st.height[v]
+	minH := 2 * r.n
+	for a := r.head[v]; a != -1; a = r.arcs[a].next {
+		if r.arcs[a].cap > st.eps && st.height[r.arcs[a].to] < minH {
+			minH = st.height[r.arcs[a].to]
+		}
+	}
+	newHeight := minH + 1
+	if newHeight >= 2*r.n {
+		newHeight = 2 * r.n
+	}
+	st.countHeight[oldHeight]--
+	st.height[v] = newHeight
+	st.countHeight[newHeight]++
+	st.relabelSinceGlobal++
+
+	// Gap heuristic: if no vertex remains at oldHeight and oldHeight < n,
+	// every vertex above the gap can never route flow to the sink; lift them
+	// all above n at once.
+	if oldHeight < r.n && st.countHeight[oldHeight] == 0 {
+		for u := 0; u < r.n; u++ {
+			if u != r.s && st.height[u] > oldHeight && st.height[u] < r.n {
+				st.countHeight[st.height[u]]--
+				st.height[u] = r.n + 1
+				st.countHeight[r.n+1]++
+			}
+		}
+	}
+	return st.height[v] < 2*r.n
+}
+
+// globalRelabel recomputes exact heights as BFS distances to the sink in the
+// residual network (and to the source for disconnected vertices).
+func (st *pushRelabelState) globalRelabel() {
+	r := st.r
+	n := r.n
+	const unreached = -1
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	// Backward BFS from the sink over arcs with residual capacity in the
+	// forward direction (i.e. arcs a with cap(a)>0 ending at the frontier).
+	queue := []int{r.t}
+	dist[r.t] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for a := r.head[v]; a != -1; a = r.arcs[a].next {
+			// The arc a goes v->to; flow could move to->v if the paired arc
+			// a^1 has residual capacity.
+			to := r.arcs[a].to
+			if dist[to] == unreached && r.arcs[a^1].cap > st.eps {
+				dist[to] = dist[v] + 1
+				queue = append(queue, to)
+			}
+		}
+	}
+	for i := range st.countHeight {
+		st.countHeight[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		switch {
+		case v == r.s:
+			st.height[v] = n
+		case dist[v] != unreached:
+			st.height[v] = dist[v]
+		default:
+			st.height[v] = n + 1
+		}
+		st.countHeight[st.height[v]]++
+	}
+	// Re-seed the active queue: heights changed, so admissibility changed.
+	st.active.Init()
+	for v := 0; v < n; v++ {
+		st.inQueue[v] = false
+	}
+	for v := 0; v < n; v++ {
+		st.enqueue(v)
+	}
+}

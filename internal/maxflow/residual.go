@@ -1,0 +1,224 @@
+// Package maxflow implements the classical combinatorial max-flow algorithms
+// the paper compares against: Goldberg-Tarjan push-relabel (the paper's CPU
+// baseline), Dinic's blocking-flow algorithm, and Edmonds-Karp, together with
+// minimum-cut extraction.  All algorithms operate on a shared residual-network
+// representation and report results as graph.Flow so that they can be compared
+// edge-by-edge with the analog substrate's solutions.
+package maxflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"analogflow/internal/graph"
+)
+
+// Algorithm identifies one of the implemented solvers.
+type Algorithm int
+
+const (
+	// PushRelabel is the Goldberg-Tarjan FIFO push-relabel algorithm with
+	// gap and global-relabelling heuristics — the paper's CPU baseline.
+	PushRelabel Algorithm = iota
+	// Dinic is Dinitz's blocking-flow algorithm.
+	Dinic
+	// EdmondsKarp is the BFS augmenting-path algorithm.
+	EdmondsKarp
+)
+
+// String returns the conventional name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case PushRelabel:
+		return "push-relabel"
+	case Dinic:
+		return "dinic"
+	case EdmondsKarp:
+		return "edmonds-karp"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ErrUnknownAlgorithm is returned by Solve for an unrecognised Algorithm.
+var ErrUnknownAlgorithm = errors.New("maxflow: unknown algorithm")
+
+// Solve runs the selected algorithm on g and returns the resulting flow.
+func Solve(g *graph.Graph, alg Algorithm) (*graph.Flow, error) {
+	switch alg {
+	case PushRelabel:
+		return SolvePushRelabel(g)
+	case Dinic:
+		return SolveDinic(g)
+	case EdmondsKarp:
+		return SolveEdmondsKarp(g)
+	default:
+		return nil, ErrUnknownAlgorithm
+	}
+}
+
+// arc is a directed arc in the residual network.  Original edges and their
+// reverse (residual) arcs are stored in pairs: arc 2i is the forward copy of
+// graph edge i and arc 2i+1 is its residual reverse.
+type arc struct {
+	to   int
+	cap  float64 // remaining residual capacity
+	next int     // index of next arc out of the same tail, -1 terminates
+}
+
+// residual is an adjacency-list residual network with paired arcs.
+type residual struct {
+	n     int
+	s, t  int
+	arcs  []arc
+	head  []int // head[v] = first arc index out of v, -1 if none
+	gdeps *graph.Graph
+}
+
+// newResidual builds the residual network of g.
+func newResidual(g *graph.Graph) *residual {
+	r := &residual{
+		n:     g.NumVertices(),
+		s:     g.Source(),
+		t:     g.Sink(),
+		arcs:  make([]arc, 0, 2*g.NumEdges()),
+		head:  make([]int, g.NumVertices()),
+		gdeps: g,
+	}
+	for i := range r.head {
+		r.head[i] = -1
+	}
+	for _, e := range g.Edges() {
+		r.addPair(e.From, e.To, e.Capacity)
+	}
+	return r
+}
+
+// addPair appends a forward arc and its zero-capacity reverse.
+func (r *residual) addPair(u, v int, c float64) {
+	r.arcs = append(r.arcs, arc{to: v, cap: c, next: r.head[u]})
+	r.head[u] = len(r.arcs) - 1
+	r.arcs = append(r.arcs, arc{to: u, cap: 0, next: r.head[v]})
+	r.head[v] = len(r.arcs) - 1
+}
+
+// flow extracts the per-edge flow from the residual state: the flow on graph
+// edge i equals the capacity accumulated on its reverse arc 2i+1.
+func (r *residual) flow() *graph.Flow {
+	f := graph.NewFlow(r.gdeps)
+	for i := 0; i < r.gdeps.NumEdges(); i++ {
+		f.Edge[i] = r.arcs[2*i+1].cap
+	}
+	f.RecomputeValue(r.gdeps)
+	return f
+}
+
+// push moves delta units of flow along arc a (and back along its pair).
+func (r *residual) push(a int, delta float64) {
+	r.arcs[a].cap -= delta
+	r.arcs[a^1].cap += delta
+}
+
+// maxArcCapacity returns the largest residual capacity, used for scaling
+// epsilon tolerances on float capacities.
+func (r *residual) maxArcCapacity() float64 {
+	var m float64
+	for _, a := range r.arcs {
+		if a.cap > m {
+			m = a.cap
+		}
+	}
+	return m
+}
+
+// epsilonFor returns a tolerance used to treat tiny residual capacities as
+// zero.  Capacities in this repository are either integers or quantized
+// voltage levels, so a relative epsilon is safe.
+func epsilonFor(c float64) float64 {
+	if c == 0 {
+		return 0
+	}
+	return c * 1e-12
+}
+
+// checkSolvable validates the instance before running any algorithm.
+func checkSolvable(g *graph.Graph) error {
+	if g == nil {
+		return errors.New("maxflow: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MinCut computes a minimum s-t cut from an optimal flow by finding the set of
+// vertices reachable from the source in the residual network.  The returned
+// cut's capacity equals the max-flow value (max-flow/min-cut theorem), which
+// the test-suite uses as a cross-check on every solver.
+func MinCut(g *graph.Graph, f *graph.Flow) (*graph.Cut, error) {
+	if err := checkSolvable(g); err != nil {
+		return nil, err
+	}
+	if len(f.Edge) != g.NumEdges() {
+		return nil, fmt.Errorf("maxflow: flow has %d edges, graph has %d", len(f.Edge), g.NumEdges())
+	}
+	eps := epsilonFor(g.MaxCapacity())
+	// BFS over residual arcs: forward arcs with spare capacity, backward arcs
+	// with positive flow.
+	sourceSide := make([]bool, g.NumVertices())
+	sourceSide[g.Source()] = true
+	queue := []int{g.Source()}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, idx := range g.OutEdges(v) {
+			e := g.Edge(idx)
+			if !sourceSide[e.To] && e.Capacity-f.Edge[idx] > eps {
+				sourceSide[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+		for _, idx := range g.InEdges(v) {
+			e := g.Edge(idx)
+			if !sourceSide[e.From] && f.Edge[idx] > eps {
+				sourceSide[e.From] = true
+				queue = append(queue, e.From)
+			}
+		}
+	}
+	if sourceSide[g.Sink()] {
+		return nil, errors.New("maxflow: flow is not maximum, sink reachable in residual network")
+	}
+	return graph.CutFromPartition(g, sourceSide)
+}
+
+// OptimalValue is a convenience that solves g with Dinic's algorithm (exact,
+// strongly polynomial) and returns only the flow value.  The analog-substrate
+// experiments use it as the reference for relative-error measurements.
+func OptimalValue(g *graph.Graph) (float64, error) {
+	f, err := SolveDinic(g)
+	if err != nil {
+		return 0, err
+	}
+	return f.Value, nil
+}
+
+// VerifyOptimal checks that f is a feasible flow for g whose value matches the
+// capacity of some s-t cut within tol; by weak duality that certifies
+// optimality.  It is used by tests and by the decomposition driver.
+func VerifyOptimal(g *graph.Graph, f *graph.Flow, tol float64) error {
+	rep := f.CheckFeasibility(g)
+	if !rep.Feasible(tol) {
+		return fmt.Errorf("maxflow: infeasible flow: %v", rep)
+	}
+	cut, err := MinCut(g, f)
+	if err != nil {
+		return err
+	}
+	if math.Abs(cut.Capacity-f.Value) > tol {
+		return fmt.Errorf("maxflow: flow value %g does not match min-cut capacity %g", f.Value, cut.Capacity)
+	}
+	return nil
+}

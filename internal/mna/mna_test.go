@@ -1,0 +1,461 @@
+package mna
+
+import (
+	"math"
+	"testing"
+
+	"analogflow/internal/circuit"
+	"analogflow/internal/device"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, DefaultOptions()); err == nil {
+		t.Errorf("nil netlist accepted")
+	}
+	empty := circuit.NewNetlist()
+	if _, err := NewEngine(empty, DefaultOptions()); err == nil {
+		t.Errorf("empty netlist accepted")
+	}
+	nl := circuit.NewNetlist()
+	nl.Add(circuit.NewResistor("R", circuit.NodeID(3), circuit.Ground, 1))
+	if _, err := NewEngine(nl, DefaultOptions()); err == nil {
+		t.Errorf("dangling node accepted")
+	}
+}
+
+func TestOptionDefaultsApplied(t *testing.T) {
+	nl := circuit.NewNetlist()
+	a := nl.AddNode("a")
+	nl.Add(circuit.NewVoltageSource("V", a, circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewResistor("R", a, circuit.Ground, 1))
+	e, err := NewEngine(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.opts.MaxNewtonIterations <= 0 || e.opts.AbsTol <= 0 || e.opts.RelTol <= 0 || e.opts.Damping != 1 {
+		t.Errorf("zero options not defaulted: %+v", e.opts)
+	}
+	if e.Size() != 2 || e.NumNodes() != 1 {
+		t.Errorf("sizes wrong: %d %d", e.Size(), e.NumNodes())
+	}
+}
+
+// Voltage divider: 1 V through two equal resistors gives 0.5 V at the middle.
+func TestVoltageDivider(t *testing.T) {
+	nl := circuit.NewNetlist()
+	top := nl.AddNode("top")
+	mid := nl.AddNode("mid")
+	nl.Add(circuit.NewVoltageSource("V", top, circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewResistor("R1", top, mid, 10e3))
+	nl.Add(circuit.NewResistor("R2", mid, circuit.Ground, 10e3))
+	e, err := NewEngine(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := e.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Voltage(mid), 0.5, 1e-6) {
+		t.Errorf("divider voltage %g, want 0.5", sol.Voltage(mid))
+	}
+	if !almostEqual(sol.Voltage(top), 1.0, 1e-6) {
+		t.Errorf("source node %g, want 1", sol.Voltage(top))
+	}
+	if sol.Voltage(circuit.Ground) != 0 {
+		t.Errorf("ground voltage must be 0")
+	}
+	// The source delivers 1 V / 20 kOhm = 50 µA.
+	vsrc := nl.Elements()[0].(*circuit.VoltageSource)
+	i := vsrc.DeliveredCurrent(sol.X, e.BranchBase(0))
+	if !almostEqual(i, 50e-6, 1e-9) {
+		t.Errorf("delivered current %g, want 50e-6", i)
+	}
+}
+
+// A negative resistor in series behaves as expected: +10k followed by -5k to
+// ground halves... actually the node voltage becomes V*(-5k)/(10k-5k) = -V.
+func TestNegativeResistorDC(t *testing.T) {
+	nl := circuit.NewNetlist()
+	top := nl.AddNode("top")
+	mid := nl.AddNode("mid")
+	nl.Add(circuit.NewVoltageSource("V", top, circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewResistor("R1", top, mid, 10e3))
+	nl.Add(circuit.NewNegativeResistor("NR", mid, circuit.Ground, 5e3))
+	e, err := NewEngine(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := e.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Divider with R2 = -5k: Vmid = 1 * (-5k)/(10k + -5k) = -1.
+	if !almostEqual(sol.Voltage(mid), -1, 1e-6) {
+		t.Errorf("negative divider voltage %g, want -1", sol.Voltage(mid))
+	}
+}
+
+// Ideal-diode clamp: a 5 V source through a resistor into a diode whose
+// cathode is held at 2 V clamps the node to ~2 V.
+func TestDiodeClampDC(t *testing.T) {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	x := nl.AddNode("x")
+	ref := nl.AddNode("ref")
+	nl.Add(circuit.NewVoltageSource("Vin", in, circuit.Ground, circuit.DC{Value: 5}))
+	nl.Add(circuit.NewVoltageSource("Vref", ref, circuit.Ground, circuit.DC{Value: 2}))
+	nl.Add(circuit.NewResistor("R", in, x, 10e3))
+	nl.Add(circuit.NewDiode("D", x, ref, device.DefaultDiode()))
+	e, err := NewEngine(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := e.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.Voltage(x); v < 1.99 || v > 2.01 {
+		t.Errorf("clamped voltage %g, want ~2", v)
+	}
+	// With the source below the clamp level the diode is off and x follows
+	// the input.
+	nl2 := circuit.NewNetlist()
+	in2 := nl2.AddNode("in")
+	x2 := nl2.AddNode("x")
+	ref2 := nl2.AddNode("ref")
+	nl2.Add(circuit.NewVoltageSource("Vin", in2, circuit.Ground, circuit.DC{Value: 1}))
+	nl2.Add(circuit.NewVoltageSource("Vref", ref2, circuit.Ground, circuit.DC{Value: 2}))
+	nl2.Add(circuit.NewResistor("R", in2, x2, 10e3))
+	nl2.Add(circuit.NewDiode("D", x2, ref2, device.DefaultDiode()))
+	e2, _ := NewEngine(nl2, DefaultOptions())
+	sol2, err := e2.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol2.Voltage(x2); !almostEqual(v, 1, 1e-3) {
+		t.Errorf("unclamped voltage %g, want ~1", v)
+	}
+}
+
+// The paper's lower clamp: a diode with anode at ground keeps a node driven
+// negative at approximately 0 V.
+func TestDiodeGroundClamp(t *testing.T) {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	x := nl.AddNode("x")
+	nl.Add(circuit.NewVoltageSource("Vin", in, circuit.Ground, circuit.DC{Value: -5}))
+	nl.Add(circuit.NewResistor("R", in, x, 10e3))
+	nl.Add(circuit.NewDiode("D", circuit.Ground, x, device.DefaultDiode()))
+	e, _ := NewEngine(nl, DefaultOptions())
+	sol, err := e.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.Voltage(x); v < -0.01 || v > 0.01 {
+		t.Errorf("ground clamp voltage %g, want ~0", v)
+	}
+}
+
+func TestVCVSGain(t *testing.T) {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	out := nl.AddNode("out")
+	nl.Add(circuit.NewVoltageSource("Vin", in, circuit.Ground, circuit.DC{Value: 0.25}))
+	nl.Add(&circuit.VCVS{Label: "E", OutP: out, OutN: circuit.Ground, CtrlP: in, CtrlN: circuit.Ground, Gain: 4})
+	nl.Add(circuit.NewResistor("RL", out, circuit.Ground, 1e3))
+	e, _ := NewEngine(nl, DefaultOptions())
+	sol, err := e.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Voltage(out), 1.0, 1e-6) {
+		t.Errorf("VCVS output %g, want 1", sol.Voltage(out))
+	}
+}
+
+// Open-loop op-amp gain: with the inverting input grounded, a small input
+// yields Gain * Vin at the output.
+func TestOpAmpOpenLoopGain(t *testing.T) {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	out := nl.AddNode("out")
+	model := device.DefaultOpAmp()
+	nl.Add(circuit.NewVoltageSource("Vin", in, circuit.Ground, circuit.DC{Value: 1e-5}))
+	nl.Add(circuit.NewOpAmp(nl, "OA", in, circuit.Ground, out, model))
+	nl.Add(circuit.NewResistor("RL", out, circuit.Ground, 100e3))
+	e, _ := NewEngine(nl, DefaultOptions())
+	sol, err := e.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.Gain * 1e-5 * 100e3 / (100e3 + model.Rout)
+	if !almostEqual(sol.Voltage(out), want, 1e-3*want) {
+		t.Errorf("open-loop output %g, want %g", sol.Voltage(out), want)
+	}
+}
+
+// Voltage follower: output tracks input to within 1/gain.
+func TestOpAmpFollower(t *testing.T) {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	out := nl.AddNode("out")
+	nl.Add(circuit.NewVoltageSource("Vin", in, circuit.Ground, circuit.DC{Value: 2}))
+	nl.Add(circuit.NewOpAmp(nl, "OA", in, out, out, device.DefaultOpAmp()))
+	nl.Add(circuit.NewResistor("RL", out, circuit.Ground, 10e3))
+	e, _ := NewEngine(nl, DefaultOptions())
+	sol, err := e.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Voltage(out), 2, 2.0/1000) {
+		t.Errorf("follower output %g, want ~2", sol.Voltage(out))
+	}
+}
+
+// The op-amp negative resistance circuit of Figure 9a: with feedback
+// resistors R0 = R0 and a target resistor Rtarget, the input impedance seen
+// at the op-amp's positive terminal is -Rtarget.  Driving that port from a
+// voltage source through a series resistor Rs gives the voltage-divider value
+// Vin * (-Rtarget)/(Rs - Rtarget).
+func TestOpAmpNegativeResistanceRealisation(t *testing.T) {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	port := nl.AddNode("port")
+	fb := nl.AddNode("fb")   // inverting input node
+	out := nl.AddNode("out") // op-amp output
+	const (
+		r0      = 10e3
+		rtarget = 5e3
+		rs      = 20e3
+	)
+	nl.Add(circuit.NewVoltageSource("Vin", in, circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewResistor("Rs", in, port, rs))
+	// Negative-impedance converter: non-inverting input at the port,
+	// feedback network R0 from output to inverting input, R0 from inverting
+	// input to ground, and Rtarget from output back to the port.
+	nl.Add(circuit.NewOpAmp(nl, "OA", port, fb, out, device.DefaultOpAmp()))
+	nl.Add(circuit.NewResistor("R0a", out, fb, r0))
+	nl.Add(circuit.NewResistor("R0b", fb, circuit.Ground, r0))
+	nl.Add(circuit.NewResistor("Rt", out, port, rtarget))
+	e, _ := NewEngine(nl, DefaultOptions())
+	sol, err := e.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 * (-rtarget) / (rs - rtarget) // = -1/3
+	if !almostEqual(sol.Voltage(port), want, 0.01*math.Abs(want)) {
+		t.Errorf("NIC port voltage %g, want %g", sol.Voltage(port), want)
+	}
+}
+
+// RC charging transient: analytic solution v(t) = V(1 - exp(-t/RC)).
+func TestRCTransient(t *testing.T) {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	out := nl.AddNode("out")
+	const (
+		r = 1e3
+		c = 1e-9
+	)
+	nl.Add(circuit.NewVoltageSource("V", in, circuit.Ground, circuit.Step{Final: 1, T0: 0}))
+	nl.Add(circuit.NewResistor("R", in, out, r))
+	nl.Add(circuit.NewCapacitor("C", out, circuit.Ground, c))
+	e, _ := NewEngine(nl, DefaultOptions())
+	tau := r * c
+	spec := TransientSpec{
+		Stop:                 8 * tau,
+		Step:                 tau / 200,
+		Monitor:              func(s *Solution) float64 { return s.Voltage(out) },
+		ConvergenceTolerance: 1e-3,
+	}
+	res, err := e.Transient(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final value close to 1 V.
+	if !almostEqual(res.FinalMonitorValue, 1, 1e-3) {
+		t.Errorf("final RC voltage %g, want ~1", res.FinalMonitorValue)
+	}
+	// Check an intermediate point against the analytic curve (backward Euler
+	// at 200 steps/tau is accurate to well under 1 %).
+	for i, tm := range res.Times {
+		if tm == 0 {
+			continue
+		}
+		want := 1 - math.Exp(-tm/tau)
+		if math.Abs(res.MonitorValues[i]-want) > 0.01 {
+			t.Fatalf("RC waveform at t=%g: %g, want %g", tm, res.MonitorValues[i], want)
+		}
+	}
+	// Convergence time should be around 7 tau (0.1 % band).
+	if res.ConvergenceTime < 5*tau || res.ConvergenceTime > 8*tau {
+		t.Errorf("convergence time %g, want ~7*tau=%g", res.ConvergenceTime, 7*tau)
+	}
+	if ok, err := res.SettledWithin(8 * tau); err != nil || !ok {
+		t.Errorf("SettledWithin failed: %v %v", ok, err)
+	}
+	if res.Steps == 0 || res.NewtonIterations == 0 || res.Final() == nil {
+		t.Errorf("transient bookkeeping empty")
+	}
+	if len(res.VoltageSeries(out)) != len(res.Times) {
+		t.Errorf("voltage series length mismatch")
+	}
+}
+
+func TestTransientSpecValidation(t *testing.T) {
+	nl := circuit.NewNetlist()
+	a := nl.AddNode("a")
+	nl.Add(circuit.NewVoltageSource("V", a, circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewResistor("R", a, circuit.Ground, 1e3))
+	e, _ := NewEngine(nl, DefaultOptions())
+	if _, err := e.Transient(TransientSpec{Stop: 0, Step: 1}); err == nil {
+		t.Errorf("zero stop accepted")
+	}
+	if _, err := e.Transient(TransientSpec{Stop: 1, Step: 0}); err == nil {
+		t.Errorf("zero step accepted")
+	}
+	if _, err := e.Transient(TransientSpec{Stop: 1, Step: 2}); err == nil {
+		t.Errorf("step > stop accepted")
+	}
+	spec := DefaultTransientSpec(1e-6)
+	if spec.Validate() != nil {
+		t.Errorf("default spec invalid")
+	}
+}
+
+func TestTransientWithoutMonitor(t *testing.T) {
+	nl := circuit.NewNetlist()
+	a := nl.AddNode("a")
+	nl.Add(circuit.NewVoltageSource("V", a, circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewResistor("R", a, circuit.Ground, 1e3))
+	e, _ := NewEngine(nl, DefaultOptions())
+	res, err := e.Transient(TransientSpec{Stop: 1e-6, Step: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConvergenceTime != -1 {
+		t.Errorf("convergence time should be -1 without monitor")
+	}
+	if _, err := res.SettledWithin(1); err != ErrNoMonitor {
+		t.Errorf("expected ErrNoMonitor, got %v", err)
+	}
+}
+
+func TestTransientInitialFromOP(t *testing.T) {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	out := nl.AddNode("out")
+	nl.Add(circuit.NewVoltageSource("V", in, circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewResistor("R", in, out, 1e3))
+	nl.Add(circuit.NewCapacitor("C", out, circuit.Ground, 1e-9))
+	e, _ := NewEngine(nl, DefaultOptions())
+	res, err := e.Transient(TransientSpec{
+		Stop: 1e-6, Step: 1e-8, InitialFromOP: true,
+		Monitor: func(s *Solution) float64 { return s.Voltage(out) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starting from the DC operating point the capacitor is already charged,
+	// so the waveform is flat at 1 V from the start.
+	for i, v := range res.MonitorValues {
+		if math.Abs(v-1) > 1e-3 {
+			t.Fatalf("point %d: %g, want 1", i, v)
+		}
+	}
+}
+
+func TestTransientRecordEvery(t *testing.T) {
+	nl := circuit.NewNetlist()
+	a := nl.AddNode("a")
+	nl.Add(circuit.NewVoltageSource("V", a, circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewResistor("R", a, circuit.Ground, 1e3))
+	e, _ := NewEngine(nl, DefaultOptions())
+	res, err := e.Transient(TransientSpec{Stop: 1e-6, Step: 1e-8, RecordEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) > 15 {
+		t.Errorf("decimation not applied: %d points", len(res.Points))
+	}
+	if res.Steps != 100 {
+		t.Errorf("steps %d, want 100", res.Steps)
+	}
+}
+
+// Memristor programming inside a transient: a voltage above the threshold
+// switches the device from HRS to LRS, visibly changing the divider voltage.
+func TestTransientMemristorProgramming(t *testing.T) {
+	model := device.DefaultMemristor()
+	dev := device.NewMemristor(model)
+	nl := circuit.NewNetlist()
+	drive := nl.AddNode("drive")
+	mid := nl.AddNode("mid")
+	nl.Add(circuit.NewVoltageSource("V", drive, circuit.Ground, circuit.DC{Value: 3}))
+	nl.Add(circuit.NewMemristorElement("M", drive, mid, dev))
+	nl.Add(circuit.NewResistor("R", mid, circuit.Ground, 10e3))
+	e, _ := NewEngine(nl, DefaultOptions())
+	res, err := e.Transient(TransientSpec{
+		Stop: 20 * model.SwitchTime, Step: model.SwitchTime / 2,
+		Monitor: func(s *Solution) float64 { return s.Voltage(mid) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.State() != device.LRS {
+		t.Fatalf("memristor did not program during transient")
+	}
+	first := res.MonitorValues[1]
+	last := res.FinalMonitorValue
+	// Before switching the divider sits near 3*10k/(1M+10k) ~ 0.03 V; after
+	// switching it rises to 3*10k/20k = 1.5 V.
+	if first > 0.1 {
+		t.Errorf("pre-switch voltage %g, want ~0.03", first)
+	}
+	if !almostEqual(last, 1.5, 0.05) {
+		t.Errorf("post-switch voltage %g, want ~1.5", last)
+	}
+}
+
+func TestConvergenceTimeHelper(t *testing.T) {
+	times := []float64{0, 1, 2, 3, 4}
+	values := []float64{0, 0.5, 0.995, 0.999, 1.0}
+	ct := convergenceTime(times, values, 1e-2)
+	if ct != 2 {
+		t.Errorf("convergence time %g, want 2", ct)
+	}
+	// Series still moving at the end: no convergence.
+	moving := []float64{0, 0.2, 0.4, 0.6, 1.0}
+	if convergenceTime(times, moving, 1e-3) != -1 {
+		t.Errorf("moving series should not converge")
+	}
+	// Flat series converges immediately.
+	flat := []float64{1, 1, 1}
+	if convergenceTime([]float64{0, 1, 2}, flat, 1e-3) != 0 {
+		t.Errorf("flat series should converge at t=0")
+	}
+	if convergenceTime(nil, nil, 1e-3) != -1 {
+		t.Errorf("empty series should return -1")
+	}
+}
+
+// A pathological circuit (voltage source loop against a diode held in a
+// contradictory region) should surface a no-convergence or singular error
+// rather than silently returning garbage.
+func TestSingularCircuitSurfacesError(t *testing.T) {
+	nl := circuit.NewNetlist()
+	a := nl.AddNode("a")
+	// Two ideal voltage sources in parallel with different values: singular.
+	nl.Add(circuit.NewVoltageSource("V1", a, circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewVoltageSource("V2", a, circuit.Ground, circuit.DC{Value: 2}))
+	e, err := NewEngine(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.OperatingPoint(0); err == nil {
+		t.Errorf("conflicting sources should fail")
+	}
+}

@@ -1,0 +1,240 @@
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"analogflow/internal/circuit"
+)
+
+// TransientSpec configures a transient analysis.
+type TransientSpec struct {
+	// Stop is the final simulation time in seconds.
+	Stop float64
+	// Step is the fixed integration step in seconds (backward Euler).
+	Step float64
+	// RecordEvery controls output decimation: every n-th accepted point is
+	// stored in the result (1 = store all).
+	RecordEvery int
+	// InitialFromOP seeds the initial condition from a DC operating point at
+	// t=0; otherwise the simulation starts from all-zero state.
+	InitialFromOP bool
+	// Monitor, when non-nil, is evaluated at every accepted time point; the
+	// convergence detector below watches this scalar.
+	Monitor func(s *Solution) float64
+	// ConvergenceTolerance is the relative band around the final value used
+	// to report convergence time (the paper uses 0.1 %).  Zero disables the
+	// detector.
+	ConvergenceTolerance float64
+}
+
+// DefaultTransientSpec returns a specification covering dur seconds with
+// 1000 steps.
+func DefaultTransientSpec(dur float64) TransientSpec {
+	return TransientSpec{
+		Stop:                 dur,
+		Step:                 dur / 1000,
+		RecordEvery:          1,
+		ConvergenceTolerance: 1e-3,
+	}
+}
+
+// Validate checks the spec.
+func (s TransientSpec) Validate() error {
+	if s.Stop <= 0 {
+		return fmt.Errorf("mna: transient stop time must be positive, got %g", s.Stop)
+	}
+	if s.Step <= 0 || s.Step > s.Stop {
+		return fmt.Errorf("mna: invalid step %g for stop time %g", s.Step, s.Stop)
+	}
+	return nil
+}
+
+// TransientResult holds the recorded waveform of a transient analysis.
+type TransientResult struct {
+	// Times are the recorded time points.
+	Times []float64
+	// Points are the recorded solutions (same indexing as Times).
+	Points []*Solution
+	// MonitorValues are the monitored scalar at every recorded point (empty
+	// when no monitor was supplied).
+	MonitorValues []float64
+	// ConvergenceTime is the first time at which the monitored value entered
+	// and stayed within the tolerance band around its final value, or -1 if
+	// no monitor/tolerance was configured.
+	ConvergenceTime float64
+	// FinalMonitorValue is the monitored value at the last time point.
+	FinalMonitorValue float64
+	// Steps is the number of accepted integration steps.
+	Steps int
+	// NewtonIterations is the total Newton iteration count over all steps.
+	NewtonIterations int
+}
+
+// Final returns the last recorded solution.
+func (r *TransientResult) Final() *Solution {
+	if len(r.Points) == 0 {
+		return nil
+	}
+	return r.Points[len(r.Points)-1]
+}
+
+// VoltageSeries extracts the waveform of one node across the recorded points.
+func (r *TransientResult) VoltageSeries(n circuit.NodeID) []float64 {
+	out := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		out[i] = p.Voltage(n)
+	}
+	return out
+}
+
+// Transient runs a fixed-step backward-Euler transient analysis.
+func (e *Engine) Transient(spec TransientSpec) (*TransientResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	recordEvery := spec.RecordEvery
+	if recordEvery < 1 {
+		recordEvery = 1
+	}
+
+	var xPrev []float64
+	if spec.InitialFromOP {
+		op, err := e.OperatingPoint(0)
+		if err != nil {
+			return nil, fmt.Errorf("mna: initial operating point: %w", err)
+		}
+		xPrev = op.X
+	} else {
+		xPrev = make([]float64, e.size)
+	}
+
+	res := &TransientResult{ConvergenceTime: -1}
+	nSteps := int(math.Ceil(spec.Stop / spec.Step))
+	record := func(sol *Solution) {
+		res.Times = append(res.Times, sol.Time)
+		res.Points = append(res.Points, sol)
+		if spec.Monitor != nil {
+			res.MonitorValues = append(res.MonitorValues, spec.Monitor(sol))
+		}
+	}
+	// Record the initial state as a pseudo-solution at t=0.
+	initial := &Solution{Time: 0, X: append([]float64(nil), xPrev...)}
+	record(initial)
+
+	stateful := statefulElements(e.netlist)
+
+	for step := 1; step <= nSteps; step++ {
+		t := float64(step) * spec.Step
+		if t > spec.Stop {
+			t = spec.Stop
+		}
+		sol, err := e.advanceStep(xPrev, t, spec.Step)
+		if err != nil {
+			return nil, fmt.Errorf("mna: transient step %d: %w", step, err)
+		}
+		res.Steps++
+		res.NewtonIterations += sol.NewtonIterations
+		// Advance stateful devices (memristors) with the accepted solution.
+		for _, s := range stateful {
+			s.PostStep(sol.VoltageFunc(), spec.Step)
+		}
+		if step%recordEvery == 0 || step == nSteps {
+			record(sol)
+		}
+		xPrev = sol.X
+	}
+
+	if spec.Monitor != nil {
+		res.FinalMonitorValue = res.MonitorValues[len(res.MonitorValues)-1]
+		if spec.ConvergenceTolerance > 0 {
+			res.ConvergenceTime = convergenceTime(res.Times, res.MonitorValues, spec.ConvergenceTolerance)
+		}
+	}
+	return res, nil
+}
+
+// advanceStep integrates from the state xPrev up to time t with nominal step
+// dt.  When the Newton solve of the full step fails (typically because a
+// clamp diode switches region mid-step), the step is subdivided into
+// progressively smaller sub-steps, up to 16 per nominal step, before giving
+// up.  The returned solution carries the accumulated Newton iteration count.
+func (e *Engine) advanceStep(xPrev []float64, t, dt float64) (*Solution, error) {
+	if sol, err := e.solvePoint(xPrev, xPrev, t, dt); err == nil {
+		return sol, nil
+	}
+	var lastErr error
+	for _, pieces := range []int{4, 16} {
+		sub := dt / float64(pieces)
+		x := xPrev
+		total := 0
+		ok := true
+		for k := 1; k <= pieces; k++ {
+			tk := t - dt + float64(k)*sub
+			sol, err := e.solvePoint(x, x, tk, sub)
+			if err != nil {
+				lastErr = err
+				ok = false
+				break
+			}
+			x = sol.X
+			total += sol.NewtonIterations
+		}
+		if ok {
+			return &Solution{Time: t, X: x, NewtonIterations: total}, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// statefulElements collects the elements that need per-step state updates.
+func statefulElements(nl *circuit.Netlist) []circuit.Stateful {
+	var out []circuit.Stateful
+	for _, el := range nl.Elements() {
+		if s, ok := el.(circuit.Stateful); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// convergenceTime returns the earliest time after which the series stays
+// within relTol of its final value, mirroring the paper's definition of
+// convergence time ("within 0.1 % of the final value").  It returns -1 when
+// the series never settles (e.g. the final value is still moving).
+func convergenceTime(times, values []float64, relTol float64) float64 {
+	if len(values) == 0 {
+		return -1
+	}
+	final := values[len(values)-1]
+	band := math.Abs(final) * relTol
+	if band == 0 {
+		band = relTol
+	}
+	// Walk backwards to find the last excursion outside the band.
+	for i := len(values) - 1; i >= 0; i-- {
+		if math.Abs(values[i]-final) > band {
+			if i >= len(values)-2 {
+				// Only the very last sample is inside the band: the series
+				// is still moving, so it has not demonstrably settled.
+				return -1
+			}
+			return times[i+1]
+		}
+	}
+	return times[0]
+}
+
+// ErrNoMonitor is returned by ConvergenceTime helpers when the transient was
+// run without a monitor.
+var ErrNoMonitor = errors.New("mna: transient was run without a monitor")
+
+// SettledWithin reports whether the monitored value converged before the
+// given deadline.
+func (r *TransientResult) SettledWithin(deadline float64) (bool, error) {
+	if len(r.MonitorValues) == 0 {
+		return false, ErrNoMonitor
+	}
+	return r.ConvergenceTime >= 0 && r.ConvergenceTime <= deadline, nil
+}

@@ -1,0 +1,247 @@
+// Package numeric provides the linear-algebra kernels used by the analog
+// circuit simulator in internal/mna: dense LU with partial pivoting for small
+// systems, a sparse matrix type with a left-looking (Gilbert-Peierls style)
+// sparse LU for the large modified-nodal-analysis systems produced by crossbar
+// sized circuits, and the small vector helpers shared across the project.
+//
+// Everything is written against float64 and the standard library only.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorisation encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("numeric: matrix is singular to working precision")
+
+// Dense is a dense, row-major matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewDense allocates a zero matrix of the given shape.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("numeric: invalid dense shape %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewDenseFromRows builds a matrix from a slice of equal-length rows.
+func NewDenseFromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return NewDense(0, 0), nil
+	}
+	cols := len(rows[0])
+	d := NewDense(len(rows), cols)
+	for r, row := range rows {
+		if len(row) != cols {
+			return nil, fmt.Errorf("numeric: ragged rows (%d vs %d)", len(row), cols)
+		}
+		copy(d.Data[r*cols:(r+1)*cols], row)
+	}
+	return d, nil
+}
+
+// At returns element (r, c).
+func (d *Dense) At(r, c int) float64 { return d.Data[r*d.Cols+c] }
+
+// Set assigns element (r, c).
+func (d *Dense) Set(r, c int, v float64) { d.Data[r*d.Cols+c] = v }
+
+// Add adds v to element (r, c); the natural operation for MNA stamping.
+func (d *Dense) Add(r, c int, v float64) { d.Data[r*d.Cols+c] += v }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := NewDense(d.Rows, d.Cols)
+	copy(c.Data, d.Data)
+	return c
+}
+
+// Zero resets all entries to zero, keeping the allocation.
+func (d *Dense) Zero() {
+	for i := range d.Data {
+		d.Data[i] = 0
+	}
+}
+
+// MulVec computes y = A x.
+func (d *Dense) MulVec(x []float64) []float64 {
+	if len(x) != d.Cols {
+		panic(fmt.Sprintf("numeric: MulVec dimension mismatch %d vs %d", len(x), d.Cols))
+	}
+	y := make([]float64, d.Rows)
+	for r := 0; r < d.Rows; r++ {
+		var sum float64
+		row := d.Data[r*d.Cols : (r+1)*d.Cols]
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		y[r] = sum
+	}
+	return y
+}
+
+// LUDense is an LU factorisation with partial pivoting of a square dense
+// matrix: P A = L U.
+type LUDense struct {
+	lu    *Dense
+	pivot []int
+	n     int
+}
+
+// FactorizeDense computes the LU factorisation of a (square) copy of a.
+func FactorizeDense(a *Dense) (*LUDense, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("numeric: LU of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	for i := range pivot {
+		pivot[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest magnitude in column k at or
+		// below the diagonal.
+		p := k
+		maxAbs := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxAbs {
+				maxAbs = v
+				p = i
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			pivot[p], pivot[k] = pivot[k], pivot[p]
+		}
+		pivV := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivV
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -m*lu.At(k, j))
+			}
+		}
+	}
+	return &LUDense{lu: lu, pivot: pivot, n: n}, nil
+}
+
+func swapRows(d *Dense, a, b int) {
+	ra := d.Data[a*d.Cols : (a+1)*d.Cols]
+	rb := d.Data[b*d.Cols : (b+1)*d.Cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// Solve solves A x = b using the factorisation.
+func (f *LUDense) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("numeric: rhs length %d, want %d", len(b), f.n)
+	}
+	x := make([]float64, f.n)
+	// Apply the permutation.
+	for i := 0; i < f.n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 0; i < f.n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+	}
+	// Backward substitution.
+	for i := f.n - 1; i >= 0; i-- {
+		for j := i + 1; j < f.n; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] /= d
+	}
+	return x, nil
+}
+
+// SolveDense is a convenience that factorises a and solves a single system.
+func SolveDense(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorizeDense(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Vector helpers ------------------------------------------------------------
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute entry of v.
+func NormInf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AxpY computes y += alpha*x in place and returns y.
+func AxpY(alpha float64, x, y []float64) []float64 {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+	return y
+}
+
+// Sub returns a-b as a new slice.
+func Sub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between a
+// and b; the convergence detector in internal/mna uses it.
+func MaxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,372 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(2, 3)
+	d.Set(0, 0, 1)
+	d.Add(0, 0, 2)
+	d.Set(1, 2, -4)
+	if d.At(0, 0) != 3 || d.At(1, 2) != -4 || d.At(0, 1) != 0 {
+		t.Fatalf("element access wrong: %+v", d)
+	}
+	c := d.Clone()
+	c.Set(0, 0, 100)
+	if d.At(0, 0) != 3 {
+		t.Errorf("clone aliases original")
+	}
+	d.Zero()
+	if d.At(1, 2) != 0 {
+		t.Errorf("Zero did not clear")
+	}
+}
+
+func TestNewDenseFromRows(t *testing.T) {
+	d, err := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(1, 0) != 3 {
+		t.Errorf("wrong entry")
+	}
+	if _, err := NewDenseFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Errorf("ragged rows accepted")
+	}
+	empty, err := NewDenseFromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Errorf("empty rows mishandled")
+	}
+}
+
+func TestDenseMulVec(t *testing.T) {
+	d, _ := NewDenseFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y := d.MulVec([]float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MulVec = %v, want %v", y, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("dimension mismatch not detected")
+		}
+	}()
+	d.MulVec([]float64{1})
+}
+
+func TestDenseLUSolve(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestDenseLUNeedsPivoting(t *testing.T) {
+	// Zero on the first diagonal forces a row swap.
+	a, _ := NewDenseFromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := SolveDense(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 7, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestDenseLUSingular(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := SolveDense(a, []float64{1, 2}); err != ErrSingular {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+	rect := NewDense(2, 3)
+	if _, err := FactorizeDense(rect); err == nil {
+		t.Errorf("non-square matrix accepted")
+	}
+}
+
+func TestDenseLUSolveBadRHS(t *testing.T) {
+	a, _ := NewDenseFromRows([][]float64{{1, 0}, {0, 1}})
+	f, err := FactorizeDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Errorf("short rhs accepted")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if !almostEqual(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Errorf("Norm2 wrong")
+	}
+	if NormInf([]float64{-7, 2}) != 7 {
+		t.Errorf("NormInf wrong")
+	}
+	y := AxpY(2, []float64{1, 1}, []float64{1, 2})
+	if y[0] != 3 || y[1] != 4 {
+		t.Errorf("AxpY wrong: %v", y)
+	}
+	s := Sub([]float64{5, 5}, []float64{2, 3})
+	if s[0] != 3 || s[1] != 2 {
+		t.Errorf("Sub wrong: %v", s)
+	}
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Errorf("Dot wrong")
+	}
+	if MaxAbsDiff([]float64{1, 2}, []float64{1.5, 2}) != 0.5 {
+		t.Errorf("MaxAbsDiff wrong")
+	}
+}
+
+func TestSparseBuilderCompile(t *testing.T) {
+	b := NewSparseBuilder(3)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 1) // duplicate accumulates
+	b.Add(2, 1, -3)
+	b.Add(1, 2, 5)
+	b.Add(1, 2, 0) // zero stamp ignored
+	if b.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", b.NNZ())
+	}
+	m := b.Compile()
+	if m.At(0, 0) != 2 || m.At(2, 1) != -3 || m.At(1, 2) != 5 || m.At(2, 2) != 0 {
+		t.Errorf("compiled matrix wrong")
+	}
+	d := b.ToDense()
+	if d.At(0, 0) != 2 {
+		t.Errorf("ToDense wrong")
+	}
+	b.Reset()
+	if b.NNZ() != 0 {
+		t.Errorf("Reset did not clear")
+	}
+}
+
+func TestSparseBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range stamp not detected")
+		}
+	}()
+	NewSparseBuilder(2).Add(2, 0, 1)
+}
+
+func TestCSCMulVec(t *testing.T) {
+	b := NewSparseBuilder(3)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, 3)
+	b.Add(2, 0, -1)
+	b.Add(0, 2, 4)
+	m := b.Compile()
+	y := m.MulVec([]float64{1, 2, 3})
+	want := []float64{2*1 + 4*3, 3 * 2, -1}
+	for i := range want {
+		if !almostEqual(y[i], want[i], 1e-12) {
+			t.Fatalf("MulVec = %v, want %v", y, want)
+		}
+	}
+	if m.NNZ() != 4 {
+		t.Errorf("NNZ = %d", m.NNZ())
+	}
+	dd := m.ToDense()
+	if dd.At(0, 2) != 4 {
+		t.Errorf("ToDense wrong")
+	}
+}
+
+func TestSparseLUSmall(t *testing.T) {
+	b := NewSparseBuilder(3)
+	// Same system as the dense test.
+	vals := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			b.Add(r, c, vals[r][c])
+		}
+	}
+	x, err := SolveSparse(b.Compile(), []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-9) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSparseLURequiresPivoting(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	x, err := SolveSparse(b.Compile(), []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 7, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSparseLUSingular(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 2)
+	// Row 1 empty: structurally singular.
+	if _, err := SolveSparse(b.Compile(), []float64{1, 1}); err != ErrSingular {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+	// Numerically singular (rank deficient).
+	b2 := NewSparseBuilder(2)
+	b2.Add(0, 0, 1)
+	b2.Add(0, 1, 2)
+	b2.Add(1, 0, 2)
+	b2.Add(1, 1, 4)
+	if _, err := SolveSparse(b2.Compile(), []float64{1, 2}); err != ErrSingular {
+		t.Errorf("expected ErrSingular for rank-deficient matrix, got %v", err)
+	}
+}
+
+func TestSparseLUSolveBadRHS(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	f, err := FactorizeSparse(b.Compile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Errorf("short rhs accepted")
+	}
+	if f.NNZ() == 0 {
+		t.Errorf("NNZ should be positive")
+	}
+}
+
+// randomDiagonallyDominant builds a random sparse, nonsingular test matrix
+// with ~density fraction of off-diagonal entries.
+func randomDiagonallyDominant(rng *rand.Rand, n int, density float64) (*CSC, *Dense) {
+	b := NewSparseBuilder(n)
+	d := NewDense(n, n)
+	for r := 0; r < n; r++ {
+		rowSum := 0.0
+		for c := 0; c < n; c++ {
+			if r == c {
+				continue
+			}
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				b.Add(r, c, v)
+				d.Add(r, c, v)
+				rowSum += math.Abs(v)
+			}
+		}
+		diag := rowSum + 1 + rng.Float64()
+		if rng.Intn(2) == 0 {
+			diag = -diag
+		}
+		b.Add(r, r, diag)
+		d.Add(r, r, diag)
+	}
+	return b.Compile(), d
+}
+
+// Property: sparse LU and dense LU agree, and the sparse solution has a small
+// residual.
+func TestSparseVsDenseRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		sp, de := randomDiagonallyDominant(rng, n, 0.2)
+		bvec := make([]float64, n)
+		for i := range bvec {
+			bvec[i] = rng.NormFloat64()
+		}
+		xs, err := SolveSparse(sp, bvec)
+		if err != nil {
+			return false
+		}
+		xd, err := SolveDense(de, bvec)
+		if err != nil {
+			return false
+		}
+		if MaxAbsDiff(xs, xd) > 1e-7*(1+NormInf(xd)) {
+			return false
+		}
+		return ResidualNorm(sp, xs, bvec) < 1e-7*(1+NormInf(bvec))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for permutation-like matrices with arbitrary structure the solver
+// still recovers the known solution (A x0 = b solved back to x0).
+func TestSparseRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		sp, _ := randomDiagonallyDominant(rng, n, 0.3)
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.NormFloat64()
+		}
+		b := sp.MulVec(x0)
+		x, err := SolveSparse(sp, b)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(x, x0) < 1e-7*(1+NormInf(x0))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseLUModeratelyLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	sp, _ := randomDiagonallyDominant(rng, n, 0.01)
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = rng.NormFloat64()
+	}
+	b := sp.MulVec(x0)
+	x, err := SolveSparse(sp, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(x, x0) > 1e-6 {
+		t.Fatalf("large system solution error %g", MaxAbsDiff(x, x0))
+	}
+}

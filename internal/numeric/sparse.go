@@ -1,0 +1,418 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coord is a (row, col) coordinate used while accumulating matrix stamps.
+type Coord struct{ Row, Col int }
+
+// SparseBuilder accumulates matrix entries by coordinate, summing duplicates,
+// which is exactly the "stamping" pattern of modified nodal analysis.  Call
+// Compile to obtain an immutable CSC matrix.
+type SparseBuilder struct {
+	n       int
+	entries map[Coord]float64
+}
+
+// NewSparseBuilder creates a builder for an n x n matrix.
+func NewSparseBuilder(n int) *SparseBuilder {
+	return &SparseBuilder{n: n, entries: make(map[Coord]float64)}
+}
+
+// N returns the matrix dimension.
+func (b *SparseBuilder) N() int { return b.n }
+
+// Add accumulates v into entry (r, c).
+func (b *SparseBuilder) Add(r, c int, v float64) {
+	if r < 0 || r >= b.n || c < 0 || c >= b.n {
+		panic(fmt.Sprintf("numeric: stamp (%d,%d) outside %dx%d matrix", r, c, b.n, b.n))
+	}
+	if v == 0 {
+		return
+	}
+	b.entries[Coord{r, c}] += v
+}
+
+// NNZ returns the current number of stored (possibly zero-summed) entries.
+func (b *SparseBuilder) NNZ() int { return len(b.entries) }
+
+// Reset clears all accumulated entries, keeping the dimension.
+func (b *SparseBuilder) Reset() {
+	b.entries = make(map[Coord]float64, len(b.entries))
+}
+
+// Compile converts the accumulated entries into a CSC matrix.
+func (b *SparseBuilder) Compile() *CSC {
+	coords := make([]Coord, 0, len(b.entries))
+	for c := range b.entries {
+		coords = append(coords, c)
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].Col != coords[j].Col {
+			return coords[i].Col < coords[j].Col
+		}
+		return coords[i].Row < coords[j].Row
+	})
+	m := &CSC{
+		N:      b.n,
+		ColPtr: make([]int, b.n+1),
+		RowIdx: make([]int, 0, len(coords)),
+		Values: make([]float64, 0, len(coords)),
+	}
+	col := 0
+	for _, c := range coords {
+		for col < c.Col {
+			col++
+			m.ColPtr[col] = len(m.RowIdx)
+		}
+		m.RowIdx = append(m.RowIdx, c.Row)
+		m.Values = append(m.Values, b.entries[c])
+	}
+	for col < b.n {
+		col++
+		m.ColPtr[col] = len(m.RowIdx)
+	}
+	return m
+}
+
+// ToDense materialises the builder into a dense matrix (useful for tests and
+// for tiny circuits).
+func (b *SparseBuilder) ToDense() *Dense {
+	d := NewDense(b.n, b.n)
+	for c, v := range b.entries {
+		d.Add(c.Row, c.Col, v)
+	}
+	return d
+}
+
+// CSC is a compressed-sparse-column matrix.
+type CSC struct {
+	N      int
+	ColPtr []int // len N+1
+	RowIdx []int // len nnz
+	Values []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.RowIdx) }
+
+// MulVec computes y = A x.
+func (m *CSC) MulVec(x []float64) []float64 {
+	if len(x) != m.N {
+		panic(fmt.Sprintf("numeric: MulVec dimension mismatch %d vs %d", len(x), m.N))
+	}
+	y := make([]float64, m.N)
+	for c := 0; c < m.N; c++ {
+		xc := x[c]
+		if xc == 0 {
+			continue
+		}
+		for p := m.ColPtr[c]; p < m.ColPtr[c+1]; p++ {
+			y[m.RowIdx[p]] += m.Values[p] * xc
+		}
+	}
+	return y
+}
+
+// At returns element (r, c); O(nnz in column c).
+func (m *CSC) At(r, c int) float64 {
+	for p := m.ColPtr[c]; p < m.ColPtr[c+1]; p++ {
+		if m.RowIdx[p] == r {
+			return m.Values[p]
+		}
+	}
+	return 0
+}
+
+// ToDense converts to a dense matrix.
+func (m *CSC) ToDense() *Dense {
+	d := NewDense(m.N, m.N)
+	for c := 0; c < m.N; c++ {
+		for p := m.ColPtr[c]; p < m.ColPtr[c+1]; p++ {
+			d.Add(m.RowIdx[p], c, m.Values[p])
+		}
+	}
+	return d
+}
+
+// luEntry is one stored nonzero of an L or U column.
+type luEntry struct {
+	row int
+	val float64
+}
+
+// SparseLU is a left-looking (Gilbert–Peierls) sparse LU factorisation with
+// partial pivoting, the factorisation style used by SPICE-class circuit
+// simulators.  The factorisation satisfies P A = L U with L unit lower
+// triangular.
+type SparseLU struct {
+	n     int
+	lcols [][]luEntry // L columns, row indices in pivot order, diag (==1) omitted
+	ucols [][]luEntry // U columns, row indices in pivot order, including diagonal
+	pinv  []int       // pinv[origRow] = pivot position
+}
+
+// FactorizeSparse computes the sparse LU factorisation of a.
+func FactorizeSparse(a *CSC) (*SparseLU, error) {
+	n := a.N
+	lu := &SparseLU{
+		n:     n,
+		lcols: make([][]luEntry, n),
+		ucols: make([][]luEntry, n),
+		pinv:  make([]int, n),
+	}
+	// lrowsOrig[k] holds L column k with original row indices until all
+	// pivots are known.
+	lrowsOrig := make([][]luEntry, n)
+	for i := range lu.pinv {
+		lu.pinv[i] = -1
+	}
+
+	x := make([]float64, n)     // dense accumulator
+	mark := make([]bool, n)     // visited flags for the DFS
+	stack := make([]int, 0, n)  // DFS stack
+	topo := make([]int, 0, n)   // reach set in topological order
+	pstack := make([]int, 0, n) // per-node position in column traversal
+
+	for k := 0; k < n; k++ {
+		// --- symbolic: reachability of the pattern of A(:,k) in the graph
+		// of already-computed L columns.
+		topo = topo[:0]
+		for p := a.ColPtr[k]; p < a.ColPtr[k+1]; p++ {
+			start := a.RowIdx[p]
+			if mark[start] {
+				continue
+			}
+			// Iterative DFS from start.
+			stack = stack[:0]
+			pstack = pstack[:0]
+			stack = append(stack, start)
+			pstack = append(pstack, 0)
+			mark[start] = true
+			for len(stack) > 0 {
+				i := stack[len(stack)-1]
+				col := lu.pinv[i]
+				advanced := false
+				if col >= 0 {
+					ents := lrowsOrig[col]
+					for pos := pstack[len(pstack)-1]; pos < len(ents); pos++ {
+						r := ents[pos].row
+						if !mark[r] {
+							pstack[len(pstack)-1] = pos + 1
+							stack = append(stack, r)
+							pstack = append(pstack, 0)
+							mark[r] = true
+							advanced = true
+							break
+						}
+					}
+				}
+				if !advanced {
+					stack = stack[:len(stack)-1]
+					pstack = pstack[:len(pstack)-1]
+					topo = append(topo, i)
+				}
+			}
+		}
+		// topo now lists the reach set with children before parents
+		// (post-order); numeric elimination must process parents first, i.e.
+		// reverse order.
+
+		// --- numeric: scatter A(:,k) and eliminate.
+		for p := a.ColPtr[k]; p < a.ColPtr[k+1]; p++ {
+			x[a.RowIdx[p]] = a.Values[p]
+		}
+		for idx := len(topo) - 1; idx >= 0; idx-- {
+			i := topo[idx]
+			col := lu.pinv[i]
+			if col < 0 {
+				continue
+			}
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			for _, e := range lrowsOrig[col] {
+				x[e.row] -= e.val * xi
+			}
+		}
+
+		// --- pivot selection: largest magnitude among not-yet-pivotal rows.
+		ipiv := -1
+		var maxAbs float64
+		for _, i := range topo {
+			if lu.pinv[i] < 0 {
+				if v := math.Abs(x[i]); v > maxAbs {
+					maxAbs = v
+					ipiv = i
+				}
+			}
+		}
+		if ipiv == -1 || maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, ErrSingular
+		}
+		pivotVal := x[ipiv]
+		lu.pinv[ipiv] = k
+
+		// --- store U column k (rows already pivotal, plus the diagonal).
+		ucol := make([]luEntry, 0, len(topo))
+		lcol := make([]luEntry, 0, len(topo))
+		for _, i := range topo {
+			pi := lu.pinv[i]
+			switch {
+			case i == ipiv:
+				// diagonal of U
+			case pi >= 0 && pi < k:
+				if x[i] != 0 {
+					ucol = append(ucol, luEntry{row: pi, val: x[i]})
+				}
+			default:
+				if x[i] != 0 {
+					lcol = append(lcol, luEntry{row: i, val: x[i] / pivotVal})
+				}
+			}
+		}
+		ucol = append(ucol, luEntry{row: k, val: pivotVal})
+		sort.Slice(ucol, func(a, b int) bool { return ucol[a].row < ucol[b].row })
+		lu.ucols[k] = ucol
+		lrowsOrig[k] = lcol
+
+		// --- clear work arrays for the next column.
+		for _, i := range topo {
+			x[i] = 0
+			mark[i] = false
+		}
+	}
+
+	// Any rows never chosen as pivots indicate structural singularity.
+	for i := 0; i < n; i++ {
+		if lu.pinv[i] < 0 {
+			return nil, ErrSingular
+		}
+	}
+
+	// Remap L row indices to pivot order now that all pivots are known.
+	for k := 0; k < n; k++ {
+		src := lrowsOrig[k]
+		dst := make([]luEntry, len(src))
+		for i, e := range src {
+			dst[i] = luEntry{row: lu.pinv[e.row], val: e.val}
+		}
+		sort.Slice(dst, func(a, b int) bool { return dst[a].row < dst[b].row })
+		lu.lcols[k] = dst
+	}
+	return lu, nil
+}
+
+// Solve solves A x = b for the factorised matrix.
+func (f *SparseLU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("numeric: rhs length %d, want %d", len(b), f.n)
+	}
+	// z = P b
+	z := make([]float64, f.n)
+	for i := 0; i < f.n; i++ {
+		z[f.pinv[i]] = b[i]
+	}
+	// Forward solve L w = z (unit diagonal).
+	for k := 0; k < f.n; k++ {
+		wk := z[k]
+		if wk == 0 {
+			continue
+		}
+		for _, e := range f.lcols[k] {
+			z[e.row] -= e.val * wk
+		}
+	}
+	// Backward solve U x = w.  U is stored by columns; iterate columns from
+	// right to left.
+	x := z
+	for k := f.n - 1; k >= 0; k-- {
+		ucol := f.ucols[k]
+		// Diagonal is the last entry (row == k after sorting).
+		diag := 0.0
+		for _, e := range ucol {
+			if e.row == k {
+				diag = e.val
+			}
+		}
+		if diag == 0 {
+			return nil, ErrSingular
+		}
+		x[k] /= diag
+		xk := x[k]
+		if xk == 0 {
+			continue
+		}
+		for _, e := range ucol {
+			if e.row != k {
+				x[e.row] -= e.val * xk
+			}
+		}
+	}
+	return x, nil
+}
+
+// NNZ returns the number of stored nonzeros in L and U combined (a measure of
+// fill-in used by the experiments).
+func (f *SparseLU) NNZ() int {
+	nnz := 0
+	for k := 0; k < f.n; k++ {
+		nnz += len(f.lcols[k]) + len(f.ucols[k])
+	}
+	return nnz
+}
+
+// SolveRefined solves A x = b and then applies iters rounds of iterative
+// refinement (x += A\(b - A x)) using the same factorisation.  Refinement
+// recovers most of the accuracy lost to ill-conditioning, which matters for
+// the MNA matrices of the analog substrate whose conductances span many
+// orders of magnitude (diode on-resistances versus op-amp-derived residual
+// conductances).
+func (f *SparseLU) SolveRefined(a *CSC, b []float64, iters int) ([]float64, error) {
+	x, err := f.Solve(b)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < iters; k++ {
+		r := Sub(b, a.MulVec(x))
+		if NormInf(r) == 0 {
+			break
+		}
+		dx, err := f.Solve(r)
+		if err != nil {
+			return nil, err
+		}
+		AxpY(1, dx, x)
+	}
+	return x, nil
+}
+
+// SolveSparse factorises a and solves a single right-hand side.
+func SolveSparse(a *CSC, b []float64) ([]float64, error) {
+	f, err := FactorizeSparse(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// SolveSparseRefined factorises a and solves with two rounds of iterative
+// refinement.
+func SolveSparseRefined(a *CSC, b []float64) ([]float64, error) {
+	f, err := FactorizeSparse(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveRefined(a, b, 2)
+}
+
+// ResidualNorm returns ||A x - b||_inf, used by tests and by the iterative
+// refinement step of the MNA solver.
+func ResidualNorm(a *CSC, x, b []float64) float64 {
+	ax := a.MulVec(x)
+	return NormInf(Sub(ax, b))
+}

@@ -1,0 +1,113 @@
+// Package power implements the analytical power and energy model of
+// Section 5.2 of the paper.  The dominant consumers on the substrate are the
+// op-amps: one per edge present in the graph (the inverter widget's negative
+// resistance) and one per vertex (the conservation widget's negative
+// resistance), so a graph with |V| vertices and |E| edges dissipates roughly
+//
+//	P ≈ (|E| + |V|) * Pamp
+//
+// where Pamp is the quiescent power of one op-amp (500 µW at 1 V / 500 µA in
+// the paper's 32 nm assumption).  Resistor dissipation can be scaled away by
+// proportionally raising all resistances (Section 4.3.1), and op-amps of
+// absent edges are power gated.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"analogflow/internal/device"
+	"analogflow/internal/graph"
+)
+
+// Model captures the power-model parameters.
+type Model struct {
+	// OpAmp provides Pamp via its supply voltage and current.
+	OpAmp device.OpAmpModel
+	// StaticOverhead is a fixed power term for bias generation, clamping
+	// sources and readout (W); the paper neglects it, so it defaults to 0.
+	StaticOverhead float64
+}
+
+// DefaultModel returns the paper's Section 5.2 assumptions.
+func DefaultModel() Model {
+	return Model{OpAmp: device.DefaultOpAmp()}
+}
+
+// Validate checks the model.
+func (m Model) Validate() error {
+	if err := m.OpAmp.Validate(); err != nil {
+		return err
+	}
+	if m.StaticOverhead < 0 {
+		return fmt.Errorf("power: negative static overhead %g", m.StaticOverhead)
+	}
+	return nil
+}
+
+// Pamp returns the per-op-amp power in watts.
+func (m Model) Pamp() float64 { return m.OpAmp.Power() }
+
+// SubstratePower returns the power drawn by a substrate configured for a
+// graph with the given number of vertices and edges.
+func (m Model) SubstratePower(vertices, edges int) float64 {
+	if vertices < 0 {
+		vertices = 0
+	}
+	if edges < 0 {
+		edges = 0
+	}
+	return float64(vertices+edges)*m.Pamp() + m.StaticOverhead
+}
+
+// GraphPower returns the substrate power for a specific graph.
+func (m Model) GraphPower(g *graph.Graph) float64 {
+	return m.SubstratePower(g.NumVertices(), g.NumEdges())
+}
+
+// MaxEdgesForBudget returns how many active edges a power budget can support,
+// assuming |V| << |E| as in Section 5.2 of the paper.
+func (m Model) MaxEdgesForBudget(budget float64) int {
+	if budget <= m.StaticOverhead {
+		return 0
+	}
+	return int(math.Floor((budget - m.StaticOverhead) / m.Pamp()))
+}
+
+// Energy returns the energy consumed by a solve that keeps the substrate
+// powered for the given convergence time.
+func (m Model) Energy(vertices, edges int, convergenceTime float64) float64 {
+	if convergenceTime < 0 {
+		convergenceTime = 0
+	}
+	return m.SubstratePower(vertices, edges) * convergenceTime
+}
+
+// BudgetReport is one row of the paper's Section 5.2 discussion: a power
+// budget and the number of edges the substrate can host within it.
+type BudgetReport struct {
+	Budget   float64
+	MaxEdges int
+}
+
+// BudgetTable evaluates the model at the paper's two reference budgets (5 W
+// embedded, 150 W server) plus any extra budgets supplied.
+func (m Model) BudgetTable(extra ...float64) []BudgetReport {
+	budgets := append([]float64{5, 150}, extra...)
+	out := make([]BudgetReport, 0, len(budgets))
+	for _, b := range budgets {
+		out = append(out, BudgetReport{Budget: b, MaxEdges: m.MaxEdgesForBudget(b)})
+	}
+	return out
+}
+
+// EfficiencyGain compares substrate energy against a CPU baseline: it returns
+// the ratio (CPU energy) / (substrate energy) given the respective solve
+// times and a CPU power draw.
+func EfficiencyGain(cpuTime, cpuPower, substrateTime, substratePower float64) float64 {
+	se := substrateTime * substratePower
+	if se <= 0 {
+		return math.Inf(1)
+	}
+	return (cpuTime * cpuPower) / se
+}

@@ -1,0 +1,105 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"analogflow/internal/graph"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+	bad := DefaultModel()
+	bad.StaticOverhead = -1
+	if bad.Validate() == nil {
+		t.Errorf("negative overhead accepted")
+	}
+	bad2 := DefaultModel()
+	bad2.OpAmp.Gain = 0
+	if bad2.Validate() == nil {
+		t.Errorf("invalid op-amp accepted")
+	}
+}
+
+func TestPamp(t *testing.T) {
+	// Paper: 1 V supply, 500 µA -> 500 µW.
+	if p := DefaultModel().Pamp(); math.Abs(p-500e-6) > 1e-12 {
+		t.Errorf("Pamp = %g, want 500e-6", p)
+	}
+}
+
+func TestSubstratePower(t *testing.T) {
+	m := DefaultModel()
+	// (|E| + |V|) * Pamp
+	if p := m.SubstratePower(1000, 8000); math.Abs(p-9000*500e-6) > 1e-9 {
+		t.Errorf("substrate power %g", p)
+	}
+	if p := m.SubstratePower(-5, -5); p != 0 {
+		t.Errorf("negative sizes should clamp to zero, got %g", p)
+	}
+	m.StaticOverhead = 0.5
+	if p := m.SubstratePower(0, 0); p != 0.5 {
+		t.Errorf("static overhead not applied")
+	}
+	g := graph.PaperFigure5()
+	base := DefaultModel()
+	if p := base.GraphPower(g); math.Abs(p-10*500e-6) > 1e-12 {
+		t.Errorf("graph power %g", p)
+	}
+}
+
+// The paper's Section 5.2 headline numbers: a 5 W budget supports about 1e4
+// edges and a 150 W budget about 3e5 edges.
+func TestBudgetTableMatchesPaper(t *testing.T) {
+	m := DefaultModel()
+	table := m.BudgetTable()
+	if len(table) != 2 {
+		t.Fatalf("expected 2 default budgets, got %d", len(table))
+	}
+	if table[0].Budget != 5 || table[1].Budget != 150 {
+		t.Fatalf("unexpected budgets: %+v", table)
+	}
+	if table[0].MaxEdges != 10000 {
+		t.Errorf("5 W budget supports %d edges, want 10000", table[0].MaxEdges)
+	}
+	if table[1].MaxEdges != 300000 {
+		t.Errorf("150 W budget supports %d edges, want 300000", table[1].MaxEdges)
+	}
+	withExtra := m.BudgetTable(1)
+	if len(withExtra) != 3 || withExtra[2].MaxEdges != 2000 {
+		t.Errorf("extra budget handling wrong: %+v", withExtra)
+	}
+}
+
+func TestMaxEdgesForBudgetEdgeCases(t *testing.T) {
+	m := DefaultModel()
+	m.StaticOverhead = 1
+	if n := m.MaxEdgesForBudget(0.5); n != 0 {
+		t.Errorf("budget below overhead should support 0 edges, got %d", n)
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	m := DefaultModel()
+	e := m.Energy(100, 900, 1e-5)
+	want := 1000 * 500e-6 * 1e-5
+	if math.Abs(e-want) > 1e-15 {
+		t.Errorf("energy %g, want %g", e, want)
+	}
+	if m.Energy(100, 900, -1) != 0 {
+		t.Errorf("negative time should give zero energy")
+	}
+}
+
+func TestEfficiencyGain(t *testing.T) {
+	// CPU: 1 ms at 100 W = 0.1 J; substrate: 1 µs at 0.5 W = 5e-7 J.
+	gain := EfficiencyGain(1e-3, 100, 1e-6, 0.5)
+	if math.Abs(gain-2e5) > 1 {
+		t.Errorf("efficiency gain %g, want 2e5", gain)
+	}
+	if !math.IsInf(EfficiencyGain(1, 1, 0, 1), 1) {
+		t.Errorf("zero substrate energy should give +Inf gain")
+	}
+}

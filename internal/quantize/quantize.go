@@ -1,0 +1,165 @@
+// Package quantize implements the voltage-level quantization scheme of
+// Section 4.1 of the paper.  Because the substrate cannot afford one exact
+// voltage source per edge, edge capacities are mapped onto N uniformly spaced
+// voltage levels in (0, Vdd]; circuit solutions are then mapped back to the
+// capacity domain, introducing a bounded quantization error of at most C/N
+// per edge (C = largest capacity).
+package quantize
+
+import (
+	"fmt"
+	"math"
+
+	"analogflow/internal/graph"
+)
+
+// Scheme describes a voltage quantization configuration.
+type Scheme struct {
+	// Levels is the number of discrete voltage levels N (Table 1 uses 20).
+	Levels int
+	// Vdd is the supply voltage; level k has voltage (k/N)*Vdd.
+	Vdd float64
+}
+
+// DefaultScheme returns the paper's configuration: 20 levels, 1 V supply.
+func DefaultScheme() Scheme { return Scheme{Levels: 20, Vdd: 1.0} }
+
+// Validate checks the scheme.
+func (s Scheme) Validate() error {
+	if s.Levels < 1 {
+		return fmt.Errorf("quantize: need at least one level, got %d", s.Levels)
+	}
+	if s.Vdd <= 0 {
+		return fmt.Errorf("quantize: Vdd must be positive, got %g", s.Vdd)
+	}
+	return nil
+}
+
+// Result is the outcome of quantizing one max-flow instance.
+type Result struct {
+	Scheme Scheme
+	// MaxCapacity is C, the largest capacity of the original instance.
+	MaxCapacity float64
+	// EdgeVoltages[i] is the clamp voltage Q(c_i) assigned to edge i.
+	EdgeVoltages []float64
+	// EdgeLevels[i] is the integer level index (1..N) assigned to edge i.
+	EdgeLevels []int
+	// UsedLevels lists the distinct level indices actually used, i.e. how
+	// many physical voltage sources the substrate needs for this instance.
+	UsedLevels []int
+}
+
+// Voltage returns the voltage of level k (level 0 is 0 V, i.e. an edge whose
+// capacity quantizes below the first level effectively disappears from the
+// substrate).
+func (s Scheme) Voltage(k int) float64 {
+	return float64(k) / float64(s.Levels) * s.Vdd
+}
+
+// LevelOf maps a capacity to its level index using the paper's floor rule
+// Q(x) = floor(x/C*N)/N * Vdd.  Capacities below one quantization step map to
+// level 0: the substrate cannot represent them and the corresponding edge is
+// dropped from the configured instance (an under-approximation, consistent
+// with the paper's definition of Q).
+func (s Scheme) LevelOf(capacity, maxCapacity float64) int {
+	if maxCapacity <= 0 || capacity <= 0 {
+		return 0
+	}
+	k := int(math.Floor(capacity / maxCapacity * float64(s.Levels)))
+	if k < 0 {
+		k = 0
+	}
+	if k > s.Levels {
+		k = s.Levels
+	}
+	return k
+}
+
+// StepSize returns the worst-case per-edge quantization error in capacity
+// units, e = C/N.
+func (s Scheme) StepSize(maxCapacity float64) float64 {
+	return maxCapacity / float64(s.Levels)
+}
+
+// Quantize maps every capacity of g onto the discrete levels.
+func Quantize(g *graph.Graph, s Scheme) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c := g.MaxCapacity()
+	res := &Result{
+		Scheme:       s,
+		MaxCapacity:  c,
+		EdgeVoltages: make([]float64, g.NumEdges()),
+		EdgeLevels:   make([]int, g.NumEdges()),
+	}
+	used := make(map[int]bool)
+	for i := 0; i < g.NumEdges(); i++ {
+		level := s.LevelOf(g.Edge(i).Capacity, c)
+		res.EdgeLevels[i] = level
+		res.EdgeVoltages[i] = s.Voltage(level)
+		if level > 0 {
+			used[level] = true
+		}
+	}
+	for k := 1; k <= s.Levels; k++ {
+		if used[k] {
+			res.UsedLevels = append(res.UsedLevels, k)
+		}
+	}
+	return res, nil
+}
+
+// VoltsPerUnit returns the scale factor Vdd/C that converts capacities to
+// voltages; its inverse maps circuit voltages back to flow units.
+func (r *Result) VoltsPerUnit() float64 {
+	if r.MaxCapacity == 0 {
+		return 1
+	}
+	return r.Scheme.Vdd / r.MaxCapacity
+}
+
+// ToFlowUnits converts a circuit voltage back into capacity/flow units
+// (the paper's Y~ = Y * C / Vdd mapping).
+func (r *Result) ToFlowUnits(voltage float64) float64 {
+	return voltage / r.VoltsPerUnit()
+}
+
+// QuantizedCapacities returns the capacities implied by the quantized
+// voltages, expressed back in the original capacity units.  Solving max-flow
+// exactly on these capacities gives the best solution the quantized substrate
+// could possibly produce, which the experiments use to separate quantization
+// error from circuit error.
+func (r *Result) QuantizedCapacities() []float64 {
+	out := make([]float64, len(r.EdgeVoltages))
+	for i, v := range r.EdgeVoltages {
+		out[i] = r.ToFlowUnits(v)
+	}
+	return out
+}
+
+// QuantizedGraph returns a copy of g whose capacities are the de-quantized
+// level values.
+func QuantizedGraph(g *graph.Graph, s Scheme) (*graph.Graph, *Result, error) {
+	res, err := Quantize(g, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	qg, err := g.WithCapacities(res.QuantizedCapacities())
+	if err != nil {
+		return nil, nil, err
+	}
+	return qg, res, nil
+}
+
+// WorstCaseFlowError bounds the error of the total flow value introduced by
+// quantization alone: each edge of the minimum cut can be off by at most one
+// quantization step, and a minimum cut has at most |E| edges, but a much
+// tighter practical bound is step * (number of cut edges); callers that know
+// the min-cut size pass it here.
+func (r *Result) WorstCaseFlowError(cutEdges int) float64 {
+	if cutEdges < 0 {
+		cutEdges = 0
+	}
+	return float64(cutEdges) * r.Scheme.StepSize(r.MaxCapacity)
+}

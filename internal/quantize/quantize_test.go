@@ -1,0 +1,205 @@
+package quantize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"analogflow/internal/graph"
+	"analogflow/internal/maxflow"
+	"analogflow/internal/rmat"
+)
+
+func TestSchemeValidate(t *testing.T) {
+	if err := DefaultScheme().Validate(); err != nil {
+		t.Errorf("default scheme invalid: %v", err)
+	}
+	if (Scheme{Levels: 0, Vdd: 1}).Validate() == nil {
+		t.Errorf("zero levels accepted")
+	}
+	if (Scheme{Levels: 10, Vdd: 0}).Validate() == nil {
+		t.Errorf("zero Vdd accepted")
+	}
+}
+
+func TestLevelMapping(t *testing.T) {
+	s := Scheme{Levels: 20, Vdd: 1}
+	// Largest capacity maps to the top level / Vdd.
+	if s.LevelOf(3, 3) != 20 || s.Voltage(20) != 1.0 {
+		t.Errorf("max capacity should map to Vdd")
+	}
+	// The paper's Figure 8 example: capacities 3, 2, 1 with C=3, N=20.
+	// Q(2) = floor(2/3*20)/20 = 13/20 = 0.65 V; Q(1) = floor(1/3*20)/20 = 6/20 = 0.30 V.
+	if lv := s.LevelOf(2, 3); lv != 13 {
+		t.Errorf("level of 2/3: %d, want 13", lv)
+	}
+	if v := s.Voltage(s.LevelOf(2, 3)); math.Abs(v-0.65) > 1e-12 {
+		t.Errorf("Q(2) = %g, want 0.65", v)
+	}
+	if v := s.Voltage(s.LevelOf(1, 3)); math.Abs(v-0.30) > 1e-12 {
+		t.Errorf("Q(1) = %g, want 0.30", v)
+	}
+	// Capacities below one quantization step map to level 0 (the edge is not
+	// representable on the substrate), following the paper's floor rule.
+	if s.LevelOf(0.01, 3) != 0 {
+		t.Errorf("sub-step capacity should map to level 0")
+	}
+	if s.Voltage(0) != 0 {
+		t.Errorf("level 0 should be 0 V")
+	}
+	// Degenerate max capacity.
+	if s.LevelOf(1, 0) != 0 {
+		t.Errorf("zero max capacity should map to level 0")
+	}
+	if s.StepSize(3) != 3.0/20 {
+		t.Errorf("step size wrong")
+	}
+}
+
+func TestQuantizeFigure5(t *testing.T) {
+	g := graph.PaperFigure5()
+	res, err := Quantize(g, DefaultScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCapacity != 3 {
+		t.Errorf("max capacity %g", res.MaxCapacity)
+	}
+	// Edges: x1 cap 3 -> 1.0 V, x2 cap 2 -> 0.65 V, x3 cap 1 -> 0.30 V,
+	// x4 cap 1 -> 0.30 V, x5 cap 2 -> 0.65 V.
+	want := []float64{1.0, 0.65, 0.30, 0.30, 0.65}
+	for i, w := range want {
+		if math.Abs(res.EdgeVoltages[i]-w) > 1e-12 {
+			t.Errorf("edge %d voltage %g, want %g", i, res.EdgeVoltages[i], w)
+		}
+	}
+	// Three distinct levels are used, so three voltage sources suffice.
+	if len(res.UsedLevels) != 3 {
+		t.Errorf("used levels %v, want 3 distinct", res.UsedLevels)
+	}
+	// De-quantized capacities: 3, 1.95, 0.9, 0.9, 1.95.
+	qc := res.QuantizedCapacities()
+	wantCaps := []float64{3, 1.95, 0.9, 0.9, 1.95}
+	for i, w := range wantCaps {
+		if math.Abs(qc[i]-w) > 1e-9 {
+			t.Errorf("quantized capacity %d = %g, want %g", i, qc[i], w)
+		}
+	}
+	if math.Abs(res.VoltsPerUnit()-1.0/3) > 1e-12 {
+		t.Errorf("volts per unit %g", res.VoltsPerUnit())
+	}
+	if math.Abs(res.ToFlowUnits(0.7)-2.1) > 1e-9 {
+		t.Errorf("ToFlowUnits(0.7) = %g, want 2.1 (paper's approximate solution)", res.ToFlowUnits(0.7))
+	}
+	if res.WorstCaseFlowError(2) != 2*3.0/20 {
+		t.Errorf("worst-case flow error wrong")
+	}
+	if res.WorstCaseFlowError(-1) != 0 {
+		t.Errorf("negative cut size should clamp to zero")
+	}
+}
+
+// The paper's Figure 8 reports that after quantization the max-flow of the
+// Figure 5 instance deviates by about 5 % (2.1 instead of 2.0 when solved on
+// the quantized capacities and read back).  Verify that the quantized
+// instance indeed has an exact max-flow within a step of that.
+func TestQuantizedInstanceFlowDeviation(t *testing.T) {
+	g := graph.PaperFigure5()
+	qg, res, err := QuantizedGraph(g, DefaultScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := maxflow.OptimalValue(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantized, err := maxflow.OptimalValue(qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 2 {
+		t.Fatalf("exact flow %g, want 2", exact)
+	}
+	// The quantized optimum is 1.8 (both unit-capacity edges dropped to 0.9):
+	// a 10 % deviation, within twice the paper's quoted 5 % single-edge step.
+	dev := math.Abs(quantized-exact) / exact
+	if dev > 2*res.Scheme.StepSize(res.MaxCapacity)/exact+1e-9 {
+		t.Errorf("quantized deviation %g exceeds worst-case bound", dev)
+	}
+	if quantized <= 0 {
+		t.Errorf("quantized flow should stay positive")
+	}
+}
+
+func TestQuantizeRejectsBadScheme(t *testing.T) {
+	if _, err := Quantize(graph.PaperFigure5(), Scheme{Levels: 0, Vdd: 1}); err == nil {
+		t.Errorf("invalid scheme accepted")
+	}
+	if _, _, err := QuantizedGraph(graph.PaperFigure5(), Scheme{Levels: 0, Vdd: 1}); err == nil {
+		t.Errorf("invalid scheme accepted by QuantizedGraph")
+	}
+}
+
+func TestMoreLevelsReduceError(t *testing.T) {
+	g := rmat.MustGenerate(rmat.DefaultParams(64, 256, 5))
+	exact, err := maxflow.OptimalValue(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errorAt := func(levels int) float64 {
+		qg, _, err := QuantizedGraph(g, Scheme{Levels: levels, Vdd: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := maxflow.OptimalValue(qg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(v-exact) / exact
+	}
+	coarse := errorAt(4)
+	fine := errorAt(64)
+	if fine > coarse+1e-9 {
+		t.Errorf("finer quantization should not increase error: N=4 -> %g, N=64 -> %g", coarse, fine)
+	}
+	if fine > 0.1 {
+		t.Errorf("64-level quantization error %g unexpectedly large", fine)
+	}
+}
+
+// Property: quantized voltages are always in (0, Vdd], levels in [1, N], and
+// de-quantized capacities never exceed the original capacity by more than one
+// step nor fall below it by more than one step.
+func TestQuantizeInvariants(t *testing.T) {
+	s := DefaultScheme()
+	f := func(seed int64) bool {
+		n := 8 + int(uint64(seed)%24)
+		g, err := rmat.Generate(rmat.DefaultParams(n, 3*n, seed))
+		if err != nil {
+			return false
+		}
+		res, err := Quantize(g, s)
+		if err != nil {
+			return false
+		}
+		step := s.StepSize(res.MaxCapacity)
+		qc := res.QuantizedCapacities()
+		for i := 0; i < g.NumEdges(); i++ {
+			v := res.EdgeVoltages[i]
+			if v < 0 || v > s.Vdd+1e-12 {
+				return false
+			}
+			if res.EdgeLevels[i] < 0 || res.EdgeLevels[i] > s.Levels {
+				return false
+			}
+			diff := qc[i] - g.Edge(i).Capacity
+			if diff > step+1e-9 || diff < -step-1e-9 {
+				return false
+			}
+		}
+		return len(res.UsedLevels) <= s.Levels
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package rmat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	ok := DefaultParams(100, 400, 1)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"too few vertices", func(p *Params) { p.Vertices = 1 }},
+		{"negative edges", func(p *Params) { p.Edges = -1 }},
+		{"zero capacity", func(p *Params) { p.MaxCapacity = 0 }},
+		{"probabilities not summing", func(p *Params) { p.A = 0.9 }},
+		{"non-positive probability", func(p *Params) { p.A, p.B = 0.76, 0.0 }},
+		{"too many simple edges", func(p *Params) { p.Vertices, p.Edges = 5, 100 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams(100, 400, 1)
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("expected validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateSizesAndDeterminism(t *testing.T) {
+	p := DefaultParams(128, 512, 42)
+	g1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != 128 {
+		t.Errorf("vertices = %d, want 128", g1.NumVertices())
+	}
+	if g1.NumEdges() < 512 {
+		t.Errorf("edges = %d, want >= 512", g1.NumEdges())
+	}
+	if err := g1.Validate(); err != nil {
+		t.Errorf("generated graph invalid: %v", err)
+	}
+	g2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed produced different edge counts: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	for i := 0; i < g1.NumEdges(); i++ {
+		if g1.Edge(i) != g2.Edge(i) {
+			t.Fatalf("same seed produced different edge %d", i)
+		}
+	}
+	g3, err := Generate(DefaultParams(128, 512, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := g3.NumEdges() == g1.NumEdges()
+	if same {
+		diff := false
+		for i := 0; i < g1.NumEdges(); i++ {
+			if g1.Edge(i) != g3.Edge(i) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Errorf("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenerateEnsuresPath(t *testing.T) {
+	// Tiny edge budget makes s-t connectivity unlikely without EnsurePath.
+	p := DefaultParams(64, 8, 7)
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.SinkReachable() {
+		t.Errorf("EnsurePath did not make the sink reachable")
+	}
+}
+
+func TestCapacitiesWithinRange(t *testing.T) {
+	p := DefaultParams(64, 256, 3)
+	p.MaxCapacity = 17
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		c := g.Edge(i).Capacity
+		if c < 1 || c > 17 {
+			t.Fatalf("edge %d capacity %g outside [1, 17]", i, c)
+		}
+	}
+}
+
+func TestDenseAndSparsePresets(t *testing.T) {
+	d := DenseParams(512, 1)
+	if d.Edges != 512*512/128 {
+		t.Errorf("dense edges = %d", d.Edges)
+	}
+	dBig := DenseParams(1024, 1)
+	if dBig.Edges != 8000 {
+		t.Errorf("dense edges should clamp to 8000, got %d", dBig.Edges)
+	}
+	s := SparseParams(512, 1)
+	if s.Edges != 2048 {
+		t.Errorf("sparse edges = %d, want 2048", s.Edges)
+	}
+	sBig := SparseParams(5000, 1)
+	if sBig.Edges != 8000 {
+		t.Errorf("sparse edges should clamp to 8000, got %d", sBig.Edges)
+	}
+	dSmall := DenseParams(64, 1)
+	if dSmall.Edges < 64 {
+		t.Errorf("dense edges should be at least |V|, got %d", dSmall.Edges)
+	}
+}
+
+func TestAllowParallel(t *testing.T) {
+	p := DefaultParams(16, 200, 9)
+	p.AllowParallel = true
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 200 {
+		t.Errorf("expected 200 edges with parallels allowed, got %d", g.NumEdges())
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := MustGenerate(DefaultParams(256, 1024, 11))
+	s := Stats(g)
+	if s.MaxOut < 1 || s.MaxIn < 1 {
+		t.Errorf("degenerate degree stats: %+v", s)
+	}
+	meanExpected := float64(g.NumEdges()) / 256
+	if s.MeanOut < meanExpected*0.99 || s.MeanOut > meanExpected*1.01 {
+		t.Errorf("mean out degree %g inconsistent with edge count", s.MeanOut)
+	}
+	// R-MAT with skewed quadrant probabilities should show hub behaviour:
+	// the max degree well above the mean.
+	if float64(s.MaxOut) < 2*s.MeanOut {
+		t.Errorf("expected skewed degree distribution, max=%d mean=%g", s.MaxOut, s.MeanOut)
+	}
+}
+
+// Property: every generated graph validates, has the requested vertex count,
+// no self loops, and capacities within range.
+func TestGenerateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 16 + int(uint64(seed)%64)
+		p := DefaultParams(n, 3*n, seed)
+		g, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		if g.NumVertices() != n || g.Validate() != nil {
+			return false
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			e := g.Edge(i)
+			if e.From == e.To || e.Capacity < 1 || e.Capacity > float64(p.MaxCapacity) {
+				return false
+			}
+		}
+		return g.SinkReachable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package variation models the process-variation and parasitic-resistance
+// effects of Section 4.3 of the paper, together with the two mitigation
+// techniques it proposes: resistance matching through layout (Section 4.3.1)
+// and post-fabrication resistance tuning of the memristors (Section 4.3.2).
+//
+// The key observation the paper relies on is that the circuit solution
+// depends only on resistance *ratios*, so a common multiplicative shift of
+// all resistances is harmless; only the mismatch between resistors degrades
+// solution quality.  The models here therefore separate a global lot-to-lot
+// component (irrelevant) from a local mismatch component (what matters), and
+// the tuning procedure reduces the local component to the tuning precision.
+package variation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"analogflow/internal/device"
+)
+
+// Profile describes the statistical variation of the resistances on a
+// substrate.
+type Profile struct {
+	// GlobalSigma is the lot-to-lot (common-mode) lognormal sigma.  The
+	// paper quotes absolute tolerances of 20-30 % for integrated resistors.
+	GlobalSigma float64
+	// MismatchSigma is the device-to-device (local) lognormal sigma before
+	// any mitigation.  Matched layout brings it to better than 1 % and often
+	// 0.1 % (paper, citing Hastings).
+	MismatchSigma float64
+	// ParasiticResistance is a deterministic series resistance added to
+	// every resistor (wiring, crossbar electrodes), in Ohm.
+	ParasiticResistance float64
+	// Seed makes the drawn variations reproducible.
+	Seed int64
+}
+
+// DefaultUnmatched returns the paper's "raw" integrated-resistor tolerances:
+// 25 % global, 5 % local mismatch, 50 Ohm parasitics.
+func DefaultUnmatched() Profile {
+	return Profile{GlobalSigma: 0.25, MismatchSigma: 0.05, ParasiticResistance: 50, Seed: 1}
+}
+
+// DefaultMatched returns the matched-layout profile: the same global
+// tolerance but 0.5 % mismatch.
+func DefaultMatched() Profile {
+	return Profile{GlobalSigma: 0.25, MismatchSigma: 0.005, ParasiticResistance: 50, Seed: 1}
+}
+
+// Validate checks the profile.
+func (p Profile) Validate() error {
+	if p.GlobalSigma < 0 || p.MismatchSigma < 0 {
+		return fmt.Errorf("variation: negative sigma")
+	}
+	if p.ParasiticResistance < 0 {
+		return fmt.Errorf("variation: negative parasitic resistance")
+	}
+	return nil
+}
+
+// Sampler draws per-device resistance values under a profile.  One Sampler
+// corresponds to one fabricated substrate: the global factor is drawn once,
+// the mismatch independently per device.
+type Sampler struct {
+	profile Profile
+	rng     *rand.Rand
+	global  float64
+}
+
+// NewSampler creates a sampler for one substrate instance.
+func NewSampler(p Profile) (*Sampler, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	global := 1.0
+	if p.GlobalSigma > 0 {
+		global = math.Exp(rng.NormFloat64() * p.GlobalSigma)
+	}
+	return &Sampler{profile: p, rng: rng, global: global}, nil
+}
+
+// GlobalFactor returns the common-mode factor of this substrate instance.
+func (s *Sampler) GlobalFactor() float64 { return s.global }
+
+// Perturb returns the fabricated value of a resistor with the given nominal
+// resistance: nominal * global * mismatch + parasitic.
+func (s *Sampler) Perturb(nominal float64) float64 {
+	mismatch := 1.0
+	if s.profile.MismatchSigma > 0 {
+		mismatch = math.Exp(s.rng.NormFloat64() * s.profile.MismatchSigma)
+	}
+	return nominal*s.global*mismatch + s.profile.ParasiticResistance
+}
+
+// PerturbFunc adapts the sampler to the builder's PerturbResistance hook.
+func (s *Sampler) PerturbFunc() func(float64) float64 {
+	return s.Perturb
+}
+
+// RatioError reports the relative error of the ratio between two perturbed
+// resistors that were nominally equal; the solution-quality analysis of
+// Section 4.3.1 is driven by this quantity rather than by absolute errors.
+func (s *Sampler) RatioError(nominal float64) float64 {
+	a := s.Perturb(nominal)
+	b := s.Perturb(nominal)
+	return math.Abs(a/b - 1)
+}
+
+// TuningSpec describes the post-fabrication tuning procedure of
+// Section 4.3.2: the substrate is reconfigured into the Figure 9b tuning
+// circuit and each memristor is adjusted until the inverter gain is -1 within
+// the given precision, over a bounded number of refinement iterations.
+type TuningSpec struct {
+	// TargetPrecision is the relative precision the tuning loop aims for
+	// (e.g. 0.001 for 0.1 %).
+	TargetPrecision float64
+	// MaxIterations bounds the iterative refinement of the two-step tuning
+	// procedure.
+	MaxIterations int
+	// StepFraction is the fraction of the measured error corrected per
+	// iteration (models finite programming-pulse resolution).
+	StepFraction float64
+}
+
+// DefaultTuning returns a practical tuning specification.
+func DefaultTuning() TuningSpec {
+	return TuningSpec{TargetPrecision: 1e-3, MaxIterations: 10, StepFraction: 0.8}
+}
+
+// Validate checks the spec.
+func (t TuningSpec) Validate() error {
+	if t.TargetPrecision <= 0 || t.TargetPrecision >= 1 {
+		return fmt.Errorf("variation: tuning precision must be in (0,1), got %g", t.TargetPrecision)
+	}
+	if t.MaxIterations < 1 {
+		return fmt.Errorf("variation: tuning needs at least one iteration")
+	}
+	if t.StepFraction <= 0 || t.StepFraction > 1 {
+		return fmt.Errorf("variation: step fraction must be in (0,1], got %g", t.StepFraction)
+	}
+	return nil
+}
+
+// TuneResult reports the outcome of tuning one memristor.
+type TuneResult struct {
+	// Iterations is how many refinement steps were used.
+	Iterations int
+	// FinalError is the remaining relative error versus the target.
+	FinalError float64
+	// Converged reports whether the target precision was reached.
+	Converged bool
+}
+
+// TuneMemristor adjusts the memristor's LRS resistance toward the target
+// value using the iterative procedure of Section 4.3.2.  Each iteration
+// "measures" the current error (through the tuning circuit, modelled here as
+// an exact measurement) and corrects a StepFraction of it.
+func TuneMemristor(m *device.Memristor, target float64, spec TuningSpec) (TuneResult, error) {
+	if err := spec.Validate(); err != nil {
+		return TuneResult{}, err
+	}
+	if target <= 0 {
+		return TuneResult{}, fmt.Errorf("variation: tuning target must be positive, got %g", target)
+	}
+	var res TuneResult
+	for i := 0; i < spec.MaxIterations; i++ {
+		current := m.LRSResistance()
+		err := (current - target) / target
+		res.FinalError = math.Abs(err)
+		if res.FinalError <= spec.TargetPrecision {
+			res.Converged = true
+			return res, nil
+		}
+		res.Iterations++
+		next := current - spec.StepFraction*(current-target)
+		if tuneErr := m.Tune(next); tuneErr != nil {
+			return res, tuneErr
+		}
+	}
+	res.FinalError = math.Abs(m.LRSResistance()-target) / target
+	res.Converged = res.FinalError <= spec.TargetPrecision
+	return res, nil
+}
+
+// TuneAll tunes a slice of memristors toward a common target and returns the
+// worst-case remaining error, the mean error, and the total number of tuning
+// iterations (a proxy for tuning time, which matters because tuning has to be
+// repeated when memristance drifts).
+func TuneAll(ms []*device.Memristor, target float64, spec TuningSpec) (worst, mean float64, iterations int, err error) {
+	if len(ms) == 0 {
+		return 0, 0, 0, nil
+	}
+	for _, m := range ms {
+		res, terr := TuneMemristor(m, target, spec)
+		if terr != nil {
+			return 0, 0, iterations, terr
+		}
+		iterations += res.Iterations
+		mean += res.FinalError
+		if res.FinalError > worst {
+			worst = res.FinalError
+		}
+	}
+	mean /= float64(len(ms))
+	return worst, mean, iterations, nil
+}
+
+// EffectiveMismatch returns the residual mismatch sigma of a substrate after
+// applying the selected mitigations: matched layout replaces the raw
+// mismatch, and tuning clamps whatever remains to the tuning precision.
+func EffectiveMismatch(p Profile, matched bool, tuned bool, tuning TuningSpec) float64 {
+	sigma := p.MismatchSigma
+	if matched {
+		matchedProfile := DefaultMatched()
+		if sigma > matchedProfile.MismatchSigma {
+			sigma = matchedProfile.MismatchSigma
+		}
+	}
+	if tuned {
+		if sigma > tuning.TargetPrecision {
+			sigma = tuning.TargetPrecision
+		}
+	}
+	return sigma
+}

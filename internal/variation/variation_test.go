@@ -1,0 +1,236 @@
+package variation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"analogflow/internal/device"
+)
+
+func TestProfileValidate(t *testing.T) {
+	if err := DefaultUnmatched().Validate(); err != nil {
+		t.Errorf("default unmatched invalid: %v", err)
+	}
+	if err := DefaultMatched().Validate(); err != nil {
+		t.Errorf("default matched invalid: %v", err)
+	}
+	if (Profile{GlobalSigma: -1}).Validate() == nil {
+		t.Errorf("negative sigma accepted")
+	}
+	if (Profile{ParasiticResistance: -1}).Validate() == nil {
+		t.Errorf("negative parasitic accepted")
+	}
+	if _, err := NewSampler(Profile{GlobalSigma: -1}); err == nil {
+		t.Errorf("sampler accepted invalid profile")
+	}
+}
+
+func TestSamplerGlobalVsMismatch(t *testing.T) {
+	p := Profile{GlobalSigma: 0.25, MismatchSigma: 0.005, Seed: 3}
+	s, err := NewSampler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GlobalFactor() <= 0 {
+		t.Fatalf("global factor must be positive")
+	}
+	// All perturbed values share the global factor, so their pairwise ratios
+	// stay within a few mismatch sigmas even when the global factor is large.
+	const nominal = 10e3
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = s.Perturb(nominal)
+	}
+	for _, v := range values {
+		ratio := v / values[0]
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Fatalf("ratio between matched resistors too large: %g", ratio)
+		}
+	}
+	// Ratio error helper stays in the same few-percent band.
+	if e := s.RatioError(nominal); e > 0.05 {
+		t.Errorf("ratio error %g too large for matched profile", e)
+	}
+}
+
+func TestPerturbIncludesParasitics(t *testing.T) {
+	p := Profile{ParasiticResistance: 100, Seed: 1}
+	s, err := NewSampler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Perturb(10e3); math.Abs(got-10100) > 1e-9 {
+		t.Errorf("parasitic not added: %g", got)
+	}
+	if s.PerturbFunc()(10e3) != s.Perturb(10e3) {
+		t.Errorf("PerturbFunc should behave like Perturb")
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	a, _ := NewSampler(DefaultUnmatched())
+	b, _ := NewSampler(DefaultUnmatched())
+	for i := 0; i < 10; i++ {
+		if a.Perturb(10e3) != b.Perturb(10e3) {
+			t.Fatalf("same seed produced different sequences")
+		}
+	}
+}
+
+func TestTuningSpecValidate(t *testing.T) {
+	if err := DefaultTuning().Validate(); err != nil {
+		t.Errorf("default tuning invalid: %v", err)
+	}
+	bad := []TuningSpec{
+		{TargetPrecision: 0, MaxIterations: 5, StepFraction: 0.5},
+		{TargetPrecision: 2, MaxIterations: 5, StepFraction: 0.5},
+		{TargetPrecision: 0.001, MaxIterations: 0, StepFraction: 0.5},
+		{TargetPrecision: 0.001, MaxIterations: 5, StepFraction: 0},
+		{TargetPrecision: 0.001, MaxIterations: 5, StepFraction: 1.5},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d: invalid tuning spec accepted", i)
+		}
+	}
+}
+
+func TestTuneMemristor(t *testing.T) {
+	model := device.DefaultMemristor()
+	m := device.NewMemristor(model)
+	// Fabricated 20 % high.
+	if err := m.Tune(12e3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := TuneMemristor(m, 10e3, DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("tuning did not converge: %+v", res)
+	}
+	if res.FinalError > 1e-3 {
+		t.Errorf("final error %g above target precision", res.FinalError)
+	}
+	if res.Iterations == 0 {
+		t.Errorf("tuning should have taken at least one iteration")
+	}
+	// Already-tuned device converges immediately.
+	res2, err := TuneMemristor(m, m.LRSResistance(), DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Iterations != 0 || !res2.Converged {
+		t.Errorf("already-tuned device should need no iterations: %+v", res2)
+	}
+	// Invalid arguments.
+	if _, err := TuneMemristor(m, -1, DefaultTuning()); err == nil {
+		t.Errorf("negative target accepted")
+	}
+	if _, err := TuneMemristor(m, 10e3, TuningSpec{}); err == nil {
+		t.Errorf("invalid spec accepted")
+	}
+}
+
+func TestTuneMemristorLimitedIterations(t *testing.T) {
+	model := device.DefaultMemristor()
+	m := device.NewMemristor(model)
+	if err := m.Tune(20e3); err != nil {
+		t.Fatal(err)
+	}
+	spec := TuningSpec{TargetPrecision: 1e-6, MaxIterations: 2, StepFraction: 0.3}
+	res, err := TuneMemristor(m, 10e3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Errorf("tuning should not converge in 2 coarse iterations to 1e-6")
+	}
+	if res.FinalError >= 1 {
+		t.Errorf("tuning should still have reduced the error: %g", res.FinalError)
+	}
+}
+
+func TestTuneAll(t *testing.T) {
+	model := device.DefaultMemristor()
+	model.VariationSigma = 0.2
+	var ms []*device.Memristor
+	sampler, _ := NewSampler(Profile{Seed: 5})
+	_ = sampler
+	rngDevices := []*device.Memristor{}
+	for i := 0; i < 50; i++ {
+		m := device.NewMemristor(model)
+		// Spread initial resistances deterministically.
+		if err := m.Tune(10e3 * (1 + 0.3*float64(i-25)/25)); err != nil {
+			t.Fatal(err)
+		}
+		rngDevices = append(rngDevices, m)
+	}
+	ms = rngDevices
+	worst, mean, iters, err := TuneAll(ms, 10e3, DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-3 || mean > 1e-3 {
+		t.Errorf("tuning left errors worst=%g mean=%g", worst, mean)
+	}
+	if iters == 0 {
+		t.Errorf("tuning iterations should be positive")
+	}
+	// Empty slice is a no-op.
+	if w, m2, i2, err := TuneAll(nil, 10e3, DefaultTuning()); err != nil || w != 0 || m2 != 0 || i2 != 0 {
+		t.Errorf("empty TuneAll misbehaved")
+	}
+}
+
+func TestEffectiveMismatch(t *testing.T) {
+	p := DefaultUnmatched()
+	raw := EffectiveMismatch(p, false, false, DefaultTuning())
+	if raw != p.MismatchSigma {
+		t.Errorf("raw mismatch should be unchanged")
+	}
+	matched := EffectiveMismatch(p, true, false, DefaultTuning())
+	if matched >= raw {
+		t.Errorf("matching should reduce mismatch: %g vs %g", matched, raw)
+	}
+	tuned := EffectiveMismatch(p, true, true, DefaultTuning())
+	if tuned > DefaultTuning().TargetPrecision {
+		t.Errorf("tuning should clamp mismatch to the tuning precision, got %g", tuned)
+	}
+	// A profile already better than the matched default is not made worse.
+	good := Profile{MismatchSigma: 0.0001}
+	if EffectiveMismatch(good, true, false, DefaultTuning()) != 0.0001 {
+		t.Errorf("matching should never increase mismatch")
+	}
+}
+
+// Property: perturbed resistances are always positive and the ratio of two
+// devices from the same substrate is within exp(6*sigma) of unity.
+func TestPerturbInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		p := Profile{GlobalSigma: 0.3, MismatchSigma: 0.02, ParasiticResistance: 10, Seed: seed}
+		s, err := NewSampler(p)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for i := 0; i < 50; i++ {
+			v := s.Perturb(10e3)
+			if v <= 0 {
+				return false
+			}
+			if prev > 0 {
+				ratio := v / prev
+				if ratio < math.Exp(-6*0.02)*0.9 || ratio > math.Exp(6*0.02)*1.1 {
+					return false
+				}
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
