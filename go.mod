@@ -1,0 +1,3 @@
+module analogflow
+
+go 1.24

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"analogflow/internal/graph"
+	"analogflow/internal/parallel"
 )
 
 // Topology selects the inter-island routing structure.
@@ -263,10 +264,13 @@ func AreaAdvantage(g *graph.Graph, arch Architecture) float64 {
 
 // SweepIslandSizes maps g onto fabrics with the given island sizes (keeping
 // the vertex capacity roughly constant) and reports the resulting mappings,
-// the data behind the architecture-exploration experiment.
+// the data behind the architecture-exploration experiment.  The greedy
+// partitioner only reads g and is deterministic per size, so the sizes fan
+// out across the bounded worker pool of internal/parallel.
 func SweepIslandSizes(g *graph.Graph, sizes []int, topology Topology) (map[int]*Mapping, error) {
-	out := make(map[int]*Mapping, len(sizes))
-	for _, size := range sizes {
+	mappings := make([]*Mapping, len(sizes))
+	err := parallel.ForEach(len(sizes), func(idx int) error {
+		size := sizes[idx]
 		islands := (g.NumVertices() + size - 1) / size
 		if islands < 1 {
 			islands = 1
@@ -279,9 +283,17 @@ func SweepIslandSizes(g *graph.Graph, sizes []int, topology Topology) (map[int]*
 		}
 		m, err := Map(g, arch)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: island size %d: %w", size, err)
+			return fmt.Errorf("cluster: island size %d: %w", size, err)
 		}
-		out[size] = m
+		mappings[idx] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*Mapping, len(sizes))
+	for i, size := range sizes {
+		out[size] = mappings[i]
 	}
 	return out, nil
 }

@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"analogflow/internal/builder"
 	"analogflow/internal/crossbar"
@@ -165,6 +166,18 @@ func DefaultCleanVariation() variation.Profile {
 // GBW returns the op-amp gain-bandwidth product used by the substrate; a
 // convenience for experiments that sweep it.
 func (p Params) GBW() float64 { return p.Builder.OpAmp.GBW }
+
+// SettleTimePerWave returns the settling time of one constraint-activation
+// wave under these parameters: SettleCyclesPerWave op-amp open-loop time
+// constants (A/(2*pi*GBW)) plus the RC settling of the parasitic capacitance
+// through the widget resistance.  The total convergence time of an instance
+// is Waves * SettleTimePerWave(); experiments that sweep only the GBW reuse
+// one solved instance and rescale with this factor instead of re-solving.
+func (p Params) SettleTimePerWave() float64 {
+	opAmp := p.Builder.OpAmp
+	return p.SettleCyclesPerWave*(opAmp.Gain/(2*math.Pi*opAmp.GBW)) +
+		p.SettleCyclesPerWave*p.Builder.WidgetResistance*p.Builder.ParasiticCapacitance
+}
 
 // WithGBW returns a copy of the parameters with a different op-amp GBW.
 func (p Params) WithGBW(gbw float64) Params {

@@ -163,13 +163,13 @@ func (s *Solver) prepare(g *graph.Graph) (*prepared, error) {
 		return nil, err
 	}
 	p.qres = qres
-	qGraph, err := coreGraph.WithCapacities(qres.QuantizedCapacities())
+	// Drop edges that quantized to level 0 (and whatever becomes dead
+	// because of it); the fused prune applies the quantized capacities
+	// without materialising the intermediate graph.
+	p.pr2, err = graph.PruneToSTCoreWithCapacities(coreGraph, qres.QuantizedCapacities())
 	if err != nil {
 		return nil, err
 	}
-	// Drop edges that quantized to level 0 (and whatever becomes dead
-	// because of it).
-	p.pr2 = graph.PruneToSTCore(qGraph)
 	p.work = p.pr2.Graph
 	p.clamps = make([]float64, p.work.NumEdges())
 	for i := range p.clamps {
@@ -184,7 +184,10 @@ func (s *Solver) finalize(res *Result, prep *prepared, workFlow *graph.Flow) err
 	res.PrunedVertices = prep.removedVertices()
 	res.PrunedEdges = prep.removedEdges()
 	res.Flow = prep.expandFlow(workFlow)
-	exact, err := maxflow.OptimalValue(prep.original)
+	// The s-t core has the same max-flow value as the original instance by
+	// construction (pruning only removes structures that cannot carry s-t
+	// flow), so the reference solve runs on the smaller graph.
+	exact, err := maxflow.OptimalValue(prep.core)
 	if err != nil {
 		return err
 	}
@@ -219,15 +222,13 @@ func (s *Solver) emptyResult(prep *prepared, mode Mode) *Result {
 // op-amp-dominated time constant A/(2*pi*GBW), plus the RC settling of the
 // parasitic capacitance through the widget resistance.
 func (s *Solver) convergenceTimeModel(pruned *graph.Graph, saturatedEdges int) (float64, int) {
-	depth := graph.LongestAugmentingDepth(pruned)
+	// pruned is the work graph, already an s-t core fixpoint.
+	depth := graph.LongestAugmentingDepthPruned(pruned)
 	if depth < 1 {
 		depth = 1
 	}
 	waves := depth + int(math.Ceil(math.Log2(float64(saturatedEdges+2))))
-	opAmp := s.params.Builder.OpAmp
-	perWave := s.params.SettleCyclesPerWave*(opAmp.Gain/(2*math.Pi*opAmp.GBW)) +
-		s.params.SettleCyclesPerWave*s.params.Builder.WidgetResistance*s.params.Builder.ParasiticCapacitance
-	return float64(waves) * perWave, waves
+	return float64(waves) * s.params.SettleTimePerWave(), waves
 }
 
 // vflowVoltage picks the objective drive level: the Table 1 multiplier of the
@@ -235,7 +236,7 @@ func (s *Solver) convergenceTimeModel(pruned *graph.Graph, saturatedEdges int) (
 // the longest chain of conservation widgets (the voltage-divider attenuation
 // along a chain of k widgets is roughly 1/(2k+1)).
 func (s *Solver) vflowVoltage(pruned *graph.Graph) float64 {
-	depth := graph.LongestAugmentingDepth(pruned)
+	depth := graph.LongestAugmentingDepthPruned(pruned)
 	base := s.params.VflowMultiplier * s.params.Quantization.Vdd
 	needed := float64(2*depth+4) * s.params.Quantization.Vdd
 	if needed > base {

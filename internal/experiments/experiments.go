@@ -30,6 +30,7 @@ import (
 	"analogflow/internal/dynamics"
 	"analogflow/internal/graph"
 	"analogflow/internal/maxflow"
+	"analogflow/internal/parallel"
 	"analogflow/internal/power"
 	"analogflow/internal/quantize"
 	"analogflow/internal/rmat"
@@ -212,62 +213,77 @@ type Figure10Result struct {
 // Figure10Sweep reproduces Figure 10: convergence time of the substrate (at
 // 10 and 50 GHz op-amp GBW) against the measured push-relabel time, plus the
 // relative error of the analog solution, for R-MAT graphs of growing size.
+//
+// The sweep instances are independent, so the substrate solves run across a
+// bounded worker pool (internal/parallel).  Each instance owns its graph, its
+// solver and its RNG (seeded by seed+|V| exactly as the serial version did),
+// so every deterministic column is identical for any worker count.  The
+// substrate is solved once per instance: the two GBW points share the same
+// steady state and wave count and differ only in the analytic per-wave settle
+// time, so the 50 GHz column is the 10 GHz convergence time rescaled by the
+// SettleTimePerWave ratio rather than a second full pipeline run.
+//
+// The push-relabel CPU baseline is a wall-clock measurement, so it runs in a
+// second, strictly serial pass: timing it inside the worker pool would let
+// concurrent solves contend for the core and inflate the reported speedup.
 func Figure10Sweep(family string, sizes []int, seed int64) (*Figure10Result, error) {
-	res := &Figure10Result{Family: family}
-	for _, n := range sizes {
+	switch family {
+	case "dense", "sparse":
+	default:
+		return nil, fmt.Errorf("experiments: unknown graph family %q", family)
+	}
+	rows := make([]Figure10Row, len(sizes))
+	graphs := make([]*graph.Graph, len(sizes))
+	slowParams := core.DefaultParams().WithGBW(10e9)
+	fastParams := core.DefaultParams().WithGBW(50e9)
+	gbwScale := fastParams.SettleTimePerWave() / slowParams.SettleTimePerWave()
+	err := parallel.ForEach(len(sizes), func(idx int) error {
+		n := sizes[idx]
 		var p rmat.Params
-		switch family {
-		case "dense":
+		if family == "dense" {
 			p = rmat.DenseParams(n, seed+int64(n))
-		case "sparse":
+		} else {
 			p = rmat.SparseParams(n, seed+int64(n))
-		default:
-			return nil, fmt.Errorf("experiments: unknown graph family %q", family)
 		}
 		g, err := rmat.Generate(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		graphs[idx] = g
 
-		slow, err := core.NewSolver(core.DefaultParams().WithGBW(10e9))
+		slow, err := core.NewSolver(slowParams)
 		if err != nil {
-			return nil, err
-		}
-		fast, err := core.NewSolver(core.DefaultParams().WithGBW(50e9))
-		if err != nil {
-			return nil, err
+			return err
 		}
 		rSlow, err := slow.Solve(g)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rFast, err := fast.Solve(g)
-		if err != nil {
-			return nil, err
+		rows[idx] = Figure10Row{
+			Vertices:      n,
+			Edges:         g.NumEdges(),
+			Circuit10GHz:  rSlow.ConvergenceTime,
+			Circuit50GHz:  rSlow.ConvergenceTime * gbwScale,
+			RelativeError: rSlow.RelativeError,
 		}
-
-		// CPU baseline: the push-relabel algorithm, timed on this host with
-		// the input already in memory (the paper likewise excludes I/O).
-		start := time.Now()
-		if _, err := maxflow.SolvePushRelabel(g); err != nil {
-			return nil, err
-		}
-		cpu := time.Since(start).Seconds()
-
-		row := Figure10Row{
-			Vertices:        n,
-			Edges:           g.NumEdges(),
-			Circuit10GHz:    rSlow.ConvergenceTime,
-			Circuit50GHz:    rFast.ConvergenceTime,
-			PushRelabelTime: cpu,
-			RelativeError:   rSlow.RelativeError,
-		}
-		if rSlow.ConvergenceTime > 0 {
-			row.Speedup10GHz = cpu / rSlow.ConvergenceTime
-		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	// Serial pass: the CPU baseline, timed on this host with the input
+	// already in memory (the paper likewise excludes I/O).
+	for idx := range rows {
+		start := time.Now()
+		if _, err := maxflow.SolvePushRelabel(graphs[idx]); err != nil {
+			return nil, err
+		}
+		rows[idx].PushRelabelTime = time.Since(start).Seconds()
+		if rows[idx].Circuit10GHz > 0 {
+			rows[idx].Speedup10GHz = rows[idx].PushRelabelTime / rows[idx].Circuit10GHz
+		}
+	}
+	return &Figure10Result{Family: family, Rows: rows}, nil
 }
 
 // Table converts the sweep to a renderable table.
@@ -408,6 +424,9 @@ func OpAmpPrecisionSweep() *Table {
 
 // VariationSweep studies solution quality versus resistance mismatch with and
 // without the two mitigations (matched layout, post-fabrication tuning).
+// Each (sigma, mitigation) configuration solves the shared instance with its
+// own seed-derived solver, so the configurations fan out across the worker
+// pool without changing any row.
 func VariationSweep(seed int64) (*Table, error) {
 	g := rmat.MustGenerate(rmat.SparseParams(192, seed))
 	t := &Table{
@@ -428,7 +447,9 @@ func VariationSweep(seed int64) (*Table, error) {
 			config{sigma, true, true, "matched + tuned"},
 		)
 	}
-	for _, cfg := range configs {
+	rows := make([][]string, len(configs))
+	err := parallel.ForEach(len(configs), func(idx int) error {
+		cfg := configs[idx]
 		p := core.DefaultParams()
 		p.Seed = seed
 		p.Variation = variation.Profile{GlobalSigma: 0.25, MismatchSigma: cfg.sigma, Seed: seed}
@@ -436,18 +457,23 @@ func VariationSweep(seed int64) (*Table, error) {
 		p.PostFabTuning = cfg.tuned
 		solver, err := core.NewSolver(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := solver.Solve(g)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[idx] = []string{
 			fmt.Sprintf("%.0f%%", 100*cfg.sigma),
 			cfg.label,
 			fmt.Sprintf("%.1f%%", 100*res.RelativeError),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "the solution depends only on resistance ratios (Section 4.3.1), so the 25% global tolerance never appears — only mismatch does")
 	return t, nil
 }

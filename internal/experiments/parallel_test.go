@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"analogflow/internal/parallel"
+)
+
+// TestFigure10SweepParallelMatchesSerial pins the determinism contract of the
+// parallel sweep: with a fixed seed, every worker count produces the same
+// rows.  The wall-clock CPU-baseline fields (PushRelabelTime and the speedup
+// derived from it) are measured times and inherently vary between runs, so
+// the comparison covers every deterministic field.
+func TestFigure10SweepParallelMatchesSerial(t *testing.T) {
+	sizes := []int{48, 64, 96}
+	const seed = 7
+
+	restore := parallel.SetLimit(1)
+	serial, err := Figure10Sweep("sparse", sizes, seed)
+	parallel.SetLimit(restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restore = parallel.SetLimit(4)
+	par, err := Figure10Sweep("sparse", sizes, seed)
+	parallel.SetLimit(restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		s, p := serial.Rows[i], par.Rows[i]
+		s.PushRelabelTime, p.PushRelabelTime = 0, 0
+		s.Speedup10GHz, p.Speedup10GHz = 0, 0
+		if s != p {
+			t.Errorf("row %d differs between serial and parallel runs:\n  serial:   %+v\n  parallel: %+v",
+				i, serial.Rows[i], par.Rows[i])
+		}
+	}
+}
+
+// TestVariationSweepParallelMatchesSerial does the same for the mismatch
+// sweep, whose rows are fully deterministic (no wall-clock fields).
+func TestVariationSweepParallelMatchesSerial(t *testing.T) {
+	const seed = 5
+
+	restore := parallel.SetLimit(1)
+	serial, err := VariationSweep(seed)
+	parallel.SetLimit(restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restore = parallel.SetLimit(4)
+	par, err := VariationSweep(seed)
+	parallel.SetLimit(restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial.Rows, par.Rows) {
+		t.Errorf("variation sweep rows differ between serial and parallel runs:\n%v\nvs\n%v",
+			serial.Rows, par.Rows)
+	}
+}

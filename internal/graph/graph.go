@@ -131,6 +131,39 @@ func (g *Graph) MustAddEdge(u, v int, capacity float64) int {
 	return idx
 }
 
+// ReserveEdges preallocates capacity for n additional edges in the edge
+// list, avoiding repeated growth when the final edge count is known up front
+// (generators and reductions).  Adjacency lists still grow on demand.
+func (g *Graph) ReserveEdges(n int) {
+	if cap(g.edges)-len(g.edges) < n {
+		grown := make([]Edge, len(g.edges), len(g.edges)+n)
+		copy(grown, g.edges)
+		g.edges = grown
+	}
+}
+
+// reserve preallocates the edge list and exact-capacity adjacency lists (one
+// shared backing array each, like Clone) for a graph that will receive
+// exactly the given degree profile.  Callers must add no more than outDeg[v]
+// (resp. inDeg[v]) edges at any vertex, otherwise append falls back to a
+// private reallocation and the backing array is partially wasted (never
+// corrupted, because every sub-slice is capacity-clamped).
+func (g *Graph) reserve(edges int, outDeg, inDeg []int) {
+	g.edges = make([]Edge, 0, edges)
+	outFlat := make([]int, edges)
+	inFlat := make([]int, edges)
+	pos := 0
+	for v := 0; v < g.n; v++ {
+		g.out[v] = outFlat[pos : pos : pos+outDeg[v]]
+		pos += outDeg[v]
+	}
+	pos = 0
+	for v := 0; v < g.n; v++ {
+		g.in[v] = inFlat[pos : pos : pos+inDeg[v]]
+		pos += inDeg[v]
+	}
+}
+
 // OutEdges returns the indices of edges leaving v.
 func (g *Graph) OutEdges(v int) []int { return g.out[v] }
 
@@ -178,7 +211,12 @@ func (g *Graph) SourceCapacity() float64 {
 	return c
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph.  The adjacency lists are packed
+// into two shared backing arrays (full-length sub-slices, so a later AddEdge
+// on the clone reallocates the grown list instead of clobbering a neighbour),
+// which keeps the copy at a handful of allocations instead of two per vertex
+// — Clone sits under WithCapacities in the per-instance hot path of the
+// experiment sweeps.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		n:      g.n,
@@ -189,9 +227,21 @@ func (g *Graph) Clone() *Graph {
 		sink:   g.sink,
 	}
 	copy(c.edges, g.edges)
+	backing := make([]int, 2*len(g.edges))
+	outFlat, inFlat := backing[:len(g.edges)], backing[len(g.edges):]
+	pos := 0
 	for v := 0; v < g.n; v++ {
-		c.out[v] = append([]int(nil), g.out[v]...)
-		c.in[v] = append([]int(nil), g.in[v]...)
+		next := pos + len(g.out[v])
+		c.out[v] = outFlat[pos:next:next]
+		copy(c.out[v], g.out[v])
+		pos = next
+	}
+	pos = 0
+	for v := 0; v < g.n; v++ {
+		next := pos + len(g.in[v])
+		c.in[v] = inFlat[pos:next:next]
+		copy(c.in[v], g.in[v])
+		pos = next
 	}
 	return c
 }

@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // PruneResult is the outcome of PruneToSTCore: the reduced graph plus the
 // mappings needed to translate solutions back to the original instance.
 type PruneResult struct {
@@ -26,13 +28,40 @@ type PruneResult struct {
 // precisely the ones whose conservation widgets add no information while
 // still loading the circuit.
 func PruneToSTCore(g *Graph) *PruneResult {
+	return pruneToSTCore(g, nil)
+}
+
+// PruneToSTCoreWithCapacities prunes g as if edge i had capacity caps[i],
+// and the pruned graph carries those capacities.  It is equivalent to
+// g.WithCapacities(caps) followed by PruneToSTCore, without materialising
+// the intermediate graph — the quantization pipeline of internal/core runs
+// it once per solve.
+func PruneToSTCoreWithCapacities(g *Graph, caps []float64) (*PruneResult, error) {
+	if len(caps) != g.NumEdges() {
+		return nil, fmt.Errorf("graph: capacity slice has %d entries, graph has %d edges", len(caps), g.NumEdges())
+	}
+	for _, c := range caps {
+		if c < 0 {
+			return nil, ErrNegativeCapacity
+		}
+	}
+	return pruneToSTCore(g, caps), nil
+}
+
+func pruneToSTCore(g *Graph, caps []float64) *PruneResult {
 	n := g.NumVertices()
+	capOf := func(i int) float64 {
+		if caps == nil {
+			return g.Edge(i).Capacity
+		}
+		return caps[i]
+	}
 	// usable reports whether an edge may carry s-t flow structurally: it must
 	// have positive capacity and must not re-enter the source or leave the
 	// sink.  Reachability is computed over usable edges only so that the
 	// result is a fixpoint (pruning a pruned graph changes nothing).
-	usable := func(e Edge) bool {
-		return e.Capacity > 0 && e.To != g.Source() && e.From != g.Sink()
+	usable := func(i int, e Edge) bool {
+		return capOf(i) > 0 && e.To != g.Source() && e.From != g.Sink()
 	}
 	reachFromS := make([]bool, n)
 	reachFromS[g.Source()] = true
@@ -42,7 +71,7 @@ func PruneToSTCore(g *Graph) *PruneResult {
 		stack = stack[:len(stack)-1]
 		for _, idx := range g.OutEdges(v) {
 			e := g.Edge(idx)
-			if usable(e) && !reachFromS[e.To] {
+			if usable(idx, e) && !reachFromS[e.To] {
 				reachFromS[e.To] = true
 				stack = append(stack, e.To)
 			}
@@ -57,7 +86,7 @@ func PruneToSTCore(g *Graph) *PruneResult {
 		stack = stack[:len(stack)-1]
 		for _, idx := range g.InEdges(v) {
 			e := g.Edge(idx)
-			if usable(e) && !reachToT[e.From] {
+			if usable(idx, e) && !reachToT[e.From] {
 				reachToT[e.From] = true
 				stack = append(stack, e.From)
 			}
@@ -87,13 +116,31 @@ func PruneToSTCore(g *Graph) *PruneResult {
 		}
 	}
 	pruned := MustNew(len(res.VertexMap), newIndex[g.Source()], newIndex[g.Sink()])
-	for i, e := range g.Edges() {
-		if !keepVertex[e.From] || !keepVertex[e.To] ||
-			e.To == g.Source() || e.From == g.Sink() || e.Capacity <= 0 {
+	// Prepass: count surviving edges and their per-vertex degrees so the
+	// rebuilt graph is allocated exactly once instead of growing edge by edge.
+	keepEdge := func(i int, e Edge) bool {
+		return keepVertex[e.From] && keepVertex[e.To] &&
+			e.To != g.Source() && e.From != g.Sink() && capOf(i) > 0
+	}
+	outDeg := make([]int, len(res.VertexMap))
+	inDeg := make([]int, len(res.VertexMap))
+	kept := 0
+	for i, ne := 0, g.NumEdges(); i < ne; i++ {
+		if e := g.Edge(i); keepEdge(i, e) {
+			outDeg[newIndex[e.From]]++
+			inDeg[newIndex[e.To]]++
+			kept++
+		}
+	}
+	pruned.reserve(kept, outDeg, inDeg)
+	res.EdgeMap = make([]int, 0, kept)
+	for i, ne := 0, g.NumEdges(); i < ne; i++ {
+		e := g.Edge(i)
+		if !keepEdge(i, e) {
 			res.RemovedEdges++
 			continue
 		}
-		pruned.MustAddEdge(newIndex[e.From], newIndex[e.To], e.Capacity)
+		pruned.MustAddEdge(newIndex[e.From], newIndex[e.To], capOf(i))
 		res.EdgeMap = append(res.EdgeMap, i)
 	}
 	res.Graph = pruned
@@ -147,7 +194,14 @@ func LongestAugmentingDepth(g *Graph) int {
 	// Longest path is NP-hard in general; a cheap, adequate proxy is the
 	// number of BFS levels that contain at least one vertex on an s-t path.
 	pr := PruneToSTCore(g)
-	p := pr.Graph
+	return LongestAugmentingDepthPruned(pr.Graph)
+}
+
+// LongestAugmentingDepthPruned is LongestAugmentingDepth for a graph that is
+// already an s-t core (a fixpoint of PruneToSTCore, which preserves vertex
+// and edge order, so the BFS levels are identical); it skips the redundant
+// re-pruning pass, which matters in the per-instance hot path of the sweeps.
+func LongestAugmentingDepthPruned(p *Graph) int {
 	dist := make([]int, p.NumVertices())
 	for i := range dist {
 		dist[i] = -1

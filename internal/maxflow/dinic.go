@@ -16,9 +16,10 @@ func SolveDinic(g *graph.Graph) (*graph.Flow, error) {
 	eps := epsilonFor(r.maxArcCapacity())
 	level := make([]int, r.n)
 	iter := make([]int, r.n)
+	queue := make([]int, 0, r.n)
 
-	for dinicBFS(r, level, eps) {
-		copy(iter, r.head)
+	for dinicBFS(r, level, queue, eps) {
+		copy(iter, r.off[:r.n])
 		for {
 			pushed := dinicDFS(r, level, iter, r.s, inf, eps)
 			if pushed <= eps {
@@ -32,17 +33,18 @@ func SolveDinic(g *graph.Graph) (*graph.Flow, error) {
 const inf = 1e300
 
 // dinicBFS builds the level graph; it returns false when the sink is no
-// longer reachable, which terminates the algorithm.
-func dinicBFS(r *residual, level []int, eps float64) bool {
+// longer reachable, which terminates the algorithm.  The queue buffer is
+// supplied by the caller so that the per-phase BFS allocates nothing.
+func dinicBFS(r *residual, level, queue []int, eps float64) bool {
 	for i := range level {
 		level[i] = -1
 	}
 	level[r.s] = 0
-	queue := []int{r.s}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for a := r.head[v]; a != -1; a = r.arcs[a].next {
+	queue = append(queue[:0], r.s)
+	for qh := 0; qh < len(queue); qh++ {
+		v := queue[qh]
+		for p := r.off[v]; p < r.off[v+1]; p++ {
+			a := r.adj[p]
 			to := r.arcs[a].to
 			if r.arcs[a].cap > eps && level[to] < 0 {
 				level[to] = level[v] + 1
@@ -54,13 +56,14 @@ func dinicBFS(r *residual, level []int, eps float64) bool {
 }
 
 // dinicDFS sends a blocking-flow augmentation from v toward the sink along
-// strictly increasing levels, using iter as the current-arc pointers.
+// strictly increasing levels, using iter as the current-arc positions within
+// each vertex's adjacency segment.
 func dinicDFS(r *residual, level, iter []int, v int, limit, eps float64) float64 {
 	if v == r.t {
 		return limit
 	}
-	for ; iter[v] != -1; iter[v] = r.arcs[iter[v]].next {
-		a := iter[v]
+	for ; iter[v] < r.off[v+1]; iter[v]++ {
+		a := r.adj[iter[v]]
 		to := r.arcs[a].to
 		if r.arcs[a].cap <= eps || level[to] != level[v]+1 {
 			continue
@@ -71,7 +74,7 @@ func dinicDFS(r *residual, level, iter []int, v int, limit, eps float64) float64
 		}
 		pushed := dinicDFS(r, level, iter, to, avail, eps)
 		if pushed > eps {
-			r.push(a, pushed)
+			r.push(int(a), pushed)
 			return pushed
 		}
 	}
@@ -101,7 +104,8 @@ func SolveEdmondsKarp(g *graph.Graph) (*graph.Flow, error) {
 		for len(queue) > 0 && !found {
 			v := queue[0]
 			queue = queue[1:]
-			for a := r.head[v]; a != -1; a = r.arcs[a].next {
+			for p := r.off[v]; p < r.off[v+1]; p++ {
+				a := int(r.adj[p])
 				to := r.arcs[a].to
 				if r.arcs[a].cap > eps && parentArc[to] == -1 {
 					parentArc[to] = a

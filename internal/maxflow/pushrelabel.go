@@ -1,8 +1,6 @@
 package maxflow
 
 import (
-	"container/list"
-
 	"analogflow/internal/graph"
 )
 
@@ -26,13 +24,19 @@ type pushRelabelState struct {
 	// countHeight[h] is the number of vertices at height h, used by the gap
 	// heuristic.
 	countHeight []int
-	active      *list.List
-	inQueue     []bool
-	eps         float64
+	// active is a FIFO of active vertices: enqueue appends, the run loop pops
+	// from qhead.  The slice is compacted whenever the dead prefix dominates.
+	active  []int
+	qhead   int
+	inQueue []bool
+	eps     float64
 	// relabelBudget triggers a global relabelling once enough relabel
 	// operations have occurred.
 	relabelSinceGlobal int
 	relabelThreshold   int
+	// dist and bfsQueue are globalRelabel scratch buffers.
+	dist     []int
+	bfsQueue []int
 }
 
 func newPushRelabelState(g *graph.Graph) *pushRelabelState {
@@ -43,9 +47,11 @@ func newPushRelabelState(g *graph.Graph) *pushRelabelState {
 		excess:      make([]float64, n),
 		height:      make([]int, n),
 		countHeight: make([]int, 2*n+1),
-		active:      list.New(),
+		active:      make([]int, 0, n),
 		inQueue:     make([]bool, n),
 		eps:         epsilonFor(r.maxArcCapacity()),
+		dist:        make([]int, n),
+		bfsQueue:    make([]int, 0, n),
 	}
 	st.relabelThreshold = n
 	if st.relabelThreshold < 16 {
@@ -65,7 +71,8 @@ func (st *pushRelabelState) run() {
 		}
 	}
 	st.countHeight[n]++
-	for a := r.head[r.s]; a != -1; a = r.arcs[a].next {
+	for p := r.off[r.s]; p < r.off[r.s+1]; p++ {
+		a := int(r.adj[p])
 		if r.arcs[a].cap > st.eps {
 			delta := r.arcs[a].cap
 			to := r.arcs[a].to
@@ -77,10 +84,13 @@ func (st *pushRelabelState) run() {
 	}
 	st.globalRelabel()
 
-	for st.active.Len() > 0 {
-		front := st.active.Front()
-		v := front.Value.(int)
-		st.active.Remove(front)
+	for st.qhead < len(st.active) {
+		v := st.active[st.qhead]
+		st.qhead++
+		if st.qhead > 1024 && st.qhead*2 > len(st.active) {
+			st.active = append(st.active[:0], st.active[st.qhead:]...)
+			st.qhead = 0
+		}
 		st.inQueue[v] = false
 		st.discharge(v)
 		if st.relabelSinceGlobal >= st.relabelThreshold {
@@ -97,7 +107,7 @@ func (st *pushRelabelState) enqueue(v int) {
 	}
 	if st.excess[v] > st.eps {
 		st.inQueue[v] = true
-		st.active.PushBack(v)
+		st.active = append(st.active, v)
 	}
 }
 
@@ -106,7 +116,8 @@ func (st *pushRelabelState) discharge(v int) {
 	r := st.r
 	for st.excess[v] > st.eps {
 		pushed := false
-		for a := r.head[v]; a != -1; a = r.arcs[a].next {
+		for p := r.off[v]; p < r.off[v+1]; p++ {
+			a := int(r.adj[p])
 			arc := &r.arcs[a]
 			if arc.cap <= st.eps || st.height[v] != st.height[arc.to]+1 {
 				continue
@@ -143,7 +154,8 @@ func (st *pushRelabelState) relabel(v int) bool {
 	r := st.r
 	oldHeight := st.height[v]
 	minH := 2 * r.n
-	for a := r.head[v]; a != -1; a = r.arcs[a].next {
+	for p := r.off[v]; p < r.off[v+1]; p++ {
+		a := r.adj[p]
 		if r.arcs[a].cap > st.eps && st.height[r.arcs[a].to] < minH {
 			minH = st.height[r.arcs[a].to]
 		}
@@ -178,18 +190,18 @@ func (st *pushRelabelState) globalRelabel() {
 	r := st.r
 	n := r.n
 	const unreached = -1
-	dist := make([]int, n)
+	dist := st.dist
 	for i := range dist {
 		dist[i] = unreached
 	}
 	// Backward BFS from the sink over arcs with residual capacity in the
 	// forward direction (i.e. arcs a with cap(a)>0 ending at the frontier).
-	queue := []int{r.t}
+	queue := append(st.bfsQueue[:0], r.t)
 	dist[r.t] = 0
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for a := r.head[v]; a != -1; a = r.arcs[a].next {
+	for qh := 0; qh < len(queue); qh++ {
+		v := queue[qh]
+		for p := r.off[v]; p < r.off[v+1]; p++ {
+			a := int(r.adj[p])
 			// The arc a goes v->to; flow could move to->v if the paired arc
 			// a^1 has residual capacity.
 			to := r.arcs[a].to
@@ -199,6 +211,7 @@ func (st *pushRelabelState) globalRelabel() {
 			}
 		}
 	}
+	st.bfsQueue = queue // keep any grown capacity for the next pass
 	for i := range st.countHeight {
 		st.countHeight[i] = 0
 	}
@@ -214,7 +227,8 @@ func (st *pushRelabelState) globalRelabel() {
 		st.countHeight[st.height[v]]++
 	}
 	// Re-seed the active queue: heights changed, so admissibility changed.
-	st.active.Init()
+	st.active = st.active[:0]
+	st.qhead = 0
 	for v := 0; v < n; v++ {
 		st.inQueue[v] = false
 	}

@@ -62,45 +62,61 @@ func Solve(g *graph.Graph, alg Algorithm) (*graph.Flow, error) {
 // reverse (residual) arcs are stored in pairs: arc 2i is the forward copy of
 // graph edge i and arc 2i+1 is its residual reverse.
 type arc struct {
-	to   int
-	cap  float64 // remaining residual capacity
-	next int     // index of next arc out of the same tail, -1 terminates
+	to  int
+	cap float64 // remaining residual capacity
 }
 
-// residual is an adjacency-list residual network with paired arcs.
+// residual is a residual network with paired arcs and a flat (CSR-style)
+// adjacency: adj[off[v]:off[v+1]] lists the arc indices out of v.  Within a
+// vertex the arcs are ordered by descending index, the exact traversal order
+// of the head-inserted linked list this layout replaced, so every algorithm
+// visits arcs (and therefore routes flow) identically to the original
+// representation while scanning contiguous memory.
 type residual struct {
 	n     int
 	s, t  int
 	arcs  []arc
-	head  []int // head[v] = first arc index out of v, -1 if none
+	adj   []int32 // flat arc indices grouped by tail vertex
+	off   []int   // len n+1; adjacency bounds per vertex
 	gdeps *graph.Graph
 }
 
+// tail returns the tail vertex of arc a (the head of its paired reverse).
+func (r *residual) tail(a int) int { return r.arcs[a^1].to }
+
 // newResidual builds the residual network of g.
 func newResidual(g *graph.Graph) *residual {
+	ne := g.NumEdges()
 	r := &residual{
 		n:     g.NumVertices(),
 		s:     g.Source(),
 		t:     g.Sink(),
-		arcs:  make([]arc, 0, 2*g.NumEdges()),
-		head:  make([]int, g.NumVertices()),
+		arcs:  make([]arc, 2*ne),
+		adj:   make([]int32, 2*ne),
+		off:   make([]int, g.NumVertices()+1),
 		gdeps: g,
 	}
-	for i := range r.head {
-		r.head[i] = -1
+	deg := make([]int, g.NumVertices())
+	for i := 0; i < ne; i++ {
+		e := g.Edge(i)
+		r.arcs[2*i] = arc{to: e.To, cap: e.Capacity}
+		r.arcs[2*i+1] = arc{to: e.From, cap: 0}
+		deg[e.From]++
+		deg[e.To]++
 	}
-	for _, e := range g.Edges() {
-		r.addPair(e.From, e.To, e.Capacity)
+	for v := 0; v < g.NumVertices(); v++ {
+		r.off[v+1] = r.off[v] + deg[v]
+	}
+	// Fill each vertex's segment in descending arc order by scanning the arcs
+	// from the highest index down.
+	pos := make([]int, g.NumVertices())
+	copy(pos, r.off)
+	for a := 2*ne - 1; a >= 0; a-- {
+		tail := r.tail(a)
+		r.adj[pos[tail]] = int32(a)
+		pos[tail]++
 	}
 	return r
-}
-
-// addPair appends a forward arc and its zero-capacity reverse.
-func (r *residual) addPair(u, v int, c float64) {
-	r.arcs = append(r.arcs, arc{to: v, cap: c, next: r.head[u]})
-	r.head[u] = len(r.arcs) - 1
-	r.arcs = append(r.arcs, arc{to: u, cap: 0, next: r.head[v]})
-	r.head[v] = len(r.arcs) - 1
 }
 
 // flow extracts the per-edge flow from the residual state: the flow on graph

@@ -12,6 +12,15 @@
 //
 // The sparse path uses the Gilbert-Peierls LU from internal/numeric, so
 // crossbar-scale systems (tens of thousands of unknowns) remain tractable.
+// Because the netlist topology is fixed for the lifetime of an Engine, the
+// engine assembles into one persistent pattern-frozen SparseBuilder and keeps
+// one cached LU factorisation whose symbolic analysis (fill-in pattern, pivot
+// order) is reused across Newton iterations, line-search probes, homotopy
+// levels and transient time points; only the cheap numeric refactorization
+// runs per iterate.  docs/solver.md describes the full pipeline.
+//
+// An Engine is not safe for concurrent use; parallel sweeps must build one
+// engine per goroutine (which internal/experiments does).
 package mna
 
 import (
@@ -38,6 +47,11 @@ type Options struct {
 	// Damping scales Newton updates (1 = full Newton).  Values below 1 help
 	// circuits with many piecewise diodes converge.
 	Damping float64
+	// DisableReuse forces the reference from-scratch path: a fresh builder
+	// and a full symbolic+numeric factorization on every Newton iteration.
+	// It exists so tests can pin the incremental path against the reference
+	// one; production callers should leave it false.
+	DisableReuse bool
 	// Trace, when non-nil, receives a line per Newton iteration describing
 	// the step length and residual; useful when debugging convergence of
 	// large substrate circuits.
@@ -55,6 +69,28 @@ func DefaultOptions() Options {
 	}
 }
 
+// Stats counts the linear-algebra work an engine has performed; the
+// regression tests use it to pin that repeated solves run no symbolic
+// factorization after the first one.
+type Stats struct {
+	// Assemblies is the number of full netlist stamp passes.
+	Assemblies int
+	// Factorizations counts full symbolic+numeric LU factorizations.
+	Factorizations int
+	// Refactorizations counts numeric-only refactorizations that reused the
+	// cached symbolic analysis.
+	Refactorizations int
+}
+
+// system is one assembled linearisation: the MNA matrix and right-hand side
+// at a specific iterate.  The engine keeps two and ping-pongs between them so
+// the line search can probe a candidate without destroying the system of the
+// current iterate.
+type system struct {
+	a   numeric.CSC
+	rhs []float64
+}
+
 // Engine solves a fixed netlist.  The unknown ordering is: node voltages
 // (0..NumNodes-1) followed by element branch currents in element order.
 type Engine struct {
@@ -64,6 +100,16 @@ type Engine struct {
 	numNodes  int
 	size      int
 	nonlinear bool
+
+	// Incremental-solve state (see the package comment).
+	builder   *numeric.SparseBuilder
+	lu        *numeric.SparseLU
+	luVersion int // builder pattern version the cached LU belongs to
+	stats     Stats
+	sys       [2]*system
+	xFull     []float64 // Newton direction target (solution of the linear system)
+	cand      []float64 // line-search candidate
+	resid     []float64 // scratch for residual norms
 }
 
 // ErrNoConvergence is returned when Newton iteration fails to converge.
@@ -109,6 +155,13 @@ func NewEngine(nl *circuit.Netlist, opts Options) (*Engine, error) {
 	if e.size == 0 {
 		return nil, errors.New("mna: empty netlist")
 	}
+	e.builder = numeric.NewSparseBuilder(e.size)
+	for i := range e.sys {
+		e.sys[i] = &system{rhs: make([]float64, e.size)}
+	}
+	e.xFull = make([]float64, e.size)
+	e.cand = make([]float64, e.size)
+	e.resid = make([]float64, e.size)
 	return e, nil
 }
 
@@ -121,6 +174,9 @@ func (e *Engine) NumNodes() int { return e.numNodes }
 // BranchBase returns the branch index base of the i-th element (in netlist
 // order); used to read branch currents out of solutions.
 func (e *Engine) BranchBase(i int) int { return e.branchOf[i] }
+
+// Stats returns the cumulative linear-algebra work counters.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // Solution is a solved operating point or time point.
 type Solution struct {
@@ -145,10 +201,8 @@ func (s *Solution) VoltageFunc() func(circuit.NodeID) float64 {
 	return func(n circuit.NodeID) float64 { return s.Voltage(n) }
 }
 
-// assemble builds the linearised system for the given iterate.
-func (e *Engine) assemble(x, xPrev []float64, t, dt, srcScale float64) (*numeric.CSC, []float64) {
-	builder := numeric.NewSparseBuilder(e.size)
-	rhs := make([]float64, e.size)
+// stamp runs one full netlist stamp pass into the given builder and rhs.
+func (e *Engine) stamp(builder *numeric.SparseBuilder, rhs, x, xPrev []float64, t, dt, srcScale float64) {
 	ctx := &circuit.StampContext{
 		NumNodes:    e.numNodes,
 		A:           builder,
@@ -170,7 +224,53 @@ func (e *Engine) assemble(x, xPrev []float64, t, dt, srcScale float64) (*numeric
 	for n := 0; n < e.numNodes; n++ {
 		builder.Add(n, n, gmin)
 	}
-	return builder.Compile(), rhs
+	e.stats.Assemblies++
+}
+
+// assembleInto builds the linearised system for the given iterate into s,
+// reusing the engine's persistent builder (and hence its frozen sparsity
+// pattern) and s's own buffers.
+func (e *Engine) assembleInto(s *system, x, xPrev []float64, t, dt, srcScale float64) {
+	e.builder.Reset()
+	for i := range s.rhs {
+		s.rhs[i] = 0
+	}
+	e.stamp(e.builder, s.rhs, x, xPrev, t, dt, srcScale)
+	e.builder.CompileInto(&s.a)
+}
+
+// factorize returns an LU factorisation of a, reusing the cached symbolic
+// analysis (fill-in pattern and pivot order) whenever the builder's sparsity
+// pattern has not changed since it was computed.  A numerically degraded
+// pivot order falls back to a fresh full factorization transparently.
+func (e *Engine) factorize(a *numeric.CSC) (*numeric.SparseLU, error) {
+	if e.lu != nil && e.luVersion == e.builder.PatternVersion() {
+		if err := e.lu.Refactor(a); err == nil {
+			e.stats.Refactorizations++
+			return e.lu, nil
+		}
+		// Pivot order no longer viable for these values: fall through and
+		// redo the symbolic analysis from scratch.
+	}
+	lu, err := numeric.FactorizeSparse(a)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.Factorizations++
+	e.lu = lu
+	e.luVersion = e.builder.PatternVersion()
+	return lu, nil
+}
+
+// residualOf evaluates ||A x - b||_2 for an assembled system.  Because every
+// nonlinear element is stamped as a companion model linearised exactly at x,
+// this is the true residual of the nonlinear MNA equations at x when the
+// system was assembled at x.  The Euclidean norm is used because the Newton
+// direction is guaranteed to be a descent direction for it, which the
+// backtracking line search relies on.
+func (e *Engine) residualOf(s *system, x []float64) float64 {
+	s.a.MulVecTo(e.resid, x)
+	return numeric.Norm2Sub(e.resid, s.rhs)
 }
 
 // solvePoint runs Newton iteration for a single time point.  xGuess is the
@@ -180,24 +280,20 @@ func (e *Engine) solvePoint(xGuess, xPrev []float64, t, dt float64) (*Solution, 
 	return e.solvePointScaled(xGuess, xPrev, t, dt, 1)
 }
 
-// residualNorm evaluates the nonlinear KCL residual ||A(x)x - b(x)||_2 at the
-// iterate x.  Because every nonlinear element is stamped as a companion model
-// linearised exactly at x, this is the true residual of the nonlinear MNA
-// equations at x.  The Euclidean norm is used because the Newton direction is
-// guaranteed to be a descent direction for it, which the backtracking line
-// search relies on.
-func (e *Engine) residualNorm(x, xPrev []float64, t, dt, srcScale float64) float64 {
-	a, b := e.assemble(x, xPrev, t, dt, srcScale)
-	ax := a.MulVec(x)
-	return numeric.Norm2(numeric.Sub(ax, b))
-}
-
 // solvePointScaled is solvePoint with an explicit independent-source scale,
 // used by the homotopy solver.  The Newton iteration is globalised by a
 // backtracking line search on the nonlinear residual norm, which keeps the
 // many sharp clamp diodes of the substrate circuits from making the plain
 // iteration oscillate between states.
+//
+// The system assembled for the accepted line-search candidate is reused as
+// the linearisation of the next Newton iteration (the candidate *is* the next
+// iterate), so each iteration re-stamps the netlist exactly once per probe
+// and never re-evaluates an already-computed residual.
 func (e *Engine) solvePointScaled(xGuess, xPrev []float64, t, dt, srcScale float64) (*Solution, error) {
+	if e.opts.DisableReuse {
+		return e.solvePointScaledNoReuse(xGuess, xPrev, t, dt, srcScale)
+	}
 	x := make([]float64, e.size)
 	if xGuess != nil {
 		copy(x, xGuess)
@@ -208,16 +304,27 @@ func (e *Engine) solvePointScaled(xGuess, xPrev []float64, t, dt, srcScale float
 		// convergence check below still validates the result.
 		maxIter = 2
 	}
+	cur, probe := e.sys[0], e.sys[1]
+	haveSystem := false
 	currentRes := math.Inf(1)
 	if e.nonlinear {
-		currentRes = e.residualNorm(x, xPrev, t, dt, srcScale)
+		e.assembleInto(cur, x, xPrev, t, dt, srcScale)
+		haveSystem = true
+		currentRes = e.residualOf(cur, x)
 	}
 	for iter := 1; iter <= maxIter; iter++ {
-		a, b := e.assemble(x, xPrev, t, dt, srcScale)
-		xFull, err := numeric.SolveSparseRefined(a, b)
+		if !haveSystem {
+			e.assembleInto(cur, x, xPrev, t, dt, srcScale)
+		}
+		haveSystem = false
+		lu, err := e.factorize(&cur.a)
+		if err == nil {
+			err = lu.SolveRefinedTo(e.xFull, &cur.a, cur.rhs, 2)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("mna: linear solve failed at t=%g iter=%d: %w", t, iter, err)
 		}
+		xFull := e.xFull
 		for i := range xFull {
 			if math.IsNaN(xFull[i]) || math.IsInf(xFull[i], 0) {
 				return nil, fmt.Errorf("mna: solution diverged at t=%g iter=%d", t, iter)
@@ -229,15 +336,17 @@ func (e *Engine) solvePointScaled(xGuess, xPrev []float64, t, dt, srcScale float
 		alpha := e.opts.Damping
 		xNew := xFull
 		if e.nonlinear {
+			tryCandidate := func() float64 {
+				for i := range e.cand {
+					e.cand[i] = x[i] + alpha*(xFull[i]-x[i])
+				}
+				e.assembleInto(probe, e.cand, xPrev, t, dt, srcScale)
+				return e.residualOf(probe, e.cand)
+			}
 			accepted := false
 			for try := 0; try < 8; try++ {
-				cand := make([]float64, e.size)
-				for i := range cand {
-					cand[i] = x[i] + alpha*(xFull[i]-x[i])
-				}
-				res := e.residualNorm(cand, xPrev, t, dt, srcScale)
+				res := tryCandidate()
 				if res <= currentRes*(1-1e-4) || res <= e.opts.AbsTol {
-					xNew = cand
 					currentRes = res
 					accepted = true
 					break
@@ -248,13 +357,13 @@ func (e *Engine) solvePointScaled(xGuess, xPrev []float64, t, dt, srcScale float
 				// No improving step exists along the Newton direction; take
 				// the smallest trial step so the iteration can still change
 				// the active clamp set, and re-linearise from there.
-				cand := make([]float64, e.size)
-				for i := range cand {
-					cand[i] = x[i] + alpha*(xFull[i]-x[i])
-				}
-				xNew = cand
-				currentRes = e.residualNorm(cand, xPrev, t, dt, srcScale)
+				currentRes = tryCandidate()
 			}
+			// The accepted candidate's system is the linearisation at the
+			// next iterate: keep it for the next Newton iteration.
+			xNew = e.cand
+			cur, probe = probe, cur
+			haveSystem = true
 		}
 
 		converged := true
@@ -269,6 +378,97 @@ func (e *Engine) solvePointScaled(xGuess, xPrev []float64, t, dt, srcScale float
 		}
 		if e.opts.Trace != nil {
 			e.opts.Trace("mna: t=%g iter=%d alpha=%.4g residual=%.4g maxDx=%.4g", t, iter, alpha, currentRes, maxDx)
+		}
+		copy(x, xNew)
+		if e.nonlinear && iter > 1 && currentRes <= e.opts.ResidualTol {
+			return &Solution{Time: t, X: x, NewtonIterations: iter}, nil
+		}
+		if converged && (iter > 1 || !e.nonlinear) {
+			return &Solution{Time: t, X: x, NewtonIterations: iter}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w at t=%g after %d iterations", ErrNoConvergence, t, maxIter)
+}
+
+// assembleFresh is the reference assembly path: a new builder and freshly
+// allocated system per call, exactly the sparsity pattern stamped at this
+// iterate.
+func (e *Engine) assembleFresh(x, xPrev []float64, t, dt, srcScale float64) (*numeric.CSC, []float64) {
+	builder := numeric.NewSparseBuilder(e.size)
+	rhs := make([]float64, e.size)
+	e.stamp(builder, rhs, x, xPrev, t, dt, srcScale)
+	return builder.Compile(), rhs
+}
+
+// solvePointScaledNoReuse is the reference Newton loop used when
+// Options.DisableReuse is set: every assembly is from scratch and every
+// factorization is a full symbolic+numeric one.
+func (e *Engine) solvePointScaledNoReuse(xGuess, xPrev []float64, t, dt, srcScale float64) (*Solution, error) {
+	x := make([]float64, e.size)
+	if xGuess != nil {
+		copy(x, xGuess)
+	}
+	maxIter := e.opts.MaxNewtonIterations
+	if !e.nonlinear {
+		maxIter = 2
+	}
+	residualAt := func(at []float64) float64 {
+		a, b := e.assembleFresh(at, xPrev, t, dt, srcScale)
+		ax := a.MulVec(at)
+		return numeric.Norm2(numeric.Sub(ax, b))
+	}
+	currentRes := math.Inf(1)
+	if e.nonlinear {
+		currentRes = residualAt(x)
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		a, b := e.assembleFresh(x, xPrev, t, dt, srcScale)
+		lu, err := numeric.FactorizeSparse(a)
+		if err == nil {
+			e.stats.Factorizations++
+		}
+		var xFull []float64
+		if err == nil {
+			xFull, err = lu.SolveRefined(a, b, 2)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mna: linear solve failed at t=%g iter=%d: %w", t, iter, err)
+		}
+		for i := range xFull {
+			if math.IsNaN(xFull[i]) || math.IsInf(xFull[i], 0) {
+				return nil, fmt.Errorf("mna: solution diverged at t=%g iter=%d", t, iter)
+			}
+		}
+		alpha := e.opts.Damping
+		xNew := xFull
+		if e.nonlinear {
+			cand := make([]float64, e.size)
+			tryCandidate := func() float64 {
+				for i := range cand {
+					cand[i] = x[i] + alpha*(xFull[i]-x[i])
+				}
+				return residualAt(cand)
+			}
+			accepted := false
+			for try := 0; try < 8; try++ {
+				res := tryCandidate()
+				if res <= currentRes*(1-1e-4) || res <= e.opts.AbsTol {
+					currentRes = res
+					accepted = true
+					break
+				}
+				alpha /= 2
+			}
+			if !accepted {
+				currentRes = tryCandidate()
+			}
+			xNew = cand
+		}
+		converged := true
+		for i := range xNew {
+			if d := math.Abs(xNew[i] - x[i]); d > e.opts.AbsTol+e.opts.RelTol*math.Abs(xNew[i]) {
+				converged = false
+			}
 		}
 		x = xNew
 		if e.nonlinear && iter > 1 && currentRes <= e.opts.ResidualTol {
@@ -318,7 +518,8 @@ type HomotopyResult struct {
 // strength, each level warm-started from the previous one.  This mirrors the
 // physical compute phase of the substrate, where Vflow ramps up and the
 // clamp diodes engage progressively, and it makes the Newton solve robust for
-// circuits with hundreds of piecewise clamps.
+// circuits with hundreds of piecewise clamps.  Every level solves the same
+// topology, so all of them share the engine's cached symbolic factorisation.
 func (e *Engine) OperatingPointHomotopy(t float64, steps int) (*HomotopyResult, error) {
 	if steps < 1 {
 		steps = 1

@@ -1,0 +1,209 @@
+package mna
+
+import (
+	"testing"
+
+	"analogflow/internal/circuit"
+	"analogflow/internal/device"
+)
+
+// The three reference circuits of the cached-pattern equivalence tests.
+
+func dividerNetlist() *circuit.Netlist {
+	nl := circuit.NewNetlist()
+	top := nl.AddNode("top")
+	mid := nl.AddNode("mid")
+	nl.Add(circuit.NewVoltageSource("V", top, circuit.Ground, circuit.DC{Value: 1}))
+	nl.Add(circuit.NewResistor("R1", top, mid, 10e3))
+	nl.Add(circuit.NewResistor("R2", mid, circuit.Ground, 10e3))
+	return nl
+}
+
+func diodeClampNetlist() *circuit.Netlist {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	x := nl.AddNode("x")
+	ref := nl.AddNode("ref")
+	nl.Add(circuit.NewVoltageSource("Vin", in, circuit.Ground, circuit.DC{Value: 5}))
+	nl.Add(circuit.NewVoltageSource("Vref", ref, circuit.Ground, circuit.DC{Value: 2}))
+	nl.Add(circuit.NewResistor("R", in, x, 10e3))
+	nl.Add(circuit.NewDiode("D", x, ref, device.DefaultDiode()))
+	return nl
+}
+
+func followerNetlist() *circuit.Netlist {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	out := nl.AddNode("out")
+	nl.Add(circuit.NewVoltageSource("Vin", in, circuit.Ground, circuit.DC{Value: 2}))
+	nl.Add(circuit.NewOpAmp(nl, "OA", in, out, out, device.DefaultOpAmp()))
+	nl.Add(circuit.NewResistor("RL", out, circuit.Ground, 10e3))
+	return nl
+}
+
+// TestCachedPatternMatchesFromScratch pins that the incremental path (frozen
+// builder pattern + cached symbolic LU + line-search system reuse) computes
+// bit-identical solutions to the reference from-scratch path on the MNA test
+// circuits, including on repeated solves of the same engine.
+func TestCachedPatternMatchesFromScratch(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *circuit.Netlist
+	}{
+		{"voltage-divider", dividerNetlist},
+		{"diode-clamp", diodeClampNetlist},
+		{"opamp-follower", followerNetlist},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reuse, err := NewEngine(tc.build(), DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			refOpts := DefaultOptions()
+			refOpts.DisableReuse = true
+			scratch, err := NewEngine(tc.build(), refOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for call := 0; call < 3; call++ {
+				a, err := reuse.OperatingPoint(0)
+				if err != nil {
+					t.Fatalf("call %d: cached path: %v", call, err)
+				}
+				b, err := scratch.OperatingPoint(0)
+				if err != nil {
+					t.Fatalf("call %d: from-scratch path: %v", call, err)
+				}
+				if a.NewtonIterations != b.NewtonIterations {
+					t.Fatalf("call %d: iteration counts diverge: %d vs %d",
+						call, a.NewtonIterations, b.NewtonIterations)
+				}
+				for i := range a.X {
+					if a.X[i] != b.X[i] {
+						t.Fatalf("call %d: X[%d] differs: %v vs %v (diff %g)",
+							call, i, a.X[i], b.X[i], a.X[i]-b.X[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNoSymbolicRefactorizationOnRepeatedSolves pins the acceptance criterion
+// that repeated OperatingPoint calls on one engine perform no symbolic
+// factorization after the first solve.
+func TestNoSymbolicRefactorizationOnRepeatedSolves(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() *circuit.Netlist
+	}{
+		{"voltage-divider", dividerNetlist},
+		{"diode-clamp", diodeClampNetlist},
+		{"opamp-follower", followerNetlist},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := NewEngine(tc.build(), DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.OperatingPoint(0); err != nil {
+				t.Fatal(err)
+			}
+			after := e.Stats()
+			for i := 0; i < 5; i++ {
+				if _, err := e.OperatingPoint(0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			final := e.Stats()
+			if final.Factorizations != after.Factorizations {
+				t.Errorf("repeated solves ran %d extra symbolic factorizations",
+					final.Factorizations-after.Factorizations)
+			}
+			if final.Refactorizations <= after.Refactorizations {
+				t.Errorf("repeated solves did not use the numeric refactorization path")
+			}
+		})
+	}
+}
+
+// TestHomotopySharesFactorization checks that all homotopy levels reuse the
+// symbolic analysis of the first one (the topology never changes).
+func TestHomotopySharesFactorization(t *testing.T) {
+	e, err := NewEngine(diodeClampNetlist(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.OperatingPointHomotopy(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Factorizations > 2 {
+		t.Errorf("homotopy ran %d symbolic factorizations, want <= 2 (one per pattern)", s.Factorizations)
+	}
+	if s.Refactorizations == 0 {
+		t.Errorf("homotopy never used the numeric refactorization path")
+	}
+}
+
+// TestTransientReusesFactorization checks the transient loop: after the DC
+// and transient patterns have each been analysed once, every further time
+// point must run numeric-only refactorizations.
+func TestTransientReusesFactorization(t *testing.T) {
+	nl := circuit.NewNetlist()
+	in := nl.AddNode("in")
+	x := nl.AddNode("x")
+	nl.Add(circuit.NewVoltageSource("V", in, circuit.Ground, circuit.Step{Final: 3, T0: 0}))
+	nl.Add(circuit.NewResistor("R", in, x, 1e3))
+	nl.Add(circuit.NewCapacitor("C", x, circuit.Ground, 1e-9))
+	nl.Add(circuit.NewDiode("D", x, circuit.Ground, device.DefaultDiode()))
+	e, err := NewEngine(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Transient(TransientSpec{Stop: 1e-6, Step: 1e-8, InitialFromOP: true}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	// One pattern for DC (capacitor open) plus one for transient stamps.
+	if s.Factorizations > 2 {
+		t.Errorf("transient ran %d symbolic factorizations, want <= 2", s.Factorizations)
+	}
+	if s.Refactorizations < 50 {
+		t.Errorf("transient refactorizations = %d, want one per Newton solve (>= 50)", s.Refactorizations)
+	}
+}
+
+// BenchmarkNewtonSolveReuse measures repeated operating-point solves of one
+// engine, the pattern the incremental assembly and symbolic-LU reuse
+// accelerate (compare with BenchmarkNewtonSolveFromScratch).
+func BenchmarkNewtonSolveReuse(b *testing.B) {
+	e, err := NewEngine(followerNetlist(), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.OperatingPoint(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewtonSolveFromScratch is the reference path for
+// BenchmarkNewtonSolveReuse.
+func BenchmarkNewtonSolveFromScratch(b *testing.B) {
+	opts := DefaultOptions()
+	opts.DisableReuse = true
+	e, err := NewEngine(followerNetlist(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.OperatingPoint(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

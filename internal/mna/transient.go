@@ -90,6 +90,15 @@ func (r *TransientResult) VoltageSeries(n circuit.NodeID) []float64 {
 }
 
 // Transient runs a fixed-step backward-Euler transient analysis.
+//
+// Every time point solves the same circuit topology (the backward-Euler
+// companion models only change stamp values, not the sparsity pattern), so
+// the whole transient shares the engine's persistent builder and cached
+// symbolic LU: after the first Newton iteration of the first step, each
+// subsequent iteration costs one incremental re-stamp and one numeric
+// refactorization.  The one systematic pattern change is the DC-vs-transient
+// switch (capacitor stamps only exist for dt > 0), which triggers exactly one
+// extra symbolic factorization when InitialFromOP is set.
 func (e *Engine) Transient(spec TransientSpec) (*TransientResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -160,6 +169,9 @@ func (e *Engine) Transient(spec TransientSpec) (*TransientResult, error) {
 // clamp diode switches region mid-step), the step is subdivided into
 // progressively smaller sub-steps, up to 16 per nominal step, before giving
 // up.  The returned solution carries the accumulated Newton iteration count.
+// Sub-stepping changes only the companion-model values (dt enters the stamps
+// as a coefficient), so even the subdivided solves reuse the cached
+// factorization pattern.
 func (e *Engine) advanceStep(xPrev []float64, t, dt float64) (*Solution, error) {
 	if sol, err := e.solvePoint(xPrev, xPrev, t, dt); err == nil {
 		return sol, nil

@@ -4,6 +4,21 @@
 // sparse LU for the large modified-nodal-analysis systems produced by crossbar
 // sized circuits, and the small vector helpers shared across the project.
 //
+// The sparse kernels are organised for reuse across repeated solves of a
+// fixed topology, the access pattern of a Newton iteration on a fixed
+// netlist:
+//
+//   - SparseBuilder freezes its sparsity pattern at the first Compile; after
+//     that, Reset/Add/CompileInto re-stamp the same pattern with plain array
+//     arithmetic and zero allocation (see PatternVersion for cache keying).
+//   - SparseLU separates the symbolic analysis (fill-in pattern, pivot order)
+//     from the numeric factorisation: Refactor redoes only the numeric stage
+//     for a same-pattern matrix, skipping the reachability DFS and the pivot
+//     search.
+//   - MulVecTo, SolveTo and SolveRefinedTo are the allocation-free variants
+//     of the corresponding one-shot entry points.
+//
+// docs/solver.md describes how the MNA engine drives this pipeline.
 // Everything is written against float64 and the standard library only.
 package numeric
 
@@ -214,6 +229,18 @@ func AxpY(alpha float64, x, y []float64) []float64 {
 		y[i] += alpha * x[i]
 	}
 	return y
+}
+
+// Norm2Sub returns ||a-b||_2 without materialising the difference; it is the
+// allocation-free form of Norm2(Sub(a, b)) used in the Newton residual hot
+// path of internal/mna.
+func Norm2Sub(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
 }
 
 // Sub returns a-b as a new slice.

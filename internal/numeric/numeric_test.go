@@ -163,8 +163,22 @@ func TestSparseBuilderCompile(t *testing.T) {
 		t.Errorf("ToDense wrong")
 	}
 	b.Reset()
+	// Reset keeps the frozen pattern (that is the point of the reuse path)
+	// but every stored value must be back to zero.
+	if b.NNZ() != 3 {
+		t.Errorf("Reset dropped the frozen pattern: NNZ = %d, want 3", b.NNZ())
+	}
+	if m2 := b.Compile(); m2.At(0, 0) != 0 || m2.At(2, 1) != 0 || m2.At(1, 2) != 0 {
+		t.Errorf("Reset did not clear values: %+v", m2)
+	}
+}
+
+func TestSparseBuilderResetBeforeCompile(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 1)
+	b.Reset()
 	if b.NNZ() != 0 {
-		t.Errorf("Reset did not clear")
+		t.Errorf("pre-freeze Reset did not clear: NNZ = %d", b.NNZ())
 	}
 }
 

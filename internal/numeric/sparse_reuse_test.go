@@ -1,0 +1,223 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stampLaplacian stamps a diagonally dominant 1-D Laplacian-like matrix whose
+// off-diagonal values are scaled by w; the pattern is independent of w.
+func stampLaplacian(b *SparseBuilder, n int, w float64) {
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+		if i > 0 {
+			b.Add(i, i-1, -w)
+		}
+		if i+1 < n {
+			b.Add(i, i+1, -w)
+		}
+	}
+}
+
+func TestSparseBuilderFrozenPatternReuse(t *testing.T) {
+	const n = 16
+	b := NewSparseBuilder(n)
+	stampLaplacian(b, n, 1)
+	m1 := b.Compile()
+	v1 := b.PatternVersion()
+	if v1 == 0 {
+		t.Fatalf("pattern not frozen after Compile")
+	}
+
+	// Re-stamp the same pattern: values change, pattern version must not.
+	b.Reset()
+	stampLaplacian(b, n, 2)
+	m2 := b.Compile()
+	if b.PatternVersion() != v1 {
+		t.Errorf("pattern version changed on identical topology: %d -> %d", v1, b.PatternVersion())
+	}
+	if m2.NNZ() != m1.NNZ() {
+		t.Errorf("nnz changed: %d -> %d", m1.NNZ(), m2.NNZ())
+	}
+	if m2.At(3, 2) != -2 || m2.At(3, 3) != 4 {
+		t.Errorf("re-stamped values wrong: %g %g", m2.At(3, 2), m2.At(3, 3))
+	}
+
+	// A stamp outside the frozen pattern grows it (union) and bumps the
+	// version.
+	b.Reset()
+	stampLaplacian(b, n, 1)
+	b.Add(0, n-1, 7)
+	m3 := b.Compile()
+	if b.PatternVersion() == v1 {
+		t.Errorf("pattern version not bumped on growth")
+	}
+	if m3.At(0, n-1) != 7 {
+		t.Errorf("out-of-pattern stamp lost: %g", m3.At(0, n-1))
+	}
+	if m3.NNZ() != m1.NNZ()+1 {
+		t.Errorf("grown nnz = %d, want %d", m3.NNZ(), m1.NNZ()+1)
+	}
+	// The old entries survive in the grown pattern.
+	if m3.At(3, 2) != -1 || m3.At(0, 0) != 4 {
+		t.Errorf("old entries lost on growth")
+	}
+}
+
+func TestSparseBuilderResetAllocs(t *testing.T) {
+	const n = 32
+	b := NewSparseBuilder(n)
+	stampLaplacian(b, n, 1)
+	var m CSC
+	b.CompileInto(&m)
+	allocs := testing.AllocsPerRun(50, func() {
+		b.Reset()
+		stampLaplacian(b, n, 1.5)
+		b.CompileInto(&m)
+	})
+	if allocs != 0 {
+		t.Errorf("frozen stamp/compile cycle allocates: %.1f allocs/op", allocs)
+	}
+}
+
+// TestRefactorBitMatchesFactorize checks that a numeric-only refactorization
+// reproduces FactorizeSparse bit for bit when the fresh factorisation would
+// choose the same pivots (here guaranteed by strong diagonal dominance).
+func TestRefactorBitMatchesFactorize(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(11))
+	build := func(scale float64) *CSC {
+		b := NewSparseBuilder(n)
+		rl := rand.New(rand.NewSource(99))
+		for i := 0; i < n; i++ {
+			b.Add(i, i, 100+rl.Float64())
+			for k := 0; k < 3; k++ {
+				j := rl.Intn(n)
+				if j != i {
+					b.Add(i, j, scale*(rl.Float64()-0.5))
+				}
+			}
+		}
+		return b.Compile()
+	}
+	a1 := build(1)
+	f, err := FactorizeSparse(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := build(1.75)
+	if err := f.Refactor(a2); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FactorizeSparse(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bvec := make([]float64, n)
+	for i := range bvec {
+		bvec[i] = rng.Float64() - 0.5
+	}
+	got, err := f.Solve(bvec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Solve(bvec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("refactor solve differs at %d: %v vs %v (diff %g)", i, got[i], want[i], got[i]-want[i])
+		}
+	}
+	// The refactorised matrix really is a2, not a1.
+	if rn := ResidualNorm(a2, got, bvec); rn > 1e-10 {
+		t.Errorf("refactor residual %g", rn)
+	}
+}
+
+func TestRefactorAllocs(t *testing.T) {
+	const n = 64
+	b := NewSparseBuilder(n)
+	stampLaplacian(b, n, 1)
+	var m CSC
+	b.CompileInto(&m)
+	f, err := FactorizeSparse(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bvec := make([]float64, n)
+	x := make([]float64, n)
+	for i := range bvec {
+		bvec[i] = float64(i%5) - 2
+	}
+	// Warm up the lazily-created scratch buffers once.
+	if err := f.SolveRefinedTo(x, &m, bvec, 2); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		b.Reset()
+		stampLaplacian(b, n, 1.2)
+		b.CompileInto(&m)
+		if err := f.Refactor(&m); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SolveRefinedTo(x, &m, bvec, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("refactorize+solve path allocates: %.1f allocs/op", allocs)
+	}
+}
+
+func TestRefactorRejectsDegeneratePivot(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 10)
+	b.Add(1, 1, 10)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	m := b.Compile()
+	f, err := FactorizeSparse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same pattern, but the cached pivot (the diagonal) is now zero while the
+	// off-diagonal dominates: Refactor must refuse rather than divide by ~0.
+	b.Reset()
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	b.Add(0, 0, 1e-30)
+	b.Add(1, 1, 1e-30)
+	m2 := b.Compile()
+	if err := f.Refactor(m2); err == nil {
+		t.Fatalf("degenerate pivot accepted by Refactor")
+	}
+	// The from-scratch factorisation handles it fine (it re-pivots).
+	if _, err := SolveSparse(m2, []float64{1, 1}); err != nil {
+		t.Fatalf("fresh factorisation failed: %v", err)
+	}
+}
+
+func TestMulVecToMatchesMulVec(t *testing.T) {
+	const n = 24
+	b := NewSparseBuilder(n)
+	stampLaplacian(b, n, 3)
+	m := b.Compile()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	dst := make([]float64, n)
+	m.MulVecTo(dst, x)
+	want := m.MulVec(x)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecTo differs at %d", i)
+		}
+	}
+	if Norm2Sub(dst, want) != 0 {
+		t.Errorf("Norm2Sub of identical vectors nonzero")
+	}
+}

@@ -1,0 +1,82 @@
+// Package parallel provides the bounded worker pool used by the experiment
+// sweeps.  The contract is deliberately narrow so that parallel sweeps stay
+// reproducible: ForEach runs one closure per index, each closure owns all of
+// its state (graphs, solvers, RNGs seeded per index), and results are written
+// to index-addressed slots, so the output is identical for any worker count -
+// including the serial limit of one - and the tests pin exactly that.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// limit overrides the worker count when positive; 0 means GOMAXPROCS.
+var limit atomic.Int64
+
+// SetLimit bounds the number of workers ForEach uses (n <= 0 restores the
+// default of GOMAXPROCS) and returns the previous value.  It exists for tests
+// that compare serial and parallel runs; production code should leave the
+// default in place.
+func SetLimit(n int) (prev int) {
+	return int(limit.Swap(int64(max(n, 0))))
+}
+
+// Workers returns the number of workers ForEach would use for n tasks.
+func Workers(n int) int {
+	w := int(limit.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach invokes fn(i) for every i in [0, n) across a bounded worker pool
+// and waits for all of them.  Every index runs exactly once regardless of
+// failures; the returned error is the lowest-index non-nil error, so the
+// choice of worker count never changes which error the caller sees.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers(n)
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

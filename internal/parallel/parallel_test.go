@@ -1,0 +1,75 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllIndices(t *testing.T) {
+	const n = 100
+	var hits [n]atomic.Int32
+	if err := ForEach(n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		restore := SetLimit(workers)
+		err := ForEach(10, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		SetLimit(restore)
+		if err != errA {
+			t.Errorf("workers=%d: got %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestForEachEmptyAndSerial(t *testing.T) {
+	if err := ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("empty ForEach returned %v", err)
+	}
+	restore := SetLimit(1)
+	defer SetLimit(restore)
+	order := make([]int, 0, 5)
+	if err := ForEach(5, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial limit did not run in order: %v", order)
+		}
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	restore := SetLimit(8)
+	defer SetLimit(restore)
+	if w := Workers(3); w != 3 {
+		t.Errorf("Workers(3) = %d with limit 8, want 3", w)
+	}
+	if w := Workers(100); w != 8 {
+		t.Errorf("Workers(100) = %d with limit 8, want 8", w)
+	}
+}

@@ -93,7 +93,7 @@ func Quantize(g *graph.Graph, s Scheme) (*Result, error) {
 		EdgeVoltages: make([]float64, g.NumEdges()),
 		EdgeLevels:   make([]int, g.NumEdges()),
 	}
-	used := make(map[int]bool)
+	used := make([]bool, s.Levels+1)
 	for i := 0; i < g.NumEdges(); i++ {
 		level := s.LevelOf(g.Edge(i).Capacity, c)
 		res.EdgeLevels[i] = level

@@ -136,6 +136,7 @@ func Generate(p Params) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.ReserveEdges(p.Edges)
 	minCap := p.MinCapacity
 	if minCap < 1 {
 		minCap = 1
@@ -145,13 +146,17 @@ func Generate(p Params) (*graph.Graph, error) {
 	}
 
 	levels := levelsFor(p.Vertices)
-	seen := make(map[[2]int]bool, p.Edges)
+	// Cumulative quadrant thresholds, hoisted out of the placement loop; the
+	// comparisons (and hence the RNG consumption pattern) are identical to
+	// computing them inline.
+	tAB, tABC := p.A+p.B, p.A+p.B+p.C
+	seen := make(map[int64]bool, p.Edges)
 	placed := 0
 	attempts := 0
 	maxAttempts := 50*p.Edges + 1000
 	for placed < p.Edges && attempts < maxAttempts {
 		attempts++
-		u, v := placeEdge(rng, levels, p)
+		u, v := placeEdge(rng, levels, p.A, tAB, tABC)
 		if u >= p.Vertices || v >= p.Vertices {
 			// Vertex counts that are not powers of two can overflow the
 			// recursive grid; re-draw.
@@ -160,7 +165,8 @@ func Generate(p Params) (*graph.Graph, error) {
 		if u == v {
 			continue
 		}
-		key := [2]int{u, v}
+		// int64 key: u*Vertices+v stays collision-free on 32-bit platforms.
+		key := int64(u)*int64(p.Vertices) + int64(v)
 		if !p.AllowParallel && seen[key] {
 			continue
 		}
@@ -199,17 +205,18 @@ func levelsFor(n int) int {
 	return levels
 }
 
-// placeEdge draws a single (u, v) position by recursive quadrant descent.
-func placeEdge(rng *rand.Rand, levels int, p Params) (int, int) {
+// placeEdge draws a single (u, v) position by recursive quadrant descent; tA,
+// tAB and tABC are the cumulative quadrant thresholds A, A+B and A+B+C.
+func placeEdge(rng *rand.Rand, levels int, tA, tAB, tABC float64) (int, int) {
 	u, v := 0, 0
 	for l := 0; l < levels; l++ {
 		r := rng.Float64()
 		switch {
-		case r < p.A:
+		case r < tA:
 			// top-left quadrant: no bit set
-		case r < p.A+p.B:
+		case r < tAB:
 			v |= 1 << (levels - 1 - l)
-		case r < p.A+p.B+p.C:
+		case r < tABC:
 			u |= 1 << (levels - 1 - l)
 		default:
 			u |= 1 << (levels - 1 - l)
