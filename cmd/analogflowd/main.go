@@ -1,0 +1,83 @@
+// Command analogflowd serves the unified solver layer over HTTP: a small
+// JSON API in front of solve.Service, so that batch evaluation pipelines can
+// fan max-flow workloads over every backend of the repository — the analog
+// substrate models included — without linking Go code.
+//
+// Endpoints:
+//
+//	GET  /v1/solvers   list the registered backends
+//	GET  /v1/healthz   liveness plus service counters
+//	POST /v1/solve     solve a batch; results stream back as NDJSON
+//
+// A solve request names one solver and carries one or more problems, each
+// given inline (vertices/source/sink/edges), as DIMACS text, or as an R-MAT
+// generator spec:
+//
+//	{
+//	  "solver": "dinic",
+//	  "problems": [
+//	    {"vertices": 5, "source": 0, "sink": 4,
+//	     "edges": [[0,1,3],[1,2,2],[1,3,1],[2,4,1],[3,4,2]]},
+//	    {"dimacs": "p max 4 3\nn 1 s\nn 4 t\na 1 2 2\na 2 3 2\na 3 4 1\n"},
+//	    {"rmat": {"vertices": 64, "sparse": true, "seed": 7}}
+//	  ],
+//	  "params": {"levels": 20, "gbw": 1e10, "seed": 1}
+//	}
+//
+// Each result is one NDJSON line {"index":i,"report":{...}} (or
+// {"index":i,"error":"..."}), written as the solve completes; the stream
+// ends with {"done":true,"count":n}.  Identical problems share one warm
+// solver instance across the whole service (see internal/solve), so a
+// benchmark that hammers one fingerprint measures the substrate, not
+// repeated preprocessing.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"analogflow/internal/solve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "analogflowd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: it parses flags, builds the
+// service handler and serves it.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("analogflowd", flag.ContinueOnError)
+	// Usage text belongs on stdout only when the user asked for it (-h);
+	// parse errors surface once, through the returned error, on stderr.
+	var usage bytes.Buffer
+	fs.SetOutput(&usage)
+	var (
+		addr      = fs.String("addr", ":8723", "listen address")
+		workers   = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxCached = fs.Int("max-cached", 0, "max cached warm solver instances (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			_, _ = io.Copy(stdout, &usage)
+			return nil
+		}
+		return err
+	}
+	svc := solve.NewService(solve.Config{Workers: *workers, MaxCachedInstances: *maxCached})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(stdout, "analogflowd: listening on %s (solvers: %v)\n", *addr, svc.Registry().Names())
+	return srv.ListenAndServe()
+}

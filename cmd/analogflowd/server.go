@@ -1,0 +1,289 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"analogflow/internal/core"
+	"analogflow/internal/graph"
+	"analogflow/internal/rmat"
+	"analogflow/internal/solve"
+)
+
+// server is the HTTP facade over one solve.Service.
+type server struct {
+	svc   *solve.Service
+	start time.Time
+}
+
+// newHandler wires the API routes; it is the unit the httptest suite drives.
+func newHandler(svc *solve.Service) http.Handler {
+	s := &server{svc: svc, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solvers", s.handleSolvers)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	return mux
+}
+
+func (s *server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	type entry struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	reg := s.svc.Registry()
+	var out struct {
+		Solvers []entry `json:"solvers"`
+	}
+	for _, name := range reg.Names() {
+		sol, err := reg.Get(name)
+		if err != nil {
+			continue
+		}
+		out.Solvers = append(out.Solvers, entry{Name: name, Description: sol.Describe()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"stats":          s.svc.Stats(),
+	})
+}
+
+// problemSpec is one problem in a solve request; exactly one of the three
+// encodings must be present.
+type problemSpec struct {
+	// Inline graph: edges are [from, to, capacity] triples, 0-based.
+	Vertices int          `json:"vertices,omitempty"`
+	Source   *int         `json:"source,omitempty"`
+	Sink     *int         `json:"sink,omitempty"`
+	Edges    [][3]float64 `json:"edges,omitempty"`
+	// DIMACS max-flow text.
+	DIMACS string `json:"dimacs,omitempty"`
+	// Synthetic R-MAT instance.
+	RMAT *rmatSpec `json:"rmat,omitempty"`
+}
+
+type rmatSpec struct {
+	Vertices int   `json:"vertices"`
+	Sparse   bool  `json:"sparse"`
+	Seed     int64 `json:"seed"`
+}
+
+// paramSpec exposes the substrate knobs the CLI exposes.  Pointer fields
+// distinguish "absent" (use the default) from an explicit value, so e.g.
+// seed 0 is requestable and invalid values are rejected instead of ignored.
+type paramSpec struct {
+	Levels *int     `json:"levels,omitempty"`
+	GBW    *float64 `json:"gbw,omitempty"`
+	Seed   *int64   `json:"seed,omitempty"`
+}
+
+type solveRequest struct {
+	Solver   string        `json:"solver"`
+	Problems []problemSpec `json:"problems"`
+	Params   *paramSpec    `json:"params,omitempty"`
+}
+
+// Request-size bounds: the endpoint is public surface, so one request must
+// not be able to allocate unbounded memory before any solve starts.  The
+// body cap bounds inline/DIMACS instances; the per-problem caps bound what a
+// few-byte generator spec can expand into; and because per-problem caps
+// multiply with the batch length, an aggregate vertex/edge budget is
+// enforced across the whole request while the problems are materialised.
+const (
+	maxRequestBytes  = 32 << 20
+	maxBatchProblems = 1024
+	maxVertices      = 1 << 20
+	maxRMATEdges     = 8 << 20
+	maxBatchVertices = 4 << 20
+	maxBatchEdges    = 16 << 20
+)
+
+// buildProblem converts one spec into a validated solve.Problem.
+func buildProblem(spec problemSpec, opts []solve.Option) (*solve.Problem, error) {
+	declared := 0
+	if spec.Edges != nil || spec.Vertices != 0 {
+		declared++
+	}
+	if spec.DIMACS != "" {
+		declared++
+	}
+	if spec.RMAT != nil {
+		declared++
+	}
+	if declared != 1 {
+		return nil, fmt.Errorf("problem must carry exactly one of edges, dimacs or rmat")
+	}
+	switch {
+	case spec.DIMACS != "":
+		return solve.FromDIMACS(strings.NewReader(spec.DIMACS), opts...)
+	case spec.RMAT != nil:
+		if spec.RMAT.Vertices > maxVertices {
+			return nil, fmt.Errorf("rmat vertices %d exceeds the limit of %d", spec.RMAT.Vertices, maxVertices)
+		}
+		var p rmat.Params
+		if spec.RMAT.Sparse {
+			p = rmat.SparseParams(spec.RMAT.Vertices, spec.RMAT.Seed)
+		} else {
+			p = rmat.DenseParams(spec.RMAT.Vertices, spec.RMAT.Seed)
+		}
+		if p.Edges > maxRMATEdges {
+			return nil, fmt.Errorf("rmat spec expands to %d edges, exceeding the limit of %d", p.Edges, maxRMATEdges)
+		}
+		g, err := rmat.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		return solve.NewProblem(g, opts...)
+	default:
+		if spec.Source == nil || spec.Sink == nil {
+			return nil, fmt.Errorf("inline graph needs source and sink")
+		}
+		if spec.Vertices > maxVertices {
+			return nil, fmt.Errorf("inline graph vertices %d exceeds the limit of %d", spec.Vertices, maxVertices)
+		}
+		g, err := graph.New(spec.Vertices, *spec.Source, *spec.Sink)
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range spec.Edges {
+			if e[0] != math.Trunc(e[0]) || e[1] != math.Trunc(e[1]) {
+				return nil, fmt.Errorf("edge %d has non-integer endpoints [%g, %g]", i, e[0], e[1])
+			}
+			if _, err := g.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+				return nil, err
+			}
+		}
+		return solve.NewProblem(g, opts...)
+	}
+}
+
+// solveOptions translates the request's parameter block, rejecting values
+// the substrate configuration cannot accept (NewProblem re-validates the
+// assembled Params, so this mostly produces earlier, clearer messages).
+func solveOptions(ps *paramSpec) ([]solve.Option, error) {
+	if ps == nil {
+		return nil, nil
+	}
+	params := core.DefaultParams()
+	if ps.Levels != nil {
+		if *ps.Levels < 1 {
+			return nil, fmt.Errorf("levels must be at least 1, got %d", *ps.Levels)
+		}
+		params = params.WithLevels(*ps.Levels)
+	}
+	if ps.GBW != nil {
+		if *ps.GBW <= 0 {
+			return nil, fmt.Errorf("gbw must be positive, got %g", *ps.GBW)
+		}
+		params = params.WithGBW(*ps.GBW)
+	}
+	if ps.Seed != nil {
+		params.Seed = *ps.Seed
+	}
+	return []solve.Option{solve.WithParams(params)}, nil
+}
+
+// streamItem is one NDJSON line of a solve response.
+type streamItem struct {
+	Index  int           `json:"index"`
+	Report *solve.Report `json:"report,omitempty"`
+	Error  string        `json:"error,omitempty"`
+	Done   bool          `json:"done,omitempty"`
+	Count  int           `json:"count,omitempty"`
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req solveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Solver == "" {
+		http.Error(w, "bad request: missing solver", http.StatusBadRequest)
+		return
+	}
+	if _, err := s.svc.Registry().Get(req.Solver); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Problems) == 0 {
+		http.Error(w, "bad request: no problems", http.StatusBadRequest)
+		return
+	}
+	if len(req.Problems) > maxBatchProblems {
+		http.Error(w, fmt.Sprintf("bad request: %d problems exceeds the batch limit of %d", len(req.Problems), maxBatchProblems), http.StatusBadRequest)
+		return
+	}
+	opts, err := solveOptions(req.Params)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad request: params: %v", err), http.StatusBadRequest)
+		return
+	}
+	reqs := make([]solve.Request, len(req.Problems))
+	totalVertices, totalEdges := 0, 0
+	for i, spec := range req.Problems {
+		// The aggregate budget is checked before each build, so the worst
+		// overshoot is one problem's own (already capped) size.
+		if totalVertices > maxBatchVertices || totalEdges > maxBatchEdges {
+			http.Error(w, fmt.Sprintf("bad request: batch exceeds the aggregate size budget (%d vertices / %d edges) at problem %d",
+				maxBatchVertices, maxBatchEdges, i), http.StatusBadRequest)
+			return
+		}
+		prob, err := buildProblem(spec, opts)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad request: problem %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		totalVertices += prob.Graph().NumVertices()
+		totalEdges += prob.Graph().NumEdges()
+		reqs[i] = solve.Request{Solver: req.Solver, Problem: prob}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	// SolveBatchFunc serialises onResult calls, so the encoder needs no
+	// extra locking; each completed solve streams out immediately.
+	s.svc.SolveBatchFunc(r.Context(), reqs, func(res solve.BatchResult) {
+		item := streamItem{Index: res.Index, Report: res.Report}
+		if res.Err != nil {
+			item.Report = nil
+			item.Error = res.Err.Error()
+		}
+		_ = enc.Encode(item)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	_ = enc.Encode(streamItem{Done: true, Count: len(reqs)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

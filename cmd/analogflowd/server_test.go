@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"analogflow/internal/solve"
+)
+
+const figure5Inline = `{"vertices":5,"source":0,"sink":4,"edges":[[0,1,3],[1,2,2],[1,3,1],[2,4,1],[3,4,2]]}`
+
+func newTestServer(t *testing.T, workers int) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newHandler(solve.NewService(solve.Config{Workers: workers})))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// postSolve sends a solve request and returns the streamed items keyed by
+// index, plus the final done line.
+func postSolve(t *testing.T, srv *httptest.Server, body string) (map[int]map[string]any, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, buf.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	items := make(map[int]map[string]any)
+	var done map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if d, _ := m["done"].(bool); d {
+			done = m
+			continue
+		}
+		idx := int(m["index"].(float64))
+		if _, dup := items[idx]; dup {
+			t.Fatalf("index %d streamed twice", idx)
+		}
+		items[idx] = m
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return items, done
+}
+
+// TestSolveEndToEnd drives POST /v1/solve with all three problem encodings.
+func TestSolveEndToEnd(t *testing.T) {
+	srv := newTestServer(t, 2)
+	body := fmt.Sprintf(`{"solver":"dinic","problems":[%s,{"dimacs":"p max 4 3\nn 1 s\nn 4 t\na 1 2 2\na 2 3 2\na 3 4 1\n"},{"rmat":{"vertices":32,"sparse":true,"seed":7}}]}`, figure5Inline)
+	items, done := postSolve(t, srv, body)
+	if len(items) != 3 {
+		t.Fatalf("got %d items, want 3", len(items))
+	}
+	if done == nil || done["count"].(float64) != 3 {
+		t.Fatalf("missing/short done line: %v", done)
+	}
+	report := func(i int) map[string]any {
+		rep, ok := items[i]["report"].(map[string]any)
+		if !ok {
+			t.Fatalf("item %d has no report: %v", i, items[i])
+		}
+		return rep
+	}
+	if v := report(0)["flow_value"].(float64); v != 2 {
+		t.Errorf("figure5 flow %v, want 2", v)
+	}
+	if v := report(1)["flow_value"].(float64); v != 1 {
+		t.Errorf("dimacs chain flow %v, want 1", v)
+	}
+	r2 := report(2)
+	if r2["flow_value"].(float64) != r2["exact_value"].(float64) {
+		t.Errorf("dinic on rmat is not exact: %v vs %v", r2["flow_value"], r2["exact_value"])
+	}
+	for i := range items {
+		if items[i]["report"].(map[string]any)["solver"] != "dinic" {
+			t.Errorf("item %d solved by %v", i, items[i]["report"].(map[string]any)["solver"])
+		}
+	}
+}
+
+// TestSolveSerialMatchesConcurrent pins the service determinism end to end:
+// the same batch against a one-worker server and an eight-worker server must
+// yield identical reports (wall time excluded).
+func TestSolveSerialMatchesConcurrent(t *testing.T) {
+	body := fmt.Sprintf(`{"solver":"behavioral","problems":[%s,{"rmat":{"vertices":48,"sparse":true,"seed":9}},%s,{"rmat":{"vertices":32,"sparse":true,"seed":3}},%s],"params":{"levels":20,"gbw":1e10,"seed":1}}`,
+		figure5Inline, figure5Inline, figure5Inline)
+	serialItems, _ := postSolve(t, newTestServer(t, 1), body)
+	concItems, _ := postSolve(t, newTestServer(t, 8), body)
+	if len(serialItems) != len(concItems) {
+		t.Fatalf("item counts differ: %d vs %d", len(serialItems), len(concItems))
+	}
+	normalize := func(m map[string]any) map[string]any {
+		rep, ok := m["report"].(map[string]any)
+		if !ok {
+			t.Fatalf("item has no report: %v", m)
+		}
+		delete(rep, "wall_time_ns")
+		return rep
+	}
+	for i := range serialItems {
+		a, b := normalize(serialItems[i]), normalize(concItems[i])
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("item %d differs:\nserial:     %v\nconcurrent: %v", i, a, b)
+		}
+	}
+}
+
+func TestSolversEndpoint(t *testing.T) {
+	srv := newTestServer(t, 1)
+	resp, err := http.Get(srv.URL + "/v1/solvers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Solvers []struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+		} `json:"solvers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range out.Solvers {
+		names[s.Name] = true
+		if s.Description == "" {
+			t.Errorf("solver %s has no description", s.Name)
+		}
+	}
+	for _, want := range []string{"behavioral", "circuit", "dinic", "edmonds-karp", "push-relabel", "lp", "decompose"} {
+		if !names[want] {
+			t.Errorf("solver %q not advertised", want)
+		}
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv := newTestServer(t, 1)
+	// Generate one request so the counters move.
+	_, _ = postSolve(t, srv, fmt.Sprintf(`{"solver":"dinic","problems":[%s]}`, figure5Inline))
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Status string      `json:"status"`
+		Uptime float64     `json:"uptime_seconds"`
+		Stats  solve.Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" {
+		t.Errorf("status %q", out.Status)
+	}
+	if out.Stats.Requests < 1 || out.Stats.Completed < 1 {
+		t.Errorf("counters did not move: %+v", out.Stats)
+	}
+}
+
+func TestSolveBadRequests(t *testing.T) {
+	srv := newTestServer(t, 1)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed json", `{`},
+		{"missing solver", fmt.Sprintf(`{"problems":[%s]}`, figure5Inline)},
+		{"unknown solver", fmt.Sprintf(`{"solver":"no-such","problems":[%s]}`, figure5Inline)},
+		{"no problems", `{"solver":"dinic","problems":[]}`},
+		{"ambiguous problem", `{"solver":"dinic","problems":[{"dimacs":"p max 2 0\nn 1 s\nn 2 t\n","rmat":{"vertices":8}}]}`},
+		{"oversized rmat", `{"solver":"dinic","problems":[{"rmat":{"vertices":1000000000}}]}`},
+		{"oversized inline", `{"solver":"dinic","problems":[{"vertices":1000000000,"source":0,"sink":1,"edges":[[0,1,1]]}]}`},
+		{"aggregate budget", func() string {
+			// Each spec is individually legal; together they blow the
+			// aggregate vertex budget.
+			specs := make([]string, 16)
+			for i := range specs {
+				specs[i] = `{"vertices":1048576,"source":0,"sink":1,"edges":[[0,1,1]]}`
+			}
+			return `{"solver":"dinic","problems":[` + strings.Join(specs, ",") + `]}`
+		}()},
+		{"same source and sink", `{"solver":"dinic","problems":[{"dimacs":"p max 3 1\nn 1 s\nn 1 t\na 1 2 5\n"}]}`},
+		{"fractional endpoint", `{"solver":"dinic","problems":[{"vertices":3,"source":0,"sink":2,"edges":[[0.5,2,1]]}]}`},
+		{"bad levels param", fmt.Sprintf(`{"solver":"dinic","problems":[%s],"params":{"levels":-5}}`, figure5Inline)},
+		{"bad gbw param", fmt.Sprintf(`{"solver":"dinic","problems":[%s],"params":{"gbw":-1}}`, figure5Inline)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/v1/solve", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+	// Method checks.
+	resp, err := http.Get(srv.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/solve: status %d, want 405", resp.StatusCode)
+	}
+}

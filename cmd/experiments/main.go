@@ -9,8 +9,11 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -24,102 +27,135 @@ var order = []string{
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	// Usage text belongs on stdout only when the user asked for it (-h);
+	// parse errors surface once, through the returned error, on stderr.
+	var usage bytes.Buffer
+	fs.SetOutput(&usage)
 	var (
-		list  = flag.Bool("list", false, "list the available experiments")
-		run   = flag.String("run", "all", "experiment to run (or \"all\")")
-		sizes = flag.String("sizes", "256,384,512,640,768,896,960", "comma-separated vertex counts for the Figure 10 sweeps")
-		seed  = flag.Int64("seed", 1, "random seed for synthetic workloads")
+		list     = fs.Bool("list", false, "list the available experiments")
+		runNames = fs.String("run", "all", "experiment to run (or \"all\")")
+		sizes    = fs.String("sizes", "256,384,512,640,768,896,960", "comma-separated vertex counts for the Figure 10 sweeps")
+		seed     = fs.Int64("seed", 1, "random seed for synthetic workloads")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			_, _ = io.Copy(stdout, &usage)
+			return nil
+		}
+		return err
+	}
 
 	if *list {
 		for _, name := range order {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
-		return
+		return nil
 	}
 	sweepSizes, err := parseSizes(*sizes)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
+	known := map[string]bool{}
+	for _, name := range order {
+		known[name] = true
+	}
 	selected := map[string]bool{}
-	if *run == "all" {
+	if *runNames == "all" {
 		for _, name := range order {
 			selected[name] = true
 		}
 	} else {
-		for _, name := range strings.Split(*run, ",") {
-			selected[strings.TrimSpace(name)] = true
+		for _, name := range strings.Split(*runNames, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return fmt.Errorf("unknown experiment %q (use -list)", name)
+			}
+			selected[name] = true
 		}
 	}
-
+	if len(selected) == 0 {
+		return fmt.Errorf("no experiment selected by %q (use -list)", *runNames)
+	}
 	for _, name := range order {
 		if !selected[name] {
 			continue
 		}
-		if err := runOne(name, sweepSizes, *seed); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+		if err := runOne(stdout, name, sweepSizes, *seed); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
+	return nil
 }
 
-func runOne(name string, sizes []int, seed int64) error {
+func runOne(stdout io.Writer, name string, sizes []int, seed int64) error {
 	switch name {
 	case "table1":
-		fmt.Println(experiments.Table1Parameters().Render())
+		fmt.Fprintln(stdout, experiments.Table1Parameters().Render())
 	case "fig5":
 		tab, _, err := experiments.Figure5Waveform()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(stdout, tab.Render())
 	case "fig8":
 		tab, err := experiments.Figure8Quantization()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(stdout, tab.Render())
 	case "fig10-dense", "fig10-sparse":
 		family := strings.TrimPrefix(name, "fig10-")
 		res, err := experiments.Figure10Sweep(family, sizes, seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Table().Render())
-		fmt.Printf("mean relative error: %.1f%%\n\n", 100*res.MeanRelativeError())
+		fmt.Fprintln(stdout, res.Table().Render())
+		fmt.Fprintf(stdout, "mean relative error: %.1f%%\n\n", 100*res.MeanRelativeError())
 	case "power":
 		tab, err := experiments.PowerAnalysis()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(stdout, tab.Render())
 	case "fig15":
 		tab, _, err := experiments.Figure15Trajectory()
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(stdout, tab.Render())
 	case "opamp":
-		fmt.Println(experiments.OpAmpPrecisionSweep().Render())
+		fmt.Fprintln(stdout, experiments.OpAmpPrecisionSweep().Render())
 	case "variation":
 		tab, err := experiments.VariationSweep(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(stdout, tab.Render())
 	case "cluster":
 		tab, err := experiments.ClusteredUtilization(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(stdout, tab.Render())
 	case "decompose":
 		tab, err := experiments.DualDecomposition(seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println(tab.Render())
+		fmt.Fprintln(stdout, tab.Render())
 	default:
 		return fmt.Errorf("unknown experiment %q (use -list)", name)
 	}
@@ -143,9 +179,4 @@ func parseSizes(s string) ([]int, error) {
 		return nil, fmt.Errorf("no sizes given")
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range order {
+		if !strings.Contains(b.String(), name) {
+			t.Errorf("experiment %q not listed", name)
+		}
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-run", "fig8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 8") {
+		t.Errorf("fig8 output missing title:\n%s", b.String())
+	}
+}
+
+func TestRunOpAmpAndTable1(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-run", "table1,opamp"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Section 4.2") {
+		t.Errorf("combined run missing a table:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-run", "no-such"}, &b); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-run", "fig8,no-such"}, &b); err == nil {
+		t.Error("unknown experiment hidden behind a valid one accepted")
+	}
+	if err := run([]string{"-sizes", "bogus"}, &b); err == nil {
+		t.Error("bad sizes accepted")
+	}
+}
+
+func TestRunHelpExitsClean(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-h"}, &b); err != nil {
+		t.Errorf("-h returned error: %v", err)
+	}
+	if !strings.Contains(b.String(), "-run") {
+		t.Errorf("usage text not printed:\n%s", b.String())
+	}
+}

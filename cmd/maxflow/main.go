@@ -1,95 +1,140 @@
-// Command maxflow solves a max-flow instance with either the analog substrate
-// model or the classical CPU algorithms, and prints the resulting flow value,
-// solution quality and substrate metrics.
+// Command maxflow solves a max-flow instance with any backend registered in
+// the unified solver registry (internal/solve): the analog substrate models,
+// the classical CPU algorithms, the LP formulation or the dual
+// decomposition.  It prints the unified report: flow value, solution quality
+// against the exact optimum, and the substrate metrics when the backend
+// models them.
 //
 // Usage:
 //
-//	maxflow -input graph.dimacs [-solver behavioral|circuit|push-relabel|dinic|edmonds-karp]
+//	maxflow -input graph.dimacs [-solver behavioral|circuit|push-relabel|dinic|edmonds-karp|lp|decompose]
 //	maxflow -rmat 256 -sparse          # synthetic R-MAT instance instead of a file
 //	maxflow -example figure5           # one of the paper's worked examples
+//	maxflow -list                      # list the registered solvers
 //
 // The DIMACS max-flow format is read from -input ("-" for stdin).
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"time"
 
 	"analogflow/internal/core"
 	"analogflow/internal/graph"
 	"analogflow/internal/maxflow"
 	"analogflow/internal/rmat"
+	"analogflow/internal/solve"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "maxflow:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: it parses args, dispatches
+// through the solver registry and writes the report to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("maxflow", flag.ContinueOnError)
+	// Usage text belongs on stdout only when the user asked for it (-h);
+	// parse errors surface once, through the returned error, on stderr.
+	var usage bytes.Buffer
+	fs.SetOutput(&usage)
 	var (
-		input    = flag.String("input", "", "DIMACS max-flow file to read (\"-\" for stdin)")
-		example  = flag.String("example", "", "use a paper example instead of a file: figure5 or figure15")
-		rmatSize = flag.Int("rmat", 0, "generate an R-MAT instance with this many vertices")
-		sparse   = flag.Bool("sparse", true, "use the sparse R-MAT preset (dense otherwise)")
-		seed     = flag.Int64("seed", 1, "random seed for synthetic instances")
-		solver   = flag.String("solver", "behavioral", "solver: behavioral, circuit, push-relabel, dinic or edmonds-karp")
-		levels   = flag.Int("levels", 20, "number of quantization voltage levels")
-		gbw      = flag.Float64("gbw", 10e9, "op-amp gain-bandwidth product in Hz")
+		input    = fs.String("input", "", "DIMACS max-flow file to read (\"-\" for stdin)")
+		example  = fs.String("example", "", "use a paper example instead of a file: figure5 or figure15")
+		rmatSize = fs.Int("rmat", 0, "generate an R-MAT instance with this many vertices")
+		sparse   = fs.Bool("sparse", true, "use the sparse R-MAT preset (dense otherwise)")
+		seed     = fs.Int64("seed", 1, "random seed for synthetic instances")
+		solver   = fs.String("solver", "behavioral", "solver name from the registry (see -list)")
+		levels   = fs.Int("levels", 20, "number of quantization voltage levels")
+		gbw      = fs.Float64("gbw", 10e9, "op-amp gain-bandwidth product in Hz")
+		timeout  = fs.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+		list     = fs.Bool("list", false, "list the registered solvers and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			_, _ = io.Copy(stdout, &usage)
+			return nil
+		}
+		return err
+	}
+
+	reg := solve.DefaultRegistry()
+	if *list {
+		for _, name := range reg.Names() {
+			s, err := reg.Get(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-14s %s\n", name, s.Describe())
+		}
+		return nil
+	}
 
 	g, err := loadGraph(*input, *example, *rmatSize, *sparse, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("instance: %s\n", g)
+	fmt.Fprintf(stdout, "instance: %s\n", g)
 
-	switch *solver {
-	case "behavioral", "circuit":
-		params := core.DefaultParams().WithLevels(*levels).WithGBW(*gbw)
-		if *solver == "circuit" {
-			params.Mode = core.ModeCircuit
-		}
-		s, err := core.NewSolver(params)
-		if err != nil {
-			fatal(err)
-		}
-		start := time.Now()
-		res, err := s.Solve(g)
-		if err != nil {
-			fatal(err)
-		}
-		host := time.Since(start)
-		fmt.Printf("solver:              analog substrate (%s mode)\n", res.Mode)
-		fmt.Printf("flow value:          %.4f\n", res.FlowValue)
-		fmt.Printf("exact optimum:       %.4f\n", res.ExactValue)
-		fmt.Printf("relative error:      %.2f%%\n", 100*res.RelativeError)
-		fmt.Printf("convergence time:    %.3e s (modelled substrate time)\n", res.ConvergenceTime)
-		fmt.Printf("programming time:    %.3e s\n", res.ProgrammingTime)
-		fmt.Printf("substrate power:     %.3f W\n", res.SubstratePower)
-		fmt.Printf("energy per solve:    %.3e J\n", res.Energy)
-		fmt.Printf("pruned away:         %d vertices, %d edges\n", res.PrunedVertices, res.PrunedEdges)
-		fmt.Printf("host wall time:      %s\n", host)
-	case "push-relabel", "dinic", "edmonds-karp":
-		alg := map[string]maxflow.Algorithm{
-			"push-relabel": maxflow.PushRelabel,
-			"dinic":        maxflow.Dinic,
-			"edmonds-karp": maxflow.EdmondsKarp,
-		}[*solver]
-		start := time.Now()
-		f, err := maxflow.Solve(g, alg)
-		if err != nil {
-			fatal(err)
-		}
-		elapsed := time.Since(start)
-		fmt.Printf("solver:       %s\n", alg)
-		fmt.Printf("flow value:   %.4f\n", f.Value)
-		fmt.Printf("wall time:    %s\n", elapsed)
-		cut, err := maxflow.MinCut(g, f)
-		if err == nil {
-			fmt.Printf("min-cut size: %d edges, capacity %.4f\n", len(cut.Edges), cut.Capacity)
-		}
-	default:
-		fatal(fmt.Errorf("unknown solver %q", *solver))
+	params := core.DefaultParams().WithLevels(*levels).WithGBW(*gbw)
+	prob, err := solve.NewProblem(g, solve.WithParams(params))
+	if err != nil {
+		return err
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := reg.Solve(ctx, *solver, prob)
+	if err != nil {
+		return err
+	}
+	printReport(stdout, g, rep)
+	return nil
+}
+
+// printReport renders the unified report; blocks that a backend does not
+// fill are omitted.
+func printReport(w io.Writer, g *graph.Graph, rep *solve.Report) {
+	fmt.Fprintf(w, "solver:              %s\n", rep.Solver)
+	fmt.Fprintf(w, "flow value:          %.4f\n", rep.FlowValue)
+	fmt.Fprintf(w, "exact optimum:       %.4f\n", rep.ExactValue)
+	fmt.Fprintf(w, "relative error:      %.2f%%\n", 100*rep.RelativeError)
+	if rep.ConvergenceTime > 0 {
+		fmt.Fprintf(w, "convergence time:    %.3e s (modelled substrate time)\n", rep.ConvergenceTime)
+		fmt.Fprintf(w, "programming time:    %.3e s\n", rep.ProgrammingTime)
+		fmt.Fprintf(w, "substrate power:     %.3f W\n", rep.SubstratePower)
+		fmt.Fprintf(w, "energy per solve:    %.3e J\n", rep.Energy)
+	}
+	if rep.PrunedVertices > 0 || rep.PrunedEdges > 0 {
+		fmt.Fprintf(w, "pruned away:         %d vertices, %d edges\n", rep.PrunedVertices, rep.PrunedEdges)
+	}
+	if rep.Iterations > 0 {
+		fmt.Fprintf(w, "iterations:          %d (converged: %v)\n", rep.Iterations, rep.Converged)
+	}
+	// An exact backend's flow supports a min-cut certificate; print it when
+	// the recovered flow is maximum (up to float round-off between two
+	// exact solvers' augmentation orders).
+	if len(rep.EdgeFlows) == g.NumEdges() && rep.RelativeError <= 1e-9 {
+		f := graph.NewFlow(g)
+		copy(f.Edge, rep.EdgeFlows)
+		f.RecomputeValue(g)
+		if cut, err := maxflow.MinCut(g, f); err == nil {
+			fmt.Fprintf(w, "min-cut size:        %d edges, capacity %.4f\n", len(cut.Edges), cut.Capacity)
+		}
+	}
+	fmt.Fprintf(w, "host wall time:      %s\n", rep.WallTime)
 }
 
 func loadGraph(input, example string, rmatSize int, sparse bool, seed int64) (*graph.Graph, error) {
@@ -117,9 +162,4 @@ func loadGraph(input, example string, rmatSize int, sparse bool, seed int64) (*g
 	default:
 		return nil, fmt.Errorf("provide -input, -example or -rmat (see -help)")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "maxflow:", err)
-	os.Exit(1)
 }

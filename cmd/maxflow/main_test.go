@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestRunDinicFigure5(t *testing.T) {
+	out, err := runCapture(t, "-example", "figure5", "-solver", "dinic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"solver:              dinic", "flow value:          2.0000", "min-cut size:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBehavioralFigure5(t *testing.T) {
+	out, err := runCapture(t, "-example", "figure5", "-solver", "behavioral")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"solver:              behavioral", "exact optimum:       2.0000", "convergence time:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunListSolvers(t *testing.T) {
+	out, err := runCapture(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"behavioral", "circuit", "dinic", "edmonds-karp", "push-relabel", "lp", "decompose"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("solver %q not listed:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunDIMACSInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.dimacs")
+	data := "c tiny\np max 4 3\nn 1 s\nn 4 t\na 1 2 2\na 2 3 2\na 3 4 1\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCapture(t, "-input", path, "-solver", "push-relabel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "flow value:          1.0000") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunHelpExitsClean(t *testing.T) {
+	out, err := runCapture(t, "-h")
+	if err != nil {
+		t.Errorf("-h returned error: %v", err)
+	}
+	if !strings.Contains(out, "-solver") {
+		t.Errorf("usage text not printed:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := runCapture(t, "-example", "figure5", "-solver", "no-such"); err == nil {
+		t.Error("unknown solver accepted")
+	}
+	if _, err := runCapture(t, "-example", "nope"); err == nil {
+		t.Error("unknown example accepted")
+	}
+	if _, err := runCapture(t); err == nil {
+		t.Error("missing input accepted")
+	}
+}

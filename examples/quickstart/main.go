@@ -1,5 +1,6 @@
-// Quickstart: solve the paper's worked example (Figure 5) on the analog
-// max-flow substrate and print the solution next to the exact optimum.
+// Quickstart: solve the paper's worked example (Figure 5) through the
+// unified solver registry — once on the analog substrate model, once with
+// the exact CPU reference — and print the two reports side by side.
 //
 // Run with:
 //
@@ -7,12 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"analogflow/internal/core"
 	"analogflow/internal/graph"
-	"analogflow/internal/maxflow"
+	"analogflow/internal/solve"
 )
 
 func main() {
@@ -21,31 +22,34 @@ func main() {
 	g := graph.PaperFigure5()
 	fmt.Println("instance:", g)
 
-	// A substrate with the paper's Table 1 parameters.
-	solver, err := core.NewSolver(core.DefaultParams())
+	// One problem, many backends: the registry keys every solver by name
+	// and all of them share the problem's preprocessing artifacts.
+	prob, err := solve.NewProblem(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := solver.Solve(g)
+	reg := solve.DefaultRegistry()
+
+	analog, err := reg.Solve(context.Background(), "behavioral", prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := reg.Solve(context.Background(), "dinic", prob)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	exact, err := maxflow.OptimalValue(g)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("analog flow value:   %.3f\n", res.FlowValue)
-	fmt.Printf("exact optimum:       %.3f\n", exact)
-	fmt.Printf("relative error:      %.1f%%\n", 100*res.RelativeError)
-	fmt.Printf("convergence time:    %.3g s\n", res.ConvergenceTime)
-	fmt.Printf("substrate power:     %.3g W\n", res.SubstratePower)
-	fmt.Printf("energy per solve:    %.3g J\n", res.Energy)
+	fmt.Printf("analog flow value:   %.3f\n", analog.FlowValue)
+	fmt.Printf("exact optimum:       %.3f (dinic agrees: %.3f)\n", analog.ExactValue, exact.FlowValue)
+	fmt.Printf("relative error:      %.1f%%\n", 100*analog.RelativeError)
+	fmt.Printf("convergence time:    %.3g s\n", analog.ConvergenceTime)
+	fmt.Printf("substrate power:     %.3g W\n", analog.SubstratePower)
+	fmt.Printf("energy per solve:    %.3g J\n", analog.Energy)
 	fmt.Println()
 	fmt.Println("per-edge flows (capacity units):")
 	names := []string{"x1 s->n1", "x2 n1->n2", "x3 n1->n3", "x4 n2->t", "x5 n3->t"}
-	for i, f := range res.Flow.Edge {
-		fmt.Printf("  %-10s flow %.3f of capacity %g\n", names[i], f, g.Edge(i).Capacity)
+	for i, f := range analog.EdgeFlows {
+		fmt.Printf("  %-10s flow %.3f of capacity %g   (exact %.3f)\n",
+			names[i], f, g.Edge(i).Capacity, exact.EdgeFlows[i])
 	}
 }

@@ -296,7 +296,7 @@ func TestFigure5OpAmpMode(t *testing.T) {
 }
 
 // Random small instances: the full circuit emulation is *fragile* on general
-// graphs (documented in EXPERIMENTS.md) — the ideal-negative-resistance
+// graphs (documented in docs/solver.md) — the ideal-negative-resistance
 // constraint network can fail to converge or settle on poor solutions for
 // structures like interior cycles.  This test pins down the contract that is
 // actually guaranteed: on instances pruned to their s-t core, whenever the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"analogflow/internal/graph"
@@ -8,7 +9,7 @@ import (
 	"analogflow/internal/variation"
 )
 
-// solveBehavioral runs the fast substrate model.
+// solveBehavioralPrepared runs the fast substrate model.
 //
 // The model rests on two observations the paper itself makes:
 //
@@ -24,14 +25,10 @@ import (
 // tuning) plus the finite op-amp gain error, solves the perturbed LP exactly,
 // and finally adds per-edge readout noise.  Convergence time, programming
 // time, power and energy come from the same analytical models the paper uses.
-func (s *Solver) solveBehavioral(g *graph.Graph) (*Result, error) {
-	prep, err := s.prepare(g)
-	if err != nil {
-		return nil, err
-	}
-	if prep.empty() {
+func (s *Solver) solveBehavioralPrepared(ctx context.Context, prep *Prepared) (*Result, error) {
+	if prep.Empty() {
 		empty := s.emptyResult(prep, ModeBehavioral)
-		if err := s.finalizeEmpty(empty, g); err != nil {
+		if err := s.finalizeEmpty(ctx, empty, prep.original); err != nil {
 			return nil, err
 		}
 		return empty, nil
@@ -62,7 +59,7 @@ func (s *Solver) solveBehavioral(g *graph.Graph) (*Result, error) {
 	}
 
 	// The steady state of the (perturbed, quantized) substrate.
-	flow, err := maxflow.SolveDinic(pGraph)
+	flow, err := maxflow.SolveDinicContext(ctx, pGraph)
 	if err != nil {
 		return nil, err
 	}
@@ -108,15 +105,15 @@ func (s *Solver) solveBehavioral(g *graph.Graph) (*Result, error) {
 	res.FlowValue = value
 
 	res.ConvergenceTime, res.Waves = s.convergenceTimeModel(work, saturated)
-	if err := s.finalize(res, prep, readFlow); err != nil {
+	if err := s.finalize(ctx, res, prep, readFlow); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
 // finalizeEmpty fills the reference value for instances with no s-t path.
-func (s *Solver) finalizeEmpty(res *Result, g *graph.Graph) error {
-	exact, err := maxflow.OptimalValue(g)
+func (s *Solver) finalizeEmpty(ctx context.Context, res *Result, g *graph.Graph) error {
+	exact, err := maxflow.OptimalValueContext(ctx, g)
 	if err != nil {
 		return err
 	}

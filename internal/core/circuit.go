@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"analogflow/internal/builder"
@@ -10,35 +12,46 @@ import (
 	"analogflow/internal/variation"
 )
 
-// solveCircuit runs the full MNA circuit emulation: build the Section 2
-// circuit for the quantized instance, find its DC steady state (direct Newton
-// first, source-stepping homotopy as a fallback), read the edge-node voltages
-// back and de-quantize them into flows.
-func (s *Solver) solveCircuit(g *graph.Graph) (*Result, error) {
-	prep, err := s.prepare(g)
-	if err != nil {
-		return nil, err
-	}
-	if prep.empty() {
+// solveCircuitPrepared runs the full MNA circuit emulation: build the
+// Section 2 circuit for the quantized instance, find its DC steady state
+// (direct Newton first, source-stepping homotopy as a fallback), read the
+// edge-node voltages back and de-quantize them into flows.
+func (s *Solver) solveCircuitPrepared(ctx context.Context, prep *Prepared) (*Result, error) {
+	if prep.Empty() {
 		empty := s.emptyResult(prep, ModeCircuit)
-		if err := s.finalizeEmpty(empty, g); err != nil {
+		if err := s.finalizeEmpty(ctx, empty, prep.original); err != nil {
 			return nil, err
 		}
 		return empty, nil
 	}
-	res := &Result{Mode: ModeCircuit, Quantization: prep.qres}
-	work := prep.work
-
-	c, eng, err := s.buildCircuit(work, prep.clamps)
+	c, eng, err := s.buildCircuit(prep.work, prep.clamps)
 	if err != nil {
 		return nil, err
 	}
+	return s.solveCircuitWith(ctx, prep, c, eng)
+}
+
+// solveCircuitWith runs the circuit emulation on an already-built circuit and
+// engine.  It is the reusable back half behind both one-shot solves and
+// Session, whose cached engine makes repeated solves hit the numeric-only
+// refactorization path of internal/mna.  The context is threaded into the
+// Newton iteration through the engine interrupt hook.
+func (s *Solver) solveCircuitWith(ctx context.Context, prep *Prepared, c *builder.Circuit, eng *mna.Engine) (*Result, error) {
+	res := &Result{Mode: ModeCircuit, Quantization: prep.qres}
+	work := prep.work
 	res.CircuitDescription = c.Describe()
+	eng.SetInterrupt(ctx.Err)
+	defer eng.SetInterrupt(nil)
 
 	sol, waves, err := s.solveOperatingPoint(eng)
 	if err != nil {
+		if isContextError(err) {
+			// A cancelled or expired context is the caller's decision, not a
+			// convergence failure; surface it undisguised.
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: circuit solve failed (the ideal-negative-resistance substrate is "+
-			"numerically fragile on general graphs; see EXPERIMENTS.md): %w", err)
+			"numerically fragile on general graphs; see docs/solver.md): %w", err)
 	}
 
 	// Read the edge voltages and convert back to flow units.
@@ -62,7 +75,7 @@ func (s *Solver) solveCircuit(g *graph.Graph) (*Result, error) {
 
 	res.ConvergenceTime, _ = s.convergenceTimeModel(work, saturated)
 	res.Waves = waves
-	if err := s.finalize(res, prep, readFlow); err != nil {
+	if err := s.finalize(ctx, res, prep, readFlow); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -100,14 +113,27 @@ func (s *Solver) buildCircuit(pruned *graph.Graph, clampVoltages []float64) (*bu
 // solution and the total Newton iteration count (a proxy for the number of
 // constraint-activation waves).
 func (s *Solver) solveOperatingPoint(eng *mna.Engine) (*mna.Solution, int, error) {
-	if sol, err := eng.OperatingPoint(0); err == nil {
+	sol, err := eng.OperatingPoint(0)
+	if err == nil {
 		return sol, sol.NewtonIterations, nil
+	}
+	if isContextError(err) {
+		// The direct solve was aborted by cancellation, not by the
+		// numerics; starting the homotopy fallback would just burn time
+		// until its own first interrupt poll.
+		return nil, 0, err
 	}
 	hres, err := eng.OperatingPointHomotopy(0, 8)
 	if err != nil {
 		return nil, 0, err
 	}
 	return hres.Solution, hres.TotalNewtonIterations, nil
+}
+
+// isContextError reports whether err stems from context cancellation or an
+// expired deadline (possibly wrapped by the engine layers).
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // WaveformResult is the outcome of a transient emulation of the compute
@@ -145,7 +171,7 @@ func (s *Solver) SimulateWaveform(g *graph.Graph, duration float64, steps int) (
 	if err != nil {
 		return nil, err
 	}
-	if prep.empty() {
+	if prep.Empty() {
 		return nil, fmt.Errorf("core: instance has no s-t structure to simulate")
 	}
 	work := prep.work
@@ -156,7 +182,7 @@ func (s *Solver) SimulateWaveform(g *graph.Graph, duration float64, steps int) (
 	// substrate, so their settling is not limited by the wire parasitics.
 	// (The full op-amp expansion is available through builder.NegResOpAmp
 	// for DC studies; its conditional NIC stability makes long transients
-	// fragile, which EXPERIMENTS.md discusses.)
+	// fragile, which docs/solver.md discusses.)
 	opts.NegResMode = builder.NegResIdeal
 	opts.ParasiticOnEdgeNodesOnly = true
 	opts.VflowVoltage = s.vflowVoltage(work)

@@ -10,7 +10,7 @@
 //   - ModeCircuit runs the full SPICE-style modified-nodal-analysis emulation
 //     of the substrate (internal/builder + internal/mna).  It is the highest
 //     fidelity path and reproduces the paper's worked examples, but — as
-//     documented in EXPERIMENTS.md — the ideal-negative-resistance circuit is
+//     documented in docs/solver.md — the ideal-negative-resistance circuit is
 //     numerically fragile on arbitrary graphs, exactly the kind of
 //     reproduction finding this repository is meant to surface.
 //

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"analogflow/internal/graph"
 	"analogflow/internal/maxflow"
@@ -67,32 +69,64 @@ func (s *Solver) Params() Params { return s.params }
 
 // Solve runs the configured pipeline on g.
 func (s *Solver) Solve(g *graph.Graph) (*Result, error) {
+	return s.SolveContext(context.Background(), g)
+}
+
+// SolveContext runs the configured pipeline on g with cooperative
+// cancellation: the context is threaded into the Newton iteration of the
+// circuit engine and into the augmenting-path loops of the exact reference
+// solves, so a cancelled or expired context aborts a solve promptly and
+// returns the context's error.
+func (s *Solver) SolveContext(ctx context.Context, g *graph.Graph) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	if err := s.CheckFits(g); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prep, err := s.prepare(g)
+	if err != nil {
+		return nil, err
+	}
+	return s.solvePrepared(ctx, prep)
+}
+
+// CheckFits verifies that g fits the configured crossbar array.
+func (s *Solver) CheckFits(g *graph.Graph) error {
 	if g.NumVertices() > s.params.Crossbar.Rows || g.NumVertices() > s.params.Crossbar.Cols {
-		return nil, fmt.Errorf("core: graph with %d vertices exceeds the %dx%d crossbar",
+		return fmt.Errorf("core: graph with %d vertices exceeds the %dx%d crossbar",
 			g.NumVertices(), s.params.Crossbar.Rows, s.params.Crossbar.Cols)
 	}
+	return nil
+}
+
+// solvePrepared dispatches an already-preprocessed instance to the
+// mode-specific back half.
+func (s *Solver) solvePrepared(ctx context.Context, prep *Prepared) (*Result, error) {
 	switch s.params.Mode {
 	case ModeCircuit:
-		return s.solveCircuit(g)
+		return s.solveCircuitPrepared(ctx, prep)
 	default:
-		return s.solveBehavioral(g)
+		return s.solveBehavioralPrepared(ctx, prep)
 	}
 }
 
-// prepared is the common front half of both pipelines.
+// Prepared is the common front half of both pipelines, exported so that the
+// unified solve layer (internal/solve) can compute it once per problem and
+// share it across backends and across repeated solves of a cached instance.
 //
 // The original graph is first reduced to its s-t core (optional), then
 // quantized onto the voltage levels, and finally reduced again because
 // capacities below one quantization step map to level 0 and disappear from
 // the substrate.  The bookkeeping needed to map flows on the final "work"
 // graph back to the original indexing is kept alongside.
-type prepared struct {
+type Prepared struct {
 	original *graph.Graph
 	pr1      *graph.PruneResult // original -> core (nil when pruning disabled)
 	core     *graph.Graph       // s-t core of the original
@@ -100,14 +134,64 @@ type prepared struct {
 	pr2      *graph.PruneResult // quantized core -> work
 	work     *graph.Graph       // the graph actually mapped onto the substrate
 	clamps   []float64          // clamp voltage per work edge
+
+	// exact memoises the instance's exact maximum flow (one Dinic run on
+	// the s-t core, shared by every solve and every mode of this instance).
+	exactMu   sync.Mutex
+	exactDone bool
+	exact     float64
 }
 
-// empty reports whether nothing can be mapped onto the substrate (max-flow 0
+// Original returns the graph the instance was prepared from.
+func (p *Prepared) Original() *graph.Graph { return p.original }
+
+// Core returns the s-t core of the original graph (the original itself when
+// pruning was disabled).
+func (p *Prepared) Core() *graph.Graph { return p.core }
+
+// Work returns the graph actually mapped onto the substrate, or nil when the
+// instance reduced to nothing.
+func (p *Prepared) Work() *graph.Graph { return p.work }
+
+// Quantization returns the voltage-level assignment of the core graph, or
+// nil when the instance reduced to nothing before quantization.
+func (p *Prepared) Quantization() *quantize.Result { return p.qres }
+
+// Empty reports whether nothing can be mapped onto the substrate (max-flow 0
 // after preprocessing).
-func (p *prepared) empty() bool { return p == nil || p.work == nil || p.work.NumEdges() == 0 }
+func (p *Prepared) Empty() bool { return p == nil || p.work == nil || p.work.NumEdges() == 0 }
+
+// ExactValue returns the exact maximum flow of the instance, computed once
+// with Dinic's algorithm on the s-t core (which preserves the max-flow value
+// by construction) and memoised for every later solve, mode and session that
+// shares this Prepared.  A cancelled computation is not memoised.
+func (p *Prepared) ExactValue(ctx context.Context) (float64, error) {
+	p.exactMu.Lock()
+	defer p.exactMu.Unlock()
+	if p.exactDone {
+		return p.exact, nil
+	}
+	v, err := maxflow.OptimalValueContext(ctx, p.core)
+	if err != nil {
+		return 0, err
+	}
+	p.exact, p.exactDone = v, true
+	return v, nil
+}
+
+// SeedExactValue records an externally computed exact maximum flow (e.g. a
+// caller that just ran Dinic on the instance anyway), so the memo never has
+// to re-derive it.  A value recorded first wins; later seeds are ignored.
+func (p *Prepared) SeedExactValue(v float64) {
+	p.exactMu.Lock()
+	defer p.exactMu.Unlock()
+	if !p.exactDone {
+		p.exact, p.exactDone = v, true
+	}
+}
 
 // removedVertices / removedEdges aggregate both pruning passes.
-func (p *prepared) removedVertices() int {
+func (p *Prepared) removedVertices() int {
 	n := 0
 	if p.pr1 != nil {
 		n += p.pr1.RemovedVertices
@@ -118,7 +202,7 @@ func (p *prepared) removedVertices() int {
 	return n
 }
 
-func (p *prepared) removedEdges() int {
+func (p *Prepared) removedEdges() int {
 	n := 0
 	if p.pr1 != nil {
 		n += p.pr1.RemovedEdges
@@ -130,10 +214,10 @@ func (p *prepared) removedEdges() int {
 }
 
 // clampOf returns the clamp voltage of work edge i.
-func (p *prepared) clampOf(i int) float64 { return p.clamps[i] }
+func (p *Prepared) clampOf(i int) float64 { return p.clamps[i] }
 
 // expandFlow maps a flow on the work graph back to the original indexing.
-func (p *prepared) expandFlow(f *graph.Flow) *graph.Flow {
+func (p *Prepared) expandFlow(f *graph.Flow) *graph.Flow {
 	onCore := f
 	if p.pr2 != nil {
 		onCore = p.pr2.ExpandFlow(p.core, f)
@@ -146,19 +230,56 @@ func (p *prepared) expandFlow(f *graph.Flow) *graph.Flow {
 	return out
 }
 
-// prepare runs pruning and quantization.
-func (s *Solver) prepare(g *graph.Graph) (*prepared, error) {
-	p := &prepared{original: g}
+// prepare runs pruning and quantization with the solver's parameters.
+func (s *Solver) prepare(g *graph.Graph) (*Prepared, error) {
+	return prepareWith(g, nil, s.params.PruneGraph, s.params.Quantization)
+}
+
+// Prepare runs the preprocessing front half (prune to the s-t core, quantize,
+// fused re-prune) under the given parameters without solving.  The result is
+// reusable across solver modes and across repeated solves: only PruneGraph
+// and Quantization influence it.
+func Prepare(g *graph.Graph, p Params) (*Prepared, error) {
+	return PrepareWithCore(g, nil, p)
+}
+
+// PrepareWithCore is Prepare with an externally computed s-t-core prune of g
+// (from graph.PruneToSTCore).  Passing a precomputed prune lets a caller that
+// already reduced the instance — the staged pipeline of internal/solve —
+// share that artifact instead of re-pruning; pr1 is ignored when the
+// parameters disable pruning, and computed on demand when they enable it and
+// pr1 is nil.
+func PrepareWithCore(g *graph.Graph, pr1 *graph.PruneResult, p Params) (*Prepared, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.PruneGraph {
+		pr1 = nil
+	} else if pr1 == nil {
+		pr1 = graph.PruneToSTCore(g)
+	}
+	return prepareWith(g, pr1, p.PruneGraph, p.Quantization)
+}
+
+// prepareWith runs pruning (reusing pr1 when supplied) and quantization.
+func prepareWith(g *graph.Graph, pr1 *graph.PruneResult, prune bool, scheme quantize.Scheme) (*Prepared, error) {
+	p := &Prepared{original: g}
 	coreGraph := g
-	if s.params.PruneGraph {
-		p.pr1 = graph.PruneToSTCore(g)
+	if prune {
+		if pr1 == nil {
+			pr1 = graph.PruneToSTCore(g)
+		}
+		p.pr1 = pr1
 		coreGraph = p.pr1.Graph
 	}
 	p.core = coreGraph
 	if coreGraph.NumEdges() == 0 {
 		return p, nil
 	}
-	qres, err := quantize.Quantize(coreGraph, s.params.Quantization)
+	qres, err := quantize.Quantize(coreGraph, scheme)
 	if err != nil {
 		return nil, err
 	}
@@ -180,14 +301,15 @@ func (s *Solver) prepare(g *graph.Graph) (*prepared, error) {
 
 // finalize fills the metrics common to both modes and maps the work-domain
 // flow back onto the original graph.
-func (s *Solver) finalize(res *Result, prep *prepared, workFlow *graph.Flow) error {
+func (s *Solver) finalize(ctx context.Context, res *Result, prep *Prepared, workFlow *graph.Flow) error {
 	res.PrunedVertices = prep.removedVertices()
 	res.PrunedEdges = prep.removedEdges()
 	res.Flow = prep.expandFlow(workFlow)
 	// The s-t core has the same max-flow value as the original instance by
 	// construction (pruning only removes structures that cannot carry s-t
-	// flow), so the reference solve runs on the smaller graph.
-	exact, err := maxflow.OptimalValue(prep.core)
+	// flow), so the reference solve runs on the smaller graph — and only
+	// once per Prepared, however many solves share it.
+	exact, err := prep.ExactValue(ctx)
 	if err != nil {
 		return err
 	}
@@ -204,7 +326,7 @@ func (s *Solver) finalize(res *Result, prep *prepared, workFlow *graph.Flow) err
 }
 
 // emptyResult handles instances with no usable s-t structure (max-flow 0).
-func (s *Solver) emptyResult(prep *prepared, mode Mode) *Result {
+func (s *Solver) emptyResult(prep *Prepared, mode Mode) *Result {
 	res := &Result{
 		Flow:      graph.NewFlow(prep.original),
 		FlowValue: 0,

@@ -14,6 +14,7 @@
 package decompose
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -251,6 +252,14 @@ func connectVirtualTerminals(r *region, g *graph.Graph) {
 
 // Solve runs the dual decomposition of g under the given partition.
 func Solve(g *graph.Graph, part Partition, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), g, part, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the context is checked
+// once per outer multiplier-update iteration, and when no explicit Oracle is
+// configured the default exact oracle is bound to the same context so that
+// cancellation also lands inside a long subproblem solve.
+func SolveContext(ctx context.Context, g *graph.Graph, part Partition, opts Options) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -262,7 +271,9 @@ func Solve(g *graph.Graph, part Partition, opts Options) (*Result, error) {
 	}
 	oracle := opts.Oracle
 	if oracle == nil {
-		oracle = ExactOracle
+		oracle = func(sub *graph.Graph) (*graph.Flow, error) {
+			return maxflow.SolveDinicContext(ctx, sub)
+		}
 	}
 
 	regionM, err := buildRegion(g, part.InM, part.InN)
@@ -302,6 +313,9 @@ func Solve(g *graph.Graph, part Partition, opts Options) (*Result, error) {
 	best := math.Inf(1)
 	var flowM, flowN *graph.Flow
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations = iter
 		flowM, err = oracle(regionM.graph)
 		if err != nil {

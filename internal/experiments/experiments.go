@@ -1,7 +1,7 @@
 // Package experiments is the evaluation harness of the repository: one
 // function per table or figure of the paper, each returning structured rows
 // plus an ASCII rendering, so that the CLI (cmd/experiments), the benchmark
-// suite (bench_test.go) and EXPERIMENTS.md all draw from the same code.
+// suite (bench_test.go) and the docs all draw from the same code.
 //
 // The mapping between paper artifacts and functions:
 //
@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -34,8 +35,31 @@ import (
 	"analogflow/internal/power"
 	"analogflow/internal/quantize"
 	"analogflow/internal/rmat"
+	"analogflow/internal/solve"
 	"analogflow/internal/variation"
 )
+
+// newSweepService builds a solve.Service for an n-item sweep whose worker
+// count honours the package-wide parallel.SetLimit knob, so the serial ==
+// parallel identity tests keep exercising both paths through the unified
+// batch engine.
+func newSweepService(n int) *solve.Service {
+	return solve.NewService(solve.Config{Workers: parallel.Workers(n)})
+}
+
+// batchReports runs the requests through a sweep service and unwraps the
+// per-item errors (lowest index wins, matching parallel.ForEach's contract).
+func batchReports(svc *solve.Service, reqs []solve.Request) ([]*solve.Report, error) {
+	results := svc.SolveBatch(context.Background(), reqs)
+	reports := make([]*solve.Report, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		reports[r.Index] = r.Report
+	}
+	return reports, nil
+}
 
 // Table is a generic experiment result: a title, column headers and rows of
 // stringified cells, renderable as an aligned ASCII table.
@@ -237,6 +261,10 @@ func Figure10Sweep(family string, sizes []int, seed int64) (*Figure10Result, err
 	slowParams := core.DefaultParams().WithGBW(10e9)
 	fastParams := core.DefaultParams().WithGBW(50e9)
 	gbwScale := fastParams.SettleTimePerWave() / slowParams.SettleTimePerWave()
+	// Instance generation fans out over the worker pool (deterministic: each
+	// index owns its seed), then the substrate solves go through the unified
+	// batch service as one request per instance — every instance has its own
+	// fingerprint, so the sweep measures distinct solves, not cache hits.
 	err := parallel.ForEach(len(sizes), func(idx int) error {
 		n := sizes[idx]
 		var p rmat.Params
@@ -250,26 +278,31 @@ func Figure10Sweep(family string, sizes []int, seed int64) (*Figure10Result, err
 			return err
 		}
 		graphs[idx] = g
-
-		slow, err := core.NewSolver(slowParams)
-		if err != nil {
-			return err
-		}
-		rSlow, err := slow.Solve(g)
-		if err != nil {
-			return err
-		}
-		rows[idx] = Figure10Row{
-			Vertices:      n,
-			Edges:         g.NumEdges(),
-			Circuit10GHz:  rSlow.ConvergenceTime,
-			Circuit50GHz:  rSlow.ConvergenceTime * gbwScale,
-			RelativeError: rSlow.RelativeError,
-		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	reqs := make([]solve.Request, len(sizes))
+	for idx, g := range graphs {
+		prob, err := solve.NewProblem(g, solve.WithParams(slowParams))
+		if err != nil {
+			return nil, err
+		}
+		reqs[idx] = solve.Request{Solver: "behavioral", Problem: prob}
+	}
+	reports, err := batchReports(newSweepService(len(reqs)), reqs)
+	if err != nil {
+		return nil, err
+	}
+	for idx, rep := range reports {
+		rows[idx] = Figure10Row{
+			Vertices:      sizes[idx],
+			Edges:         graphs[idx].NumEdges(),
+			Circuit10GHz:  rep.ConvergenceTime,
+			Circuit50GHz:  rep.ConvergenceTime * gbwScale,
+			RelativeError: rep.RelativeError,
+		}
 	}
 	// Serial pass: the CPU baseline, timed on this host with the input
 	// already in memory (the paper likewise excludes I/O).
@@ -336,13 +369,14 @@ func PowerAnalysis() (*Table, error) {
 			fmt.Sprintf("%d", row.MaxEdges),
 		})
 	}
-	// Representative energy comparison on a mid-sized sparse instance.
+	// Representative energy comparison on a mid-sized sparse instance,
+	// solved through the unified registry.
 	g := rmat.MustGenerate(rmat.SparseParams(512, 7))
-	solver, err := core.NewSolver(core.DefaultParams())
+	prob, err := solve.NewProblem(g, solve.WithParams(core.DefaultParams()))
 	if err != nil {
 		return nil, err
 	}
-	res, err := solver.Solve(g)
+	res, err := solve.DefaultRegistry().Solve(context.Background(), "behavioral", prob)
 	if err != nil {
 		return nil, err
 	}
@@ -447,31 +481,33 @@ func VariationSweep(seed int64) (*Table, error) {
 			config{sigma, true, true, "matched + tuned"},
 		)
 	}
-	rows := make([][]string, len(configs))
-	err := parallel.ForEach(len(configs), func(idx int) error {
-		cfg := configs[idx]
+	// One request per configuration, fanned out through the unified batch
+	// service; every configuration carries its own parameter set (and hence
+	// its own fingerprint), so the sweep rows are independent solves.
+	reqs := make([]solve.Request, len(configs))
+	for idx, cfg := range configs {
 		p := core.DefaultParams()
 		p.Seed = seed
 		p.Variation = variation.Profile{GlobalSigma: 0.25, MismatchSigma: cfg.sigma, Seed: seed}
 		p.MatchedLayout = cfg.matched
 		p.PostFabTuning = cfg.tuned
-		solver, err := core.NewSolver(p)
+		prob, err := solve.NewProblem(g, solve.WithParams(p))
 		if err != nil {
-			return err
+			return nil, err
 		}
-		res, err := solver.Solve(g)
-		if err != nil {
-			return err
-		}
-		rows[idx] = []string{
-			fmt.Sprintf("%.0f%%", 100*cfg.sigma),
-			cfg.label,
-			fmt.Sprintf("%.1f%%", 100*res.RelativeError),
-		}
-		return nil
-	})
+		reqs[idx] = solve.Request{Solver: "behavioral", Problem: prob}
+	}
+	reports, err := batchReports(newSweepService(len(reqs)), reqs)
 	if err != nil {
 		return nil, err
+	}
+	rows := make([][]string, len(configs))
+	for idx, rep := range reports {
+		rows[idx] = []string{
+			fmt.Sprintf("%.0f%%", 100*configs[idx].sigma),
+			configs[idx].label,
+			fmt.Sprintf("%.1f%%", 100*rep.RelativeError),
+		}
 	}
 	t.Rows = rows
 	t.Notes = append(t.Notes, "the solution depends only on resistance ratios (Section 4.3.1), so the 25% global tolerance never appears — only mismatch does")

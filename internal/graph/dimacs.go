@@ -78,8 +78,14 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 			}
 			switch fields[2] {
 			case "s":
+				if source >= 0 {
+					return nil, fmt.Errorf("dimacs line %d: duplicate source designator (already vertex %d)", lineNo, source+1)
+				}
 				source = v - 1
 			case "t":
+				if sink >= 0 {
+					return nil, fmt.Errorf("dimacs line %d: duplicate sink designator (already vertex %d)", lineNo, sink+1)
+				}
 				sink = v - 1
 			default:
 				return nil, fmt.Errorf("dimacs line %d: unknown node designator %q", lineNo, fields[2])

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mustRead(t *testing.T, text string) *Graph {
+	t.Helper()
+	g, err := ReadDIMACS(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReadDIMACSValid(t *testing.T) {
+	g := mustRead(t, "c comment\np max 4 3\nn 1 s\nn 4 t\na 1 2 2\na 2 3 1.5\na 3 4 1\n")
+	if g.NumVertices() != 4 || g.NumEdges() != 3 || g.Source() != 0 || g.Sink() != 3 {
+		t.Fatalf("parsed wrong shape: %v", g)
+	}
+	if c := g.Edge(1).Capacity; c != 1.5 {
+		t.Errorf("edge 1 capacity %g, want 1.5", c)
+	}
+}
+
+// TestReadDIMACSErrorPaths walks the malformed-input space: truncated files,
+// arc-count mismatches, duplicate terminal designators, and field-level
+// garbage.  Each case must fail with a descriptive error, never a panic or a
+// silently wrong graph.
+func TestReadDIMACSErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		text    string
+		wantSub string
+	}{
+		{"empty file", "", "missing problem line"},
+		{"truncated: no terminals", "p max 4 1\na 1 2 3\n", "missing source or sink"},
+		{"truncated: missing sink", "p max 4 1\nn 1 s\na 1 2 3\n", "missing source or sink"},
+		{"truncated: declared arcs missing", "p max 4 3\nn 1 s\nn 4 t\na 1 2 2\n", "declares 3 arcs, found 1"},
+		{"too many arcs", "p max 3 1\nn 1 s\nn 3 t\na 1 2 1\na 2 3 1\n", "declares 1 arcs, found 2"},
+		{"duplicate source", "p max 4 3\nn 1 s\nn 2 s\nn 4 t\na 1 2 2\na 2 3 1\na 3 4 1\n", "duplicate source"},
+		{"duplicate sink", "p max 4 3\nn 1 s\nn 4 t\nn 3 t\na 1 2 2\na 2 3 1\na 3 4 1\n", "duplicate sink"},
+		{"malformed problem line", "p max 4\n", "malformed problem line"},
+		{"non-max problem", "p asn 4 3\n", "malformed problem line"},
+		{"bad vertex count", "p max 1 0\n", "bad problem sizes"},
+		{"negative arc count", "p max 4 -1\n", "bad problem sizes"},
+		{"bad node id", "p max 4 0\nn zero s\n", "bad vertex id"},
+		{"unknown designator", "p max 4 0\nn 1 x\n", "unknown node designator"},
+		{"malformed arc", "p max 4 1\nn 1 s\nn 4 t\na 1 2\n", "malformed arc"},
+		{"bad arc fields", "p max 4 1\nn 1 s\nn 4 t\na 1 two 3\n", "bad arc fields"},
+		{"arc out of range", "p max 4 1\nn 1 s\nn 4 t\na 1 9 3\n", "out of range"},
+		{"negative capacity", "p max 4 1\nn 1 s\nn 4 t\na 1 2 -3\n", "negative"},
+		{"self loop arc", "p max 4 1\nn 1 s\nn 4 t\na 2 2 3\n", "self loop"},
+		{"source equals sink", "p max 3 1\nn 1 s\nn 1 t\na 1 2 5\n", "source and sink must differ"},
+		{"unknown record", "p max 4 0\nn 1 s\nn 4 t\nz whatever\n", "unknown record type"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadDIMACS(strings.NewReader(tc.text))
+			if err == nil {
+				t.Fatalf("accepted malformed input %q", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestDIMACSRoundTripExtended writes instances out and reads them back,
+// requiring an identical graph (shape, terminals, edge order, capacities);
+// it extends the basic round trip in graph_test.go with parallel edges and
+// fractional capacities.
+func TestDIMACSRoundTripExtended(t *testing.T) {
+	graphs := map[string]*Graph{
+		"figure5":  PaperFigure5(),
+		"figure15": PaperFigure15(),
+	}
+	// An instance with parallel edges and a fractional capacity.
+	multi := MustNew(3, 0, 2)
+	multi.MustAddEdge(0, 1, 2.25)
+	multi.MustAddEdge(0, 1, 1)
+	multi.MustAddEdge(1, 2, 3)
+	graphs["parallel-edges"] = multi
+
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteDIMACS(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadDIMACS(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("re-reading written instance: %v\n%s", err, buf.String())
+			}
+			if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() ||
+				back.Source() != g.Source() || back.Sink() != g.Sink() {
+				t.Fatalf("round trip changed shape: %v -> %v", g, back)
+			}
+			for i := 0; i < g.NumEdges(); i++ {
+				a, b := g.Edge(i), back.Edge(i)
+				if a != b {
+					t.Errorf("edge %d changed: %+v -> %+v", i, a, b)
+				}
+			}
+		})
+	}
+}

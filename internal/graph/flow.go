@@ -103,10 +103,16 @@ func (f *Flow) CheckFeasibility(g *Graph) FeasibilityReport {
 // paper plots on the right axis of Figure 10.  If reference is zero the
 // absolute difference is returned.
 func (f *Flow) RelativeError(reference float64) float64 {
+	return RelativeError(f.Value, reference)
+}
+
+// RelativeError is the scalar form of Flow.RelativeError, shared by every
+// layer that reports solution quality against a reference value.
+func RelativeError(got, reference float64) float64 {
 	if reference == 0 {
-		return math.Abs(f.Value)
+		return math.Abs(got)
 	}
-	return math.Abs(f.Value-reference) / math.Abs(reference)
+	return math.Abs(got-reference) / math.Abs(reference)
 }
 
 // Cut is an s-t cut: a partition of the vertices into a source side and a sink

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 
 	"analogflow/internal/graph"
@@ -67,11 +68,17 @@ func MaxFlowProblem(g *graph.Graph) (*Problem, error) {
 // SolveMaxFlowLP formulates and solves the max-flow LP, returning the optimal
 // flow in graph.Flow form.
 func SolveMaxFlowLP(g *graph.Graph) (*graph.Flow, error) {
+	return SolveMaxFlowLPContext(context.Background(), g)
+}
+
+// SolveMaxFlowLPContext is SolveMaxFlowLP with cooperative cancellation
+// threaded into the simplex pivot loop.
+func SolveMaxFlowLPContext(ctx context.Context, g *graph.Graph) (*graph.Flow, error) {
 	p, err := MaxFlowProblem(g)
 	if err != nil {
 		return nil, err
 	}
-	res, err := Solve(p)
+	res, err := SolveContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}

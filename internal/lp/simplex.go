@@ -11,6 +11,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -72,6 +73,13 @@ const eps = 1e-9
 // form tableau.  Negative right-hand sides are handled by a preliminary
 // dual-feasibility phase (a simple big-M construction).
 func Solve(p *Problem) (*Result, error) {
+	return SolveContext(context.Background(), p)
+}
+
+// SolveContext is Solve with cooperative cancellation, checked every few
+// simplex pivots so that long tableau runs abort promptly when the caller's
+// context is cancelled or its deadline expires.
+func SolveContext(ctx context.Context, p *Problem) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -140,6 +148,11 @@ func Solve(p *Problem) (*Result, error) {
 	res := &Result{}
 	maxIter := 5000 * (m + n)
 	for iter := 0; iter < maxIter; iter++ {
+		if iter&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Entering variable: most negative reduced cost (Dantzig rule with
 		// Bland fallback every 100 iterations to avoid cycling).
 		pivotCol := -1

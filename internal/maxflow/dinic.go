@@ -1,6 +1,8 @@
 package maxflow
 
 import (
+	"context"
+
 	"analogflow/internal/graph"
 )
 
@@ -9,6 +11,14 @@ import (
 // reference solver used to compute the "optimal solution" against which the
 // paper's Figure 10 relative errors are measured.
 func SolveDinic(g *graph.Graph) (*graph.Flow, error) {
+	return SolveDinicContext(context.Background(), g)
+}
+
+// SolveDinicContext is SolveDinic with cooperative cancellation: the context
+// is checked once per blocking-flow phase (there are at most O(V) phases), so
+// a cancelled or expired context aborts the solve between phases and returns
+// the context's error.
+func SolveDinicContext(ctx context.Context, g *graph.Graph) (*graph.Flow, error) {
 	if err := checkSolvable(g); err != nil {
 		return nil, err
 	}
@@ -18,7 +28,13 @@ func SolveDinic(g *graph.Graph) (*graph.Flow, error) {
 	iter := make([]int, r.n)
 	queue := make([]int, 0, r.n)
 
-	for dinicBFS(r, level, queue, eps) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !dinicBFS(r, level, queue, eps) {
+			break
+		}
 		copy(iter, r.off[:r.n])
 		for {
 			pushed := dinicDFS(r, level, iter, r.s, inf, eps)
@@ -86,6 +102,12 @@ func dinicDFS(r *residual, level, iter []int, v int, limit, eps float64) float64
 // the package and serves as an independent cross-check of the other two in
 // the property-based tests.
 func SolveEdmondsKarp(g *graph.Graph) (*graph.Flow, error) {
+	return SolveEdmondsKarpContext(context.Background(), g)
+}
+
+// SolveEdmondsKarpContext is SolveEdmondsKarp with cooperative cancellation,
+// checked once per augmenting-path iteration.
+func SolveEdmondsKarpContext(ctx context.Context, g *graph.Graph) (*graph.Flow, error) {
 	if err := checkSolvable(g); err != nil {
 		return nil, err
 	}
@@ -94,6 +116,9 @@ func SolveEdmondsKarp(g *graph.Graph) (*graph.Flow, error) {
 	parentArc := make([]int, r.n)
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// BFS for an augmenting path.
 		for i := range parentArc {
 			parentArc[i] = -1

@@ -1,6 +1,8 @@
 package maxflow
 
 import (
+	"context"
+
 	"analogflow/internal/graph"
 )
 
@@ -9,11 +11,23 @@ import (
 // periodic global relabelling — the configuration typically used by the
 // reference implementations the paper benchmarks against.
 func SolvePushRelabel(g *graph.Graph) (*graph.Flow, error) {
+	return SolvePushRelabelContext(context.Background(), g)
+}
+
+// SolvePushRelabelContext is SolvePushRelabel with cooperative cancellation,
+// checked every few thousand discharge operations so the per-operation cost
+// stays negligible while cancellation still lands promptly.
+func SolvePushRelabelContext(ctx context.Context, g *graph.Graph) (*graph.Flow, error) {
 	if err := checkSolvable(g); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pr := newPushRelabelState(g)
-	pr.run()
+	if err := pr.run(ctx); err != nil {
+		return nil, err
+	}
 	return pr.r.flow(), nil
 }
 
@@ -60,7 +74,7 @@ func newPushRelabelState(g *graph.Graph) *pushRelabelState {
 	return st
 }
 
-func (st *pushRelabelState) run() {
+func (st *pushRelabelState) run(ctx context.Context) error {
 	r := st.r
 	n := r.n
 	// Initialise: source at height n, saturate all source-adjacent arcs.
@@ -84,7 +98,14 @@ func (st *pushRelabelState) run() {
 	}
 	st.globalRelabel()
 
+	discharges := 0
 	for st.qhead < len(st.active) {
+		discharges++
+		if discharges&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		v := st.active[st.qhead]
 		st.qhead++
 		if st.qhead > 1024 && st.qhead*2 > len(st.active) {
@@ -98,6 +119,7 @@ func (st *pushRelabelState) run() {
 			st.relabelSinceGlobal = 0
 		}
 	}
+	return nil
 }
 
 // enqueue marks v active if it carries excess and is neither terminal.

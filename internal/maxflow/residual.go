@@ -7,6 +7,7 @@
 package maxflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,13 +47,19 @@ var ErrUnknownAlgorithm = errors.New("maxflow: unknown algorithm")
 
 // Solve runs the selected algorithm on g and returns the resulting flow.
 func Solve(g *graph.Graph, alg Algorithm) (*graph.Flow, error) {
+	return SolveContext(context.Background(), g, alg)
+}
+
+// SolveContext runs the selected algorithm with cooperative cancellation; see
+// the per-algorithm Context variants for where the context is checked.
+func SolveContext(ctx context.Context, g *graph.Graph, alg Algorithm) (*graph.Flow, error) {
 	switch alg {
 	case PushRelabel:
-		return SolvePushRelabel(g)
+		return SolvePushRelabelContext(ctx, g)
 	case Dinic:
-		return SolveDinic(g)
+		return SolveDinicContext(ctx, g)
 	case EdmondsKarp:
-		return SolveEdmondsKarp(g)
+		return SolveEdmondsKarpContext(ctx, g)
 	default:
 		return nil, ErrUnknownAlgorithm
 	}
@@ -214,7 +221,12 @@ func MinCut(g *graph.Graph, f *graph.Flow) (*graph.Cut, error) {
 // strongly polynomial) and returns only the flow value.  The analog-substrate
 // experiments use it as the reference for relative-error measurements.
 func OptimalValue(g *graph.Graph) (float64, error) {
-	f, err := SolveDinic(g)
+	return OptimalValueContext(context.Background(), g)
+}
+
+// OptimalValueContext is OptimalValue with cooperative cancellation.
+func OptimalValueContext(ctx context.Context, g *graph.Graph) (float64, error) {
+	f, err := SolveDinicContext(ctx, g)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,61 @@
+package mna
+
+import (
+	"errors"
+	"testing"
+
+	"analogflow/internal/circuit"
+	"analogflow/internal/device"
+)
+
+// interruptTestNetlist builds a small nonlinear circuit (diode clamp) so the
+// Newton loop actually iterates.
+func interruptTestNetlist() *circuit.Netlist {
+	nl := circuit.NewNetlist()
+	a := nl.AddNode("a")
+	nl.Add(circuit.NewVoltageSource("V", a, circuit.Ground, circuit.DC{Value: 2}))
+	b := nl.AddNode("b")
+	nl.Add(circuit.NewResistor("R", a, b, 1e3))
+	nl.Add(circuit.NewDiode("D", b, circuit.Ground, device.DefaultDiode()))
+	return nl
+}
+
+// TestInterruptAbortsNewton pins the cancellation hook: a poll that reports
+// an error must abort the solve with exactly that error, before the
+// iteration budget is consumed.
+func TestInterruptAbortsNewton(t *testing.T) {
+	e, err := NewEngine(interruptTestNetlist(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop now")
+	calls := 0
+	e.SetInterrupt(func() error {
+		calls++
+		if calls >= 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if _, err := e.OperatingPoint(0); !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel error, got %v", err)
+	}
+
+	// Clearing the hook restores normal solves on the same engine.
+	e.SetInterrupt(nil)
+	if _, err := e.OperatingPoint(0); err != nil {
+		t.Fatalf("solve after clearing interrupt failed: %v", err)
+	}
+}
+
+// TestInterruptNilByDefault pins that an engine without a hook solves as
+// before.
+func TestInterruptNilByDefault(t *testing.T) {
+	e, err := NewEngine(interruptTestNetlist(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.OperatingPoint(0); err != nil {
+		t.Fatal(err)
+	}
+}

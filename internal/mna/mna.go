@@ -110,6 +110,11 @@ type Engine struct {
 	xFull     []float64 // Newton direction target (solution of the linear system)
 	cand      []float64 // line-search candidate
 	resid     []float64 // scratch for residual norms
+
+	// interrupt, when non-nil, is polled at the top of every Newton
+	// iteration; a non-nil return aborts the solve with that error.  It is
+	// how context cancellation reaches the inner loops (SetInterrupt).
+	interrupt func() error
 }
 
 // ErrNoConvergence is returned when Newton iteration fails to converge.
@@ -177,6 +182,22 @@ func (e *Engine) BranchBase(i int) int { return e.branchOf[i] }
 
 // Stats returns the cumulative linear-algebra work counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// SetInterrupt installs (or clears, with nil) a cancellation poll that every
+// Newton iteration checks before doing any work.  Callers that thread a
+// context.Context through a solve install `ctx.Err` here; the engine returns
+// the poll's error unwrapped so errors.Is(err, context.Canceled) works.
+// SetInterrupt must not be called while a solve is in flight (an Engine is
+// not safe for concurrent use anyway).
+func (e *Engine) SetInterrupt(poll func() error) { e.interrupt = poll }
+
+// checkInterrupt polls the installed cancellation hook.
+func (e *Engine) checkInterrupt() error {
+	if e.interrupt == nil {
+		return nil
+	}
+	return e.interrupt()
+}
 
 // Solution is a solved operating point or time point.
 type Solution struct {
@@ -313,6 +334,9 @@ func (e *Engine) solvePointScaled(xGuess, xPrev []float64, t, dt, srcScale float
 		currentRes = e.residualOf(cur, x)
 	}
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := e.checkInterrupt(); err != nil {
+			return nil, err
+		}
 		if !haveSystem {
 			e.assembleInto(cur, x, xPrev, t, dt, srcScale)
 		}
@@ -422,6 +446,9 @@ func (e *Engine) solvePointScaledNoReuse(xGuess, xPrev []float64, t, dt, srcScal
 		currentRes = residualAt(x)
 	}
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := e.checkInterrupt(); err != nil {
+			return nil, err
+		}
 		a, b := e.assembleFresh(x, xPrev, t, dt, srcScale)
 		lu, err := numeric.FactorizeSparse(a)
 		if err == nil {

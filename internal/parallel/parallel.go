@@ -43,10 +43,23 @@ func Workers(n int) int {
 // failures; the returned error is the lowest-index non-nil error, so the
 // choice of worker count never changes which error the caller sees.
 func ForEach(n int, fn func(i int) error) error {
+	return ForEachLimit(n, 0, fn)
+}
+
+// ForEachLimit is ForEach with an explicit worker bound for this call only:
+// workers <= 0 falls back to the package default (SetLimit / GOMAXPROCS).
+// It exists for callers that manage their own concurrency budget — the batch
+// service in internal/solve caps its in-flight solves per service instance
+// rather than process-wide.
+func ForEachLimit(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	workers := Workers(n)
+	if workers <= 0 {
+		workers = Workers(n)
+	} else if workers > n {
+		workers = n
+	}
 	if workers == 1 {
 		var first error
 		for i := 0; i < n; i++ {
@@ -56,6 +69,10 @@ func ForEach(n int, fn func(i int) error) error {
 		}
 		return first
 	}
+	return runPool(n, workers, fn)
+}
+
+func runPool(n, workers int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup

@@ -1,0 +1,170 @@
+package solve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+
+	"analogflow/internal/core"
+	"analogflow/internal/decompose"
+	"analogflow/internal/graph"
+)
+
+// ValidationError is the typed error every Problem constructor returns for a
+// structurally invalid instance or configuration.  It wraps the underlying
+// cause (e.g. graph.ErrSameSourceSink), so errors.Is works through it.
+type ValidationError struct {
+	// Reason is a short description of what was invalid.
+	Reason string
+	// Err is the underlying cause, when one exists.
+	Err error
+}
+
+func (e *ValidationError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("solve: invalid problem: %s: %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("solve: invalid problem: %s", e.Reason)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// invalid builds a ValidationError.
+func invalid(reason string, err error) *ValidationError {
+	return &ValidationError{Reason: reason, Err: err}
+}
+
+// Problem is one validated max-flow instance plus the configuration every
+// backend shares.  A Problem owns the staged preprocessing pipeline (see
+// pipeline.go): its artifacts are computed lazily, exactly once, and shared
+// by all backends that solve the problem.
+//
+// A Problem is immutable after construction and safe for concurrent use.
+type Problem struct {
+	g      *graph.Graph
+	params core.Params
+	dec    decompose.Options
+
+	pipe pipeline
+}
+
+// Option configures a Problem at construction time.
+type Option func(*Problem)
+
+// WithParams sets the analog-substrate parameters (quantization scheme,
+// variation profile, crossbar, pruning flag).  The mode field is ignored:
+// each analog backend forces its own mode.
+func WithParams(p core.Params) Option {
+	return func(pr *Problem) { pr.params = p }
+}
+
+// WithDecomposeOptions sets the options used by the "decompose" backend.
+func WithDecomposeOptions(o decompose.Options) Option {
+	return func(pr *Problem) { pr.dec = o }
+}
+
+// NewProblem validates g and the configuration and returns the problem.
+// All structural defects — a nil graph, a graph whose source equals its sink
+// (graph.ErrSameSourceSink), out-of-range endpoints, negative capacities,
+// inconsistent parameters — surface here as a *ValidationError, so backends
+// can assume a well-formed instance.
+func NewProblem(g *graph.Graph, opts ...Option) (*Problem, error) {
+	p := &Problem{
+		g:      g,
+		params: core.DefaultParams(),
+		dec:    decompose.DefaultOptions(),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	if g == nil {
+		return nil, invalid("nil graph", nil)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, invalid("graph validation failed", err)
+	}
+	if err := p.params.Validate(); err != nil {
+		return nil, invalid("substrate parameters", err)
+	}
+	if err := p.dec.Validate(); err != nil {
+		return nil, invalid("decompose options", err)
+	}
+	return p, nil
+}
+
+// FromDIMACS is the parse stage of the pipeline for on-the-wire instances:
+// it reads a DIMACS max-flow instance and validates it into a Problem.
+func FromDIMACS(r io.Reader, opts ...Option) (*Problem, error) {
+	g, err := graph.ReadDIMACS(r)
+	if err != nil {
+		return nil, invalid("DIMACS parse failed", err)
+	}
+	return NewProblem(g, opts...)
+}
+
+// Graph returns the problem's graph.  Callers must not mutate it.
+func (p *Problem) Graph() *graph.Graph { return p.g }
+
+// Params returns the analog-substrate parameters.
+func (p *Problem) Params() core.Params { return p.params }
+
+// DecomposeOptions returns the decomposition backend's options.
+func (p *Problem) DecomposeOptions() decompose.Options { return p.dec }
+
+// fingerprintNonce makes problems carrying non-content-hashable
+// configuration (function-valued hooks) unique instead of wrongly shared.
+var fingerprintNonce atomic.Int64
+
+// Fingerprint returns a content hash identifying the problem for instance
+// caching: two problems with the same graph (vertices, terminals, edge list
+// with capacities) and the same configuration share a fingerprint.  The
+// configuration part hashes the rendered parameter struct, so it is stable
+// within a process — which is all the in-memory instance cache needs.
+// Function-valued hooks (builder.Options.PerturbResistance) have no
+// comparable content; a problem carrying one gets a process-unique
+// fingerprint so the warm-instance cache can never alias two different
+// perturbation closures.
+func (p *Problem) Fingerprint() string {
+	p.pipe.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		writeInt := func(v int) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		writeFloat := func(f float64) {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+			h.Write(buf[:])
+		}
+		writeInt(p.g.NumVertices())
+		writeInt(p.g.Source())
+		writeInt(p.g.Sink())
+		writeInt(p.g.NumEdges())
+		for i := 0; i < p.g.NumEdges(); i++ {
+			e := p.g.Edge(i)
+			writeInt(e.From)
+			writeInt(e.To)
+			writeFloat(e.Capacity)
+		}
+		params := p.params
+		// The mode field is ignored by WithParams (each analog backend
+		// forces its own); hashing it would fragment the warm-instance
+		// cache between otherwise identical problems.
+		params.Mode = core.ModeBehavioral
+		if params.Builder.PerturbResistance != nil {
+			// %+v would render the closure as a heap address, which both
+			// defeats sharing and — worse — could alias after reuse.
+			params.Builder.PerturbResistance = nil
+			fmt.Fprintf(h, "|uniq:%d", fingerprintNonce.Add(1))
+		}
+		fmt.Fprintf(h, "|params:%+v", params)
+		fmt.Fprintf(h, "|dec:%d:%g:%g", p.dec.MaxIterations, p.dec.StepSize, p.dec.Tolerance)
+		p.pipe.fp = hex.EncodeToString(h.Sum(nil)[:16])
+	})
+	return p.pipe.fp
+}

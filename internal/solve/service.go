@@ -1,0 +1,291 @@
+package solve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"analogflow/internal/parallel"
+)
+
+// Config configures a Service.
+type Config struct {
+	// Registry resolves solver names; nil selects DefaultRegistry().
+	Registry *Registry
+	// Workers bounds the number of concurrently executing solves per batch;
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// MaxCachedInstances bounds the warm-instance cache; <= 0 selects 64.
+	// When the bound is exceeded the least-recently-used instance is
+	// evicted (its engine and factorisations are garbage once no in-flight
+	// solve still holds it).
+	MaxCachedInstances int
+}
+
+// Service is the concurrent batch engine on top of the registry: it fans a
+// batch of requests across a bounded worker pool (internal/parallel) and
+// caches one warm Instance per (problem fingerprint, solver) pair, so that
+// repeated solves of the same instance reuse the same core.Session — and,
+// in circuit mode, the same mna.Engine, whose cached symbolic LU turns every
+// solve after the first into numeric-only refactorizations.
+//
+// The Workers bound is service-wide: a semaphore caps in-flight solves
+// across every concurrent Solve and SolveBatch call, so N parallel batches
+// against one service still execute at most Workers solves at a time (the
+// contract analogflowd's -workers flag exposes).
+//
+// A Service is safe for concurrent use.
+type Service struct {
+	reg       *Registry
+	workers   int
+	maxCached int
+	slots     chan struct{} // service-wide in-flight solve semaphore
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+	tick  int64
+
+	requests  atomic.Int64
+	errors    atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	inFlight  atomic.Int64
+	completed atomic.Int64
+}
+
+// cacheEntry is one warm instance slot.  The sync.Once makes instance
+// construction race-free without holding the service lock across the
+// (potentially expensive) preprocessing.
+type cacheEntry struct {
+	once    sync.Once
+	inst    Instance
+	err     error
+	lastUse atomic.Int64
+}
+
+// NewService builds a service from the configuration.
+func NewService(cfg Config) *Service {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxCached := cfg.MaxCachedInstances
+	if maxCached <= 0 {
+		maxCached = 64
+	}
+	return &Service{
+		reg:       reg,
+		workers:   workers,
+		maxCached: maxCached,
+		slots:     make(chan struct{}, workers),
+		cache:     make(map[string]*cacheEntry),
+	}
+}
+
+// Registry returns the registry the service resolves names against.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	// Requests counts Solve calls (batch items included); Errors the subset
+	// that failed; Completed the subset that finished either way.
+	Requests  int64 `json:"requests"`
+	Errors    int64 `json:"errors"`
+	Completed int64 `json:"completed"`
+	// CacheHits / CacheMisses count warm-instance lookups.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CachedInstances is the current cache population, InFlight the solves
+	// currently executing.
+	CachedInstances int   `json:"cached_instances"`
+	InFlight        int64 `json:"in_flight"`
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	cached := len(s.cache)
+	s.mu.Unlock()
+	return Stats{
+		Requests:        s.requests.Load(),
+		Errors:          s.errors.Load(),
+		Completed:       s.completed.Load(),
+		CacheHits:       s.hits.Load(),
+		CacheMisses:     s.misses.Load(),
+		CachedInstances: cached,
+		InFlight:        s.inFlight.Load(),
+	}
+}
+
+// Request is one unit of batch work.
+type Request struct {
+	// Solver is the registry name of the backend to run.
+	Solver string
+	// Problem is the instance to solve.
+	Problem *Problem
+}
+
+// BatchResult pairs a request index with its outcome.
+type BatchResult struct {
+	Index  int
+	Report *Report
+	Err    error
+}
+
+// Solve runs one request, going through the warm-instance cache when the
+// backend supports it.  The call waits for a free service-wide worker slot
+// (or the context) before executing.
+func (s *Service) Solve(ctx context.Context, req Request) (*Report, error) {
+	s.requests.Add(1)
+	var rep *Report
+	var err error
+	select {
+	case s.slots <- struct{}{}:
+		s.inFlight.Add(1)
+		rep, err = s.solve(ctx, req)
+		s.inFlight.Add(-1)
+		<-s.slots
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.completed.Add(1)
+	if err != nil {
+		s.errors.Add(1)
+	}
+	return rep, err
+}
+
+func (s *Service) solve(ctx context.Context, req Request) (*Report, error) {
+	if req.Problem == nil {
+		return nil, fmt.Errorf("solve: nil problem")
+	}
+	sol, err := s.reg.Get(req.Solver)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var rep *Report
+	if w, ok := sol.(Warmable); ok {
+		inst, err := s.instance(w, req.Problem)
+		if err != nil {
+			return nil, err
+		}
+		rep, err = inst.Solve(ctx)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rep, err = sol.Solve(ctx, req.Problem)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.Solver = sol.Name()
+	if rep.WallTime == 0 {
+		rep.WallTime = time.Since(start)
+	}
+	return rep, nil
+}
+
+// instance returns the warm instance for the (problem, solver) pair,
+// creating and caching it on first use.
+func (s *Service) instance(w Warmable, p *Problem) (Instance, error) {
+	key := p.Fingerprint() + "|" + w.Name()
+	s.mu.Lock()
+	e, ok := s.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		s.cache[key] = e
+		s.evictLocked(e)
+	}
+	s.tick++
+	e.lastUse.Store(s.tick)
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+
+	e.once.Do(func() { e.inst, e.err = w.NewInstance(p) })
+	if e.err != nil {
+		// A failed construction is not worth caching: drop the entry so a
+		// later (possibly fixed) problem with the same fingerprint retries.
+		s.mu.Lock()
+		if s.cache[key] == e {
+			delete(s.cache, key)
+		}
+		s.mu.Unlock()
+		return nil, e.err
+	}
+	return e.inst, nil
+}
+
+// evictLocked drops least-recently-used entries (never keep) until the cache
+// respects its bound.  Callers hold s.mu.
+func (s *Service) evictLocked(keep *cacheEntry) {
+	for len(s.cache) > s.maxCached {
+		var victimKey string
+		var victim *cacheEntry
+		for k, e := range s.cache {
+			if e == keep {
+				continue
+			}
+			if victim == nil || e.lastUse.Load() < victim.lastUse.Load() {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(s.cache, victimKey)
+	}
+}
+
+// SolveBatch runs every request across the service's bounded worker pool
+// and returns the results in request order.  Item failures are reported per
+// item, never as a batch-level error, so one bad instance cannot sink its
+// batch; a cancelled context fails the not-yet-started items with the
+// context's error.
+func (s *Service) SolveBatch(ctx context.Context, reqs []Request) []BatchResult {
+	return s.SolveBatchFunc(ctx, reqs, nil)
+}
+
+// SolveBatchFunc is SolveBatch with a streaming hook: when onResult is
+// non-nil it is invoked once per completed item, in completion order, from
+// at most one goroutine at a time.  The returned slice is always in request
+// order regardless of completion order or worker count.
+func (s *Service) SolveBatchFunc(ctx context.Context, reqs []Request, onResult func(BatchResult)) []BatchResult {
+	results := make([]BatchResult, len(reqs))
+	var emitMu sync.Mutex
+	_ = parallel.ForEachLimit(len(reqs), s.workers, func(i int) error {
+		var res BatchResult
+		res.Index = i
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			s.requests.Add(1)
+			s.completed.Add(1)
+			s.errors.Add(1)
+		} else {
+			res.Report, res.Err = s.Solve(ctx, reqs[i])
+		}
+		results[i] = res
+		if onResult != nil {
+			emitMu.Lock()
+			onResult(res)
+			emitMu.Unlock()
+		}
+		return nil
+	})
+	return results
+}

@@ -1,0 +1,215 @@
+// Package solve is the unified solver layer of analogflow: one stable
+// Solve(ctx, *Problem) (*Report, error) interface over every max-flow
+// substrate the repository implements — the analog behavioral and circuit
+// models of internal/core, the classical CPU algorithms of internal/maxflow,
+// the LP formulation of internal/lp and the dual decomposition of
+// internal/decompose.
+//
+// The package has three layers:
+//
+//   - Problem / Pipeline: a validated instance plus a staged preprocessing
+//     pipeline (parse → prune-to-s-t-core → quantize → optional decompose)
+//     whose artifacts are computed lazily, exactly once, and shared by every
+//     backend that solves the problem.
+//   - Registry: a name-keyed registry of Solver implementations; the seven
+//     built-in backends are available from DefaultRegistry.
+//   - Service: a bounded-concurrency batch engine with per-fingerprint
+//     instance caching, which keeps one warm core.Session (and hence one
+//     warm mna.Engine) per cached problem so repeated solves hit the
+//     numeric-only refactorization path of internal/mna.
+//
+// Every entry point takes a context.Context; cancellation is threaded down
+// into the Newton iterations of the circuit engine, the augmenting-path
+// loops of the combinatorial algorithms and the simplex pivot loop.
+package solve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"analogflow/internal/graph"
+)
+
+// Solver is one max-flow backend behind the unified interface.
+type Solver interface {
+	// Name is the registry key, e.g. "dinic" or "behavioral".
+	Name() string
+	// Describe returns a one-line human-readable description.
+	Describe() string
+	// Solve runs the backend on the problem.  Implementations must honour
+	// context cancellation and must not mutate the problem's graph.
+	Solve(ctx context.Context, p *Problem) (*Report, error)
+}
+
+// Instance is a warm, problem-bound solver created by a Warmable backend.
+// Instances may cache arbitrary state between solves (preprocessing,
+// circuits, factorisations); they serialise their own solves and are safe
+// for concurrent use.
+type Instance interface {
+	Solve(ctx context.Context) (*Report, error)
+}
+
+// Warmable is implemented by backends that benefit from per-problem state
+// reuse across repeated solves.  The batch service caches one Instance per
+// (problem fingerprint, solver) pair.
+type Warmable interface {
+	Solver
+	NewInstance(p *Problem) (Instance, error)
+}
+
+// Report is the unified outcome of one solve — a superset of core.Result's
+// metrics so that every backend can be compared field by field.  Fields that
+// a backend does not produce are left at their zero value.
+type Report struct {
+	// Solver is the registry name of the backend that produced the report.
+	Solver string `json:"solver"`
+	// FlowValue is the flow value the backend reported, in original
+	// capacity units.
+	FlowValue float64 `json:"flow_value"`
+	// ExactValue is the exact maximum flow of the instance (computed once
+	// per problem with Dinic's algorithm on the s-t core) and RelativeError
+	// the deviation of FlowValue from it.
+	ExactValue    float64 `json:"exact_value"`
+	RelativeError float64 `json:"relative_error"`
+	// EdgeFlows is the per-edge flow on the original graph's edge indexing,
+	// when the backend recovers one (the decomposition reports only a value).
+	EdgeFlows []float64 `json:"edge_flows,omitempty"`
+	// ConvergenceTime, ProgrammingTime, SubstratePower, Energy and Waves are
+	// the analog-substrate metrics of core.Result (analog backends only).
+	ConvergenceTime float64 `json:"convergence_time,omitempty"`
+	ProgrammingTime float64 `json:"programming_time,omitempty"`
+	SubstratePower  float64 `json:"substrate_power,omitempty"`
+	Energy          float64 `json:"energy,omitempty"`
+	Waves           int     `json:"waves,omitempty"`
+	// PrunedVertices / PrunedEdges report the preprocessing reductions that
+	// applied to the backend's input.
+	PrunedVertices int `json:"pruned_vertices,omitempty"`
+	PrunedEdges    int `json:"pruned_edges,omitempty"`
+	// Iterations and Converged describe iterative backends (decompose: outer
+	// multiplier updates; lp: simplex pivots; circuit: Newton iterations are
+	// reported through Waves).
+	Iterations int  `json:"iterations,omitempty"`
+	Converged  bool `json:"converged,omitempty"`
+	// WallTime is the host wall-clock duration of the solver proper —
+	// backends stamp it around their core computation, excluding the
+	// problem's shared lazy preprocessing and the exact-reference solve
+	// that may run on the first request, so cross-backend timings compare
+	// like for like.  It is the one non-deterministic field; comparisons of
+	// otherwise identical runs must ignore it (Normalized strips it).
+	WallTime time.Duration `json:"wall_time_ns"`
+}
+
+// Normalized returns a copy of the report with the non-deterministic
+// wall-clock field zeroed, for report equality comparisons.
+func (r *Report) Normalized() Report {
+	cp := *r
+	cp.WallTime = 0
+	return cp
+}
+
+// flowReport converts a flow on the original graph into the common report
+// fields shared by the exact backends.
+func flowReport(name string, f *graph.Flow) *Report {
+	return &Report{
+		Solver:    name,
+		FlowValue: f.Value,
+		EdgeFlows: append([]float64(nil), f.Edge...),
+	}
+}
+
+// ErrUnknownSolver is returned when a registry lookup fails; the error
+// string names the missing solver.
+var ErrUnknownSolver = errors.New("solve: unknown solver")
+
+// Registry is a name-keyed set of solvers.  The zero value is unusable; use
+// NewRegistry or DefaultRegistry.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Solver
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]Solver)}
+}
+
+// DefaultRegistry returns a fresh registry with the seven built-in backends:
+// behavioral, circuit, dinic, edmonds-karp, push-relabel, lp and decompose.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, s := range builtinSolvers() {
+		if err := r.Register(s); err != nil {
+			panic(err) // built-in names are unique by construction
+		}
+	}
+	return r
+}
+
+// Register adds a solver under its name; duplicate names are rejected.
+func (r *Registry) Register(s Solver) error {
+	if s == nil || s.Name() == "" {
+		return fmt.Errorf("solve: cannot register a nil or unnamed solver")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[s.Name()]; dup {
+		return fmt.Errorf("solve: solver %q already registered", s.Name())
+	}
+	r.m[s.Name()] = s
+	return nil
+}
+
+// Get returns the solver registered under name.
+func (r *Registry) Get(name string) (Solver, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.m[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownSolver, name, r.namesLocked())
+	}
+	return s, nil
+}
+
+// Names returns the registered solver names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Solve looks up the named solver, runs it and stamps the report with the
+// solver name and wall time.  It is the convenience path for one-shot
+// clients (cmd/maxflow); batch traffic should go through Service, which adds
+// instance caching and bounded concurrency.
+func (r *Registry) Solve(ctx context.Context, name string, p *Problem) (*Report, error) {
+	s, err := r.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("solve: nil problem")
+	}
+	start := time.Now()
+	rep, err := s.Solve(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	rep.Solver = s.Name()
+	if rep.WallTime == 0 {
+		rep.WallTime = time.Since(start)
+	}
+	return rep, nil
+}
