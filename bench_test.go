@@ -8,13 +8,16 @@
 package analogflow_bench
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"analogflow/internal/core"
 	"analogflow/internal/experiments"
 	"analogflow/internal/graph"
 	"analogflow/internal/maxflow"
 	"analogflow/internal/rmat"
+	"analogflow/internal/solve"
 )
 
 // BenchmarkTable1Parameters renders the design-parameter table (Table 1).
@@ -179,6 +182,60 @@ func BenchmarkAblationQuantizationLevels(b *testing.B) {
 				}
 				b.ReportMetric(100*res.RelativeError, "rel-err-%")
 			}
+		})
+	}
+}
+
+// BenchmarkUpdateResolve measures the dynamic-graph workload on the Figure 10
+// dense instance (|V|=960): a chain of capacity-only updates re-solved warm
+// through solve.Service.Update against a cold from-scratch solve of every
+// mutated problem, interleaved within each iteration so the two see the same
+// machine state.  It reports the per-step warm and cold times and the
+// speedup; the CI bench smoke job runs it so regressions in the warm path
+// (a lost pattern reuse, a drain that re-solves from scratch) fail loudly.
+func BenchmarkUpdateResolve(b *testing.B) {
+	base := rmat.MustGenerate(rmat.DenseParams(960, 1))
+	params := core.DefaultParams()
+	for _, backend := range []string{"dinic", "push-relabel", "behavioral"} {
+		b.Run(backend, func(b *testing.B) {
+			svc := solve.NewService(solve.Config{Workers: 1})
+			reg := solve.DefaultRegistry()
+			prob, err := solve.NewProblem(base, solve.WithParams(params))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Solve(context.Background(), solve.Request{Solver: backend, Problem: prob, Updatable: true}); err != nil {
+				b.Fatal(err)
+			}
+			var warmTotal, coldTotal time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				upd := experiments.DynamicUpdateStep(prob.Graph(), i)
+				start := time.Now()
+				res, err := svc.Update(context.Background(), solve.UpdateRequest{Solver: backend, Problem: prob, Update: upd})
+				if err != nil {
+					b.Fatal(err)
+				}
+				warmTotal += time.Since(start)
+				prob = res.Problem
+
+				coldProb, err := solve.NewProblem(prob.Graph().Clone(), solve.WithParams(params))
+				if err != nil {
+					b.Fatal(err)
+				}
+				start = time.Now()
+				cold, err := reg.Solve(context.Background(), backend, coldProb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				coldTotal += time.Since(start)
+				if res.Report.FlowValue != cold.FlowValue {
+					b.Fatalf("warm flow %g != cold flow %g at step %d", res.Report.FlowValue, cold.FlowValue, i)
+				}
+			}
+			b.ReportMetric(float64(warmTotal.Nanoseconds())/float64(b.N), "warm-ns/step")
+			b.ReportMetric(float64(coldTotal.Nanoseconds())/float64(b.N), "cold-ns/step")
+			b.ReportMetric(float64(coldTotal)/float64(warmTotal), "speedup")
 		})
 	}
 }

@@ -5,9 +5,12 @@
 //
 // Endpoints:
 //
-//	GET  /v1/solvers   list the registered backends
-//	GET  /v1/healthz   liveness plus service counters
-//	POST /v1/solve     solve a batch; results stream back as NDJSON
+//	GET    /v1/solvers              list the registered backends
+//	GET    /v1/healthz              liveness plus service counters
+//	POST   /v1/solve                solve a batch; results stream back as NDJSON
+//	POST   /v1/sessions             open a long-lived update session (solves the base problem)
+//	POST   /v1/sessions/{id}/update apply capacity-update steps; one NDJSON report per step
+//	DELETE /v1/sessions/{id}        close a session
 //
 // A solve request names one solver and carries one or more problems, each
 // given inline (vertices/source/sink/edges), as DIMACS text, or as an R-MAT
@@ -26,10 +29,19 @@
 //
 // Each result is one NDJSON line {"index":i,"report":{...}} (or
 // {"index":i,"error":"..."}), written as the solve completes; the stream
-// ends with {"done":true,"count":n}.  Identical problems share one warm
-// solver instance across the whole service (see internal/solve), so a
-// benchmark that hammers one fingerprint measures the substrate, not
-// repeated preprocessing.
+// ends with {"done":true,"count":n} — or, when the request is cancelled
+// mid-batch, with an error record instead, so a truncated stream is never
+// mistaken for a complete one.  Identical problems share one warm solver
+// instance across the whole service (see internal/solve), so a benchmark
+// that hammers one fingerprint measures the substrate, not repeated
+// preprocessing.
+//
+// Sessions expose the dynamic-graph workload: POST /v1/sessions opens a
+// chain ({"solver":"dinic","problem":{...}}), POST /v1/sessions/{id}/update
+// applies capacity-only mutations ({"updates":[{"edge":0,"capacity":5}]} or
+// a batched {"steps":[[...],[...]]}) and streams one report per step, each
+// re-solved from the warm instance state (re-stamped circuits, drained
+// residual networks) rather than from scratch.
 package main
 
 import (

@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"analogflow/internal/core"
@@ -18,15 +19,38 @@ import (
 type server struct {
 	svc   *solve.Service
 	start time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int64
+}
+
+// session is one long-lived update chain: a solver bound to the problem at
+// the head of the chain.  Updates are serialised per session; each one routes
+// through solve.Service.Update, so the chain rides the service's warm
+// instance for its fingerprint.
+type session struct {
+	id     string
+	solver string
+
+	mu      sync.Mutex
+	problem *solve.Problem
+	// updates counts the capacity-update steps applied over the session's
+	// lifetime; every update stream's done record reports it.
+	updates int
+	deleted bool
 }
 
 // newHandler wires the API routes; it is the unit the httptest suite drives.
 func newHandler(svc *solve.Service) http.Handler {
-	s := &server{svc: svc, start: time.Now()}
+	s := &server{svc: svc, start: time.Now(), sessions: make(map[string]*session)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solvers", s.handleSolvers)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdate)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	return mux
 }
 
@@ -58,9 +82,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	s.mu.Lock()
+	sessions := len(s.sessions)
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
+		"sessions":       sessions,
 		"stats":          s.svc.Stats(),
 	})
 }
@@ -106,6 +134,10 @@ type solveRequest struct {
 // few-byte generator spec can expand into; and because per-problem caps
 // multiply with the batch length, an aggregate vertex/edge budget is
 // enforced across the whole request while the problems are materialised.
+// Session budgets ride the same philosophy: a session pins a problem (and a
+// warm solver instance) for its whole lifetime, so both the live-session
+// count and the per-update step count are bounded alongside the per-problem
+// size caps that apply at creation.
 const (
 	maxRequestBytes  = 32 << 20
 	maxBatchProblems = 1024
@@ -113,6 +145,8 @@ const (
 	maxRMATEdges     = 8 << 20
 	maxBatchVertices = 4 << 20
 	maxBatchEdges    = 16 << 20
+	maxSessions      = 256
+	maxUpdateSteps   = maxBatchProblems
 )
 
 // buildProblem converts one spec into a validated solve.Problem.
@@ -207,6 +241,10 @@ type streamItem struct {
 	Error  string        `json:"error,omitempty"`
 	Done   bool          `json:"done,omitempty"`
 	Count  int           `json:"count,omitempty"`
+	// Aborted marks the terminal record of a stream truncated by request
+	// cancellation — structurally distinct from a per-item error record, so
+	// clients never have to sniff the error text to tell them apart.
+	Aborted bool `json:"aborted,omitempty"`
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -266,6 +304,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	emitted := 0
 	// SolveBatchFunc serialises onResult calls, so the encoder needs no
 	// extra locking; each completed solve streams out immediately.
 	s.svc.SolveBatchFunc(r.Context(), reqs, func(res solve.BatchResult) {
@@ -275,11 +314,217 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			item.Error = res.Err.Error()
 		}
 		_ = enc.Encode(item)
+		emitted++
 		if flusher != nil {
 			flusher.Flush()
 		}
 	})
+	// The terminal record tells the client whether the stream it read is the
+	// whole batch: {"done":true} only for a completed batch; a cancelled or
+	// expired request ends with an error record instead, so a truncated
+	// stream is never mistaken for a complete one.
+	if err := r.Context().Err(); err != nil {
+		_ = enc.Encode(streamItem{Aborted: true, Error: fmt.Sprintf("stream aborted after %d of %d results: %v", emitted, len(reqs), err), Count: emitted})
+		return
+	}
 	_ = enc.Encode(streamItem{Done: true, Count: len(reqs)})
+}
+
+// --- long-lived update sessions --------------------------------------------
+
+// sessionCreateRequest opens an update session: one solver, one problem.
+type sessionCreateRequest struct {
+	Solver  string      `json:"solver"`
+	Problem problemSpec `json:"problem"`
+	Params  *paramSpec  `json:"params,omitempty"`
+}
+
+// edgeUpdate is one edge mutation of an update step.
+type edgeUpdate struct {
+	Edge     int     `json:"edge"`
+	Capacity float64 `json:"capacity"`
+}
+
+// sessionUpdateRequest carries one or more capacity-update steps.  Each step
+// is one atomic CapacityUpdate applied to the session's current problem; the
+// response streams one NDJSON report per step.  "updates" is shorthand for a
+// single step.
+type sessionUpdateRequest struct {
+	Updates []edgeUpdate   `json:"updates,omitempty"`
+	Steps   [][]edgeUpdate `json:"steps,omitempty"`
+}
+
+func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req sessionCreateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Solver == "" {
+		http.Error(w, "bad request: missing solver", http.StatusBadRequest)
+		return
+	}
+	if _, err := s.svc.Registry().Get(req.Solver); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	opts, err := solveOptions(req.Params)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad request: params: %v", err), http.StatusBadRequest)
+		return
+	}
+	prob, err := buildProblem(req.Problem, opts)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad request: problem: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	if len(s.sessions) >= maxSessions {
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("too many sessions: the server caps live sessions at %d; DELETE one first", maxSessions), http.StatusTooManyRequests)
+		return
+	}
+	s.nextID++
+	sess := &session{id: fmt.Sprintf("s%d", s.nextID), solver: req.Solver, problem: prob}
+	s.mu.Unlock()
+
+	// Solve the base problem synchronously: the report anchors the chain and
+	// the warm instance lands in the service cache — built update-capable
+	// (Updatable), so the chain's first capacity update is already warm.
+	// The session is only published after the solve succeeds: its id is not
+	// known to any client before the response, so nothing can race an
+	// update against a session whose creation later fails.
+	rep, err := s.svc.Solve(r.Context(), solve.Request{Solver: req.Solver, Problem: prob, Updatable: true})
+	if err != nil {
+		http.Error(w, fmt.Sprintf("solve failed: %v", err), http.StatusUnprocessableEntity)
+		return
+	}
+	s.mu.Lock()
+	if len(s.sessions) >= maxSessions {
+		// Concurrent creates raced past the early cap check during the
+		// solve; re-check at publish time so the cap is a real bound.
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("too many sessions: the server caps live sessions at %d; DELETE one first", maxSessions), http.StatusTooManyRequests)
+		return
+	}
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"session_id": sess.id, "solver": sess.solver, "report": rep})
+}
+
+func (s *server) lookupSession(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(r.PathValue("id"))
+	if sess == nil {
+		http.Error(w, "no such session", http.StatusNotFound)
+		return
+	}
+	var req sessionUpdateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	steps := req.Steps
+	if len(req.Updates) > 0 {
+		steps = append([][]edgeUpdate{req.Updates}, steps...)
+	}
+	if len(steps) == 0 {
+		http.Error(w, "bad request: no update steps", http.StatusBadRequest)
+		return
+	}
+	if len(steps) > maxUpdateSteps {
+		http.Error(w, fmt.Sprintf("bad request: %d steps exceeds the limit of %d", len(steps), maxUpdateSteps), http.StatusBadRequest)
+		return
+	}
+	updates := make([]graph.CapacityUpdate, len(steps))
+	for i, step := range steps {
+		for _, e := range step {
+			updates[i].Edges = append(updates[i].Edges, e.Edge)
+			updates[i].Capacities = append(updates[i].Capacities, e.Capacity)
+		}
+	}
+
+	// Serialise the whole request against the session: a chain is ordered.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.deleted {
+		http.Error(w, "no such session", http.StatusNotFound)
+		return
+	}
+
+	// One validation pass before streaming starts, so malformed requests get
+	// a clean 400 instead of a mid-stream error record.  Every statically
+	// checkable rule lives in CapacityUpdate.Validate (bounds, duplicates,
+	// negativity, emptiness); validating each step against the current graph
+	// is sound across the whole chain because capacity updates never change
+	// the edge count.  Only dynamic failures (solver errors) surface as
+	// stream records.
+	for i, u := range updates {
+		if err := u.Validate(sess.problem.Graph()); err != nil {
+			http.Error(w, fmt.Sprintf("bad request: step %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	applied := 0
+	for i, u := range updates {
+		if err := r.Context().Err(); err != nil {
+			break
+		}
+		res, err := s.svc.Update(r.Context(), solve.UpdateRequest{Solver: sess.solver, Problem: sess.problem, Update: u})
+		if err != nil {
+			// A failed step (e.g. duplicate edge in one step, or a solver
+			// failure) is terminal: the error record ends the stream —
+			// {"done":true} is reserved for fully applied requests — and
+			// the session stays at the last successfully updated problem.
+			_ = enc.Encode(streamItem{Index: i,
+				Error: fmt.Sprintf("step %d failed after %d of %d steps applied: %v", i, applied, len(updates), err),
+				Count: applied})
+			return
+		}
+		sess.problem = res.Problem
+		sess.updates++
+		_ = enc.Encode(map[string]any{"index": i, "warm": res.Warm, "report": res.Report})
+		applied++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := r.Context().Err(); err != nil {
+		_ = enc.Encode(streamItem{Aborted: true, Error: fmt.Sprintf("stream aborted after %d of %d steps: %v", applied, len(updates), err), Count: applied})
+		return
+	}
+	_ = enc.Encode(map[string]any{"done": true, "count": applied, "session_updates": sess.updates})
+}
+
+func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if sess == nil {
+		http.Error(w, "no such session", http.StatusNotFound)
+		return
+	}
+	sess.mu.Lock()
+	sess.deleted = true
+	sess.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -3,12 +3,14 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"analogflow/internal/solve"
@@ -179,6 +181,383 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 	if out.Stats.Requests < 1 || out.Stats.Completed < 1 {
 		t.Errorf("counters did not move: %+v", out.Stats)
+	}
+}
+
+// blockingSolver solves instantly until armed, then blocks until the request
+// context dies; it lets the cancellation test freeze a stream mid-batch.
+type blockingSolver struct {
+	started chan struct{}
+	arm     atomic.Bool
+}
+
+func (b *blockingSolver) Name() string     { return "blocky" }
+func (b *blockingSolver) Describe() string { return "test backend that can block until cancelled" }
+
+func (b *blockingSolver) Solve(ctx context.Context, p *solve.Problem) (*solve.Report, error) {
+	if b.arm.CompareAndSwap(true, false) {
+		close(b.started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return &solve.Report{FlowValue: 1}, nil
+}
+
+// TestSolveCancelledStreamEndsWithError pins the truncation-detection fix: a
+// request cancelled mid-batch must terminate its NDJSON stream with an error
+// record carrying the context error — never with {"done":true}, which only a
+// complete batch may emit.
+func TestSolveCancelledStreamEndsWithError(t *testing.T) {
+	reg := solve.DefaultRegistry()
+	blocker := &blockingSolver{started: make(chan struct{})}
+	if err := reg.Register(blocker); err != nil {
+		t.Fatal(err)
+	}
+	handler := newHandler(solve.NewService(solve.Config{Registry: reg, Workers: 1}))
+
+	body := fmt.Sprintf(`{"solver":"blocky","problems":[%s,%s,%s]}`, figure5Inline, figure5Inline, figure5Inline)
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+
+	// Problems share a fingerprint but blocky is not Warmable, so each item
+	// is a fresh Solve; arm the blocker after the first completes.
+	blocker.arm.Store(true)
+	done := make(chan struct{})
+	go func() {
+		handler.ServeHTTP(rec, req)
+		close(done)
+	}()
+	<-blocker.started
+	cancel()
+	<-done
+
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("bad terminal line %q: %v", lines[len(lines)-1], err)
+	}
+	if d, _ := last["done"].(bool); d {
+		t.Fatalf("cancelled stream ended with done:true: %v", last)
+	}
+	errStr, _ := last["error"].(string)
+	if !strings.Contains(errStr, context.Canceled.Error()) {
+		t.Fatalf("terminal record does not carry the context error: %v", last)
+	}
+	if aborted, _ := last["aborted"].(bool); !aborted {
+		t.Fatalf("terminal record is not marked aborted (indistinguishable from a per-item error): %v", last)
+	}
+	for _, line := range lines[:len(lines)-1] {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+		if d, _ := m["done"].(bool); d {
+			t.Fatalf("done record before the end of a cancelled stream: %v", m)
+		}
+	}
+}
+
+// postJSON posts a JSON body and returns the response.
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestSessionLifecycle drives the dynamic-graph surface end to end: create a
+// session (base solve), stream capacity-update steps, watch the flow value
+// track the mutated capacities, delete, 404 afterwards.
+func TestSessionLifecycle(t *testing.T) {
+	srv := newTestServer(t, 2)
+
+	resp := postJSON(t, srv.URL+"/v1/sessions", fmt.Sprintf(`{"solver":"dinic","problem":%s}`, figure5Inline))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		t.Fatalf("create: status %d: %s", resp.StatusCode, buf.String())
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+		Report    struct {
+			FlowValue float64 `json:"flow_value"`
+		} `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	if created.SessionID == "" || created.Report.FlowValue != 2 {
+		t.Fatalf("create response: %+v", created)
+	}
+
+	// Two steps: widen the bottlenecks (flow 3), then choke x1 (flow 1).
+	upd := `{"steps":[
+		[{"edge":1,"capacity":3},{"edge":3,"capacity":3},{"edge":2,"capacity":3},{"edge":4,"capacity":3}],
+		[{"edge":0,"capacity":1}]
+	]}`
+	resp2 := postJSON(t, srv.URL+"/v1/sessions/"+created.SessionID+"/update", upd)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp2.Body)
+		t.Fatalf("update: status %d: %s", resp2.StatusCode, buf.String())
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("update content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp2.Body)
+	var flows []float64
+	var warms []bool
+	var done map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if d, _ := m["done"].(bool); d {
+			done = m
+			continue
+		}
+		rep, ok := m["report"].(map[string]any)
+		if !ok {
+			t.Fatalf("step has no report: %v", m)
+		}
+		flows = append(flows, rep["flow_value"].(float64))
+		warms = append(warms, m["warm"].(bool))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 2 || flows[0] != 3 || flows[1] != 1 {
+		t.Fatalf("step flows %v, want [3 1]", flows)
+	}
+	for i, warm := range warms {
+		if !warm {
+			t.Errorf("step %d was not absorbed warm", i)
+		}
+	}
+	if done == nil || done["count"].(float64) != 2 {
+		t.Fatalf("missing/short done record: %v", done)
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sessions/"+created.SessionID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	gone := postJSON(t, srv.URL+"/v1/sessions/"+created.SessionID+"/update", `{"updates":[{"edge":0,"capacity":2}]}`)
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Fatalf("update after delete: status %d, want 404", gone.StatusCode)
+	}
+
+	// Analog chains must be warm from their first update too: session create
+	// builds the instance update-capable.
+	resp3 := postJSON(t, srv.URL+"/v1/sessions", fmt.Sprintf(`{"solver":"behavioral","problem":%s}`, figure5Inline))
+	var created2 struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.NewDecoder(resp3.Body).Decode(&created2); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	r3 := postJSON(t, srv.URL+"/v1/sessions/"+created2.SessionID+"/update", `{"updates":[{"edge":1,"capacity":3}]}`)
+	defer r3.Body.Close()
+	sc3 := bufio.NewScanner(r3.Body)
+	if !sc3.Scan() {
+		t.Fatal("empty behavioral update stream")
+	}
+	var step map[string]any
+	if err := json.Unmarshal(sc3.Bytes(), &step); err != nil {
+		t.Fatal(err)
+	}
+	if warm, _ := step["warm"].(bool); !warm {
+		t.Errorf("behavioral chain's first update was not absorbed warm: %v", step)
+	}
+}
+
+// flakySolver fails on one specific Solve call (1-based) and succeeds
+// otherwise, reporting the call number as the flow value.
+type flakySolver struct {
+	calls    atomic.Int64
+	failCall int64
+}
+
+func (f *flakySolver) Name() string     { return "flaky" }
+func (f *flakySolver) Describe() string { return "test backend that fails one specific call" }
+
+func (f *flakySolver) Solve(ctx context.Context, p *solve.Problem) (*solve.Report, error) {
+	n := f.calls.Add(1)
+	if n == f.failCall {
+		return nil, fmt.Errorf("flaky: induced failure on call %d", n)
+	}
+	return &solve.Report{FlowValue: float64(n)}, nil
+}
+
+// TestSessionStepFailureEndsStreamWithoutDone pins the terminal-record
+// contract on the session surface: a dynamic mid-chain step failure (a
+// solver error — the statically checkable defects are rejected with 400
+// before the stream starts) ends the stream with an error record —
+// {"done":true} is reserved for fully applied requests — and the session
+// survives at the last successfully applied state.
+func TestSessionStepFailureEndsStreamWithoutDone(t *testing.T) {
+	reg := solve.DefaultRegistry()
+	// Call 1 is the session-create solve, call 2 step 0, call 3 step 1.
+	if err := reg.Register(&flakySolver{failCall: 3}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(solve.NewService(solve.Config{Registry: reg, Workers: 1})))
+	t.Cleanup(srv.Close)
+
+	resp := postJSON(t, srv.URL+"/v1/sessions", fmt.Sprintf(`{"solver":"flaky","problem":%s}`, figure5Inline))
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	body := `{"steps":[
+		[{"edge":1,"capacity":3}],
+		[{"edge":0,"capacity":2}],
+		[{"edge":0,"capacity":1}]
+	]}`
+	r := postJSON(t, srv.URL+"/v1/sessions/"+created.SessionID+"/update", body)
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(r.Body)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 1 success record + 1 terminal error record, got %d lines:\n%s", len(lines), buf.String())
+	}
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := last["done"].(bool); d {
+		t.Fatalf("failed chain ended with done:true: %v", last)
+	}
+	errStr, _ := last["error"].(string)
+	if !strings.Contains(errStr, "step 1 failed after 1 of 3 steps") || !strings.Contains(errStr, "induced failure") {
+		t.Fatalf("terminal record does not describe the truncation: %v", last)
+	}
+	// The session survived at the step-0 state and keeps accepting updates.
+	r2 := postJSON(t, srv.URL+"/v1/sessions/"+created.SessionID+"/update", `{"updates":[{"edge":2,"capacity":1}]}`)
+	defer r2.Body.Close()
+	var first map[string]any
+	sc := bufio.NewScanner(r2.Body)
+	if !sc.Scan() {
+		t.Fatal("empty follow-up stream")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := first["report"].(map[string]any); !ok {
+		t.Fatalf("follow-up update failed: %v", first)
+	}
+}
+
+// TestSessionUpdateRejectsDuplicateEdgeUpfront: a duplicate edge within one
+// step is statically checkable, so it must be a clean 400, never a 200 with
+// a mid-stream error record.
+func TestSessionUpdateRejectsDuplicateEdgeUpfront(t *testing.T) {
+	srv := newTestServer(t, 1)
+	resp := postJSON(t, srv.URL+"/v1/sessions", fmt.Sprintf(`{"solver":"dinic","problem":%s}`, figure5Inline))
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	r := postJSON(t, srv.URL+"/v1/sessions/"+created.SessionID+"/update",
+		`{"updates":[{"edge":0,"capacity":5},{"edge":0,"capacity":7}]}`)
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate edge in one step: status %d, want 400", r.StatusCode)
+	}
+}
+
+// TestSessionBadRequests covers the session-surface error paths and budgets.
+func TestSessionBadRequests(t *testing.T) {
+	srv := newTestServer(t, 1)
+	create := func(body string) *http.Response { return postJSON(t, srv.URL+"/v1/sessions", body) }
+
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"malformed json", `{`, http.StatusBadRequest},
+		{"missing solver", fmt.Sprintf(`{"problem":%s}`, figure5Inline), http.StatusBadRequest},
+		{"unknown solver", fmt.Sprintf(`{"solver":"no-such","problem":%s}`, figure5Inline), http.StatusBadRequest},
+		{"oversized problem", `{"solver":"dinic","problem":{"rmat":{"vertices":1000000000}}}`, http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := create(tc.body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Errorf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+		})
+	}
+
+	// A real session for the update error paths.
+	resp := create(fmt.Sprintf(`{"solver":"dinic","problem":%s}`, figure5Inline))
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"no steps", `{}`, http.StatusBadRequest},
+		{"empty step", `{"steps":[[]]}`, http.StatusBadRequest},
+		{"edge out of range", `{"updates":[{"edge":99,"capacity":1}]}`, http.StatusBadRequest},
+		{"negative capacity", `{"updates":[{"edge":0,"capacity":-1}]}`, http.StatusBadRequest},
+	} {
+		t.Run("update/"+tc.name, func(t *testing.T) {
+			r := postJSON(t, srv.URL+"/v1/sessions/"+created.SessionID+"/update", tc.body)
+			r.Body.Close()
+			if r.StatusCode != tc.status {
+				t.Errorf("status %d, want %d", r.StatusCode, tc.status)
+			}
+		})
+	}
+	unknown := postJSON(t, srv.URL+"/v1/sessions/nope/update", `{"updates":[{"edge":0,"capacity":1}]}`)
+	unknown.Body.Close()
+	if unknown.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", unknown.StatusCode)
+	}
+	delReq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sessions/nope", nil)
+	dresp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("delete unknown session: status %d, want 404", dresp.StatusCode)
 	}
 }
 

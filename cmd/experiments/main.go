@@ -24,6 +24,7 @@ import (
 var order = []string{
 	"table1", "fig5", "fig8", "fig10-dense", "fig10-sparse",
 	"power", "fig15", "opamp", "variation", "cluster", "decompose",
+	"dynamic",
 }
 
 func main() {
@@ -152,6 +153,14 @@ func runOne(stdout io.Writer, name string, sizes []int, seed int64) error {
 		fmt.Fprintln(stdout, tab.Render())
 	case "decompose":
 		tab, err := experiments.DualDecomposition(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, tab.Render())
+	case "dynamic":
+		// Like the Figure 10 sweeps this honours -sizes; the dynamic
+		// workload runs on the largest requested instance.
+		tab, err := experiments.DynamicUpdates(sizes[len(sizes)-1], 8, seed)
 		if err != nil {
 			return err
 		}

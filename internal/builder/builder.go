@@ -85,6 +85,15 @@ type Options struct {
 	// nil a DC source at VflowVoltage is used (steady-state analyses) — pass
 	// a circuit.Step to reproduce the paper's compute-phase step drive.
 	VflowWaveform circuit.Waveform
+	// PrivateClampSources gives every edge its own clamp voltage source
+	// instead of sharing one source per distinct voltage level.  The shared
+	// layout matches the physical substrate (one source per quantization
+	// level); the private layout costs a few extra MNA unknowns but makes
+	// the clamp voltage of each edge an independent element *value*, so a
+	// capacity-only update can be re-stamped through SetClampVoltages
+	// without changing the circuit topology — the property the incremental
+	// re-solve pipeline of internal/core relies on.
+	PrivateClampSources bool
 	// PerturbResistance, when non-nil, maps a nominal resistance to the
 	// value actually instantiated, modelling process variation and parasitic
 	// series resistance (Section 4.3).  It is applied to every widget
@@ -166,6 +175,9 @@ type Circuit struct {
 	NumNegativeResistors int
 
 	negResSaturation float64
+	// clampSources[i] is edge i's private clamp voltage source, populated
+	// only when the circuit was built with Options.PrivateClampSources.
+	clampSources []*circuit.VoltageSource
 }
 
 // NoNode marks a node that does not exist for a particular edge or vertex.
@@ -273,11 +285,25 @@ func (c *Circuit) addCapacityClamp(i int) {
 	nl := c.Netlist
 	x := c.EdgeNode[i]
 	v := c.ClampVoltage[i]
-	src, ok := c.ClampSourceNodes[v]
-	if !ok {
-		src = nl.AddNode(fmt.Sprintf("vcap_%g", v))
-		nl.Add(circuit.NewVoltageSource(fmt.Sprintf("Vcap_%g", v), src, circuit.Ground, circuit.DC{Value: v}))
-		c.ClampSourceNodes[v] = src
+	var src circuit.NodeID
+	if c.Options.PrivateClampSources {
+		// One source per edge: the clamp level becomes a per-edge element
+		// value that SetClampVoltages can re-stamp in place.
+		src = nl.AddNode(fmt.Sprintf("vcap_e%d", i))
+		vs := circuit.NewVoltageSource(fmt.Sprintf("Vcap_e%d", i), src, circuit.Ground, circuit.DC{Value: v})
+		nl.Add(vs)
+		if c.clampSources == nil {
+			c.clampSources = make([]*circuit.VoltageSource, len(c.EdgeNode))
+		}
+		c.clampSources[i] = vs
+	} else {
+		var ok bool
+		src, ok = c.ClampSourceNodes[v]
+		if !ok {
+			src = nl.AddNode(fmt.Sprintf("vcap_%g", v))
+			nl.Add(circuit.NewVoltageSource(fmt.Sprintf("Vcap_%g", v), src, circuit.Ground, circuit.DC{Value: v}))
+			c.ClampSourceNodes[v] = src
+		}
 	}
 	// Lower clamp: anode at ground, cathode at x_i -> conducts when V(x_i)<0.
 	nl.Add(circuit.NewDiode(fmt.Sprintf("Dlo_e%d", i), circuit.Ground, x, c.Options.Diode))
@@ -348,6 +374,32 @@ func (c *Circuit) addNegativeResistor(label string, n circuit.NodeID, magnitude 
 		nr.Saturation = c.negResSaturation
 		nl.Add(nr)
 	}
+}
+
+// SetClampVoltages re-programs the capacity clamp voltage of every edge in
+// place.  It is only available on circuits built with
+// Options.PrivateClampSources (the shared-source layout would require
+// re-wiring edges between sources, i.e. a topology change): the per-edge
+// sources keep their nodes and branches, only their DC values move, so a
+// bound mna.Engine keeps its frozen sparsity pattern and cached symbolic
+// factorisation across the update.
+func (c *Circuit) SetClampVoltages(v []float64) error {
+	if c.clampSources == nil {
+		return fmt.Errorf("builder: circuit was built without PrivateClampSources; clamp voltages are frozen")
+	}
+	if len(v) != len(c.EdgeNode) {
+		return fmt.Errorf("builder: %d clamp voltages for %d edges", len(v), len(c.EdgeNode))
+	}
+	for i, vi := range v {
+		if vi <= 0 {
+			return fmt.Errorf("builder: clamp voltage of edge %d must be positive, got %g", i, vi)
+		}
+	}
+	for i, vi := range v {
+		c.ClampVoltage[i] = vi
+		c.clampSources[i].Waveform = circuit.DC{Value: vi}
+	}
+	return nil
 }
 
 // EdgeVoltages extracts the per-edge node voltages from a solved unknown

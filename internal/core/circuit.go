@@ -31,59 +31,118 @@ func (s *Solver) solveCircuitPrepared(ctx context.Context, prep *Prepared) (*Res
 	return s.solveCircuitWith(ctx, prep, c, eng)
 }
 
+// PoorConvergenceRetryThreshold is the relative error above which a converged
+// circuit operating point is considered "poor" and re-attempted once with the
+// finer homotopy schedule below.  The substrate's intrinsic quantization and
+// gain error sit around 10-15% on the worked examples; an operating point off
+// by more than this threshold is a spurious equilibrium of the perturbed
+// constraint network (docs/solver.md, "circuit-mode fragility"), which a
+// slower quasi-static ramp sometimes avoids.
+const PoorConvergenceRetryThreshold = 0.25
+
+// poorRetryHomotopySteps is the finer source-stepping schedule of the retry
+// (the standard fallback uses 8 levels).
+const poorRetryHomotopySteps = 64
+
 // solveCircuitWith runs the circuit emulation on an already-built circuit and
 // engine.  It is the reusable back half behind both one-shot solves and
 // Session, whose cached engine makes repeated solves hit the numeric-only
 // refactorization path of internal/mna.  The context is threaded into the
 // Newton iteration through the engine interrupt hook.
 func (s *Solver) solveCircuitWith(ctx context.Context, prep *Prepared, c *builder.Circuit, eng *mna.Engine) (*Result, error) {
-	res := &Result{Mode: ModeCircuit, Quantization: prep.qres}
+	res, _, err := s.solveCircuitWithGuess(ctx, prep, c, eng, nil)
+	return res, err
+}
+
+// solveCircuitWithGuess is solveCircuitWith with an optional Newton warm
+// start (the previous operating point of an updatable session) and the solved
+// raw operating point returned alongside, so the caller can keep it as the
+// next warm start.
+func (s *Solver) solveCircuitWithGuess(ctx context.Context, prep *Prepared, c *builder.Circuit, eng *mna.Engine, guess []float64) (*Result, *mna.Solution, error) {
 	work := prep.work
-	res.CircuitDescription = c.Describe()
 	eng.SetInterrupt(ctx.Err)
 	defer eng.SetInterrupt(nil)
 
-	sol, waves, err := s.solveOperatingPoint(eng)
+	sol, waves, err := s.solveOperatingPointWarm(eng, guess)
 	if err != nil {
 		if isContextError(err) {
 			// A cancelled or expired context is the caller's decision, not a
 			// convergence failure; surface it undisguised.
-			return nil, err
+			return nil, nil, err
 		}
-		return nil, fmt.Errorf("core: circuit solve failed (the ideal-negative-resistance substrate is "+
+		return nil, nil, fmt.Errorf("core: circuit solve failed (the ideal-negative-resistance substrate is "+
 			"numerically fragile on general graphs; see docs/solver.md): %w", err)
 	}
 
-	// Read the edge voltages and convert back to flow units.
-	res.EdgeVoltages = c.EdgeVoltages(sol.Voltage)
-	readFlow := graph.NewFlow(work)
-	saturated := 0
-	for i, v := range res.EdgeVoltages {
-		if v < 0 {
-			v = 0
+	// readout converts a solved operating point into a finalized result.
+	readout := func(sol *mna.Solution, waves int) (*Result, error) {
+		res := &Result{Mode: ModeCircuit, Quantization: prep.qres}
+		res.CircuitDescription = c.Describe()
+		res.EdgeVoltages = c.EdgeVoltages(sol.Voltage)
+		readFlow := graph.NewFlow(work)
+		saturated := 0
+		for i, v := range res.EdgeVoltages {
+			if v < 0 {
+				v = 0
+			}
+			if clamp := prep.clampOf(i); v > clamp {
+				v = clamp
+			}
+			readFlow.Edge[i] = prep.qres.ToFlowUnits(v)
+			if v >= prep.clampOf(i)*0.999 {
+				saturated++
+			}
 		}
-		if clamp := prep.clampOf(i); v > clamp {
-			v = clamp
+		res.FlowValue = prep.qres.ToFlowUnits(c.FlowValueVolts(sol.Voltage))
+		readFlow.RecomputeValue(work)
+		res.ConvergenceTime, _ = s.convergenceTimeModel(work, saturated)
+		res.Waves = waves
+		if err := s.finalize(ctx, res, prep, readFlow); err != nil {
+			return nil, err
 		}
-		readFlow.Edge[i] = prep.qres.ToFlowUnits(v)
-		if v >= prep.clampOf(i)*0.999 {
-			saturated++
-		}
+		return res, nil
 	}
-	res.FlowValue = prep.qres.ToFlowUnits(c.FlowValueVolts(sol.Voltage))
-	readFlow.RecomputeValue(work)
 
-	res.ConvergenceTime, _ = s.convergenceTimeModel(work, saturated)
-	res.Waves = waves
-	if err := s.finalize(ctx, res, prep, readFlow); err != nil {
-		return nil, err
+	res, err := readout(sol, waves)
+	if err != nil {
+		return nil, nil, err
 	}
-	return res, nil
+	if res.RelativeError > PoorConvergenceRetryThreshold {
+		// The point converged but reads far off the optimum: a spurious
+		// equilibrium of the fragile constraint network.  Retry once with a
+		// finer quasi-static ramp; keep whichever operating point reads
+		// closer to the optimum, so a failed rescue still reports the
+		// original honest result.
+		res.HomotopyRetries = 1
+		if hres, rerr := eng.OperatingPointHomotopy(0, poorRetryHomotopySteps); rerr == nil {
+			res2, rerr2 := readout(hres.Solution, hres.TotalNewtonIterations)
+			if rerr2 != nil {
+				if isContextError(rerr2) {
+					return nil, nil, rerr2
+				}
+			} else if res2.RelativeError < res.RelativeError {
+				res2.HomotopyRetries = 1
+				res, sol = res2, hres.Solution
+			}
+		} else if isContextError(rerr) {
+			return nil, nil, rerr
+		}
+	}
+	return res, sol, nil
 }
 
 // buildCircuit constructs the quantized-domain circuit for a (pruned) graph.
 func (s *Solver) buildCircuit(pruned *graph.Graph, clampVoltages []float64) (*builder.Circuit, *mna.Engine, error) {
+	return s.buildCircuitOpts(pruned, clampVoltages, false)
+}
+
+// buildCircuitOpts is buildCircuit with the clamp-source layout exposed:
+// updatable sessions build with one private clamp source per edge so that a
+// later capacity update is a pure element-value re-stamp (see
+// builder.Options.PrivateClampSources).
+func (s *Solver) buildCircuitOpts(pruned *graph.Graph, clampVoltages []float64, privateClamps bool) (*builder.Circuit, *mna.Engine, error) {
 	opts := s.params.Builder
+	opts.PrivateClampSources = privateClamps
 	opts.VflowVoltage = s.vflowVoltage(pruned)
 	if s.params.Variation.MismatchSigma > 0 || s.params.Variation.GlobalSigma > 0 || s.params.Variation.ParasiticResistance > 0 {
 		profile := s.params.Variation
@@ -106,6 +165,24 @@ func (s *Solver) buildCircuit(pruned *graph.Graph, clampVoltages []float64) (*bu
 		return nil, nil, err
 	}
 	return c, eng, nil
+}
+
+// solveOperatingPointWarm is solveOperatingPoint with an optional warm start:
+// when a previous operating point is supplied (an updatable session after a
+// capacity-only re-stamp), the Newton iteration starts there — the analog
+// analogue of the substrate keeping its node voltages while the clamp levels
+// are re-programmed.  A failed warm start falls back to the cold sequence.
+func (s *Solver) solveOperatingPointWarm(eng *mna.Engine, guess []float64) (*mna.Solution, int, error) {
+	if guess != nil {
+		sol, err := eng.OperatingPointWithGuess(0, guess)
+		if err == nil {
+			return sol, sol.NewtonIterations, nil
+		}
+		if isContextError(err) {
+			return nil, 0, err
+		}
+	}
+	return s.solveOperatingPoint(eng)
 }
 
 // solveOperatingPoint finds the DC steady state, falling back to source

@@ -2,12 +2,26 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"analogflow/internal/builder"
 	"analogflow/internal/graph"
+	"analogflow/internal/maxflow"
 	"analogflow/internal/mna"
+)
+
+// Errors of the incremental-update path.
+var (
+	// ErrSessionNotUpdatable is returned by Rebind on a session created with
+	// NewSession/NewSessionPrepared (their circuit builds share clamp
+	// sources between same-level edges, which an update cannot re-stamp).
+	ErrSessionNotUpdatable = errors.New("core: session was not created updatable")
+	// ErrIncompatibleUpdate is returned by Rebind when the new instance is
+	// not a capacity-only mutation of the session's current one (the work
+	// graph or a prune mapping changed), so the warm state cannot absorb it.
+	ErrIncompatibleUpdate = errors.New("core: update changes the instance structure; warm state cannot absorb it")
 )
 
 // Session binds one parameter set to one problem instance and caches every
@@ -33,6 +47,16 @@ type Session struct {
 	circ   *builder.Circuit
 	eng    *mna.Engine
 	solves int
+
+	// Incremental-update state (updatable sessions only, see Rebind).
+	updatable bool
+	// lastX is the previous circuit operating point, the Newton warm start
+	// after a capacity re-stamp.
+	lastX []float64
+	// refNet is the warm exact-reference residual network on the s-t core;
+	// it absorbs capacity updates incrementally so the reference Dinic solve
+	// of every re-solve is an incremental re-augmentation, not a cold run.
+	refNet *maxflow.Network
 }
 
 // NewSession validates the parameters, runs the preprocessing front half on
@@ -61,6 +85,102 @@ func NewSessionPrepared(p Params, prep *Prepared) (*Session, error) {
 			n, p.Crossbar.Rows, p.Crossbar.Cols)
 	}
 	return &Session{params: p, prep: prep}, nil
+}
+
+// NewUpdatableSessionPrepared is NewSessionPrepared for a session that will
+// absorb capacity-only updates through Rebind.  Updatable sessions differ
+// from plain ones in two value-level ways: the circuit is built with one
+// private clamp source per edge (so clamp levels are re-stampable element
+// values), and the exact-reference solve runs on a warm residual network that
+// updates re-augment instead of re-solving.  Flow values and errors agree
+// with plain sessions to solver tolerance; they are not bit-identical,
+// because the private-clamp circuit has a few more MNA unknowns and the warm
+// Newton iteration starts from the previous operating point.
+func NewUpdatableSessionPrepared(p Params, prep *Prepared) (*Session, error) {
+	sess, err := NewSessionPrepared(p, prep)
+	if err != nil {
+		return nil, err
+	}
+	sess.updatable = true
+	return sess, nil
+}
+
+// Updatable reports whether the session accepts Rebind.
+func (sess *Session) Updatable() bool { return sess.updatable }
+
+// Rebind absorbs a capacity-only update: prep must be a Prepared of the same
+// instance structure (Prepared.StructurallyCompatible) with possibly
+// different capacities, quantization values and clamp levels.  The warm
+// artifacts survive: the cached circuit gets its clamp sources re-stamped in
+// place (pattern-frozen, so the engine's cached symbolic LU stays valid), the
+// previous operating point becomes the next Newton warm start, and the
+// reference residual network drains/extends to the new capacities.  A
+// structural change returns ErrIncompatibleUpdate and leaves the session
+// untouched; the caller then builds a fresh session.
+func (sess *Session) Rebind(prep *Prepared) error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if !sess.updatable {
+		return ErrSessionNotUpdatable
+	}
+	if prep == nil || prep.original == nil {
+		return fmt.Errorf("core: nil prepared instance")
+	}
+	if !sess.prep.StructurallyCompatible(prep) {
+		return ErrIncompatibleUpdate
+	}
+	if sess.circ != nil && !prep.Empty() {
+		if err := sess.circ.SetClampVoltages(prep.clamps); err != nil {
+			return err
+		}
+	}
+	if sess.refNet != nil {
+		// Drain/extend the warm reference network; the next solve
+		// re-augments it.  A failure here only costs the warm reference —
+		// drop it and let the next solve rebuild cold.
+		if err := sess.refNet.UpdateTo(prep.core); err != nil {
+			sess.refNet = nil
+		}
+	}
+	sess.prep = prep
+	return nil
+}
+
+// ensureReferenceLocked keeps the warm exact-reference memo of an updatable
+// session: the first call builds the residual network of the s-t core and
+// solves it; after a Rebind the same network only re-augments.  Either way
+// the resulting exact value seeds the Prepared memo, so finalize never runs
+// a cold reference solve.  Callers hold sess.mu.
+func (sess *Session) ensureReferenceLocked(ctx context.Context) error {
+	prep := sess.prep
+	if prep.core == nil || prep.core.NumEdges() == 0 {
+		return nil
+	}
+	if sess.refNet == nil {
+		prep.exactMu.Lock()
+		done := prep.exactDone
+		prep.exactMu.Unlock()
+		if done {
+			// Someone already paid for the reference (a cold Dinic through
+			// the memo); building a warm network now would duplicate it.
+			// The next Rebind starts the warm network from the new core.
+			return nil
+		}
+		net, err := maxflow.NewNetwork(prep.core)
+		if err != nil {
+			return err
+		}
+		sess.refNet = net
+	}
+	f, err := sess.refNet.Solve(ctx, maxflow.Dinic)
+	if err != nil {
+		// Per the Network.Solve contract a failed solve poisons the warm
+		// state; drop it so the next attempt rebuilds from the core.
+		sess.refNet = nil
+		return err
+	}
+	prep.SeedExactValue(f.Value)
+	return nil
 }
 
 // Params returns the session's parameters.
@@ -104,6 +224,13 @@ func (sess *Session) Solve(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sess.updatable {
+		// Keep the warm exact-reference memo ahead of the mode dispatch, so
+		// finalize reads the incrementally maintained value.
+		if err := sess.ensureReferenceLocked(ctx); err != nil {
+			return nil, err
+		}
+	}
 	var res *Result
 	switch sess.params.Mode {
 	case ModeCircuit:
@@ -129,11 +256,19 @@ func (sess *Session) solveCircuitLocked(ctx context.Context, solver *Solver) (*R
 		return empty, nil
 	}
 	if sess.eng == nil {
-		c, eng, err := solver.buildCircuit(prep.work, prep.clamps)
+		c, eng, err := solver.buildCircuitOpts(prep.work, prep.clamps, sess.updatable)
 		if err != nil {
 			return nil, err
 		}
 		sess.circ, sess.eng = c, eng
 	}
-	return solver.solveCircuitWith(ctx, prep, sess.circ, sess.eng)
+	if !sess.updatable {
+		return solver.solveCircuitWith(ctx, prep, sess.circ, sess.eng)
+	}
+	res, sol, err := solver.solveCircuitWithGuess(ctx, prep, sess.circ, sess.eng, sess.lastX)
+	if err != nil {
+		return nil, err
+	}
+	sess.lastX = append(sess.lastX[:0], sol.X...)
+	return res, nil
 }

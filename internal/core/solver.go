@@ -41,6 +41,11 @@ type Result struct {
 	// Waves is the number of settling waves the convergence model assumed
 	// (circuit mode reports Newton iterations here).
 	Waves int
+	// HomotopyRetries counts the finer-homotopy re-attempts the circuit
+	// solver made after detecting a poor (spurious-equilibrium) operating
+	// point — see PoorConvergenceRetryThreshold.  The reported result is the
+	// better of the attempts either way.
+	HomotopyRetries int
 	// PrunedVertices / PrunedEdges report the preprocessing reductions.
 	PrunedVertices, PrunedEdges int
 	// Mode records which solver produced the result.
@@ -188,6 +193,54 @@ func (p *Prepared) SeedExactValue(v float64) {
 	if !p.exactDone {
 		p.exact, p.exactDone = v, true
 	}
+}
+
+// StructurallyCompatible reports whether q describes the same instance
+// structure as p — same original graph shape, same prune mappings at both
+// stages, same work graph shape — differing at most in capacity-derived
+// values (clamp levels, quantization scale).  It is the gate the incremental
+// re-solve pipeline checks before absorbing a capacity-only update into warm
+// state: when it holds, the circuit topology and the residual-network
+// structure built from p remain valid for q.
+func (p *Prepared) StructurallyCompatible(q *Prepared) bool {
+	if p == nil || q == nil {
+		return false
+	}
+	if !sameGraphShape(p.original, q.original) || !sameGraphShape(p.core, q.core) {
+		return false
+	}
+	if !graph.SamePruneEdges(p.pr1, q.pr1) || !graph.SamePruneEdges(p.pr2, q.pr2) {
+		return false
+	}
+	if (p.work == nil) != (q.work == nil) {
+		return false
+	}
+	if p.work != nil && !sameGraphShape(p.work, q.work) {
+		return false
+	}
+	return len(p.clamps) == len(q.clamps)
+}
+
+// sameGraphShape reports whether two graphs have identical topology
+// (capacities excluded).
+func sameGraphShape(a, b *graph.Graph) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() ||
+		a.Source() != b.Source() || a.Sink() != b.Sink() {
+		return false
+	}
+	for i, n := 0, a.NumEdges(); i < n; i++ {
+		ea, eb := a.Edge(i), b.Edge(i)
+		if ea.From != eb.From || ea.To != eb.To {
+			return false
+		}
+	}
+	return true
 }
 
 // removedVertices / removedEdges aggregate both pruning passes.

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"analogflow/internal/graph"
+)
+
+// TestCircuitPoorConvergenceRetryHonest pins the documented fragile path: the
+// circuit solver with the default mismatch-variation profile on the Figure 5
+// instance converges to a spurious operating point reading ~3.0 against the
+// exact optimum 2.  The solver must detect the poor outcome and retry once
+// with the finer homotopy schedule — and because no schedule rescues this
+// profile (the poor point is a genuine equilibrium of the perturbed circuit),
+// the original honest report must be preserved.
+func TestCircuitPoorConvergenceRetryHonest(t *testing.T) {
+	params := DefaultParams()
+	params.Mode = ModeCircuit
+	s, err := NewSolver(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(graph.PaperFigure5())
+	if err != nil {
+		t.Fatalf("the fragile profile regressed from poor-but-converged to an error: %v", err)
+	}
+	if res.HomotopyRetries != 1 {
+		t.Errorf("poor convergence did not trigger the finer-homotopy retry: retries = %d", res.HomotopyRetries)
+	}
+	if res.RelativeError <= PoorConvergenceRetryThreshold {
+		t.Errorf("relative error %.3f no longer exceeds the poor threshold %.2f — update this pin, the retry now rescues the profile",
+			res.RelativeError, PoorConvergenceRetryThreshold)
+	}
+	if res.FlowValue < 2.9 || res.FlowValue > 3.1 {
+		t.Errorf("poor operating point moved: flow %.4f, historically ~3.01", res.FlowValue)
+	}
+	if res.ExactValue != graph.PaperFigure5MaxFlow {
+		t.Errorf("exact reference %.4f, want %g", res.ExactValue, graph.PaperFigure5MaxFlow)
+	}
+}
+
+// TestCircuitCleanProfileNeedsNoRetry guards the other side: the
+// clean-variation configuration converges within the substrate's intrinsic
+// error band and must not pay for a retry.
+func TestCircuitCleanProfileNeedsNoRetry(t *testing.T) {
+	params := DefaultParams()
+	params.Mode = ModeCircuit
+	params.Variation = DefaultCleanVariation()
+	s, err := NewSolver(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(graph.PaperFigure5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HomotopyRetries != 0 {
+		t.Errorf("clean profile triggered %d retries (rel err %.3f)", res.HomotopyRetries, res.RelativeError)
+	}
+	if res.RelativeError > PoorConvergenceRetryThreshold {
+		t.Errorf("clean profile reads %.3f relative error, above the poor threshold", res.RelativeError)
+	}
+}
+
+// cleanCircuitParams returns a deterministic circuit configuration for the
+// session-update tests.
+func cleanCircuitParams() Params {
+	p := DefaultParams()
+	p.Mode = ModeCircuit
+	p.Variation = DefaultCleanVariation()
+	return p
+}
+
+// TestSessionRebindWarmCircuit walks an updatable circuit session through a
+// capacity update and pins the warm invariants: the clamp re-stamp keeps the
+// frozen sparsity pattern (zero new symbolic factorizations), and the warm
+// result matches a cold solve of the updated instance to solver tolerance.
+func TestSessionRebindWarmCircuit(t *testing.T) {
+	params := cleanCircuitParams()
+	g := graph.PaperFigure5()
+	prep, err := Prepare(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewUpdatableSessionPrepared(params, prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Updatable() {
+		t.Fatal("session not marked updatable")
+	}
+	ctx := context.Background()
+	if _, err := sess.Solve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	base, ok := sess.EngineStats()
+	if !ok {
+		t.Fatal("no engine after first circuit solve")
+	}
+
+	// Capacity-only mutation: x2 (edge 1) gains capacity, x4 (edge 3) loses
+	// none of its positivity.
+	g2 := g.Clone()
+	if _, err := g2.ApplyCapacityUpdate(graph.CapacityUpdate{Edges: []int{1, 4}, Capacities: []float64{3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	prep2, err := Prepare(g2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Rebind(prep2); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sess.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := sess.EngineStats()
+	if after.Factorizations != base.Factorizations {
+		t.Errorf("capacity update cost %d new symbolic factorizations (%d -> %d)",
+			after.Factorizations-base.Factorizations, base.Factorizations, after.Factorizations)
+	}
+	if after.Refactorizations <= base.Refactorizations {
+		t.Errorf("warm re-solve did not run on the refactor path: %d -> %d refactorizations",
+			base.Refactorizations, after.Refactorizations)
+	}
+
+	// Cold baseline: a fresh updatable session on the mutated instance (the
+	// same private-clamp build the warm path uses, minus all warm state).
+	coldSess, err := NewUpdatableSessionPrepared(params, mustPrepare(t, g2, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldSess.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.FlowValue-cold.FlowValue) > 1e-6*math.Max(1, math.Abs(cold.FlowValue)) {
+		t.Errorf("warm flow %.9f, cold flow %.9f", warm.FlowValue, cold.FlowValue)
+	}
+	if warm.ExactValue != cold.ExactValue {
+		t.Errorf("warm exact %.9f, cold exact %.9f", warm.ExactValue, cold.ExactValue)
+	}
+}
+
+// TestSessionRebindRejections pins the failure modes: plain sessions refuse
+// Rebind, and structural changes are refused with ErrIncompatibleUpdate.
+func TestSessionRebindRejections(t *testing.T) {
+	params := cleanCircuitParams()
+	g := graph.PaperFigure5()
+	prep, err := Prepare(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewSessionPrepared(params, prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Rebind(prep); !errors.Is(err, ErrSessionNotUpdatable) {
+		t.Errorf("plain session Rebind: want ErrSessionNotUpdatable, got %v", err)
+	}
+
+	sess, err := NewUpdatableSessionPrepared(params, prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zeroing edge 2 removes it (and its whole branch) from the s-t core:
+	// a structural change the warm state must refuse.
+	g2 := g.Clone()
+	if _, err := g2.ApplyCapacityUpdate(graph.CapacityUpdate{Edges: []int{2}, Capacities: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	prep2, err := Prepare(g2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Rebind(prep2); !errors.Is(err, ErrIncompatibleUpdate) {
+		t.Errorf("structural change: want ErrIncompatibleUpdate, got %v", err)
+	}
+	if err := sess.Rebind(nil); err == nil {
+		t.Error("nil prep accepted")
+	}
+}
+
+// TestSessionRebindWarmBehavioral pins warm/cold bit-identity for the
+// behavioral model: the behavioral solve is a deterministic function of the
+// prepared instance and the seed, and the warm exact-reference network must
+// reproduce the cold reference value exactly on integral instances.
+func TestSessionRebindWarmBehavioral(t *testing.T) {
+	params := DefaultParams()
+	g := graph.PaperFigure5()
+	prep, err := Prepare(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewUpdatableSessionPrepared(params, prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sess.Solve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	g2 := g.Clone()
+	if _, err := g2.ApplyCapacityUpdate(graph.CapacityUpdate{Edges: []int{3}, Capacities: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	prep2, err := Prepare(g2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Rebind(prep2); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sess.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSess, err := NewSessionPrepared(params, mustPrepare(t, g2, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldSess.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.FlowValue != cold.FlowValue || warm.ExactValue != cold.ExactValue || warm.RelativeError != cold.RelativeError {
+		t.Errorf("behavioral warm/cold mismatch:\nwarm: %.12g %.12g %.12g\ncold: %.12g %.12g %.12g",
+			warm.FlowValue, warm.ExactValue, warm.RelativeError, cold.FlowValue, cold.ExactValue, cold.RelativeError)
+	}
+	for i := range warm.Flow.Edge {
+		if warm.Flow.Edge[i] != cold.Flow.Edge[i] {
+			t.Errorf("edge %d: warm flow %.12g, cold flow %.12g", i, warm.Flow.Edge[i], cold.Flow.Edge[i])
+		}
+	}
+}
+
+func mustPrepare(t *testing.T, g *graph.Graph, p Params) *Prepared {
+	t.Helper()
+	prep, err := Prepare(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prep
+}

@@ -77,10 +77,20 @@ type Trajectory struct {
 
 // Sweep runs the quasi-static analysis of g.
 func Sweep(g *graph.Graph, opts Options) (*Trajectory, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
+	if g == nil {
+		return nil, fmt.Errorf("dynamics: nil graph")
 	}
 	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// A graph with no positive-capacity edge has nothing to sweep, and it
+	// also poisons DefaultOptions (MaxVflow = 10*MaxCapacity = 0), which
+	// would otherwise surface as the misleading "MaxVflow must be positive".
+	// Name the real cause before validating the options.
+	if g.NumEdges() == 0 || g.MaxCapacity() <= 0 {
+		return nil, fmt.Errorf("dynamics: graph %v has no positive-capacity edges, so there is no drive level to ramp to (DefaultOptions derives MaxVflow from the largest capacity)", g)
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	caps := make([]float64, g.NumEdges())

@@ -2,6 +2,7 @@ package dynamics
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"analogflow/internal/graph"
@@ -35,6 +36,32 @@ func TestSweepRejectsBadInput(t *testing.T) {
 	bad.Steps = 0
 	if _, err := Sweep(g, bad); err == nil {
 		t.Errorf("invalid options accepted")
+	}
+}
+
+// TestSweepDegenerateGraphNamesRealCause pins the fix for the misleading
+// "MaxVflow must be positive, got 0" failure: DefaultOptions on an edgeless
+// or zero-capacity graph derives MaxVflow = 0, but the real defect is the
+// degenerate graph, and the error must say so.
+func TestSweepDegenerateGraphNamesRealCause(t *testing.T) {
+	edgeless := graph.MustNew(3, 0, 2)
+	zeroCap := graph.MustNew(3, 0, 2)
+	zeroCap.MustAddEdge(0, 1, 0)
+	zeroCap.MustAddEdge(1, 2, 0)
+	for _, g := range []*graph.Graph{edgeless, zeroCap} {
+		_, err := Sweep(g, DefaultOptions(g))
+		if err == nil {
+			t.Fatalf("degenerate graph %v accepted", g)
+		}
+		if strings.Contains(err.Error(), "MaxVflow must be positive") {
+			t.Errorf("degenerate graph %v still reports the misleading option error: %v", g, err)
+		}
+		if !strings.Contains(err.Error(), "no positive-capacity edges") {
+			t.Errorf("degenerate graph %v error does not name the real cause: %v", g, err)
+		}
+	}
+	if _, err := Sweep(nil, Options{}); err == nil {
+		t.Error("nil graph accepted")
 	}
 }
 

@@ -171,3 +171,21 @@ func TestPowerAnalysis(t *testing.T) {
 		t.Errorf("power table missing the paper's 1e4 / 3e5 edge counts:\n%s", out)
 	}
 }
+
+func TestDynamicUpdatesSmall(t *testing.T) {
+	tab, err := DynamicUpdates(64, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 backend rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("backend %s: warm and cold values diverged", row[0])
+		}
+	}
+	if _, err := DynamicUpdates(2, 1, 1); err == nil {
+		t.Error("degenerate size accepted")
+	}
+}

@@ -147,6 +147,30 @@ func pruneToSTCore(g *Graph, caps []float64) *PruneResult {
 	return res
 }
 
+// SamePruneEdges reports whether two prune results keep exactly the same
+// original edges (nil matches nil, i.e. pruning disabled on both sides).  It
+// is the structural-compatibility gate of the incremental-update pipeline:
+// when it holds, solver state built on one prune's graph — residual
+// networks, circuits, engine factorisations — remains index-compatible with
+// the other's.
+func SamePruneEdges(a, b *PruneResult) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.EdgeMap) != len(b.EdgeMap) {
+		return false
+	}
+	for i := range a.EdgeMap {
+		if a.EdgeMap[i] != b.EdgeMap[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // ExpandFlow maps a flow on the pruned graph back onto the original graph's
 // edge indexing (pruned-away edges carry zero flow).
 func (r *PruneResult) ExpandFlow(original *Graph, pruned *Flow) *Flow {

@@ -1,0 +1,84 @@
+package graph
+
+import "fmt"
+
+// CapacityUpdate is a validated batch of capacity-only edge mutations: edge
+// Edges[k] receives the new capacity Capacities[k].  Capacity updates never
+// change the topology of a graph — the edge list, the adjacency structure and
+// the terminals all survive — which is exactly the property the incremental
+// re-solve pipeline exploits: the MNA sparsity pattern of the analog circuit
+// and the residual-network structure of the combinatorial solvers both key on
+// topology, so a capacity-only mutation can be absorbed by value-level
+// re-stamping instead of a rebuild.
+type CapacityUpdate struct {
+	// Edges are the indices of the mutated edges (no duplicates).
+	Edges []int
+	// Capacities[k] is the new capacity of edge Edges[k] (non-negative).
+	Capacities []float64
+}
+
+// Validate checks the update against a target graph: the index and value
+// slices must pair up, every index must name an existing edge exactly once,
+// and every new capacity must be non-negative.
+func (u CapacityUpdate) Validate(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("graph: capacity update on a nil graph")
+	}
+	if len(u.Edges) != len(u.Capacities) {
+		return fmt.Errorf("graph: capacity update pairs %d edges with %d capacities", len(u.Edges), len(u.Capacities))
+	}
+	if len(u.Edges) == 0 {
+		return fmt.Errorf("graph: empty capacity update")
+	}
+	seen := make(map[int]bool, len(u.Edges))
+	for k, e := range u.Edges {
+		if e < 0 || e >= g.NumEdges() {
+			return fmt.Errorf("graph: capacity update names edge %d, graph has %d edges", e, g.NumEdges())
+		}
+		if seen[e] {
+			return fmt.Errorf("graph: capacity update names edge %d twice", e)
+		}
+		seen[e] = true
+		if u.Capacities[k] < 0 {
+			return fmt.Errorf("graph: capacity update sets edge %d to %g: %w", e, u.Capacities[k], ErrNegativeCapacity)
+		}
+	}
+	return nil
+}
+
+// UpdateRecord describes an applied capacity update with enough detail for
+// callers to invalidate (or keep) state derived from the previous capacities.
+type UpdateRecord struct {
+	// Previous[k] is the capacity edge Edges[k] carried before the update.
+	Previous []float64
+	// PositivityChanged reports whether any edge crossed zero in either
+	// direction.  The s-t core of a graph depends on capacities only through
+	// their positivity, so an update with PositivityChanged == false is
+	// guaranteed to leave the pruned core structurally unchanged.
+	PositivityChanged bool
+	// Changed counts the edges whose capacity actually changed value.
+	Changed int
+}
+
+// ApplyCapacityUpdate validates u and applies it to g in place, returning a
+// record of what changed.  On a validation error the graph is untouched.
+func (g *Graph) ApplyCapacityUpdate(u CapacityUpdate) (*UpdateRecord, error) {
+	if err := u.Validate(g); err != nil {
+		return nil, err
+	}
+	rec := &UpdateRecord{Previous: make([]float64, len(u.Edges))}
+	for k, e := range u.Edges {
+		old := g.edges[e].Capacity
+		rec.Previous[k] = old
+		next := u.Capacities[k]
+		if old == next {
+			continue
+		}
+		rec.Changed++
+		if (old > 0) != (next > 0) {
+			rec.PositivityChanged = true
+		}
+		g.edges[e].Capacity = next
+	}
+	return rec, nil
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCapacityUpdateValidate(t *testing.T) {
+	g := PaperFigure5()
+	cases := []struct {
+		name string
+		u    CapacityUpdate
+	}{
+		{"empty", CapacityUpdate{}},
+		{"length mismatch", CapacityUpdate{Edges: []int{0, 1}, Capacities: []float64{1}}},
+		{"out of range", CapacityUpdate{Edges: []int{99}, Capacities: []float64{1}}},
+		{"negative index", CapacityUpdate{Edges: []int{-1}, Capacities: []float64{1}}},
+		{"duplicate edge", CapacityUpdate{Edges: []int{2, 2}, Capacities: []float64{1, 2}}},
+		{"negative capacity", CapacityUpdate{Edges: []int{0}, Capacities: []float64{-1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.u.Validate(g); err == nil {
+				t.Fatalf("update %+v accepted", tc.u)
+			}
+			before := g.Edges()
+			if _, err := g.Clone().ApplyCapacityUpdate(tc.u); err == nil {
+				t.Fatalf("apply of %+v accepted", tc.u)
+			}
+			for i, e := range g.Edges() {
+				if e != before[i] {
+					t.Fatalf("failed apply mutated edge %d", i)
+				}
+			}
+		})
+	}
+	if err := (CapacityUpdate{Edges: []int{0}, Capacities: []float64{0}}).Validate(nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestApplyCapacityUpdate(t *testing.T) {
+	g := PaperFigure5()
+	rec, err := g.ApplyCapacityUpdate(CapacityUpdate{
+		Edges:      []int{0, 3, 4},
+		Capacities: []float64{5, 1, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := []float64{rec.Previous[0], rec.Previous[1], rec.Previous[2]}; got[0] != 3 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("previous capacities %v, want [3 1 2]", got)
+	}
+	if rec.PositivityChanged {
+		t.Errorf("no edge crossed zero, yet PositivityChanged is set")
+	}
+	if rec.Changed != 2 { // edge 3 kept its value
+		t.Errorf("Changed = %d, want 2", rec.Changed)
+	}
+	if g.Edge(0).Capacity != 5 || g.Edge(3).Capacity != 1 || g.Edge(4).Capacity != 4 {
+		t.Errorf("capacities not applied: %+v", g.Edges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zeroing an edge must flip the positivity flag; so must reviving it.
+	rec, err = g.ApplyCapacityUpdate(CapacityUpdate{Edges: []int{1}, Capacities: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.PositivityChanged {
+		t.Error("zeroing edge 1 did not set PositivityChanged")
+	}
+	rec, err = g.ApplyCapacityUpdate(CapacityUpdate{Edges: []int{1}, Capacities: []float64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.PositivityChanged {
+		t.Error("reviving edge 1 did not set PositivityChanged")
+	}
+}
+
+func TestApplyCapacityUpdateNegativeIsTyped(t *testing.T) {
+	g := PaperFigure5()
+	_, err := g.ApplyCapacityUpdate(CapacityUpdate{Edges: []int{0}, Capacities: []float64{-2}})
+	if !errors.Is(err, ErrNegativeCapacity) {
+		t.Fatalf("want ErrNegativeCapacity, got %v", err)
+	}
+}

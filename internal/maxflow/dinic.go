@@ -23,6 +23,16 @@ func SolveDinicContext(ctx context.Context, g *graph.Graph) (*graph.Flow, error)
 		return nil, err
 	}
 	r := newResidual(g)
+	if err := runDinic(ctx, r); err != nil {
+		return nil, err
+	}
+	return r.flow(), nil
+}
+
+// runDinic augments the residual network to a maximum flow with Dinitz's
+// algorithm.  It works from any feasible starting state, so it serves both
+// the cold entry points above and the warm-start path of Network.
+func runDinic(ctx context.Context, r *residual) error {
 	eps := epsilonFor(r.maxArcCapacity())
 	level := make([]int, r.n)
 	iter := make([]int, r.n)
@@ -30,7 +40,7 @@ func SolveDinicContext(ctx context.Context, g *graph.Graph) (*graph.Flow, error)
 
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		if !dinicBFS(r, level, queue, eps) {
 			break
@@ -43,7 +53,7 @@ func SolveDinicContext(ctx context.Context, g *graph.Graph) (*graph.Flow, error)
 			}
 		}
 	}
-	return r.flow(), nil
+	return nil
 }
 
 const inf = 1e300
@@ -112,12 +122,21 @@ func SolveEdmondsKarpContext(ctx context.Context, g *graph.Graph) (*graph.Flow, 
 		return nil, err
 	}
 	r := newResidual(g)
+	if err := runEdmondsKarp(ctx, r); err != nil {
+		return nil, err
+	}
+	return r.flow(), nil
+}
+
+// runEdmondsKarp augments the residual network to a maximum flow along
+// shortest residual paths, from any feasible starting state.
+func runEdmondsKarp(ctx context.Context, r *residual) error {
 	eps := epsilonFor(r.maxArcCapacity())
 	parentArc := make([]int, r.n)
 
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		// BFS for an augmenting path.
 		for i := range parentArc {
@@ -161,5 +180,5 @@ func SolveEdmondsKarpContext(ctx context.Context, g *graph.Graph) (*graph.Flow, 
 			v = r.arcs[a^1].to
 		}
 	}
-	return r.flow(), nil
+	return nil
 }

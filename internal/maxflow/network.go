@@ -1,0 +1,228 @@
+package maxflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"analogflow/internal/graph"
+)
+
+// Network is a warm-startable residual network: it keeps the residual state
+// of the last solve so that a capacity-only update can be absorbed
+// incrementally instead of re-solving from scratch.
+//
+//   - Capacity increases simply widen the forward residual arc; the old flow
+//     stays feasible and the next Solve only re-augments.
+//   - Capacity decreases below the current flow drain the overflow along
+//     reverse (flow-carrying) paths first — cancelling existing s-t flow or
+//     cycle flow through the edge — and then the next Solve re-augments to
+//     recover whatever the rest of the network can still carry.
+//
+// Both moves preserve the residual invariants (forward + reverse arc capacity
+// equals the edge capacity; the encoded flow is feasible), so any of the three
+// algorithms can pick the state up.
+//
+// A Network is not safe for concurrent use; callers serialise access.
+type Network struct {
+	g *graph.Graph
+	r *residual
+}
+
+// ErrCannotDrain is returned when an overflow cannot be drained, which only
+// happens when the residual state and the graph disagree structurally.
+var ErrCannotDrain = errors.New("maxflow: cannot drain capacity overflow")
+
+// NewNetwork builds a zero-flow residual network for g.
+func NewNetwork(g *graph.Graph) (*Network, error) {
+	if err := checkSolvable(g); err != nil {
+		return nil, err
+	}
+	return &Network{g: g, r: newResidual(g)}, nil
+}
+
+// Graph returns the graph whose capacities the network currently reflects.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Flow returns the flow currently encoded in the residual state (feasible by
+// construction; maximum after a completed Solve).
+func (n *Network) Flow() *graph.Flow { return n.r.flow() }
+
+// Solve augments the current state to a maximum flow with the selected
+// algorithm and returns the resulting flow.  Starting from a fresh network
+// this is exactly the cold solve of SolveContext; starting from a previously
+// solved state after UpdateTo it performs only the incremental work.
+//
+// On error the network must be discarded: a cancelled Dinic or Edmonds-Karp
+// run stops between augmentations (the state is still a feasible flow), but
+// a cancelled push-relabel run stops mid-discharge and leaves a preflow with
+// unreturned excess — not a flow — so callers uniformly treat a failed Solve
+// as poisoning the warm state.
+func (n *Network) Solve(ctx context.Context, alg Algorithm) (*graph.Flow, error) {
+	var err error
+	switch alg {
+	case PushRelabel:
+		err = runPushRelabel(ctx, n.r)
+	case Dinic:
+		err = runDinic(ctx, n.r)
+	case EdmondsKarp:
+		err = runEdmondsKarp(ctx, n.r)
+	default:
+		err = ErrUnknownAlgorithm
+	}
+	if err != nil {
+		return nil, err
+	}
+	return n.r.flow(), nil
+}
+
+// UpdateTo adjusts the residual state so that it reflects g2's capacities.
+// g2 must be structurally identical to the network's graph (same vertices,
+// terminals and edge list); only capacities may differ.  After UpdateTo the
+// encoded flow is feasible for g2 but not necessarily maximum — call Solve to
+// re-augment.
+func (n *Network) UpdateTo(g2 *graph.Graph) error {
+	r := n.r
+	if g2 == nil {
+		return fmt.Errorf("maxflow: UpdateTo(nil)")
+	}
+	if g2.NumVertices() != r.n || g2.NumEdges() != len(r.arcs)/2 ||
+		g2.Source() != r.s || g2.Sink() != r.t {
+		return fmt.Errorf("maxflow: updated graph %v is structurally different from the network's %v", g2, n.g)
+	}
+	ne := g2.NumEdges()
+	for i := 0; i < ne; i++ {
+		e := g2.Edge(i)
+		if r.arcs[2*i].to != e.To || r.arcs[2*i+1].to != e.From {
+			return fmt.Errorf("maxflow: updated graph edge %d (%d->%d) does not match the network's edge list", i, e.From, e.To)
+		}
+	}
+	eps := epsilonFor(r.maxArcCapacity())
+	// Pass 1: apply every capacity change that keeps the current flow
+	// feasible; collect the edges whose flow now overflows the new capacity.
+	var overflow []int
+	for i := 0; i < ne; i++ {
+		oldCap := r.arcs[2*i].cap + r.arcs[2*i+1].cap
+		newCap := g2.Edge(i).Capacity
+		if oldCap == newCap {
+			continue
+		}
+		forward := r.arcs[2*i].cap + (newCap - oldCap)
+		if forward >= 0 {
+			r.arcs[2*i].cap = forward
+		} else {
+			overflow = append(overflow, i)
+		}
+	}
+	// Pass 2: drain the overflowing edges.
+	for _, i := range overflow {
+		if err := n.drain(i, g2.Edge(i).Capacity, eps); err != nil {
+			return err
+		}
+	}
+	n.g = g2
+	return nil
+}
+
+// drain reduces the flow on edge i to newCap by cancelling the excess along
+// reverse (flow-carrying) paths.  With e = (u, v) carrying flow f > newCap,
+// the d = f - newCap excess units must stop traversing e; every unit of them
+// belongs, by flow decomposition, either to an s-t path through e or to a
+// cycle through e.  Cancelling a path unit means walking flow-carrying arcs
+// backwards from u to s and from v's downstream side back from t — which is a
+// single u ⇝ v walk over reverse arcs once the implicit t→s return arc of the
+// circulation formulation is added.  Cancelling a cycle unit is a direct
+// u ⇝ v walk over reverse arcs.  drain therefore repeatedly finds a u ⇝ v
+// path over reverse arcs, where reaching s additionally offers a free
+// teleport to t (the implicit return arc), and pushes the bottleneck along
+// it, until the whole excess is gone.
+func (n *Network) drain(i int, newCap, eps float64) error {
+	r := n.r
+	// Earlier drains may already have reduced this edge's flow.
+	f := r.arcs[2*i+1].cap
+	if f <= newCap {
+		r.arcs[2*i].cap = newCap - f
+		return nil
+	}
+	d := f - newCap
+	r.arcs[2*i].cap = 0
+	r.arcs[2*i+1].cap = newCap
+	u := r.tail(2 * i)
+	v := r.arcs[2*i].to
+
+	parent := make([]int, r.n) // arc used to reach the vertex, -1 unseen, -2 root, -3 teleport
+	queue := make([]int, 0, r.n)
+	for d > eps {
+		for j := range parent {
+			parent[j] = -1
+		}
+		parent[u] = -2
+		queue = append(queue[:0], u)
+		found := false
+		// label marks a newly reached vertex; reaching the source additionally
+		// unlocks the implicit t→s return arc of the circulation formulation,
+		// so the cancellation can continue from the sink.
+		var label func(x, via int)
+		label = func(x, via int) {
+			parent[x] = via
+			if x == v {
+				found = true
+				return
+			}
+			queue = append(queue, x)
+			if x == r.s && parent[r.t] == -1 {
+				label(r.t, -3)
+			}
+		}
+		if u == r.s && parent[r.t] == -1 {
+			label(r.t, -3)
+		}
+		for qh := 0; qh < len(queue) && !found; qh++ {
+			x := queue[qh]
+			for p := r.off[x]; p < r.off[x+1]; p++ {
+				a := int(r.adj[p])
+				if a&1 == 0 {
+					continue // reverse (flow-carrying) arcs only
+				}
+				to := r.arcs[a].to
+				if r.arcs[a].cap <= eps || parent[to] != -1 {
+					continue
+				}
+				label(to, a)
+				if found {
+					break
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: edge %d still carries %g above its new capacity", ErrCannotDrain, i, d)
+		}
+		// Bottleneck over the real arcs of the path (the teleport is free).
+		bottleneck := d
+		for x := v; x != u; {
+			a := parent[x]
+			if a == -3 {
+				x = r.s
+				continue
+			}
+			if r.arcs[a].cap < bottleneck {
+				bottleneck = r.arcs[a].cap
+			}
+			x = r.tail(a)
+		}
+		if bottleneck <= eps {
+			return fmt.Errorf("%w: edge %d drain stalled with %g left", ErrCannotDrain, i, d)
+		}
+		for x := v; x != u; {
+			a := parent[x]
+			if a == -3 {
+				x = r.s
+				continue
+			}
+			r.push(a, bottleneck)
+			x = r.tail(a)
+		}
+		d -= bottleneck
+	}
+	return nil
+}

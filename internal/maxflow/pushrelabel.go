@@ -24,11 +24,20 @@ func SolvePushRelabelContext(ctx context.Context, g *graph.Graph) (*graph.Flow, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pr := newPushRelabelState(g)
-	if err := pr.run(ctx); err != nil {
+	r := newResidual(g)
+	if err := runPushRelabel(ctx, r); err != nil {
 		return nil, err
 	}
-	return pr.r.flow(), nil
+	return r.flow(), nil
+}
+
+// runPushRelabel augments the residual network to a maximum flow with the
+// push-relabel algorithm.  Like the other run helpers it accepts any feasible
+// starting state: the algorithm computes a maximum flow of the residual
+// network, and the arc bookkeeping composes it with whatever flow the
+// residual already encodes.
+func runPushRelabel(ctx context.Context, r *residual) error {
+	return newPushRelabelState(r).run(ctx)
 }
 
 type pushRelabelState struct {
@@ -53,8 +62,7 @@ type pushRelabelState struct {
 	bfsQueue []int
 }
 
-func newPushRelabelState(g *graph.Graph) *pushRelabelState {
-	r := newResidual(g)
+func newPushRelabelState(r *residual) *pushRelabelState {
 	n := r.n
 	st := &pushRelabelState{
 		r:           r,

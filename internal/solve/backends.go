@@ -2,6 +2,9 @@ package solve
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sync"
 	"time"
 
 	"analogflow/internal/core"
@@ -73,12 +76,78 @@ func (a *analogSolver) NewInstance(p *Problem) (Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &analogInstance{name: a.name, sess: sess}, nil
+	return &analogInstance{name: a.name, sess: sess, bound: p}, nil
+}
+
+// NewUpdatableInstance builds an update-absorbing session: private per-edge
+// clamp sources (circuit mode) and a warm exact-reference network, so a
+// capacity-only update re-stamps values and re-augments instead of
+// rebuilding.  Results agree with plain instances to solver tolerance; see
+// core.NewUpdatableSessionPrepared for the exact contract.
+func (a *analogSolver) NewUpdatableInstance(p *Problem) (UpdatableInstance, error) {
+	prep, err := p.Prepared()
+	if err != nil {
+		return nil, err
+	}
+	params := p.Params()
+	params.Mode = a.mode
+	sess, err := core.NewUpdatableSessionPrepared(params, prep)
+	if err != nil {
+		return nil, err
+	}
+	return &analogInstance{name: a.name, sess: sess, bound: p}, nil
 }
 
 type analogInstance struct {
 	name string
 	sess *core.Session
+
+	// boundMu guards bound, the problem the session currently answers for.
+	// The service compares it against the requested problem after a cached
+	// solve, so a Solve racing an Update that claimed and rebound the
+	// instance is detected instead of returning the wrong problem's report.
+	boundMu sync.Mutex
+	bound   *Problem
+}
+
+// BoundFingerprint implements the service's post-solve rebind check.
+func (i *analogInstance) BoundFingerprint() string {
+	i.boundMu.Lock()
+	defer i.boundMu.Unlock()
+	if i.bound == nil {
+		return ""
+	}
+	return i.bound.Fingerprint()
+}
+
+func (i *analogInstance) setBound(p *Problem) {
+	i.boundMu.Lock()
+	i.bound = p
+	i.boundMu.Unlock()
+}
+
+// Update rebinds the warm session to the updated problem (capacity-only
+// mutations only); see Session.Rebind.
+func (i *analogInstance) Update(p *Problem) error {
+	prep, err := p.Prepared()
+	if err != nil {
+		return err
+	}
+	// Publish the new binding before the rebind: a Solve racing this update
+	// must see a fingerprint that differs from its own problem on either
+	// side of the swap, never a stale match against a re-stamped session.
+	i.boundMu.Lock()
+	old := i.bound
+	i.boundMu.Unlock()
+	i.setBound(p)
+	if err := i.sess.Rebind(prep); err != nil {
+		i.setBound(old)
+		if errors.Is(err, core.ErrSessionNotUpdatable) || errors.Is(err, core.ErrIncompatibleUpdate) {
+			return fmt.Errorf("%w: %v", ErrIncompatibleUpdate, err)
+		}
+		return err
+	}
+	return nil
 }
 
 func (i *analogInstance) Solve(ctx context.Context) (*Report, error) {
@@ -120,6 +189,13 @@ func reportFromCore(name string, res *core.Result) *Report {
 // cpuSolver adapts the combinatorial algorithms.  It solves on the shared
 // s-t core and expands the flow back to the original edge indexing; the
 // max-flow value is preserved exactly by construction of the prune.
+//
+// It is Warmable: an instance keeps the residual network of its last solve,
+// so a capacity-only update drains/extends the residual and re-augments
+// instead of re-solving from scratch.  A warm re-solve reaches exactly the
+// cold maximum value (the optimum is unique); the per-edge assignment it
+// recovers is a — possibly different — optimal flow, because augmentation
+// order from a warm residual differs from a cold run (docs/solver.md).
 type cpuSolver struct {
 	alg  maxflow.Algorithm
 	desc string
@@ -127,6 +203,107 @@ type cpuSolver struct {
 
 func (c *cpuSolver) Name() string     { return c.alg.String() }
 func (c *cpuSolver) Describe() string { return c.desc }
+
+// NewInstance returns a warm residual-network instance.  Its first Solve is
+// the exact computation of the one-shot path below (same residual layout,
+// same traversal order), so cached and uncached solves report identically.
+func (c *cpuSolver) NewInstance(p *Problem) (Instance, error) {
+	return &cpuInstance{alg: c.alg, name: c.Name(), p: p}, nil
+}
+
+// NewUpdatableInstance: cpu instances are always update-absorbing.
+func (c *cpuSolver) NewUpdatableInstance(p *Problem) (UpdatableInstance, error) {
+	return &cpuInstance{alg: c.alg, name: c.Name(), p: p}, nil
+}
+
+// cpuInstance is the warm state of one CPU backend on one problem chain: the
+// pruned core, the residual network of the last solve, and the solved flow.
+type cpuInstance struct {
+	alg  maxflow.Algorithm
+	name string
+
+	mu      sync.Mutex
+	p       *Problem
+	net     *maxflow.Network
+	solved  bool
+	flow    *graph.Flow // core-domain flow of the last completed solve
+	elapsed time.Duration
+}
+
+// BoundFingerprint implements the service's post-solve rebind check.
+func (i *cpuInstance) BoundFingerprint() string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.p.Fingerprint()
+}
+
+func (i *cpuInstance) Solve(ctx context.Context) (*Report, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	coreG, pr := i.p.STCore()
+	if i.net == nil {
+		net, err := maxflow.NewNetwork(coreG)
+		if err != nil {
+			return nil, err
+		}
+		i.net = net
+	}
+	if !i.solved {
+		start := time.Now()
+		f, err := i.net.Solve(ctx, i.alg)
+		if err != nil {
+			// An aborted solve may leave the residual mid-computation —
+			// push-relabel in particular is cancelled mid-discharge and
+			// leaves a preflow, not a feasible flow.  Drop the warm state
+			// so the next request re-solves from scratch instead of
+			// silently augmenting a corrupted network.
+			i.net, i.flow, i.solved = nil, nil, false
+			return nil, err
+		}
+		i.flow, i.elapsed = f, time.Since(start)
+		i.solved = true
+	}
+	if i.alg == maxflow.Dinic {
+		i.p.seedExact(i.flow.Value)
+	}
+	rep, err := expandedFlowReport(ctx, i.p, i.name, i.flow, pr)
+	if err != nil {
+		return nil, err
+	}
+	rep.WallTime = i.elapsed
+	return rep, nil
+}
+
+// Update absorbs a capacity-only update: the residual network drains the
+// overflow of shrunken edges and keeps everything else, and the next Solve
+// re-augments incrementally.
+func (i *cpuInstance) Update(p *Problem) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.net == nil {
+		// Nothing warm to absorb the update into (never solved, or the
+		// state was dropped after an aborted solve).  Report it as such so
+		// the service counts the step as a cold fallback instead of
+		// claiming a warm hit for a from-scratch solve.
+		return fmt.Errorf("%w: instance holds no warm residual state", ErrIncompatibleUpdate)
+	}
+	_, oldPr := i.p.STCore()
+	newCore, newPr := p.STCore()
+	if !graph.SamePruneEdges(oldPr, newPr) {
+		return fmt.Errorf("%w: the s-t core changed", ErrIncompatibleUpdate)
+	}
+	if err := i.net.UpdateTo(newCore); err != nil {
+		// UpdateTo may have applied part of the capacity pass before
+		// failing; the residual is no longer trustworthy for either
+		// problem, so drop the warm state — the instance stays valid for
+		// its base problem, just cold.
+		i.net, i.flow, i.solved = nil, nil, false
+		return fmt.Errorf("%w: %v", ErrIncompatibleUpdate, err)
+	}
+	i.p = p
+	i.solved = false
+	return nil
+}
 
 func (c *cpuSolver) Solve(ctx context.Context, p *Problem) (*Report, error) {
 	coreG, pr := p.STCore()

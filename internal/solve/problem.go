@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync/atomic"
 
 	"analogflow/internal/core"
@@ -95,6 +96,84 @@ func NewProblem(g *graph.Graph, opts ...Option) (*Problem, error) {
 		return nil, invalid("decompose options", err)
 	}
 	return p, nil
+}
+
+// WithUpdate derives the problem that results from applying a validated
+// capacity-only update to this one.  The receiver is never mutated: the graph
+// is cloned (one allocation pass) and patched, so in-flight solves of the old
+// problem stay valid and a session can keep a whole chain of problems alive.
+//
+// Two artifacts are carried over instead of recomputed:
+//
+//   - The fingerprint is chained — hash(base fingerprint, update) — so
+//     deriving it costs O(|update|) instead of re-hashing the whole edge
+//     list.  Two identical chains share a fingerprint; a chained problem
+//     deliberately does not alias the fingerprint of a from-scratch problem
+//     with equal content, which keeps a warm update chain's cache entries
+//     separate from cold solves of the same instance.
+//
+//   - When no capacity crossed zero, the s-t core of the base problem is
+//     structurally valid for the update (pruning depends on capacities only
+//     through positivity), so the prune stage is seeded with a
+//     capacity-patched copy of the base core instead of re-running the
+//     reachability passes.
+func (p *Problem) WithUpdate(u graph.CapacityUpdate) (*Problem, error) {
+	if err := u.Validate(p.g); err != nil {
+		return nil, invalid("capacity update", err)
+	}
+	g2 := p.g.Clone()
+	rec, err := g2.ApplyCapacityUpdate(u)
+	if err != nil {
+		return nil, invalid("capacity update", err)
+	}
+	p2 := &Problem{g: g2, params: p.params, dec: p.dec}
+
+	// Chained fingerprint.
+	base := p.Fingerprint()
+	h := sha256.New()
+	h.Write([]byte(base))
+	var buf [8]byte
+	order := make([]int, len(u.Edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return u.Edges[order[a]] < u.Edges[order[b]] })
+	for _, k := range order {
+		binary.LittleEndian.PutUint64(buf[:], uint64(u.Edges[k]))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(u.Capacities[k]))
+		h.Write(buf[:])
+	}
+	fp := hex.EncodeToString(h.Sum(nil)[:16])
+	p2.pipe.fpOnce.Do(func() { p2.pipe.fp = fp })
+
+	// Prune-stage reuse: positivity unchanged ⇒ the core's vertex and edge
+	// sets are unchanged, only capacity values moved.
+	if !rec.PositivityChanged && p.params.PruneGraph {
+		_, pr := p.STCore()
+		if pr != nil {
+			newCaps := make([]float64, len(pr.EdgeMap))
+			for i, orig := range pr.EdgeMap {
+				newCaps[i] = g2.Edge(orig).Capacity
+			}
+			core2, err := pr.Graph.WithCapacities(newCaps)
+			if err != nil {
+				return nil, invalid("capacity update", err)
+			}
+			pr2 := &graph.PruneResult{
+				Graph:           core2,
+				EdgeMap:         pr.EdgeMap,
+				VertexMap:       pr.VertexMap,
+				RemovedEdges:    pr.RemovedEdges,
+				RemovedVertices: pr.RemovedVertices,
+			}
+			p2.pipe.pruneOnce.Do(func() {
+				p2.pipe.prune = pr2
+				p2.pipe.coreG = core2
+			})
+		}
+	}
+	return p2, nil
 }
 
 // FromDIMACS is the parse stage of the pipeline for on-the-wire instances:

@@ -2,12 +2,14 @@ package solve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"analogflow/internal/graph"
 	"analogflow/internal/parallel"
 )
 
@@ -48,12 +50,14 @@ type Service struct {
 	cache map[string]*cacheEntry
 	tick  int64
 
-	requests  atomic.Int64
-	errors    atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	inFlight  atomic.Int64
-	completed atomic.Int64
+	requests    atomic.Int64
+	errors      atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	inFlight    atomic.Int64
+	completed   atomic.Int64
+	updates     atomic.Int64
+	updatesWarm atomic.Int64
 }
 
 // cacheEntry is one warm instance slot.  The sync.Once makes instance
@@ -64,6 +68,11 @@ type cacheEntry struct {
 	inst    Instance
 	err     error
 	lastUse atomic.Int64
+	// ready flips to true when once.Do has completed.  The eviction pass
+	// skips entries that are still under construction: evicting one would
+	// orphan the instance being built while a concurrent request for the
+	// same fingerprint rebuilds it from scratch.
+	ready atomic.Bool
 }
 
 // NewService builds a service from the configuration.
@@ -106,6 +115,10 @@ type Stats struct {
 	// currently executing.
 	CachedInstances int   `json:"cached_instances"`
 	InFlight        int64 `json:"in_flight"`
+	// Updates counts Update calls; UpdateWarmHits the subset a warm instance
+	// absorbed in place (the remainder fell back to a cold build).
+	Updates        int64 `json:"updates"`
+	UpdateWarmHits int64 `json:"update_warm_hits"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -121,6 +134,8 @@ func (s *Service) Stats() Stats {
 		CacheMisses:     s.misses.Load(),
 		CachedInstances: cached,
 		InFlight:        s.inFlight.Load(),
+		Updates:         s.updates.Load(),
+		UpdateWarmHits:  s.updatesWarm.Load(),
 	}
 }
 
@@ -130,6 +145,13 @@ type Request struct {
 	Solver string
 	// Problem is the instance to solve.
 	Problem *Problem
+	// Updatable asks the service to build the warm instance through
+	// UpdatableSolver.NewUpdatableInstance when the backend supports it, so
+	// a later Update chain starting from this problem is warm from its
+	// first step (the session-create path of analogflowd).  It only
+	// influences instance construction; an already-cached instance for the
+	// fingerprint is used either way.
+	Updatable bool
 }
 
 // BatchResult pairs a request index with its outcome.
@@ -176,13 +198,30 @@ func (s *Service) solve(ctx context.Context, req Request) (*Report, error) {
 	start := time.Now()
 	var rep *Report
 	if w, ok := sol.(Warmable); ok {
-		inst, err := s.instance(w, req.Problem)
+		inst, err := s.instance(w, req.Problem, req.Updatable)
 		if err != nil {
 			return nil, err
 		}
 		rep, err = inst.Solve(ctx)
 		if err != nil {
 			return nil, err
+		}
+		// A concurrent Update may have claimed this instance after the cache
+		// lookup and rebound it to the updated problem before (or right
+		// after) our solve ran.  The binding is published before the rebind,
+		// so a fingerprint mismatch here catches every interleaving in which
+		// the report could belong to the wrong problem; re-solve on a fresh
+		// uncached instance (the claim already removed this entry).
+		if b, ok := inst.(interface{ BoundFingerprint() string }); ok &&
+			b.BoundFingerprint() != req.Problem.Fingerprint() {
+			fresh, err := buildInstance(w, req.Problem, req.Updatable)
+			if err != nil {
+				return nil, err
+			}
+			rep, err = fresh.Solve(ctx)
+			if err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		rep, err = sol.Solve(ctx, req.Problem)
@@ -198,8 +237,10 @@ func (s *Service) solve(ctx context.Context, req Request) (*Report, error) {
 }
 
 // instance returns the warm instance for the (problem, solver) pair,
-// creating and caching it on first use.
-func (s *Service) instance(w Warmable, p *Problem) (Instance, error) {
+// creating and caching it on first use.  updatable selects the
+// update-absorbing construction for a fresh instance (no effect on a cache
+// hit).
+func (s *Service) instance(w Warmable, p *Problem, updatable bool) (Instance, error) {
 	key := p.Fingerprint() + "|" + w.Name()
 	s.mu.Lock()
 	e, ok := s.cache[key]
@@ -217,7 +258,10 @@ func (s *Service) instance(w Warmable, p *Problem) (Instance, error) {
 		s.misses.Add(1)
 	}
 
-	e.once.Do(func() { e.inst, e.err = w.NewInstance(p) })
+	e.once.Do(func() {
+		e.inst, e.err = buildInstance(w, p, updatable)
+		e.ready.Store(true)
+	})
 	if e.err != nil {
 		// A failed construction is not worth caching: drop the entry so a
 		// later (possibly fixed) problem with the same fingerprint retries.
@@ -231,14 +275,17 @@ func (s *Service) instance(w Warmable, p *Problem) (Instance, error) {
 	return e.inst, nil
 }
 
-// evictLocked drops least-recently-used entries (never keep) until the cache
-// respects its bound.  Callers hold s.mu.
+// evictLocked drops least-recently-used entries (never keep, never an entry
+// whose construction is still in flight — see cacheEntry.ready) until the
+// cache respects its bound.  When every other entry is under construction the
+// cache is allowed to run over its bound temporarily; the next insert evicts
+// once those constructions finish.  Callers hold s.mu.
 func (s *Service) evictLocked(keep *cacheEntry) {
 	for len(s.cache) > s.maxCached {
 		var victimKey string
 		var victim *cacheEntry
 		for k, e := range s.cache {
-			if e == keep {
+			if e == keep || !e.ready.Load() {
 				continue
 			}
 			if victim == nil || e.lastUse.Load() < victim.lastUse.Load() {
@@ -288,4 +335,198 @@ func (s *Service) SolveBatchFunc(ctx context.Context, reqs []Request, onResult f
 		return nil
 	})
 	return results
+}
+
+// UpdateRequest is one capacity-only re-solve step: apply Update to Problem
+// (the previous problem of the chain) and solve the result with Solver.
+type UpdateRequest struct {
+	Solver  string
+	Problem *Problem
+	Update  graph.CapacityUpdate
+}
+
+// UpdateResult is the outcome of one Update step.
+type UpdateResult struct {
+	// Report is the solve report of the updated problem.
+	Report *Report
+	// Problem is the updated problem — pass it as the next UpdateRequest's
+	// Problem to continue the chain.
+	Problem *Problem
+	// Warm reports whether a warm instance absorbed the update in place
+	// (false on the first step of a chain, after a structural change, and
+	// for backends without warm state).
+	Warm bool
+}
+
+// Update is the stateful sibling of Solve: it derives the updated problem
+// (Problem.WithUpdate), routes it to the warm instance the cache holds for
+// the base problem when one exists and can absorb the mutation — the analog
+// backends re-stamp clamp values into their frozen circuit pattern and
+// re-solve from the previous operating point, the CPU backends drain/extend
+// their residual network and re-augment — and falls back to building a fresh
+// update-capable instance otherwise.  Either way the instance ends up cached
+// under the updated problem's fingerprint, so chains of updates stay warm.
+//
+// Claiming the warm instance moves it: the base problem's cache entry is
+// re-keyed to the updated problem, and concurrent updates branching off the
+// same base race for the warm state — one wins, the rest build cold (their
+// reports agree to solver tolerance; exactly for the deterministic CPU
+// backends).  Like Solve, the call waits for a free service-wide worker slot.
+func (s *Service) Update(ctx context.Context, req UpdateRequest) (*UpdateResult, error) {
+	s.requests.Add(1)
+	s.updates.Add(1)
+	var res *UpdateResult
+	var err error
+	select {
+	case s.slots <- struct{}{}:
+		s.inFlight.Add(1)
+		res, err = s.update(ctx, req)
+		s.inFlight.Add(-1)
+		<-s.slots
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.completed.Add(1)
+	if err != nil {
+		s.errors.Add(1)
+	}
+	return res, err
+}
+
+func (s *Service) update(ctx context.Context, req UpdateRequest) (*UpdateResult, error) {
+	if req.Problem == nil {
+		return nil, fmt.Errorf("solve: nil problem")
+	}
+	sol, err := s.reg.Get(req.Solver)
+	if err != nil {
+		return nil, err
+	}
+	target, err := req.Problem.WithUpdate(req.Update)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	w, warmable := sol.(Warmable)
+	if !warmable {
+		// Backends without per-problem state (lp, decompose) just solve the
+		// updated problem.
+		rep, err := sol.Solve(ctx, target)
+		if err != nil {
+			return nil, err
+		}
+		rep.Solver = sol.Name()
+		if rep.WallTime == 0 {
+			rep.WallTime = time.Since(start)
+		}
+		return &UpdateResult{Report: rep, Problem: target}, nil
+	}
+	inst, warm, err := s.updateInstance(w, req.Problem, target)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := inst.Solve(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Same guard as Service.solve: the instance is published under the
+	// target fingerprint before this solve runs, so an identical-chain
+	// Update branching off the target may already have claimed and rebound
+	// it.  On a binding mismatch, re-solve the target on a fresh instance.
+	if b, ok := inst.(interface{ BoundFingerprint() string }); ok &&
+		b.BoundFingerprint() != target.Fingerprint() {
+		fresh, err := buildInstance(w, target, true)
+		if err != nil {
+			return nil, err
+		}
+		warm = false
+		rep, err = fresh.Solve(ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if warm {
+		// Counted only after the binding guard, so the stat never claims a
+		// warm hit for a step that fell back to a cold re-solve.
+		s.updatesWarm.Add(1)
+	}
+	rep.Solver = sol.Name()
+	if rep.WallTime == 0 {
+		rep.WallTime = time.Since(start)
+	}
+	return &UpdateResult{Report: rep, Problem: target, Warm: warm}, nil
+}
+
+// updateInstance routes an update to the warm instance cached for the base
+// problem, or builds a fresh update-capable instance for the target.
+func (s *Service) updateInstance(w Warmable, base, target *Problem) (Instance, bool, error) {
+	baseKey := base.Fingerprint() + "|" + w.Name()
+	targetKey := target.Fingerprint() + "|" + w.Name()
+
+	// Claim the base entry: removing it from the map makes this goroutine
+	// the instance's only owner for the in-place mutation.
+	s.mu.Lock()
+	e := s.cache[baseKey]
+	var claimed *cacheEntry
+	if e != nil && e.ready.Load() && e.err == nil {
+		if _, ok := e.inst.(UpdatableInstance); ok {
+			delete(s.cache, baseKey)
+			claimed = e
+		}
+	}
+	s.mu.Unlock()
+
+	if claimed != nil {
+		err := claimed.inst.(UpdatableInstance).Update(target)
+		if err == nil {
+			s.hits.Add(1)
+			s.putEntry(targetKey, claimed)
+			return claimed.inst, true, nil
+		}
+		// The instance could not absorb the update, but it is still a valid
+		// warm instance for the base problem: put it back so base-problem
+		// solve traffic keeps its warm state.
+		s.putEntry(baseKey, claimed)
+		if !errors.Is(err, ErrIncompatibleUpdate) {
+			return nil, false, err
+		}
+		// Structural change (or a non-updatable instance): fall through to a
+		// cold build for the target.
+	}
+
+	s.misses.Add(1)
+	inst, err := buildInstance(w, target, true)
+	if err != nil {
+		return nil, false, err
+	}
+	ne := &cacheEntry{inst: inst}
+	ne.once.Do(func() {})
+	ne.ready.Store(true)
+	s.putEntry(targetKey, ne)
+	return inst, false, nil
+}
+
+// buildInstance constructs a warm instance for p, preferring the
+// update-absorbing construction when asked for and supported.
+func buildInstance(w Warmable, p *Problem, updatable bool) (Instance, error) {
+	if us, ok := w.(UpdatableSolver); ok && updatable {
+		return us.NewUpdatableInstance(p)
+	}
+	return w.NewInstance(p)
+}
+
+// putEntry inserts a pre-built entry under key, keeping an already-present
+// entry (two racers produced equivalent instances; first one wins, the loser
+// keeps solving its uncached instance).
+func (s *Service) putEntry(key string, e *cacheEntry) {
+	s.mu.Lock()
+	if _, exists := s.cache[key]; !exists {
+		s.cache[key] = e
+		s.evictLocked(e)
+	}
+	s.tick++
+	e.lastUse.Store(s.tick)
+	s.mu.Unlock()
 }

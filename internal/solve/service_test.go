@@ -287,6 +287,156 @@ func TestServiceUnknownSolver(t *testing.T) {
 	}
 }
 
+// gatedWarmSolver is a Warmable whose NewInstance blocks on a per-problem
+// gate and counts construction calls, for the eviction-under-construction
+// regression test.
+type gatedWarmSolver struct {
+	mu    sync.Mutex
+	calls map[string]int
+	gates map[string]chan struct{} // closed to release construction
+	began map[string]chan struct{} // closed when construction starts
+}
+
+func newGatedWarmSolver() *gatedWarmSolver {
+	return &gatedWarmSolver{
+		calls: map[string]int{},
+		gates: map[string]chan struct{}{},
+		began: map[string]chan struct{}{},
+	}
+}
+
+func (g *gatedWarmSolver) Name() string     { return "gated-warm" }
+func (g *gatedWarmSolver) Describe() string { return "test backend with gated construction" }
+
+func (g *gatedWarmSolver) arm(fp string) (began, gate chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	began, gate = make(chan struct{}), make(chan struct{})
+	g.began[fp], g.gates[fp] = began, gate
+	return began, gate
+}
+
+func (g *gatedWarmSolver) Solve(ctx context.Context, p *Problem) (*Report, error) {
+	inst, err := g.NewInstance(p)
+	if err != nil {
+		return nil, err
+	}
+	return inst.Solve(ctx)
+}
+
+func (g *gatedWarmSolver) NewInstance(p *Problem) (Instance, error) {
+	fp := p.Fingerprint()
+	g.mu.Lock()
+	g.calls[fp]++
+	began, gate := g.began[fp], g.gates[fp]
+	g.mu.Unlock()
+	if began != nil {
+		close(began)
+		g.mu.Lock()
+		g.began[fp] = nil
+		g.mu.Unlock()
+	}
+	if gate != nil {
+		<-gate
+	}
+	return fakeInstance{}, nil
+}
+
+type fakeInstance struct{}
+
+func (fakeInstance) Solve(ctx context.Context) (*Report, error) { return &Report{FlowValue: 1}, nil }
+
+// TestServiceEvictionSkipsEntriesUnderConstruction is the regression test
+// for the insert-time eviction race: with maxCached=1, inserting problem B
+// while problem A's instance is still being constructed must NOT evict A's
+// entry — evicting it would orphan the in-flight construction and force a
+// concurrent request for A to rebuild from scratch.
+func TestServiceEvictionSkipsEntriesUnderConstruction(t *testing.T) {
+	gs := newGatedWarmSolver()
+	reg := NewRegistry()
+	if err := reg.Register(gs); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(Config{Registry: reg, Workers: 4, MaxCachedInstances: 1})
+
+	probA := figure5Problem(t, core.DefaultParams())
+	probB, err := NewProblem(rmat.MustGenerate(rmat.SparseParams(16, 5)), WithParams(core.DefaultParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beganA, gateA := gs.arm(probA.Fingerprint())
+
+	// Start A; its construction blocks on the gate.
+	doneA := make(chan error, 1)
+	go func() {
+		_, err := svc.Solve(context.Background(), Request{Solver: "gated-warm", Problem: probA})
+		doneA <- err
+	}()
+	<-beganA
+
+	// B inserts while A is under construction; with maxCached=1 the old code
+	// evicted A's entry here.
+	if _, err := svc.Solve(context.Background(), Request{Solver: "gated-warm", Problem: probB}); err != nil {
+		t.Fatal(err)
+	}
+
+	close(gateA)
+	if err := <-doneA; err != nil {
+		t.Fatal(err)
+	}
+	// A second request for A must hit the cached entry, not reconstruct.
+	if _, err := svc.Solve(context.Background(), Request{Solver: "gated-warm", Problem: probA}); err != nil {
+		t.Fatal(err)
+	}
+	gs.mu.Lock()
+	callsA := gs.calls[probA.Fingerprint()]
+	gs.mu.Unlock()
+	if callsA != 1 {
+		t.Fatalf("problem A was constructed %d times; the in-flight entry was evicted and orphaned", callsA)
+	}
+}
+
+// TestServiceEvictionHammered runs many concurrent solves of two alternating
+// fingerprints through a maxCached=1 service, checking that nothing
+// deadlocks or fails under constant eviction pressure (race detector
+// coverage for the claim/evict paths).
+func TestServiceEvictionHammered(t *testing.T) {
+	svc := NewService(Config{Workers: 4, MaxCachedInstances: 1})
+	params := core.DefaultParams()
+	probs := []*Problem{
+		figure5Problem(t, params),
+		mustProblem(t, rmat.MustGenerate(rmat.SparseParams(16, 3)), params),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				p := probs[(w+k)%2]
+				if _, err := svc.Solve(context.Background(), Request{Solver: "dinic", Problem: p}); err != nil {
+					t.Errorf("solve failed under eviction pressure: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := svc.Stats(); st.CachedInstances > 2 {
+		t.Errorf("cache failed to shrink back: %d instances", st.CachedInstances)
+	}
+}
+
+func mustProblem(t *testing.T, g *graph.Graph, params core.Params) *Problem {
+	t.Helper()
+	p, err := NewProblem(g, WithParams(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestServiceCacheEviction(t *testing.T) {
 	svc := NewService(Config{Workers: 1, MaxCachedInstances: 1})
 	params := core.DefaultParams()

@@ -61,6 +61,32 @@ type Warmable interface {
 	NewInstance(p *Problem) (Instance, error)
 }
 
+// ErrIncompatibleUpdate is returned by UpdatableInstance.Update when the
+// target problem is not a capacity-only mutation the warm state can absorb
+// (the s-t core or the quantized work graph changed structurally).  The
+// service reacts by building a fresh instance for the target instead.
+var ErrIncompatibleUpdate = errors.New("solve: update incompatible with warm instance state")
+
+// UpdatableInstance is an Instance that can absorb a capacity-only problem
+// update in place, carrying its warm state (residual networks, circuits,
+// factorisations, previous operating points) over to the updated problem.
+// After a successful Update the instance answers Solve for the new problem;
+// the caller owns re-keying any cache.  A structural change fails with
+// ErrIncompatibleUpdate and leaves the instance bound to its old problem.
+type UpdatableInstance interface {
+	Instance
+	Update(p *Problem) error
+}
+
+// UpdatableSolver is a Warmable whose purpose-built instances absorb
+// capacity-only updates.  NewUpdatableInstance may construct differently from
+// NewInstance (e.g. the circuit backend builds per-edge clamp sources), so
+// the service uses it when an update chain starts cold.
+type UpdatableSolver interface {
+	Warmable
+	NewUpdatableInstance(p *Problem) (UpdatableInstance, error)
+}
+
 // Report is the unified outcome of one solve — a superset of core.Result's
 // metrics so that every backend can be compared field by field.  Fields that
 // a backend does not produce are left at their zero value.
