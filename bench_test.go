@@ -9,6 +9,8 @@ package analogflow_bench
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -130,6 +132,46 @@ func BenchmarkDualDecomposition(b *testing.B) {
 		if _, err := experiments.DualDecomposition(1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDecomposeScaling is the partition-planner scaling smoke: for every
+// region count in {2, 4, 8} it runs the service-routed sharded solve of an
+// R-MAT instance under a budget that forces that many regions, asserts the
+// sharded value against the exact one, and reports the relative error and
+// iteration count — so a planner or consensus regression shows up in the
+// benchmark trajectory, not just in unit tests.
+func BenchmarkDecomposeScaling(b *testing.B) {
+	base := rmat.MustGenerate(rmat.SparseParams(256, 1))
+	exact, err := maxflow.OptimalValue(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, regions := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("regions=%d", regions), func(b *testing.B) {
+			budget := solve.Budget{MaxVertices: base.NumVertices()/regions + 40, MaxRegions: regions}
+			svc := solve.NewService(solve.Config{Budget: budget})
+			for i := 0; i < b.N; i++ {
+				p, err := solve.NewProblem(base)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := svc.Solve(context.Background(), solve.Request{Solver: "dinic", Problem: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Plan == nil || !rep.Plan.Sharded {
+					b.Fatalf("instance not sharded under budget %+v: plan %+v", budget, rep.Plan)
+				}
+				relErr := math.Abs(rep.FlowValue-exact) / exact
+				if relErr > 0.25 {
+					b.Fatalf("sharded flow %.2f vs exact %.2f: %.1f%% error", rep.FlowValue, exact, 100*relErr)
+				}
+				b.ReportMetric(100*relErr, "rel-err-%")
+				b.ReportMetric(float64(rep.Plan.Regions), "regions")
+				b.ReportMetric(float64(rep.Iterations), "iterations")
+			}
+		})
 	}
 }
 

@@ -24,8 +24,16 @@
 //	    {"dimacs": "p max 4 3\nn 1 s\nn 4 t\na 1 2 2\na 2 3 2\na 3 4 1\n"},
 //	    {"rmat": {"vertices": 64, "sparse": true, "seed": 7}}
 //	  ],
-//	  "params": {"levels": 20, "gbw": 1e10, "seed": 1}
+//	  "params": {"levels": 20, "gbw": 1e10, "seed": 1},
+//	  "budget": {"max_vertices": 128, "max_regions": 8, "partitioner": "bfs"}
 //	}
+//
+// The optional budget block (or the server-wide -budget-vertices /
+// -budget-regions / -partitioner flags) engages the partition planner: a
+// problem larger than the budget is sharded into overlapping regions and
+// solved through the Section 6.4 N-region dual decomposition, with the
+// requested backend solving the regions; the report's "plan" field shows the
+// decision, and /v1/healthz counts planned/sharded solves.
 //
 // Each result is one NDJSON line {"index":i,"report":{...}} (or
 // {"index":i,"error":"..."}), written as the solve completes; the stream
@@ -73,9 +81,12 @@ func run(args []string, stdout io.Writer) error {
 	var usage bytes.Buffer
 	fs.SetOutput(&usage)
 	var (
-		addr      = fs.String("addr", ":8723", "listen address")
-		workers   = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
-		maxCached = fs.Int("max-cached", 0, "max cached warm solver instances (0 = default)")
+		addr        = fs.String("addr", ":8723", "listen address")
+		workers     = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxCached   = fs.Int("max-cached", 0, "max cached warm solver instances (0 = default)")
+		budgetVerts = fs.Int("budget-vertices", 0, "substrate budget: max vertices per monolithic solve; larger instances are auto-sharded (0 = unlimited)")
+		budgetRegs  = fs.Int("budget-regions", 0, "substrate budget: max regions the planner may shard into (0 = default 16)")
+		partitioner = fs.String("partitioner", "", "planner partitioner: bfs (default) or cluster")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -84,7 +95,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return err
 	}
-	svc := solve.NewService(solve.Config{Workers: *workers, MaxCachedInstances: *maxCached})
+	budget := solve.Budget{MaxVertices: *budgetVerts, MaxRegions: *budgetRegs, Partitioner: *partitioner}
+	if err := budget.Validate(); err != nil {
+		return err
+	}
+	svc := solve.NewService(solve.Config{Workers: *workers, MaxCachedInstances: *maxCached, Budget: budget})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newHandler(svc),

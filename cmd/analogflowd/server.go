@@ -122,10 +122,30 @@ type paramSpec struct {
 	Seed   *int64   `json:"seed,omitempty"`
 }
 
+// budgetSpec exposes the partition planner's substrate budget per request: a
+// problem larger than max_vertices is automatically sharded into overlapping
+// regions (at most max_regions of them, split by the named partitioner) and
+// solved through the N-region dual decomposition with the requested backend
+// as the per-region oracle; the resulting report carries the chosen plan.
+// Omitting the block falls back to the server-wide -budget-* flags.
+type budgetSpec struct {
+	MaxVertices int    `json:"max_vertices"`
+	MaxRegions  int    `json:"max_regions,omitempty"`
+	Partitioner string `json:"partitioner,omitempty"`
+}
+
+func (b *budgetSpec) budget() solve.Budget {
+	if b == nil {
+		return solve.Budget{}
+	}
+	return solve.Budget{MaxVertices: b.MaxVertices, MaxRegions: b.MaxRegions, Partitioner: b.Partitioner}
+}
+
 type solveRequest struct {
 	Solver   string        `json:"solver"`
 	Problems []problemSpec `json:"problems"`
 	Params   *paramSpec    `json:"params,omitempty"`
+	Budget   *budgetSpec   `json:"budget,omitempty"`
 }
 
 // Request-size bounds: the endpoint is public surface, so one request must
@@ -208,12 +228,21 @@ func buildProblem(spec problemSpec, opts []solve.Option) (*solve.Problem, error)
 	}
 }
 
-// solveOptions translates the request's parameter block, rejecting values
-// the substrate configuration cannot accept (NewProblem re-validates the
-// assembled Params, so this mostly produces earlier, clearer messages).
-func solveOptions(ps *paramSpec) ([]solve.Option, error) {
+// solveOptions translates the request's parameter and budget blocks,
+// rejecting values the substrate configuration cannot accept (NewProblem
+// re-validates the assembled Params, so this mostly produces earlier,
+// clearer messages).
+func solveOptions(ps *paramSpec, bs *budgetSpec) ([]solve.Option, error) {
+	var opts []solve.Option
+	if bs != nil {
+		b := bs.budget()
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+		opts = append(opts, solve.WithBudget(b))
+	}
 	if ps == nil {
-		return nil, nil
+		return opts, nil
 	}
 	params := core.DefaultParams()
 	if ps.Levels != nil {
@@ -231,7 +260,7 @@ func solveOptions(ps *paramSpec) ([]solve.Option, error) {
 	if ps.Seed != nil {
 		params.Seed = *ps.Seed
 	}
-	return []solve.Option{solve.WithParams(params)}, nil
+	return append(opts, solve.WithParams(params)), nil
 }
 
 // streamItem is one NDJSON line of a solve response.
@@ -275,7 +304,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request: %d problems exceeds the batch limit of %d", len(req.Problems), maxBatchProblems), http.StatusBadRequest)
 		return
 	}
-	opts, err := solveOptions(req.Params)
+	opts, err := solveOptions(req.Params, req.Budget)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad request: params: %v", err), http.StatusBadRequest)
 		return
@@ -337,6 +366,7 @@ type sessionCreateRequest struct {
 	Solver  string      `json:"solver"`
 	Problem problemSpec `json:"problem"`
 	Params  *paramSpec  `json:"params,omitempty"`
+	Budget  *budgetSpec `json:"budget,omitempty"`
 }
 
 // edgeUpdate is one edge mutation of an update step.
@@ -370,7 +400,7 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
-	opts, err := solveOptions(req.Params)
+	opts, err := solveOptions(req.Params, req.Budget)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad request: params: %v", err), http.StatusBadRequest)
 		return

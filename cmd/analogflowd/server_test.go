@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"analogflow/internal/solve"
+	"analogflow/internal/testutil"
 )
 
 const figure5Inline = `{"vertices":5,"source":0,"sink":4,"edges":[[0,1,3],[1,2,2],[1,3,1],[2,4,1],[3,4,2]]}`
@@ -608,5 +609,91 @@ func TestSolveBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/solve: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestSolveWithBudgetShardsAndReportsPlan drives the partition planner over
+// HTTP: an R-MAT instance larger than the requested budget is auto-sharded,
+// the streamed report carries the plan, and /v1/healthz surfaces the planner
+// counters.
+func TestSolveWithBudgetShardsAndReportsPlan(t *testing.T) {
+	srv := newTestServer(t, 2)
+	body := `{"solver":"dinic",
+		"problems":[{"rmat":{"vertices":200,"sparse":true,"seed":9}}],
+		"budget":{"max_vertices":80}}`
+	items, done := postSolve(t, srv, body)
+	if done == nil || len(items) != 1 {
+		t.Fatalf("stream incomplete: items=%v done=%v", items, done)
+	}
+	rep, _ := items[0]["report"].(map[string]any)
+	if rep == nil {
+		t.Fatalf("no report in %v", items[0])
+	}
+	plan, _ := rep["plan"].(map[string]any)
+	if plan == nil {
+		t.Fatalf("report carries no plan: %v", rep)
+	}
+	if sharded, _ := plan["sharded"].(bool); !sharded {
+		t.Errorf("plan not sharded: %v", plan)
+	}
+	if regions, _ := plan["regions"].(float64); regions < 2 {
+		t.Errorf("plan regions %v, want >= 2", plan["regions"])
+	}
+	if bmv, _ := plan["budget_max_vertices"].(float64); bmv != 80 {
+		t.Errorf("plan budget %v, want 80", plan["budget_max_vertices"])
+	}
+	exact, _ := rep["exact_value"].(float64)
+	flow, _ := rep["flow_value"].(float64)
+	if exact <= 0 || !testutil.AlmostEqual(flow, exact, 0.25) {
+		t.Errorf("sharded flow %v vs exact %v beyond tolerance", flow, exact)
+	}
+
+	// Planner stats are visible through the health endpoint.
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Stats solve.Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Stats.PlannedSolves != 1 || health.Stats.ShardedSolves != 1 {
+		t.Errorf("healthz planner stats %+v, want 1 planned / 1 sharded", health.Stats)
+	}
+}
+
+// TestSolveBudgetValidation: malformed budgets are a clean 400.
+func TestSolveWithBudgetValidation(t *testing.T) {
+	srv := newTestServer(t, 1)
+	for name, body := range map[string]string{
+		"bad partitioner": fmt.Sprintf(`{"solver":"dinic","problems":[%s],"budget":{"max_vertices":64,"partitioner":"voronoi"}}`, figure5Inline),
+		"tiny budget":     fmt.Sprintf(`{"solver":"dinic","problems":[%s],"budget":{"max_vertices":1}}`, figure5Inline),
+	} {
+		resp := postJSON(t, srv.URL+"/v1/solve", body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestSolveBudgetMonolithicNoPlanNoise: an in-budget problem solves on the
+// normal path and the report stays plan-free.
+func TestSolveWithBudgetMonolithic(t *testing.T) {
+	srv := newTestServer(t, 1)
+	body := fmt.Sprintf(`{"solver":"dinic","problems":[%s],"budget":{"max_vertices":64}}`, figure5Inline)
+	items, done := postSolve(t, srv, body)
+	if done == nil || len(items) != 1 {
+		t.Fatalf("stream incomplete: items=%v done=%v", items, done)
+	}
+	rep, _ := items[0]["report"].(map[string]any)
+	if rep == nil {
+		t.Fatalf("no report in %v", items[0])
+	}
+	if plan, present := rep["plan"]; present {
+		t.Errorf("monolithic report unexpectedly carries a plan: %v", plan)
 	}
 }

@@ -5,8 +5,11 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"analogflow/internal/crossbar"
@@ -16,24 +19,43 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crossbar:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("crossbar", flag.ContinueOnError)
+	// Usage text belongs on stdout only when the user asked for it (-h);
+	// parse errors surface once, through the returned error, on stderr.
+	var usage bytes.Buffer
+	fs.SetOutput(&usage)
 	var (
-		size      = flag.Int("size", 64, "crossbar dimension (rows = columns)")
-		rmatSize  = flag.Int("rmat", 48, "vertices of the synthetic R-MAT instance to map")
-		seed      = flag.Int64("seed", 1, "random seed")
-		sigma     = flag.Float64("variation", 0.1, "lognormal sigma of per-cell LRS variation")
-		doTuning  = flag.Bool("tune", true, "run post-fabrication resistance tuning on the active cells")
-		useFigure = flag.Bool("figure5", false, "map the paper's Figure 5 example instead of an R-MAT instance")
+		size      = fs.Int("size", 64, "crossbar dimension (rows = columns)")
+		rmatSize  = fs.Int("rmat", 48, "vertices of the synthetic R-MAT instance to map")
+		seed      = fs.Int64("seed", 1, "random seed")
+		sigma     = fs.Float64("variation", 0.1, "lognormal sigma of per-cell LRS variation")
+		doTuning  = fs.Bool("tune", true, "run post-fabrication resistance tuning on the active cells")
+		useFigure = fs.Bool("figure5", false, "map the paper's Figure 5 example instead of an R-MAT instance")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			_, _ = io.Copy(stdout, &usage)
+			return nil
+		}
+		return err
+	}
 
 	var g *graph.Graph
-	var err error
 	if *useFigure {
 		g = graph.PaperFigure5()
 	} else {
+		var err error
 		g, err = rmat.Generate(rmat.SparseParams(*rmatSize, *seed))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -43,36 +65,32 @@ func main() {
 	cfg.Seed = *seed
 	x, err := crossbar.New(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("crossbar: %dx%d cells, LRS %.0f kΩ, HRS %.0f kΩ, threshold %.1f V\n",
+	fmt.Fprintf(stdout, "crossbar: %dx%d cells, LRS %.0f kΩ, HRS %.0f kΩ, threshold %.1f V\n",
 		cfg.Rows, cfg.Cols, cfg.Memristor.RLRS/1e3, cfg.Memristor.RHRS/1e3, cfg.Memristor.VThreshold)
-	fmt.Printf("instance: %s\n", g)
+	fmt.Fprintf(stdout, "instance: %s\n", g)
 
 	rep, err := x.Configure(g)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("programming: %d row cycles, %.2f µs, %d cells set, %d cleared, %d disturbances\n",
+	fmt.Fprintf(stdout, "programming: %d row cycles, %.2f µs, %d cells set, %d cleared, %d disturbances\n",
 		rep.Cycles, rep.ProgrammingTime*1e6, rep.CellsSet, rep.CellsCleared, rep.HalfSelectDisturbances)
 	if err := x.Verify(g); err != nil {
-		fatal(fmt.Errorf("verification failed: %w", err))
+		return fmt.Errorf("verification failed: %w", err)
 	}
-	fmt.Printf("verification: encoded adjacency matches the graph\n")
-	fmt.Printf("utilisation:  %.3f%% of the array (%d active cells)\n", 100*x.Utilization(), x.ActiveCells())
+	fmt.Fprintf(stdout, "verification: encoded adjacency matches the graph\n")
+	fmt.Fprintf(stdout, "utilisation:  %.3f%% of the array (%d active cells)\n", 100*x.Utilization(), x.ActiveCells())
 	area := crossbar.AreaFor(g)
-	fmt.Printf("minimal array for this graph: %d cells, %.2f%% used\n", area.CellsTotal, 100*area.Utilization)
+	fmt.Fprintf(stdout, "minimal array for this graph: %d cells, %.2f%% used\n", area.CellsTotal, 100*area.Utilization)
 
 	if *doTuning {
 		worst, mean, err := x.TuneActiveCells(variation.DefaultTuning())
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("tuning: residual LRS error worst %.3f%%, mean %.3f%%\n", 100*worst, 100*mean)
+		fmt.Fprintf(stdout, "tuning: residual LRS error worst %.3f%%, mean %.3f%%\n", 100*worst, 100*mean)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "crossbar:", err)
-	os.Exit(1)
+	return nil
 }

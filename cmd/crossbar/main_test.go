@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFigure5Smoke drives the command end to end on the paper's worked
+// example: programming, verification, utilisation and tuning must all report.
+func TestRunFigure5Smoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-figure5", "-size", "16"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"crossbar: 16x16 cells",
+		"programming:",
+		"verification: encoded adjacency matches the graph",
+		"utilisation:",
+		"tuning: residual LRS error",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunRMATNoTuning covers the synthetic-instance path with tuning off.
+func TestRunRMATNoTuning(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rmat", "24", "-size", "32", "-tune=false", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "crossbar: 32x32 cells") {
+		t.Errorf("unexpected output:\n%s", got)
+	}
+	if strings.Contains(got, "tuning:") {
+		t.Errorf("tuning ran despite -tune=false:\n%s", got)
+	}
+}
+
+// TestRunRejectsOversizedInstance: an instance that does not fit the array is
+// an error, not a panic.
+func TestRunRejectsOversizedInstance(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rmat", "48", "-size", "8"}, &out); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+// TestRunHelp: -h prints usage on stdout and exits cleanly.
+func TestRunHelp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-figure5") {
+		t.Errorf("usage text missing flags:\n%s", out.String())
+	}
+}
+
+// TestRunBadFlag: a parse error is returned, not printed to stdout.
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout polluted on flag error: %q", out.String())
+	}
+}

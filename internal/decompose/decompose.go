@@ -4,13 +4,17 @@
 // iterating to consensus on the shared variables.
 //
 // Following the paper (and Strandmark & Kahl, which it cites), the graph's
-// vertices are split into two overlapping regions M and N; each region keeps
-// the edges between its vertices, the capacities of edges inside the overlap
-// are halved between the two copies, and a Lagrange multiplier per overlap
-// *vertex* prices flow imbalance between the copies.  Each outer iteration
-// solves the two region subproblems independently — on the analog substrate
-// in a real deployment, with any max-flow oracle here — and updates the
-// multipliers by (sub)gradient ascent until the shared quantities agree.
+// vertices are split into N overlapping regions; each region keeps the edges
+// between its vertices, the capacity of an edge shared by several regions is
+// divided between the copies, and a Lagrange multiplier per overlap *vertex*
+// prices flow imbalance between the copies.  Each outer iteration solves the
+// N region subproblems independently — on the analog substrate in a real
+// deployment, with any max-flow oracle here — and updates the multipliers by
+// (sub)gradient ascent until the shared quantities agree.
+//
+// Region subproblems are independent within one iteration, so they fan out
+// across the bounded worker pool of internal/parallel; the result is
+// identical for any worker count, including the serial limit of one.
 package decompose
 
 import (
@@ -21,33 +25,75 @@ import (
 
 	"analogflow/internal/graph"
 	"analogflow/internal/maxflow"
+	"analogflow/internal/parallel"
 )
 
-// Oracle solves a max-flow subproblem.  The production substrate would be an
-// analog solver (core.Solver); the tests also use the exact combinatorial
-// solver.
-type Oracle func(g *graph.Graph) (*graph.Flow, error)
+// Oracle solves max-flow subproblems, one per region.  The production
+// substrate would be an analog solver (core.Session via the registry adapter
+// in internal/solve); the tests also use the exact combinatorial solver.
+//
+// The region index is stable across outer iterations, so implementations can
+// keep warm per-region state (a residual network, a programmed crossbar, a
+// factorised circuit) and absorb the iteration-to-iteration capacity
+// retargeting incrementally.  SolveRegion may be called concurrently for
+// distinct regions; calls for the same region are serialised by the outer
+// loop.
+type Oracle interface {
+	SolveRegion(ctx context.Context, region int, g *graph.Graph) (*graph.Flow, error)
+}
 
-// ExactOracle is the default subproblem solver (Dinic's algorithm).
-func ExactOracle(g *graph.Graph) (*graph.Flow, error) { return maxflow.SolveDinic(g) }
+// OracleFunc adapts a plain function to the Oracle interface.
+type OracleFunc func(ctx context.Context, region int, g *graph.Graph) (*graph.Flow, error)
+
+// SolveRegion implements Oracle.
+func (f OracleFunc) SolveRegion(ctx context.Context, region int, g *graph.Graph) (*graph.Flow, error) {
+	return f(ctx, region, g)
+}
+
+// ExactOracle returns the default subproblem solver (Dinic's algorithm,
+// context-bound).
+func ExactOracle() Oracle {
+	return OracleFunc(func(ctx context.Context, _ int, g *graph.Graph) (*graph.Flow, error) {
+		return maxflow.SolveDinicContext(ctx, g)
+	})
+}
 
 // Options configures the decomposition.
 type Options struct {
 	// MaxIterations bounds the outer multiplier-update loop.
 	MaxIterations int
-	// StepSize is the initial subgradient step; it decays as 1/sqrt(k).
+	// StepSize is the fraction of the overlap disagreement a consensus
+	// update closes per iteration.
 	StepSize float64
-	// Tolerance is the consensus tolerance on the overlap imbalance,
-	// relative to the current flow value.
+	// Tolerance is the consensus tolerance on the overlap imbalance and the
+	// region-value spread, relative to the current flow value.
 	Tolerance float64
 	// Oracle solves the subproblems; nil selects ExactOracle.
 	Oracle Oracle
+	// Regions is the region count used when a partition is derived from the
+	// options (the solve-layer planner and the N-region partitioners); <= 0
+	// selects 2.  Solve itself takes an explicit Partition and ignores it.
+	Regions int
+	// Workers bounds the number of concurrently solved regions per outer
+	// iteration; <= 0 selects the internal/parallel default (GOMAXPROCS).
+	// The result is identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns a configuration that converges on the evaluation
-// workloads within a few tens of iterations.
+// workloads within a few tens of iterations.  The 5% consensus tolerance
+// matches the accuracy class of the analog substrate the subproblems target
+// (quantization alone costs a few percent).
 func DefaultOptions() Options {
-	return Options{MaxIterations: 60, StepSize: 0.5, Tolerance: 0.02}
+	return Options{MaxIterations: 60, StepSize: 0.5, Tolerance: 0.05, Regions: 2}
+}
+
+// NumRegions returns the configured region count, defaulting to 2.
+func (o Options) NumRegions() int {
+	if o.Regions <= 0 {
+		return 2
+	}
+	return o.Regions
 }
 
 // Validate checks the options.
@@ -55,8 +101,8 @@ func (o Options) Validate() error {
 	if o.MaxIterations < 1 {
 		return fmt.Errorf("decompose: need at least one iteration")
 	}
-	if o.StepSize <= 0 {
-		return fmt.Errorf("decompose: step size must be positive")
+	if o.StepSize <= 0 || o.StepSize > 1 {
+		return fmt.Errorf("decompose: step size must be in (0, 1], got %g", o.StepSize)
 	}
 	if o.Tolerance <= 0 {
 		return fmt.Errorf("decompose: tolerance must be positive")
@@ -64,39 +110,714 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// Partition splits the vertex set into two overlapping regions.
-type Partition struct {
-	// InM and InN mark region membership; overlap vertices are in both.
-	InM, InN []bool
+// Result is the outcome of the decomposition.
+type Result struct {
+	// FlowValue is the consensus flow value: the final iterate's smallest
+	// region reading (each region subproblem starts as a relaxation of the
+	// full problem, so the smallest reading is the working estimate).
+	FlowValue float64
+	// Iterations is the number of outer iterations used.
+	Iterations int
+	// Converged reports whether the overlap imbalance and the region value
+	// spread both fell below tolerance.
+	Converged bool
+	// Imbalance is the final relative overlap imbalance.
+	Imbalance float64
+	// Regions is the number of regions actually solved.
+	Regions int
+	// SubproblemSizes reports |V| of each region subproblem (virtual
+	// terminals included), to verify that each fits the substrate.
+	SubproblemSizes []int
+	// History records the flow-value estimate per iteration.
+	History []float64
 }
 
-// Validate checks that the partition covers every vertex, that the overlap is
-// non-empty (otherwise the regions cannot communicate), and that both
-// terminals are covered.
+// region is one side of the decomposition with its vertex mapping.
+type region struct {
+	graph    *graph.Graph
+	localOf  []int // localOf[global] = local in-node index or -1
+	globalOf []int
+	overlap  []int // global ids of overlap vertices present in this region
+	// outOf[global] is the local node outgoing edges leave from: the ov_out
+	// half of a split overlap vertex, localOf[global] otherwise.
+	outOf map[int]int
+	// splitOf[ov] is the region-local index of the ov_in -> ov_out split
+	// edge whose capacity is the consensus throughput bound at ov.
+	splitOf map[int]int
+	// virtualAt[ov] lists the region-local edge indices the consensus update
+	// retargets at overlap vertex ov: the split edge for interior overlap
+	// vertices, the virtual terminal edges for an overlap terminal (which is
+	// never split).
+	virtualAt map[int][]int
+}
+
+// localOut returns the local node edges leaving global vertex v depart from.
+func (r *region) localOut(v int) int {
+	if out, ok := r.outOf[v]; ok {
+		return out
+	}
+	return r.localOf[v]
+}
+
+// buildRegion extracts region r's subproblem graph.
+//
+// Every edge of g is materialised in exactly one region — its owner, the
+// lowest-index region containing both endpoints — at its full capacity; in
+// every other region the edge only contributes boundary capacity to the
+// virtual terminal wiring of its endpoints.  Owning edges uniquely keeps the
+// global capacity conserved: the paper's E_M / E_N split divides a shared
+// edge's capacity between its copies, which silently undercounts the flow
+// value whenever a min-cut edge lands in the overlap (with hub-heavy cluster
+// partitions that is the common case, not the corner case).
+//
+// Every non-terminal overlap vertex is split into an in-half and an out-half
+// joined by one split edge (the vertex-capacity gadget of the dual
+// decomposition literature): incoming edges — owned and virtual inlet alike
+// — enter ov_in, outgoing edges leave ov_out, so the split edge's capacity is
+// a hard bound on the region's throughput at ov.  That bound is the
+// per-overlap-vertex consensus variable: the multiplier update retargets
+// exactly the split edges, which makes the regions' readings genuinely
+// converge (a bound on virtual edges alone cannot constrain throughput that
+// arrives over owned edges).  The split edge starts at the most the vertex
+// could ever carry, min(total in-capacity, total out-capacity) in the full
+// graph.
+//
+// Boundary wiring: an overlap vertex with incident edges the region does not
+// own gets a virtual inlet (source node -> ov_in, external in-capacity) or a
+// virtual outlet (ov_out -> sink node, external out-capacity), so flow
+// crossing the region boundary has somewhere to come from and go to — but
+// only ONE of the two per region: a vertex wired on both sides of the
+// terminal pair would open a source→vertex→sink short circuit that saturates
+// its split edge identically in every incident region, and a disagreement
+// signal that is identical everywhere freezes the consensus update.
+//
+// The orientation follows edge ownership, which already encodes the flow
+// direction of the handoff: a region that owns an overlap vertex's incoming
+// capacity carries flow TO the vertex and must drain it (outlet), a region
+// that owns its outgoing capacity carries flow FROM the vertex and must be
+// fed there (inlet).  On BFS bands this reduces exactly to the two-region
+// construction (the upstream band owns the boundary's in-edges, the
+// downstream band its out-edges); on cluster partitions it orients a
+// duplicated vertex as an outlet in the region it was copied into and an
+// inlet at home, without any appeal to graph depth.
+//
+// The global source and sink are never split (flow originates and terminates
+// there); when they appear as overlap vertices their virtual edges take the
+// split edge's place as the retarget handle.
+func buildRegion(g *graph.Graph, p Partition, r int, owner []int, capFloor, capClamp float64) (*region, error) {
+	n := g.NumVertices()
+	in := p.In[r]
+	reg := &region{
+		localOf:   make([]int, n),
+		outOf:     make(map[int]int),
+		splitOf:   make(map[int]int),
+		virtualAt: make(map[int][]int),
+	}
+	for v := 0; v < n; v++ {
+		reg.localOf[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if in[v] {
+			reg.localOf[v] = len(reg.globalOf)
+			reg.globalOf = append(reg.globalOf, v)
+			if p.regionsOf(v) > 1 {
+				reg.overlap = append(reg.overlap, v)
+			}
+		}
+	}
+	src := reg.localOf[g.Source()]
+	sink := reg.localOf[g.Sink()]
+	// A region that lacks a terminal gets a virtual one appended; split
+	// overlap vertices get their out-half after that.
+	nLocal := len(reg.globalOf)
+	if src < 0 {
+		src = nLocal
+		nLocal++
+	}
+	if sink < 0 {
+		sink = nLocal
+		nLocal++
+	}
+	var splitVerts []int
+	for _, ov := range reg.overlap {
+		if ov == g.Source() || ov == g.Sink() {
+			continue
+		}
+		reg.outOf[ov] = nLocal
+		nLocal++
+		splitVerts = append(splitVerts, ov)
+	}
+	rg, err := graph.New(nLocal, src, sink)
+	if err != nil {
+		return nil, err
+	}
+	// Split edges first: one per split overlap vertex, capacity = the
+	// vertex's global throughput bound (floored so a later retarget can
+	// never flip the edge's positivity).
+	for _, ov := range splitVerts {
+		var totIn, totOut float64
+		for _, ei := range g.InEdges(ov) {
+			totIn += g.Edge(ei).Capacity
+		}
+		for _, ei := range g.OutEdges(ov) {
+			totOut += g.Edge(ei).Capacity
+		}
+		capVal := math.Max(math.Min(math.Min(totIn, totOut), capClamp), capFloor)
+		idx := rg.MustAddEdge(reg.localOf[ov], reg.outOf[ov], capVal)
+		reg.splitOf[ov] = idx
+		reg.virtualAt[ov] = append(reg.virtualAt[ov], idx)
+	}
+	// Owned edges: tail's out-half -> head's in-half.
+	for ei, e := range g.Edges() {
+		if owner[ei] != r {
+			continue
+		}
+		if _, err := rg.AddEdge(reg.localOut(e.From), reg.localOf[e.To], e.Capacity); err != nil {
+			return nil, err
+		}
+	}
+	// Boundary wiring: every incident edge the region does not own — cross
+	// edges and edges materialised in another region alike — contributes
+	// inlet/outlet capacity; the ownership-orientation rule picks the one
+	// side to wire.
+	hasRealSrc := in[g.Source()]
+	hasRealSink := in[g.Sink()]
+	for _, ov := range reg.overlap {
+		var inletCap, outletCap, ownedIn, ownedOut float64
+		for _, ei := range g.InEdges(ov) {
+			if owner[ei] == r {
+				ownedIn += g.Edge(ei).Capacity
+			} else {
+				inletCap += g.Edge(ei).Capacity
+			}
+		}
+		for _, ei := range g.OutEdges(ov) {
+			if owner[ei] == r {
+				ownedOut += g.Edge(ei).Capacity
+			} else {
+				outletCap += g.Edge(ei).Capacity
+			}
+		}
+		wireIn, wireOut := false, false
+		switch {
+		case ov == g.Source():
+			wireOut = true
+		case ov == g.Sink():
+			wireIn = true
+		case ownedIn == 0 && ownedOut == 0:
+			// A pure-relay vertex (the region owns none of its capacity):
+			// wire the side with more external capacity.
+			wireOut = outletCap > inletCap
+			wireIn = !wireOut
+		case ownedIn > ownedOut:
+			wireOut = true
+		default:
+			wireIn = true
+		}
+		// Virtual wiring must never touch a REAL terminal: an outlet edge in
+		// a region holding the real sink would dump boundary pass-through
+		// straight into t (counting flow that in truth leaves the region
+		// AWAY from the sink as delivered), and an inlet edge in a region
+		// holding the real source would draw fake supply from s.  A region
+		// holding a real terminal therefore degenerates to the classic
+		// one-sided construction — every boundary vertex an inlet when the
+		// sink is real, every one an outlet when the source is real — and
+		// the ownership orientation only decides the wiring of middle
+		// regions.
+		switch {
+		case hasRealSrc && hasRealSink:
+			wireIn, wireOut = false, false
+		case hasRealSink:
+			wireOut = false
+			wireIn = inletCap > 0
+		case hasRealSrc:
+			wireIn = false
+			wireOut = outletCap > 0
+		default:
+			// The chosen side may carry no external capacity (a boundary
+			// vertex whose cross edges all point the other way); fall back
+			// to the live side rather than leaving the vertex stranded.
+			if wireOut && !wireIn && outletCap == 0 {
+				wireIn, wireOut = true, false
+			} else if wireIn && !wireOut && inletCap == 0 {
+				wireIn, wireOut = false, true
+			}
+		}
+		if wireOut && outletCap > 0 && ov != g.Sink() {
+			idx := rg.MustAddEdge(reg.localOut(ov), sink, math.Min(outletCap, capClamp))
+			if ov == g.Source() {
+				// Unsplit terminal: the virtual edge is the retarget handle.
+				reg.virtualAt[ov] = append(reg.virtualAt[ov], idx)
+			}
+		}
+		if wireIn && inletCap > 0 && ov != g.Source() {
+			idx := rg.MustAddEdge(src, reg.localOf[ov], math.Min(inletCap, capClamp))
+			if ov == g.Sink() {
+				reg.virtualAt[ov] = append(reg.virtualAt[ov], idx)
+			}
+		}
+	}
+	reg.graph = rg
+	return reg, nil
+}
+
+// Solve runs the dual decomposition of g under the given partition.
+func Solve(g *graph.Graph, part Partition, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), g, part, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the context is checked
+// once per outer multiplier-update iteration and between region solves, and
+// is passed into the oracle so that cancellation also lands inside a long
+// subproblem solve.
+func SolveContext(ctx context.Context, g *graph.Graph, part Partition, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := part.Validate(g); err != nil {
+		return nil, err
+	}
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = ExactOracle()
+	}
+
+	// capFloor is the smallest capacity a consensus retarget may assign to a
+	// split or virtual edge (see the target update below).
+	capFloor := g.MaxCapacity() * 1e-9
+
+	// valueScale bounds the true max-flow from above by structure alone
+	// (everything leaves the source and enters the sink).  It caps the
+	// convergence denominator — an inflated early estimate must not widen
+	// its own tolerance band — and clamps every split and virtual capacity:
+	// no boundary can carry more than the whole flow, and without the clamp
+	// the summed boundary capacities blow up the dynamic range an analog
+	// region oracle has to quantize.
+	var srcCap, sinkCap float64
+	for _, ei := range g.OutEdges(g.Source()) {
+		srcCap += g.Edge(ei).Capacity
+	}
+	for _, ei := range g.InEdges(g.Sink()) {
+		sinkCap += g.Edge(ei).Capacity
+	}
+	valueScale := math.Min(srcCap, sinkCap)
+
+	k := part.NumRegions()
+	owner := part.edgeOwners(g)
+	regions := make([]*region, k)
+	for r := 0; r < k; r++ {
+		reg, err := buildRegion(g, part, r, owner, capFloor, valueScale)
+		if err != nil {
+			return nil, err
+		}
+		regions[r] = reg
+	}
+
+	res := &Result{Regions: k, SubproblemSizes: make([]int, k)}
+	for r, reg := range regions {
+		res.SubproblemSizes[r] = reg.graph.NumVertices()
+	}
+
+	// Overlap bookkeeping: the consensus groups — overlap vertices sharing
+	// one set of incident regions — in deterministic order.  The update
+	// walks these groups, so the imbalance accumulation order (and hence the
+	// floating-point result) is independent of how the region solves were
+	// scheduled.
+	groups := part.overlapGroups()
+
+	flows := make([]*graph.Flow, k)
+	// bestEstimate is the largest min-over-regions reading seen.  Iteration
+	// one's readings are pure relaxations (every boundary still carries its
+	// structural maximum), so this is a stable upper-side anchor for the
+	// boundary aggregates below.
+	bestEstimate := 0.0
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res.Iterations = iter
+		// Fan the region solves over the bounded pool.  Each slot is written
+		// by exactly one worker; ForEachLimit returns the lowest-index error,
+		// so the reported failure does not depend on the worker count either.
+		err := parallel.ForEachLimit(k, opts.Workers, func(r int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			f, err := oracle.SolveRegion(ctx, r, regions[r].graph)
+			if err != nil {
+				return fmt.Errorf("decompose: region %d: %w", r, err)
+			}
+			if len(f.Edge) != regions[r].graph.NumEdges() {
+				return fmt.Errorf("decompose: region %d: oracle returned %d edge flows for %d edges",
+					r, len(f.Edge), regions[r].graph.NumEdges())
+			}
+			flows[r] = f
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, f := range flows {
+			lo = math.Min(lo, f.Value)
+			hi = math.Max(hi, f.Value)
+		}
+		// The smallest region reading is the iterate's estimate.  It is NOT
+		// monotone: tightening the boundary of a region that was re-routing
+		// can transiently undershoot before the next solve rebalances, so
+		// the running result is the current iterate, not the minimum ever
+		// seen (which would lock the transient in).
+		res.History = append(res.History, lo)
+		res.FlowValue = lo
+		bestEstimate = math.Max(bestEstimate, lo)
+
+		if k == 1 {
+			// A single region is the monolithic problem: one exact reading.
+			res.Converged = true
+			res.Imbalance = 0
+			break
+		}
+
+		// Consensus update, one group at a time.  Each overlap vertex's
+		// allowance moves a StepSize fraction toward the smallest throughput
+		// any incident region sustained there — the classic per-vertex pull
+		// — but never below a protection floor derived from the group's
+		// AGGREGATE consensus: vertHi_i * (aggregateTarget / hiT).  The
+		// protection matters when a boundary has redundant vertices: two
+		// regions routing the same total through different vertices disagree
+		// at every vertex (readings {x, 0} both places) even though they
+		// agree perfectly on the total, and the bare per-vertex pull would
+		// strangle the whole boundary to zero; with the protection, a vertex
+		// some region actively uses keeps its capacity for as long as the
+		// group totals agree.
+		var imbalance float64
+		targets := make(map[int]float64)
+		estimate := bestEstimate
+		for _, grp := range groups {
+			loT, hiT := math.Inf(1), math.Inf(-1)
+			vertLo := make([]float64, len(grp.verts))
+			vertHi := make([]float64, len(grp.verts))
+			for i := range vertLo {
+				vertLo[i] = math.Inf(1)
+			}
+			for _, r := range grp.regions {
+				var total float64
+				for i, ov := range grp.verts {
+					t := regions[r].throughput(ov, g.Sink(), flows[r])
+					total += t
+					vertLo[i] = math.Min(vertLo[i], t)
+					vertHi[i] = math.Max(vertHi[i], t)
+				}
+				loT = math.Min(loT, total)
+				hiT = math.Max(hiT, total)
+			}
+			imbalance += hiT - loT
+			ratio := 1.0
+			if hiT > 0 {
+				ratio = (loT + (1-opts.StepSize)*(hiT-loT)) / hiT
+			}
+			var groupSum float64
+			groupTargets := make([]float64, len(grp.verts))
+			for i := range grp.verts {
+				pull := vertLo[i] + (1-opts.StepSize)*(vertHi[i]-vertLo[i])
+				groupTargets[i] = math.Max(pull, vertHi[i]*ratio)
+				groupSum += groupTargets[i]
+			}
+			// Anchor: a boundary of the (layered) decomposition must carry
+			// the full consensus flow, so the group's aggregate allowance
+			// never tightens below the current global estimate — without
+			// this, two regions disagreeing about WHERE flow crosses keep
+			// strangling each other's preferred vertices until the whole
+			// boundary (and with it the estimate) collapses to zero.
+			if groupSum > 0 && groupSum < estimate {
+				scale := estimate / groupSum
+				for i := range groupTargets {
+					groupTargets[i] *= scale
+				}
+			}
+			for i, ov := range grp.verts {
+				// The capFloor keeps every retargeted capacity strictly
+				// positive: a capacity that reaches exactly zero flips the
+				// edge's positivity, which changes the subproblem's s-t core
+				// and costs a warm region oracle its residual structure.
+				// The value contribution of the floored capacities is orders
+				// of magnitude below every convergence tolerance.
+				targets[ov] = math.Max(groupTargets[i], capFloor)
+			}
+		}
+		denominator := math.Max(math.Min(lo, valueScale), 1)
+		res.Imbalance = imbalance / denominator
+		// A collapsed plateau (readings far below the best estimate seen)
+		// can satisfy the relative criteria trivially; it is a consensus
+		// failure, not a consensus, so it never sets Converged.
+		collapsed := lo < 0.5*bestEstimate || (lo == 0 && hi > 0)
+		if hi-lo <= opts.Tolerance*denominator && res.Imbalance <= opts.Tolerance && !collapsed {
+			res.Converged = true
+			break
+		}
+		for _, reg := range regions {
+			reg.retargetVirtual(targets)
+		}
+	}
+	return res, nil
+}
+
+// throughput is the flow region r pushes through overlap vertex ov: the flow
+// on the split edge for split vertices; for an unsplit terminal, the total
+// outgoing flow at the source or the total incoming flow at the sink (the
+// sink absorbs flow instead of forwarding it — reading its out-flow would
+// always be zero and the consensus update would strangle its virtual inlets).
+func (r *region) throughput(ov, globalSink int, f *graph.Flow) float64 {
+	if ei, ok := r.splitOf[ov]; ok {
+		return f.Edge[ei]
+	}
+	var through float64
+	edges := r.graph.OutEdges(r.localOf[ov])
+	if ov == globalSink {
+		edges = r.graph.InEdges(r.localOf[ov])
+	}
+	for _, ei := range edges {
+		through += f.Edge[ei]
+	}
+	return through
+}
+
+// retargetVirtual rewrites the region's virtual-terminal edge capacities to
+// the given per-overlap-vertex targets.
+func (r *region) retargetVirtual(targets map[int]float64) {
+	var caps []float64
+	for ov, edges := range r.virtualAt {
+		target, ok := targets[ov]
+		if !ok {
+			continue
+		}
+		if caps == nil {
+			caps = make([]float64, r.graph.NumEdges())
+			for i := range caps {
+				caps[i] = r.graph.Edge(i).Capacity
+			}
+		}
+		for _, ei := range edges {
+			caps[ei] = target
+		}
+	}
+	if caps == nil {
+		return
+	}
+	// WithCapacities copies, so the previous iterate's graph — which a warm
+	// oracle may still reference for diffing — stays untouched.
+	if adjusted, err := r.graph.WithCapacities(caps); err == nil {
+		r.graph = adjusted
+	}
+}
+
+// --- partitions --------------------------------------------------------------
+
+// Partition splits the vertex set into N overlapping regions.
+type Partition struct {
+	// In[r][v] marks membership of vertex v in region r; overlap vertices
+	// belong to two or more regions.
+	In [][]bool
+	// Home[v] optionally names vertex v's primary region (the one it was
+	// assigned to before overlap duplication).  Edge ownership prefers the
+	// home regions of an edge's endpoints; nil falls back to the
+	// lowest-index region containing both.
+	Home []int
+}
+
+// NumRegions returns the number of regions.
+func (p Partition) NumRegions() int { return len(p.In) }
+
+// regionsOf counts the regions containing vertex v.
+func (p Partition) regionsOf(v int) int {
+	k := 0
+	for _, in := range p.In {
+		if in[v] {
+			k++
+		}
+	}
+	return k
+}
+
+// edgeOwners returns, per edge, the one region that materialises the edge —
+// or -1 for pure cross edges, which no region materialises.  The owner is
+// the first region containing both endpoints, trying the endpoints' home
+// regions first (when the partition carries them): without that preference,
+// a vertex pair duplicated into several regions would always be owned by the
+// lowest-index one, systematically starving high-index regions of their own
+// interior structure.
+func (p Partition) edgeOwners(g *graph.Graph) []int {
+	owner := make([]int, g.NumEdges())
+	contains := func(r, u, v int) bool {
+		return r >= 0 && r < len(p.In) && p.In[r][u] && p.In[r][v]
+	}
+	for ei, e := range g.Edges() {
+		owner[ei] = -1
+		if p.Home != nil {
+			if h := p.Home[e.From]; contains(h, e.From, e.To) {
+				owner[ei] = h
+				continue
+			}
+			if h := p.Home[e.To]; contains(h, e.From, e.To) {
+				owner[ei] = h
+				continue
+			}
+		}
+		for r := range p.In {
+			if contains(r, e.From, e.To) {
+				owner[ei] = r
+				break
+			}
+		}
+	}
+	return owner
+}
+
+// overlapGroup is one consensus group: the overlap vertices shared by
+// exactly the same set of regions, which must agree on the aggregate
+// throughput across them.
+type overlapGroup struct {
+	regions []int // ascending incident region indices
+	verts   []int // ascending overlap vertex ids with that signature
+}
+
+// overlapGroups partitions the overlap vertices by their incident-region
+// signature, in deterministic (first-vertex) order.
+func (p Partition) overlapGroups() []overlapGroup {
+	if len(p.In) == 0 {
+		return nil
+	}
+	n := len(p.In[0])
+	index := make(map[string]int)
+	var groups []overlapGroup
+	for v := 0; v < n; v++ {
+		var rs []int
+		for r, in := range p.In {
+			if in[v] {
+				rs = append(rs, r)
+			}
+		}
+		if len(rs) < 2 {
+			continue
+		}
+		key := fmt.Sprint(rs)
+		gi, ok := index[key]
+		if !ok {
+			gi = len(groups)
+			index[key] = gi
+			groups = append(groups, overlapGroup{regions: rs})
+		}
+		groups[gi].verts = append(groups[gi].verts, v)
+	}
+	return groups
+}
+
+// ErrDegeneratePartition marks partitions the decomposition rejects: an empty
+// region, regions that cannot communicate, or full duplication of the vertex
+// set.
+var ErrDegeneratePartition = errors.New("decompose: degenerate partition")
+
+// Validate checks that the partition covers every vertex, that no region is
+// empty, and — for two or more regions — that the regions overlap somewhere
+// without *every* vertex being shared (an all-overlap "partition" duplicates
+// the whole instance into each region, which the shared-capacity split would
+// silently undercount).
 func (p Partition) Validate(g *graph.Graph) error {
 	n := g.NumVertices()
-	if len(p.InM) != n || len(p.InN) != n {
-		return fmt.Errorf("decompose: partition length mismatch")
+	if len(p.In) == 0 {
+		return fmt.Errorf("%w: no regions", ErrDegeneratePartition)
 	}
-	overlap := 0
-	for v := 0; v < n; v++ {
-		if !p.InM[v] && !p.InN[v] {
-			return fmt.Errorf("decompose: vertex %d not covered by either region", v)
+	for r, in := range p.In {
+		if len(in) != n {
+			return fmt.Errorf("decompose: region %d marks %d of %d vertices", r, len(in), n)
 		}
-		if p.InM[v] && p.InN[v] {
+		empty := true
+		for _, b := range in {
+			if b {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return fmt.Errorf("%w: region %d is empty", ErrDegeneratePartition, r)
+		}
+	}
+	overlap, private := 0, 0
+	for v := 0; v < n; v++ {
+		switch p.regionsOf(v) {
+		case 0:
+			return fmt.Errorf("decompose: vertex %d not covered by any region", v)
+		case 1:
+			private++
+		default:
 			overlap++
 		}
 	}
-	if overlap == 0 {
-		return errors.New("decompose: regions do not overlap")
+	if p.NumRegions() > 1 {
+		if overlap == 0 {
+			return fmt.Errorf("%w: regions do not overlap", ErrDegeneratePartition)
+		}
+		if private == 0 {
+			return fmt.Errorf("%w: every vertex is shared (all-overlap)", ErrDegeneratePartition)
+		}
 	}
 	return nil
 }
 
-// BisectByBFS builds a balanced two-region partition with a one-ring overlap:
-// vertices are levelled by BFS distance from the source and split at the
-// median level; the boundary level belongs to both regions.
+// Partitioner produces an N-region overlapping partition of a graph.  A
+// partitioner may return fewer regions than asked for when the graph cannot
+// support the requested count (shallow BFS structure, fewer vertices than
+// regions); the result always passes Partition.Validate.
+type Partitioner interface {
+	// Name identifies the partitioner in plans and reports.
+	Name() string
+	// Partition splits g into up to the given number of regions.
+	Partition(g *graph.Graph, regions int) (Partition, error)
+}
+
+// PartitionerByName resolves the built-in partitioners: "bfs" (BFS level
+// bands, the default) and "cluster" (capacity-aware greedy islands of
+// internal/cluster).
+func PartitionerByName(name string) (Partitioner, error) {
+	switch name {
+	case "", BFSPartitioner{}.Name():
+		return BFSPartitioner{}, nil
+	case ClusterPartitioner{}.Name():
+		return ClusterPartitioner{}, nil
+	default:
+		return nil, fmt.Errorf("decompose: unknown partitioner %q (known: bfs, cluster)", name)
+	}
+}
+
+// BisectByBFS builds the balanced two-region partition with a one-ring
+// overlap the Section 6.4 evaluation uses: vertices are levelled by BFS
+// distance from the source and split at the median level; the boundary level
+// belongs to both regions.
 func BisectByBFS(g *graph.Graph) Partition {
+	p, err := BFSPartitioner{}.Partition(g, 2)
+	if err != nil {
+		// The BFS partitioner cannot fail on a validated graph; collapse to
+		// the whole-graph partition to keep the legacy signature total.
+		return singleRegion(g.NumVertices())
+	}
+	return p
+}
+
+// singleRegion is the trivial one-region partition (monolithic solve).
+func singleRegion(n int) Partition {
+	in := make([]bool, n)
+	for v := range in {
+		in[v] = true
+	}
+	return Partition{In: [][]bool{in}}
+}
+
+// bfsLevels labels every vertex with its BFS distance from the source;
+// unreachable vertices get level -1.  The second return is the largest level.
+func bfsLevels(g *graph.Graph) ([]int, int) {
 	n := g.NumVertices()
 	level := make([]int, n)
 	for i := range level {
@@ -119,277 +840,83 @@ func BisectByBFS(g *graph.Graph) Partition {
 			}
 		}
 	}
-	split := maxLevel / 2
-	p := Partition{InM: make([]bool, n), InN: make([]bool, n)}
+	return level, maxLevel
+}
+
+// BFSPartitioner splits the graph into up to N bands of consecutive BFS
+// levels with a one-ring overlap: each band boundary level belongs to both
+// adjacent bands.  Two regions reproduce the original bisection.
+type BFSPartitioner struct{}
+
+// Name implements Partitioner.
+func (BFSPartitioner) Name() string { return "bfs" }
+
+// Partition implements Partitioner.
+func (BFSPartitioner) Partition(g *graph.Graph, regions int) (Partition, error) {
+	n := g.NumVertices()
+	if regions < 1 {
+		return Partition{}, fmt.Errorf("decompose: need at least one region, got %d", regions)
+	}
+	level, maxLevel := bfsLevels(g)
+	// Bands need k-1 distinct interior split levels; a shallow graph supports
+	// fewer regions than asked for.
+	k := regions
+	if k > maxLevel {
+		k = maxLevel
+	}
+	if k < 2 {
+		return singleRegion(n), nil
+	}
+	// Interior split levels, strictly increasing by construction (k <=
+	// maxLevel).  splits[i] is the boundary between band i and band i+1 and
+	// belongs to both.
+	splits := make([]int, k-1)
+	for i := range splits {
+		splits[i] = (i + 1) * maxLevel / k
+	}
+	p := Partition{In: make([][]bool, k)}
+	for r := range p.In {
+		p.In[r] = make([]bool, n)
+	}
+	bandLo := func(r int) int {
+		if r == 0 {
+			return 0
+		}
+		return splits[r-1]
+	}
+	bandHi := func(r int) int {
+		if r == k-1 {
+			return maxLevel
+		}
+		return splits[r]
+	}
 	for v := 0; v < n; v++ {
 		l := level[v]
-		switch {
-		case l < 0:
-			// Unreachable vertices go to both regions; they carry no flow.
-			p.InM[v], p.InN[v] = true, true
-		case l < split:
-			p.InM[v] = true
-		case l > split:
-			p.InN[v] = true
-		default:
-			p.InM[v], p.InN[v] = true, true
+		if l < 0 {
+			// Unreachable vertices cannot carry s-t flow; park them in the
+			// first band so every vertex is covered.
+			p.In[0][v] = true
+			continue
 		}
-	}
-	// The terminals must belong to their natural sides even if BFS placed
-	// them oddly (e.g. a source-adjacent sink).
-	p.InM[g.Source()] = true
-	p.InN[g.Sink()] = true
-	return p
-}
-
-// Result is the outcome of the decomposition.
-type Result struct {
-	// FlowValue is the consensus flow value (the average of the two region
-	// readings at the final iterate).
-	FlowValue float64
-	// Iterations is the number of outer iterations used.
-	Iterations int
-	// Converged reports whether the overlap imbalance fell below tolerance.
-	Converged bool
-	// Imbalance is the final relative overlap imbalance.
-	Imbalance float64
-	// SubproblemSizes reports |V| of the two region subproblems, to verify
-	// that each fits the substrate.
-	SubproblemSizes [2]int
-	// History records the flow-value estimate per iteration.
-	History []float64
-}
-
-// region is one side of the decomposition with its vertex mapping.
-type region struct {
-	graph      *graph.Graph
-	localOf    []int // localOf[global] = local index or -1
-	globalOf   []int
-	overlapSet []int // global ids of overlap vertices present in this region
-}
-
-// buildRegion extracts the subgraph induced by the region's vertices.  The
-// capacities of edges with both endpoints in the overlap are halved, per the
-// paper's E_M / E_N construction; lambda prices per-overlap-vertex throughput
-// by adjusting the capacity of a virtual bypass edge source->overlap vertex
-// (positive lambda encourages region M to push more through that vertex).
-func buildRegion(g *graph.Graph, in []bool, other []bool) (*region, error) {
-	n := g.NumVertices()
-	r := &region{localOf: make([]int, n)}
-	for v := 0; v < n; v++ {
-		r.localOf[v] = -1
-	}
-	for v := 0; v < n; v++ {
-		if in[v] {
-			r.localOf[v] = len(r.globalOf)
-			r.globalOf = append(r.globalOf, v)
-			if other[v] {
-				r.overlapSet = append(r.overlapSet, v)
+		for r := 0; r < k; r++ {
+			if l >= bandLo(r) && l <= bandHi(r) {
+				p.In[r][v] = true
 			}
 		}
 	}
-	src := r.localOf[g.Source()]
-	sink := r.localOf[g.Sink()]
-	// A region that lacks a terminal gets a virtual one appended.
-	nLocal := len(r.globalOf)
-	if src < 0 {
-		src = nLocal
-		nLocal++
-	}
-	if sink < 0 {
-		sink = nLocal
-		nLocal++
-	}
-	rg, err := graph.New(nLocal, src, sink)
-	if err != nil {
-		return nil, err
-	}
-	for _, e := range g.Edges() {
-		lu, lv := r.localOf[e.From], r.localOf[e.To]
-		if lu < 0 || lv < 0 {
-			continue
-		}
-		c := e.Capacity
-		if in[e.From] && other[e.From] && in[e.To] && other[e.To] {
-			c /= 2
-		}
-		if _, err := rg.AddEdge(lu, lv, c); err != nil {
-			return nil, err
-		}
-	}
-	r.graph = rg
-	return r, nil
-}
-
-// connectVirtualTerminals adds edges between the region's virtual terminal
-// (if any) and the overlap vertices so that flow can leave region M (which
-// may not contain the sink) through the overlap, and enter region N (which
-// may not contain the source) from the overlap.  Each virtual edge starts at
-// the overlap vertex's own throughput capacity — the most it could ever
-// carry — and the consensus iteration then tightens it.
-func connectVirtualTerminals(r *region, g *graph.Graph) {
-	src := r.graph.Source()
-	sink := r.graph.Sink()
-	hasRealSource := r.localOf[g.Source()] == src && src < len(r.globalOf)
-	hasRealSink := r.localOf[g.Sink()] == sink && sink < len(r.globalOf)
-	for _, ov := range r.overlapSet {
-		lv := r.localOf[ov]
-		vertexCap := 0.0
-		for _, ei := range g.OutEdges(ov) {
-			vertexCap += g.Edge(ei).Capacity
-		}
-		if vertexCap == 0 {
-			continue
-		}
-		if !hasRealSink {
-			r.graph.MustAddEdge(lv, sink, vertexCap)
-		}
-		if !hasRealSource {
-			r.graph.MustAddEdge(src, lv, vertexCap)
-		}
-	}
-}
-
-// Solve runs the dual decomposition of g under the given partition.
-func Solve(g *graph.Graph, part Partition, opts Options) (*Result, error) {
-	return SolveContext(context.Background(), g, part, opts)
-}
-
-// SolveContext is Solve with cooperative cancellation: the context is checked
-// once per outer multiplier-update iteration, and when no explicit Oracle is
-// configured the default exact oracle is bound to the same context so that
-// cancellation also lands inside a long subproblem solve.
-func SolveContext(ctx context.Context, g *graph.Graph, part Partition, opts Options) (*Result, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	if err := part.Validate(g); err != nil {
-		return nil, err
-	}
-	oracle := opts.Oracle
-	if oracle == nil {
-		oracle = func(sub *graph.Graph) (*graph.Flow, error) {
-			return maxflow.SolveDinicContext(ctx, sub)
-		}
-	}
-
-	regionM, err := buildRegion(g, part.InM, part.InN)
-	if err != nil {
-		return nil, err
-	}
-	regionN, err := buildRegion(g, part.InN, part.InM)
-	if err != nil {
-		return nil, err
-	}
-	connectVirtualTerminals(regionM, g)
-	connectVirtualTerminals(regionN, g)
-
-	res := &Result{SubproblemSizes: [2]int{regionM.graph.NumVertices(), regionN.graph.NumVertices()}}
-
-	// Per-overlap-vertex consensus targets: each region's virtual-terminal
-	// capacity at an overlap vertex is tightened toward the throughput the
-	// other region can actually sustain there.  This is the practical
-	// proportional variant of the Section 6.4 multiplier update (the price
-	// of a unit of disagreement is folded directly into the capacity the
-	// subproblem sees), and because each subproblem is a relaxation of the
-	// full problem, min(valueM, valueN) is a monotone-improving upper bound
-	// on the true max-flow.
-	overlapThroughput := func(r *region, f *graph.Flow) map[int]float64 {
-		out := make(map[int]float64, len(r.overlapSet))
-		for _, ov := range r.overlapSet {
-			lv := r.localOf[ov]
-			var through float64
-			for _, ei := range r.graph.OutEdges(lv) {
-				through += f.Edge[ei]
+	// The terminals must belong to their natural ends even if BFS placed
+	// them oddly (e.g. an unreachable sink).
+	p.In[0][g.Source()] = true
+	p.In[k-1][g.Sink()] = true
+	// A boundary vertex's home is the lower of its two bands.
+	p.Home = make([]int, n)
+	for v := 0; v < n; v++ {
+		for r := 0; r < k; r++ {
+			if p.In[r][v] {
+				p.Home[v] = r
+				break
 			}
-			out[ov] = through
-		}
-		return out
-	}
-
-	best := math.Inf(1)
-	var flowM, flowN *graph.Flow
-	for iter := 1; iter <= opts.MaxIterations; iter++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		res.Iterations = iter
-		flowM, err = oracle(regionM.graph)
-		if err != nil {
-			return nil, err
-		}
-		flowN, err = oracle(regionN.graph)
-		if err != nil {
-			return nil, err
-		}
-		valueM := flowM.Value
-		valueN := flowN.Value
-		estimate := math.Min(valueM, valueN)
-		if estimate < best {
-			best = estimate
-		}
-		res.History = append(res.History, best)
-		res.FlowValue = best
-
-		// Consensus update on the virtual capacities.
-		tM := overlapThroughput(regionM, flowM)
-		tN := overlapThroughput(regionN, flowN)
-		var imbalance float64
-		targets := make(map[int]float64, len(regionM.overlapSet))
-		for _, ov := range regionM.overlapSet {
-			diff := tM[ov] - tN[ov]
-			imbalance += math.Abs(diff)
-			// Move each region's allowance a StepSize fraction of the way
-			// toward the smaller of the two throughputs.
-			lo := math.Min(tM[ov], tN[ov])
-			hi := math.Max(tM[ov], tN[ov])
-			targets[ov] = lo + (1-opts.StepSize)*(hi-lo)
-		}
-		denominator := math.Max(best, 1)
-		res.Imbalance = imbalance / denominator
-		if math.Abs(valueM-valueN) <= opts.Tolerance*denominator && res.Imbalance <= opts.Tolerance {
-			res.Converged = true
-			break
-		}
-		retargetVirtual(regionM, targets)
-		retargetVirtual(regionN, targets)
-	}
-	return res, nil
-}
-
-// retargetVirtual rewrites the virtual-terminal edge capacities of a region
-// to the given per-overlap-vertex targets.
-func retargetVirtual(r *region, targets map[int]float64) {
-	virtualStart := len(r.globalOf)
-	caps := make([]float64, r.graph.NumEdges())
-	changed := false
-	for i := 0; i < r.graph.NumEdges(); i++ {
-		e := r.graph.Edge(i)
-		caps[i] = e.Capacity
-		if e.From < virtualStart && e.To < virtualStart {
-			continue
-		}
-		ov := -1
-		if e.From < virtualStart {
-			ov = r.globalOf[e.From]
-		} else if e.To < virtualStart {
-			ov = r.globalOf[e.To]
-		}
-		if ov < 0 {
-			continue
-		}
-		if target, ok := targets[ov]; ok {
-			caps[i] = target
-			changed = true
 		}
 	}
-	if !changed {
-		return
-	}
-	if adjusted, err := r.graph.WithCapacities(caps); err == nil {
-		r.graph = adjusted
-	}
+	return p, nil
 }

@@ -1,12 +1,17 @@
 package decompose
 
 import (
-	"math"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"analogflow/internal/graph"
 	"analogflow/internal/maxflow"
 	"analogflow/internal/rmat"
+	"analogflow/internal/testutil"
 )
 
 func TestOptionsValidate(t *testing.T) {
@@ -16,6 +21,7 @@ func TestOptionsValidate(t *testing.T) {
 	bad := []Options{
 		{MaxIterations: 0, StepSize: 1, Tolerance: 0.1},
 		{MaxIterations: 10, StepSize: 0, Tolerance: 0.1},
+		{MaxIterations: 10, StepSize: 1.5, Tolerance: 0.1},
 		{MaxIterations: 10, StepSize: 1, Tolerance: 0},
 	}
 	for i, o := range bad {
@@ -31,17 +37,31 @@ func TestPartitionValidate(t *testing.T) {
 	if err := good.Validate(g); err != nil {
 		t.Errorf("BFS partition invalid: %v", err)
 	}
-	short := Partition{InM: []bool{true}, InN: []bool{true}}
-	if short.Validate(g) == nil {
-		t.Errorf("short partition accepted")
+	n := g.NumVertices()
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
 	}
-	uncovered := Partition{InM: make([]bool, 5), InN: make([]bool, 5)}
-	if uncovered.Validate(g) == nil {
-		t.Errorf("uncovered partition accepted")
+	cases := []struct {
+		name string
+		p    Partition
+	}{
+		{"no regions", Partition{}},
+		{"length mismatch", Partition{In: [][]bool{{true}, full}}},
+		{"uncovered vertex", Partition{In: [][]bool{make([]bool, n), make([]bool, n)}}},
+		{"empty region", Partition{In: [][]bool{full, make([]bool, n)}}},
+		{"disjoint regions", Partition{In: [][]bool{
+			{true, true, false, false, false}, {false, false, true, true, true}}}},
+		{"all-overlap", Partition{In: [][]bool{full, full}}},
 	}
-	disjoint := Partition{InM: []bool{true, true, false, false, false}, InN: []bool{false, false, true, true, true}}
-	if disjoint.Validate(g) == nil {
-		t.Errorf("non-overlapping partition accepted")
+	for _, tc := range cases {
+		if tc.p.Validate(g) == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Degenerate shapes carry the typed sentinel.
+	if err := (Partition{In: [][]bool{full, full}}).Validate(g); !errors.Is(err, ErrDegeneratePartition) {
+		t.Errorf("all-overlap: error %v does not wrap ErrDegeneratePartition", err)
 	}
 }
 
@@ -51,22 +71,56 @@ func TestBisectByBFSCoversAndOverlaps(t *testing.T) {
 	if err := p.Validate(g); err != nil {
 		t.Fatalf("BFS bisection invalid: %v", err)
 	}
-	if !p.InM[g.Source()] || !p.InN[g.Sink()] {
+	if got := p.NumRegions(); got != 2 {
+		t.Fatalf("bisection produced %d regions, want 2", got)
+	}
+	if !p.In[0][g.Source()] || !p.In[1][g.Sink()] {
 		t.Errorf("terminals not assigned to their natural regions")
 	}
-	// Both regions are substantially smaller than the full graph on a deep
-	// instance (that is the point of decomposing).
 	countM, countN := 0, 0
 	for v := 0; v < g.NumVertices(); v++ {
-		if p.InM[v] {
+		if p.In[0][v] {
 			countM++
 		}
-		if p.InN[v] {
+		if p.In[1][v] {
 			countN++
 		}
 	}
 	if countM == g.NumVertices() && countN == g.NumVertices() {
 		t.Errorf("bisection did not split the graph at all")
+	}
+}
+
+func TestPartitionersProduceValidNRegionPartitions(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(200, 9))
+	for _, pt := range []Partitioner{BFSPartitioner{}, ClusterPartitioner{}} {
+		for _, n := range []int{1, 2, 4, 8} {
+			p, err := pt.Partition(g, n)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", pt.Name(), n, err)
+			}
+			if err := p.Validate(g); err != nil {
+				t.Errorf("%s/%d: invalid partition: %v", pt.Name(), n, err)
+			}
+			if p.NumRegions() > n {
+				t.Errorf("%s/%d: produced %d regions, more than requested", pt.Name(), n, p.NumRegions())
+			}
+		}
+	}
+}
+
+func TestPartitionerByName(t *testing.T) {
+	for name, want := range map[string]string{"": "bfs", "bfs": "bfs", "cluster": "cluster"} {
+		pt, err := PartitionerByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if pt.Name() != want {
+			t.Errorf("%q resolved to %q, want %q", name, pt.Name(), want)
+		}
+	}
+	if _, err := PartitionerByName("voronoi"); err == nil {
+		t.Errorf("unknown partitioner accepted")
 	}
 }
 
@@ -78,13 +132,13 @@ func TestSolveRejectsBadInput(t *testing.T) {
 	if _, err := Solve(g, p, bad); err == nil {
 		t.Errorf("invalid options accepted")
 	}
-	if _, err := Solve(g, Partition{InM: []bool{true}, InN: []bool{true}}, DefaultOptions()); err == nil {
+	if _, err := Solve(g, Partition{In: [][]bool{{true}, {true}}}, DefaultOptions()); err == nil {
 		t.Errorf("invalid partition accepted")
 	}
 }
 
 // A long path graph has an obvious bottleneck; the decomposition must find it
-// no matter which half it lands in.
+// no matter which region it lands in.
 func TestSolvePathGraph(t *testing.T) {
 	const n = 12
 	g := graph.MustNew(n, 0, n-1)
@@ -103,12 +157,12 @@ func TestSolvePathGraph(t *testing.T) {
 	if !res.Converged {
 		t.Errorf("decomposition did not converge: %+v", res)
 	}
-	if math.Abs(res.FlowValue-exact)/exact > 0.1 {
-		t.Errorf("decomposed flow %.3f, exact %.3f", res.FlowValue, exact)
-	}
+	testutil.AssertAlmostEqual(t, res.FlowValue, exact, 0.1, "decomposed flow")
 	// Subproblems are genuinely smaller than the original.
-	if res.SubproblemSizes[0] >= n && res.SubproblemSizes[1] >= n {
-		t.Errorf("subproblems not smaller than the original: %v", res.SubproblemSizes)
+	for r, size := range res.SubproblemSizes {
+		if size >= n {
+			t.Errorf("region %d subproblem not smaller than the original: %d", r, size)
+		}
 	}
 	if len(res.History) != res.Iterations {
 		t.Errorf("history length mismatch")
@@ -130,46 +184,222 @@ func TestSolvePathGraphBottleneckInSecondHalf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(res.FlowValue-exact)/exact > 0.1 {
-		t.Errorf("decomposed flow %.3f, exact %.3f", res.FlowValue, exact)
+	testutil.AssertAlmostEqual(t, res.FlowValue, exact, 0.1, "decomposed flow")
+}
+
+// nRegionTolerance is the agreement tolerance of the N-region consensus
+// estimate against the exact value on the evaluation instances.
+const nRegionTolerance = 0.25
+
+// TestNRegionValueAgreement is the Section 6.4 acceptance matrix: for N in
+// {2, 4, 8}, the N-region decomposition of the paper's Figure 5 instance and
+// of an R-MAT instance stays within tolerance of the exact max-flow value and
+// agrees with the two-region run.  The full matrix is pinned for the default
+// BFS-band partitioner; the layered cluster partitioner is pinned on Figure 5
+// (all N) and on R-MAT at its sound configurations (N=2) — its higher region
+// counts cut inside BFS levels of hub-heavy graphs, where the consensus
+// iteration is only approximate (see the ClusterPartitioner doc), so there
+// the test pins the weaker guarantee that a converged run is an accurate one.
+func TestNRegionValueAgreement(t *testing.T) {
+	instances := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"figure5", graph.PaperFigure5()},
+		{"rmat", rmat.MustGenerate(rmat.SparseParams(200, 9))},
+	}
+	for _, inst := range instances {
+		exact, err := maxflow.OptimalValue(inst.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range []Partitioner{BFSPartitioner{}, ClusterPartitioner{}} {
+			var twoRegion float64
+			for _, n := range []int{2, 4, 8} {
+				strict := pt.Name() == "bfs" || inst.name == "figure5" || n == 2
+				t.Run(fmt.Sprintf("%s/%s/%d", inst.name, pt.Name(), n), func(t *testing.T) {
+					part, err := pt.Partition(inst.g, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := DefaultOptions()
+					opts.MaxIterations = 120
+					res, err := Solve(inst.g, part, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Logf("%d regions (%d effective): %d iterations, converged=%v, flow %.2f vs exact %.2f",
+						n, res.Regions, res.Iterations, res.Converged, res.FlowValue, exact)
+					if strict {
+						testutil.AssertAlmostEqual(t, res.FlowValue, exact, nRegionTolerance, "decomposed flow vs exact")
+					} else if res.Converged {
+						// Approximate configurations must never claim a
+						// converged consensus on a wrong value.
+						testutil.AssertAlmostEqual(t, res.FlowValue, exact, nRegionTolerance, "converged flow vs exact")
+					}
+					if n == 2 {
+						twoRegion = res.FlowValue
+					} else if strict {
+						testutil.AssertAlmostEqual(t, res.FlowValue, twoRegion, 2*nRegionTolerance, "N-region vs two-region flow")
+					}
+				})
+			}
+		}
 	}
 }
 
-func TestSolveRMATInstance(t *testing.T) {
+// TestSerialVsConcurrentRegionSolvesIdentical pins the parallel contract:
+// the full Result of a decomposition run is identical for any worker count.
+func TestSerialVsConcurrentRegionSolvesIdentical(t *testing.T) {
 	g := rmat.MustGenerate(rmat.SparseParams(200, 9))
-	exact, err := maxflow.OptimalValue(g)
+	part, err := BFSPartitioner{}.Partition(g, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if exact == 0 {
-		t.Skip("instance has zero max-flow")
+	run := func(workers int) *Result {
+		opts := DefaultOptions()
+		opts.MaxIterations = 40
+		opts.Workers = workers
+		res, err := Solve(g, part, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		concurrent := run(workers)
+		if !reflect.DeepEqual(serial, concurrent) {
+			t.Errorf("workers=%d: result differs from serial run:\nserial:     %+v\nconcurrent: %+v",
+				workers, serial, concurrent)
+		}
+	}
+}
+
+// TestSolveSingleRegionIsMonolithic: a one-region partition is the monolithic
+// problem and must return the exact value in one iteration.
+func TestSolveSingleRegionIsMonolithic(t *testing.T) {
+	g := graph.PaperFigure5()
+	res, err := Solve(g, singleRegion(g.NumVertices()), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 1 || res.Regions != 1 {
+		t.Fatalf("single-region solve not monolithic: %+v", res)
+	}
+	testutil.AssertAlmostEqual(t, res.FlowValue, graph.PaperFigure5MaxFlow, 1e-9, "monolithic flow")
+}
+
+// --- error paths ------------------------------------------------------------
+
+// TestOracleFailureMidIteration: an oracle error on any region aborts the
+// solve with that region's error, and the lowest-index failure wins
+// regardless of worker count.
+func TestOracleFailureMidIteration(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(128, 3))
+	part, err := BFSPartitioner{}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("substrate fault")
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64 // SolveRegion runs concurrently across regions
+		opts := DefaultOptions()
+		opts.Workers = workers
+		opts.Oracle = OracleFunc(func(ctx context.Context, region int, sub *graph.Graph) (*graph.Flow, error) {
+			calls.Add(1)
+			if region == 1 {
+				return nil, sentinel
+			}
+			return maxflow.SolveDinicContext(ctx, sub)
+		})
+		_, err := Solve(g, part, opts)
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: error %v does not wrap the oracle failure", workers, err)
+		}
+		if calls.Load() == 0 {
+			t.Errorf("workers=%d: oracle never invoked", workers)
+		}
+	}
+}
+
+// TestContextCancellationBetweenRegionSolves: a context cancelled after the
+// first region solve stops the iteration with the context error.
+func TestContextCancellationBetweenRegionSolves(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(128, 3))
+	part, err := BFSPartitioner{}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	opts := DefaultOptions()
-	opts.MaxIterations = 120
-	res, err := Solve(g, BisectByBFS(g), opts)
-	if err != nil {
-		t.Fatal(err)
+	opts.Workers = 1
+	opts.Oracle = OracleFunc(func(ctx context.Context, region int, sub *graph.Graph) (*graph.Flow, error) {
+		if region == 0 {
+			cancel() // cancel between this region's solve and the next
+		}
+		return maxflow.SolveDinicContext(context.Background(), sub)
+	})
+	if _, err := SolveContext(ctx, g, part, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v is not the context error", err)
 	}
-	relErr := math.Abs(res.FlowValue-exact) / exact
-	t.Logf("decomposition: %d iterations, converged=%v, flow %.1f vs exact %.1f (%.1f%% error)",
-		res.Iterations, res.Converged, res.FlowValue, exact, 100*relErr)
-	if relErr > 0.25 {
-		t.Errorf("decomposed flow %.3f too far from exact %.3f", res.FlowValue, exact)
+	// Cancellation ahead of the first iteration surfaces before any oracle
+	// call.
+	pre, cancelled := context.WithCancel(context.Background())
+	cancelled()
+	opts.Oracle = OracleFunc(func(context.Context, int, *graph.Graph) (*graph.Flow, error) {
+		t.Error("oracle called under a cancelled context")
+		return nil, nil
+	})
+	if _, err := SolveContext(pre, g, part, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled error %v is not the context error", err)
+	}
+}
+
+// TestDegeneratePartitionsRejected: the solver refuses empty-region and
+// all-overlap partitions up front instead of producing a silent wrong value.
+func TestDegeneratePartitionsRejected(t *testing.T) {
+	g := graph.PaperFigure5()
+	n := g.NumVertices()
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
+	}
+	for name, p := range map[string]Partition{
+		"empty region": {In: [][]bool{full, make([]bool, n)}},
+		"all-overlap":  {In: [][]bool{full, full}},
+	} {
+		if _, err := Solve(g, p, DefaultOptions()); !errors.Is(err, ErrDegeneratePartition) {
+			t.Errorf("%s: error %v does not wrap ErrDegeneratePartition", name, err)
+		}
+	}
+}
+
+// TestOracleEdgeFlowLengthChecked: an oracle returning a malformed flow is a
+// hard error, not a panic in the consensus update.
+func TestOracleEdgeFlowLengthChecked(t *testing.T) {
+	g := graph.PaperFigure5()
+	opts := DefaultOptions()
+	opts.Oracle = OracleFunc(func(context.Context, int, *graph.Graph) (*graph.Flow, error) {
+		return &graph.Flow{Value: 1}, nil // no edge flows
+	})
+	if _, err := Solve(g, BisectByBFS(g), opts); err == nil {
+		t.Errorf("malformed oracle flow accepted")
 	}
 }
 
 func TestSolveWithCustomOracle(t *testing.T) {
 	g := graph.PaperFigure5()
-	calls := 0
+	var calls atomic.Int64 // SolveRegion runs concurrently across regions
 	opts := DefaultOptions()
-	opts.Oracle = func(sub *graph.Graph) (*graph.Flow, error) {
-		calls++
-		return maxflow.SolveDinic(sub)
-	}
+	opts.Oracle = OracleFunc(func(ctx context.Context, _ int, sub *graph.Graph) (*graph.Flow, error) {
+		calls.Add(1)
+		return maxflow.SolveDinicContext(ctx, sub)
+	})
 	if _, err := Solve(g, BisectByBFS(g), opts); err != nil {
 		t.Fatal(err)
 	}
-	if calls == 0 {
+	if calls.Load() == 0 {
 		t.Errorf("custom oracle never invoked")
 	}
 }

@@ -550,33 +550,53 @@ func ClusteredUtilization(seed int64) (*Table, error) {
 
 // --- Section 6.4 ------------------------------------------------------------
 
-// DualDecomposition runs the Section 6.4 decomposition on an instance larger
-// than a (deliberately small) substrate and compares against the exact value.
+// DualDecomposition runs the Section 6.4 N-region decomposition of an
+// instance larger than a (deliberately small) substrate, sweeping the region
+// count over {2, 4, 8} for both partitioners and comparing every plan
+// against the exact value.  The region solves of each configuration fan out
+// over the bounded worker pool; the serial==concurrent identity of
+// internal/decompose keeps the table deterministic for a fixed seed.
 func DualDecomposition(seed int64) (*Table, error) {
 	g := rmat.MustGenerate(rmat.SparseParams(400, seed))
 	exact, err := maxflow.OptimalValue(g)
 	if err != nil {
 		return nil, err
 	}
-	opts := decompose.DefaultOptions()
-	opts.MaxIterations = 100
-	res, err := decompose.Solve(g, decompose.BisectByBFS(g), opts)
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
-		Title:   "Section 6.4 — dual decomposition of an instance exceeding one substrate",
-		Columns: []string{"quantity", "value"},
+		Title: fmt.Sprintf("Section 6.4 — N-region dual decomposition, sparse R-MAT |V|=%d |E|=%d, exact max-flow %.1f",
+			g.NumVertices(), g.NumEdges(), exact),
+		Columns: []string{"partitioner", "regions", "effective", "max |V|", "estimate", "rel err", "iterations", "converged"},
 	}
-	t.Rows = append(t.Rows,
-		[]string{"|V| / |E|", fmt.Sprintf("%d / %d", g.NumVertices(), g.NumEdges())},
-		[]string{"subproblem sizes", fmt.Sprintf("%d and %d vertices", res.SubproblemSizes[0], res.SubproblemSizes[1])},
-		[]string{"exact max-flow", fmt.Sprintf("%.1f", exact)},
-		[]string{"decomposed estimate", fmt.Sprintf("%.1f", res.FlowValue)},
-		[]string{"relative error", fmt.Sprintf("%.1f%%", 100*absRel(res.FlowValue, exact))},
-		[]string{"outer iterations", fmt.Sprintf("%d", res.Iterations)},
-		[]string{"converged", fmt.Sprintf("%v", res.Converged)},
-	)
+	for _, pt := range []decompose.Partitioner{decompose.BFSPartitioner{}, decompose.ClusterPartitioner{}} {
+		for _, regions := range []int{2, 4, 8} {
+			part, err := pt.Partition(g, regions)
+			if err != nil {
+				return nil, err
+			}
+			opts := decompose.DefaultOptions()
+			opts.MaxIterations = 100
+			res, err := decompose.Solve(g, part, opts)
+			if err != nil {
+				return nil, err
+			}
+			maxSub := 0
+			for _, s := range res.SubproblemSizes {
+				if s > maxSub {
+					maxSub = s
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				pt.Name(),
+				fmt.Sprintf("%d", regions),
+				fmt.Sprintf("%d", res.Regions),
+				fmt.Sprintf("%d", maxSub),
+				fmt.Sprintf("%.1f", res.FlowValue),
+				fmt.Sprintf("%.1f%%", 100*absRel(res.FlowValue, exact)),
+				fmt.Sprintf("%d", res.Iterations),
+				fmt.Sprintf("%v", res.Converged),
+			})
+		}
+	}
 	return t, nil
 }
 

@@ -6,9 +6,9 @@ import (
 
 	"analogflow/internal/circuit"
 	"analogflow/internal/device"
-)
 
-func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+	"analogflow/internal/testutil"
+)
 
 func TestEngineValidation(t *testing.T) {
 	if _, err := NewEngine(nil, DefaultOptions()); err == nil {
@@ -58,10 +58,10 @@ func TestVoltageDivider(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(sol.Voltage(mid), 0.5, 1e-6) {
+	if !testutil.AlmostEqualAbs(sol.Voltage(mid), 0.5, 1e-6) {
 		t.Errorf("divider voltage %g, want 0.5", sol.Voltage(mid))
 	}
-	if !almostEqual(sol.Voltage(top), 1.0, 1e-6) {
+	if !testutil.AlmostEqualAbs(sol.Voltage(top), 1.0, 1e-6) {
 		t.Errorf("source node %g, want 1", sol.Voltage(top))
 	}
 	if sol.Voltage(circuit.Ground) != 0 {
@@ -70,7 +70,7 @@ func TestVoltageDivider(t *testing.T) {
 	// The source delivers 1 V / 20 kOhm = 50 µA.
 	vsrc := nl.Elements()[0].(*circuit.VoltageSource)
 	i := vsrc.DeliveredCurrent(sol.X, e.BranchBase(0))
-	if !almostEqual(i, 50e-6, 1e-9) {
+	if !testutil.AlmostEqualAbs(i, 50e-6, 1e-9) {
 		t.Errorf("delivered current %g, want 50e-6", i)
 	}
 }
@@ -93,7 +93,7 @@ func TestNegativeResistorDC(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Divider with R2 = -5k: Vmid = 1 * (-5k)/(10k + -5k) = -1.
-	if !almostEqual(sol.Voltage(mid), -1, 1e-6) {
+	if !testutil.AlmostEqualAbs(sol.Voltage(mid), -1, 1e-6) {
 		t.Errorf("negative divider voltage %g, want -1", sol.Voltage(mid))
 	}
 }
@@ -135,7 +135,7 @@ func TestDiodeClampDC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := sol2.Voltage(x2); !almostEqual(v, 1, 1e-3) {
+	if v := sol2.Voltage(x2); !testutil.AlmostEqualAbs(v, 1, 1e-3) {
 		t.Errorf("unclamped voltage %g, want ~1", v)
 	}
 }
@@ -171,7 +171,7 @@ func TestVCVSGain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(sol.Voltage(out), 1.0, 1e-6) {
+	if !testutil.AlmostEqualAbs(sol.Voltage(out), 1.0, 1e-6) {
 		t.Errorf("VCVS output %g, want 1", sol.Voltage(out))
 	}
 }
@@ -192,7 +192,7 @@ func TestOpAmpOpenLoopGain(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := model.Gain * 1e-5 * 100e3 / (100e3 + model.Rout)
-	if !almostEqual(sol.Voltage(out), want, 1e-3*want) {
+	if !testutil.AlmostEqualAbs(sol.Voltage(out), want, 1e-3*want) {
 		t.Errorf("open-loop output %g, want %g", sol.Voltage(out), want)
 	}
 }
@@ -210,7 +210,7 @@ func TestOpAmpFollower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(sol.Voltage(out), 2, 2.0/1000) {
+	if !testutil.AlmostEqualAbs(sol.Voltage(out), 2, 2.0/1000) {
 		t.Errorf("follower output %g, want ~2", sol.Voltage(out))
 	}
 }
@@ -246,7 +246,7 @@ func TestOpAmpNegativeResistanceRealisation(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := 1.0 * (-rtarget) / (rs - rtarget) // = -1/3
-	if !almostEqual(sol.Voltage(port), want, 0.01*math.Abs(want)) {
+	if !testutil.AlmostEqualAbs(sol.Voltage(port), want, 0.01*math.Abs(want)) {
 		t.Errorf("NIC port voltage %g, want %g", sol.Voltage(port), want)
 	}
 }
@@ -276,7 +276,7 @@ func TestRCTransient(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Final value close to 1 V.
-	if !almostEqual(res.FinalMonitorValue, 1, 1e-3) {
+	if !testutil.AlmostEqualAbs(res.FinalMonitorValue, 1, 1e-3) {
 		t.Errorf("final RC voltage %g, want ~1", res.FinalMonitorValue)
 	}
 	// Check an intermediate point against the analytic curve (backward Euler
@@ -415,7 +415,7 @@ func TestTransientMemristorProgramming(t *testing.T) {
 	if first > 0.1 {
 		t.Errorf("pre-switch voltage %g, want ~0.03", first)
 	}
-	if !almostEqual(last, 1.5, 0.05) {
+	if !testutil.AlmostEqualAbs(last, 1.5, 0.05) {
 		t.Errorf("post-switch voltage %g, want ~1.5", last)
 	}
 }

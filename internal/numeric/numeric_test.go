@@ -5,9 +5,9 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
-)
 
-func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+	"analogflow/internal/testutil"
+)
 
 func TestDenseBasics(t *testing.T) {
 	d := NewDense(2, 3)
@@ -75,7 +75,7 @@ func TestDenseLUSolve(t *testing.T) {
 	}
 	want := []float64{2, 3, -1}
 	for i := range want {
-		if !almostEqual(x[i], want[i], 1e-10) {
+		if !testutil.AlmostEqualAbs(x[i], want[i], 1e-10) {
 			t.Fatalf("x = %v, want %v", x, want)
 		}
 	}
@@ -91,7 +91,7 @@ func TestDenseLUNeedsPivoting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(x[0], 7, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+	if !testutil.AlmostEqualAbs(x[0], 7, 1e-12) || !testutil.AlmostEqualAbs(x[1], 3, 1e-12) {
 		t.Fatalf("x = %v", x)
 	}
 }
@@ -122,7 +122,7 @@ func TestDenseLUSolveBadRHS(t *testing.T) {
 }
 
 func TestVectorHelpers(t *testing.T) {
-	if !almostEqual(Norm2([]float64{3, 4}), 5, 1e-12) {
+	if !testutil.AlmostEqualAbs(Norm2([]float64{3, 4}), 5, 1e-12) {
 		t.Errorf("Norm2 wrong")
 	}
 	if NormInf([]float64{-7, 2}) != 7 {
@@ -201,7 +201,7 @@ func TestCSCMulVec(t *testing.T) {
 	y := m.MulVec([]float64{1, 2, 3})
 	want := []float64{2*1 + 4*3, 3 * 2, -1}
 	for i := range want {
-		if !almostEqual(y[i], want[i], 1e-12) {
+		if !testutil.AlmostEqualAbs(y[i], want[i], 1e-12) {
 			t.Fatalf("MulVec = %v, want %v", y, want)
 		}
 	}
@@ -233,7 +233,7 @@ func TestSparseLUSmall(t *testing.T) {
 	}
 	want := []float64{2, 3, -1}
 	for i := range want {
-		if !almostEqual(x[i], want[i], 1e-9) {
+		if !testutil.AlmostEqualAbs(x[i], want[i], 1e-9) {
 			t.Fatalf("x = %v, want %v", x, want)
 		}
 	}
@@ -247,7 +247,7 @@ func TestSparseLURequiresPivoting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(x[0], 7, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+	if !testutil.AlmostEqualAbs(x[0], 7, 1e-12) || !testutil.AlmostEqualAbs(x[1], 3, 1e-12) {
 		t.Fatalf("x = %v", x)
 	}
 }

@@ -395,19 +395,51 @@ type decomposeSolver struct{ desc string }
 func (d *decomposeSolver) Name() string     { return "decompose" }
 func (d *decomposeSolver) Describe() string { return d.desc }
 
+// Solve runs the N-region dual decomposition.  The region plan comes from
+// the problem's substrate budget when one is set (the planner chooses the
+// region count so each subproblem fits); otherwise from the decompose
+// options' Regions field (default two, the paper's evaluation setup), split
+// by the budget's partitioner or the BFS bands.
 func (d *decomposeSolver) Solve(ctx context.Context, p *Problem) (*Report, error) {
-	part := p.Partition()
+	return d.solveWithBudget(ctx, p, p.Budget())
+}
+
+// solveWithBudget is Solve under an explicit budget — the service routes its
+// service-wide default budget here for problems that carry none of their own.
+func (d *decomposeSolver) solveWithBudget(ctx context.Context, p *Problem, b Budget) (*Report, error) {
+	plan, part, err := planFor(p, b)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.Sharded {
+		// No budget pressure (or a shallow instance): decompose anyway —
+		// that is this backend's job — at the configured region count.
+		opts := p.DecomposeOptions()
+		part, err = p.PartitionInto(b.Partitioner, opts.NumRegions())
+		if err != nil {
+			return nil, err
+		}
+		plan.Sharded = part.NumRegions() > 1
+		plan.Regions = part.NumRegions()
+		if plan.Partitioner == "" {
+			pt, _ := decompose.PartitionerByName(b.Partitioner)
+			plan.Partitioner = pt.Name()
+		}
+	}
 	start := time.Now()
 	res, err := decompose.SolveContext(ctx, p.Graph(), part, p.DecomposeOptions())
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
+	plan.Regions = res.Regions
+	plan.RegionVertices = res.SubproblemSizes
 	rep := &Report{
 		Solver:     d.Name(),
 		FlowValue:  res.FlowValue,
 		Iterations: res.Iterations,
 		Converged:  res.Converged,
+		Plan:       plan,
 		WallTime:   elapsed,
 	}
 	if err := p.fillExact(ctx, rep); err != nil {

@@ -39,11 +39,18 @@ type pipeline struct {
 	exactDone bool
 	exact     float64
 
-	partOnce sync.Once
-	part     decompose.Partition
+	partMu sync.Mutex
+	parts  map[partKey]decompose.Partition
 
 	fpOnce sync.Once
 	fp     string
+}
+
+// partKey identifies one memoised partition: which partitioner produced it
+// and how many regions were requested.
+type partKey struct {
+	partitioner string
+	regions     int
 }
 
 // STCore returns the prune stage's output: the s-t core of the graph and the
@@ -135,13 +142,37 @@ func (p *Problem) seedExact(v float64) {
 	}
 }
 
-// Partition returns the decompose stage's output: the balanced two-region
-// overlap partition used by the "decompose" backend.
-func (p *Problem) Partition() decompose.Partition {
-	p.pipe.partOnce.Do(func() {
-		p.pipe.part = decompose.BisectByBFS(p.g)
-	})
-	return p.pipe.part
+// PartitionInto returns the decompose stage's output: the N-region overlap
+// partition of the named partitioner ("bfs" or "cluster"; "" selects bfs).
+// Each (partitioner, regions) pair is computed once per problem and shared —
+// by the decompose backend, by the partition planner, and by every re-solve
+// of a cached instance.  The effective region count may be lower than asked
+// for on shallow or small instances (see decompose.Partitioner).
+func (p *Problem) PartitionInto(partitioner string, regions int) (decompose.Partition, error) {
+	pt, err := decompose.PartitionerByName(partitioner)
+	if err != nil {
+		return decompose.Partition{}, err
+	}
+	return p.partitionInto(pt, regions)
+}
+
+// partitionInto is PartitionInto with a resolved partitioner.
+func (p *Problem) partitionInto(pt decompose.Partitioner, regions int) (decompose.Partition, error) {
+	key := partKey{pt.Name(), regions}
+	p.pipe.partMu.Lock()
+	defer p.pipe.partMu.Unlock()
+	if part, ok := p.pipe.parts[key]; ok {
+		return part, nil
+	}
+	part, err := pt.Partition(p.g, regions)
+	if err != nil {
+		return decompose.Partition{}, err
+	}
+	if p.pipe.parts == nil {
+		p.pipe.parts = make(map[partKey]decompose.Partition)
+	}
+	p.pipe.parts[key] = part
+	return part, nil
 }
 
 // fillExact stamps the shared exact reference value and the resulting

@@ -1,0 +1,425 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"analogflow/internal/cluster"
+	"analogflow/internal/core"
+	"analogflow/internal/decompose"
+	"analogflow/internal/graph"
+)
+
+// Budget describes the substrate capacity available to one monolithic solve —
+// the planner's input.  An instance that exceeds the budget is sharded into
+// overlapping regions (Section 6.4 dual decomposition) sized to fit it, each
+// region solved by the requested backend.
+type Budget struct {
+	// MaxVertices is the largest instance a single monolithic solve may
+	// take, measured on the original graph (the same quantity the analog
+	// crossbar bounds); <= 0 means unbounded and disables the planner.
+	MaxVertices int `json:"max_vertices,omitempty"`
+	// MaxRegions caps how many regions the planner may shard into (the
+	// island count of a clustered fabric); <= 0 selects 16.
+	MaxRegions int `json:"max_regions,omitempty"`
+	// Partitioner names the region partitioner: "bfs" (default) or
+	// "cluster".
+	Partitioner string `json:"partitioner,omitempty"`
+}
+
+// IsZero reports whether the budget imposes no constraint (planner disabled).
+func (b Budget) IsZero() bool { return b.MaxVertices <= 0 }
+
+// Validate checks the budget.  The partitioner name is checked even for a
+// zero (planner-disabled) budget, so a typo surfaces instead of going inert.
+func (b Budget) Validate() error {
+	if _, err := decompose.PartitionerByName(b.Partitioner); err != nil {
+		return err
+	}
+	if b.IsZero() {
+		return nil
+	}
+	if b.MaxVertices < 2 {
+		return fmt.Errorf("solve: budget max vertices must be at least 2, got %d", b.MaxVertices)
+	}
+	return nil
+}
+
+// maxRegions returns the region cap, defaulting to 16.
+func (b Budget) maxRegions() int {
+	if b.MaxRegions <= 0 {
+		return 16
+	}
+	return b.MaxRegions
+}
+
+// BudgetFromArchitecture derives the planner budget of a clustered island
+// fabric (Section 6.2): each region subproblem must fit one island's mesh,
+// and the fabric's island count bounds how many regions can solve at once.
+func BudgetFromArchitecture(a cluster.Architecture) Budget {
+	return Budget{
+		MaxVertices: a.IslandSize,
+		MaxRegions:  a.Islands,
+		Partitioner: decompose.ClusterPartitioner{}.Name(),
+	}
+}
+
+// BudgetFromCrossbar derives the planner budget of a monolithic crossbar:
+// one region per substrate pass, bounded by the array dimension.
+func BudgetFromCrossbar(rows, cols int) Budget {
+	n := rows
+	if cols < n {
+		n = cols
+	}
+	return Budget{MaxVertices: n}
+}
+
+// Plan is the planner's decision for one problem under one budget, exposed in
+// the solve Report so clients can see how their instance was executed.
+type Plan struct {
+	// Sharded reports whether the instance was split into regions; a
+	// monolithic plan leaves the remaining fields describing the (single
+	// region) instance.
+	Sharded bool `json:"sharded"`
+	// Vertices is the instance size the decision was made on.
+	Vertices int `json:"vertices"`
+	// BudgetMaxVertices echoes the budget the decision honoured (0 when no
+	// budget applied).
+	BudgetMaxVertices int `json:"budget_max_vertices,omitempty"`
+	// Regions is the region count of a sharded plan.
+	Regions int `json:"regions,omitempty"`
+	// Partitioner names the partitioner that produced the regions.
+	Partitioner string `json:"partitioner,omitempty"`
+	// RegionVertices lists |V| of each region subproblem (virtual terminals
+	// included).  When a shallow or skewed instance cannot be cut into
+	// budget-sized regions the planner ships the best partition it found;
+	// oversized entries here are the signal.
+	RegionVertices []int `json:"region_vertices,omitempty"`
+}
+
+// planFor decides monolithic-vs-sharded execution for p under budget b and,
+// for sharded plans, returns the partition to run.  The partition for a given
+// (partitioner, regions) pair is memoised on the problem, so re-solves and
+// concurrent requests share the work.
+func planFor(p *Problem, b Budget) (*Plan, decompose.Partition, error) {
+	n := p.Graph().NumVertices()
+	plan := &Plan{Vertices: n}
+	if b.IsZero() || n <= b.MaxVertices {
+		return plan, decompose.Partition{}, nil
+	}
+	if err := b.Validate(); err != nil {
+		return nil, decompose.Partition{}, err
+	}
+	pt, err := decompose.PartitionerByName(b.Partitioner)
+	if err != nil {
+		return nil, decompose.Partition{}, err
+	}
+	plan.BudgetMaxVertices = b.MaxVertices
+	plan.Partitioner = pt.Name()
+
+	// Start at the count that would fit with zero overlap and grow while
+	// that SHRINKS the largest region, stopping as soon as every region
+	// fits the budget or growth stops helping — overlap duplication, split
+	// nodes and partitioner granularity can keep some regions above budget
+	// on shallow hub-dominated instances, and piling on more regions there
+	// only degrades the consensus without fitting anything.  The shipped
+	// plan reports any oversized regions honestly.
+	want := (n + b.MaxVertices - 1) / b.MaxVertices
+	if want < 2 {
+		want = 2
+	}
+	maxR := b.maxRegions()
+	if want > maxR {
+		want = maxR
+	}
+	var best decompose.Partition
+	var bestSizes []int
+	bestMax := 0
+	stale := 0
+	for k := want; k <= maxR; k++ {
+		part, err := p.partitionInto(pt, k)
+		if err != nil {
+			return nil, decompose.Partition{}, err
+		}
+		sizes := regionSizes(part, p.Graph())
+		maxSize := 0
+		for _, s := range sizes {
+			if s > maxSize {
+				maxSize = s
+			}
+		}
+		if best.NumRegions() == 0 || maxSize < bestMax {
+			best, bestSizes, bestMax = part, sizes, maxSize
+			stale = 0
+		} else {
+			stale++
+		}
+		if bestMax <= b.MaxVertices || stale >= 2 {
+			break
+		}
+	}
+	plan.Sharded = best.NumRegions() > 1
+	plan.Regions = best.NumRegions()
+	plan.RegionVertices = bestSizes
+	if !plan.Sharded {
+		// The partitioner collapsed to a single region (e.g. a shallow
+		// instance); execution is monolithic after all.
+		plan.BudgetMaxVertices = b.MaxVertices
+		return plan, decompose.Partition{}, nil
+	}
+	return plan, best, nil
+}
+
+// regionSizes computes |V| of each region subproblem as the decomposition
+// will build it: region members, plus the virtual terminals a region without
+// the real source or sink gains, plus one out-half node per non-terminal
+// overlap vertex (the split-vertex consensus gadget).
+func regionSizes(part decompose.Partition, g *graph.Graph) []int {
+	sizes := make([]int, part.NumRegions())
+	for r, in := range part.In {
+		count := 0
+		for v, b := range in {
+			if !b {
+				continue
+			}
+			count++
+			if v != g.Source() && v != g.Sink() {
+				shared := 0
+				for _, other := range part.In {
+					if other[v] {
+						shared++
+					}
+				}
+				if shared > 1 {
+					count++ // the ov_out half of the split
+				}
+			}
+		}
+		if !in[g.Source()] {
+			count++
+		}
+		if !in[g.Sink()] {
+			count++
+		}
+		sizes[r] = count
+	}
+	return sizes
+}
+
+// --- registry-backed region oracle ------------------------------------------
+
+// regionOracle solves decomposition subproblems with a registry backend,
+// keeping one warm instance per region across outer iterations: the region
+// index is stable, the iteration-to-iteration retargeting is capacity-only,
+// so a warm instance absorbs it through the same update path dynamic graphs
+// use — the analog sessions re-stamp their pattern-frozen circuits (zero new
+// symbolic factorizations after the first iteration), the CPU backends drain
+// and re-augment their residual networks.
+type regionOracle struct {
+	sol    Solver
+	params core.Params
+
+	mu      sync.Mutex
+	regions map[int]*oracleRegion
+	// coldRebuilds counts post-first-build instance reconstructions — the
+	// warm-path regressions the planner tests pin to zero.
+	coldRebuilds int
+}
+
+// oracleRegion is the warm state of one region's solver chain.
+type oracleRegion struct {
+	prob *Problem
+	inst Instance
+}
+
+// newRegionOracle builds an oracle around a backend and the parent problem's
+// substrate parameters.
+func newRegionOracle(sol Solver, params core.Params) *regionOracle {
+	return &regionOracle{sol: sol, params: params, regions: make(map[int]*oracleRegion)}
+}
+
+// SolveRegion implements decompose.Oracle.  Calls for distinct regions may
+// run concurrently (the decomposition fans them over the bounded pool); the
+// outer loop serialises calls for the same region, so the per-region state
+// needs no lock beyond the registry map's.
+func (o *regionOracle) SolveRegion(ctx context.Context, region int, g *graph.Graph) (*graph.Flow, error) {
+	o.mu.Lock()
+	st := o.regions[region]
+	if st == nil {
+		st = &oracleRegion{}
+		o.regions[region] = st
+	}
+	o.mu.Unlock()
+
+	if st.prob == nil {
+		prob, err := NewProblem(g, WithParams(o.params))
+		if err != nil {
+			return nil, err
+		}
+		st.prob = prob
+	} else if upd, ok := capacityDiff(st.prob.Graph(), g); !ok {
+		// The decomposition only retargets capacities; a structural change
+		// means the caller handed us a different region — rebuild.
+		o.noteRebuild(st)
+		prob, err := NewProblem(g, WithParams(o.params))
+		if err != nil {
+			return nil, err
+		}
+		st.prob = prob
+	} else if len(upd.Edges) > 0 {
+		next, err := st.prob.WithUpdate(upd)
+		if err != nil {
+			return nil, err
+		}
+		if ui, isUpd := st.inst.(UpdatableInstance); isUpd {
+			switch err := ui.Update(next); {
+			case err == nil:
+			case errors.Is(err, ErrIncompatibleUpdate):
+				// The warm state cannot absorb this retarget (e.g. the
+				// region's quantized work graph changed shape); fall back to
+				// a cold build for the new problem.
+				o.noteRebuild(st)
+			default:
+				return nil, err
+			}
+		} else {
+			o.noteRebuild(st)
+		}
+		st.prob = next
+	}
+
+	if st.inst == nil {
+		if w, ok := o.sol.(Warmable); ok {
+			inst, err := buildInstance(w, st.prob, true)
+			if err != nil {
+				return nil, err
+			}
+			st.inst = inst
+		}
+	}
+	var rep *Report
+	var err error
+	if st.inst != nil {
+		rep, err = st.inst.Solve(ctx)
+	} else {
+		rep, err = o.sol.Solve(ctx, st.prob)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rep.EdgeFlows == nil {
+		return nil, fmt.Errorf("solve: backend %q reports no edge flows; it cannot serve as a region oracle", o.sol.Name())
+	}
+	return &graph.Flow{Value: rep.FlowValue, Edge: rep.EdgeFlows}, nil
+}
+
+// noteRebuild drops the region's warm instance and counts the cold rebuild
+// (only when there was something warm to lose).
+func (o *regionOracle) noteRebuild(st *oracleRegion) {
+	if st.inst == nil {
+		return
+	}
+	st.inst = nil
+	o.mu.Lock()
+	o.coldRebuilds++
+	o.mu.Unlock()
+}
+
+// rebuilds returns how many times a warm region instance had to be rebuilt
+// cold after its first construction.
+func (o *regionOracle) rebuilds() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.coldRebuilds
+}
+
+// engineStats collects the per-region MNA engine counters of analog-backed
+// oracles, for the warm-region invariants the tests pin (region index order;
+// regions without a circuit engine are skipped).
+func (o *regionOracle) engineStats() map[int]struct {
+	Factorizations, Refactorizations int
+} {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[int]struct{ Factorizations, Refactorizations int })
+	for r, st := range o.regions {
+		ai, ok := st.inst.(*analogInstance)
+		if !ok {
+			continue
+		}
+		stats, ok := ai.session().EngineStats()
+		if !ok {
+			continue
+		}
+		out[r] = struct{ Factorizations, Refactorizations int }{
+			Factorizations:   stats.Factorizations,
+			Refactorizations: stats.Refactorizations,
+		}
+	}
+	return out
+}
+
+// capacityDiff compares two structurally identical graphs and returns the
+// capacity update that transforms old into new.  ok is false when the graphs
+// differ structurally (vertex count, terminals, edge endpoints).
+func capacityDiff(oldG, newG *graph.Graph) (graph.CapacityUpdate, bool) {
+	if oldG.NumVertices() != newG.NumVertices() ||
+		oldG.NumEdges() != newG.NumEdges() ||
+		oldG.Source() != newG.Source() || oldG.Sink() != newG.Sink() {
+		return graph.CapacityUpdate{}, false
+	}
+	var u graph.CapacityUpdate
+	for i, n := 0, oldG.NumEdges(); i < n; i++ {
+		eo, en := oldG.Edge(i), newG.Edge(i)
+		if eo.From != en.From || eo.To != en.To {
+			return graph.CapacityUpdate{}, false
+		}
+		if eo.Capacity != en.Capacity {
+			u.Edges = append(u.Edges, i)
+			u.Capacities = append(u.Capacities, en.Capacity)
+		}
+	}
+	return u, true
+}
+
+// solvePlanned executes a sharded plan: the dual decomposition of the
+// problem's graph under the plan's partition, with the requested backend as
+// the warm region oracle.  The report carries the backend's name and the
+// plan, so clients see both what solved the regions and how the instance was
+// split.  wrap, when non-nil, decorates the oracle (the service binds each
+// region solve to a worker slot through it).
+func solvePlanned(ctx context.Context, sol Solver, p *Problem, plan *Plan, part decompose.Partition, workers int, wrap func(decompose.Oracle) decompose.Oracle) (*Report, error) {
+	oracle := newRegionOracle(sol, p.Params())
+	opts := p.DecomposeOptions()
+	opts.Oracle = oracle
+	if wrap != nil {
+		opts.Oracle = wrap(oracle)
+	}
+	if workers > 0 {
+		opts.Workers = workers
+	}
+	start := time.Now()
+	res, err := decompose.SolveContext(ctx, p.Graph(), part, opts)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	planned := *plan
+	planned.Regions = res.Regions
+	planned.RegionVertices = res.SubproblemSizes
+	rep := &Report{
+		Solver:     sol.Name(),
+		FlowValue:  res.FlowValue,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Plan:       &planned,
+		WallTime:   elapsed,
+	}
+	if err := p.fillExact(ctx, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -50,6 +50,7 @@ type Problem struct {
 	g      *graph.Graph
 	params core.Params
 	dec    decompose.Options
+	budget Budget
 
 	pipe pipeline
 }
@@ -64,9 +65,18 @@ func WithParams(p core.Params) Option {
 	return func(pr *Problem) { pr.params = p }
 }
 
-// WithDecomposeOptions sets the options used by the "decompose" backend.
+// WithDecomposeOptions sets the options used by the "decompose" backend and
+// by sharded (planner-routed) solves.
 func WithDecomposeOptions(o decompose.Options) Option {
 	return func(pr *Problem) { pr.dec = o }
+}
+
+// WithBudget sets the problem's substrate budget.  A non-zero budget makes
+// the partition planner decide monolithic-vs-sharded execution for this
+// problem: the decompose backend honours it directly, and the batch service
+// routes any backend through the planner when the instance exceeds it.
+func WithBudget(b Budget) Option {
+	return func(pr *Problem) { pr.budget = b }
 }
 
 // NewProblem validates g and the configuration and returns the problem.
@@ -94,6 +104,9 @@ func NewProblem(g *graph.Graph, opts ...Option) (*Problem, error) {
 	}
 	if err := p.dec.Validate(); err != nil {
 		return nil, invalid("decompose options", err)
+	}
+	if err := p.budget.Validate(); err != nil {
+		return nil, invalid("substrate budget", err)
 	}
 	return p, nil
 }
@@ -126,7 +139,7 @@ func (p *Problem) WithUpdate(u graph.CapacityUpdate) (*Problem, error) {
 	if err != nil {
 		return nil, invalid("capacity update", err)
 	}
-	p2 := &Problem{g: g2, params: p.params, dec: p.dec}
+	p2 := &Problem{g: g2, params: p.params, dec: p.dec, budget: p.budget}
 
 	// Chained fingerprint.
 	base := p.Fingerprint()
@@ -195,6 +208,9 @@ func (p *Problem) Params() core.Params { return p.params }
 // DecomposeOptions returns the decomposition backend's options.
 func (p *Problem) DecomposeOptions() decompose.Options { return p.dec }
 
+// Budget returns the problem's substrate budget (zero when unset).
+func (p *Problem) Budget() Budget { return p.budget }
+
 // fingerprintNonce makes problems carrying non-content-hashable
 // configuration (function-valued hooks) unique instead of wrongly shared.
 var fingerprintNonce atomic.Int64
@@ -242,7 +258,18 @@ func (p *Problem) Fingerprint() string {
 			fmt.Fprintf(h, "|uniq:%d", fingerprintNonce.Add(1))
 		}
 		fmt.Fprintf(h, "|params:%+v", params)
-		fmt.Fprintf(h, "|dec:%d:%g:%g", p.dec.MaxIterations, p.dec.StepSize, p.dec.Tolerance)
+		// Workers is excluded: the serial==concurrent identity makes it
+		// result-invisible, so hashing it would only fragment the cache.
+		fmt.Fprintf(h, "|dec:%d:%g:%g:%d", p.dec.MaxIterations, p.dec.StepSize, p.dec.Tolerance,
+			p.dec.NumRegions())
+		if p.dec.Oracle != nil {
+			// A custom oracle is function-valued configuration with no
+			// comparable content; like PerturbResistance, it gets a
+			// process-unique fingerprint so the warm-instance cache can never
+			// alias two different oracles.
+			fmt.Fprintf(h, "|oracle-uniq:%d", fingerprintNonce.Add(1))
+		}
+		fmt.Fprintf(h, "|budget:%d:%d:%s", p.budget.MaxVertices, p.budget.MaxRegions, p.budget.Partitioner)
 		p.pipe.fp = hex.EncodeToString(h.Sum(nil)[:16])
 	})
 	return p.pipe.fp

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"analogflow/internal/decompose"
 	"analogflow/internal/graph"
 	"analogflow/internal/parallel"
 )
@@ -25,6 +26,13 @@ type Config struct {
 	// evicted (its engine and factorisations are garbage once no in-flight
 	// solve still holds it).
 	MaxCachedInstances int
+	// Budget is the service-wide substrate budget the partition planner
+	// enforces for problems that carry none of their own: a request whose
+	// instance exceeds it is automatically sharded into budget-sized regions
+	// and solved through the N-region dual decomposition, with the requested
+	// backend as the per-region oracle.  The zero budget disables the
+	// planner for budget-less problems.
+	Budget Budget
 }
 
 // Service is the concurrent batch engine on top of the registry: it fans a
@@ -44,6 +52,7 @@ type Service struct {
 	reg       *Registry
 	workers   int
 	maxCached int
+	budget    Budget
 	slots     chan struct{} // service-wide in-flight solve semaphore
 
 	mu    sync.Mutex
@@ -58,6 +67,8 @@ type Service struct {
 	completed   atomic.Int64
 	updates     atomic.Int64
 	updatesWarm atomic.Int64
+	planned     atomic.Int64
+	sharded     atomic.Int64
 }
 
 // cacheEntry is one warm instance slot.  The sync.Once makes instance
@@ -93,6 +104,7 @@ func NewService(cfg Config) *Service {
 		reg:       reg,
 		workers:   workers,
 		maxCached: maxCached,
+		budget:    cfg.Budget,
 		slots:     make(chan struct{}, workers),
 		cache:     make(map[string]*cacheEntry),
 	}
@@ -119,6 +131,11 @@ type Stats struct {
 	// absorbed in place (the remainder fell back to a cold build).
 	Updates        int64 `json:"updates"`
 	UpdateWarmHits int64 `json:"update_warm_hits"`
+	// PlannedSolves counts requests the partition planner examined under a
+	// non-zero budget; ShardedSolves the subset it split into regions and
+	// routed through the N-region decomposition.
+	PlannedSolves int64 `json:"planned_solves"`
+	ShardedSolves int64 `json:"sharded_solves"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -136,6 +153,8 @@ func (s *Service) Stats() Stats {
 		InFlight:        s.inFlight.Load(),
 		Updates:         s.updates.Load(),
 		UpdateWarmHits:  s.updatesWarm.Load(),
+		PlannedSolves:   s.planned.Load(),
+		ShardedSolves:   s.sharded.Load(),
 	}
 }
 
@@ -195,6 +214,9 @@ func (s *Service) solve(ctx context.Context, req Request) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if rep, routed, err := s.planAndRoute(ctx, sol, req.Problem); routed {
+		return rep, err
+	}
 	start := time.Now()
 	var rep *Report
 	if w, ok := sol.(Warmable); ok {
@@ -234,6 +256,104 @@ func (s *Service) solve(ctx context.Context, req Request) (*Report, error) {
 		rep.WallTime = time.Since(start)
 	}
 	return rep, nil
+}
+
+// effectiveBudget resolves the budget that applies to p: its own when set,
+// the service default otherwise.
+func (s *Service) effectiveBudget(p *Problem) Budget {
+	if b := p.Budget(); !b.IsZero() {
+		return b
+	}
+	return s.budget
+}
+
+// planAndRoute is the planner gate in front of every service solve: under a
+// non-zero effective budget it decides monolithic-vs-sharded execution and,
+// for oversized instances, runs the N-region decomposition with the
+// requested backend as the warm region oracle.  routed reports whether the
+// request was handled here (sharded); monolithic decisions fall through to
+// the normal path with no report, and the decompose backend plans for itself.
+func (s *Service) planAndRoute(ctx context.Context, sol Solver, p *Problem) (rep *Report, routed bool, err error) {
+	b := s.effectiveBudget(p)
+	if b.IsZero() {
+		return nil, false, nil
+	}
+	if ds, ok := sol.(*decomposeSolver); ok {
+		// The decompose backend shards by design; what the service adds is
+		// the budget a budget-less problem would otherwise miss.  Its region
+		// oracle is the exact solver, so the solve runs in-call under the
+		// request's own slot.
+		if !p.Budget().IsZero() {
+			return nil, false, nil // the backend reads the problem's budget itself
+		}
+		s.planned.Add(1)
+		rep, err := ds.solveWithBudget(ctx, p, b)
+		if err != nil {
+			return nil, true, err
+		}
+		// A budget-forced split carries the budget in its plan; the
+		// backend's default small-instance decomposition does not count as a
+		// planner shard.
+		if rep.Plan != nil && rep.Plan.Sharded && rep.Plan.BudgetMaxVertices > 0 {
+			s.sharded.Add(1)
+		}
+		return rep, true, nil
+	}
+	s.planned.Add(1)
+	plan, part, err := planFor(p, b)
+	if err != nil {
+		return nil, true, err
+	}
+	if !plan.Sharded {
+		return nil, false, nil
+	}
+	s.sharded.Add(1)
+	// Region solves are real solves and must respect the service-wide
+	// worker bound.  The caller holds one slot for this request; release it
+	// for the duration of the decomposition (a coordinator waiting on its
+	// regions does no solving) and make every region solve acquire its own
+	// slot — holding the request slot across the fan-out would deadlock as
+	// soon as Workers oversized requests each waited for region slots.  The
+	// slot is re-acquired before returning so the caller's release stays
+	// balanced.
+	s.releaseSlot()
+	defer s.reacquireSlot()
+	rep, err = solvePlanned(ctx, sol, p, plan, part, s.workers, s.slotBound)
+	return rep, true, err
+}
+
+// releaseSlot hands the caller's worker slot back during a nested fan-out.
+func (s *Service) releaseSlot() {
+	s.inFlight.Add(-1)
+	<-s.slots
+}
+
+// reacquireSlot takes a worker slot back after a nested fan-out.  It blocks
+// unconditionally: the caller's own regions have completed, so slot holders
+// are live solves that terminate, and the caller must hold a slot again for
+// its (unconditional) release to stay balanced.
+func (s *Service) reacquireSlot() {
+	s.slots <- struct{}{}
+	s.inFlight.Add(1)
+}
+
+// slotBound wraps a region oracle so that every region solve holds one
+// service worker slot, keeping the service-wide in-flight bound intact for
+// sharded requests.
+func (s *Service) slotBound(inner decompose.Oracle) decompose.Oracle {
+	return decompose.OracleFunc(func(ctx context.Context, region int, g *graph.Graph) (*graph.Flow, error) {
+		select {
+		case s.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		s.inFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			<-s.slots
+		}()
+		return inner.SolveRegion(ctx, region, g)
+	})
 }
 
 // instance returns the warm instance for the (problem, solver) pair,
@@ -407,6 +527,16 @@ func (s *Service) update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// An oversized chain stays sharded: the planner re-solves the updated
+	// problem region by region.  The region oracle is rebuilt per step (the
+	// warm-chain machinery below is per-instance, not per-region), so the
+	// step is never a warm hit.
+	if rep, routed, err := s.planAndRoute(ctx, sol, target); routed {
+		if err != nil {
+			return nil, err
+		}
+		return &UpdateResult{Report: rep, Problem: target}, nil
 	}
 	start := time.Now()
 	w, warmable := sol.(Warmable)

@@ -120,6 +120,11 @@ type Report struct {
 	// reported through Waves).
 	Iterations int  `json:"iterations,omitempty"`
 	Converged  bool `json:"converged,omitempty"`
+	// Plan is the partition planner's decision when one was made — by the
+	// decompose backend, or by the batch service routing an instance that
+	// exceeds the configured substrate budget through the N-region
+	// decomposition.  Nil when the solve ran without a planner.
+	Plan *Plan `json:"plan,omitempty"`
 	// WallTime is the host wall-clock duration of the solver proper —
 	// backends stamp it around their core computation, excluding the
 	// problem's shared lazy preprocessing and the exact-reference solve

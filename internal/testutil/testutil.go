@@ -1,0 +1,85 @@
+// Package testutil holds the small helpers the package tests share, starting
+// with the float-tolerance comparisons that used to be re-derived ad hoc in
+// every test file.
+package testutil
+
+import "testing"
+
+// Number covers the numeric types the almost-equal helpers compare.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Abs returns the absolute value of a.
+func Abs[T Number](a T) T {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// absDiff returns |a-b| without ever forming a-b, which would wrap around
+// for the unsigned instantiations the Number constraint admits.
+func absDiff[T Number](a, b T) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+// AlmostEqual reports whether a and b agree to the given relative tolerance:
+// |a-b| <= tolerance * max(|a|, |b|).  Two exact zeros are always equal; a
+// comparison against zero degenerates to an absolute check, which is what the
+// flow-value assertions want (a zero max-flow must be read as zero).
+func AlmostEqual[T Number](a, b T, tolerance float64) bool {
+	if a == b {
+		return true
+	}
+	scale := max(float64(Abs(a)), float64(Abs(b)), 1e-12)
+	return absDiff(a, b)/scale <= tolerance
+}
+
+// AlmostEqualAbs reports whether a and b agree to the given absolute
+// tolerance: |a-b| <= tolerance.  Prefer AlmostEqual (relative) for
+// quantities with a natural scale; the absolute form suits voltages and
+// currents compared against engineered tolerances.
+func AlmostEqualAbs[T Number](a, b T, tolerance float64) bool {
+	return absDiff(a, b) <= tolerance
+}
+
+// RelativeError returns |got-want| / |want|, or |got| when want is zero — the
+// quantity the paper's error columns report.
+func RelativeError[T Number](got, want T) float64 {
+	if want == 0 {
+		return float64(Abs(got))
+	}
+	return absDiff(got, want) / float64(Abs(want))
+}
+
+// AssertAlmostEqual fails the test when got and want disagree beyond the
+// relative tolerance.
+func AssertAlmostEqual[T Number](t testing.TB, got, want T, tolerance float64, what string) {
+	t.Helper()
+	if !AlmostEqual(got, want, tolerance) {
+		t.Errorf("%s: got %v, want %v (relative error %.3g, tolerance %.3g)",
+			what, got, want, RelativeError(got, want), tolerance)
+	}
+}
+
+// AssertAlmostEqualSlice fails the test when the slices differ in length or
+// any element pair disagrees beyond the relative tolerance.
+func AssertAlmostEqualSlice[T Number](t testing.TB, got, want []T, tolerance float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: got %d elements, want %d", what, len(got), len(want))
+		return
+	}
+	for i := range got {
+		if !AlmostEqual(got[i], want[i], tolerance) {
+			t.Errorf("%s: element %d: got %v, want %v (tolerance %.3g)",
+				what, i, got[i], want[i], tolerance)
+		}
+	}
+}

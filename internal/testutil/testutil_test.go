@@ -1,0 +1,51 @@
+package testutil
+
+import "testing"
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{0, 0, 0, true},
+		{100, 101, 0.02, true},
+		{100, 103, 0.02, false},
+		{-100, -101, 0.02, true},
+		{0, 1e-15, 1e-2, true}, // near-zero comparisons degrade to absolute
+		{0, 1, 0.5, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+	if !AlmostEqual(100, 98, 0.05) || AlmostEqual(100, 90, 0.05) {
+		t.Errorf("integer instantiation broken")
+	}
+	// Unsigned instantiations must not wrap when a < b.
+	if !AlmostEqual(uint(98), uint(100), 0.05) || AlmostEqual(uint(90), uint(100), 0.05) {
+		t.Errorf("unsigned instantiation broken")
+	}
+	if !AlmostEqualAbs(uint(2), uint(3), 2) {
+		t.Errorf("unsigned absolute comparison wraps")
+	}
+	if got := RelativeError(uint(90), uint(100)); got != 0.1 {
+		t.Errorf("unsigned RelativeError = %g, want 0.1", got)
+	}
+}
+
+func TestAlmostEqualAbs(t *testing.T) {
+	if !AlmostEqualAbs(1.0, 1.5, 0.5) || AlmostEqualAbs(1.0, 1.51, 0.5) {
+		t.Errorf("absolute comparison broken")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110.0, 100.0); got != 0.1 {
+		t.Errorf("RelativeError(110, 100) = %g", got)
+	}
+	if got := RelativeError(0.25, 0.0); got != 0.25 {
+		t.Errorf("RelativeError against zero = %g", got)
+	}
+}
