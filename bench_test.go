@@ -282,6 +282,87 @@ func BenchmarkUpdateResolve(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedUpdateResolve measures the dynamic-graph workload on an
+// instance ABOVE the substrate budget, so every step runs through the
+// partition planner's N-region decomposition: a warm chain rides the cached
+// region oracle (solve.Service.Update claims, rebinds and re-publishes it)
+// against a cold from-scratch sharded solve of every mutated problem,
+// interleaved within each iteration.  Value contract: the behavioral backend
+// is deterministic warm or cold, so its warm and cold chains must agree
+// exactly; the exact CPU backends may recover different optimal per-region
+// flows warm, steering the consensus differently, so warm and cold agree to
+// the decomposition tolerance (docs/solver.md, "Warm sharded updates").  The
+// CI bench smoke runs this so a lost warm path (sharded_update_warm_hits
+// staying 0) or a consensus regression fails loudly.
+func BenchmarkShardedUpdateResolve(b *testing.B) {
+	base := rmat.MustGenerate(rmat.SparseParams(200, 3))
+	budget := solve.Budget{MaxVertices: 80}
+	params := core.DefaultParams()
+	for _, backend := range []string{"dinic", "behavioral"} {
+		b.Run(backend, func(b *testing.B) {
+			svc := solve.NewService(solve.Config{Workers: 1, Budget: budget})
+			coldSvc := solve.NewService(solve.Config{Workers: 1, Budget: budget})
+			prob, err := solve.NewProblem(base, solve.WithParams(params))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := svc.Solve(context.Background(), solve.Request{Solver: backend, Problem: prob})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Plan == nil || !rep.Plan.Sharded {
+				b.Fatalf("base instance not sharded under budget %+v: plan %+v", budget, rep.Plan)
+			}
+			var warmTotal, coldTotal time.Duration
+			var relErrSum float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				upd := experiments.DynamicUpdateStep(prob.Graph(), i)
+				start := time.Now()
+				res, err := svc.Update(context.Background(), solve.UpdateRequest{Solver: backend, Problem: prob, Update: upd})
+				if err != nil {
+					b.Fatal(err)
+				}
+				warmTotal += time.Since(start)
+				if !res.Warm {
+					b.Fatalf("sharded step %d ran cold; the chain must be warm from step 1", i)
+				}
+				prob = res.Problem
+				relErrSum += res.Report.RelativeError
+
+				coldProb, err := solve.NewProblem(prob.Graph().Clone(), solve.WithParams(params))
+				if err != nil {
+					b.Fatal(err)
+				}
+				start = time.Now()
+				cold, err := coldSvc.Solve(context.Background(), solve.Request{Solver: backend, Problem: coldProb})
+				if err != nil {
+					b.Fatal(err)
+				}
+				coldTotal += time.Since(start)
+				if cold.Plan == nil || !cold.Plan.Sharded {
+					b.Fatalf("cold step %d not sharded: %+v", i, cold.Plan)
+				}
+				if backend == "behavioral" {
+					if res.Report.FlowValue != cold.FlowValue {
+						b.Fatalf("behavioral warm flow %g != cold flow %g at step %d", res.Report.FlowValue, cold.FlowValue, i)
+					}
+				} else if gap := math.Abs(res.Report.FlowValue-cold.FlowValue) / math.Max(cold.FlowValue, 1); gap > 0.25 {
+					b.Fatalf("warm flow %g vs cold flow %g at step %d: %.0f%% apart, beyond the consensus band",
+						res.Report.FlowValue, cold.FlowValue, i, 100*gap)
+				}
+			}
+			if warm := svc.Stats().ShardedUpdateWarmHits; warm == 0 {
+				b.Fatal("sharded_update_warm_hits stayed 0 across the chain")
+			}
+			b.ReportMetric(float64(warmTotal.Nanoseconds())/float64(b.N), "warm-ns/step")
+			b.ReportMetric(float64(coldTotal.Nanoseconds())/float64(b.N), "cold-ns/step")
+			b.ReportMetric(float64(coldTotal)/float64(warmTotal), "speedup")
+			b.ReportMetric(100*relErrSum/float64(b.N), "rel-err-%")
+		})
+	}
+}
+
 // BenchmarkPushRelabelBaseline measures the CPU baseline on its own, per
 // graph family, for the Figure 10 comparison.
 func BenchmarkPushRelabelBaseline(b *testing.B) {

@@ -391,6 +391,95 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 }
 
+// TestSessionShardedChainStaysWarm: a session over a problem above its
+// budget runs every step through the partition planner — and stays warm step
+// to step, because the service re-binds the chain's cached region oracle
+// instead of rebuilding it cold.  The step reports carry the sharded plan and
+// /v1/healthz surfaces the sharded-update counters.
+func TestSessionShardedChainStaysWarm(t *testing.T) {
+	srv := newTestServer(t, 2)
+	resp := postJSON(t, srv.URL+"/v1/sessions", `{"solver":"dinic",
+		"problem":{"rmat":{"vertices":200,"sparse":true,"seed":3}},
+		"budget":{"max_vertices":80}}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		t.Fatalf("create: status %d: %s", resp.StatusCode, buf.String())
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+		Report    struct {
+			Plan *solve.Plan `json:"plan"`
+		} `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Report.Plan == nil || !created.Report.Plan.Sharded {
+		t.Fatalf("session base solve not sharded: %+v", created.Report.Plan)
+	}
+
+	upd := `{"steps":[
+		[{"edge":5,"capacity":9}],
+		[{"edge":7,"capacity":6},{"edge":11,"capacity":13}]
+	]}`
+	resp2 := postJSON(t, srv.URL+"/v1/sessions/"+created.SessionID+"/update", upd)
+	defer resp2.Body.Close()
+	sc := bufio.NewScanner(resp2.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	steps := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if d, _ := m["done"].(bool); d {
+			continue
+		}
+		if errMsg, ok := m["error"].(string); ok {
+			t.Fatalf("step failed: %s", errMsg)
+		}
+		if warm, _ := m["warm"].(bool); !warm {
+			t.Errorf("sharded session step %d was not warm", steps)
+		}
+		rep, _ := m["report"].(map[string]any)
+		plan, _ := rep["plan"].(map[string]any)
+		if plan == nil {
+			t.Fatalf("step %d report carries no plan: %v", steps, rep)
+		}
+		if sharded, _ := plan["sharded"].(bool); !sharded {
+			t.Errorf("step %d plan not sharded: %v", steps, plan)
+		}
+		steps++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 2 {
+		t.Fatalf("streamed %d steps, want 2", steps)
+	}
+
+	hresp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		Stats solve.Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Stats.ShardedUpdates != 2 || health.Stats.ShardedUpdateWarmHits != 2 {
+		t.Errorf("healthz sharded-update counters %d/%d warm, want 2/2",
+			health.Stats.ShardedUpdates, health.Stats.ShardedUpdateWarmHits)
+	}
+	if health.Stats.CachedOracles != 1 {
+		t.Errorf("healthz cached_oracles %d, want 1", health.Stats.CachedOracles)
+	}
+}
+
 // flakySolver fails on one specific Solve call (1-based) and succeeds
 // otherwise, reporting the call number as the flow value.
 type flakySolver struct {

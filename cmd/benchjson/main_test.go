@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: analogflow
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkUpdateResolve/dinic-8         	       5	   1804153 ns/op	    932659 cold-ns/step	         1.900 speedup	    490000 warm-ns/step
+BenchmarkUpdateResolve/dinic-8         	       5	   1904153 ns/op	    952659 cold-ns/step	         2.100 speedup	    470000 warm-ns/step
+BenchmarkUpdateResolve/dinic-8         	       5	   1704153 ns/op	    912659 cold-ns/step	         2.000 speedup	    450000 warm-ns/step
+BenchmarkDecomposeScaling/regions=2-8  	       1	  52336591 ns/op	        13.00 iterations	         0 rel-err-%	         2.000 regions
+PASS
+ok  	analogflow	0.167s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	runs, err := parseBenchOutput([]byte(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("parsed %d runs, want 4", len(runs))
+	}
+	first := runs[0]
+	if first.name != "BenchmarkUpdateResolve/dinic" {
+		t.Errorf("name %q, want the -8 suffix stripped", first.name)
+	}
+	if first.iters != 5 || first.nsPerOp != 1804153 {
+		t.Errorf("iters/ns parsed wrong: %+v", first)
+	}
+	if first.metrics["speedup"] != 1.9 || first.metrics["cold-ns/step"] != 932659 {
+		t.Errorf("metrics parsed wrong: %+v", first.metrics)
+	}
+}
+
+func TestAggregateMedians(t *testing.T) {
+	runs, err := parseBenchOutput([]byte(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := aggregate(runs)
+	if len(results) != 2 {
+		t.Fatalf("aggregated %d entries, want 2", len(results))
+	}
+	upd := results[0]
+	if upd.Benchmark != "BenchmarkUpdateResolve/dinic" || upd.Runs != 3 {
+		t.Fatalf("unexpected first entry: %+v", upd)
+	}
+	if upd.NsPerOp != 1804153 {
+		t.Errorf("median ns/op %v, want 1804153", upd.NsPerOp)
+	}
+	if upd.Metrics["speedup"] != 2.0 {
+		t.Errorf("median speedup %v, want 2.0", upd.Metrics["speedup"])
+	}
+	dec := results[1]
+	if dec.Benchmark != "BenchmarkDecomposeScaling/regions=2" || dec.Metrics["rel-err-%"] != 0 {
+		t.Errorf("unexpected second entry: %+v", dec)
+	}
+}
+
+// TestRunParseMode drives the command end to end in -parse mode: saved
+// benchmark output in, JSON trajectory file out.
+func TestRunParseMode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-parse", in, "-o", out}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "wrote 2 benchmark entries") {
+		t.Errorf("summary missing: %q", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if len(results) != 2 || results[0].Metrics["warm-ns/step"] != 470000 {
+		t.Errorf("round-tripped results wrong: %+v", results)
+	}
+}
+
+// TestRunFlagHandling: -h goes to stdout and exits clean; bad flags error.
+func TestRunFlagHandling(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-h"}, &stdout); err != nil {
+		t.Errorf("-h returned error: %v", err)
+	}
+	if err := run([]string{"-count", "0"}, &stdout); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if err := run([]string{"-parse", "/no/such/file"}, &stdout); err == nil {
+		t.Error("missing parse file accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &stdout); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

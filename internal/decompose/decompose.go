@@ -38,6 +38,17 @@ import (
 // retargeting incrementally.  SolveRegion may be called concurrently for
 // distinct regions; calls for the same region are serialised by the outer
 // loop.
+//
+// The contract extends across Solve calls: a caller that re-solves the same
+// graph under the same partition after a capacity-only mutation (the dynamic
+// update chains of internal/solve) may hand the same Oracle to the next
+// SolveContext call, and each region's first solve of the new run is a
+// capacity-only delta against its last solve of the previous run.  An
+// implementation holding warm state must therefore key it by region index
+// and diff against the incoming region graph, never assume a fresh oracle
+// per run — and the caller, in turn, must not share one Oracle between two
+// concurrent runs (the same-region serialisation above holds only within a
+// run).
 type Oracle interface {
 	SolveRegion(ctx context.Context, region int, g *graph.Graph) (*graph.Flow, error)
 }

@@ -631,10 +631,12 @@ func DynamicUpdates(size, steps int, seed int64) (*Table, error) {
 	base := rmat.MustGenerate(rmat.DenseParams(size, seed))
 	t := &Table{
 		Title:   fmt.Sprintf("Dynamic updates — warm incremental re-solve vs cold, dense R-MAT |V|=%d, %d capacity-update steps", size, steps),
-		Columns: []string{"backend", "warm median", "cold median", "speedup", "warm==cold value"},
+		Columns: []string{"backend", "mode", "warm median", "cold median", "speedup", "warm==cold value"},
 		Notes: []string{
 			"warm: solve.Service.Update chains (residual drain/re-augment, pattern-frozen re-stamp)",
 			"cold: fresh problem + registry solve of every mutated instance",
+			"sharded: instance above Budget.MaxVertices, chain rides the cached region oracle;",
+			"  exact warm/cold sharded values agree to the consensus tolerance, not bit-for-bit",
 		},
 	}
 	for _, backend := range []string{"dinic", "push-relabel", "behavioral"} {
@@ -678,6 +680,7 @@ func DynamicUpdates(size, steps int, seed int64) (*Table, error) {
 		speedup := float64(cold) / float64(warm)
 		t.Rows = append(t.Rows, []string{
 			backend,
+			"flat",
 			warm.String(),
 			cold.String(),
 			fmt.Sprintf("%.1fx", speedup),
@@ -687,7 +690,82 @@ func DynamicUpdates(size, steps int, seed int64) (*Table, error) {
 			return t, fmt.Errorf("experiments: %s warm and cold flow values diverged", backend)
 		}
 	}
+	if row, err := dynamicShardedRow(base, steps); err != nil {
+		return t, err
+	} else {
+		t.Rows = append(t.Rows, row)
+	}
 	return t, nil
+}
+
+// dynamicShardedRow runs the dynamic-update chain in the sharded regime: a
+// substrate budget of half the instance forces the partition planner to split
+// every step into regions, and the warm chain rides the service's region
+// oracle cache while the cold side re-solves each mutated problem through a
+// fresh planner pass.  The exact backend's warm and cold values agree to the
+// decomposition tolerance (a warm residual can recover a different optimal
+// per-region flow, steering the consensus differently); the row reports the
+// worst per-step gap.
+func dynamicShardedRow(base *graph.Graph, steps int) ([]string, error) {
+	const backend = "dinic"
+	budget := solve.Budget{MaxVertices: base.NumVertices() / 2}
+	params := core.DefaultParams()
+	svc := solve.NewService(solve.Config{Workers: 1, Budget: budget})
+	coldSvc := solve.NewService(solve.Config{Workers: 1, Budget: budget})
+	prob, err := solve.NewProblem(base, solve.WithParams(params))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := svc.Solve(context.Background(), solve.Request{Solver: backend, Problem: prob})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Plan == nil || !rep.Plan.Sharded {
+		return nil, fmt.Errorf("experiments: instance not sharded under budget %+v (plan %+v)", budget, rep.Plan)
+	}
+	regions := rep.Plan.Regions
+	var warmTimes, coldTimes []time.Duration
+	var maxGap float64
+	for k := 0; k < steps; k++ {
+		upd := DynamicUpdateStep(prob.Graph(), k)
+		start := time.Now()
+		res, err := svc.Update(context.Background(), solve.UpdateRequest{Solver: backend, Problem: prob, Update: upd})
+		if err != nil {
+			return nil, fmt.Errorf("sharded warm step %d: %w", k, err)
+		}
+		warmTimes = append(warmTimes, time.Since(start))
+		if !res.Warm {
+			return nil, fmt.Errorf("experiments: sharded step %d ran cold; the region-oracle cache was not reused", k)
+		}
+		prob = res.Problem
+
+		coldProb, err := solve.NewProblem(prob.Graph().Clone(), solve.WithParams(params))
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		cold, err := coldSvc.Solve(context.Background(), solve.Request{Solver: backend, Problem: coldProb})
+		if err != nil {
+			return nil, fmt.Errorf("sharded cold step %d: %w", k, err)
+		}
+		coldTimes = append(coldTimes, time.Since(start))
+		gap := absRel(res.Report.FlowValue, cold.FlowValue)
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	if maxGap > 0.25 {
+		return nil, fmt.Errorf("experiments: sharded warm and cold values diverged by %.0f%%, beyond the consensus band", 100*maxGap)
+	}
+	warm, cold := medianDuration(warmTimes), medianDuration(coldTimes)
+	return []string{
+		backend,
+		fmt.Sprintf("sharded n=%d", regions),
+		warm.String(),
+		cold.String(),
+		fmt.Sprintf("%.1fx", float64(cold)/float64(warm)),
+		fmt.Sprintf("%.1f%% gap", 100*maxGap),
+	}, nil
 }
 
 // DynamicUpdateStep generates step k of the deterministic capacity-update

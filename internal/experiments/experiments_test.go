@@ -177,13 +177,20 @@ func TestDynamicUpdatesSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 3 {
-		t.Fatalf("want 3 backend rows, got %d", len(tab.Rows))
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 3 flat backend rows + 1 sharded row, got %d", len(tab.Rows))
 	}
-	for _, row := range tab.Rows {
-		if row[len(row)-1] != "true" {
-			t.Errorf("backend %s: warm and cold values diverged", row[0])
+	for _, row := range tab.Rows[:3] {
+		if row[1] != "flat" || row[len(row)-1] != "true" {
+			t.Errorf("backend %s: mode %q, warm==cold %q — want flat/true", row[0], row[1], row[len(row)-1])
 		}
+	}
+	sharded := tab.Rows[3]
+	if !strings.HasPrefix(sharded[1], "sharded n=") {
+		t.Errorf("last row mode %q, want a sharded row", sharded[1])
+	}
+	if !strings.Contains(sharded[len(sharded)-1], "gap") {
+		t.Errorf("sharded row reports %q, want the warm-vs-cold gap", sharded[len(sharded)-1])
 	}
 	if _, err := DynamicUpdates(2, 1, 1); err == nil {
 		t.Error("degenerate size accepted")

@@ -1,0 +1,109 @@
+package solve
+
+import (
+	"fmt"
+	"sync"
+
+	"analogflow/internal/decompose"
+)
+
+// oracleKey identifies one cached region oracle: the fingerprint of the
+// problem whose sharded solve built (or last rebound) it, the backend that
+// serves the regions, and the effective budget that shaped the partition.
+// The budget is part of the key even though a problem-carried budget already
+// feeds the fingerprint, because the effective budget may come from the
+// service configuration instead — two services with different budgets must
+// never share an oracle for the same problem.
+func oracleKey(fp string, sol Solver, b Budget) string {
+	return fmt.Sprintf("%s|%s|%d:%d:%s", fp, sol.Name(), b.MaxVertices, b.maxRegions(), b.partitionerName())
+}
+
+// partitionerName resolves the budget's partitioner to its canonical name
+// ("" aliases the default), so key equality matches partition equality.
+func (b Budget) partitionerName() string {
+	pt, err := decompose.PartitionerByName(b.Partitioner)
+	if err != nil {
+		return b.Partitioner // invalid budgets never reach a solve; keep the key total
+	}
+	return pt.Name()
+}
+
+// oracleCache keeps warm region oracles across sharded solves of the same
+// problem chain.  One entry bundles the per-region warm instances of one
+// sharded solve — analog sessions with frozen MNA patterns, CPU residual
+// networks — which is exactly the state an oversized Service.Update chain
+// needs to stay warm step to step.
+//
+// Ownership discipline: an oracle is either in the cache or owned by exactly
+// one in-flight sharded solve, never both.  claim removes the entry, giving
+// the caller exclusive use of the per-region instances (SolveRegion
+// serialises same-region calls only within one decomposition run, so shared
+// use across runs would race); publish re-inserts the oracle under the
+// fingerprint it now answers for.  Because only fully built oracles are ever
+// published, eviction can never orphan an entry under construction — the
+// in-flight hazard the flat instance cache guards with cacheEntry.ready does
+// not arise here by construction.
+type oracleCache struct {
+	mu   sync.Mutex
+	m    map[string]*oracleSlot
+	max  int
+	tick int64
+}
+
+type oracleSlot struct {
+	oracle  *regionOracle
+	lastUse int64
+}
+
+func newOracleCache(max int) *oracleCache {
+	if max <= 0 {
+		max = 8
+	}
+	return &oracleCache{m: make(map[string]*oracleSlot), max: max}
+}
+
+// claim removes and returns the oracle cached under key, or nil.  The caller
+// becomes the oracle's only owner; it must either publish the oracle back
+// (possibly under a new key) or drop it.
+func (c *oracleCache) claim(key string) *regionOracle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	delete(c.m, key)
+	return slot.oracle
+}
+
+// publish inserts an oracle under key.  When two racers publish the same key
+// (concurrent identical chains: one claimed the warm oracle, the loser built
+// cold), the first one wins and the loser's oracle is dropped — its engines
+// are garbage once its solve's report is returned.  Publishing evicts
+// least-recently-used entries beyond the bound.
+func (c *oracleCache) publish(key string, o *regionOracle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[key]; exists {
+		return
+	}
+	c.tick++
+	c.m[key] = &oracleSlot{oracle: o, lastUse: c.tick}
+	for len(c.m) > c.max {
+		var victim string
+		var oldest int64
+		for k, s := range c.m {
+			if victim == "" || s.lastUse < oldest {
+				victim, oldest = k, s.lastUse
+			}
+		}
+		delete(c.m, victim)
+	}
+}
+
+// size reports the current population (for stats).
+func (c *oracleCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -218,6 +218,16 @@ func regionSizes(part decompose.Partition, g *graph.Graph) []int {
 // use — the analog sessions re-stamp their pattern-frozen circuits (zero new
 // symbolic factorizations after the first iteration), the CPU backends drain
 // and re-augment their residual networks.
+//
+// The same mechanism extends across decomposition RUNS: a capacity-only
+// update of the parent problem reaches each region as a capacity-only change
+// of its subproblem graph (the partition depends only on adjacency, which
+// capacity updates never touch), so an oracle carried from one SolveContext
+// call to the next — the service's oracleCache does exactly that for sharded
+// Service.Update chains — absorbs the next step's regions warm.  A region
+// whose structure did change (a positivity flip moved its s-t core, or new
+// capacities flipped a boundary-wiring decision) falls back to a cold rebuild
+// of that region alone and the chain continues; coldRebuilds counts these.
 type regionOracle struct {
 	sol    Solver
 	params core.Params
@@ -336,6 +346,17 @@ func (o *regionOracle) rebuilds() int {
 	return o.coldRebuilds
 }
 
+// takeRebuilds returns the cold-rebuild count and resets it, so a caller
+// reusing one oracle across solves can attribute rebuilds to the solve that
+// caused them (the per-step warm/cold accounting of sharded update chains).
+func (o *regionOracle) takeRebuilds() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := o.coldRebuilds
+	o.coldRebuilds = 0
+	return n
+}
+
 // engineStats collects the per-region MNA engine counters of analog-backed
 // oracles, for the warm-region invariants the tests pin (region index order;
 // regions without a circuit engine are skipped).
@@ -390,9 +411,10 @@ func capacityDiff(oldG, newG *graph.Graph) (graph.CapacityUpdate, bool) {
 // the warm region oracle.  The report carries the backend's name and the
 // plan, so clients see both what solved the regions and how the instance was
 // split.  wrap, when non-nil, decorates the oracle (the service binds each
-// region solve to a worker slot through it).
-func solvePlanned(ctx context.Context, sol Solver, p *Problem, plan *Plan, part decompose.Partition, workers int, wrap func(decompose.Oracle) decompose.Oracle) (*Report, error) {
-	oracle := newRegionOracle(sol, p.Params())
+// region solve to a worker slot through it).  The caller owns the oracle: a
+// fresh one makes the solve cold, one claimed from the oracle cache carries
+// the previous solve's warm region instances into this run.
+func solvePlanned(ctx context.Context, sol Solver, p *Problem, plan *Plan, part decompose.Partition, workers int, wrap func(decompose.Oracle) decompose.Oracle, oracle *regionOracle) (*Report, error) {
 	opts := p.DecomposeOptions()
 	opts.Oracle = oracle
 	if wrap != nil {

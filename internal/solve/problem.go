@@ -116,7 +116,7 @@ func NewProblem(g *graph.Graph, opts ...Option) (*Problem, error) {
 // is cloned (one allocation pass) and patched, so in-flight solves of the old
 // problem stay valid and a session can keep a whole chain of problems alive.
 //
-// Two artifacts are carried over instead of recomputed:
+// Three artifacts are carried over instead of recomputed:
 //
 //   - The fingerprint is chained — hash(base fingerprint, update) — so
 //     deriving it costs O(|update|) instead of re-hashing the whole edge
@@ -130,6 +130,14 @@ func NewProblem(g *graph.Graph, opts ...Option) (*Problem, error) {
 //     through positivity), so the prune stage is seeded with a
 //     capacity-patched copy of the base core instead of re-running the
 //     reachability passes.
+//
+//   - The memoised partitions are inherited unconditionally: a capacity
+//     update never changes adjacency, so BFS partitions are identical by
+//     construction, and for the capacity-aware cluster partitioner the
+//     inheritance deliberately freezes the chain's decomposition — a warm
+//     sharded update chain keeps the region structure its cached per-region
+//     instances were built for instead of re-clustering on drifted
+//     capacities every step.
 func (p *Problem) WithUpdate(u graph.CapacityUpdate) (*Problem, error) {
 	if err := u.Validate(p.g); err != nil {
 		return nil, invalid("capacity update", err)
@@ -186,6 +194,18 @@ func (p *Problem) WithUpdate(u graph.CapacityUpdate) (*Problem, error) {
 			})
 		}
 	}
+
+	// Partition inheritance (see the doc comment above).  Partitions are
+	// immutable once memoised, so sharing the values is safe; the map is
+	// copied so the two problems' memos grow independently.
+	p.pipe.partMu.Lock()
+	if len(p.pipe.parts) > 0 {
+		p2.pipe.parts = make(map[partKey]decompose.Partition, len(p.pipe.parts))
+		for k, v := range p.pipe.parts {
+			p2.pipe.parts[k] = v
+		}
+	}
+	p.pipe.partMu.Unlock()
 	return p2, nil
 }
 

@@ -26,6 +26,11 @@ type Config struct {
 	// evicted (its engine and factorisations are garbage once no in-flight
 	// solve still holds it).
 	MaxCachedInstances int
+	// MaxCachedOracles bounds the warm region-oracle cache sharded solves
+	// and update chains draw from; <= 0 selects 8.  One cached oracle holds
+	// one warm instance per region, so the bound is deliberately smaller
+	// than the flat instance cache's.
+	MaxCachedOracles int
 	// Budget is the service-wide substrate budget the partition planner
 	// enforces for problems that carry none of their own: a request whose
 	// instance exceeds it is automatically sharded into budget-sized regions
@@ -59,16 +64,24 @@ type Service struct {
 	cache map[string]*cacheEntry
 	tick  int64
 
-	requests    atomic.Int64
-	errors      atomic.Int64
-	hits        atomic.Int64
-	misses      atomic.Int64
-	inFlight    atomic.Int64
-	completed   atomic.Int64
-	updates     atomic.Int64
-	updatesWarm atomic.Int64
-	planned     atomic.Int64
-	sharded     atomic.Int64
+	// oracles is the warm region-oracle cache: one entry per sharded
+	// problem chain, claimed exclusively for the duration of a sharded
+	// solve and re-published under the fingerprint it then answers for.
+	oracles *oracleCache
+
+	requests       atomic.Int64
+	errors         atomic.Int64
+	hits           atomic.Int64
+	misses         atomic.Int64
+	inFlight       atomic.Int64
+	completed      atomic.Int64
+	updates        atomic.Int64
+	updatesWarm    atomic.Int64
+	planned        atomic.Int64
+	sharded        atomic.Int64
+	shardedUpd     atomic.Int64
+	shardedUpdWarm atomic.Int64
+	regionRebuilds atomic.Int64
 }
 
 // cacheEntry is one warm instance slot.  The sync.Once makes instance
@@ -107,6 +120,7 @@ func NewService(cfg Config) *Service {
 		budget:    cfg.Budget,
 		slots:     make(chan struct{}, workers),
 		cache:     make(map[string]*cacheEntry),
+		oracles:   newOracleCache(cfg.MaxCachedOracles),
 	}
 }
 
@@ -136,6 +150,17 @@ type Stats struct {
 	// routed through the N-region decomposition.
 	PlannedSolves int64 `json:"planned_solves"`
 	ShardedSolves int64 `json:"sharded_solves"`
+	// ShardedUpdates counts Update steps routed through the planner's
+	// N-region decomposition; ShardedUpdateWarmHits the subset that ran on
+	// the chain's cached region oracle (claimed, rebound region by region,
+	// re-published).  RegionColdRebuilds totals the per-region cold rebuilds
+	// across every sharded solve — structural fallbacks inside otherwise
+	// warm chains land here, not in a lost warm hit.  CachedOracles is the
+	// oracle cache population.
+	ShardedUpdates        int64 `json:"sharded_updates"`
+	ShardedUpdateWarmHits int64 `json:"sharded_update_warm_hits"`
+	RegionColdRebuilds    int64 `json:"region_cold_rebuilds"`
+	CachedOracles         int   `json:"cached_oracles"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -155,6 +180,11 @@ func (s *Service) Stats() Stats {
 		UpdateWarmHits:  s.updatesWarm.Load(),
 		PlannedSolves:   s.planned.Load(),
 		ShardedSolves:   s.sharded.Load(),
+
+		ShardedUpdates:        s.shardedUpd.Load(),
+		ShardedUpdateWarmHits: s.shardedUpdWarm.Load(),
+		RegionColdRebuilds:    s.regionRebuilds.Load(),
+		CachedOracles:         s.oracles.size(),
 	}
 }
 
@@ -214,7 +244,7 @@ func (s *Service) solve(ctx context.Context, req Request) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if rep, routed, err := s.planAndRoute(ctx, sol, req.Problem); routed {
+	if rep, routed, _, err := s.planAndRoute(ctx, sol, nil, req.Problem); routed {
 		return rep, err
 	}
 	start := time.Now()
@@ -273,23 +303,35 @@ func (s *Service) effectiveBudget(p *Problem) Budget {
 // requested backend as the warm region oracle.  routed reports whether the
 // request was handled here (sharded); monolithic decisions fall through to
 // the normal path with no report, and the decompose backend plans for itself.
-func (s *Service) planAndRoute(ctx context.Context, sol Solver, p *Problem) (rep *Report, routed bool, err error) {
-	b := s.effectiveBudget(p)
+//
+// base is non-nil for Update steps: target is then base's capacity-only
+// derivative, and the sharded path claims the region oracle cached for base
+// — the warm per-region instances of the chain's previous step — instead of
+// building cold.  Plain solves (base == nil) claim their own fingerprint's
+// oracle, so repeated sharded solves of one problem are warm too.  warm
+// reports whether the solve ran on a claimed oracle; individual regions may
+// still have rebuilt cold inside it — a positivity flip in one region, or an
+// analog region whose quantized structure moved — and RegionColdRebuilds
+// counts those per region, so a warm step with one structural region is one
+// warm hit plus one cold rebuild, not a lost warm hit.
+func (s *Service) planAndRoute(ctx context.Context, sol Solver, base, target *Problem) (rep *Report, routed, warm bool, err error) {
+	b := s.effectiveBudget(target)
 	if b.IsZero() {
-		return nil, false, nil
+		return nil, false, false, nil
 	}
 	if ds, ok := sol.(*decomposeSolver); ok {
 		// The decompose backend shards by design; what the service adds is
 		// the budget a budget-less problem would otherwise miss.  Its region
-		// oracle is the exact solver, so the solve runs in-call under the
-		// request's own slot.
-		if !p.Budget().IsZero() {
-			return nil, false, nil // the backend reads the problem's budget itself
+		// oracle is the exact solver — stateless, so there is nothing for
+		// the oracle cache to keep warm — and the solve runs in-call under
+		// the request's own slot.
+		if !target.Budget().IsZero() {
+			return nil, false, false, nil // the backend reads the problem's budget itself
 		}
 		s.planned.Add(1)
-		rep, err := ds.solveWithBudget(ctx, p, b)
+		rep, err := ds.solveWithBudget(ctx, target, b)
 		if err != nil {
-			return nil, true, err
+			return nil, true, false, err
 		}
 		// A budget-forced split carries the budget in its plan; the
 		// backend's default small-instance decomposition does not count as a
@@ -297,17 +339,36 @@ func (s *Service) planAndRoute(ctx context.Context, sol Solver, p *Problem) (rep
 		if rep.Plan != nil && rep.Plan.Sharded && rep.Plan.BudgetMaxVertices > 0 {
 			s.sharded.Add(1)
 		}
-		return rep, true, nil
+		return rep, true, false, nil
 	}
 	s.planned.Add(1)
-	plan, part, err := planFor(p, b)
+	plan, part, err := planFor(target, b)
 	if err != nil {
-		return nil, true, err
+		return nil, true, false, err
 	}
 	if !plan.Sharded {
-		return nil, false, nil
+		return nil, false, false, nil
 	}
 	s.sharded.Add(1)
+	if base != nil {
+		s.shardedUpd.Add(1)
+	}
+	// Claim the chain's warm region oracle: the base problem's for an
+	// update step, the target's own for a repeated solve.  claim removes
+	// the entry, so this goroutine owns the per-region instances outright —
+	// racers (concurrent updates branching off one base, or a solve racing
+	// an update) find the cache empty and run cold, which is why no
+	// binding guard is needed here: an oracle is never shared between two
+	// in-flight solves.
+	claimKey := oracleKey(target.Fingerprint(), sol, b)
+	if base != nil {
+		claimKey = oracleKey(base.Fingerprint(), sol, b)
+	}
+	oracle := s.oracles.claim(claimKey)
+	claimed := oracle != nil
+	if oracle == nil {
+		oracle = newRegionOracle(sol, target.Params())
+	}
 	// Region solves are real solves and must respect the service-wide
 	// worker bound.  The caller holds one slot for this request; release it
 	// for the duration of the decomposition (a coordinator waiting on its
@@ -318,8 +379,27 @@ func (s *Service) planAndRoute(ctx context.Context, sol Solver, p *Problem) (rep
 	// balanced.
 	s.releaseSlot()
 	defer s.reacquireSlot()
-	rep, err = solvePlanned(ctx, sol, p, plan, part, s.workers, s.slotBound)
-	return rep, true, err
+	rep, err = solvePlanned(ctx, sol, target, plan, part, s.workers, s.slotBound, oracle)
+	rebuilds := oracle.takeRebuilds()
+	s.regionRebuilds.Add(int64(rebuilds))
+	if err != nil {
+		// A failed (or aborted) sharded solve leaves the oracle's region
+		// problems somewhere between base and target, so it answers for
+		// neither fingerprint; drop it rather than re-publish a poisoned
+		// entry.  The per-region instances have already dropped any state an
+		// aborted solve corrupted (cpuInstance/Session poisoning contract).
+		return nil, true, false, err
+	}
+	// Re-publish under the fingerprint the oracle now answers for.  A
+	// structural step (positivity flip inside a region, a flipped boundary
+	// wiring) rebuilt the affected regions cold during the solve, so the
+	// oracle is usable again by construction — never a poisoned cache entry —
+	// and the chain continues warm from the next step.
+	s.oracles.publish(oracleKey(target.Fingerprint(), sol, b), oracle)
+	if base != nil && claimed {
+		s.shardedUpdWarm.Add(1)
+	}
+	return rep, true, claimed, nil
 }
 
 // releaseSlot hands the caller's worker slot back during a nested fan-out.
@@ -472,9 +552,12 @@ type UpdateResult struct {
 	// Problem is the updated problem — pass it as the next UpdateRequest's
 	// Problem to continue the chain.
 	Problem *Problem
-	// Warm reports whether a warm instance absorbed the update in place
-	// (false on the first step of a chain, after a structural change, and
-	// for backends without warm state).
+	// Warm reports whether warm state absorbed the update: for flat chains,
+	// a warm instance updated in place (false on the first step of a chain,
+	// after a structural change, and for backends without warm state); for
+	// sharded chains, the chain's cached region oracle was claimed and
+	// rebound — individual regions may still have rebuilt cold on a
+	// structural change (Stats.RegionColdRebuilds counts those).
 	Warm bool
 }
 
@@ -492,6 +575,16 @@ type UpdateResult struct {
 // same base race for the warm state — one wins, the rest build cold (their
 // reports agree to solver tolerance; exactly for the deterministic CPU
 // backends).  Like Solve, the call waits for a free service-wide worker slot.
+//
+// A chain whose problems exceed the effective substrate budget runs sharded
+// and follows the same discipline one level up: the whole region oracle —
+// one warm instance per region — is claimed from the oracle cache, rebound
+// region by region, and re-published under the new fingerprint (see
+// planAndRoute).  For the CPU backends a warm sharded step may recover a
+// different — equally optimal — per-region flow than a cold one, which can
+// steer the consensus iteration down a different path: warm and cold sharded
+// reports agree to the decomposition tolerance, not bit-for-bit (the
+// behavioral backend, being deterministic warm or cold, does agree exactly).
 func (s *Service) Update(ctx context.Context, req UpdateRequest) (*UpdateResult, error) {
 	s.requests.Add(1)
 	s.updates.Add(1)
@@ -528,15 +621,19 @@ func (s *Service) update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// An oversized chain stays sharded: the planner re-solves the updated
-	// problem region by region.  The region oracle is rebuilt per step (the
-	// warm-chain machinery below is per-instance, not per-region), so the
-	// step is never a warm hit.
-	if rep, routed, err := s.planAndRoute(ctx, sol, target); routed {
+	// An oversized chain stays sharded — and stays warm: the planner claims
+	// the region oracle cached for the base problem's fingerprint, each
+	// region absorbs its share of the capacity delta through the same
+	// WithUpdate/UpdatableInstance.Update path flat chains use, and the
+	// oracle is re-published under the updated fingerprint for the next
+	// step.  Structural steps (a capacity crossing zero inside a region)
+	// rebuild only the affected regions cold — counted in
+	// Stats.RegionColdRebuilds — and the rest of the oracle stays warm.
+	if rep, routed, warm, err := s.planAndRoute(ctx, sol, req.Problem, target); routed {
 		if err != nil {
 			return nil, err
 		}
-		return &UpdateResult{Report: rep, Problem: target}, nil
+		return &UpdateResult{Report: rep, Problem: target, Warm: warm}, nil
 	}
 	start := time.Now()
 	w, warmable := sol.(Warmable)

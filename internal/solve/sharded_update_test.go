@@ -1,0 +1,558 @@
+package solve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"analogflow/internal/core"
+	"analogflow/internal/decompose"
+	"analogflow/internal/graph"
+	"analogflow/internal/rmat"
+)
+
+// interiorOwnedEdges returns the edges whose endpoints both belong to exactly
+// one region — the same one — and that touch neither terminal.  Updating such
+// an edge changes exactly one region subproblem's capacities and can never
+// flip a boundary-wiring decision or the value-scale clamp, so a warm chain
+// built from these edges must absorb every step without a cold region
+// rebuild.
+func interiorOwnedEdges(g *graph.Graph, part decompose.Partition) []int {
+	regionsOf := func(v int) (count, region int) {
+		for r, in := range part.In {
+			if in[v] {
+				count++
+				region = r
+			}
+		}
+		return count, region
+	}
+	var out []int
+	for ei, e := range g.Edges() {
+		if e.From == g.Source() || e.From == g.Sink() || e.To == g.Source() || e.To == g.Sink() {
+			continue
+		}
+		cf, rf := regionsOf(e.From)
+		ct, rt := regionsOf(e.To)
+		if cf == 1 && ct == 1 && rf == rt {
+			out = append(out, ei)
+		}
+	}
+	return out
+}
+
+// shardedChainStep builds step k of a warm-compatible capacity chain over the
+// given interior edges: alternating increases and halvings that never cross
+// zero, so the chain is capacity-only from every region's point of view.
+func shardedChainStep(g *graph.Graph, edges []int, k int) graph.CapacityUpdate {
+	var u graph.CapacityUpdate
+	for j := 0; j < 3; j++ {
+		e := edges[(k*5+j*2)%len(edges)]
+		dup := false
+		for _, seen := range u.Edges {
+			if seen == e {
+				dup = true
+			}
+		}
+		if dup {
+			continue
+		}
+		c := g.Edge(e).Capacity
+		switch {
+		case (k+j)%2 == 0:
+			c += 7
+		case c >= 2:
+			c = float64(int(c) / 2)
+		default:
+			c++
+		}
+		u.Edges = append(u.Edges, e)
+		u.Capacities = append(u.Capacities, c)
+	}
+	return u
+}
+
+// testOracle digs the single cached region oracle out of a service, for
+// engine-level assertions.
+func testOracle(t *testing.T, s *Service) *regionOracle {
+	t.Helper()
+	s.oracles.mu.Lock()
+	defer s.oracles.mu.Unlock()
+	if len(s.oracles.m) != 1 {
+		t.Fatalf("oracle cache holds %d entries, want exactly 1", len(s.oracles.m))
+	}
+	for _, slot := range s.oracles.m {
+		return slot.oracle
+	}
+	return nil
+}
+
+// TestShardedUpdateChainWarmFromStepOne is the acceptance pin of the warm
+// sharded-chain contract: an update chain over a problem above the budget
+// claims the region oracle the base solve published, absorbs every step as
+// per-region capacity updates — warm from step 1, zero cold region rebuilds —
+// and keeps re-publishing the oracle so the whole chain stays warm.
+func TestShardedUpdateChainWarmFromStepOne(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(200, 3))
+	budget := Budget{MaxVertices: 80}
+	svc := NewService(Config{Workers: 2, Budget: budget})
+	prob, err := NewProblem(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Solve(context.Background(), Request{Solver: "dinic", Problem: prob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan == nil || !rep.Plan.Sharded {
+		t.Fatalf("base solve not sharded: %+v", rep.Plan)
+	}
+	if got := svc.Stats().CachedOracles; got != 1 {
+		t.Fatalf("base solve cached %d oracles, want 1", got)
+	}
+	plan, part, err := planFor(prob, budget)
+	if err != nil || !plan.Sharded {
+		t.Fatalf("planFor: %+v, %v", plan, err)
+	}
+	edges := interiorOwnedEdges(g, part)
+	if len(edges) < 6 {
+		t.Fatalf("only %d interior owned edges; pick a different instance", len(edges))
+	}
+	const steps = 4
+	for k := 0; k < steps; k++ {
+		upd := shardedChainStep(prob.Graph(), edges, k)
+		res, err := svc.Update(context.Background(), UpdateRequest{Solver: "dinic", Problem: prob, Update: upd})
+		if err != nil {
+			t.Fatalf("step %d: %v", k, err)
+		}
+		if res.Report.Plan == nil || !res.Report.Plan.Sharded {
+			t.Fatalf("step %d not sharded: %+v", k, res.Report.Plan)
+		}
+		if !res.Warm {
+			t.Errorf("step %d ran cold; sharded chains must be warm from step 1", k)
+		}
+		if res.Report.RelativeError > 0.25 {
+			t.Errorf("step %d: sharded flow %.2f vs exact %.2f (%.0f%% error)",
+				k, res.Report.FlowValue, res.Report.ExactValue, 100*res.Report.RelativeError)
+		}
+		prob = res.Problem
+	}
+	stats := svc.Stats()
+	if stats.ShardedUpdates != steps || stats.ShardedUpdateWarmHits != steps {
+		t.Errorf("sharded update stats %d/%d warm, want %d/%d",
+			stats.ShardedUpdates, stats.ShardedUpdateWarmHits, steps, steps)
+	}
+	if stats.RegionColdRebuilds != 0 {
+		t.Errorf("%d cold region rebuilds across a capacity-only chain, want 0", stats.RegionColdRebuilds)
+	}
+	if stats.CachedOracles != 1 {
+		t.Errorf("oracle cache population %d after the chain, want 1 (re-published per step)", stats.CachedOracles)
+	}
+}
+
+// TestShardedUpdateStructuralStepRepublishes is the poisoning regression: a
+// step that zeroes an edge inside one region flips that region's positivity,
+// so its warm instance cannot absorb the delta — exactly that one region must
+// be rebuilt cold (the delta is routed to the owning region, the others stay
+// warm), and the oracle must be re-published under the new fingerprint in its
+// healed state so the chain continues warm right after the structural step.
+func TestShardedUpdateStructuralStepRepublishes(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(200, 3))
+	budget := Budget{MaxVertices: 80}
+	svc := NewService(Config{Workers: 2, Budget: budget})
+	prob, err := NewProblem(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Solve(context.Background(), Request{Solver: "dinic", Problem: prob}); err != nil {
+		t.Fatal(err)
+	}
+	_, part, err := planFor(prob, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := interiorOwnedEdges(g, part)
+	if len(edges) < 6 {
+		t.Fatalf("only %d interior owned edges", len(edges))
+	}
+
+	// One warm step to prove the chain is warm before the structural hit.
+	res, err := svc.Update(context.Background(), UpdateRequest{
+		Solver: "dinic", Problem: prob, Update: shardedChainStep(prob.Graph(), edges[1:], 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Warm {
+		t.Fatal("pre-structural step ran cold")
+	}
+	prob = res.Problem
+
+	// The structural step: capacity -> 0 inside exactly one region.
+	res, err = svc.Update(context.Background(), UpdateRequest{
+		Solver: "dinic", Problem: prob,
+		Update: graph.CapacityUpdate{Edges: []int{edges[0]}, Capacities: []float64{0}}})
+	if err != nil {
+		t.Fatalf("structural step: %v", err)
+	}
+	if !res.Warm {
+		t.Error("structural step lost the claimed oracle entirely; only the owning region should go cold")
+	}
+	stats := svc.Stats()
+	if stats.RegionColdRebuilds != 1 {
+		t.Errorf("%d cold region rebuilds after zeroing one interior edge, want exactly 1 (the owning region)",
+			stats.RegionColdRebuilds)
+	}
+	if stats.CachedOracles != 1 {
+		t.Fatalf("oracle not re-published after the structural step (cache holds %d entries)", stats.CachedOracles)
+	}
+	prob = res.Problem
+
+	// The chain continues warm on the healed oracle.
+	for k := 2; k < 4; k++ {
+		res, err = svc.Update(context.Background(), UpdateRequest{
+			Solver: "dinic", Problem: prob, Update: shardedChainStep(prob.Graph(), edges[1:], k)})
+		if err != nil {
+			t.Fatalf("post-structural step %d: %v", k, err)
+		}
+		if !res.Warm {
+			t.Errorf("post-structural step %d ran cold; the healed oracle was not reused", k)
+		}
+		if res.Report.RelativeError > 0.25 {
+			t.Errorf("post-structural step %d: %.0f%% error vs exact", k, 100*res.Report.RelativeError)
+		}
+		prob = res.Problem
+	}
+	final := svc.Stats()
+	if final.RegionColdRebuilds != 1 {
+		t.Errorf("cold rebuilds grew to %d after the structural step, want to stay at 1", final.RegionColdRebuilds)
+	}
+	if final.ShardedUpdateWarmHits != 4 {
+		t.Errorf("%d warm hits over 4 steps, want 4 (the structural step still rides the claimed oracle)",
+			final.ShardedUpdateWarmHits)
+	}
+}
+
+// TestShardedUpdateBehavioralWarmEqualsCold: on the deterministic behavioral
+// backend a warm sharded step and a cold from-scratch sharded solve of the
+// same mutated problem produce the same flow value exactly — warm region
+// sessions are bit-identical to fresh ones, so the consensus trajectories
+// coincide.  (The CPU backends only promise tolerance here: a warm residual
+// may recover a different optimal per-region flow, steering the consensus
+// differently.)
+func TestShardedUpdateBehavioralWarmEqualsCold(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(200, 3))
+	budget := Budget{MaxVertices: 80}
+	params := core.DefaultParams()
+	svc := NewService(Config{Workers: 2, Budget: budget})
+	prob, err := NewProblem(g, WithParams(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Solve(context.Background(), Request{Solver: "behavioral", Problem: prob}); err != nil {
+		t.Fatal(err)
+	}
+	_, part, err := planFor(prob, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := interiorOwnedEdges(g, part)
+	for k := 0; k < 3; k++ {
+		upd := shardedChainStep(prob.Graph(), edges, k)
+		res, err := svc.Update(context.Background(), UpdateRequest{Solver: "behavioral", Problem: prob, Update: upd})
+		if err != nil {
+			t.Fatalf("warm step %d: %v", k, err)
+		}
+		if !res.Warm {
+			t.Errorf("step %d ran cold", k)
+		}
+		prob = res.Problem
+
+		coldSvc := NewService(Config{Workers: 2, Budget: budget})
+		coldProb, err := NewProblem(prob.Graph().Clone(), WithParams(params))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := coldSvc.Solve(context.Background(), Request{Solver: "behavioral", Problem: coldProb})
+		if err != nil {
+			t.Fatalf("cold step %d: %v", k, err)
+		}
+		if res.Report.FlowValue != cold.FlowValue {
+			t.Errorf("step %d: warm flow %g != cold flow %g", k, res.Report.FlowValue, cold.FlowValue)
+		}
+	}
+}
+
+// TestShardedUpdateChainZeroNewSymbolicFactorizations is the substrate-level
+// pin: across a whole warm sharded update chain with the circuit backend as
+// the region oracle, every region keeps its one MNA engine — symbolic
+// factorizations stay at exactly one per region while numeric
+// refactorizations accumulate step over step.
+func TestShardedUpdateChainZeroNewSymbolicFactorizations(t *testing.T) {
+	const n = 12
+	g := graph.MustNew(n, 0, n-1)
+	for v := 0; v < n-1; v++ {
+		capacity := 10.0
+		if v == 3 {
+			capacity = 4
+		}
+		g.MustAddEdge(v, v+1, capacity)
+	}
+	params := core.DefaultParams()
+	params.Variation = core.DefaultCleanVariation()
+	opts := decompose.DefaultOptions()
+	opts.MaxIterations = 8
+	prob, err := NewProblem(g, WithParams(params), WithDecomposeOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxRegions 2: three bands would give the middle region virtual
+	// terminals on both sides, the circuit-fragile configuration.
+	budget := Budget{MaxVertices: 9, MaxRegions: 2}
+	svc := NewService(Config{Workers: 1, Budget: budget})
+	rep, err := svc.Solve(context.Background(), Request{Solver: "circuit", Problem: prob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan == nil || !rep.Plan.Sharded {
+		t.Fatalf("12-vertex path not sharded under an 8-vertex budget: %+v", rep.Plan)
+	}
+	_, part, err := planFor(prob, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := interiorOwnedEdges(g, part)
+	if len(edges) == 0 {
+		t.Fatal("no interior owned edges on the path instance")
+	}
+	for k := 0; k < 3; k++ {
+		// Oscillate one interior edge between two capacity sets the fragile
+		// circuit substrate is known to converge on — the pin is about the
+		// warm path, not about widening the substrate's convergence region.
+		c := 11.0
+		if k%2 == 1 {
+			c = 10
+		}
+		upd := graph.CapacityUpdate{Edges: []int{edges[0]}, Capacities: []float64{c}}
+		res, err := svc.Update(context.Background(), UpdateRequest{Solver: "circuit", Problem: prob, Update: upd})
+		if err != nil {
+			t.Fatalf("step %d: %v", k, err)
+		}
+		if !res.Warm {
+			t.Errorf("circuit step %d ran cold", k)
+		}
+		prob = res.Problem
+	}
+	if got := svc.Stats().RegionColdRebuilds; got != 0 {
+		t.Errorf("%d cold region rebuilds across the circuit chain, want 0", got)
+	}
+	stats := testOracle(t, svc).engineStats()
+	if len(stats) == 0 {
+		t.Fatal("no region engines recorded")
+	}
+	for r, st := range stats {
+		if st.Factorizations != 1 {
+			t.Errorf("region %d: %d symbolic factorizations across the chain, want exactly 1", r, st.Factorizations)
+		}
+		if st.Refactorizations == 0 {
+			t.Errorf("region %d: no numeric refactorizations — the warm path did not run", r)
+		}
+	}
+}
+
+// TestShardedOracleConcurrencyMatrix races re-solves of the base problem
+// against several update chains branching off it on one service.  Exactly one
+// racer can own the warm oracle at a time (claim removes it), the rest build
+// cold; every report must stay within the decomposition tolerance of its own
+// exact value, and the service must end quiescent.  The -race CI job runs
+// this against the detector.
+func TestShardedOracleConcurrencyMatrix(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(200, 3))
+	svc := NewService(Config{Workers: 4, Budget: Budget{MaxVertices: 80}})
+	base, err := NewProblem(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Solve(context.Background(), Request{Solver: "dinic", Problem: base}); err != nil {
+		t.Fatal(err)
+	}
+	_, part, err := planFor(base, Budget{MaxVertices: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := interiorOwnedEdges(g, part)
+
+	const chains = 3
+	var wg sync.WaitGroup
+	for i := 0; i < chains; i++ {
+		wg.Add(2)
+		go func(i int) { // one independent 3-step chain branching off base
+			defer wg.Done()
+			prob := base
+			for k := 0; k < 3; k++ {
+				upd := shardedChainStep(prob.Graph(), edges[i:], k)
+				res, err := svc.Update(context.Background(), UpdateRequest{Solver: "dinic", Problem: prob, Update: upd})
+				if err != nil {
+					t.Errorf("chain %d step %d: %v", i, k, err)
+					return
+				}
+				if res.Report.Plan == nil || !res.Report.Plan.Sharded {
+					t.Errorf("chain %d step %d not sharded", i, k)
+				}
+				if res.Report.RelativeError > 0.25 {
+					t.Errorf("chain %d step %d: %.0f%% error", i, k, 100*res.Report.RelativeError)
+				}
+				prob = res.Problem
+			}
+		}(i)
+		go func() { // concurrent re-solves of the base problem
+			defer wg.Done()
+			rep, err := svc.Solve(context.Background(), Request{Solver: "dinic", Problem: base})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rep.RelativeError > 0.25 {
+				t.Errorf("base re-solve: %.0f%% error", 100*rep.RelativeError)
+			}
+		}()
+	}
+	wg.Wait()
+	stats := svc.Stats()
+	if stats.ShardedUpdates != chains*3 {
+		t.Errorf("%d sharded updates recorded, want %d", stats.ShardedUpdates, chains*3)
+	}
+	if stats.InFlight != 0 {
+		t.Errorf("in-flight gauge %d after completion, want 0", stats.InFlight)
+	}
+}
+
+// TestShardedSerialVsConcurrentUpdateIdentity: two behavioral update chains
+// branching off one base produce identical per-step flow values whether the
+// chains run one after the other or concurrently — whoever wins the warm
+// oracle, behavioral warm and cold solves are bit-identical, so the
+// interleaving is invisible in the reports.
+func TestShardedSerialVsConcurrentUpdateIdentity(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(200, 3))
+	budget := Budget{MaxVertices: 80}
+	params := core.DefaultParams()
+	_, part, err := planFor(mustProblem(t, g, params), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := interiorOwnedEdges(g, part)
+
+	// run executes both chains, serially or concurrently, and returns the
+	// per-chain per-step flow values.
+	run := func(concurrent bool) [2][]float64 {
+		svc := NewService(Config{Workers: 4, Budget: budget})
+		base := mustProblem(t, g, params)
+		if _, err := svc.Solve(context.Background(), Request{Solver: "behavioral", Problem: base}); err != nil {
+			t.Fatal(err)
+		}
+		var out [2][]float64
+		chain := func(i int) {
+			prob := base
+			for k := 0; k < 3; k++ {
+				upd := shardedChainStep(prob.Graph(), edges[i:], k)
+				res, err := svc.Update(context.Background(), UpdateRequest{Solver: "behavioral", Problem: prob, Update: upd})
+				if err != nil {
+					t.Errorf("chain %d step %d: %v", i, k, err)
+					return
+				}
+				out[i] = append(out[i], res.Report.FlowValue)
+				prob = res.Problem
+			}
+		}
+		if concurrent {
+			var wg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func(i int) { defer wg.Done(); chain(i) }(i)
+			}
+			wg.Wait()
+		} else {
+			chain(0)
+			chain(1)
+		}
+		return out
+	}
+	serial := run(false)
+	concurrent := run(true)
+	for i := 0; i < 2; i++ {
+		if len(serial[i]) != 3 || len(concurrent[i]) != 3 {
+			t.Fatalf("chain %d incomplete: serial %v concurrent %v", i, serial[i], concurrent[i])
+		}
+		for k := range serial[i] {
+			if serial[i][k] != concurrent[i][k] {
+				t.Errorf("chain %d step %d: serial %g != concurrent %g", i, k, serial[i][k], concurrent[i][k])
+			}
+		}
+	}
+}
+
+// TestOracleCacheSemantics covers the cache's ownership discipline directly:
+// claim removes, publish keeps the first entry on a key collision, and the
+// LRU bound evicts the stalest entry.
+func TestOracleCacheSemantics(t *testing.T) {
+	c := newOracleCache(2)
+	sol, err := DefaultRegistry().Get("dinic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, d := newRegionOracle(sol, core.DefaultParams()), newRegionOracle(sol, core.DefaultParams()), newRegionOracle(sol, core.DefaultParams())
+
+	c.publish("a", a)
+	if got := c.claim("a"); got != a {
+		t.Fatal("claim did not return the published oracle")
+	}
+	if got := c.claim("a"); got != nil {
+		t.Fatal("claim did not remove the entry")
+	}
+
+	c.publish("a", a)
+	c.publish("a", b)
+	if got := c.claim("a"); got != a {
+		t.Error("publish collision did not keep the first oracle")
+	}
+
+	c.publish("k1", a)
+	c.publish("k2", b)
+	c.publish("k3", d) // evicts k1, the least recently used
+	if c.size() != 2 {
+		t.Fatalf("cache size %d over bound 2", c.size())
+	}
+	if got := c.claim("k1"); got != nil {
+		t.Error("LRU entry not evicted")
+	}
+	if c.claim("k2") == nil || c.claim("k3") == nil {
+		t.Error("recently used entries evicted")
+	}
+}
+
+// TestShardedRepeatSolveReusesOracle: repeated sharded solves of one problem
+// claim and re-publish the same oracle — the circuit regions' engines show
+// exactly one symbolic factorization after two full solves.
+func TestShardedRepeatSolveReusesOracle(t *testing.T) {
+	const n = 12
+	g := graph.MustNew(n, 0, n-1)
+	for v := 0; v < n-1; v++ {
+		g.MustAddEdge(v, v+1, 10)
+	}
+	params := core.DefaultParams()
+	params.Variation = core.DefaultCleanVariation()
+	prob, err := NewProblem(g, WithParams(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(Config{Workers: 1, Budget: Budget{MaxVertices: 9, MaxRegions: 2}})
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Solve(context.Background(), Request{Solver: "circuit", Problem: prob}); err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+	}
+	for r, st := range testOracle(t, svc).engineStats() {
+		if st.Factorizations != 1 {
+			t.Errorf("region %d: %d symbolic factorizations after two sharded solves, want 1", r, st.Factorizations)
+		}
+	}
+}
