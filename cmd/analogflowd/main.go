@@ -54,12 +54,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"analogflow/internal/solve"
@@ -81,12 +85,16 @@ func run(args []string, stdout io.Writer) error {
 	var usage bytes.Buffer
 	fs.SetOutput(&usage)
 	var (
-		addr        = fs.String("addr", ":8723", "listen address")
-		workers     = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
-		maxCached   = fs.Int("max-cached", 0, "max cached warm solver instances (0 = default)")
-		budgetVerts = fs.Int("budget-vertices", 0, "substrate budget: max vertices per monolithic solve; larger instances are auto-sharded (0 = unlimited)")
-		budgetRegs  = fs.Int("budget-regions", 0, "substrate budget: max regions the planner may shard into (0 = default 16)")
-		partitioner = fs.String("partitioner", "", "planner partitioner: bfs (default) or cluster")
+		addr           = fs.String("addr", ":8723", "listen address")
+		workers        = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		maxCached      = fs.Int("max-cached", 0, "max cached warm solver instances (0 = default)")
+		maxQueue       = fs.Int("max-queue", 0, "max requests queued for a worker slot before load shedding (0 = 8 × workers)")
+		budgetVerts    = fs.Int("budget-vertices", 0, "substrate budget: max vertices per monolithic solve; larger instances are auto-sharded (0 = unlimited)")
+		budgetRegs     = fs.Int("budget-regions", 0, "substrate budget: max regions the planner may shard into (0 = default 16)")
+		partitioner    = fs.String("partitioner", "", "planner partitioner: bfs (default) or cluster")
+		defaultTimeout = fs.Duration("default-timeout", 0, "per-request deadline when the request carries no timeout_ms (0 = none); deadline-unmeetable requests are shed with 429")
+		sessionTTL     = fs.Duration("session-ttl", 10*time.Minute, "idle time after which a session is evicted and its warm solver state released (0 = never)")
+		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before closing connections")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -99,12 +107,44 @@ func run(args []string, stdout io.Writer) error {
 	if err := budget.Validate(); err != nil {
 		return err
 	}
-	svc := solve.NewService(solve.Config{Workers: *workers, MaxCachedInstances: *maxCached, Budget: budget})
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newHandler(svc),
+	svc := solve.NewService(solve.Config{Workers: *workers, MaxCachedInstances: *maxCached, MaxQueue: *maxQueue, Budget: budget})
+	srv := newServer(svc, serverConfig{sessionTTL: *sessionTTL, defaultTimeout: *defaultTimeout})
+	srv.startJanitor()
+	defer srv.stopJanitor()
+	httpSrv := &http.Server{
+		Handler:           srv.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Fprintf(stdout, "analogflowd: listening on %s (solvers: %v)\n", *addr, svc.Registry().Names())
-	return srv.ListenAndServe()
+	// Listen before announcing, so the printed address is the bound one
+	// (":0" resolves to a real port) and a failed bind surfaces immediately.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "analogflowd: listening on %s (solvers: %v)\n", ln.Addr(), svc.Registry().Names())
+
+	// Graceful drain: on SIGINT/SIGTERM, readiness flips to 503 and new
+	// requests are refused while in-flight streams finish their current
+	// record (they observe the drain through the handler's stop hooks);
+	// connections still open after the drain window are closed hard.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "analogflowd: received %v, draining (window %v)\n", sig, *drainTimeout)
+		srv.beginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			_ = httpSrv.Close()
+		}
+		<-serveErr // Serve has returned http.ErrServerClosed
+		fmt.Fprintln(stdout, "analogflowd: drained, exiting")
+		return nil
+	}
 }

@@ -2,11 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"analogflow/internal/core"
@@ -15,14 +18,38 @@ import (
 	"analogflow/internal/solve"
 )
 
+// serverConfig carries the failure-domain knobs of the HTTP facade.
+type serverConfig struct {
+	// sessionTTL is the idle time after which the janitor evicts a session
+	// and releases its warm solver state; <= 0 disables eviction.
+	sessionTTL time.Duration
+	// defaultTimeout is the per-request deadline applied when a request
+	// carries no timeout_ms of its own; <= 0 means no default deadline.
+	defaultTimeout time.Duration
+}
+
 // server is the HTTP facade over one solve.Service.
 type server struct {
 	svc   *solve.Service
+	cfg   serverConfig
 	start time.Time
+
+	// draining flips once on SIGINT/SIGTERM: /v1/readyz turns 503, new
+	// requests are refused, and in-flight NDJSON streams finish their
+	// current record and end with a terminal {"draining":true} line.
+	draining atomic.Bool
+	// disconnects counts streams and responses cut short by a client that
+	// went away mid-write (broken pipe); expired counts TTL-evicted
+	// sessions.  Both surface in /v1/healthz.
+	disconnects atomic.Int64
+	expired     atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   int64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
 }
 
 // session is one long-lived update chain: a solver bound to the problem at
@@ -32,6 +59,9 @@ type server struct {
 type session struct {
 	id     string
 	solver string
+	// lastUsed is the UnixNano of the session's last applied step (or its
+	// creation), read lock-free by the janitor and the cap error message.
+	lastUsed atomic.Int64
 
 	mu      sync.Mutex
 	problem *solve.Problem
@@ -41,17 +71,162 @@ type session struct {
 	deleted bool
 }
 
-// newHandler wires the API routes; it is the unit the httptest suite drives.
+// touch stamps the session as just used.
+func (sess *session) touch(now time.Time) { sess.lastUsed.Store(now.UnixNano()) }
+
+// idle reports how long the session has sat unused.
+func (sess *session) idle(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, sess.lastUsed.Load()))
+}
+
+// newServer builds the facade; handler() wires its routes.
+func newServer(svc *solve.Service, cfg serverConfig) *server {
+	return &server{svc: svc, cfg: cfg, start: time.Now(), sessions: make(map[string]*session)}
+}
+
+// newHandler wires the API routes with default failure-domain knobs; it is
+// the unit most of the httptest suite drives.
 func newHandler(svc *solve.Service) http.Handler {
-	s := &server{svc: svc, start: time.Now(), sessions: make(map[string]*session)}
+	return newServer(svc, serverConfig{}).handler()
+}
+
+// handler wires the API routes behind the drain gate: once the server is
+// draining every route except liveness (/v1/healthz) and readiness
+// (/v1/readyz) refuses with 503 + Retry-After, so load balancers fail over
+// while in-flight work finishes.
+func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solvers", s.handleSolvers)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdate)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && r.URL.Path != "/v1/healthz" && r.URL.Path != "/v1/readyz" {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server draining", http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// beginDrain flips the server into drain mode (idempotent).
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// deadlineFor resolves a request's timeout_ms (0 = server default, < 0
+// rejected by the handlers) into an absolute deadline; the zero time means
+// no deadline.
+func (s *server) deadlineFor(timeoutMS int) time.Time {
+	d := s.cfg.defaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}
+
+// startJanitor launches the TTL eviction loop; no-op without a TTL.
+func (s *server) startJanitor() {
+	if s.cfg.sessionTTL <= 0 {
+		return
+	}
+	interval := s.cfg.sessionTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	s.janitorStop = make(chan struct{})
+	s.janitorDone = make(chan struct{})
+	go func() {
+		defer close(s.janitorDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.evictExpired(time.Now())
+			case <-s.janitorStop:
+				return
+			}
+		}
+	}()
+}
+
+// stopJanitor stops the eviction loop and waits for it to exit.
+func (s *server) stopJanitor() {
+	if s.janitorStop == nil {
+		return
+	}
+	close(s.janitorStop)
+	<-s.janitorDone
+	s.janitorStop = nil
+}
+
+// evictExpired removes every session idle past the TTL, releasing the warm
+// solver state the service holds for it, and reports how many went.  A
+// session whose mutex is held is mid-update — not idle — and is skipped;
+// the stamp is re-checked under the lock so an update landing between the
+// scan and the lock wins.
+func (s *server) evictExpired(now time.Time) int {
+	ttl := s.cfg.sessionTTL
+	if ttl <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	var candidates []*session
+	for _, sess := range s.sessions {
+		if sess.idle(now) >= ttl {
+			candidates = append(candidates, sess)
+		}
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, sess := range candidates {
+		if !sess.mu.TryLock() {
+			continue
+		}
+		if sess.deleted || sess.idle(now) < ttl {
+			sess.mu.Unlock()
+			continue
+		}
+		sess.deleted = true
+		prob, solver := sess.problem, sess.solver
+		sess.mu.Unlock()
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		s.svc.Release(prob, solver)
+		s.expired.Add(1)
+		n++
+	}
+	return n
+}
+
+// sessionCapError builds the 429 message for a full session table, naming
+// the oldest idle session's age so operators can spot stuck clients.
+func (s *server) sessionCapError(now time.Time) string {
+	msg := fmt.Sprintf("too many sessions: the server caps live sessions at %d; DELETE one first", maxSessions)
+	var oldest *session
+	for _, sess := range s.sessions { // callers hold s.mu
+		if oldest == nil || sess.lastUsed.Load() < oldest.lastUsed.Load() {
+			oldest = sess
+		}
+	}
+	if oldest != nil {
+		msg += fmt.Sprintf(" (oldest idle session %s has been idle %s", oldest.id, oldest.idle(now).Round(time.Second))
+		if s.cfg.sessionTTL > 0 {
+			msg += fmt.Sprintf("; idle sessions expire after %s", s.cfg.sessionTTL)
+		}
+		msg += ")"
+	}
+	return msg
 }
 
 func (s *server) handleSolvers(w http.ResponseWriter, r *http.Request) {
@@ -74,7 +249,7 @@ func (s *server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Solvers = append(out.Solvers, entry{Name: name, Description: sol.Describe()})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -85,12 +260,31 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	sessions := len(s.sessions)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
-		"sessions":       sessions,
-		"stats":          s.svc.Stats(),
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":             "ok",
+		"uptime_seconds":     time.Since(s.start).Seconds(),
+		"sessions":           sessions,
+		"draining":           s.draining.Load(),
+		"client_disconnects": s.disconnects.Load(),
+		"expired_sessions":   s.expired.Load(),
+		"stats":              s.svc.Stats(),
 	})
+}
+
+// handleReadyz is the load-balancer probe: 200 while the server accepts
+// work, 503 the moment draining begins — strictly before /v1/healthz stops
+// answering, which it never does while the process lives.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "draining": true})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 // problemSpec is one problem in a solve request; exactly one of the three
@@ -146,6 +340,11 @@ type solveRequest struct {
 	Problems []problemSpec `json:"problems"`
 	Params   *paramSpec    `json:"params,omitempty"`
 	Budget   *budgetSpec   `json:"budget,omitempty"`
+	// TimeoutMS bounds each item of the request — admission-queue wait plus
+	// execution; 0 falls back to the server's -default-timeout.  A request
+	// whose deadline the admission queue judges unmeetable is shed with 429
+	// + Retry-After instead of queueing to certain failure.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // Request-size bounds: the endpoint is public surface, so one request must
@@ -274,6 +473,23 @@ type streamItem struct {
 	// cancellation — structurally distinct from a per-item error record, so
 	// clients never have to sniff the error text to tell them apart.
 	Aborted bool `json:"aborted,omitempty"`
+	// Draining marks the terminal record of a stream cut short by server
+	// shutdown: the items counted in Count completed normally, the rest
+	// never started, and the client should retry them elsewhere.
+	Draining bool `json:"draining,omitempty"`
+	// RetryAfterSeconds accompanies shed-item error records with the
+	// admission queue's back-off estimate.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// retryAfterSeconds converts an overload error's back-off into whole
+// seconds, at least 1 (the Retry-After header unit).
+func retryAfterSeconds(ovl *solve.OverloadError) int {
+	sec := int(math.Ceil(ovl.RetryAfter.Seconds()))
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -304,6 +520,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request: %d problems exceeds the batch limit of %d", len(req.Problems), maxBatchProblems), http.StatusBadRequest)
 		return
 	}
+	if req.TimeoutMS < 0 {
+		http.Error(w, fmt.Sprintf("bad request: timeout_ms must be non-negative, got %d", req.TimeoutMS), http.StatusBadRequest)
+		return
+	}
 	opts, err := solveOptions(req.Params, req.Budget)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad request: params: %v", err), http.StatusBadRequest)
@@ -326,32 +546,87 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		totalVertices += prob.Graph().NumVertices()
 		totalEdges += prob.Graph().NumEdges()
-		reqs[i] = solve.Request{Solver: req.Solver, Problem: prob}
+		reqs[i] = solve.Request{Solver: req.Solver, Problem: prob, Deadline: s.deadlineFor(req.TimeoutMS)}
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	emitted := 0
-	// SolveBatchFunc serialises onResult calls, so the encoder needs no
-	// extra locking; each completed solve streams out immediately.
-	s.svc.SolveBatchFunc(r.Context(), reqs, func(res solve.BatchResult) {
+	// The NDJSON header is deferred until the first record: a single-problem
+	// request whose only item is shed by the admission queue gets a clean
+	// 429 + Retry-After instead of a 200 stream with one error record.
+	headerWritten := false
+	startStream := func() {
+		if headerWritten {
+			return
+		}
+		headerWritten = true
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	// clientGone flips on the first failed stream write; it feeds the stop
+	// hook below so the remaining batch items are skipped instead of being
+	// solved for a dead socket.
+	var clientGone atomic.Bool
+	shedOnly := false
+	emitted, stopped := 0, 0
+	// The batch's stop hook is checked before each item starts: draining
+	// servers and disconnected clients cut the batch short, while in-flight
+	// items finish their record.
+	stop := func() bool { return s.draining.Load() || clientGone.Load() }
+	// solveBatch serialises onResult calls, so the encoder needs no extra
+	// locking; each completed solve streams out immediately.
+	s.svc.SolveBatchDrain(r.Context(), reqs, func(res solve.BatchResult) {
+		if errors.Is(res.Err, solve.ErrStopped) {
+			stopped++
+			return
+		}
+		var ovl *solve.OverloadError
+		if len(reqs) == 1 && res.Err != nil && errors.As(res.Err, &ovl) && !headerWritten {
+			// The whole request was shed before any output: map it to 429.
+			sec := retryAfterSeconds(ovl)
+			w.Header().Set("Retry-After", strconv.Itoa(sec))
+			s.writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":               res.Err.Error(),
+				"retry_after_seconds": sec,
+			})
+			headerWritten = true
+			shedOnly = true
+			return
+		}
+		startStream()
 		item := streamItem{Index: res.Index, Report: res.Report}
 		if res.Err != nil {
 			item.Report = nil
 			item.Error = res.Err.Error()
+			if errors.As(res.Err, &ovl) {
+				item.RetryAfterSeconds = retryAfterSeconds(ovl)
+			}
 		}
-		_ = enc.Encode(item)
+		if err := enc.Encode(item); err != nil {
+			if clientGone.CompareAndSwap(false, true) {
+				s.disconnects.Add(1)
+			}
+			return
+		}
 		emitted++
 		if flusher != nil {
 			flusher.Flush()
 		}
-	})
+	}, stop)
+	if shedOnly || clientGone.Load() {
+		// The 429 already answered, or the client is gone — either way there
+		// is no stream to terminate.
+		return
+	}
+	startStream()
 	// The terminal record tells the client whether the stream it read is the
-	// whole batch: {"done":true} only for a completed batch; a cancelled or
-	// expired request ends with an error record instead, so a truncated
-	// stream is never mistaken for a complete one.
+	// whole batch: {"done":true} only for a completed batch; a cancelled,
+	// expired or drained request ends with a marked record instead, so a
+	// truncated stream is never mistaken for a complete one.
+	if stopped > 0 {
+		_ = enc.Encode(streamItem{Draining: true, Error: fmt.Sprintf("server draining: %d of %d results emitted", emitted, len(reqs)), Count: emitted})
+		return
+	}
 	if err := r.Context().Err(); err != nil {
 		_ = enc.Encode(streamItem{Aborted: true, Error: fmt.Sprintf("stream aborted after %d of %d results: %v", emitted, len(reqs), err), Count: emitted})
 		return
@@ -367,6 +642,8 @@ type sessionCreateRequest struct {
 	Problem problemSpec `json:"problem"`
 	Params  *paramSpec  `json:"params,omitempty"`
 	Budget  *budgetSpec `json:"budget,omitempty"`
+	// TimeoutMS bounds the base solve; 0 falls back to -default-timeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // edgeUpdate is one edge mutation of an update step.
@@ -382,6 +659,22 @@ type edgeUpdate struct {
 type sessionUpdateRequest struct {
 	Updates []edgeUpdate   `json:"updates,omitempty"`
 	Steps   [][]edgeUpdate `json:"steps,omitempty"`
+	// TimeoutMS bounds each step of the request; 0 falls back to the
+	// server's -default-timeout.  Update steps ride the admission queue's
+	// priority lane, so a session chain is shed only behind other priority
+	// traffic.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// sessionTimes reports the session's lifecycle stamps for responses: the
+// last-used time and, when a TTL applies, when the session expires.
+func (s *server) sessionTimes(sess *session) (lastUsed string, expiresAt string) {
+	last := time.Unix(0, sess.lastUsed.Load())
+	lastUsed = last.UTC().Format(time.RFC3339)
+	if s.cfg.sessionTTL > 0 {
+		expiresAt = last.Add(s.cfg.sessionTTL).UTC().Format(time.RFC3339)
+	}
+	return lastUsed, expiresAt
 }
 
 func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
@@ -400,6 +693,10 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
+	if req.TimeoutMS < 0 {
+		http.Error(w, fmt.Sprintf("bad request: timeout_ms must be non-negative, got %d", req.TimeoutMS), http.StatusBadRequest)
+		return
+	}
 	opts, err := solveOptions(req.Params, req.Budget)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad request: params: %v", err), http.StatusBadRequest)
@@ -413,12 +710,14 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	if len(s.sessions) >= maxSessions {
+		msg := s.sessionCapError(time.Now())
 		s.mu.Unlock()
-		http.Error(w, fmt.Sprintf("too many sessions: the server caps live sessions at %d; DELETE one first", maxSessions), http.StatusTooManyRequests)
+		http.Error(w, msg, http.StatusTooManyRequests)
 		return
 	}
 	s.nextID++
 	sess := &session{id: fmt.Sprintf("s%d", s.nextID), solver: req.Solver, problem: prob}
+	sess.touch(time.Now())
 	s.mu.Unlock()
 
 	// Solve the base problem synchronously: the report anchors the chain and
@@ -427,8 +726,15 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	// The session is only published after the solve succeeds: its id is not
 	// known to any client before the response, so nothing can race an
 	// update against a session whose creation later fails.
-	rep, err := s.svc.Solve(r.Context(), solve.Request{Solver: req.Solver, Problem: prob, Updatable: true})
+	rep, err := s.svc.Solve(r.Context(), solve.Request{Solver: req.Solver, Problem: prob, Updatable: true, Deadline: s.deadlineFor(req.TimeoutMS)})
 	if err != nil {
+		var ovl *solve.OverloadError
+		if errors.As(err, &ovl) {
+			sec := retryAfterSeconds(ovl)
+			w.Header().Set("Retry-After", strconv.Itoa(sec))
+			s.writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error(), "retry_after_seconds": sec})
+			return
+		}
 		http.Error(w, fmt.Sprintf("solve failed: %v", err), http.StatusUnprocessableEntity)
 		return
 	}
@@ -436,13 +742,20 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if len(s.sessions) >= maxSessions {
 		// Concurrent creates raced past the early cap check during the
 		// solve; re-check at publish time so the cap is a real bound.
+		msg := s.sessionCapError(time.Now())
 		s.mu.Unlock()
-		http.Error(w, fmt.Sprintf("too many sessions: the server caps live sessions at %d; DELETE one first", maxSessions), http.StatusTooManyRequests)
+		http.Error(w, msg, http.StatusTooManyRequests)
 		return
 	}
+	sess.touch(time.Now())
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"session_id": sess.id, "solver": sess.solver, "report": rep})
+	lastUsed, expiresAt := s.sessionTimes(sess)
+	resp := map[string]any{"session_id": sess.id, "solver": sess.solver, "report": rep, "last_used": lastUsed}
+	if expiresAt != "" {
+		resp["expires_at"] = expiresAt
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) lookupSession(id string) *session {
@@ -462,6 +775,10 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		http.Error(w, fmt.Sprintf("bad request: timeout_ms must be non-negative, got %d", req.TimeoutMS), http.StatusBadRequest)
 		return
 	}
 	steps := req.Steps
@@ -506,39 +823,83 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	// Defer the header like handleSolve does, so a first step shed by the
+	// admission queue maps to 429 + Retry-After instead of a 200 stream.
+	headerWritten := false
+	startStream := func() {
+		if headerWritten {
+			return
+		}
+		headerWritten = true
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
 	applied := 0
 	for i, u := range updates {
 		if err := r.Context().Err(); err != nil {
 			break
 		}
-		res, err := s.svc.Update(r.Context(), solve.UpdateRequest{Solver: sess.solver, Problem: sess.problem, Update: u})
+		if s.draining.Load() {
+			// Server shutdown between steps: every applied step has already
+			// been acknowledged by its own record, so end the stream with
+			// the terminal draining marker and keep the session consistent
+			// at the last applied problem.
+			startStream()
+			_ = enc.Encode(streamItem{Draining: true, Error: fmt.Sprintf("server draining: %d of %d steps applied", applied, len(updates)), Count: applied})
+			return
+		}
+		res, err := s.svc.Update(r.Context(), solve.UpdateRequest{Solver: sess.solver, Problem: sess.problem, Update: u, Deadline: s.deadlineFor(req.TimeoutMS)})
 		if err != nil {
+			var ovl *solve.OverloadError
+			if errors.As(err, &ovl) && !headerWritten {
+				sec := retryAfterSeconds(ovl)
+				w.Header().Set("Retry-After", strconv.Itoa(sec))
+				s.writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error(), "retry_after_seconds": sec})
+				return
+			}
 			// A failed step (e.g. duplicate edge in one step, or a solver
 			// failure) is terminal: the error record ends the stream —
 			// {"done":true} is reserved for fully applied requests — and
 			// the session stays at the last successfully updated problem.
-			_ = enc.Encode(streamItem{Index: i,
+			startStream()
+			item := streamItem{Index: i,
 				Error: fmt.Sprintf("step %d failed after %d of %d steps applied: %v", i, applied, len(updates), err),
-				Count: applied})
+				Count: applied}
+			if errors.As(err, &ovl) {
+				item.RetryAfterSeconds = retryAfterSeconds(ovl)
+			}
+			_ = enc.Encode(item)
 			return
 		}
 		sess.problem = res.Problem
 		sess.updates++
-		_ = enc.Encode(map[string]any{"index": i, "warm": res.Warm, "report": res.Report})
+		sess.touch(time.Now())
+		startStream()
+		if err := enc.Encode(map[string]any{"index": i, "warm": res.Warm, "report": res.Report}); err != nil {
+			// The client went away mid-stream: the session state is
+			// consistent at the applied step, so stop solving for a dead
+			// socket and account the disconnect.
+			s.disconnects.Add(1)
+			return
+		}
 		applied++
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+	startStream()
 	if err := r.Context().Err(); err != nil {
 		_ = enc.Encode(streamItem{Aborted: true, Error: fmt.Sprintf("stream aborted after %d of %d steps: %v", applied, len(updates), err), Count: applied})
 		return
 	}
-	_ = enc.Encode(map[string]any{"done": true, "count": applied, "session_updates": sess.updates})
+	lastUsed, expiresAt := s.sessionTimes(sess)
+	done := map[string]any{"done": true, "count": applied, "session_updates": sess.updates, "last_used": lastUsed}
+	if expiresAt != "" {
+		done["expires_at"] = expiresAt
+	}
+	_ = enc.Encode(done)
 }
 
 func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
@@ -557,8 +918,13 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes one JSON response; an encode failure means the client
+// disconnected mid-write and is accounted in the healthz counter rather
+// than silently dropped.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.disconnects.Add(1)
+	}
 }

@@ -97,6 +97,12 @@ func run(args []string, stdout io.Writer) error {
 	if len(runs) == 0 {
 		return fmt.Errorf("no benchmark result lines found (regexp %q may match nothing)", *bench)
 	}
+	// A benchmark that silently printed no samples (renamed, skipped, or the
+	// regexp drifted) must fail the trajectory step by name, not publish a
+	// JSON file that quietly lost a series.
+	if missing := missingBenchmarks(*bench, runs); len(missing) > 0 {
+		return &MissingBenchmarksError{Missing: missing}
+	}
 	results := aggregate(runs)
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
@@ -111,6 +117,44 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "  %-50s %14.0f ns/op  (%d run(s))\n", r.Benchmark, r.NsPerOp, r.Runs)
 	}
 	return nil
+}
+
+// MissingBenchmarksError names the benchmarks that were requested but
+// produced no result samples — the named failure CI needs to distinguish "a
+// tracked series vanished" from a parse or execution error.
+type MissingBenchmarksError struct {
+	// Missing lists the benchmark names with no samples, in request order.
+	Missing []string
+}
+
+func (e *MissingBenchmarksError) Error() string {
+	return fmt.Sprintf("no samples for benchmark(s): %s", strings.Join(e.Missing, ", "))
+}
+
+// missingBenchmarks checks an exact-alternation regexp of the canonical form
+// ^(A|B|C)$ against the parsed runs and returns the names with no samples.
+// Regexps of any other shape (user-supplied patterns) are not checked — only
+// an explicit name list pins an expectation per benchmark.
+func missingBenchmarks(bench string, runs []benchRun) []string {
+	if !strings.HasPrefix(bench, "^(") || !strings.HasSuffix(bench, ")$") {
+		return nil
+	}
+	names := strings.Split(bench[2:len(bench)-2], "|")
+	seen := map[string]bool{}
+	for _, r := range runs {
+		top, _, _ := strings.Cut(r.name, "/")
+		seen[top] = true
+	}
+	var missing []string
+	for _, n := range names {
+		if n == "" || strings.ContainsAny(n, "^$()[].*+?\\") {
+			return nil // not a plain name list; don't guess
+		}
+		if !seen[n] {
+			missing = append(missing, n)
+		}
+	}
+	return missing
 }
 
 // benchRun is one parsed benchmark result line.

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -76,7 +77,11 @@ func TestRunParseMode(t *testing.T) {
 	}
 	out := filepath.Join(dir, "bench.json")
 	var stdout bytes.Buffer
-	if err := run([]string{"-parse", in, "-o", out}, &stdout); err != nil {
+	// The sample holds two of the three canonical series, so the expectation
+	// must be scoped to them — the full canonical set is the missing-sample
+	// test below.
+	bench := "^(BenchmarkUpdateResolve|BenchmarkDecomposeScaling)$"
+	if err := run([]string{"-parse", in, "-o", out, "-bench", bench}, &stdout); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(stdout.String(), "wrote 2 benchmark entries") {
@@ -92,6 +97,38 @@ func TestRunParseMode(t *testing.T) {
 	}
 	if len(results) != 2 || results[0].Metrics["warm-ns/step"] != 470000 {
 		t.Errorf("round-tripped results wrong: %+v", results)
+	}
+}
+
+// TestRunMissingBenchmarkIsNamedError pins the trajectory guard: output that
+// lost a canonical series fails with a MissingBenchmarksError naming exactly
+// the series with no samples, instead of publishing a silently short JSON.
+func TestRunMissingBenchmarkIsNamedError(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-parse", in, "-o", out}, &stdout)
+	var missing *MissingBenchmarksError
+	if !errors.As(err, &missing) {
+		t.Fatalf("want MissingBenchmarksError, got %v", err)
+	}
+	if len(missing.Missing) != 1 || missing.Missing[0] != "BenchmarkShardedUpdateResolve" {
+		t.Errorf("missing list %v, want exactly BenchmarkShardedUpdateResolve", missing.Missing)
+	}
+	if !strings.Contains(err.Error(), "BenchmarkShardedUpdateResolve") {
+		t.Errorf("error text does not name the lost series: %v", err)
+	}
+	if _, statErr := os.Stat(out); statErr == nil {
+		t.Error("JSON file was written despite the missing series")
+	}
+	// A user-supplied regexp carries no per-name expectation: the same input
+	// succeeds when the pattern is not an exact alternation list.
+	if err := run([]string{"-parse", in, "-o", out, "-bench", "Benchmark.*Resolve"}, &stdout); err != nil {
+		t.Errorf("free-form regexp rejected: %v", err)
 	}
 }
 

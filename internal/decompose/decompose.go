@@ -453,7 +453,15 @@ func SolveContext(ctx context.Context, g *graph.Graph, part Partition, opts Opti
 		// Fan the region solves over the bounded pool.  Each slot is written
 		// by exactly one worker; ForEachLimit returns the lowest-index error,
 		// so the reported failure does not depend on the worker count either.
-		err := parallel.ForEachLimit(k, opts.Workers, func(r int) error {
+		err := parallel.ForEachLimit(k, opts.Workers, func(r int) (err error) {
+			// A panicking oracle fails its region, not the process: the
+			// decomposition is the failure-domain boundary for raw oracles
+			// (the solve service adds its own typed recovery one level in).
+			defer func() {
+				if rec := recover(); rec != nil {
+					err = fmt.Errorf("decompose: region %d: oracle panicked: %v", r, rec)
+				}
+			}()
 			if err := ctx.Err(); err != nil {
 				return err
 			}

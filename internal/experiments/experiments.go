@@ -19,6 +19,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -695,7 +696,111 @@ func DynamicUpdates(size, steps int, seed int64) (*Table, error) {
 	} else {
 		t.Rows = append(t.Rows, row)
 	}
+	if row, err := dynamicShedRow(base, steps); err != nil {
+		return t, err
+	} else {
+		t.Rows = append(t.Rows, row)
+		t.Notes = append(t.Notes,
+			"shed: single oversubscribed worker + microsecond deadlines; the admission queue",
+			"  rejects deadline-unmeetable requests (ErrOverloaded, HTTP 429) without ever",
+			"  holding a worker slot — the dynamic workload's overload degradation mode")
+	}
 	return t, nil
+}
+
+// dynamicShedRow demonstrates the service's overload degradation on the same
+// dynamic instance: one worker, saturated by a background solve loop, faced
+// with a burst of microsecond-deadline requests.  With the backend's latency
+// EMA primed by the warm-up solve, the admission queue knows the deadlines
+// are unmeetable while the slot is taken and sheds those requests up front —
+// they never hold a worker slot — while a follow-up request without a
+// deadline is served normally.
+func dynamicShedRow(base *graph.Graph, steps int) ([]string, error) {
+	const backend = "dinic"
+	svc := solve.NewService(solve.Config{Workers: 1, MaxQueue: 1})
+	params := core.DefaultParams()
+	prob, err := solve.NewProblem(base, solve.WithParams(params))
+	if err != nil {
+		return nil, err
+	}
+	// Warm-up solve primes the admission queue's per-backend latency EMA.
+	if _, err := svc.Solve(context.Background(), solve.Request{Solver: backend, Problem: prob}); err != nil {
+		return nil, err
+	}
+
+	// Saturate the single worker with a background chain of cold solves.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := rmat.MustGenerate(rmat.DenseParams(base.NumVertices(), int64(1000+i)))
+			p, err := solve.NewProblem(g, solve.WithParams(params))
+			if err != nil {
+				return
+			}
+			if _, err := svc.Solve(context.Background(), solve.Request{Solver: backend, Problem: p}); err != nil {
+				return
+			}
+		}
+	}()
+	for start := time.Now(); svc.Stats().InFlight == 0; {
+		if time.Since(start) > 10*time.Second {
+			close(stop)
+			<-done
+			return nil, fmt.Errorf("experiments: background load never occupied the worker")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	var shed, admitted int
+	for k := 0; k < steps; k++ {
+		_, err := svc.Solve(context.Background(), solve.Request{
+			Solver:   backend,
+			Problem:  prob,
+			Deadline: time.Now().Add(time.Microsecond),
+		})
+		switch {
+		case err == nil:
+			admitted++ // the slot happened to be free: admitted and solved in time
+		case errors.Is(err, solve.ErrOverloaded):
+			shed++
+		case errors.Is(err, context.DeadlineExceeded):
+			admitted++ // admitted to a free slot, then overran the deadline
+		default:
+			close(stop)
+			<-done
+			return nil, fmt.Errorf("shed burst request %d: %w", k, err)
+		}
+	}
+	close(stop)
+	<-done
+	if shed == 0 {
+		return nil, fmt.Errorf("experiments: no request of the burst was shed; the admission queue never engaged")
+	}
+	if got := svc.Stats().ShedRequests; got != int64(shed) {
+		return nil, fmt.Errorf("experiments: shed_requests counter %d, but %d callers saw ErrOverloaded", got, shed)
+	}
+	// Degradation, not denial: with the deadline dropped, the same request
+	// queues and completes once the worker frees up.
+	start := time.Now()
+	if _, err := svc.Solve(context.Background(), solve.Request{Solver: backend, Problem: prob}); err != nil {
+		return nil, fmt.Errorf("post-burst no-deadline solve: %w", err)
+	}
+	recovery := time.Since(start)
+	return []string{
+		backend,
+		"shed (1 worker, 1µs deadline)",
+		"-",
+		recovery.Round(time.Microsecond).String(),
+		"-",
+		fmt.Sprintf("%d/%d shed", shed, steps),
+	}, nil
 }
 
 // dynamicShardedRow runs the dynamic-update chain in the sharded regime: a

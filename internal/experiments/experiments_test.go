@@ -177,8 +177,8 @@ func TestDynamicUpdatesSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 4 {
-		t.Fatalf("want 3 flat backend rows + 1 sharded row, got %d", len(tab.Rows))
+	if len(tab.Rows) != 5 {
+		t.Fatalf("want 3 flat backend rows + 1 sharded row + 1 shed row, got %d", len(tab.Rows))
 	}
 	for _, row := range tab.Rows[:3] {
 		if row[1] != "flat" || row[len(row)-1] != "true" {
@@ -187,10 +187,17 @@ func TestDynamicUpdatesSmall(t *testing.T) {
 	}
 	sharded := tab.Rows[3]
 	if !strings.HasPrefix(sharded[1], "sharded n=") {
-		t.Errorf("last row mode %q, want a sharded row", sharded[1])
+		t.Errorf("row 3 mode %q, want a sharded row", sharded[1])
 	}
 	if !strings.Contains(sharded[len(sharded)-1], "gap") {
 		t.Errorf("sharded row reports %q, want the warm-vs-cold gap", sharded[len(sharded)-1])
+	}
+	shed := tab.Rows[4]
+	if !strings.HasPrefix(shed[1], "shed") {
+		t.Errorf("last row mode %q, want the overload shed row", shed[1])
+	}
+	if !strings.Contains(shed[len(shed)-1], "shed") || strings.HasPrefix(shed[len(shed)-1], "0/") {
+		t.Errorf("shed row reports %q, want a non-zero shed count", shed[len(shed)-1])
 	}
 	if _, err := DynamicUpdates(2, 1, 1); err == nil {
 		t.Error("degenerate size accepted")

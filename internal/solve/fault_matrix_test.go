@@ -1,0 +1,316 @@
+// Fault-injection matrix: drives the internal/faultinject harness through
+// the service's failure domains and pins the isolation contracts — a backend
+// panic becomes a typed error for exactly that caller, poisoned warm state is
+// dropped (never served again), and the process-level counters account for
+// every incident.  Lives in package solve_test because faultinject imports
+// solve.
+package solve_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"analogflow/internal/decompose"
+	"analogflow/internal/faultinject"
+	"analogflow/internal/graph"
+	"analogflow/internal/rmat"
+	"analogflow/internal/solve"
+)
+
+// faultyService builds a service whose sole backend is the real "dinic"
+// solver wrapped by a fault injector, preserving its warmable/updatable
+// capability surface.
+func faultyService(t *testing.T, inj *faultinject.Injector, cfg solve.Config) *solve.Service {
+	t.Helper()
+	inner, err := solve.DefaultRegistry().Get("dinic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := solve.NewRegistry()
+	if err := reg.Register(faultinject.WrapSolver(inner, inj)); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Registry = reg
+	return solve.NewService(cfg)
+}
+
+func figure5SolveProblem(t *testing.T) *solve.Problem {
+	t.Helper()
+	p, err := solve.NewProblem(graph.PaperFigure5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFaultPanicFlatWarmChain pins the flat-cache isolation contract: a
+// panic inside a warm instance surfaces as ErrSolverPanic carrying the
+// backend name and a stack, the poisoned instance is evicted, and the next
+// solve of the same fingerprint rebuilds cold and produces the original
+// value — the process never stops serving.
+func TestFaultPanicFlatWarmChain(t *testing.T) {
+	inj := faultinject.New(faultinject.Plan{})
+	svc := faultyService(t, inj, solve.Config{Workers: 1})
+	prob := figure5SolveProblem(t)
+
+	rep, err := svc.Solve(context.Background(), solve.Request{Solver: "dinic", Problem: prob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rep.FlowValue
+	if got := svc.Stats().CachedInstances; got != 1 {
+		t.Fatalf("warm cache holds %d instances after base solve, want 1", got)
+	}
+
+	inj.SetPlan(faultinject.Plan{PanicOnSolve: int(inj.Calls()) + 1})
+	_, err = svc.Solve(context.Background(), solve.Request{Solver: "dinic", Problem: prob})
+	if !errors.Is(err, solve.ErrSolverPanic) {
+		t.Fatalf("want ErrSolverPanic, got %v", err)
+	}
+	var pe *solve.SolverPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v carries no *SolverPanicError", err)
+	}
+	if pe.Solver != "dinic" {
+		t.Errorf("panic attributed to %q, want dinic", pe.Solver)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "faultinject") {
+		t.Errorf("panic stack does not reach the faulting frame:\n%s", pe.Stack)
+	}
+	st := svc.Stats()
+	if st.SolverPanics != 1 {
+		t.Errorf("solver_panics = %d, want 1", st.SolverPanics)
+	}
+	if st.CachedInstances != 0 {
+		t.Errorf("poisoned instance still cached (%d entries)", st.CachedInstances)
+	}
+
+	inj.SetPlan(faultinject.Plan{})
+	missesBefore := st.CacheMisses
+	rep, err = svc.Solve(context.Background(), solve.Request{Solver: "dinic", Problem: prob})
+	if err != nil {
+		t.Fatalf("post-panic solve failed: %v", err)
+	}
+	if rep.FlowValue != want {
+		t.Errorf("post-panic value %v, want %v", rep.FlowValue, want)
+	}
+	if st = svc.Stats(); st.CacheMisses != missesBefore+1 {
+		t.Errorf("post-panic solve was not a cold cache miss (misses %d -> %d)",
+			missesBefore, st.CacheMisses)
+	}
+}
+
+// bumpUpdate builds a warm-compatible capacity step: pure increases on a few
+// non-terminal edges never cross zero, so they are capacity-only from every
+// region's point of view.
+func bumpUpdate(p *solve.Problem, k int) graph.CapacityUpdate {
+	g := p.Graph()
+	edges := g.Edges()
+	var u graph.CapacityUpdate
+	for i := 0; i < len(edges) && len(u.Edges) < 3; i++ {
+		idx := (i*7 + k*13) % len(edges)
+		e := edges[idx]
+		if e.From == g.Source() || e.To == g.Source() || e.From == g.Sink() || e.To == g.Sink() {
+			continue
+		}
+		dup := false
+		for _, seen := range u.Edges {
+			if seen == idx {
+				dup = true
+			}
+		}
+		if dup {
+			continue
+		}
+		u.Edges = append(u.Edges, idx)
+		u.Capacities = append(u.Capacities, e.Capacity+5)
+	}
+	return u
+}
+
+// TestFaultPanicMidShardedUpdateChain is the acceptance scenario: a backend
+// panic in the middle of a sharded warm update chain (a) surfaces as
+// ErrSolverPanic to that caller, (b) drops the claimed region oracle so the
+// cache is clean, (c) is accounted by solver_panics and region_cold_rebuilds,
+// and (d) the next solve of the same fingerprint runs cold, sharded and
+// value-correct.
+func TestFaultPanicMidShardedUpdateChain(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(200, 3))
+	inj := faultinject.New(faultinject.Plan{})
+	svc := faultyService(t, inj, solve.Config{Workers: 2, Budget: solve.Budget{MaxVertices: 80}})
+	prob, err := solve.NewProblem(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.Solve(context.Background(), solve.Request{Solver: "dinic", Problem: prob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan == nil || !rep.Plan.Sharded {
+		t.Fatalf("base solve not sharded: %+v", rep.Plan)
+	}
+	if got := svc.Stats().CachedOracles; got != 1 {
+		t.Fatalf("cached_oracles = %d after base solve, want 1", got)
+	}
+
+	// Warm the chain with one clean step so the panic lands mid-chain, on a
+	// claimed oracle, not on the cold base solve.
+	res, err := svc.Update(context.Background(), solve.UpdateRequest{
+		Solver: "dinic", Problem: prob, Update: bumpUpdate(prob, 0),
+	})
+	if err != nil {
+		t.Fatalf("warm-up step: %v", err)
+	}
+	if !res.Warm {
+		t.Fatalf("warm-up step ran cold")
+	}
+	prob = res.Problem
+
+	// Arm: the very next guarded solve — the first region re-solve of the
+	// next update step — panics.
+	inj.SetPlan(faultinject.Plan{PanicOnSolve: int(inj.Calls()) + 1})
+	_, err = svc.Update(context.Background(), solve.UpdateRequest{
+		Solver: "dinic", Problem: prob, Update: bumpUpdate(prob, 1),
+	})
+	if !errors.Is(err, solve.ErrSolverPanic) {
+		t.Fatalf("mid-chain panic surfaced as %v, want ErrSolverPanic", err)
+	}
+	var pe *solve.SolverPanicError
+	if !errors.As(err, &pe) || pe.Solver != "dinic" {
+		t.Fatalf("panic error %v not attributed to dinic", err)
+	}
+	st := svc.Stats()
+	if st.SolverPanics != 1 {
+		t.Errorf("solver_panics = %d, want 1", st.SolverPanics)
+	}
+	if st.CachedOracles != 0 {
+		t.Errorf("claimed oracle not dropped after panic: cached_oracles = %d", st.CachedOracles)
+	}
+	if st.RegionColdRebuilds < 1 {
+		t.Errorf("region_cold_rebuilds = %d, want >= 1 (the panicked region)", st.RegionColdRebuilds)
+	}
+
+	// The cache is clean: re-solving the chain's fingerprint rebuilds cold,
+	// still sharded, and converges to a correct value.
+	inj.SetPlan(faultinject.Plan{})
+	rep, err = svc.Solve(context.Background(), solve.Request{Solver: "dinic", Problem: prob})
+	if err != nil {
+		t.Fatalf("post-panic cold solve failed: %v", err)
+	}
+	if rep.Plan == nil || !rep.Plan.Sharded {
+		t.Fatalf("post-panic solve not sharded: %+v", rep.Plan)
+	}
+	if rep.RelativeError > 0.25 {
+		t.Errorf("post-panic solve %.2f vs exact %.2f (%.0f%% error)",
+			rep.FlowValue, rep.ExactValue, 100*rep.RelativeError)
+	}
+	if got := svc.Stats().CachedOracles; got != 1 {
+		t.Errorf("cold re-solve did not republish the oracle: cached_oracles = %d", got)
+	}
+}
+
+// TestFaultCancelMidChain pins the context fault: a cancellation fired just
+// before a solve runs surfaces as context.Canceled — not as a panic, not as
+// an overload — and the service serves the next request normally.
+func TestFaultCancelMidChain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj := faultinject.New(faultinject.Plan{CancelOnSolve: 1, Cancel: cancel})
+	svc := faultyService(t, inj, solve.Config{Workers: 1})
+	prob := figure5SolveProblem(t)
+
+	_, err := svc.Solve(ctx, solve.Request{Solver: "dinic", Problem: prob})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	st := svc.Stats()
+	if st.SolverPanics != 0 || st.ShedRequests != 0 {
+		t.Errorf("cancellation miscounted: panics=%d shed=%d", st.SolverPanics, st.ShedRequests)
+	}
+	if _, err := svc.Solve(context.Background(), solve.Request{Solver: "dinic", Problem: prob}); err != nil {
+		t.Fatalf("post-cancel solve failed: %v", err)
+	}
+}
+
+// TestFaultInjectedError pins the plain-error fault: the Nth solve fails
+// with ErrInjected, counted as an ordinary error (no panic, no shed), and
+// the next solve succeeds.
+func TestFaultInjectedError(t *testing.T) {
+	inj := faultinject.New(faultinject.Plan{ErrorOnSolve: 1})
+	svc := faultyService(t, inj, solve.Config{Workers: 1})
+	prob := figure5SolveProblem(t)
+
+	_, err := svc.Solve(context.Background(), solve.Request{Solver: "dinic", Problem: prob})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	st := svc.Stats()
+	if st.Errors != 1 || st.SolverPanics != 0 {
+		t.Errorf("errors=%d panics=%d after injected error, want 1/0", st.Errors, st.SolverPanics)
+	}
+	if _, err := svc.Solve(context.Background(), solve.Request{Solver: "dinic", Problem: prob}); err != nil {
+		t.Fatalf("second solve failed: %v", err)
+	}
+}
+
+// TestFaultRegionOracle drives WrapOracle against the raw decompose fan-out:
+// an injected region error propagates wrapped (errors.Is reaches ErrInjected
+// through the region attribution), an injected region panic is contained by
+// the fan-out's own recover, and a clean plan converges to the exact value.
+func TestFaultRegionOracle(t *testing.T) {
+	g := rmat.MustGenerate(rmat.SparseParams(120, 5))
+	part := decompose.BisectByBFS(g)
+	opts := decompose.DefaultOptions()
+
+	t.Run("error", func(t *testing.T) {
+		inj := faultinject.New(faultinject.Plan{
+			Regions: []faultinject.RegionFault{{Region: 1, Call: 1, Mode: faultinject.ModeError}},
+		})
+		opts := opts
+		opts.Oracle = faultinject.WrapOracle(decompose.ExactOracle(), inj)
+		_, err := decompose.SolveContext(context.Background(), g, part, opts)
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("want ErrInjected through region attribution, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "region 1") {
+			t.Errorf("error %v does not name the faulted region", err)
+		}
+	})
+
+	t.Run("panic", func(t *testing.T) {
+		inj := faultinject.New(faultinject.Plan{
+			Regions: []faultinject.RegionFault{{Region: 0, Call: 1, Mode: faultinject.ModePanic}},
+		})
+		opts := opts
+		opts.Oracle = faultinject.WrapOracle(decompose.ExactOracle(), inj)
+		_, err := decompose.SolveContext(context.Background(), g, part, opts)
+		if err == nil || !strings.Contains(err.Error(), "oracle panicked") {
+			t.Fatalf("raw-oracle panic not contained by the fan-out: %v", err)
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		inj := faultinject.New(faultinject.Plan{})
+		ref, err := decompose.SolveContext(context.Background(), g, part, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := opts
+		opts.Oracle = faultinject.WrapOracle(decompose.ExactOracle(), inj)
+		got, err := decompose.SolveContext(context.Background(), g, part, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.FlowValue-ref.FlowValue) > 1e-9 {
+			t.Errorf("wrapped oracle changed the result: %v vs %v", got.FlowValue, ref.FlowValue)
+		}
+		if inj.Calls() != 0 {
+			// WrapOracle routes through beforeRegion, not beforeSolve; the
+			// solve counter must not move.
+			t.Errorf("region wrapper consumed %d solve counts", inj.Calls())
+		}
+	})
+}

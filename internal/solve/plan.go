@@ -285,8 +285,14 @@ func (o *regionOracle) SolveRegion(ctx context.Context, region int, g *graph.Gra
 			return nil, err
 		}
 		if ui, isUpd := st.inst.(UpdatableInstance); isUpd {
-			switch err := ui.Update(next); {
+			switch err := guardErr(o.sol.Name(), func() error { return ui.Update(next) }); {
 			case err == nil:
+			case errors.Is(err, ErrSolverPanic):
+				// The panic may have left the warm instance half-retargeted;
+				// drop it and fail this region — the whole sharded solve
+				// fails and the service drops the claimed oracle.
+				o.noteRebuild(st)
+				return nil, err
 			case errors.Is(err, ErrIncompatibleUpdate):
 				// The warm state cannot absorb this retarget (e.g. the
 				// region's quantized work graph changed shape); fall back to
@@ -310,12 +316,21 @@ func (o *regionOracle) SolveRegion(ctx context.Context, region int, g *graph.Gra
 			st.inst = inst
 		}
 	}
+	// Region solves run under the panic guard: a backend panic inside one
+	// region becomes an ErrSolverPanic failure of that region (and so of the
+	// whole sharded solve), not a process crash.  The region's warm instance
+	// is poisoned by the panic — noteRebuild drops it and counts the cold
+	// rebuild the region will pay if the (dropped-by-the-service) oracle is
+	// ever solved on again.
 	var rep *Report
 	var err error
 	if st.inst != nil {
-		rep, err = st.inst.Solve(ctx)
+		rep, err = guardSolve(o.sol.Name(), func() (*Report, error) { return st.inst.Solve(ctx) })
+		if err != nil && errors.Is(err, ErrSolverPanic) {
+			o.noteRebuild(st)
+		}
 	} else {
-		rep, err = o.sol.Solve(ctx, st.prob)
+		rep, err = guardSolve(o.sol.Name(), func() (*Report, error) { return o.sol.Solve(ctx, st.prob) })
 	}
 	if err != nil {
 		return nil, err

@@ -38,6 +38,12 @@ type Config struct {
 	// backend as the per-region oracle.  The zero budget disables the
 	// planner for budget-less problems.
 	Budget Budget
+	// MaxQueue bounds how many requests may wait for a worker slot before
+	// the admission queue starts shedding with ErrOverloaded; <= 0 selects
+	// 8 × Workers.  Requests with a Deadline may be shed earlier, as soon as
+	// the estimated queue wait (depth × the backend's recent-latency EMA)
+	// overruns the deadline.
+	MaxQueue int
 }
 
 // Service is the concurrent batch engine on top of the registry: it fans a
@@ -58,7 +64,14 @@ type Service struct {
 	workers   int
 	maxCached int
 	budget    Budget
-	slots     chan struct{} // service-wide in-flight solve semaphore
+	// adm is the service-wide admission queue: a priority-laned worker-slot
+	// semaphore that sheds requests whose deadline the queue cannot meet
+	// (see admitter).  Update traffic rides the priority lane, so warm
+	// session chains are never shed behind queued cold batch solves.
+	adm *admitter
+	// ema tracks recent solve latency per backend — the admission queue's
+	// wait estimator.
+	ema *latencyEMA
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -82,6 +95,8 @@ type Service struct {
 	shardedUpd     atomic.Int64
 	shardedUpdWarm atomic.Int64
 	regionRebuilds atomic.Int64
+	shedRequests   atomic.Int64
+	solverPanics   atomic.Int64
 }
 
 // cacheEntry is one warm instance slot.  The sync.Once makes instance
@@ -118,7 +133,8 @@ func NewService(cfg Config) *Service {
 		workers:   workers,
 		maxCached: maxCached,
 		budget:    cfg.Budget,
-		slots:     make(chan struct{}, workers),
+		adm:       newAdmitter(workers, cfg.MaxQueue),
+		ema:       newLatencyEMA(),
 		cache:     make(map[string]*cacheEntry),
 		oracles:   newOracleCache(cfg.MaxCachedOracles),
 	}
@@ -161,6 +177,18 @@ type Stats struct {
 	ShardedUpdateWarmHits int64 `json:"sharded_update_warm_hits"`
 	RegionColdRebuilds    int64 `json:"region_cold_rebuilds"`
 	CachedOracles         int   `json:"cached_oracles"`
+	// ShedRequests counts requests the admission queue rejected with
+	// ErrOverloaded (deadline unmeetable or queue full) — they never held a
+	// worker slot.  QueueDepth is the current sheddable-waiter population.
+	ShedRequests int64 `json:"shed_requests"`
+	QueueDepth   int64 `json:"queue_depth"`
+	// SolverPanics counts backend panics recovered at the isolation
+	// boundary and converted into ErrSolverPanic failures (the poisoned
+	// warm state was dropped; the process kept serving).
+	SolverPanics int64 `json:"solver_panics"`
+	// BackendEMAms is the recent-solve-latency EMA per backend, in
+	// milliseconds — the admission queue's deadline estimator.
+	BackendEMAms map[string]float64 `json:"backend_ema_ms,omitempty"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -185,6 +213,10 @@ func (s *Service) Stats() Stats {
 		ShardedUpdateWarmHits: s.shardedUpdWarm.Load(),
 		RegionColdRebuilds:    s.regionRebuilds.Load(),
 		CachedOracles:         s.oracles.size(),
+		ShedRequests:          s.shedRequests.Load(),
+		QueueDepth:            int64(s.adm.queueDepth()),
+		SolverPanics:          s.solverPanics.Load(),
+		BackendEMAms:          s.ema.snapshot(),
 	}
 }
 
@@ -201,6 +233,11 @@ type Request struct {
 	// influences instance construction; an already-cached instance for the
 	// fingerprint is used either way.
 	Updatable bool
+	// Deadline, when non-zero, bounds the whole request — queue wait plus
+	// execution.  The admission queue sheds the request immediately with
+	// ErrOverloaded when its estimated queue wait already overruns the
+	// deadline; an admitted request runs under a context capped at it.
+	Deadline time.Time
 }
 
 // BatchResult pairs a request index with its outcome.
@@ -212,25 +249,55 @@ type BatchResult struct {
 
 // Solve runs one request, going through the warm-instance cache when the
 // backend supports it.  The call waits for a free service-wide worker slot
-// (or the context) before executing.
+// (or the context, or the request deadline) before executing; under overload
+// it may be shed immediately with ErrOverloaded instead of queueing past its
+// deadline (see Config.MaxQueue and Request.Deadline).
 func (s *Service) Solve(ctx context.Context, req Request) (*Report, error) {
 	s.requests.Add(1)
-	var rep *Report
-	var err error
-	select {
-	case s.slots <- struct{}{}:
-		s.inFlight.Add(1)
-		rep, err = s.solve(ctx, req)
-		s.inFlight.Add(-1)
-		<-s.slots
-	case <-ctx.Done():
-		err = ctx.Err()
-	}
+	rep, err := s.run(ctx, laneNormal, req.Deadline, req.Solver, func(ctx context.Context) (*Report, error) {
+		return s.solve(ctx, req)
+	})
 	s.completed.Add(1)
 	if err != nil {
-		s.errors.Add(1)
+		s.noteFailure(err)
 	}
 	return rep, err
+}
+
+// run executes one admitted unit of work under the service-wide worker
+// bound: it wraps the context with the request deadline (so the deadline
+// covers queue wait and execution alike), takes a slot through the admission
+// queue in the given lane, runs f, feeds the backend's latency EMA on
+// success, and releases the slot.
+func (s *Service) run(ctx context.Context, lane int, deadline time.Time, solver string, f func(context.Context) (*Report, error)) (*Report, error) {
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	if err := s.adm.acquire(ctx, lane, deadline, s.ema.estimate(solver)); err != nil {
+		return nil, err
+	}
+	s.inFlight.Add(1)
+	start := time.Now()
+	rep, err := f(ctx)
+	if err == nil {
+		s.ema.observe(solver, time.Since(start))
+	}
+	s.inFlight.Add(-1)
+	s.adm.release()
+	return rep, err
+}
+
+// noteFailure attributes one failed request to the error counters.
+func (s *Service) noteFailure(err error) {
+	s.errors.Add(1)
+	if errors.Is(err, ErrOverloaded) {
+		s.shedRequests.Add(1)
+	}
+	if errors.Is(err, ErrSolverPanic) {
+		s.solverPanics.Add(1)
+	}
 }
 
 func (s *Service) solve(ctx context.Context, req Request) (*Report, error) {
@@ -254,8 +321,14 @@ func (s *Service) solve(ctx context.Context, req Request) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err = inst.Solve(ctx)
+		rep, err = guardSolve(sol.Name(), func() (*Report, error) { return inst.Solve(ctx) })
 		if err != nil {
+			if errors.Is(err, ErrSolverPanic) {
+				// The panic left the warm instance in an unknown state:
+				// drop it from the cache so the fingerprint's next solve
+				// builds cold instead of inheriting poisoned engines.
+				s.dropInstance(req.Problem.Fingerprint()+"|"+w.Name(), inst)
+			}
 			return nil, err
 		}
 		// A concurrent Update may have claimed this instance after the cache
@@ -270,13 +343,13 @@ func (s *Service) solve(ctx context.Context, req Request) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			rep, err = fresh.Solve(ctx)
+			rep, err = guardSolve(sol.Name(), func() (*Report, error) { return fresh.Solve(ctx) })
 			if err != nil {
 				return nil, err
 			}
 		}
 	} else {
-		rep, err = sol.Solve(ctx, req.Problem)
+		rep, err = guardSolve(sol.Name(), func() (*Report, error) { return sol.Solve(ctx, req.Problem) })
 		if err != nil {
 			return nil, err
 		}
@@ -405,35 +478,71 @@ func (s *Service) planAndRoute(ctx context.Context, sol Solver, base, target *Pr
 // releaseSlot hands the caller's worker slot back during a nested fan-out.
 func (s *Service) releaseSlot() {
 	s.inFlight.Add(-1)
-	<-s.slots
+	s.adm.release()
 }
 
 // reacquireSlot takes a worker slot back after a nested fan-out.  It blocks
-// unconditionally: the caller's own regions have completed, so slot holders
-// are live solves that terminate, and the caller must hold a slot again for
-// its (unconditional) release to stay balanced.
+// unconditionally in the urgent lane — never shed, never cancelled: the
+// caller's own regions have completed, so slot holders are live solves that
+// terminate, and the caller must hold a slot again for its (unconditional)
+// release to stay balanced.
 func (s *Service) reacquireSlot() {
-	s.slots <- struct{}{}
+	s.adm.acquireBlocking(laneUrgent)
 	s.inFlight.Add(1)
 }
 
 // slotBound wraps a region oracle so that every region solve holds one
 // service worker slot, keeping the service-wide in-flight bound intact for
-// sharded requests.
+// sharded requests.  Region solves ride the urgent lane: an in-flight
+// sharded request depends on them for progress, so they are never shed and
+// admit ahead of queued requests.
 func (s *Service) slotBound(inner decompose.Oracle) decompose.Oracle {
 	return decompose.OracleFunc(func(ctx context.Context, region int, g *graph.Graph) (*graph.Flow, error) {
-		select {
-		case s.slots <- struct{}{}:
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if err := s.adm.acquire(ctx, laneUrgent, time.Time{}, 0); err != nil {
+			return nil, err
 		}
 		s.inFlight.Add(1)
 		defer func() {
 			s.inFlight.Add(-1)
-			<-s.slots
+			s.adm.release()
 		}()
 		return inner.SolveRegion(ctx, region, g)
 	})
+}
+
+// dropInstance removes the cache entry under key only when it still holds
+// exactly inst — the identity check keeps a poisoned-instance drop from
+// evicting a fresh replacement a concurrent request already rebuilt.
+func (s *Service) dropInstance(key string, inst Instance) {
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok && e.ready.Load() && e.inst == inst {
+		delete(s.cache, key)
+	}
+	s.mu.Unlock()
+}
+
+// Release drops the warm state the service holds for (p, solver): the flat
+// warm instance cached under the problem's fingerprint and, when a budget
+// applies, the sharded region oracle cached for the chain.  It exists for
+// session eviction — an expired session must not pin warm engines against
+// the cache bounds forever.  Unknown solvers and uncached fingerprints are
+// no-ops.
+func (s *Service) Release(p *Problem, solver string) {
+	if p == nil {
+		return
+	}
+	sol, err := s.reg.Get(solver)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.cache, p.Fingerprint()+"|"+sol.Name())
+	s.mu.Unlock()
+	if b := s.effectiveBudget(p); !b.IsZero() {
+		// claim removes the entry; dropping the returned oracle (if any)
+		// releases its per-region instances.
+		s.oracles.claim(oracleKey(p.Fingerprint(), sol, b))
+	}
 }
 
 // instance returns the warm instance for the (problem, solver) pair,
@@ -513,12 +622,34 @@ func (s *Service) SolveBatch(ctx context.Context, reqs []Request) []BatchResult 
 // at most one goroutine at a time.  The returned slice is always in request
 // order regardless of completion order or worker count.
 func (s *Service) SolveBatchFunc(ctx context.Context, reqs []Request, onResult func(BatchResult)) []BatchResult {
+	return s.solveBatch(ctx, reqs, onResult, nil)
+}
+
+// ErrStopped fails batch items that were skipped before starting because the
+// batch's stop hook fired (server drain, client disconnect).  Items already
+// in flight finish normally; stopped items consume no worker slot and no
+// service counters.
+var ErrStopped = errors.New("solve: batch stopped before item started")
+
+// SolveBatchDrain is SolveBatchFunc with a cooperative stop hook: stop is
+// polled before each item starts, and once it returns true the remaining
+// not-yet-started items fail with ErrStopped while in-flight items run to
+// completion — the draining-server contract, where the current NDJSON record
+// finishes and the rest of the batch is cut short.  stop must be safe for
+// concurrent calls; nil behaves like SolveBatchFunc.
+func (s *Service) SolveBatchDrain(ctx context.Context, reqs []Request, onResult func(BatchResult), stop func() bool) []BatchResult {
+	return s.solveBatch(ctx, reqs, onResult, stop)
+}
+
+func (s *Service) solveBatch(ctx context.Context, reqs []Request, onResult func(BatchResult), stop func() bool) []BatchResult {
 	results := make([]BatchResult, len(reqs))
 	var emitMu sync.Mutex
 	_ = parallel.ForEachLimit(len(reqs), s.workers, func(i int) error {
 		var res BatchResult
 		res.Index = i
-		if err := ctx.Err(); err != nil {
+		if stop != nil && stop() {
+			res.Err = ErrStopped
+		} else if err := ctx.Err(); err != nil {
 			res.Err = err
 			s.requests.Add(1)
 			s.completed.Add(1)
@@ -543,6 +674,11 @@ type UpdateRequest struct {
 	Solver  string
 	Problem *Problem
 	Update  graph.CapacityUpdate
+	// Deadline, when non-zero, bounds queue wait plus execution, exactly as
+	// Request.Deadline does for Solve.  Update steps queue in the priority
+	// lane, so they are only shed once the queue holds nothing but other
+	// priority traffic exceeding the bound.
+	Deadline time.Time
 }
 
 // UpdateResult is the outcome of one Update step.
@@ -589,19 +725,15 @@ func (s *Service) Update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 	s.requests.Add(1)
 	s.updates.Add(1)
 	var res *UpdateResult
-	var err error
-	select {
-	case s.slots <- struct{}{}:
-		s.inFlight.Add(1)
+	_, err := s.run(ctx, lanePriority, req.Deadline, req.Solver, func(ctx context.Context) (*Report, error) {
+		var err error
 		res, err = s.update(ctx, req)
-		s.inFlight.Add(-1)
-		<-s.slots
-	case <-ctx.Done():
-		err = ctx.Err()
-	}
+		return nil, err
+	})
 	s.completed.Add(1)
 	if err != nil {
-		s.errors.Add(1)
+		res = nil
+		s.noteFailure(err)
 	}
 	return res, err
 }
@@ -640,7 +772,7 @@ func (s *Service) update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 	if !warmable {
 		// Backends without per-problem state (lp, decompose) just solve the
 		// updated problem.
-		rep, err := sol.Solve(ctx, target)
+		rep, err := guardSolve(sol.Name(), func() (*Report, error) { return sol.Solve(ctx, target) })
 		if err != nil {
 			return nil, err
 		}
@@ -654,8 +786,14 @@ func (s *Service) update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 	if err != nil {
 		return nil, err
 	}
-	rep, err := inst.Solve(ctx)
+	rep, err := guardSolve(sol.Name(), func() (*Report, error) { return inst.Solve(ctx) })
 	if err != nil {
+		if errors.Is(err, ErrSolverPanic) {
+			// updateInstance published this instance under the target
+			// fingerprint; a panic mid-solve poisons it, so drop that entry
+			// and let the chain's next touch rebuild cold.
+			s.dropInstance(target.Fingerprint()+"|"+w.Name(), inst)
+		}
 		return nil, err
 	}
 	// Same guard as Service.solve: the instance is published under the
@@ -669,7 +807,7 @@ func (s *Service) update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 			return nil, err
 		}
 		warm = false
-		rep, err = fresh.Solve(ctx)
+		rep, err = guardSolve(sol.Name(), func() (*Report, error) { return fresh.Solve(ctx) })
 		if err != nil {
 			return nil, err
 		}
@@ -706,11 +844,17 @@ func (s *Service) updateInstance(w Warmable, base, target *Problem) (Instance, b
 	s.mu.Unlock()
 
 	if claimed != nil {
-		err := claimed.inst.(UpdatableInstance).Update(target)
+		err := guardErr(w.Name(), func() error { return claimed.inst.(UpdatableInstance).Update(target) })
 		if err == nil {
 			s.hits.Add(1)
 			s.putEntry(targetKey, claimed)
 			return claimed.inst, true, nil
+		}
+		if errors.Is(err, ErrSolverPanic) {
+			// The panic may have left the instance half-mutated — valid for
+			// neither base nor target — so drop it instead of putting it
+			// back (the claim already removed it from the cache).
+			return nil, false, err
 		}
 		// The instance could not absorb the update, but it is still a valid
 		// warm instance for the base problem: put it back so base-problem
