@@ -136,11 +136,15 @@ func BenchmarkDualDecomposition(b *testing.B) {
 }
 
 // BenchmarkDecomposeScaling is the partition-planner scaling smoke: for every
-// region count in {2, 4, 8} it runs the service-routed sharded solve of an
-// R-MAT instance under a budget that forces that many regions, asserts the
-// sharded value against the exact one, and reports the relative error and
-// iteration count — so a planner or consensus regression shows up in the
-// benchmark trajectory, not just in unit tests.
+// region budget in {2, 4, 8} it runs the service-routed sharded solve of an
+// R-MAT instance under a vertex budget that asks for that many regions,
+// asserts the sharded value against the exact one, and reports the relative
+// error and iteration count — so a planner or consensus regression shows up
+// in the benchmark trajectory, not just in unit tests.  Subtests are named by
+// the REQUESTED region budget; the planner may legitimately stop below it
+// (growing the region count stops shrinking the largest region on this
+// instance), so the region count actually planned is published as the
+// `planned-regions` metric rather than implied by the name.
 func BenchmarkDecomposeScaling(b *testing.B) {
 	base := rmat.MustGenerate(rmat.SparseParams(256, 1))
 	exact, err := maxflow.OptimalValue(base)
@@ -148,7 +152,7 @@ func BenchmarkDecomposeScaling(b *testing.B) {
 		b.Fatal(err)
 	}
 	for _, regions := range []int{2, 4, 8} {
-		b.Run(fmt.Sprintf("regions=%d", regions), func(b *testing.B) {
+		b.Run(fmt.Sprintf("budget=%d", regions), func(b *testing.B) {
 			budget := solve.Budget{MaxVertices: base.NumVertices()/regions + 40, MaxRegions: regions}
 			svc := solve.NewService(solve.Config{Budget: budget})
 			for i := 0; i < b.N; i++ {
@@ -168,7 +172,7 @@ func BenchmarkDecomposeScaling(b *testing.B) {
 					b.Fatalf("sharded flow %.2f vs exact %.2f: %.1f%% error", rep.FlowValue, exact, 100*relErr)
 				}
 				b.ReportMetric(100*relErr, "rel-err-%")
-				b.ReportMetric(float64(rep.Plan.Regions), "regions")
+				b.ReportMetric(float64(rep.Plan.Regions), "planned-regions")
 				b.ReportMetric(float64(rep.Iterations), "iterations")
 			}
 		})
@@ -287,13 +291,16 @@ func BenchmarkUpdateResolve(b *testing.B) {
 // partition planner's N-region decomposition: a warm chain rides the cached
 // region oracle (solve.Service.Update claims, rebinds and re-publishes it)
 // against a cold from-scratch sharded solve of every mutated problem,
-// interleaved within each iteration.  Value contract: the behavioral backend
-// is deterministic warm or cold, so its warm and cold chains must agree
-// exactly; the exact CPU backends may recover different optimal per-region
-// flows warm, steering the consensus differently, so warm and cold agree to
-// the decomposition tolerance (docs/solver.md, "Warm sharded updates").  The
-// CI bench smoke runs this so a lost warm path (sharded_update_warm_hits
-// staying 0) or a consensus regression fails loudly.
+// interleaved within each iteration.  Value contract: a warm step seeds the
+// consensus from the chain's carried state, so warm and cold follow different
+// outer-loop trajectories for every backend; the escalation band pins each
+// warm value within warmAcceptSlack of the chain's full-consensus accuracy
+// against the exact reference, so warm and cold agree to the consensus
+// tolerance (docs/solver.md, "Consensus warm-start and active-region
+// scheduling") — for dinic both sit at the exact value and rel-err-% is 0.
+// The CI bench smoke runs this and asserts the warm speedup floor, so a lost
+// warm path (sharded_update_warm_hits staying 0, speedup collapsing to ~1x)
+// or a consensus regression fails loudly.
 func BenchmarkShardedUpdateResolve(b *testing.B) {
 	base := rmat.MustGenerate(rmat.SparseParams(200, 3))
 	budget := solve.Budget{MaxVertices: 80}
@@ -315,6 +322,7 @@ func BenchmarkShardedUpdateResolve(b *testing.B) {
 			}
 			var warmTotal, coldTotal time.Duration
 			var relErrSum float64
+			var warmIters, coldIters, skipped int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				upd := experiments.DynamicUpdateStep(prob.Graph(), i)
@@ -329,6 +337,8 @@ func BenchmarkShardedUpdateResolve(b *testing.B) {
 				}
 				prob = res.Problem
 				relErrSum += res.Report.RelativeError
+				warmIters += res.Report.Plan.OuterIterations
+				skipped += res.Report.Plan.RegionSkips
 
 				coldProb, err := solve.NewProblem(prob.Graph().Clone(), solve.WithParams(params))
 				if err != nil {
@@ -343,11 +353,8 @@ func BenchmarkShardedUpdateResolve(b *testing.B) {
 				if cold.Plan == nil || !cold.Plan.Sharded {
 					b.Fatalf("cold step %d not sharded: %+v", i, cold.Plan)
 				}
-				if backend == "behavioral" {
-					if res.Report.FlowValue != cold.FlowValue {
-						b.Fatalf("behavioral warm flow %g != cold flow %g at step %d", res.Report.FlowValue, cold.FlowValue, i)
-					}
-				} else if gap := math.Abs(res.Report.FlowValue-cold.FlowValue) / math.Max(cold.FlowValue, 1); gap > 0.25 {
+				coldIters += cold.Plan.OuterIterations
+				if gap := math.Abs(res.Report.FlowValue-cold.FlowValue) / math.Max(cold.FlowValue, 1); gap > 0.25 {
 					b.Fatalf("warm flow %g vs cold flow %g at step %d: %.0f%% apart, beyond the consensus band",
 						res.Report.FlowValue, cold.FlowValue, i, 100*gap)
 				}
@@ -359,6 +366,9 @@ func BenchmarkShardedUpdateResolve(b *testing.B) {
 			b.ReportMetric(float64(coldTotal.Nanoseconds())/float64(b.N), "cold-ns/step")
 			b.ReportMetric(float64(coldTotal)/float64(warmTotal), "speedup")
 			b.ReportMetric(100*relErrSum/float64(b.N), "rel-err-%")
+			b.ReportMetric(float64(warmIters)/float64(b.N), "warm-iters/step")
+			b.ReportMetric(float64(coldIters)/float64(b.N), "cold-iters/step")
+			b.ReportMetric(float64(skipped)/float64(b.N), "regions-skipped/step")
 		})
 	}
 }

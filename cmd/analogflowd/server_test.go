@@ -478,6 +478,13 @@ func TestSessionShardedChainStaysWarm(t *testing.T) {
 	if health.Stats.CachedOracles != 1 {
 		t.Errorf("healthz cached_oracles %d, want 1", health.Stats.CachedOracles)
 	}
+	if health.Stats.ConsensusWarmStarts < 1 {
+		t.Errorf("healthz consensus_warm_starts %d, want >= 1 (the chain carries consensus state)",
+			health.Stats.ConsensusWarmStarts)
+	}
+	if health.Stats.AvgOuterIterations <= 0 {
+		t.Errorf("healthz avg_outer_iterations %g, want > 0", health.Stats.AvgOuterIterations)
+	}
 }
 
 // flakySolver fails on one specific Solve call (1-based) and succeeds

@@ -10,11 +10,17 @@
 //	benchjson -bench 'Fig10' -count 5 # any benchmark regexp, median of 5
 //	benchjson -parse bench.txt        # reprocess saved `go test -bench` output
 //
-// The output file (-o, default BENCH_PR5.json) is a JSON array with one entry
-// per benchmark, aggregated across -count runs by median:
+// The output file (-out, default BENCH.json) is a JSON array with one entry
+// per benchmark, aggregated across -count runs by median.  Every custom
+// b.ReportMetric unit rides along, so the warm-consensus series — speedup,
+// rel-err-%, warm-iters/step vs cold-iters/step, regions-skipped/step — are
+// published without the command knowing their names.  Historical trajectory
+// files (BENCH_PR5.json, ...) stay in the repository; each PR's run writes the
+// current BENCH.json next to them:
 //
 //	[{"benchmark":"BenchmarkShardedUpdateResolve/dinic","runs":3,
-//	  "ns_per_op":8644225,"metrics":{"speedup":1.08,"rel-err-%":0}}]
+//	  "ns_per_op":8644225,"metrics":{"speedup":17.3,"rel-err-%":0,
+//	  "warm-iters/step":1,"cold-iters/step":13,"regions-skipped/step":2}}]
 package main
 
 import (
@@ -54,7 +60,7 @@ func run(args []string, stdout io.Writer) error {
 		benchtime = fs.String("benchtime", "3x", "go test -benchtime value")
 		count     = fs.Int("count", 3, "go test -count value; metrics are aggregated by median")
 		pkg       = fs.String("pkg", ".", "package to benchmark")
-		out       = fs.String("o", "BENCH_PR5.json", "output JSON file")
+		out       = fs.String("out", "BENCH.json", "output JSON file")
 		parse     = fs.String("parse", "", "parse saved benchmark output from this file instead of running go test")
 	)
 	if err := fs.Parse(args); err != nil {

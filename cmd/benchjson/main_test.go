@@ -81,7 +81,7 @@ func TestRunParseMode(t *testing.T) {
 	// must be scoped to them — the full canonical set is the missing-sample
 	// test below.
 	bench := "^(BenchmarkUpdateResolve|BenchmarkDecomposeScaling)$"
-	if err := run([]string{"-parse", in, "-o", out, "-bench", bench}, &stdout); err != nil {
+	if err := run([]string{"-parse", in, "-out", out, "-bench", bench}, &stdout); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(stdout.String(), "wrote 2 benchmark entries") {
@@ -111,7 +111,7 @@ func TestRunMissingBenchmarkIsNamedError(t *testing.T) {
 	}
 	out := filepath.Join(dir, "bench.json")
 	var stdout bytes.Buffer
-	err := run([]string{"-parse", in, "-o", out}, &stdout)
+	err := run([]string{"-parse", in, "-out", out}, &stdout)
 	var missing *MissingBenchmarksError
 	if !errors.As(err, &missing) {
 		t.Fatalf("want MissingBenchmarksError, got %v", err)
@@ -127,7 +127,7 @@ func TestRunMissingBenchmarkIsNamedError(t *testing.T) {
 	}
 	// A user-supplied regexp carries no per-name expectation: the same input
 	// succeeds when the pattern is not an exact alternation list.
-	if err := run([]string{"-parse", in, "-o", out, "-bench", "Benchmark.*Resolve"}, &stdout); err != nil {
+	if err := run([]string{"-parse", in, "-out", out, "-bench", "Benchmark.*Resolve"}, &stdout); err != nil {
 		t.Errorf("free-form regexp rejected: %v", err)
 	}
 }

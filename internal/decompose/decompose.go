@@ -89,6 +89,14 @@ type Options struct {
 	// iteration; <= 0 selects the internal/parallel default (GOMAXPROCS).
 	// The result is identical for every worker count.
 	Workers int
+	// WarmState seeds the outer loop with the consensus state a previous run
+	// over the same graph structure and partition exported (Result.State);
+	// see the WarmState type for the contract, including the caller's
+	// escalation obligation under capacity increases.  Incompatible state is
+	// ignored region by region.
+	WarmState *WarmState
+	// CarryState exports the final consensus state as Result.State.
+	CarryState bool
 }
 
 // DefaultOptions returns a configuration that converges on the evaluation
@@ -141,6 +149,81 @@ type Result struct {
 	SubproblemSizes []int
 	// History records the flow-value estimate per iteration.
 	History []float64
+	// WarmStarted reports whether a compatible Options.WarmState seeded at
+	// least one region.
+	WarmStarted bool
+	// RegionSolves and RegionSkips count, across all outer iterations, the
+	// region subproblems the oracle actually solved versus the clean regions
+	// whose cached flow was replayed because their subproblem capacities had
+	// not moved since their last solve.
+	RegionSolves int
+	RegionSkips  int
+	// State is the exported consensus state when Options.CarryState is set;
+	// hand it to the next run's Options.WarmState to warm-start it.
+	State *WarmState
+}
+
+// WarmState is the consensus state of one decomposition run over a given
+// graph structure and partition, exported via Result.State (Options.CarryState)
+// and accepted back through Options.WarmState to seed the next run.
+//
+// Graphs[r] is region r's subproblem graph as last solved: its split and
+// virtual edge capacities ARE the consensus boundary allowances, its owned
+// edge capacities record what the flow was computed against.  Flows[r] is the
+// flow of that solve — the region's last boundary reading.  Seeding re-imposes
+// the carried allowances on freshly built regions and replays Flows[r] for
+// every region whose subproblem is bit-identical to its last solve, so an
+// update chain's next step re-solves only the regions the capacity delta
+// actually touched.
+//
+// The carried allowances are BINDING at the previous consensus: they remain a
+// valid relaxation under capacity decreases, but a capacity increase can make
+// a warm run converge below the new optimum.  A caller that cannot rule out
+// increases must validate the warm result against a reference and fall back
+// to a run without WarmState when it falls short (the solve layer's sharded
+// update path escalates exactly this way).
+//
+// State from a different graph structure or partition is ignored region by
+// region — an unseedable region simply starts cold.  A WarmState must not be
+// mutated, and must not be fed into two concurrent runs that also share the
+// Oracle.
+type WarmState struct {
+	Graphs []*graph.Graph
+	Flows  []*graph.Flow
+}
+
+// sameStructure reports whether two graphs share their topology (vertex
+// count, terminals, and edge endpoints in identical order), capacities aside.
+func sameStructure(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() ||
+		a.Source() != b.Source() || a.Sink() != b.Sink() {
+		return false
+	}
+	for i, e := range a.Edges() {
+		if o := b.Edge(i); e.From != o.From || e.To != o.To {
+			return false
+		}
+	}
+	return true
+}
+
+// sameCapacities reports whether g carries bit-identical capacities to ref.
+func sameCapacities(g, ref *graph.Graph) bool {
+	if ref == nil {
+		return false
+	}
+	if g == ref {
+		return true
+	}
+	if g.NumEdges() != ref.NumEdges() {
+		return false
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(i).Capacity != ref.Edge(i).Capacity {
+			return false
+		}
+	}
+	return true
 }
 
 // region is one side of the decomposition with its vertex mapping.
@@ -440,6 +523,41 @@ func SolveContext(ctx context.Context, g *graph.Graph, part Partition, opts Opti
 	groups := part.overlapGroups()
 
 	flows := make([]*graph.Flow, k)
+	// solved[r] is region r's graph as last solved: flows[r] was computed
+	// against exactly its capacities.  A region whose current capacities equal
+	// its last-solved ones is clean — its reading cannot have changed — and
+	// the scheduler replays flows[r] instead of calling the oracle.  The pair
+	// (solved, flows) is also the carried consensus state (Result.State).
+	solved := make([]*graph.Graph, k)
+	if ws := opts.WarmState; ws != nil && len(ws.Graphs) == k && len(ws.Flows) == k {
+		for r := 0; r < k; r++ {
+			wg, wf := ws.Graphs[r], ws.Flows[r]
+			if wg == nil || wf == nil || len(wf.Edge) != wg.NumEdges() ||
+				!sameStructure(wg, regions[r].graph) {
+				continue // this region starts cold; the others may still seed
+			}
+			// Re-impose the carried consensus allowances on the fresh build:
+			// owned and structural boundary capacities come from the NEW
+			// graph, the retarget handles from the carried state.
+			caps := make([]float64, regions[r].graph.NumEdges())
+			for i := range caps {
+				caps[i] = regions[r].graph.Edge(i).Capacity
+			}
+			for _, edges := range regions[r].virtualAt {
+				for _, ei := range edges {
+					caps[ei] = wg.Edge(ei).Capacity
+				}
+			}
+			seeded, err := regions[r].graph.WithCapacities(caps)
+			if err != nil {
+				continue
+			}
+			regions[r].graph = seeded
+			flows[r] = wf
+			solved[r] = wg
+			res.WarmStarted = true
+		}
+	}
 	// bestEstimate is the largest min-over-regions reading seen.  Iteration
 	// one's readings are pure relaxations (every boundary still carries its
 	// structural maximum), so this is a stable upper-side anchor for the
@@ -450,6 +568,23 @@ func SolveContext(ctx context.Context, g *graph.Graph, part Partition, opts Opti
 			return nil, err
 		}
 		res.Iterations = iter
+		// Active-region scheduling: a region is dirty when its capacities
+		// moved since its last solve — owned-edge deltas on a warm-started
+		// entry, retargeted consensus allowances between iterations.  Clean
+		// regions keep their cached flow: the subproblem is bit-identical, so
+		// re-solving it could only reproduce the same reading.  On a warm
+		// start whose replayed readings already agree within tolerance, the
+		// convergence check below exits after this first, mostly-replayed
+		// iteration.
+		dirty := make([]bool, k)
+		for r := range regions {
+			dirty[r] = flows[r] == nil || !sameCapacities(regions[r].graph, solved[r])
+			if dirty[r] {
+				res.RegionSolves++
+			} else {
+				res.RegionSkips++
+			}
+		}
 		// Fan the region solves over the bounded pool.  Each slot is written
 		// by exactly one worker; ForEachLimit returns the lowest-index error,
 		// so the reported failure does not depend on the worker count either.
@@ -462,6 +597,9 @@ func SolveContext(ctx context.Context, g *graph.Graph, part Partition, opts Opti
 					err = fmt.Errorf("decompose: region %d: oracle panicked: %v", r, rec)
 				}
 			}()
+			if !dirty[r] {
+				return nil
+			}
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -474,6 +612,7 @@ func SolveContext(ctx context.Context, g *graph.Graph, part Partition, opts Opti
 					r, len(f.Edge), regions[r].graph.NumEdges())
 			}
 			flows[r] = f
+			solved[r] = regions[r].graph
 			return nil
 		})
 		if err != nil {
@@ -581,6 +720,12 @@ func SolveContext(ctx context.Context, g *graph.Graph, part Partition, opts Opti
 			reg.retargetVirtual(targets)
 		}
 	}
+	if opts.CarryState {
+		st := &WarmState{Graphs: make([]*graph.Graph, k), Flows: make([]*graph.Flow, k)}
+		copy(st.Graphs, solved)
+		copy(st.Flows, flows)
+		res.State = st
+	}
 	return res, nil
 }
 
@@ -605,7 +750,10 @@ func (r *region) throughput(ov, globalSink int, f *graph.Flow) float64 {
 }
 
 // retargetVirtual rewrites the region's virtual-terminal edge capacities to
-// the given per-overlap-vertex targets.
+// the given per-overlap-vertex targets.  Writes that would not change a
+// capacity are skipped, and a region none of whose handles moved keeps its
+// graph object — the active-region scheduler depends on converged or
+// untouched regions staying bit-identical (hence clean) across iterations.
 func (r *region) retargetVirtual(targets map[int]float64) {
 	var caps []float64
 	for ov, edges := range r.virtualAt {
@@ -613,13 +761,20 @@ func (r *region) retargetVirtual(targets map[int]float64) {
 		if !ok {
 			continue
 		}
-		if caps == nil {
-			caps = make([]float64, r.graph.NumEdges())
-			for i := range caps {
-				caps[i] = r.graph.Edge(i).Capacity
-			}
-		}
 		for _, ei := range edges {
+			cur := r.graph.Edge(ei).Capacity
+			if caps != nil {
+				cur = caps[ei]
+			}
+			if cur == target {
+				continue
+			}
+			if caps == nil {
+				caps = make([]float64, r.graph.NumEdges())
+				for i := range caps {
+					caps[i] = r.graph.Edge(i).Capacity
+				}
+			}
 			caps[ei] = target
 		}
 	}

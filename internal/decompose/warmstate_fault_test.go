@@ -1,0 +1,159 @@
+package decompose_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"analogflow/internal/decompose"
+	"analogflow/internal/faultinject"
+	"analogflow/internal/graph"
+	"analogflow/internal/testutil"
+)
+
+// chainLadder builds the straight-chain ladder the warm-start tests use:
+// width parallel source-to-sink chains through layers levels, terminals at
+// terminalCap, interior at interiorCap.  The flow distribution is unique, so
+// consensus settles exactly and a single interior edge bump dirties exactly
+// one region.
+func chainLadder(width, layers int, interiorCap, terminalCap float64) *graph.Graph {
+	n := width*layers + 2
+	g := graph.MustNew(n, 0, n-1)
+	id := func(l, i int) int { return 1 + l*width + i }
+	for i := 0; i < width; i++ {
+		g.MustAddEdge(0, id(0, i), terminalCap)
+	}
+	for l := 0; l < layers-1; l++ {
+		for i := 0; i < width; i++ {
+			g.MustAddEdge(id(l, i), id(l+1, i), interiorCap)
+		}
+	}
+	for i := 0; i < width; i++ {
+		g.MustAddEdge(id(layers-1, i), n-1, terminalCap)
+	}
+	return g
+}
+
+// soleOwnedEdge returns an edge whose endpoints both live in exactly one
+// region — the same one — away from the terminals, plus that region's index.
+func soleOwnedEdge(t *testing.T, g *graph.Graph, part decompose.Partition) (edge, region int) {
+	t.Helper()
+	owners := func(v int) (count, last int) {
+		for r, in := range part.In {
+			if in[v] {
+				count++
+				last = r
+			}
+		}
+		return count, last
+	}
+	for ei, e := range g.Edges() {
+		if e.From == g.Source() || e.From == g.Sink() || e.To == g.Source() || e.To == g.Sink() {
+			continue
+		}
+		cf, rf := owners(e.From)
+		ct, rt := owners(e.To)
+		if cf == 1 && ct == 1 && rf == rt {
+			return ei, rf
+		}
+	}
+	t.Fatal("no interior owned edge on the instance")
+	return -1, -1
+}
+
+// bumpEdge returns a copy of g with one edge's capacity raised by delta.
+func bumpEdge(t *testing.T, g *graph.Graph, edge int, delta float64) *graph.Graph {
+	t.Helper()
+	caps := make([]float64, g.NumEdges())
+	for i := range caps {
+		caps[i] = g.Edge(i).Capacity
+	}
+	caps[edge] += delta
+	out, err := g.WithCapacities(caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestWarmStartDirtyRegionMissImpossible is the scheduler's safety
+// regression, forced through the fault layer: after a capacity update that
+// touches exactly one region, the warm run MUST re-solve that dirty region
+// (a fault planted on its first call must fire and fail the solve) and MUST
+// NOT call the oracle for any clean region (a fault planted on every call of
+// a clean region must never fire).  If the active-region scheduler ever
+// misclassified the dirty region as clean — replaying a stale reading whose
+// subproblem actually changed — the first warm run here would succeed and
+// this test would catch it.
+func TestWarmStartDirtyRegionMissImpossible(t *testing.T) {
+	g := chainLadder(4, 12, 10, 5)
+	part, err := decompose.BFSPartitioner{}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumRegions() != 4 {
+		t.Fatalf("partitioned into %d regions, want 4", part.NumRegions())
+	}
+	edge, dirty := soleOwnedEdge(t, g, part)
+
+	opts := decompose.DefaultOptions()
+	opts.CarryState = true
+	cold, err := decompose.SolveContext(context.Background(), g, part, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Converged || cold.State == nil {
+		t.Fatalf("cold solve: converged=%v state=%v", cold.Converged, cold.State != nil)
+	}
+
+	// The +delta stays inside the interior slack: the exact value, every
+	// other region's subproblem, and the consensus targets are unchanged, so
+	// exactly one region is dirty on the warm run.
+	g2 := bumpEdge(t, g, edge, 5)
+
+	// Sanity: the un-faulted warm run accepts the state, re-solves only the
+	// dirty region, and reproduces the cold value.
+	warm := opts
+	warm.WarmState = cold.State
+	res, err := decompose.SolveContext(context.Background(), g2, part, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarmStarted || !res.Converged {
+		t.Fatalf("warm run: warmstarted=%v converged=%v", res.WarmStarted, res.Converged)
+	}
+	if res.RegionSkips == 0 {
+		t.Error("warm run skipped no regions; the scheduler is inert")
+	}
+	if !testutil.AlmostEqual(res.FlowValue, cold.FlowValue, 1e-9) {
+		t.Errorf("warm flow %g != cold flow %g on a slack-only bump", res.FlowValue, cold.FlowValue)
+	}
+
+	// A fault on the dirty region's first call must fire: the scheduler is
+	// required to re-solve it, not replay its stale reading.
+	inj := faultinject.New(faultinject.Plan{Regions: []faultinject.RegionFault{
+		{Region: dirty, Call: 1, Mode: faultinject.ModeError},
+	}})
+	faulted := warm
+	faulted.Oracle = faultinject.WrapOracle(decompose.ExactOracle(), inj)
+	if _, err := decompose.SolveContext(context.Background(), g2, part, faulted); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("dirty region %d was not re-solved (err=%v); the scheduler replayed a stale reading", dirty, err)
+	}
+
+	// A fault on every call of a clean region must never fire: its subproblem
+	// did not change, so the scheduler replays its carried reading and the
+	// oracle is never consulted for it.
+	clean := (dirty + 1) % part.NumRegions()
+	inj = faultinject.New(faultinject.Plan{Regions: []faultinject.RegionFault{
+		{Region: clean, Call: 0, Mode: faultinject.ModeError},
+	}})
+	guarded := warm
+	guarded.Oracle = faultinject.WrapOracle(decompose.ExactOracle(), inj)
+	res, err = decompose.SolveContext(context.Background(), g2, part, guarded)
+	if err != nil {
+		t.Fatalf("clean region %d was consulted on a warm run: %v", clean, err)
+	}
+	if !testutil.AlmostEqual(res.FlowValue, cold.FlowValue, 1e-9) {
+		t.Errorf("guarded warm flow %g != cold flow %g", res.FlowValue, cold.FlowValue)
+	}
+}

@@ -1,0 +1,207 @@
+package decompose
+
+import (
+	"context"
+	"testing"
+
+	"analogflow/internal/graph"
+	"analogflow/internal/testutil"
+)
+
+// warmPath builds a uniform source-to-sink path of n vertices with one
+// optional off-capacity edge, the minimal instance whose consensus settles
+// exactly (the flow distribution is unique).
+func warmPath(n int, capacity float64, special int, specialCap float64) *graph.Graph {
+	g := graph.MustNew(n, 0, n-1)
+	for v := 0; v < n-1; v++ {
+		c := capacity
+		if v == special {
+			c = specialCap
+		}
+		g.MustAddEdge(v, v+1, c)
+	}
+	return g
+}
+
+func mustPartition(t *testing.T, g *graph.Graph, regions int) Partition {
+	t.Helper()
+	part, err := BFSPartitioner{}.Partition(g, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumRegions() != regions {
+		t.Fatalf("partitioned into %d regions, want %d", part.NumRegions(), regions)
+	}
+	return part
+}
+
+func TestSameStructureAndCapacities(t *testing.T) {
+	a := warmPath(8, 10, -1, 0)
+	b := warmPath(8, 10, -1, 0)
+	if !sameStructure(a, b) {
+		t.Error("identical paths reported structurally different")
+	}
+	if !sameCapacities(a, b) {
+		t.Error("identical capacities reported different")
+	}
+	if !sameCapacities(a, a) {
+		t.Error("pointer-identical graph reported different")
+	}
+	if sameCapacities(a, nil) {
+		t.Error("nil reference reported equal")
+	}
+	c := warmPath(8, 10, 3, 4)
+	if !sameStructure(a, c) {
+		t.Error("capacity change reported as structural")
+	}
+	if sameCapacities(a, c) {
+		t.Error("differing capacities reported equal")
+	}
+	d := warmPath(9, 10, -1, 0)
+	if sameStructure(a, d) {
+		t.Error("different vertex counts reported same structure")
+	}
+}
+
+// TestWarmStateUnchangedGraphSkipsAll: re-running a converged decomposition
+// on the identical graph with its own exported state solves NOTHING — every
+// region's cached reading is replayed, the first convergence check passes,
+// and the run exits after one outer iteration with the identical value.
+func TestWarmStateUnchangedGraphSkipsAll(t *testing.T) {
+	g := warmPath(16, 10, -1, 0)
+	part := mustPartition(t, g, 4)
+	opts := DefaultOptions()
+	opts.CarryState = true
+	cold, err := Solve(g, part, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Converged || cold.State == nil {
+		t.Fatalf("cold: converged=%v state=%v", cold.Converged, cold.State != nil)
+	}
+
+	warm := opts
+	warm.WarmState = cold.State
+	res, err := Solve(g, part, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarmStarted {
+		t.Error("compatible state did not warm-start")
+	}
+	if res.Iterations != 1 {
+		t.Errorf("warm re-run took %d iterations, want 1 (early exit on agreeing readings)", res.Iterations)
+	}
+	if res.RegionSolves != 0 || res.RegionSkips != 4 {
+		t.Errorf("warm re-run solved %d / skipped %d regions, want 0 / 4", res.RegionSolves, res.RegionSkips)
+	}
+	if res.FlowValue != cold.FlowValue {
+		t.Errorf("warm value %g != cold value %g on an unchanged graph", res.FlowValue, cold.FlowValue)
+	}
+}
+
+// TestWarmStateIncompatibleIgnored: state exported under one partition fed
+// into a run over a different partition seeds nothing — the run behaves
+// exactly like a cold one.
+func TestWarmStateIncompatibleIgnored(t *testing.T) {
+	g := warmPath(16, 10, -1, 0)
+	opts := DefaultOptions()
+	opts.CarryState = true
+	four, err := Solve(g, mustPartition(t, g, 4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	two := mustPartition(t, g, 2)
+	coldOpts := DefaultOptions()
+	cold, err := Solve(g, two, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOpts := DefaultOptions()
+	warmOpts.WarmState = four.State
+	res, err := Solve(g, two, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmStarted {
+		t.Error("foreign-partition state reported as a warm start")
+	}
+	if res.FlowValue != cold.FlowValue || res.Iterations != cold.Iterations {
+		t.Errorf("foreign-state run (value %g, %d iters) diverged from cold (value %g, %d iters)",
+			res.FlowValue, res.Iterations, cold.FlowValue, cold.Iterations)
+	}
+}
+
+// TestWarmStateDecreaseReconverges: carried allowances stay a valid
+// relaxation under capacity DECREASES, so a warm run over a dropped
+// bottleneck must re-converge to the same value a cold run finds.
+func TestWarmStateDecreaseReconverges(t *testing.T) {
+	g := warmPath(16, 10, -1, 0)
+	part := mustPartition(t, g, 4)
+	opts := DefaultOptions()
+	opts.CarryState = true
+	cold, err := SolveContext(context.Background(), g, part, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := warmPath(16, 10, 5, 3) // drop one interior edge to 3: new optimum 3
+	warm := opts
+	warm.WarmState = cold.State
+	res, err := SolveContext(context.Background(), g2, part, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SolveContext(context.Background(), g2, part, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarmStarted || !res.Converged {
+		t.Fatalf("warm decrease run: warmstarted=%v converged=%v", res.WarmStarted, res.Converged)
+	}
+	if !testutil.AlmostEqual(res.FlowValue, 3.0, 1e-9) {
+		t.Errorf("warm value %g after bottleneck drop, want 3", res.FlowValue)
+	}
+	if !testutil.AlmostEqual(res.FlowValue, ref.FlowValue, 1e-9) {
+		t.Errorf("warm value %g != cold value %g on the dropped-bottleneck graph", res.FlowValue, ref.FlowValue)
+	}
+	if res.RegionSolves >= ref.RegionSolves {
+		t.Errorf("warm run solved %d regions, cold solved %d; the scheduler saved nothing",
+			res.RegionSolves, ref.RegionSolves)
+	}
+}
+
+// TestCarryStateExport pins the export contract: State is nil unless
+// requested, and when requested it carries one solved graph and flow per
+// region, safe to feed back as WarmState.
+func TestCarryStateExport(t *testing.T) {
+	g := warmPath(16, 10, -1, 0)
+	part := mustPartition(t, g, 4)
+
+	plain, err := Solve(g, part, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.State != nil {
+		t.Error("State exported without CarryState")
+	}
+
+	opts := DefaultOptions()
+	opts.CarryState = true
+	res, err := Solve(g, part, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State == nil {
+		t.Fatal("CarryState set but State is nil")
+	}
+	if len(res.State.Graphs) != 4 || len(res.State.Flows) != 4 {
+		t.Fatalf("state carries %d graphs / %d flows, want 4 / 4", len(res.State.Graphs), len(res.State.Flows))
+	}
+	for r := 0; r < 4; r++ {
+		if res.State.Graphs[r] == nil || res.State.Flows[r] == nil {
+			t.Errorf("region %d: nil carried graph or flow", r)
+		}
+	}
+}

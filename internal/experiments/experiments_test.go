@@ -192,6 +192,9 @@ func TestDynamicUpdatesSmall(t *testing.T) {
 	if !strings.Contains(sharded[len(sharded)-1], "gap") {
 		t.Errorf("sharded row reports %q, want the warm-vs-cold gap", sharded[len(sharded)-1])
 	}
+	if !strings.Contains(sharded[len(sharded)-2], " vs ") {
+		t.Errorf("sharded row outer-iters cell %q, want warm vs cold iterations per step", sharded[len(sharded)-2])
+	}
 	shed := tab.Rows[4]
 	if !strings.HasPrefix(shed[1], "shed") {
 		t.Errorf("last row mode %q, want the overload shed row", shed[1])

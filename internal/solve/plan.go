@@ -98,6 +98,19 @@ type Plan struct {
 	// budget-sized regions the planner ships the best partition it found;
 	// oversized entries here are the signal.
 	RegionVertices []int `json:"region_vertices,omitempty"`
+	// OuterIterations, RegionSolves and RegionSkips describe the consensus
+	// work of a sharded solve: outer iterations executed (a rejected warm
+	// quick attempt included), region subproblems the oracle actually solved,
+	// and clean regions replayed from carried state instead of re-solved.
+	OuterIterations int `json:"outer_iterations,omitempty"`
+	RegionSolves    int `json:"region_solves,omitempty"`
+	RegionSkips     int `json:"region_skips,omitempty"`
+	// WarmStart reports whether carried consensus state seeded the run;
+	// Escalated whether the warm quick attempt was rejected (unconverged, or
+	// outside the acceptance band against the exact reference) and the full
+	// consensus re-ran on the still-warm region instances.
+	WarmStart bool `json:"warm_start,omitempty"`
+	Escalated bool `json:"escalated,omitempty"`
 }
 
 // planFor decides monolithic-vs-sharded execution for p under budget b and,
@@ -237,6 +250,20 @@ type regionOracle struct {
 	// coldRebuilds counts post-first-build instance reconstructions — the
 	// warm-path regressions the planner tests pin to zero.
 	coldRebuilds int
+
+	// consensus is the decomposition state of this oracle's last sharded
+	// solve (decompose.WarmState), carried across Service.Update steps by the
+	// oracle cache so the next step can seed its outer loop instead of
+	// re-running consensus from the structural relaxation.  baselineRelErr is
+	// the relative error of the last FULL consensus run — the acceptance
+	// reference for warm quick attempts (a warm result is only accepted while
+	// it stays within a small band of what full consensus achieves on this
+	// chain).  Both are touched only by the single solvePlanned run that has
+	// claimed the oracle, never by concurrent region solves, so they ride
+	// outside the mutex.
+	consensus      *decompose.WarmState
+	baselineRelErr float64
+	hasBaseline    bool
 }
 
 // oracleRegion is the warm state of one region's solver chain.
@@ -421,6 +448,21 @@ func capacityDiff(oldG, newG *graph.Graph) (graph.CapacityUpdate, bool) {
 	return u, true
 }
 
+// warmQuickIterations bounds the outer loop of a warm quick attempt: a
+// seeded consensus either settles within a few iterations (the common case —
+// one dirty region, readings re-agree immediately) or it is cheaper to
+// escalate to the full run than to grind the truncated one.
+const warmQuickIterations = 8
+
+// warmAcceptSlack widens the acceptance band for warm quick attempts: a warm
+// result is accepted only while its relative error stays within this factor
+// of what the last full consensus run achieved on the same chain.  Carried
+// consensus allowances are binding, so a capacity increase can converge below
+// the new optimum — the band (measured against the memoised exact reference
+// the sharded reports compute anyway) is what catches that and forces the
+// escalation the decompose.WarmState contract demands.
+const warmAcceptSlack = 1.25
+
 // solvePlanned executes a sharded plan: the dual decomposition of the
 // problem's graph under the plan's partition, with the requested backend as
 // the warm region oracle.  The report carries the backend's name and the
@@ -428,7 +470,17 @@ func capacityDiff(oldG, newG *graph.Graph) (graph.CapacityUpdate, bool) {
 // split.  wrap, when non-nil, decorates the oracle (the service binds each
 // region solve to a worker slot through it).  The caller owns the oracle: a
 // fresh one makes the solve cold, one claimed from the oracle cache carries
-// the previous solve's warm region instances into this run.
+// the previous solve's warm region instances — and the consensus state of
+// the previous step — into this run.
+//
+// With carried consensus state the run is two-phase: a warm quick attempt
+// seeds the outer loop from that state under a small iteration budget, and
+// its result is accepted only if it converged AND lands inside the
+// warmAcceptSlack band of the chain's full-consensus accuracy; otherwise the
+// full consensus re-runs from the structural relaxation (still on the warm
+// region instances, which absorb the retargets incrementally).  The full run
+// refreshes the acceptance baseline; accepted quick attempts never do, so a
+// drifting warm value cannot ratchet its own acceptance band.
 func solvePlanned(ctx context.Context, sol Solver, p *Problem, plan *Plan, part decompose.Partition, workers int, wrap func(decompose.Oracle) decompose.Oracle, oracle *regionOracle) (*Report, error) {
 	opts := p.DecomposeOptions()
 	opts.Oracle = oracle
@@ -438,15 +490,68 @@ func solvePlanned(ctx context.Context, sol Solver, p *Problem, plan *Plan, part 
 	if workers > 0 {
 		opts.Workers = workers
 	}
+	opts.CarryState = true
 	start := time.Now()
-	res, err := decompose.SolveContext(ctx, p.Graph(), part, opts)
-	if err != nil {
-		return nil, err
+	var res *decompose.Result
+	warmStart, escalated := false, false
+	quickIters, quickSolves, quickSkips := 0, 0, 0
+	if oracle.consensus != nil {
+		quick := opts
+		quick.WarmState = oracle.consensus
+		if quick.MaxIterations > warmQuickIterations {
+			quick.MaxIterations = warmQuickIterations
+		}
+		qres, err := decompose.SolveContext(ctx, p.Graph(), part, quick)
+		if err != nil {
+			return nil, err
+		}
+		warmStart = qres.WarmStarted
+		accept := qres.Converged
+		if accept {
+			exact, err := p.ExactValue(ctx)
+			if err != nil {
+				return nil, err
+			}
+			band := oracle.baselineRelErr*warmAcceptSlack + 1e-9
+			if !oracle.hasBaseline {
+				band = p.DecomposeOptions().Tolerance
+			}
+			accept = graph.RelativeError(qres.FlowValue, exact) <= band
+		}
+		if accept {
+			res = qres
+		} else {
+			escalated = true
+			quickIters = qres.Iterations
+			quickSolves = qres.RegionSolves
+			quickSkips = qres.RegionSkips
+		}
 	}
+	if res == nil {
+		full := opts
+		full.WarmState = nil
+		fres, err := decompose.SolveContext(ctx, p.Graph(), part, full)
+		if err != nil {
+			return nil, err
+		}
+		exact, err := p.ExactValue(ctx)
+		if err != nil {
+			return nil, err
+		}
+		oracle.baselineRelErr = graph.RelativeError(fres.FlowValue, exact)
+		oracle.hasBaseline = true
+		res = fres
+	}
+	oracle.consensus = res.State
 	elapsed := time.Since(start)
 	planned := *plan
 	planned.Regions = res.Regions
 	planned.RegionVertices = res.SubproblemSizes
+	planned.OuterIterations = res.Iterations + quickIters
+	planned.RegionSolves = res.RegionSolves + quickSolves
+	planned.RegionSkips = res.RegionSkips + quickSkips
+	planned.WarmStart = warmStart
+	planned.Escalated = escalated
 	rep := &Report{
 		Solver:     sol.Name(),
 		FlowValue:  res.FlowValue,

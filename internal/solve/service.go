@@ -95,6 +95,11 @@ type Service struct {
 	shardedUpd     atomic.Int64
 	shardedUpdWarm atomic.Int64
 	regionRebuilds atomic.Int64
+	consensusWarm  atomic.Int64
+	consensusEsc   atomic.Int64
+	regionsSkipped atomic.Int64
+	outerIters     atomic.Int64
+	outerRuns      atomic.Int64
 	shedRequests   atomic.Int64
 	solverPanics   atomic.Int64
 }
@@ -177,6 +182,17 @@ type Stats struct {
 	ShardedUpdateWarmHits int64 `json:"sharded_update_warm_hits"`
 	RegionColdRebuilds    int64 `json:"region_cold_rebuilds"`
 	CachedOracles         int   `json:"cached_oracles"`
+	// ConsensusWarmStarts counts sharded solves whose consensus outer loop
+	// was seeded from the chain's carried state; ConsensusEscalations the
+	// subset whose warm quick attempt was rejected (unconverged or outside
+	// the acceptance band) and re-ran the full consensus.  RegionsSkipped
+	// totals the clean regions replayed from carried state instead of
+	// re-solved, and AvgOuterIterations is the mean consensus outer-iteration
+	// count per sharded solve — the number the warm start exists to shrink.
+	ConsensusWarmStarts  int64   `json:"consensus_warm_starts"`
+	ConsensusEscalations int64   `json:"consensus_escalations"`
+	RegionsSkipped       int64   `json:"regions_skipped"`
+	AvgOuterIterations   float64 `json:"avg_outer_iterations"`
 	// ShedRequests counts requests the admission queue rejected with
 	// ErrOverloaded (deadline unmeetable or queue full) — they never held a
 	// worker slot.  QueueDepth is the current sheddable-waiter population.
@@ -196,6 +212,10 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	cached := len(s.cache)
 	s.mu.Unlock()
+	var avgOuter float64
+	if runs := s.outerRuns.Load(); runs > 0 {
+		avgOuter = float64(s.outerIters.Load()) / float64(runs)
+	}
 	return Stats{
 		Requests:        s.requests.Load(),
 		Errors:          s.errors.Load(),
@@ -213,6 +233,10 @@ func (s *Service) Stats() Stats {
 		ShardedUpdateWarmHits: s.shardedUpdWarm.Load(),
 		RegionColdRebuilds:    s.regionRebuilds.Load(),
 		CachedOracles:         s.oracles.size(),
+		ConsensusWarmStarts:   s.consensusWarm.Load(),
+		ConsensusEscalations:  s.consensusEsc.Load(),
+		RegionsSkipped:        s.regionsSkipped.Load(),
+		AvgOuterIterations:    avgOuter,
 		ShedRequests:          s.shedRequests.Load(),
 		QueueDepth:            int64(s.adm.queueDepth()),
 		SolverPanics:          s.solverPanics.Load(),
@@ -462,6 +486,19 @@ func (s *Service) planAndRoute(ctx context.Context, sol Solver, base, target *Pr
 		// entry.  The per-region instances have already dropped any state an
 		// aborted solve corrupted (cpuInstance/Session poisoning contract).
 		return nil, true, false, err
+	}
+	// Consensus accounting: the plan records what the outer loop actually did
+	// (warm seed, escalation, skips, iterations); the counters aggregate it.
+	if pl := rep.Plan; pl != nil {
+		s.outerIters.Add(int64(pl.OuterIterations))
+		s.outerRuns.Add(1)
+		s.regionsSkipped.Add(int64(pl.RegionSkips))
+		if pl.WarmStart {
+			s.consensusWarm.Add(1)
+		}
+		if pl.Escalated {
+			s.consensusEsc.Add(1)
+		}
 	}
 	// Re-publish under the fingerprint the oracle now answers for.  A
 	// structural step (positivity flip inside a region, a flipped boundary

@@ -9,6 +9,7 @@ import (
 	"analogflow/internal/decompose"
 	"analogflow/internal/graph"
 	"analogflow/internal/rmat"
+	"analogflow/internal/testutil"
 )
 
 // interiorOwnedEdges returns the edges whose endpoints both belong to exactly
@@ -232,14 +233,16 @@ func TestShardedUpdateStructuralStepRepublishes(t *testing.T) {
 	}
 }
 
-// TestShardedUpdateBehavioralWarmEqualsCold: on the deterministic behavioral
-// backend a warm sharded step and a cold from-scratch sharded solve of the
-// same mutated problem produce the same flow value exactly — warm region
-// sessions are bit-identical to fresh ones, so the consensus trajectories
-// coincide.  (The CPU backends only promise tolerance here: a warm residual
-// may recover a different optimal per-region flow, steering the consensus
-// differently.)
-func TestShardedUpdateBehavioralWarmEqualsCold(t *testing.T) {
+// TestShardedUpdateBehavioralWarmMatchesCold: a warm sharded step seeds the
+// consensus outer loop from the chain's carried state, so its trajectory —
+// and with it the final reading — legitimately differs from a cold
+// from-scratch solve of the same mutated problem (before the consensus
+// warm-start the behavioral chains agreed exactly; that contract is gone by
+// design).  What holds instead is the escalation band: a warm value is only
+// ever accepted within warmAcceptSlack of the chain's full-consensus
+// accuracy against the exact reference, so warm and cold must agree to the
+// consensus tolerance.
+func TestShardedUpdateBehavioralWarmMatchesCold(t *testing.T) {
 	g := rmat.MustGenerate(rmat.SparseParams(200, 3))
 	budget := Budget{MaxVertices: 80}
 	params := core.DefaultParams()
@@ -276,8 +279,8 @@ func TestShardedUpdateBehavioralWarmEqualsCold(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cold step %d: %v", k, err)
 		}
-		if res.Report.FlowValue != cold.FlowValue {
-			t.Errorf("step %d: warm flow %g != cold flow %g", k, res.Report.FlowValue, cold.FlowValue)
+		if !testutil.AlmostEqual(res.Report.FlowValue, cold.FlowValue, 0.25) {
+			t.Errorf("step %d: warm flow %g vs cold flow %g, beyond the consensus band", k, res.Report.FlowValue, cold.FlowValue)
 		}
 	}
 }
@@ -426,11 +429,20 @@ func TestShardedOracleConcurrencyMatrix(t *testing.T) {
 	}
 }
 
-// TestShardedSerialVsConcurrentUpdateIdentity: two behavioral update chains
-// branching off one base produce identical per-step flow values whether the
-// chains run one after the other or concurrently — whoever wins the warm
-// oracle, behavioral warm and cold solves are bit-identical, so the
-// interleaving is invisible in the reports.
+// TestShardedSerialVsConcurrentUpdateIdentity pins what the warm sharded
+// chain still promises about scheduling:
+//
+//  1. One chain is exactly deterministic: re-running the same behavioral
+//     update chain on a fresh service produces bit-identical per-step values
+//     for any worker count (the decomposition, the active-region scheduler
+//     and the warm accept/escalate decision are all worker-count invariant).
+//  2. Two chains racing for one base's oracle are only tolerance-identical:
+//     whoever claims the warm oracle seeds its consensus from carried state
+//     while the loser runs cold, and with the consensus warm-start those two
+//     trajectories legitimately differ — the escalation band keeps every
+//     report within the consensus tolerance, but exact serial-vs-concurrent
+//     equality is no longer a contract (it held before this warm start only
+//     because warm and cold consensus ran identically).
 func TestShardedSerialVsConcurrentUpdateIdentity(t *testing.T) {
 	g := rmat.MustGenerate(rmat.SparseParams(200, 3))
 	budget := Budget{MaxVertices: 80}
@@ -441,8 +453,38 @@ func TestShardedSerialVsConcurrentUpdateIdentity(t *testing.T) {
 	}
 	edges := interiorOwnedEdges(g, part)
 
-	// run executes both chains, serially or concurrently, and returns the
-	// per-chain per-step flow values.
+	// runOne executes a single 3-step chain on a fresh service with the given
+	// worker count and returns its per-step flow values.
+	runOne := func(workers int) []float64 {
+		svc := NewService(Config{Workers: workers, Budget: budget})
+		prob := mustProblem(t, g, params)
+		if _, err := svc.Solve(context.Background(), Request{Solver: "behavioral", Problem: prob}); err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for k := 0; k < 3; k++ {
+			upd := shardedChainStep(prob.Graph(), edges, k)
+			res, err := svc.Update(context.Background(), UpdateRequest{Solver: "behavioral", Problem: prob, Update: upd})
+			if err != nil {
+				t.Fatalf("workers=%d step %d: %v", workers, k, err)
+			}
+			out = append(out, res.Report.FlowValue)
+			prob = res.Problem
+		}
+		return out
+	}
+	ref := runOne(1)
+	for _, workers := range []int{2, 4} {
+		got := runOne(workers)
+		for k := range ref {
+			if got[k] != ref[k] {
+				t.Errorf("workers=%d step %d: flow %g != workers=1 flow %g", workers, k, got[k], ref[k])
+			}
+		}
+	}
+
+	// run executes two chains branching off one base, serially or
+	// concurrently, and returns the per-chain per-step flow values.
 	run := func(concurrent bool) [2][]float64 {
 		svc := NewService(Config{Workers: 4, Budget: budget})
 		base := mustProblem(t, g, params)
@@ -483,8 +525,9 @@ func TestShardedSerialVsConcurrentUpdateIdentity(t *testing.T) {
 			t.Fatalf("chain %d incomplete: serial %v concurrent %v", i, serial[i], concurrent[i])
 		}
 		for k := range serial[i] {
-			if serial[i][k] != concurrent[i][k] {
-				t.Errorf("chain %d step %d: serial %g != concurrent %g", i, k, serial[i][k], concurrent[i][k])
+			if !testutil.AlmostEqual(serial[i][k], concurrent[i][k], 0.25) {
+				t.Errorf("chain %d step %d: serial %g vs concurrent %g, beyond the consensus band",
+					i, k, serial[i][k], concurrent[i][k])
 			}
 		}
 	}
