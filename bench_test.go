@@ -286,6 +286,82 @@ func BenchmarkUpdateResolve(b *testing.B) {
 	}
 }
 
+// BenchmarkStructuralUpdateResolve measures the structural-dynamics workload:
+// a churn chain that parks an edge, reclaims the slot and retargets
+// capacities in rotation, re-solved warm through solve.Service.Update against
+// a cold from-scratch solve of every mutated problem, interleaved within each
+// iteration.  The park target is chosen so the prune keeps its slot resident
+// (no stranded vertex), which is exactly the regime where parks and reclaims
+// must stay value-level; every step asserts warm == cold flow values, and the
+// warm-fraction metric exposes a lost structural warm path to the CI bench
+// smoke alongside the speedup.
+func BenchmarkStructuralUpdateResolve(b *testing.B) {
+	base := rmat.MustGenerate(rmat.DenseParams(960, 1))
+	// Park target whose slot stays resident in the prune: parking it is a
+	// pure value-level structural update.
+	target := experiments.SlotStableParkTarget(base)
+	if target < 0 {
+		b.Fatal("no slot-stable park target on this instance")
+	}
+	reAdd := base.Edge(target)
+	params := core.DefaultParams()
+	for _, backend := range []string{"dinic", "behavioral"} {
+		b.Run(backend, func(b *testing.B) {
+			svc := solve.NewService(solve.Config{Workers: 1})
+			reg := solve.DefaultRegistry()
+			prob, err := solve.NewProblem(base, solve.WithParams(params))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Solve(context.Background(), solve.Request{Solver: backend, Problem: prob, Updatable: true}); err != nil {
+				b.Fatal(err)
+			}
+			var warmTotal, coldTotal time.Duration
+			warmSteps := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := solve.UpdateRequest{Solver: backend, Problem: prob}
+				switch i % 3 {
+				case 0: // park the target edge
+					req.Structural = &graph.StructuralUpdate{RemoveEdges: []int{target}}
+				case 1: // reclaim the slot
+					req.Structural = &graph.StructuralUpdate{AddEdges: []graph.Edge{{From: reAdd.From, To: reAdd.To, Capacity: reAdd.Capacity}}}
+				default: // capacity retarget
+					req.Update = experiments.DynamicUpdateStep(prob.Graph(), i)
+				}
+				start := time.Now()
+				res, err := svc.Update(context.Background(), req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				warmTotal += time.Since(start)
+				if res.Warm {
+					warmSteps++
+				}
+				prob = res.Problem
+
+				coldProb, err := solve.NewProblem(prob.Graph().Clone(), solve.WithParams(params))
+				if err != nil {
+					b.Fatal(err)
+				}
+				start = time.Now()
+				cold, err := reg.Solve(context.Background(), backend, coldProb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				coldTotal += time.Since(start)
+				if res.Report.FlowValue != cold.FlowValue {
+					b.Fatalf("warm flow %g != cold flow %g at step %d", res.Report.FlowValue, cold.FlowValue, i)
+				}
+			}
+			b.ReportMetric(float64(warmTotal.Nanoseconds())/float64(b.N), "warm-ns/step")
+			b.ReportMetric(float64(coldTotal.Nanoseconds())/float64(b.N), "cold-ns/step")
+			b.ReportMetric(float64(coldTotal)/float64(warmTotal), "speedup")
+			b.ReportMetric(float64(warmSteps)/float64(b.N), "warm-fraction")
+		})
+	}
+}
+
 // BenchmarkShardedUpdateResolve measures the dynamic-graph workload on an
 // instance ABOVE the substrate budget, so every step runs through the
 // partition planner's N-region decomposition: a warm chain rides the cached

@@ -258,8 +258,9 @@ func TestDrainSessionUpdateEmitsTerminalRecord(t *testing.T) {
 
 // TestSessionTTLEvictionFreesWarmState pins the session lifecycle: an idle
 // session past the TTL is evicted by the janitor sweep, its warm solver
-// state is released, later updates see 404, and the eviction is accounted in
-// /v1/healthz.
+// state is released, later updates see 410 Gone with a session-expired body
+// (distinct from the 404 an unknown id gets), and the eviction is accounted
+// in /v1/healthz.
 func TestSessionTTLEvictionFreesWarmState(t *testing.T) {
 	svc := solve.NewService(solve.Config{Workers: 1})
 	srv := newServer(svc, serverConfig{sessionTTL: 50 * time.Millisecond})
@@ -299,9 +300,39 @@ func TestSessionTTLEvictionFreesWarmState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var gone map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&gone); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("update on evicted session: status %d, want 410", resp.StatusCode)
+	}
+	if gone["error"] != "session expired" {
+		t.Errorf("410 body %v, want error=session expired", gone)
+	}
+	if idle, ok := gone["idle"].(float64); !ok || idle <= 0 {
+		t.Errorf("410 body %v lacks a positive idle duration", gone)
+	}
+	// An id that never existed stays a plain 404.
+	resp, err = http.Post(ts.URL+"/v1/sessions/never-existed/update", "application/json",
+		strings.NewReader(`{"updates":[{"edge":0,"capacity":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("update on evicted session: status %d, want 404", resp.StatusCode)
+		t.Errorf("update on unknown session: status %d, want 404", resp.StatusCode)
+	}
+	// DELETE distinguishes the same way.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+id, nil)
+	resp, err = http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("delete on evicted session: status %d, want 410", resp.StatusCode)
 	}
 	resp, err = http.Get(ts.URL + "/v1/healthz")
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -46,7 +47,12 @@ type server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
-	nextID   int64
+	// tombstones remembers TTL-evicted session ids with the idle time that
+	// killed them, so a client returning to an expired session gets 410 Gone
+	// (re-create and continue) instead of the 404 a typo gets.  Bounded at
+	// maxTombstones; the oldest entry is dropped first.
+	tombstones map[string]tombstone
+	nextID     int64
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -65,10 +71,17 @@ type session struct {
 
 	mu      sync.Mutex
 	problem *solve.Problem
-	// updates counts the capacity-update steps applied over the session's
-	// lifetime; every update stream's done record reports it.
+	// updates counts the update steps (capacity and structural) applied over
+	// the session's lifetime; every update stream's done record reports it.
 	updates int
 	deleted bool
+}
+
+// tombstone records a TTL-evicted session: the idle time that expired it and
+// when the eviction happened (used to drop the oldest entry at the cap).
+type tombstone struct {
+	idle time.Duration
+	at   time.Time
 }
 
 // touch stamps the session as just used.
@@ -81,7 +94,8 @@ func (sess *session) idle(now time.Time) time.Duration {
 
 // newServer builds the facade; handler() wires its routes.
 func newServer(svc *solve.Service, cfg serverConfig) *server {
-	return &server{svc: svc, cfg: cfg, start: time.Now(), sessions: make(map[string]*session)}
+	return &server{svc: svc, cfg: cfg, start: time.Now(),
+		sessions: make(map[string]*session), tombstones: make(map[string]tombstone)}
 }
 
 // newHandler wires the API routes with default failure-domain knobs; it is
@@ -198,15 +212,44 @@ func (s *server) evictExpired(now time.Time) int {
 		}
 		sess.deleted = true
 		prob, solver := sess.problem, sess.solver
+		idle := sess.idle(now)
 		sess.mu.Unlock()
 		s.mu.Lock()
 		delete(s.sessions, sess.id)
+		s.recordTombstoneLocked(sess.id, idle, now)
 		s.mu.Unlock()
 		s.svc.Release(prob, solver)
 		s.expired.Add(1)
 		n++
 	}
 	return n
+}
+
+// recordTombstoneLocked remembers a TTL eviction so later requests against the
+// id can answer 410 Gone instead of 404.  Callers hold s.mu.  The table is
+// bounded: at the cap the oldest tombstone is dropped, degrading its id back
+// to a plain 404 — acceptable, since tombstones are a courtesy, not state.
+func (s *server) recordTombstoneLocked(id string, idle time.Duration, now time.Time) {
+	if len(s.tombstones) >= maxTombstones {
+		oldestID, oldest := "", time.Time{}
+		for tid, ts := range s.tombstones {
+			if oldestID == "" || ts.at.Before(oldest) {
+				oldestID, oldest = tid, ts.at
+			}
+		}
+		delete(s.tombstones, oldestID)
+	}
+	s.tombstones[id] = tombstone{idle: idle, at: now}
+}
+
+// writeSessionExpired answers for a tombstoned session id: 410 Gone tells the
+// client the session existed and was TTL-evicted (re-create and replay), as
+// opposed to the 404 an id that never existed gets.
+func (s *server) writeSessionExpired(w http.ResponseWriter, ts tombstone) {
+	s.writeJSON(w, http.StatusGone, map[string]any{
+		"error": "session expired",
+		"idle":  ts.idle.Seconds(),
+	})
 }
 
 // sessionCapError builds the 429 message for a full session table, naming
@@ -260,14 +303,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	sessions := len(s.sessions)
 	s.mu.Unlock()
+	stats := s.svc.Stats()
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":             "ok",
-		"uptime_seconds":     time.Since(s.start).Seconds(),
-		"sessions":           sessions,
-		"draining":           s.draining.Load(),
-		"client_disconnects": s.disconnects.Load(),
-		"expired_sessions":   s.expired.Load(),
-		"stats":              s.svc.Stats(),
+		"status":                   "ok",
+		"uptime_seconds":           time.Since(s.start).Seconds(),
+		"sessions":                 sessions,
+		"draining":                 s.draining.Load(),
+		"client_disconnects":       s.disconnects.Load(),
+		"expired_sessions":         s.expired.Load(),
+		"structural_updates":       stats.StructuralUpdates,
+		"slack_exhausted_rebuilds": stats.SlackExhaustedRebuilds,
+		"stats":                    stats,
 	})
 }
 
@@ -366,6 +412,7 @@ const (
 	maxBatchEdges    = 16 << 20
 	maxSessions      = 256
 	maxUpdateSteps   = maxBatchProblems
+	maxTombstones    = 4 * maxSessions
 )
 
 // buildProblem converts one spec into a validated solve.Problem.
@@ -652,13 +699,75 @@ type edgeUpdate struct {
 	Capacity float64 `json:"capacity"`
 }
 
-// sessionUpdateRequest carries one or more capacity-update steps.  Each step
-// is one atomic CapacityUpdate applied to the session's current problem; the
-// response streams one NDJSON report per step.  "updates" is shorthand for a
-// single step.
+// stepSpec is one update step.  Two wire forms are accepted: the legacy array
+// form — a bare list of {"edge","capacity"} mutations — and the object form,
+// which can combine a capacity component ("updates") with structural
+// mutations in one atomic step: "add_edges" lists [from, to, capacity]
+// triples (same shape as inline problem edges) and "remove_edges" lists edge
+// indices to park.  Within a mixed step the capacity component applies first
+// (its indices refer to the pre-step edge list), then the structural one.
+type stepSpec struct {
+	Updates     []edgeUpdate
+	AddEdges    [][3]float64
+	RemoveEdges []int
+}
+
+func (sp *stepSpec) UnmarshalJSON(b []byte) error {
+	if t := bytes.TrimLeft(b, " \t\r\n"); len(t) > 0 && t[0] == '[' {
+		return json.Unmarshal(b, &sp.Updates)
+	}
+	var obj struct {
+		Updates     []edgeUpdate `json:"updates,omitempty"`
+		AddEdges    [][3]float64 `json:"add_edges,omitempty"`
+		RemoveEdges []int        `json:"remove_edges,omitempty"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&obj); err != nil {
+		return err
+	}
+	sp.Updates, sp.AddEdges, sp.RemoveEdges = obj.Updates, obj.AddEdges, obj.RemoveEdges
+	return nil
+}
+
+// updateStep is one resolved step of a session update chain.
+type updateStep struct {
+	capacity   graph.CapacityUpdate
+	structural *graph.StructuralUpdate
+}
+
+// step converts the wire spec into the service's update vocabulary, rejecting
+// non-integer endpoints in add_edges.
+func (sp stepSpec) step() (updateStep, error) {
+	var st updateStep
+	for _, e := range sp.Updates {
+		st.capacity.Edges = append(st.capacity.Edges, e.Edge)
+		st.capacity.Capacities = append(st.capacity.Capacities, e.Capacity)
+	}
+	if len(sp.AddEdges) == 0 && len(sp.RemoveEdges) == 0 {
+		return st, nil
+	}
+	su := &graph.StructuralUpdate{RemoveEdges: sp.RemoveEdges}
+	for i, e := range sp.AddEdges {
+		if e[0] != math.Trunc(e[0]) || e[1] != math.Trunc(e[1]) {
+			return st, fmt.Errorf("add_edges[%d] has non-integer endpoints [%g, %g]", i, e[0], e[1])
+		}
+		su.AddEdges = append(su.AddEdges, graph.Edge{From: int(e[0]), To: int(e[1]), Capacity: e[2]})
+	}
+	st.structural = su
+	return st, nil
+}
+
+// sessionUpdateRequest carries one or more update steps.  Each step is one
+// atomic mutation of the session's current problem — capacity changes,
+// structural edge insertion/removal, or both — and the response streams one
+// NDJSON report per step.  The top-level "updates"/"add_edges"/"remove_edges"
+// fields are shorthand for a single leading step.
 type sessionUpdateRequest struct {
-	Updates []edgeUpdate   `json:"updates,omitempty"`
-	Steps   [][]edgeUpdate `json:"steps,omitempty"`
+	Updates     []edgeUpdate `json:"updates,omitempty"`
+	AddEdges    [][3]float64 `json:"add_edges,omitempty"`
+	RemoveEdges []int        `json:"remove_edges,omitempty"`
+	Steps       []stepSpec   `json:"steps,omitempty"`
 	// TimeoutMS bounds each step of the request; 0 falls back to the
 	// server's -default-timeout.  Update steps ride the admission queue's
 	// priority lane, so a session chain is shed only behind other priority
@@ -758,15 +867,27 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *server) lookupSession(id string) *session {
+// lookupSession resolves an id to a live session, or — when the id was
+// TTL-evicted — to its tombstone.  (nil, nil) means the id never existed.
+func (s *server) lookupSession(id string) (*session, *tombstone) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sessions[id]
+	if sess := s.sessions[id]; sess != nil {
+		return sess, nil
+	}
+	if ts, ok := s.tombstones[id]; ok {
+		return nil, &ts
+	}
+	return nil, nil
 }
 
 func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookupSession(r.PathValue("id"))
+	sess, ts := s.lookupSession(r.PathValue("id"))
 	if sess == nil {
+		if ts != nil {
+			s.writeSessionExpired(w, *ts)
+			return
+		}
 		http.Error(w, "no such session", http.StatusNotFound)
 		return
 	}
@@ -781,45 +902,65 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request: timeout_ms must be non-negative, got %d", req.TimeoutMS), http.StatusBadRequest)
 		return
 	}
-	steps := req.Steps
-	if len(req.Updates) > 0 {
-		steps = append([][]edgeUpdate{req.Updates}, steps...)
+	specs := req.Steps
+	if len(req.Updates) > 0 || len(req.AddEdges) > 0 || len(req.RemoveEdges) > 0 {
+		specs = append([]stepSpec{{Updates: req.Updates, AddEdges: req.AddEdges, RemoveEdges: req.RemoveEdges}}, specs...)
 	}
-	if len(steps) == 0 {
+	if len(specs) == 0 {
 		http.Error(w, "bad request: no update steps", http.StatusBadRequest)
 		return
 	}
-	if len(steps) > maxUpdateSteps {
-		http.Error(w, fmt.Sprintf("bad request: %d steps exceeds the limit of %d", len(steps), maxUpdateSteps), http.StatusBadRequest)
+	if len(specs) > maxUpdateSteps {
+		http.Error(w, fmt.Sprintf("bad request: %d steps exceeds the limit of %d", len(specs), maxUpdateSteps), http.StatusBadRequest)
 		return
 	}
-	updates := make([]graph.CapacityUpdate, len(steps))
-	for i, step := range steps {
-		for _, e := range step {
-			updates[i].Edges = append(updates[i].Edges, e.Edge)
-			updates[i].Capacities = append(updates[i].Capacities, e.Capacity)
+	steps := make([]updateStep, len(specs))
+	for i, sp := range specs {
+		st, err := sp.step()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad request: step %d: %v", i, err), http.StatusBadRequest)
+			return
 		}
+		steps[i] = st
 	}
 
 	// Serialise the whole request against the session: a chain is ordered.
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.deleted {
+		if ts := s.tombstoneFor(sess.id); ts != nil {
+			s.writeSessionExpired(w, *ts)
+			return
+		}
 		http.Error(w, "no such session", http.StatusNotFound)
 		return
 	}
 
 	// One validation pass before streaming starts, so malformed requests get
-	// a clean 400 instead of a mid-stream error record.  Every statically
-	// checkable rule lives in CapacityUpdate.Validate (bounds, duplicates,
-	// negativity, emptiness); validating each step against the current graph
-	// is sound across the whole chain because capacity updates never change
-	// the edge count.  Only dynamic failures (solver errors) surface as
-	// stream records.
-	for i, u := range updates {
-		if err := u.Validate(sess.problem.Graph()); err != nil {
-			http.Error(w, fmt.Sprintf("bad request: step %d: %v", i, err), http.StatusBadRequest)
+	// a clean 400 instead of a mid-stream error record.  Structural steps
+	// change the edge list, so later steps cannot be checked against the
+	// session's current graph; instead the chain is replayed on a scratch
+	// clone, which applies exactly the validation (bounds, duplicates,
+	// emptiness, negativity) each step will see when it runs for real.  Only
+	// dynamic failures (solver errors, slack exhaustion) surface as stream
+	// records.
+	sim := sess.problem.Graph().Clone()
+	for i, st := range steps {
+		if len(st.capacity.Edges) == 0 && st.structural == nil {
+			http.Error(w, fmt.Sprintf("bad request: step %d: empty update step", i), http.StatusBadRequest)
 			return
+		}
+		if len(st.capacity.Edges) > 0 {
+			if _, err := sim.ApplyCapacityUpdate(st.capacity); err != nil {
+				http.Error(w, fmt.Sprintf("bad request: step %d: %v", i, err), http.StatusBadRequest)
+				return
+			}
+		}
+		if st.structural != nil {
+			if _, err := sim.ApplyStructuralUpdate(*st.structural); err != nil {
+				http.Error(w, fmt.Sprintf("bad request: step %d: %v", i, err), http.StatusBadRequest)
+				return
+			}
 		}
 	}
 
@@ -837,7 +978,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	}
 	applied := 0
-	for i, u := range updates {
+	for i, st := range steps {
 		if err := r.Context().Err(); err != nil {
 			break
 		}
@@ -847,10 +988,13 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 			// the terminal draining marker and keep the session consistent
 			// at the last applied problem.
 			startStream()
-			_ = enc.Encode(streamItem{Draining: true, Error: fmt.Sprintf("server draining: %d of %d steps applied", applied, len(updates)), Count: applied})
+			_ = enc.Encode(streamItem{Draining: true, Error: fmt.Sprintf("server draining: %d of %d steps applied", applied, len(steps)), Count: applied})
 			return
 		}
-		res, err := s.svc.Update(r.Context(), solve.UpdateRequest{Solver: sess.solver, Problem: sess.problem, Update: u, Deadline: s.deadlineFor(req.TimeoutMS)})
+		res, err := s.svc.Update(r.Context(), solve.UpdateRequest{
+			Solver: sess.solver, Problem: sess.problem,
+			Update: st.capacity, Structural: st.structural,
+			Deadline: s.deadlineFor(req.TimeoutMS)})
 		if err != nil {
 			var ovl *solve.OverloadError
 			if errors.As(err, &ovl) && !headerWritten {
@@ -865,7 +1009,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 			// the session stays at the last successfully updated problem.
 			startStream()
 			item := streamItem{Index: i,
-				Error: fmt.Sprintf("step %d failed after %d of %d steps applied: %v", i, applied, len(updates), err),
+				Error: fmt.Sprintf("step %d failed after %d of %d steps applied: %v", i, applied, len(steps), err),
 				Count: applied}
 			if errors.As(err, &ovl) {
 				item.RetryAfterSeconds = retryAfterSeconds(ovl)
@@ -877,7 +1021,15 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		sess.updates++
 		sess.touch(time.Now())
 		startStream()
-		if err := enc.Encode(map[string]any{"index": i, "warm": res.Warm, "report": res.Report}); err != nil {
+		record := map[string]any{"index": i, "warm": res.Warm, "report": res.Report}
+		if res.Structural {
+			// Structural steps additionally report the remaining slack: how
+			// many parked slots the chain can still absorb value-level before
+			// the next genuinely new edge forces a cold rebuild.
+			record["structural"] = true
+			record["slack_remaining"] = res.SlackRemaining
+		}
+		if err := enc.Encode(record); err != nil {
 			// The client went away mid-stream: the session state is
 			// consistent at the applied step, so stop solving for a dead
 			// socket and account the disconnect.
@@ -891,7 +1043,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	startStream()
 	if err := r.Context().Err(); err != nil {
-		_ = enc.Encode(streamItem{Aborted: true, Error: fmt.Sprintf("stream aborted after %d of %d steps: %v", applied, len(updates), err), Count: applied})
+		_ = enc.Encode(streamItem{Aborted: true, Error: fmt.Sprintf("stream aborted after %d of %d steps: %v", applied, len(steps), err), Count: applied})
 		return
 	}
 	lastUsed, expiresAt := s.sessionTimes(sess)
@@ -902,13 +1054,28 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(done)
 }
 
+// tombstoneFor returns the tombstone for id, if one exists.
+func (s *server) tombstoneFor(id string) *tombstone {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts, ok := s.tombstones[id]; ok {
+		return &ts
+	}
+	return nil
+}
+
 func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	sess := s.sessions[id]
 	delete(s.sessions, id)
+	ts, tombstoned := s.tombstones[id]
 	s.mu.Unlock()
 	if sess == nil {
+		if tombstoned {
+			s.writeSessionExpired(w, ts)
+			return
+		}
 		http.Error(w, "no such session", http.StatusNotFound)
 		return
 	}

@@ -391,6 +391,108 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 }
 
+// TestSessionStructuralSteps drives structural dynamics over the wire: a
+// remove_edges step parks an edge warm, a mixed step (capacity + add_edges)
+// reclaims the parked slot, and a legacy array-form step still works in the
+// same chain.  Structural step records carry structural/slack_remaining, and
+// /v1/healthz surfaces the structural counters.
+func TestSessionStructuralSteps(t *testing.T) {
+	srv := newTestServer(t, 2)
+
+	// Parallel-lane graph: removing one 1->2 lane strands no vertex, so the
+	// park stays value-level for every warmable backend.
+	lanes := `{"vertices":4,"source":0,"sink":3,"edges":[[0,1,3],[1,2,2],[1,2,2],[2,3,3]]}`
+	resp := postJSON(t, srv.URL+"/v1/sessions", fmt.Sprintf(`{"solver":"dinic","problem":%s}`, lanes))
+	defer resp.Body.Close()
+	var created struct {
+		SessionID string `json:"session_id"`
+		Report    struct {
+			FlowValue float64 `json:"flow_value"`
+		} `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	if created.SessionID == "" || created.Report.FlowValue != 3 {
+		t.Fatalf("create response: %+v", created)
+	}
+
+	// Park a lane (flow 2), reclaim it while widening 2->3 in the same step
+	// (flow 3), then a legacy array-form capacity step (flow 1).
+	upd := `{"steps":[
+		{"remove_edges":[2]},
+		{"updates":[{"edge":3,"capacity":4}],"add_edges":[[1,2,2]]},
+		[{"edge":0,"capacity":1}]
+	]}`
+	resp2 := postJSON(t, srv.URL+"/v1/sessions/"+created.SessionID+"/update", upd)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp2.Body)
+		t.Fatalf("update: status %d: %s", resp2.StatusCode, buf.String())
+	}
+	sc := bufio.NewScanner(resp2.Body)
+	var steps []map[string]any
+	var done map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if d, _ := m["done"].(bool); d {
+			done = m
+			continue
+		}
+		steps = append(steps, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if done == nil || len(steps) != 3 {
+		t.Fatalf("got %d step records, done=%v, want 3 steps + done", len(steps), done)
+	}
+	wantFlows := []float64{2, 3, 1}
+	for i, m := range steps {
+		rep, ok := m["report"].(map[string]any)
+		if !ok {
+			t.Fatalf("step %d has no report: %v", i, m)
+		}
+		if got := rep["flow_value"].(float64); got != wantFlows[i] {
+			t.Errorf("step %d flow %g, want %g", i, got, wantFlows[i])
+		}
+		if warm, _ := m["warm"].(bool); !warm {
+			t.Errorf("step %d was not absorbed warm: %v", i, m)
+		}
+	}
+	// Structural records carry the slack gauge; the plain capacity step omits
+	// the structural fields entirely.
+	if steps[0]["structural"] != true || steps[0]["slack_remaining"].(float64) != 1 {
+		t.Errorf("remove step record %v, want structural with slack_remaining 1", steps[0])
+	}
+	if steps[1]["structural"] != true || steps[1]["slack_remaining"].(float64) != 0 {
+		t.Errorf("reclaim step record %v, want structural with slack_remaining 0", steps[1])
+	}
+	if _, ok := steps[2]["structural"]; ok {
+		t.Errorf("capacity step record %v unexpectedly marked structural", steps[2])
+	}
+
+	hresp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health["structural_updates"].(float64) != 2 {
+		t.Errorf("healthz structural_updates = %v, want 2", health["structural_updates"])
+	}
+	if _, ok := health["slack_exhausted_rebuilds"]; !ok {
+		t.Errorf("healthz lacks slack_exhausted_rebuilds: %v", health)
+	}
+}
+
 // TestSessionShardedChainStaysWarm: a session over a problem above its
 // budget runs every step through the partition planner — and stays warm step
 // to step, because the service re-binds the chain's cached region oracle

@@ -6,21 +6,24 @@
 //
 // Usage:
 //
-//	benchjson                         # run the three canonical benchmarks
+//	benchjson                         # run the four canonical benchmarks
 //	benchjson -bench 'Fig10' -count 5 # any benchmark regexp, median of 5
 //	benchjson -parse bench.txt        # reprocess saved `go test -bench` output
 //
-// The output file (-out, default BENCH.json) is a JSON array with one entry
-// per benchmark, aggregated across -count runs by median.  Every custom
-// b.ReportMetric unit rides along, so the warm-consensus series — speedup,
-// rel-err-%, warm-iters/step vs cold-iters/step, regions-skipped/step — are
-// published without the command knowing their names.  Historical trajectory
-// files (BENCH_PR5.json, ...) stay in the repository; each PR's run writes the
-// current BENCH.json next to them:
+// The output file (-out, default BENCH.json) holds the latest run's results
+// plus an appended history keyed by git SHA (or -label), aggregated across
+// -count runs by median, so the artifact carries the full perf trajectory
+// instead of only the last run.  Every custom b.ReportMetric unit rides
+// along, so the warm-consensus series — speedup, rel-err-%, warm-iters/step
+// vs cold-iters/step, regions-skipped/step, warm-fraction — are published
+// without the command knowing their names.  A pre-history BENCH.json (bare
+// JSON array) is migrated into the history rather than dropped:
 //
-//	[{"benchmark":"BenchmarkShardedUpdateResolve/dinic","runs":3,
-//	  "ns_per_op":8644225,"metrics":{"speedup":17.3,"rel-err-%":0,
-//	  "warm-iters/step":1,"cold-iters/step":13,"regions-skipped/step":2}}]
+//	{"label":"31b39e3",
+//	 "results":[{"benchmark":"BenchmarkShardedUpdateResolve/dinic","runs":3,
+//	   "ns_per_op":8644225,"metrics":{"speedup":17.3,"rel-err-%":0,
+//	   "warm-iters/step":1,"cold-iters/step":13,"regions-skipped/step":2}}],
+//	 "history":[{"label":"31b39e3","results":[...]}]}
 package main
 
 import (
@@ -38,10 +41,15 @@ import (
 	"strings"
 )
 
-// canonicalBench selects the three benchmarks CI tracks as the perf
+// canonicalBench selects the four benchmarks CI tracks as the perf
 // trajectory: the flat dynamic-update chain, the partition-planner scaling
-// smoke, and the warm sharded-update chain.
-const canonicalBench = "^(BenchmarkUpdateResolve|BenchmarkDecomposeScaling|BenchmarkShardedUpdateResolve)$"
+// smoke, the warm sharded-update chain, and the structural churn chain.
+const canonicalBench = "^(BenchmarkUpdateResolve|BenchmarkDecomposeScaling|BenchmarkShardedUpdateResolve|BenchmarkStructuralUpdateResolve)$"
+
+// maxHistory bounds the trajectory history carried in the output file; the
+// oldest entries are dropped past this point so the CI artifact cannot grow
+// without bound.
+const maxHistory = 100
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -62,6 +70,7 @@ func run(args []string, stdout io.Writer) error {
 		pkg       = fs.String("pkg", ".", "package to benchmark")
 		out       = fs.String("out", "BENCH.json", "output JSON file")
 		parse     = fs.String("parse", "", "parse saved benchmark output from this file instead of running go test")
+		label     = fs.String("label", "", "history key for this run (default: short git SHA, else \"local\")")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -110,7 +119,29 @@ func run(args []string, stdout io.Writer) error {
 		return &MissingBenchmarksError{Missing: missing}
 	}
 	results := aggregate(runs)
-	data, err := json.MarshalIndent(results, "", "  ")
+	key := *label
+	if key == "" {
+		key = gitLabel()
+	}
+	traj, err := loadTrajectory(*out)
+	if err != nil {
+		return err
+	}
+	traj.Label = key
+	traj.Results = results
+	// Keyed by label: a rerun under the same SHA replaces its history entry
+	// instead of duplicating it, so CI retries stay idempotent.
+	kept := traj.History[:0]
+	for _, e := range traj.History {
+		if e.Label != key {
+			kept = append(kept, e)
+		}
+	}
+	traj.History = append(kept, HistoryEntry{Label: key, Results: results})
+	if len(traj.History) > maxHistory {
+		traj.History = traj.History[len(traj.History)-maxHistory:]
+	}
+	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -118,11 +149,81 @@ func run(args []string, stdout io.Writer) error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "wrote %d benchmark entries to %s\n", len(results), *out)
+	fmt.Fprintf(stdout, "wrote %d benchmark entries to %s (label %s, %d history entr%s)\n",
+		len(results), *out, key, len(traj.History), plural(len(traj.History), "y", "ies"))
 	for _, r := range results {
 		fmt.Fprintf(stdout, "  %-50s %14.0f ns/op  (%d run(s))\n", r.Benchmark, r.NsPerOp, r.Runs)
 	}
 	return nil
+}
+
+// Trajectory is the on-disk BENCH.json shape: the latest results at the top
+// level plus the accumulated per-run history keyed by label, so the CI
+// artifact carries the full perf trajectory instead of only the last run.
+type Trajectory struct {
+	// Label identifies the run that produced Results (short git SHA, or the
+	// -label override).
+	Label string `json:"label"`
+	// Results is the latest run's aggregated benchmark set.
+	Results []Result `json:"results"`
+	// History holds one entry per distinct label, oldest first, bounded at
+	// maxHistory.
+	History []HistoryEntry `json:"history"`
+}
+
+// HistoryEntry is one labelled run in the trajectory history.
+type HistoryEntry struct {
+	Label   string   `json:"label"`
+	Results []Result `json:"results"`
+}
+
+// loadTrajectory reads an existing output file so history accumulates across
+// runs.  A missing file starts an empty trajectory; the pre-history format (a
+// bare JSON array of results) is migrated as a single "pre-history" entry
+// rather than dropped.
+func loadTrajectory(path string) (Trajectory, error) {
+	var traj Trajectory
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return traj, nil
+		}
+		return traj, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var old []Result
+		if err := json.Unmarshal(data, &old); err != nil {
+			return traj, fmt.Errorf("existing %s is neither trajectory nor legacy array: %w", path, err)
+		}
+		traj.History = []HistoryEntry{{Label: "pre-history", Results: old}}
+		return traj, nil
+	}
+	if err := json.Unmarshal(data, &traj); err != nil {
+		return traj, fmt.Errorf("existing %s: %w", path, err)
+	}
+	return traj, nil
+}
+
+// gitLabel returns the short HEAD SHA, or "local" outside a git checkout —
+// the history key when -label is not given.
+func gitLabel() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "local"
+	}
+	if sha := strings.TrimSpace(string(out)); sha != "" {
+		return sha
+	}
+	return "local"
+}
+
+// plural picks the singular or plural suffix for a count.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // MissingBenchmarksError names the benchmarks that were requested but

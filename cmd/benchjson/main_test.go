@@ -77,11 +77,11 @@ func TestRunParseMode(t *testing.T) {
 	}
 	out := filepath.Join(dir, "bench.json")
 	var stdout bytes.Buffer
-	// The sample holds two of the three canonical series, so the expectation
+	// The sample holds two of the four canonical series, so the expectation
 	// must be scoped to them — the full canonical set is the missing-sample
 	// test below.
 	bench := "^(BenchmarkUpdateResolve|BenchmarkDecomposeScaling)$"
-	if err := run([]string{"-parse", in, "-out", out, "-bench", bench}, &stdout); err != nil {
+	if err := run([]string{"-parse", in, "-out", out, "-bench", bench, "-label", "r1"}, &stdout); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(stdout.String(), "wrote 2 benchmark entries") {
@@ -91,12 +91,80 @@ func TestRunParseMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var results []Result
-	if err := json.Unmarshal(data, &results); err != nil {
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
 	}
-	if len(results) != 2 || results[0].Metrics["warm-ns/step"] != 470000 {
-		t.Errorf("round-tripped results wrong: %+v", results)
+	if traj.Label != "r1" {
+		t.Errorf("label %q, want r1", traj.Label)
+	}
+	if len(traj.Results) != 2 || traj.Results[0].Metrics["warm-ns/step"] != 470000 {
+		t.Errorf("round-tripped results wrong: %+v", traj.Results)
+	}
+	if len(traj.History) != 1 || traj.History[0].Label != "r1" {
+		t.Errorf("history wrong: %+v", traj.History)
+	}
+}
+
+// TestRunAppendsHistory pins the trajectory accumulation: repeated runs
+// append one history entry per distinct label, a rerun under the same label
+// replaces its entry, and a pre-history BENCH.json (bare array) is migrated
+// instead of dropped.
+func TestRunAppendsHistory(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench.json")
+	// Seed the file with the pre-history format.
+	legacy := []Result{{Benchmark: "BenchmarkOld", Runs: 1, NsPerOp: 42}}
+	seed, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, seed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bench := "^(BenchmarkUpdateResolve|BenchmarkDecomposeScaling)$"
+	var stdout bytes.Buffer
+	for _, label := range []string{"sha1", "sha2", "sha2"} {
+		if err := run([]string{"-parse", in, "-out", out, "-bench", bench, "-label", label}, &stdout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if traj.Label != "sha2" {
+		t.Errorf("label %q, want sha2", traj.Label)
+	}
+	want := []string{"pre-history", "sha1", "sha2"}
+	if len(traj.History) != len(want) {
+		t.Fatalf("history has %d entries (%+v), want labels %v", len(traj.History), traj.History, want)
+	}
+	for i, w := range want {
+		if traj.History[i].Label != w {
+			t.Errorf("history[%d].Label = %q, want %q", i, traj.History[i].Label, w)
+		}
+	}
+	if traj.History[0].Results[0].Benchmark != "BenchmarkOld" {
+		t.Errorf("legacy results not migrated: %+v", traj.History[0])
+	}
+	if len(traj.History[2].Results) != 2 {
+		t.Errorf("latest history entry has %d results, want 2", len(traj.History[2].Results))
+	}
+	// Corrupt files must fail loudly, not silently restart the trajectory.
+	if err := os.WriteFile(out, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-parse", in, "-out", out, "-bench", bench}, &stdout); err == nil {
+		t.Error("corrupt existing file accepted")
 	}
 }
 
@@ -116,8 +184,10 @@ func TestRunMissingBenchmarkIsNamedError(t *testing.T) {
 	if !errors.As(err, &missing) {
 		t.Fatalf("want MissingBenchmarksError, got %v", err)
 	}
-	if len(missing.Missing) != 1 || missing.Missing[0] != "BenchmarkShardedUpdateResolve" {
-		t.Errorf("missing list %v, want exactly BenchmarkShardedUpdateResolve", missing.Missing)
+	wantMissing := []string{"BenchmarkShardedUpdateResolve", "BenchmarkStructuralUpdateResolve"}
+	if len(missing.Missing) != len(wantMissing) ||
+		missing.Missing[0] != wantMissing[0] || missing.Missing[1] != wantMissing[1] {
+		t.Errorf("missing list %v, want %v", missing.Missing, wantMissing)
 	}
 	if !strings.Contains(err.Error(), "BenchmarkShardedUpdateResolve") {
 		t.Errorf("error text does not name the lost series: %v", err)

@@ -24,7 +24,7 @@ import (
 var order = []string{
 	"table1", "fig5", "fig8", "fig10-dense", "fig10-sparse",
 	"power", "fig15", "opamp", "variation", "cluster", "decompose",
-	"dynamic",
+	"dynamic", "structural",
 }
 
 func main() {
@@ -161,6 +161,14 @@ func runOne(stdout io.Writer, name string, sizes []int, seed int64) error {
 		// Like the Figure 10 sweeps this honours -sizes; the dynamic
 		// workload runs on the largest requested instance.
 		tab, err := experiments.DynamicUpdates(sizes[len(sizes)-1], 8, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, tab.Render())
+	case "structural":
+		// Honours -sizes like the dynamic sweep; nine steps is three full
+		// park/reclaim/capacity rotations.
+		tab, err := experiments.StructuralDynamics(sizes[len(sizes)-1], 9, seed)
 		if err != nil {
 			return err
 		}

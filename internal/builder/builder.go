@@ -94,6 +94,14 @@ type Options struct {
 	// without changing the circuit topology — the property the incremental
 	// re-solve pipeline of internal/core relies on.
 	PrivateClampSources bool
+	// AllowZeroClamp accepts clamp voltages of exactly 0 V.  A 0 V clamp
+	// pins its edge node into the [0, 0] band — the edge exists physically
+	// but can carry no flow — which is how parked edges (structurally
+	// resident slots of a removed or not-yet-inserted edge) are realised:
+	// all their widget stamps stay nonzero, so the MNA sparsity pattern is
+	// identical to the unparked circuit and a later unpark is a pure
+	// SetClampVoltages re-stamp.  Negative voltages remain invalid.
+	AllowZeroClamp bool
 	// PerturbResistance, when non-nil, maps a nominal resistance to the
 	// value actually instantiated, modelling process variation and parasitic
 	// series resistance (Section 4.3).  It is applied to every widget
@@ -178,6 +186,9 @@ type Circuit struct {
 	// clampSources[i] is edge i's private clamp voltage source, populated
 	// only when the circuit was built with Options.PrivateClampSources.
 	clampSources []*circuit.VoltageSource
+	// parkShunts[i] is edge i's park shunt (see addCapacityClamp), populated
+	// only when the circuit was built with Options.AllowZeroClamp.
+	parkShunts []*circuit.Resistor
 }
 
 // NoNode marks a node that does not exist for a particular edge or vertex.
@@ -197,7 +208,7 @@ func BuildMaxFlow(g *graph.Graph, clampVoltages []float64, opts Options) (*Circu
 		return nil, fmt.Errorf("builder: %d clamp voltages for %d edges", len(clampVoltages), g.NumEdges())
 	}
 	for i, v := range clampVoltages {
-		if v <= 0 {
+		if v < 0 || (v == 0 && !opts.AllowZeroClamp) {
 			return nil, fmt.Errorf("builder: clamp voltage of edge %d must be positive, got %g", i, v)
 		}
 	}
@@ -310,6 +321,39 @@ func (c *Circuit) addCapacityClamp(i int) {
 	// Upper clamp: anode at x_i, cathode at the clamp source -> conducts when
 	// V(x_i) > c_i.
 	nl.Add(circuit.NewDiode(fmt.Sprintf("Dhi_e%d", i), x, src, c.Options.Diode))
+	if c.Options.AllowZeroClamp && c.Graph.NumParked() > 0 {
+		// Park shunt: a grounded resistor at x_i, strongly conducting when
+		// the edge is parked (clamp 0) and negligible otherwise.  A parked
+		// edge's clamp diode only pins its node at the diode forward drop
+		// (~0.4 V), which would leave a phantom level's worth of "flow" in
+		// the conservation balance of its endpoints; the shunt pins the
+		// parked node to within microvolts of 0 V instead.  Shunts are
+		// instantiated for every edge — uniformly, so the sparsity pattern
+		// never depends on which edges are parked — but only in circuits
+		// whose graph carries parked slots at build time: a plain circuit is
+		// element-for-element identical to one built before structural
+		// dynamics existed.  Only the shunt's value re-stamps on park/unpark.
+		shunt := circuit.NewResistor(fmt.Sprintf("Rpark_e%d", i), x, circuit.Ground, c.parkShuntResistance(v))
+		nl.Add(shunt)
+		if c.parkShunts == nil {
+			c.parkShunts = make([]*circuit.Resistor, len(c.EdgeNode))
+		}
+		c.parkShunts[i] = shunt
+	}
+}
+
+// parkShuntResistance returns the park-shunt value for clamp voltage v: far
+// below the widget resistance when parked (v == 0), far above it otherwise.
+// The on/off ratio is kept moderate (1e3 below / 1e12 above the widget
+// resistance) so that toggling a shunt re-uses the engine's cached LU pivot
+// order — a harder pin would make the re-stamped matrix numerically
+// incompatible with the pivots chosen for the previous park state and force
+// a fresh symbolic factorization.
+func (c *Circuit) parkShuntResistance(v float64) float64 {
+	if v == 0 {
+		return c.Options.WidgetResistance * 1e-3
+	}
+	return c.Options.WidgetResistance * 1e12
 }
 
 // addConservationWidget adds the Figure 2 widget for interior vertex v.
@@ -391,13 +435,18 @@ func (c *Circuit) SetClampVoltages(v []float64) error {
 		return fmt.Errorf("builder: %d clamp voltages for %d edges", len(v), len(c.EdgeNode))
 	}
 	for i, vi := range v {
-		if vi <= 0 {
+		if vi < 0 || (vi == 0 && !c.Options.AllowZeroClamp) {
 			return fmt.Errorf("builder: clamp voltage of edge %d must be positive, got %g", i, vi)
 		}
 	}
 	for i, vi := range v {
 		c.ClampVoltage[i] = vi
 		c.clampSources[i].Waveform = circuit.DC{Value: vi}
+		if c.parkShunts != nil {
+			// Park or release the edge's shunt along with its clamp level;
+			// the element re-stamps at the same coordinates either way.
+			c.parkShunts[i].Resistance = c.parkShuntResistance(vi)
+		}
 	}
 	return nil
 }

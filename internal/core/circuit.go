@@ -143,6 +143,9 @@ func (s *Solver) buildCircuit(pruned *graph.Graph, clampVoltages []float64) (*bu
 func (s *Solver) buildCircuitOpts(pruned *graph.Graph, clampVoltages []float64, privateClamps bool) (*builder.Circuit, *mna.Engine, error) {
 	opts := s.params.Builder
 	opts.PrivateClampSources = privateClamps
+	// Parked edges (structurally resident slots of removed or pre-declared
+	// edges) carry a 0 V clamp: physically present, pinned to zero flow.
+	opts.AllowZeroClamp = privateClamps || pruned.NumParked() > 0
 	opts.VflowVoltage = s.vflowVoltage(pruned)
 	if s.params.Variation.MismatchSigma > 0 || s.params.Variation.GlobalSigma > 0 || s.params.Variation.ParasiticResistance > 0 {
 		profile := s.params.Variation

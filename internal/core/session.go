@@ -120,19 +120,108 @@ func (sess *Session) Updatable() bool { return sess.updatable }
 func (sess *Session) Rebind(prep *Prepared) error {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if err := sess.checkRebindLocked(prep); err != nil {
+		return err
+	}
+	if !sess.prep.StructurallyCompatible(prep) {
+		return ErrIncompatibleUpdate
+	}
+	return sess.rebindValueLocked(prep)
+}
+
+// RebindStructural is Rebind for updates that may also change the instance
+// structure through park/unpark and bounded edge insertion.
+//
+// Two shapes are absorbable warm:
+//
+//   - Same-shape updates (StructurallyCompatible), which is what park/unpark
+//     produces: a removed edge stays structurally resident with a 0 V clamp
+//     and capacity 0, an unpark restores positive values in place.  These take
+//     the exact Rebind path — clamp re-stamp, warm Newton start, reference
+//     network drain — so the cached circuit and its frozen sparsity pattern
+//     survive, including for circuit-mode sessions.
+//   - Structural extensions (StructurallyExtends), produced by insertions that
+//     append edges.  The warm reference network splices fresh arcs in
+//     (maxflow.Network.StructureTo) and re-augments; the Newton operating
+//     point is dropped because the circuit would need new widgets.  Circuit
+//     sessions that already built their engine cannot absorb an appended
+//     widget and return ErrIncompatibleUpdate — the solve layer then rebuilds
+//     the circuit cold while keeping everything else warm.
+//
+// Anything else returns ErrIncompatibleUpdate and leaves the session
+// untouched.
+func (sess *Session) RebindStructural(prep *Prepared) error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := sess.checkRebindLocked(prep); err != nil {
+		return err
+	}
+	if sess.prep.StructurallyCompatible(prep) {
+		return sess.rebindValueLocked(prep)
+	}
+	if !sess.prep.StructurallyExtends(prep) {
+		return ErrIncompatibleUpdate
+	}
+	if sess.eng != nil {
+		// The cached circuit has no widgets for the appended edges; a
+		// re-stamp cannot create them.
+		return ErrIncompatibleUpdate
+	}
+	if sess.refNet != nil {
+		// Splice the appended edges into the warm reference network and apply
+		// the capacity deltas; the next solve re-augments incrementally.  A
+		// failure only costs the warm reference — drop it and rebuild cold.
+		if err := sess.refNet.StructureTo(prep.core); err != nil {
+			sess.refNet = nil
+		}
+	}
+	// The operating point indexes the old circuit's unknown vector; after a
+	// structural extension it no longer lines up.
+	sess.lastX = nil
+	sess.prep = prep
+	return nil
+}
+
+// parkStateChanged reports whether any work edge switched between parked
+// (clamp 0) and active between two same-shape prepared instances.
+func parkStateChanged(a, b *Prepared) bool {
+	if len(a.clamps) != len(b.clamps) {
+		return true
+	}
+	for i := range a.clamps {
+		if (a.clamps[i] == 0) != (b.clamps[i] == 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRebindLocked validates the common Rebind preconditions.
+func (sess *Session) checkRebindLocked(prep *Prepared) error {
 	if !sess.updatable {
 		return ErrSessionNotUpdatable
 	}
 	if prep == nil || prep.original == nil {
 		return fmt.Errorf("core: nil prepared instance")
 	}
-	if !sess.prep.StructurallyCompatible(prep) {
-		return ErrIncompatibleUpdate
-	}
+	return nil
+}
+
+// rebindValueLocked absorbs a same-shape (capacity/clamp-level only) update
+// into the warm artifacts.
+func (sess *Session) rebindValueLocked(prep *Prepared) error {
 	if sess.circ != nil && !prep.Empty() {
 		if err := sess.circ.SetClampVoltages(prep.clamps); err != nil {
 			return err
 		}
+	}
+	if parkStateChanged(sess.prep, prep) {
+		// A park or unpark moves the equilibrium discontinuously (a clamp
+		// band collapses to [0,0] or reopens); the previous operating point
+		// is then a misleading Newton start that costs far more iterations
+		// than the homotopy's cold ramp.  The engine and its cached symbolic
+		// LU stay — only the guess resets.
+		sess.lastX = nil
 	}
 	if sess.refNet != nil {
 		// Drain/extend the warm reference network; the next solve
@@ -259,6 +348,20 @@ func (sess *Session) solveCircuitLocked(ctx context.Context, solver *Solver) (*R
 		c, eng, err := solver.buildCircuitOpts(prep.work, prep.clamps, sess.updatable)
 		if err != nil {
 			return nil, err
+		}
+		if sess.updatable {
+			// Pin the diagonal coordinates of every parked edge's node into
+			// the frozen sparsity pattern before the first factorization.
+			// Parked widgets already stamp nonzero at all their coordinates
+			// (a 0 V clamp changes element values, not element presence), so
+			// this is the formal guarantee that unparking stays on the
+			// numeric-only refactorization path whatever the stamp values do.
+			if parked := prep.work.ParkedEdges(); len(parked) > 0 {
+				eng.ReserveSlack(len(parked))
+				for _, i := range parked {
+					eng.ReserveSlackAt(int(c.EdgeNode[i]), int(c.EdgeNode[i]))
+				}
+			}
 		}
 		sess.circ, sess.eng = c, eng
 	}

@@ -221,6 +221,33 @@ func (p *Prepared) StructurallyCompatible(q *Prepared) bool {
 	return len(p.clamps) == len(q.clamps)
 }
 
+// StructurallyExtends reports whether q is a structural extension of p: the
+// same instance with zero or more edges appended at every stage.  The original,
+// core and work graphs of q must each extend (graph.Extends) their counterpart
+// in p, and both prune mappings must keep p's kept-edge list as a prefix with
+// an identical vertex mapping — appended edges may only append to the pruned
+// graphs, never resurrect or reorder previously pruned structure.  When it
+// holds, value-level warm state built from p (a residual network, a Newton
+// operating point on the shared vertex set) remains meaningful for q after a
+// structural splice; when an insertion changes reachability enough to break
+// the prefix property, the extension is not absorbable and callers fall back
+// to an honest cold rebuild.
+func (p *Prepared) StructurallyExtends(q *Prepared) bool {
+	if p == nil || q == nil || p.Empty() || q.Empty() {
+		return false
+	}
+	if !graph.Extends(p.original, q.original) || !graph.Extends(p.core, q.core) {
+		return false
+	}
+	if !graph.PruneExtends(p.pr1, q.pr1) || !graph.PruneExtends(p.pr2, q.pr2) {
+		return false
+	}
+	if !graph.Extends(p.work, q.work) {
+		return false
+	}
+	return len(p.clamps) <= len(q.clamps)
+}
+
 // sameGraphShape reports whether two graphs have identical topology
 // (capacities excluded).
 func sameGraphShape(a, b *graph.Graph) bool {

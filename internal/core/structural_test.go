@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"analogflow/internal/graph"
+)
+
+// TestSessionStructuralParkUnparkCircuit pins the structural warm path for
+// circuit sessions: a parked edge is structurally resident (0 V clamp,
+// capacity 0), so unparking it — and re-parking it — is a value-level re-stamp
+// that must keep the engine's frozen sparsity pattern: zero new symbolic
+// factorizations across the whole park/unpark cycle.
+func TestSessionStructuralParkUnparkCircuit(t *testing.T) {
+	params := cleanCircuitParams()
+	// Two parallel 1->2 lanes: parking one leaves every vertex alive through
+	// the other, which is the prune's condition for keeping the slot.
+	g := graph.MustNew(3, 0, 2)
+	g.MustAddEdge(0, 1, 3)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(1, 2, 2)
+	// Park the second lane from the start so the slot is resident.
+	gParked := g.Clone()
+	if _, err := gParked.ApplyStructuralUpdate(graph.StructuralUpdate{RemoveEdges: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewUpdatableSessionPrepared(params, mustPrepare(t, gParked, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	parkedRes, err := sess.Solve(ctx)
+	if err != nil {
+		t.Fatalf("solve with parked edge: %v", err)
+	}
+	// With the second lane parked only the first carries flow.
+	if parkedRes.ExactValue != 2 {
+		t.Fatalf("parked instance exact value %.4f, want 2", parkedRes.ExactValue)
+	}
+	if parkedRes.Flow.Edge[2] != 0 {
+		t.Fatalf("parked edge carries flow %g", parkedRes.Flow.Edge[2])
+	}
+	base, ok := sess.EngineStats()
+	if !ok {
+		t.Fatal("no engine after first circuit solve")
+	}
+
+	// Unpark: insert an edge with the parked slot's endpoints; the update
+	// reclaims the slot in place, so the instance shape is unchanged.
+	gBack := gParked.Clone()
+	if _, err := gBack.ApplyStructuralUpdate(graph.StructuralUpdate{
+		AddEdges: []graph.Edge{{From: 1, To: 2, Capacity: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gBack.NumParked() != 0 {
+		t.Fatalf("unpark left %d parked edges", gBack.NumParked())
+	}
+	if err := sess.RebindStructural(mustPrepare(t, gBack, params)); err != nil {
+		t.Fatalf("RebindStructural(unpark): %v", err)
+	}
+	warm, err := sess.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both lanes open: the s->1 capacity 3 binds.
+	if warm.ExactValue != 3 {
+		t.Errorf("unparked exact value %.4f, want 3", warm.ExactValue)
+	}
+
+	// Park it again: the edge stays resident with a 0 V clamp.
+	gPark2 := gBack.Clone()
+	if _, err := gPark2.ApplyStructuralUpdate(graph.StructuralUpdate{RemoveEdges: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RebindStructural(mustPrepare(t, gPark2, params)); err != nil {
+		t.Fatalf("RebindStructural(re-park): %v", err)
+	}
+	reparked, err := sess.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reparked.ExactValue != 2 {
+		t.Errorf("re-parked exact value %.4f, want 2", reparked.ExactValue)
+	}
+
+	after, _ := sess.EngineStats()
+	if after.Factorizations != base.Factorizations {
+		t.Errorf("park/unpark cycle cost %d new symbolic factorizations (%d -> %d)",
+			after.Factorizations-base.Factorizations, base.Factorizations, after.Factorizations)
+	}
+	if after.Refactorizations <= base.Refactorizations {
+		t.Errorf("structural re-solves did not run on the refactor path: %d -> %d",
+			base.Refactorizations, after.Refactorizations)
+	}
+
+	// Warm unparked solve must agree with a cold solve of the same instance.
+	coldSess, err := NewUpdatableSessionPrepared(params, mustPrepare(t, gBack, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldSess.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.FlowValue-cold.FlowValue) > 1e-6*math.Max(1, math.Abs(cold.FlowValue)) {
+		t.Errorf("warm flow %.9f, cold flow %.9f", warm.FlowValue, cold.FlowValue)
+	}
+}
+
+// TestSessionStructuralExtensionBehavioral pins the appended-edge warm path
+// for behavioral sessions: an insertion that cannot reclaim a parked slot
+// appends to the work graph; the session absorbs it (no circuit engine to
+// invalidate) and the warm reference network splices the new arcs in, so the
+// result is bit-identical to a cold session of the extended instance.
+func TestSessionStructuralExtensionBehavioral(t *testing.T) {
+	params := DefaultParams()
+	g := graph.PaperFigure5()
+	sess, err := NewUpdatableSessionPrepared(params, mustPrepare(t, g, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sess.Solve(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a crossover n2->n3: no parked slot matches, so the edge appends.
+	g2 := g.Clone()
+	if _, err := g2.ApplyStructuralUpdate(graph.StructuralUpdate{
+		AddEdges: []graph.Edge{{From: 2, To: 3, Capacity: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges()+1 {
+		t.Fatalf("expected an appended edge, got %d edges", g2.NumEdges())
+	}
+	if err := sess.RebindStructural(mustPrepare(t, g2, params)); err != nil {
+		t.Fatalf("RebindStructural(extension): %v", err)
+	}
+	warm, err := sess.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crossover opens s->n1->n2->n3->t, raising the optimum from 2 to 3.
+	if warm.ExactValue != 3 {
+		t.Errorf("extended exact value %.4f, want 3", warm.ExactValue)
+	}
+	coldSess, err := NewSessionPrepared(params, mustPrepare(t, g2, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldSess.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.FlowValue != cold.FlowValue || warm.ExactValue != cold.ExactValue {
+		t.Errorf("behavioral warm/cold mismatch: warm %.12g/%.12g, cold %.12g/%.12g",
+			warm.FlowValue, warm.ExactValue, cold.FlowValue, cold.ExactValue)
+	}
+	for i := range warm.Flow.Edge {
+		if warm.Flow.Edge[i] != cold.Flow.Edge[i] {
+			t.Errorf("edge %d: warm flow %.12g, cold flow %.12g", i, warm.Flow.Edge[i], cold.Flow.Edge[i])
+		}
+	}
+}
+
+// TestSessionStructuralExtensionCircuitRefused pins the honest boundary: a
+// circuit session that has already built its engine has no widgets for an
+// appended edge, so a true extension must be refused with
+// ErrIncompatibleUpdate (the solve layer then rebuilds the circuit cold).
+func TestSessionStructuralExtensionCircuitRefused(t *testing.T) {
+	params := cleanCircuitParams()
+	g := graph.PaperFigure5()
+	sess, err := NewUpdatableSessionPrepared(params, mustPrepare(t, g, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g2 := g.Clone()
+	if _, err := g2.ApplyStructuralUpdate(graph.StructuralUpdate{
+		AddEdges: []graph.Edge{{From: 2, To: 3, Capacity: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RebindStructural(mustPrepare(t, g2, params)); !errors.Is(err, ErrIncompatibleUpdate) {
+		t.Errorf("extension with a built engine: want ErrIncompatibleUpdate, got %v", err)
+	}
+	// Plain Rebind must also keep refusing structural changes.
+	if err := sess.Rebind(mustPrepare(t, g2, params)); !errors.Is(err, ErrIncompatibleUpdate) {
+		t.Errorf("Rebind of structural change: want ErrIncompatibleUpdate, got %v", err)
+	}
+}

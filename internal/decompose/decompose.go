@@ -361,9 +361,19 @@ func buildRegion(g *graph.Graph, p Partition, r int, owner []int, capFloor, capC
 		reg.splitOf[ov] = idx
 		reg.virtualAt[ov] = append(reg.virtualAt[ov], idx)
 	}
-	// Owned edges: tail's out-half -> head's in-half.
+	// Owned edges: tail's out-half -> head's in-half.  A parked edge stays
+	// structurally resident in its owning region — the slot carries no
+	// capacity, but keeping it in the region graph means the region's own
+	// prune and fingerprint see the same structural-slack pool the parent
+	// instance does.
 	for ei, e := range g.Edges() {
 		if owner[ei] != r {
+			continue
+		}
+		if g.ParkedEdge(ei) {
+			if _, err := rg.AddParkedEdge(reg.localOut(e.From), reg.localOf[e.To]); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		if _, err := rg.AddEdge(reg.localOut(e.From), reg.localOf[e.To], e.Capacity); err != nil {

@@ -885,6 +885,119 @@ func dynamicShardedRow(base *graph.Graph, steps int) ([]string, error) {
 	}, nil
 }
 
+// SlotStableParkTarget returns the first edge whose park leaves the s-t-core
+// edge map unchanged (no vertex is stranded, so the parked slot stays
+// resident in the prune) — the regime where parking is a pure value-level
+// structural update — or -1 if the instance has none.
+func SlotStableParkTarget(g *graph.Graph) int {
+	pr := graph.PruneToSTCore(g)
+	for i := 0; i < g.NumEdges(); i++ {
+		c := g.Clone()
+		if _, err := c.ApplyStructuralUpdate(graph.StructuralUpdate{RemoveEdges: []int{i}}); err != nil {
+			continue
+		}
+		if graph.SamePruneEdges(pr, graph.PruneToSTCore(c)) {
+			return i
+		}
+	}
+	return -1
+}
+
+// StructuralDynamics measures the structural-dynamics pipeline on the dynamic
+// workload: the same dense R-MAT family, churned by a chain that parks an
+// edge, reclaims the slot, and retargets capacities in rotation, re-solved
+// warm through solve.Service.Update against a cold from-scratch solve of
+// every mutated problem.  Parks drive the clamp level to zero with the slot
+// kept resident and reclaims re-arm it, so every step of the rotation must
+// stay warm and agree with the cold value exactly.
+func StructuralDynamics(size, steps int, seed int64) (*Table, error) {
+	if size < 4 || steps < 1 {
+		return nil, fmt.Errorf("experiments: structural dynamics need size >= 4 and steps >= 1")
+	}
+	base := rmat.MustGenerate(rmat.DenseParams(size, seed))
+	target := SlotStableParkTarget(base)
+	if target < 0 {
+		return nil, fmt.Errorf("experiments: no slot-stable park target on the instance")
+	}
+	reAdd := base.Edge(target)
+	t := &Table{
+		Title:   fmt.Sprintf("Structural dynamics — warm park/reclaim/capacity churn vs cold, dense R-MAT |V|=%d, %d steps", size, steps),
+		Columns: []string{"backend", "warm steps", "warm median", "cold median", "speedup", "structural steps", "warm==cold value"},
+		Notes: []string{
+			"chain rotation: park the slot-stable edge, reclaim the slot, retarget capacities",
+			"warm: solve.Service.Update structural path (parked clamp / slack stamp, no cold rebuild)",
+			"cold: fresh problem + registry solve of every mutated instance",
+		},
+	}
+	for _, backend := range []string{"dinic", "push-relabel", "behavioral"} {
+		svc := solve.NewService(solve.Config{Workers: 1})
+		params := core.DefaultParams()
+		prob, err := solve.NewProblem(base, solve.WithParams(params))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := svc.Solve(context.Background(), solve.Request{Solver: backend, Problem: prob, Updatable: true}); err != nil {
+			return nil, err
+		}
+		reg := solve.DefaultRegistry()
+		var warmTimes, coldTimes []time.Duration
+		agree := true
+		warmSteps := 0
+		for k := 0; k < steps; k++ {
+			req := solve.UpdateRequest{Solver: backend, Problem: prob}
+			switch k % 3 {
+			case 0: // park the target edge
+				req.Structural = &graph.StructuralUpdate{RemoveEdges: []int{target}}
+			case 1: // reclaim the slot
+				req.Structural = &graph.StructuralUpdate{AddEdges: []graph.Edge{{From: reAdd.From, To: reAdd.To, Capacity: reAdd.Capacity}}}
+			default: // capacity retarget
+				req.Update = DynamicUpdateStep(prob.Graph(), k)
+			}
+			start := time.Now()
+			res, err := svc.Update(context.Background(), req)
+			if err != nil {
+				return nil, fmt.Errorf("%s structural warm step %d: %w", backend, k, err)
+			}
+			warmTimes = append(warmTimes, time.Since(start))
+			if res.Warm {
+				warmSteps++
+			}
+			prob = res.Problem
+
+			coldProb, err := solve.NewProblem(prob.Graph().Clone(), solve.WithParams(params))
+			if err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			cold, err := reg.Solve(context.Background(), backend, coldProb)
+			if err != nil {
+				return nil, fmt.Errorf("%s structural cold step %d: %w", backend, k, err)
+			}
+			coldTimes = append(coldTimes, time.Since(start))
+			if res.Report.FlowValue != cold.FlowValue {
+				agree = false
+			}
+		}
+		warm, cold := medianDuration(warmTimes), medianDuration(coldTimes)
+		t.Rows = append(t.Rows, []string{
+			backend,
+			fmt.Sprintf("%d/%d", warmSteps, steps),
+			warm.String(),
+			cold.String(),
+			fmt.Sprintf("%.1fx", float64(cold)/float64(warm)),
+			fmt.Sprintf("%d", svc.Stats().StructuralUpdates),
+			fmt.Sprintf("%v", agree),
+		})
+		if !agree {
+			return t, fmt.Errorf("experiments: %s warm and cold flow values diverged under structural churn", backend)
+		}
+		if warmSteps != steps {
+			return t, fmt.Errorf("experiments: %s ran %d/%d structural steps warm; the chain must never rebuild cold", backend, warmSteps, steps)
+		}
+	}
+	return t, nil
+}
+
 // DynamicUpdateStep generates step k of the deterministic capacity-update
 // chain the dynamic-workload measurements share (DynamicUpdates here and
 // BenchmarkUpdateResolve in the repository root): up to eight pseudo-randomly

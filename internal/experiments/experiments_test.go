@@ -206,3 +206,30 @@ func TestDynamicUpdatesSmall(t *testing.T) {
 		t.Error("degenerate size accepted")
 	}
 }
+
+func TestStructuralDynamicsSmall(t *testing.T) {
+	// Four steps covers one full park/reclaim/capacity rotation plus the
+	// second park, so both structural directions run twice-adjacent to a
+	// capacity retarget.
+	tab, err := StructuralDynamics(64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 backend rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "4/4" {
+			t.Errorf("backend %s: warm steps %q, want 4/4", row[0], row[1])
+		}
+		if row[5] != "3" {
+			t.Errorf("backend %s: structural steps %q, want 3 (park, reclaim, park)", row[0], row[5])
+		}
+		if row[len(row)-1] != "true" {
+			t.Errorf("backend %s: warm==cold %q, want true", row[0], row[len(row)-1])
+		}
+	}
+	if _, err := StructuralDynamics(2, 1, 1); err == nil {
+		t.Error("degenerate size accepted")
+	}
+}

@@ -38,6 +38,14 @@ type Graph struct {
 	in     [][]int // in[v]  = indices of edges entering v
 	source int
 	sink   int
+	// parked marks edges that are structurally resident but logically removed
+	// (or pre-declared insertion slots): a parked edge keeps its index, its
+	// adjacency entries, and — downstream — its circuit widgets and residual
+	// arcs, but carries capacity 0 so it can never carry flow.  The s-t-core
+	// prune retains parked edges regardless of capacity, which is what lets a
+	// later unpark (StructuralUpdate.AddEdges reclaiming the slot) stay a pure
+	// value-level update through every layer.  nil when no edge is parked.
+	parked []bool
 }
 
 // Common errors returned by graph constructors and validators.
@@ -120,6 +128,69 @@ func (g *Graph) AddEdge(u, v int, capacity float64) (int, error) {
 	g.out[u] = append(g.out[u], idx)
 	g.in[v] = append(g.in[v], idx)
 	return idx, nil
+}
+
+// AddParkedEdge appends a parked edge from u to v: a capacity-0 edge that the
+// s-t-core prune keeps resident, reserving the index (and, downstream, the
+// circuit widgets and residual arcs) as a warm insertion slot for a later
+// StructuralUpdate.  It returns the new edge's index.
+func (g *Graph) AddParkedEdge(u, v int) (int, error) {
+	idx, err := g.AddEdge(u, v, 0)
+	if err != nil {
+		return -1, err
+	}
+	g.setParked(idx, true)
+	return idx, nil
+}
+
+// ParkedEdge reports whether edge i is parked.
+func (g *Graph) ParkedEdge(i int) bool {
+	return g.parked != nil && i >= 0 && i < len(g.parked) && g.parked[i]
+}
+
+// NumParked returns the number of parked edges.
+func (g *Graph) NumParked() int {
+	n := 0
+	for _, p := range g.parked {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// ParkedEdges returns the indices of all parked edges in ascending order.
+func (g *Graph) ParkedEdges() []int {
+	var out []int
+	for i, p := range g.parked {
+		if p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// setParked flips the parked flag of edge i, materialising the flag slice on
+// first use and releasing it when the last flag clears.
+func (g *Graph) setParked(i int, parked bool) {
+	if !parked {
+		if g.parked == nil || i >= len(g.parked) {
+			return
+		}
+		g.parked[i] = false
+		if g.NumParked() == 0 {
+			g.parked = nil
+		}
+		return
+	}
+	if g.parked == nil {
+		g.parked = make([]bool, len(g.edges))
+	} else if len(g.parked) < len(g.edges) {
+		grown := make([]bool, len(g.edges))
+		copy(grown, g.parked)
+		g.parked = grown
+	}
+	g.parked[i] = true
 }
 
 // MustAddEdge is AddEdge but panics on error.
@@ -227,6 +298,10 @@ func (g *Graph) Clone() *Graph {
 		sink:   g.sink,
 	}
 	copy(c.edges, g.edges)
+	if g.parked != nil {
+		c.parked = make([]bool, len(g.parked))
+		copy(c.parked, g.parked)
+	}
 	backing := make([]int, 2*len(g.edges))
 	outFlat, inFlat := backing[:len(g.edges)], backing[len(g.edges):]
 	pos := 0
@@ -309,6 +384,30 @@ func (g *Graph) Validate() error {
 // String renders a short human-readable summary.
 func (g *Graph) String() string {
 	return fmt.Sprintf("Graph{|V|=%d |E|=%d s=%d t=%d}", g.n, len(g.edges), g.source, g.sink)
+}
+
+// Extends reports whether ext is a structural extension of base: the same
+// vertex count and terminals, with base's edge list as an endpoint-identical
+// prefix of ext's.  Capacities and parked flags are not compared.  The warm
+// structural-update paths (maxflow.Network.StructureTo, the solve layer's
+// slack accounting) use this to decide whether appended edges can be absorbed
+// in place.
+func Extends(base, ext *Graph) bool {
+	if base == nil || ext == nil {
+		return false
+	}
+	if base.n != ext.n || base.source != ext.source || base.sink != ext.sink {
+		return false
+	}
+	if len(ext.edges) < len(base.edges) {
+		return false
+	}
+	for i, e := range base.edges {
+		if o := ext.edges[i]; e.From != o.From || e.To != o.To {
+			return false
+		}
+	}
+	return true
 }
 
 // HasEdge reports whether at least one edge u->v exists.

@@ -60,6 +60,14 @@ func pruneToSTCore(g *Graph, caps []float64) *PruneResult {
 	// have positive capacity and must not re-enter the source or leave the
 	// sink.  Reachability is computed over usable edges only so that the
 	// result is a fixpoint (pruning a pruned graph changes nothing).
+	//
+	// Parked edges do NOT extend reachability: they carry no flow until
+	// reclaimed, and a vertex alive only through a parked edge would be a
+	// dead branch the substrate cannot settle (its widgets see zero drive
+	// against ideal negative resistances).  A parked edge survives the prune
+	// only when both endpoints stay alive through positive-capacity paths —
+	// see keepEdge below — which is exactly the case where park/unpark is a
+	// value-level update with an identical edge map before and after.
 	usable := func(i int, e Edge) bool {
 		return capOf(i) > 0 && e.To != g.Source() && e.From != g.Sink()
 	}
@@ -118,9 +126,12 @@ func pruneToSTCore(g *Graph, caps []float64) *PruneResult {
 	pruned := MustNew(len(res.VertexMap), newIndex[g.Source()], newIndex[g.Sink()])
 	// Prepass: count surviving edges and their per-vertex degrees so the
 	// rebuilt graph is allocated exactly once instead of growing edge by edge.
+	// A parked edge whose endpoints are both alive survives as a structural
+	// slot (capacity 0, parked flag carried into the pruned graph), so a
+	// later unpark re-stamps values without changing the edge map.
 	keepEdge := func(i int, e Edge) bool {
 		return keepVertex[e.From] && keepVertex[e.To] &&
-			e.To != g.Source() && e.From != g.Sink() && capOf(i) > 0
+			e.To != g.Source() && e.From != g.Sink() && (capOf(i) > 0 || g.ParkedEdge(i))
 	}
 	outDeg := make([]int, len(res.VertexMap))
 	inDeg := make([]int, len(res.VertexMap))
@@ -140,7 +151,10 @@ func pruneToSTCore(g *Graph, caps []float64) *PruneResult {
 			res.RemovedEdges++
 			continue
 		}
-		pruned.MustAddEdge(newIndex[e.From], newIndex[e.To], capOf(i))
+		idx := pruned.MustAddEdge(newIndex[e.From], newIndex[e.To], capOf(i))
+		if g.ParkedEdge(i) {
+			pruned.setParked(idx, true)
+		}
 		res.EdgeMap = append(res.EdgeMap, i)
 	}
 	res.Graph = pruned
@@ -165,6 +179,36 @@ func SamePruneEdges(a, b *PruneResult) bool {
 	}
 	for i := range a.EdgeMap {
 		if a.EdgeMap[i] != b.EdgeMap[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PruneExtends reports whether prune result b is a structural extension of a:
+// the same surviving vertex set, a's kept edges as an identical prefix of b's,
+// and any extra edges b keeps appended at the end (nil matches nil, i.e.
+// pruning disabled on both sides).  It is the structural-extension gate of the
+// incremental-update pipeline: warm state built on a's graph — residual
+// networks, prepared instances — stays index-compatible as a prefix of b's, so
+// appended edges can be spliced in without invalidating existing indices.
+func PruneExtends(a, b *PruneResult) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.EdgeMap) > len(b.EdgeMap) || len(a.VertexMap) != len(b.VertexMap) {
+		return false
+	}
+	for i := range a.EdgeMap {
+		if a.EdgeMap[i] != b.EdgeMap[i] {
+			return false
+		}
+	}
+	for i := range a.VertexMap {
+		if a.VertexMap[i] != b.VertexMap[i] {
 			return false
 		}
 	}

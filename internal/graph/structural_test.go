@@ -1,0 +1,187 @@
+package graph
+
+import "testing"
+
+// diamond builds the 4-vertex diamond used throughout the structural tests:
+// s=0 -> {1,2} -> t=3.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := MustNew(4, 0, 3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(0, 2, 5)
+	g.MustAddEdge(1, 3, 8)
+	g.MustAddEdge(2, 3, 7)
+	return g
+}
+
+func TestStructuralUpdateValidate(t *testing.T) {
+	g := diamond(t)
+	cases := []struct {
+		name string
+		u    StructuralUpdate
+	}{
+		{"empty", StructuralUpdate{}},
+		{"remove out of range", StructuralUpdate{RemoveEdges: []int{4}}},
+		{"remove negative", StructuralUpdate{RemoveEdges: []int{-1}}},
+		{"remove twice", StructuralUpdate{RemoveEdges: []int{1, 1}}},
+		{"add self loop", StructuralUpdate{AddEdges: []Edge{{From: 1, To: 1, Capacity: 1}}}},
+		{"add vertex range", StructuralUpdate{AddEdges: []Edge{{From: 0, To: 9, Capacity: 1}}}},
+		{"add zero capacity", StructuralUpdate{AddEdges: []Edge{{From: 1, To: 2, Capacity: 0}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.u.Validate(g); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+	if err := (StructuralUpdate{RemoveEdges: []int{1}}).Validate(g); err != nil {
+		t.Fatalf("valid removal rejected: %v", err)
+	}
+	if _, err := g.ApplyStructuralUpdate(StructuralUpdate{RemoveEdges: []int{1}}); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if err := (StructuralUpdate{RemoveEdges: []int{1}}).Validate(g); err == nil {
+		t.Fatal("removing an already-parked edge should be rejected")
+	}
+}
+
+func TestApplyStructuralUpdateParkReclaimAppend(t *testing.T) {
+	g := diamond(t)
+	rec, err := g.ApplyStructuralUpdate(StructuralUpdate{RemoveEdges: []int{1}})
+	if err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if len(rec.Parked) != 1 || rec.Parked[0] != 1 {
+		t.Fatalf("parked = %v, want [1]", rec.Parked)
+	}
+	if !g.ParkedEdge(1) || g.Edge(1).Capacity != 0 {
+		t.Fatalf("edge 1 should be parked with capacity 0, got parked=%v cap=%g", g.ParkedEdge(1), g.Edge(1).Capacity)
+	}
+	if g.NumParked() != 1 {
+		t.Fatalf("NumParked = %d, want 1", g.NumParked())
+	}
+
+	// Re-inserting the same endpoints reclaims the parked slot in place.
+	rec, err = g.ApplyStructuralUpdate(StructuralUpdate{AddEdges: []Edge{{From: 0, To: 2, Capacity: 4}}})
+	if err != nil {
+		t.Fatalf("reclaim: %v", err)
+	}
+	if len(rec.Reclaimed) != 1 || rec.Reclaimed[0] != 1 || len(rec.Appended) != 0 {
+		t.Fatalf("expected reclaim of edge 1, got %+v", rec)
+	}
+	if rec.AddIndex[0] != 1 {
+		t.Fatalf("AddIndex = %v, want [1]", rec.AddIndex)
+	}
+	if g.ParkedEdge(1) || g.Edge(1).Capacity != 4 || g.NumEdges() != 4 {
+		t.Fatalf("reclaim should be in place: parked=%v cap=%g edges=%d", g.ParkedEdge(1), g.Edge(1).Capacity, g.NumEdges())
+	}
+
+	// Inserting endpoints with no parked slot appends a new edge.
+	rec, err = g.ApplyStructuralUpdate(StructuralUpdate{AddEdges: []Edge{{From: 1, To: 2, Capacity: 3}}})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if len(rec.Appended) != 1 || rec.Appended[0] != 4 || rec.AddIndex[0] != 4 {
+		t.Fatalf("expected append at index 4, got %+v", rec)
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid after structural updates: %v", err)
+	}
+
+	// A removal in the same batch frees a slot a later insertion reclaims.
+	rec, err = g.ApplyStructuralUpdate(StructuralUpdate{
+		RemoveEdges: []int{4},
+		AddEdges:    []Edge{{From: 1, To: 2, Capacity: 6}},
+	})
+	if err != nil {
+		t.Fatalf("mixed batch: %v", err)
+	}
+	if len(rec.Reclaimed) != 1 || rec.Reclaimed[0] != 4 {
+		t.Fatalf("expected in-batch reclaim of edge 4, got %+v", rec)
+	}
+}
+
+func TestAddParkedEdgeAndClone(t *testing.T) {
+	g := diamond(t)
+	idx, err := g.AddParkedEdge(1, 2)
+	if err != nil {
+		t.Fatalf("AddParkedEdge: %v", err)
+	}
+	if !g.ParkedEdge(idx) || g.Edge(idx).Capacity != 0 {
+		t.Fatalf("parked slot should carry capacity 0")
+	}
+	c := g.Clone()
+	if !c.ParkedEdge(idx) {
+		t.Fatal("Clone dropped the parked flag")
+	}
+	c.setParked(idx, false)
+	if !g.ParkedEdge(idx) {
+		t.Fatal("clone shares parked state with the original")
+	}
+	wc, err := g.WithCapacities([]float64{10, 5, 8, 7, 0})
+	if err != nil {
+		t.Fatalf("WithCapacities: %v", err)
+	}
+	if !wc.ParkedEdge(idx) {
+		t.Fatal("WithCapacities dropped the parked flag")
+	}
+}
+
+func TestPruneKeepsParkedEdges(t *testing.T) {
+	// Diamond plus a 1->2 crossover, so vertex 2 stays alive when 0->2 parks.
+	g := diamond(t)
+	g.MustAddEdge(1, 2, 4)
+	base := PruneToSTCore(g)
+	if _, err := g.ApplyStructuralUpdate(StructuralUpdate{RemoveEdges: []int{1}}); err != nil {
+		t.Fatalf("park: %v", err)
+	}
+	after := PruneToSTCore(g)
+	if !SamePruneEdges(base, after) {
+		t.Fatalf("parking must not change the prune edge map: %v vs %v", base.EdgeMap, after.EdgeMap)
+	}
+	if !after.Graph.ParkedEdge(1) {
+		t.Fatal("pruned graph lost the parked flag")
+	}
+	// A parked edge does not extend reachability: when it was the only way
+	// into vertex 2, the whole branch — parked slot included — is pruned, and
+	// the park is an honest structural change rather than a dead substrate
+	// branch.
+	gs := diamond(t)
+	if _, err := gs.ApplyStructuralUpdate(StructuralUpdate{RemoveEdges: []int{1}}); err != nil {
+		t.Fatalf("park: %v", err)
+	}
+	if pr := PruneToSTCore(gs); len(pr.EdgeMap) != 2 {
+		t.Fatalf("a stranding park should prune the dead branch: EdgeMap=%v", pr.EdgeMap)
+	}
+	// A plain capacity-0 edge (not parked) is still pruned away.
+	g2 := diamond(t)
+	if _, err := g2.ApplyCapacityUpdate(CapacityUpdate{Edges: []int{1}, Capacities: []float64{0}}); err != nil {
+		t.Fatalf("capacity update: %v", err)
+	}
+	if pr := PruneToSTCore(g2); len(pr.EdgeMap) != 2 {
+		// Dropping edge 0->2 makes vertex 2 unreachable, taking 2->3 with it.
+		t.Fatalf("unparked zero-capacity edge should be pruned: EdgeMap=%v", pr.EdgeMap)
+	}
+}
+
+func TestExtends(t *testing.T) {
+	g := diamond(t)
+	ext := g.Clone()
+	ext.MustAddEdge(1, 2, 3)
+	if !Extends(g, ext) {
+		t.Fatal("appending an edge should preserve Extends")
+	}
+	if Extends(ext, g) {
+		t.Fatal("Extends is directional")
+	}
+	if !Extends(g, g) {
+		t.Fatal("a graph extends itself")
+	}
+	other := MustNew(4, 0, 3)
+	other.MustAddEdge(0, 2, 10)
+	if Extends(g, other) {
+		t.Fatal("different prefix endpoints must not extend")
+	}
+}

@@ -124,6 +124,81 @@ func (n *Network) UpdateTo(g2 *graph.Graph) error {
 	return nil
 }
 
+// StructureTo adjusts the residual state to reflect g2, which must be a
+// structural extension of the network's graph (graph.Extends: same vertices
+// and terminals, existing edge list as an endpoint-identical prefix).  The
+// pre-existing edges keep their flow — capacity deltas widen or drain exactly
+// like UpdateTo, including parked edges draining to capacity 0 — and every
+// appended edge gets a fresh zero-flow arc pair spliced into a rebuilt
+// adjacency.  The encoded flow stays feasible for g2 (new edges carry no
+// flow), so a following Solve performs only the incremental augmentation.
+// This is how the CPU backends absorb StructuralUpdate insertions within
+// their slack budget instead of rebuilding the residual network.  On error
+// the network must be discarded, like a failed UpdateTo.
+func (n *Network) StructureTo(g2 *graph.Graph) error {
+	if g2 == nil {
+		return fmt.Errorf("maxflow: StructureTo(nil)")
+	}
+	if !graph.Extends(n.g, g2) {
+		return fmt.Errorf("maxflow: graph %v is not a structural extension of the network's %v", g2, n.g)
+	}
+	if g2.NumEdges() == n.g.NumEdges() {
+		return n.UpdateTo(g2)
+	}
+	r := n.r
+	oldNE := len(r.arcs) / 2
+	ne := g2.NumEdges()
+	for i := oldNE; i < ne; i++ {
+		e := g2.Edge(i)
+		r.arcs = append(r.arcs, arc{to: e.To, cap: e.Capacity}, arc{to: e.From, cap: 0})
+	}
+	// Rebuild the CSR adjacency with the same descending-arc-order fill as
+	// newResidual, so traversal order — and hence flow routing — matches a
+	// residual network built fresh for g2.
+	deg := make([]int, r.n)
+	for i := 0; i < ne; i++ {
+		e := g2.Edge(i)
+		deg[e.From]++
+		deg[e.To]++
+	}
+	r.adj = make([]int32, 2*ne)
+	for v := 0; v < r.n; v++ {
+		r.off[v+1] = r.off[v] + deg[v]
+	}
+	pos := make([]int, r.n)
+	copy(pos, r.off)
+	for a := 2*ne - 1; a >= 0; a-- {
+		tail := r.tail(a)
+		r.adj[pos[tail]] = int32(a)
+		pos[tail]++
+	}
+	r.gdeps = g2
+	n.g = g2
+	// Capacity deltas on the pre-existing edges follow the UpdateTo
+	// discipline: widen in place first, then drain the overflowing edges.
+	eps := epsilonFor(r.maxArcCapacity())
+	var overflow []int
+	for i := 0; i < oldNE; i++ {
+		oldCap := r.arcs[2*i].cap + r.arcs[2*i+1].cap
+		newCap := g2.Edge(i).Capacity
+		if oldCap == newCap {
+			continue
+		}
+		forward := r.arcs[2*i].cap + (newCap - oldCap)
+		if forward >= 0 {
+			r.arcs[2*i].cap = forward
+		} else {
+			overflow = append(overflow, i)
+		}
+	}
+	for _, i := range overflow {
+		if err := n.drain(i, g2.Edge(i).Capacity, eps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // drain reduces the flow on edge i to newCap by cancelling the excess along
 // reverse (flow-carrying) paths.  With e = (u, v) carrying flow f > newCap,
 // the d = f - newCap excess units must stop traversing e; every unit of them

@@ -1,0 +1,125 @@
+package maxflow
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"analogflow/internal/graph"
+)
+
+func TestStructureToAppendsEdges(t *testing.T) {
+	g := graph.MustNew(4, 0, 3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 3, 4)
+	g.MustAddEdge(0, 2, 3)
+	g.MustAddEdge(2, 3, 3)
+
+	for _, alg := range []Algorithm{Dinic, PushRelabel, EdmondsKarp} {
+		t.Run(alg.String(), func(t *testing.T) {
+			net, err := NewNetwork(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := net.Solve(context.Background(), alg); err != nil {
+				t.Fatal(err)
+			}
+
+			// Append a bypass edge 1->2 and widen 2->3: the warm state must
+			// absorb both and re-augment to the fresh optimum.
+			g2 := g.Clone()
+			g2.MustAddEdge(1, 2, 5)
+			caps := make([]float64, g2.NumEdges())
+			for i := 0; i < g2.NumEdges(); i++ {
+				caps[i] = g2.Edge(i).Capacity
+			}
+			caps[3] = 9
+			g2, err = g2.WithCapacities(caps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := net.StructureTo(g2); err != nil {
+				t.Fatalf("StructureTo: %v", err)
+			}
+			warm, err := net.Solve(context.Background(), alg)
+			if err != nil {
+				t.Fatalf("warm solve: %v", err)
+			}
+			cold, err := Solve(g2, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(warm.Value-cold.Value) > 1e-9 {
+				t.Fatalf("warm value %g != cold value %g", warm.Value, cold.Value)
+			}
+			if err := VerifyOptimal(g2, warm, 1e-9); err != nil {
+				t.Fatalf("warm flow not optimal: %v", err)
+			}
+		})
+	}
+}
+
+func TestStructureToDrainsParkedEdges(t *testing.T) {
+	g := graph.MustNew(4, 0, 3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 3, 10)
+	g.MustAddEdge(1, 2, 5)
+	g.MustAddEdge(2, 3, 5)
+
+	net, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Solve(context.Background(), Dinic); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park 1->2 (capacity to 0) while appending a new edge: the flow the
+	// parked edge carried must drain, and the appended edge re-routes it.
+	g2 := g.Clone()
+	if _, err := g2.ApplyStructuralUpdate(graph.StructuralUpdate{
+		RemoveEdges: []int{2},
+		AddEdges:    []graph.Edge{{From: 0, To: 2, Capacity: 5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.StructureTo(g2); err != nil {
+		t.Fatalf("StructureTo: %v", err)
+	}
+	warm, err := net.Solve(context.Background(), Dinic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Edge[2] != 0 {
+		t.Fatalf("parked edge still carries flow %g", warm.Edge[2])
+	}
+	cold, err := Solve(g2, Dinic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.Value-cold.Value) > 1e-9 {
+		t.Fatalf("warm value %g != cold value %g", warm.Value, cold.Value)
+	}
+	if err := VerifyOptimal(g2, warm, 1e-9); err != nil {
+		t.Fatalf("warm flow not optimal: %v", err)
+	}
+}
+
+func TestStructureToRejectsNonExtension(t *testing.T) {
+	g := graph.MustNew(3, 0, 2)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	net, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := graph.MustNew(3, 0, 2)
+	other.MustAddEdge(1, 2, 1)
+	other.MustAddEdge(0, 1, 1)
+	if err := net.StructureTo(other); err == nil {
+		t.Fatal("reordered edge list must be rejected")
+	}
+	if err := net.StructureTo(nil); err == nil {
+		t.Fatal("nil graph must be rejected")
+	}
+}

@@ -1,0 +1,114 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// stampTri stamps a well-conditioned tridiagonal system into b.
+func stampTri(b *SparseBuilder, n int) {
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+		if i+1 < n {
+			b.Add(i, i+1, -1)
+			b.Add(i+1, i, -1)
+		}
+	}
+}
+
+func TestReserveSlackKeepsPatternVersion(t *testing.T) {
+	const n = 6
+	b := NewSparseBuilder(n)
+	b.ReserveSlack(2)
+	if !b.ReserveSlackAt(0, n-1) || !b.ReserveSlackAt(n-1, 0) {
+		t.Fatal("reservation within budget rejected")
+	}
+	if b.SlackRemaining() != 0 {
+		t.Fatalf("SlackRemaining = %d, want 0", b.SlackRemaining())
+	}
+	if b.ReserveSlackAt(1, 4) {
+		t.Fatal("reservation beyond budget accepted")
+	}
+	stampTri(b, n)
+	a := b.Compile()
+	v0 := b.PatternVersion()
+	lu, err := FactorizeSparse(a)
+	if err != nil {
+		t.Fatalf("factorize: %v", err)
+	}
+
+	// Stamping the reserved coordinates is a pure value update: the pattern
+	// version holds, and a numeric-only refactorization stays exact.
+	b.Reset()
+	stampTri(b, n)
+	b.Add(0, n-1, -0.5)
+	b.Add(n-1, 0, -0.5)
+	a2 := b.Compile()
+	if b.PatternVersion() != v0 {
+		t.Fatalf("stamp at reserved coordinate bumped the pattern: %d -> %d", v0, b.PatternVersion())
+	}
+	if err := lu.Refactor(a2); err != nil {
+		t.Fatalf("refactor: %v", err)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i + 1)
+	}
+	x, err := lu.Solve(rhs)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	ax := a2.MulVec(x)
+	for i := range ax {
+		if math.Abs(ax[i]-rhs[i]) > 1e-9 {
+			t.Fatalf("refactored solve residual %g at %d", ax[i]-rhs[i], i)
+		}
+	}
+
+	// A stamp at a coordinate that was never reserved is the honest cold
+	// path: the pattern grows and the version bumps.
+	b.Reset()
+	stampTri(b, n)
+	b.Add(2, 5, -0.25)
+	b.Compile()
+	if b.PatternVersion() == v0 {
+		t.Fatal("unreserved out-of-pattern stamp must bump the pattern version")
+	}
+}
+
+func TestReserveSlackAfterFreeze(t *testing.T) {
+	const n = 4
+	b := NewSparseBuilder(n)
+	stampTri(b, n)
+	b.Compile()
+	v0 := b.PatternVersion()
+
+	// In-pattern coordinates are covered without consuming budget.
+	if !b.ReserveSlackAt(0, 1) {
+		t.Fatal("in-pattern coordinate should always be covered")
+	}
+	if b.SlackRemaining() != 0 {
+		t.Fatalf("in-pattern reservation consumed budget: %d", b.SlackRemaining())
+	}
+
+	// A post-freeze reservation costs exactly one pattern bump at the next
+	// compile, after which stamps there are value-level.
+	b.ReserveSlack(1)
+	if !b.ReserveSlackAt(0, 3) {
+		t.Fatal("reservation within budget rejected")
+	}
+	b.Reset()
+	stampTri(b, n)
+	b.Compile()
+	v1 := b.PatternVersion()
+	if v1 != v0+1 {
+		t.Fatalf("post-freeze reservation should cost one bump, got %d -> %d", v0, v1)
+	}
+	b.Reset()
+	stampTri(b, n)
+	b.Add(0, 3, -0.5)
+	b.Compile()
+	if b.PatternVersion() != v1 {
+		t.Fatalf("stamp at reserved coordinate bumped the pattern: %d -> %d", v1, b.PatternVersion())
+	}
+}

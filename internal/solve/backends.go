@@ -126,8 +126,12 @@ func (i *analogInstance) setBound(p *Problem) {
 	i.boundMu.Unlock()
 }
 
-// Update rebinds the warm session to the updated problem (capacity-only
-// mutations only); see Session.Rebind.
+// Update rebinds the warm session to the updated problem.  Capacity-only
+// mutations and park/unpark cycles are value-level re-stamps; a structural
+// extension (appended edges) is absorbed when the session can splice it in
+// (behavioral sessions; see Session.RebindStructural) and refused with
+// ErrSlackExhausted when the frozen circuit pattern has no position for the
+// new edge — the slot pool was exhausted, so the insertion had to append.
 func (i *analogInstance) Update(p *Problem) error {
 	prep, err := p.Prepared()
 	if err != nil {
@@ -140,9 +144,14 @@ func (i *analogInstance) Update(p *Problem) error {
 	old := i.bound
 	i.boundMu.Unlock()
 	i.setBound(p)
-	if err := i.sess.Rebind(prep); err != nil {
+	if err := i.sess.RebindStructural(prep); err != nil {
 		i.setBound(old)
 		if errors.Is(err, core.ErrSessionNotUpdatable) || errors.Is(err, core.ErrIncompatibleUpdate) {
+			if old != nil && p.Graph().NumEdges() > old.Graph().NumEdges() {
+				// The target grew past the warm instance's edge list: the
+				// insertion consumed slack that wasn't there.
+				return fmt.Errorf("%w: %v", ErrSlackExhausted, err)
+			}
 			return fmt.Errorf("%w: %v", ErrIncompatibleUpdate, err)
 		}
 		return err
@@ -274,9 +283,14 @@ func (i *cpuInstance) Solve(ctx context.Context) (*Report, error) {
 	return rep, nil
 }
 
-// Update absorbs a capacity-only update: the residual network drains the
-// overflow of shrunken edges and keeps everything else, and the next Solve
-// re-augments incrementally.
+// Update absorbs a capacity-only or structural update.  Capacity changes (a
+// park/unpark cycle included — the prune keeps parked slots resident) drain
+// the overflow of shrunken edges and keep everything else; appended edges are
+// spliced into the residual as fresh zero-flow arc pairs (Network.StructureTo)
+// when the new core extends the old one edge-for-edge.  Either way the next
+// Solve re-augments incrementally.  A prune whose kept-edge prefix broke — a
+// park that stranded a branch, an insertion that revived one — is an honest
+// structural change the residual cannot absorb.
 func (i *cpuInstance) Update(p *Problem) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
@@ -289,14 +303,13 @@ func (i *cpuInstance) Update(p *Problem) error {
 	}
 	_, oldPr := i.p.STCore()
 	newCore, newPr := p.STCore()
-	if !graph.SamePruneEdges(oldPr, newPr) {
+	if !graph.PruneExtends(oldPr, newPr) {
 		return fmt.Errorf("%w: the s-t core changed", ErrIncompatibleUpdate)
 	}
-	if err := i.net.UpdateTo(newCore); err != nil {
-		// UpdateTo may have applied part of the capacity pass before
-		// failing; the residual is no longer trustworthy for either
-		// problem, so drop the warm state — the instance stays valid for
-		// its base problem, just cold.
+	if err := i.net.StructureTo(newCore); err != nil {
+		// The residual may have absorbed part of the pass before failing; it
+		// is no longer trustworthy for either problem, so drop the warm
+		// state — the instance stays valid for its base problem, just cold.
 		i.net, i.flow, i.solved = nil, nil, false
 		return fmt.Errorf("%w: %v", ErrIncompatibleUpdate, err)
 	}

@@ -427,7 +427,14 @@ func (o *regionOracle) engineStats() map[int]struct {
 
 // capacityDiff compares two structurally identical graphs and returns the
 // capacity update that transforms old into new.  ok is false when the graphs
-// differ structurally (vertex count, terminals, edge endpoints).
+// differ structurally: vertex count, terminals, edge endpoints — or parked
+// flags, because a park/unpark changes which edges the region's s-t core
+// keeps resident.  A structural parent update therefore reaches the region
+// oracle as a per-region structural change of exactly the regions owning the
+// touched edges (an appended edge changes the owner's edge count, a park flips
+// the owner's flag), and SolveRegion rebuilds those regions cold while every
+// untouched region — whose subproblem graph is byte-identical or differs only
+// in boundary capacities — stays warm.
 func capacityDiff(oldG, newG *graph.Graph) (graph.CapacityUpdate, bool) {
 	if oldG.NumVertices() != newG.NumVertices() ||
 		oldG.NumEdges() != newG.NumEdges() ||
@@ -437,7 +444,7 @@ func capacityDiff(oldG, newG *graph.Graph) (graph.CapacityUpdate, bool) {
 	var u graph.CapacityUpdate
 	for i, n := 0, oldG.NumEdges(); i < n; i++ {
 		eo, en := oldG.Edge(i), newG.Edge(i)
-		if eo.From != en.From || eo.To != en.To {
+		if eo.From != en.From || eo.To != en.To || oldG.ParkedEdge(i) != newG.ParkedEdge(i) {
 			return graph.CapacityUpdate{}, false
 		}
 		if eo.Capacity != en.Capacity {

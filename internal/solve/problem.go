@@ -209,6 +209,89 @@ func (p *Problem) WithUpdate(u graph.CapacityUpdate) (*Problem, error) {
 	return p2, nil
 }
 
+// WithStructuralUpdate derives the problem that results from applying a
+// validated topology update — edge insertions and removals — to this one.
+// Like WithUpdate, the receiver is never mutated: the graph is cloned and
+// patched, so in-flight solves of the old problem stay valid and a session can
+// keep a whole chain of problems alive.
+//
+// Removals park their edges (capacity 0, slot resident); insertions reclaim a
+// parked slot with matching endpoints when one exists and append a genuinely
+// new edge otherwise (see graph.ApplyStructuralUpdate).  Two artifacts are
+// carried over:
+//
+//   - The fingerprint is chained — hash(base fingerprint, update) — exactly
+//     like WithUpdate's, under a distinct domain tag so a structural step can
+//     never alias a capacity step of equal bytes.
+//
+//   - The memoised partitions are inherited: partitions assign vertices to
+//     regions and a structural update never adds vertices, so every inherited
+//     partition remains a valid cover.  This deliberately freezes the chain's
+//     decomposition — the regions owning touched edges rebuild cold inside the
+//     claimed oracle (Stats.RegionColdRebuilds) while every untouched region
+//     keeps its warm instance and consensus state, which is the selective
+//     invalidation sharded structural steps need.
+//
+// The prune stage is NOT seeded: topology moved, so the s-t core must be
+// recomputed from scratch (a park can strand a branch, an insertion can revive
+// one).
+func (p *Problem) WithStructuralUpdate(u graph.StructuralUpdate) (*Problem, error) {
+	if err := u.Validate(p.g); err != nil {
+		return nil, invalid("structural update", err)
+	}
+	g2 := p.g.Clone()
+	if _, err := g2.ApplyStructuralUpdate(u); err != nil {
+		return nil, invalid("structural update", err)
+	}
+	p2 := &Problem{g: g2, params: p.params, dec: p.dec, budget: p.budget}
+
+	// Chained fingerprint.  Removals are order-insensitive (sorted);
+	// insertions are hashed in order, because append order decides the new
+	// edges' indices.
+	base := p.Fingerprint()
+	h := sha256.New()
+	h.Write([]byte(base))
+	h.Write([]byte("|structural"))
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	removed := append([]int(nil), u.RemoveEdges...)
+	sort.Ints(removed)
+	writeInt(len(removed))
+	for _, e := range removed {
+		writeInt(e)
+	}
+	writeInt(len(u.AddEdges))
+	for _, e := range u.AddEdges {
+		writeInt(e.From)
+		writeInt(e.To)
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(e.Capacity))
+		h.Write(buf[:])
+	}
+	fp := hex.EncodeToString(h.Sum(nil)[:16])
+	p2.pipe.fpOnce.Do(func() { p2.pipe.fp = fp })
+
+	// Partition inheritance (see the doc comment above).
+	p.pipe.partMu.Lock()
+	if len(p.pipe.parts) > 0 {
+		p2.pipe.parts = make(map[partKey]decompose.Partition, len(p.pipe.parts))
+		for k, v := range p.pipe.parts {
+			p2.pipe.parts[k] = v
+		}
+	}
+	p.pipe.partMu.Unlock()
+	return p2, nil
+}
+
+// StructuralSlack returns the number of parked edge slots the problem's graph
+// currently carries — the pool of structurally resident positions a future
+// insertion can reclaim as a pure value-level update.  An insertion whose
+// endpoints match no parked slot appends instead, which warm circuit state
+// cannot absorb (ErrSlackExhausted → one cold rebuild).
+func (p *Problem) StructuralSlack() int { return p.g.NumParked() }
+
 // FromDIMACS is the parse stage of the pipeline for on-the-wire instances:
 // it reads a DIMACS max-flow instance and validates it into a Problem.
 func FromDIMACS(r io.Reader, opts ...Option) (*Problem, error) {
@@ -265,6 +348,16 @@ func (p *Problem) Fingerprint() string {
 			writeInt(e.From)
 			writeInt(e.To)
 			writeFloat(e.Capacity)
+		}
+		// Parked slots are structurally resident but carry no flow; a parked
+		// edge and an ordinary capacity-0 edge hash identically above, yet
+		// their instances differ (the slot survives pruning and reserves a
+		// pattern position), so the parked set joins the hash.
+		if np := p.g.NumParked(); np > 0 {
+			writeInt(np)
+			for _, i := range p.g.ParkedEdges() {
+				writeInt(i)
+			}
 		}
 		params := p.params
 		// The mode field is ignored by WithParams (each analog backend

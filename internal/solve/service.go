@@ -90,6 +90,8 @@ type Service struct {
 	completed      atomic.Int64
 	updates        atomic.Int64
 	updatesWarm    atomic.Int64
+	structUpdates  atomic.Int64
+	slackExhausted atomic.Int64
 	planned        atomic.Int64
 	sharded        atomic.Int64
 	shardedUpd     atomic.Int64
@@ -166,6 +168,12 @@ type Stats struct {
 	// absorbed in place (the remainder fell back to a cold build).
 	Updates        int64 `json:"updates"`
 	UpdateWarmHits int64 `json:"update_warm_hits"`
+	// StructuralUpdates counts Update steps that carried a topology component
+	// (edge insertions/removals); SlackExhaustedRebuilds the subset whose
+	// insertion found no parked slot to reclaim and forced one honest cold
+	// rebuild of the warm instance (the chain continues warm from it).
+	StructuralUpdates      int64 `json:"structural_updates"`
+	SlackExhaustedRebuilds int64 `json:"slack_exhausted_rebuilds"`
 	// PlannedSolves counts requests the partition planner examined under a
 	// non-zero budget; ShardedSolves the subset it split into regions and
 	// routed through the N-region decomposition.
@@ -217,17 +225,19 @@ func (s *Service) Stats() Stats {
 		avgOuter = float64(s.outerIters.Load()) / float64(runs)
 	}
 	return Stats{
-		Requests:        s.requests.Load(),
-		Errors:          s.errors.Load(),
-		Completed:       s.completed.Load(),
-		CacheHits:       s.hits.Load(),
-		CacheMisses:     s.misses.Load(),
-		CachedInstances: cached,
-		InFlight:        s.inFlight.Load(),
-		Updates:         s.updates.Load(),
-		UpdateWarmHits:  s.updatesWarm.Load(),
-		PlannedSolves:   s.planned.Load(),
-		ShardedSolves:   s.sharded.Load(),
+		Requests:               s.requests.Load(),
+		Errors:                 s.errors.Load(),
+		Completed:              s.completed.Load(),
+		CacheHits:              s.hits.Load(),
+		CacheMisses:            s.misses.Load(),
+		CachedInstances:        cached,
+		InFlight:               s.inFlight.Load(),
+		Updates:                s.updates.Load(),
+		UpdateWarmHits:         s.updatesWarm.Load(),
+		StructuralUpdates:      s.structUpdates.Load(),
+		SlackExhaustedRebuilds: s.slackExhausted.Load(),
+		PlannedSolves:          s.planned.Load(),
+		ShardedSolves:          s.sharded.Load(),
 
 		ShardedUpdates:        s.shardedUpd.Load(),
 		ShardedUpdateWarmHits: s.shardedUpdWarm.Load(),
@@ -705,12 +715,22 @@ func (s *Service) solveBatch(ctx context.Context, reqs []Request, onResult func(
 	return results
 }
 
-// UpdateRequest is one capacity-only re-solve step: apply Update to Problem
-// (the previous problem of the chain) and solve the result with Solver.
+// UpdateRequest is one re-solve step: apply Update and/or Structural to
+// Problem (the previous problem of the chain) and solve the result with
+// Solver.
 type UpdateRequest struct {
 	Solver  string
 	Problem *Problem
-	Update  graph.CapacityUpdate
+	// Update is the capacity-only component of the step; it may be empty when
+	// Structural is set.
+	Update graph.CapacityUpdate
+	// Structural, when non-nil, is the topology component: edge insertions
+	// and removals (graph.StructuralUpdate).  A mixed step applies the
+	// capacity component first — its edge indices refer to the base problem's
+	// edge list — then the structural one.  Removals park their edges and
+	// stay value-level; insertions reclaim parked slots when endpoints match
+	// and append (consuming structural slack) otherwise.
+	Structural *graph.StructuralUpdate
 	// Deadline, when non-zero, bounds queue wait plus execution, exactly as
 	// Request.Deadline does for Solve.  Update steps queue in the priority
 	// lane, so they are only shed once the queue holds nothing but other
@@ -732,6 +752,12 @@ type UpdateResult struct {
 	// rebound — individual regions may still have rebuilt cold on a
 	// structural change (Stats.RegionColdRebuilds counts those).
 	Warm bool
+	// Structural reports whether the step carried a topology component, and
+	// SlackRemaining how many parked slots the updated problem still holds —
+	// the number of future insertions (per endpoint pair) the warm state can
+	// absorb before an append forces a cold rebuild.
+	Structural     bool
+	SlackRemaining int
 }
 
 // Update is the stateful sibling of Solve: it derives the updated problem
@@ -783,8 +809,21 @@ func (s *Service) update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 	if err != nil {
 		return nil, err
 	}
-	target, err := req.Problem.WithUpdate(req.Update)
-	if err != nil {
+	structural := req.Structural != nil
+	target := req.Problem
+	if structural {
+		s.structUpdates.Add(1)
+		// Mixed steps apply the capacity component first (its edge indices
+		// refer to the base problem's edge list), then the topology component.
+		if len(req.Update.Edges) > 0 {
+			if target, err = target.WithUpdate(req.Update); err != nil {
+				return nil, err
+			}
+		}
+		if target, err = target.WithStructuralUpdate(*req.Structural); err != nil {
+			return nil, err
+		}
+	} else if target, err = target.WithUpdate(req.Update); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
@@ -802,7 +841,8 @@ func (s *Service) update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 		if err != nil {
 			return nil, err
 		}
-		return &UpdateResult{Report: rep, Problem: target, Warm: warm}, nil
+		return &UpdateResult{Report: rep, Problem: target, Warm: warm,
+			Structural: structural, SlackRemaining: target.StructuralSlack()}, nil
 	}
 	start := time.Now()
 	w, warmable := sol.(Warmable)
@@ -817,7 +857,8 @@ func (s *Service) update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 		if rep.WallTime == 0 {
 			rep.WallTime = time.Since(start)
 		}
-		return &UpdateResult{Report: rep, Problem: target}, nil
+		return &UpdateResult{Report: rep, Problem: target,
+			Structural: structural, SlackRemaining: target.StructuralSlack()}, nil
 	}
 	inst, warm, err := s.updateInstance(w, req.Problem, target)
 	if err != nil {
@@ -858,7 +899,8 @@ func (s *Service) update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 	if rep.WallTime == 0 {
 		rep.WallTime = time.Since(start)
 	}
-	return &UpdateResult{Report: rep, Problem: target, Warm: warm}, nil
+	return &UpdateResult{Report: rep, Problem: target, Warm: warm,
+		Structural: structural, SlackRemaining: target.StructuralSlack()}, nil
 }
 
 // updateInstance routes an update to the warm instance cached for the base
@@ -899,6 +941,11 @@ func (s *Service) updateInstance(w Warmable, base, target *Problem) (Instance, b
 		s.putEntry(baseKey, claimed)
 		if !errors.Is(err, ErrIncompatibleUpdate) {
 			return nil, false, err
+		}
+		if errors.Is(err, ErrSlackExhausted) {
+			// An insertion had to append past the warm pattern's slot pool:
+			// this is the one honest cold rebuild of the slack contract.
+			s.slackExhausted.Add(1)
 		}
 		// Structural change (or a non-updatable instance): fall through to a
 		// cold build for the target.

@@ -67,6 +67,15 @@ type Warmable interface {
 // service reacts by building a fresh instance for the target instead.
 var ErrIncompatibleUpdate = errors.New("solve: update incompatible with warm instance state")
 
+// ErrSlackExhausted is the structural-slack refinement of
+// ErrIncompatibleUpdate: a structural insertion had to append a genuinely new
+// edge (no parked slot with matching endpoints was left to reclaim), and the
+// warm instance's frozen pattern has no position for it.  The service reacts
+// like any incompatible update — one honest cold rebuild, counted in
+// Stats.SlackExhaustedRebuilds, after which the chain continues warm —
+// and errors.Is(err, ErrIncompatibleUpdate) holds.
+var ErrSlackExhausted = fmt.Errorf("%w: structural slack exhausted", ErrIncompatibleUpdate)
+
 // UpdatableInstance is an Instance that can absorb a capacity-only problem
 // update in place, carrying its warm state (residual networks, circuits,
 // factorisations, previous operating points) over to the updated problem.
