@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"analogflow/internal/graph"
+)
+
+// Park an edge on a circuit session whose circuit was built with zero parked
+// edges (no park shunts instantiated).
+func TestParkAfterUnparkedBuild(t *testing.T) {
+	params := cleanCircuitParams()
+	g := graph.MustNew(3, 0, 2)
+	g.MustAddEdge(0, 1, 3)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(1, 2, 2)
+	sess, err := NewUpdatableSessionPrepared(params, mustPrepare(t, g, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := sess.Solve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("base exact=%v flow=%v edges=%v", res.ExactValue, res.FlowValue, res.Flow.Edge)
+
+	gParked := g.Clone()
+	if _, err := gParked.ApplyStructuralUpdate(graph.StructuralUpdate{RemoveEdges: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RebindStructural(mustPrepare(t, gParked, params)); err != nil {
+		t.Fatalf("RebindStructural(park): %v", err)
+	}
+	warm, err := sess.Solve(ctx)
+	if err != nil {
+		t.Fatalf("warm solve after late park: %v", err)
+	}
+	t.Logf("parked exact=%v flow=%v edges=%v", warm.ExactValue, warm.FlowValue, warm.Flow.Edge)
+	if warm.ExactValue != 2 {
+		t.Errorf("parked exact value %v, want 2", warm.ExactValue)
+	}
+	if warm.Flow.Edge[2] != 0 {
+		t.Errorf("parked edge carries flow %g, want 0", warm.Flow.Edge[2])
+	}
+}
