@@ -13,8 +13,9 @@
 //	DELETE /v1/sessions/{id}        close a session
 //
 // A solve request names one solver and carries one or more problems, each
-// given inline (vertices/source/sink/edges), as DIMACS text, or as an R-MAT
-// generator spec:
+// given inline (vertices/source/sink/edges), as DIMACS text, as an R-MAT
+// generator spec, or as an image-segmentation grid spec (the vision-style
+// workload the large-instance solver path is tuned for):
 //
 //	{
 //	  "solver": "dinic",
@@ -22,7 +23,8 @@
 //	    {"vertices": 5, "source": 0, "sink": 4,
 //	     "edges": [[0,1,3],[1,2,2],[1,3,1],[2,4,1],[3,4,2]]},
 //	    {"dimacs": "p max 4 3\nn 1 s\nn 4 t\na 1 2 2\na 2 3 2\na 3 4 1\n"},
-//	    {"rmat": {"vertices": 64, "sparse": true, "seed": 7}}
+//	    {"rmat": {"vertices": 64, "sparse": true, "seed": 7}},
+//	    {"grid": {"width": 512, "height": 512, "eight": false, "seed": 7}}
 //	  ],
 //	  "params": {"levels": 20, "gbw": 1e10, "seed": 1},
 //	  "budget": {"max_vertices": 128, "max_regions": 8, "partitioner": "bfs"}
@@ -61,6 +63,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling routes, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -95,6 +98,7 @@ func run(args []string, stdout io.Writer) error {
 		defaultTimeout = fs.Duration("default-timeout", 0, "per-request deadline when the request carries no timeout_ms (0 = none); deadline-unmeetable requests are shed with 429")
 		sessionTTL     = fs.Duration("session-ttl", 10*time.Minute, "idle time after which a session is evicted and its warm solver state released (0 = never)")
 		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before closing connections")
+		pprofAddr      = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling entirely")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -122,6 +126,23 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "analogflowd: listening on %s (solvers: %v)\n", ln.Addr(), svc.Registry().Names())
+
+	// Opt-in profiling endpoint on its own listener: the API mux never serves
+	// the pprof routes (they register on http.DefaultServeMux, which the API
+	// server does not use), so profiling is reachable only when the operator
+	// passes -pprof-addr, and can be bound to loopback separately from -addr.
+	if *pprofAddr != "" {
+		pprofLn, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pprofLn.Close()
+		fmt.Fprintf(stdout, "analogflowd: pprof on http://%s/debug/pprof/\n", pprofLn.Addr())
+		go func() {
+			pprofSrv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			_ = pprofSrv.Serve(pprofLn)
+		}()
+	}
 
 	// Graceful drain: on SIGINT/SIGTERM, readiness flips to 503 and new
 	// requests are refused while in-flight streams finish their current

@@ -345,12 +345,25 @@ type problemSpec struct {
 	DIMACS string `json:"dimacs,omitempty"`
 	// Synthetic R-MAT instance.
 	RMAT *rmatSpec `json:"rmat,omitempty"`
+	// Synthetic image-segmentation grid instance (graph.SegmentationGrid):
+	// the vision-style workload at 10^5–10^6 vertices the large-instance
+	// solver path is tuned for.
+	Grid *gridSpec `json:"grid,omitempty"`
 }
 
 type rmatSpec struct {
 	Vertices int   `json:"vertices"`
 	Sparse   bool  `json:"sparse"`
 	Seed     int64 `json:"seed"`
+}
+
+type gridSpec struct {
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// Eight selects the 8-neighbourhood (diagonal links); default 4.
+	Eight bool `json:"eight,omitempty"`
+	// Seed adds deterministic per-pixel noise; 0 is the exact noiseless image.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // paramSpec exposes the substrate knobs the CLI exposes.  Pointer fields
@@ -427,8 +440,11 @@ func buildProblem(spec problemSpec, opts []solve.Option) (*solve.Problem, error)
 	if spec.RMAT != nil {
 		declared++
 	}
+	if spec.Grid != nil {
+		declared++
+	}
 	if declared != 1 {
-		return nil, fmt.Errorf("problem must carry exactly one of edges, dimacs or rmat")
+		return nil, fmt.Errorf("problem must carry exactly one of edges, dimacs, rmat or grid")
 	}
 	switch {
 	case spec.DIMACS != "":
@@ -447,6 +463,19 @@ func buildProblem(spec problemSpec, opts []solve.Option) (*solve.Problem, error)
 			return nil, fmt.Errorf("rmat spec expands to %d edges, exceeding the limit of %d", p.Edges, maxRMATEdges)
 		}
 		g, err := rmat.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		return solve.NewProblem(g, opts...)
+	case spec.Grid != nil:
+		gs := spec.Grid
+		if gs.Width < 1 || gs.Height < 1 {
+			return nil, fmt.Errorf("grid dimensions %dx%d must be positive", gs.Width, gs.Height)
+		}
+		if v := 2 + gs.Width*gs.Height; v > maxVertices {
+			return nil, fmt.Errorf("grid spec expands to %d vertices, exceeding the limit of %d", v, maxVertices)
+		}
+		g, err := graph.SegmentationGrid(gs.Width, gs.Height, gs.Eight, gs.Seed)
 		if err != nil {
 			return nil, err
 		}

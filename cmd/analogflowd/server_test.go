@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -772,6 +773,9 @@ func TestSolveBadRequests(t *testing.T) {
 		{"no problems", `{"solver":"dinic","problems":[]}`},
 		{"ambiguous problem", `{"solver":"dinic","problems":[{"dimacs":"p max 2 0\nn 1 s\nn 2 t\n","rmat":{"vertices":8}}]}`},
 		{"oversized rmat", `{"solver":"dinic","problems":[{"rmat":{"vertices":1000000000}}]}`},
+		{"oversized grid", `{"solver":"dinic","problems":[{"grid":{"width":100000,"height":100000}}]}`},
+		{"degenerate grid", `{"solver":"dinic","problems":[{"grid":{"width":0,"height":8}}]}`},
+		{"ambiguous grid", `{"solver":"dinic","problems":[{"grid":{"width":8,"height":8},"rmat":{"vertices":8}}]}`},
 		{"oversized inline", `{"solver":"dinic","problems":[{"vertices":1000000000,"source":0,"sink":1,"edges":[[0,1,1]]}]}`},
 		{"aggregate budget", func() string {
 			// Each spec is individually legal; together they blow the
@@ -893,5 +897,57 @@ func TestSolveWithBudgetMonolithic(t *testing.T) {
 	}
 	if plan, present := rep["plan"]; present {
 		t.Errorf("monolithic report unexpectedly carries a plan: %v", plan)
+	}
+}
+
+// TestSolveGridProblem drives the grid problem encoding end to end: the same
+// seeded spec solved by two exact backends yields the same (exact) flow value,
+// and a budget-sharded grid solve reports its plan.
+func TestSolveGridProblem(t *testing.T) {
+	srv := newTestServer(t, 2)
+	body := `{"solver":"dinic","problems":[
+		{"grid":{"width":24,"height":16,"seed":3}},
+		{"grid":{"width":24,"height":16,"eight":true,"seed":3}}]}`
+	items, done := postSolve(t, srv, body)
+	if done == nil || len(items) != 2 {
+		t.Fatalf("stream incomplete: items=%v done=%v", items, done)
+	}
+	for i := range items {
+		rep, _ := items[i]["report"].(map[string]any)
+		if rep == nil {
+			t.Fatalf("item %d has no report: %v", i, items[i])
+		}
+		if v, exact := rep["flow_value"].(float64), rep["exact_value"].(float64); v <= 0 || v != exact {
+			t.Errorf("item %d: flow %v vs exact %v", i, v, exact)
+		}
+	}
+
+	// The 8-neighbourhood variant has extra (diagonal) paths, so its max flow
+	// strictly exceeds the 4-neighbourhood one on this instance.
+	four := items[0]["report"].(map[string]any)["flow_value"].(float64)
+	eight := items[1]["report"].(map[string]any)["flow_value"].(float64)
+	if eight <= four {
+		t.Errorf("8-neighbourhood flow %v not above 4-neighbourhood %v", eight, four)
+	}
+
+	// Sharded: the same grid under a two-region vertex budget routes through
+	// the decomposition, reports the plan and stays within the consensus band
+	// of the exact value (two regions converge on grid topologies; see
+	// docs/solver.md, "Large instances").
+	sharded := `{"solver":"push-relabel","problems":[{"grid":{"width":24,"height":16,"seed":3}}],
+		"budget":{"max_vertices":233,"max_regions":2}}`
+	items, done = postSolve(t, srv, sharded)
+	if done == nil || len(items) != 1 {
+		t.Fatalf("sharded stream incomplete: items=%v done=%v", items, done)
+	}
+	rep, _ := items[0]["report"].(map[string]any)
+	if rep == nil {
+		t.Fatalf("no report in %v", items[0])
+	}
+	if plan, _ := rep["plan"].(map[string]any); plan == nil || plan["sharded"] != true {
+		t.Errorf("sharded grid solve has no sharded plan: %v", rep["plan"])
+	}
+	if v := rep["flow_value"].(float64); v <= 0 || math.Abs(v-four)/four > 0.25 {
+		t.Errorf("sharded grid flow %v outside the consensus band of exact %v", v, four)
 	}
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchjson                         # run the four canonical benchmarks
+//	benchjson                         # run the five canonical benchmarks
 //	benchjson -bench 'Fig10' -count 5 # any benchmark regexp, median of 5
 //	benchjson -parse bench.txt        # reprocess saved `go test -bench` output
 //
@@ -41,10 +41,12 @@ import (
 	"strings"
 )
 
-// canonicalBench selects the four benchmarks CI tracks as the perf
+// canonicalBench selects the five benchmarks CI tracks as the perf
 // trajectory: the flat dynamic-update chain, the partition-planner scaling
-// smoke, the warm sharded-update chain, and the structural churn chain.
-const canonicalBench = "^(BenchmarkUpdateResolve|BenchmarkDecomposeScaling|BenchmarkShardedUpdateResolve|BenchmarkStructuralUpdateResolve)$"
+// smoke, the warm sharded-update chain, the structural churn chain, and the
+// large-grid kernel gate (heuristic push-relabel vs the frozen FIFO baseline,
+// iterative Dinic, budget-sharded grid, 10^6-vertex long path).
+const canonicalBench = "^(BenchmarkUpdateResolve|BenchmarkDecomposeScaling|BenchmarkShardedUpdateResolve|BenchmarkStructuralUpdateResolve|BenchmarkLargeGridSolve)$"
 
 // maxHistory bounds the trajectory history carried in the output file; the
 // oldest entries are dropped past this point so the CI artifact cannot grow

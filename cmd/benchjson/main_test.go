@@ -77,7 +77,7 @@ func TestRunParseMode(t *testing.T) {
 	}
 	out := filepath.Join(dir, "bench.json")
 	var stdout bytes.Buffer
-	// The sample holds two of the four canonical series, so the expectation
+	// The sample holds two of the five canonical series, so the expectation
 	// must be scoped to them — the full canonical set is the missing-sample
 	// test below.
 	bench := "^(BenchmarkUpdateResolve|BenchmarkDecomposeScaling)$"
@@ -184,10 +184,15 @@ func TestRunMissingBenchmarkIsNamedError(t *testing.T) {
 	if !errors.As(err, &missing) {
 		t.Fatalf("want MissingBenchmarksError, got %v", err)
 	}
-	wantMissing := []string{"BenchmarkShardedUpdateResolve", "BenchmarkStructuralUpdateResolve"}
-	if len(missing.Missing) != len(wantMissing) ||
-		missing.Missing[0] != wantMissing[0] || missing.Missing[1] != wantMissing[1] {
+	wantMissing := []string{"BenchmarkShardedUpdateResolve", "BenchmarkStructuralUpdateResolve", "BenchmarkLargeGridSolve"}
+	if len(missing.Missing) != len(wantMissing) {
 		t.Errorf("missing list %v, want %v", missing.Missing, wantMissing)
+	}
+	for i := range wantMissing {
+		if i < len(missing.Missing) && missing.Missing[i] != wantMissing[i] {
+			t.Errorf("missing list %v, want %v", missing.Missing, wantMissing)
+			break
+		}
 	}
 	if !strings.Contains(err.Error(), "BenchmarkShardedUpdateResolve") {
 		t.Errorf("error text does not name the lost series: %v", err)

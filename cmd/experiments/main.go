@@ -24,7 +24,7 @@ import (
 var order = []string{
 	"table1", "fig5", "fig8", "fig10-dense", "fig10-sparse",
 	"power", "fig15", "opamp", "variation", "cluster", "decompose",
-	"dynamic", "structural",
+	"dynamic", "structural", "imageseg",
 }
 
 func main() {
@@ -45,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 		list     = fs.Bool("list", false, "list the available experiments")
 		runNames = fs.String("run", "all", "experiment to run (or \"all\")")
 		sizes    = fs.String("sizes", "256,384,512,640,768,896,960", "comma-separated vertex counts for the Figure 10 sweeps")
+		grids    = fs.String("grids", "16,32,64", "comma-separated grid sides for the imageseg sweep")
 		seed     = fs.Int64("seed", 1, "random seed for synthetic workloads")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +63,10 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 	sweepSizes, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	gridSides, err := parseSizes(*grids)
 	if err != nil {
 		return err
 	}
@@ -94,14 +99,14 @@ func run(args []string, stdout io.Writer) error {
 		if !selected[name] {
 			continue
 		}
-		if err := runOne(stdout, name, sweepSizes, *seed); err != nil {
+		if err := runOne(stdout, name, sweepSizes, gridSides, *seed); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
 	return nil
 }
 
-func runOne(stdout io.Writer, name string, sizes []int, seed int64) error {
+func runOne(stdout io.Writer, name string, sizes, grids []int, seed int64) error {
 	switch name {
 	case "table1":
 		fmt.Fprintln(stdout, experiments.Table1Parameters().Render())
@@ -169,6 +174,14 @@ func runOne(stdout io.Writer, name string, sizes []int, seed int64) error {
 		// Honours -sizes like the dynamic sweep; nine steps is three full
 		// park/reclaim/capacity rotations.
 		tab, err := experiments.StructuralDynamics(sizes[len(sizes)-1], 9, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, tab.Render())
+	case "imageseg":
+		// Honours -grids (grid sides, not vertex counts): the segmentation
+		// workload sweeps each side across backends and flat vs sharded.
+		tab, err := experiments.ImageSegmentation(grids, seed)
 		if err != nil {
 			return err
 		}

@@ -60,3 +60,19 @@ func TestRunHelpExitsClean(t *testing.T) {
 		t.Errorf("usage text not printed:\n%s", b.String())
 	}
 }
+
+func TestRunImageseg(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-run", "imageseg", "-grids", "8,12"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Image segmentation grids", "8x8", "12x12", "sharded x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("imageseg output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-run", "imageseg", "-grids", "bogus"}, &strings.Builder{}); err == nil {
+		t.Error("malformed -grids accepted")
+	}
+}

@@ -10,6 +10,7 @@
 //	maxflow -input graph.dimacs [-solver behavioral|circuit|push-relabel|dinic|edmonds-karp|lp|decompose]
 //	maxflow -rmat 256 -sparse          # synthetic R-MAT instance instead of a file
 //	maxflow -example figure5           # one of the paper's worked examples
+//	maxflow -example grid:512x512      # synthetic image-segmentation grid (seeded by -seed)
 //	maxflow -list                      # list the registered solvers
 //
 // The DIMACS max-flow format is read from -input ("-" for stdin).
@@ -23,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"analogflow/internal/core"
 	"analogflow/internal/graph"
@@ -48,7 +51,7 @@ func run(args []string, stdout io.Writer) error {
 	fs.SetOutput(&usage)
 	var (
 		input    = fs.String("input", "", "DIMACS max-flow file to read (\"-\" for stdin)")
-		example  = fs.String("example", "", "use a paper example instead of a file: figure5 or figure15")
+		example  = fs.String("example", "", "use a synthetic instance instead of a file: figure5, figure15 or grid:WxH (image-segmentation grid)")
 		rmatSize = fs.Int("rmat", 0, "generate an R-MAT instance with this many vertices")
 		sparse   = fs.Bool("sparse", true, "use the sparse R-MAT preset (dense otherwise)")
 		seed     = fs.Int64("seed", 1, "random seed for synthetic instances")
@@ -143,6 +146,17 @@ func loadGraph(input, example string, rmatSize int, sparse bool, seed int64) (*g
 		return graph.PaperFigure5(), nil
 	case example == "figure15":
 		return graph.PaperFigure15(), nil
+	case strings.HasPrefix(example, "grid:"):
+		dims := strings.SplitN(strings.TrimPrefix(example, "grid:"), "x", 2)
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("grid example must be grid:WxH, got %q", example)
+		}
+		w, errW := strconv.Atoi(dims[0])
+		h, errH := strconv.Atoi(dims[1])
+		if errW != nil || errH != nil || w < 1 || h < 1 {
+			return nil, fmt.Errorf("grid example must be grid:WxH with positive dimensions, got %q", example)
+		}
+		return graph.SegmentationGrid(w, h, false, seed)
 	case example != "":
 		return nil, fmt.Errorf("unknown example %q", example)
 	case rmatSize > 0:

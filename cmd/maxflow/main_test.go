@@ -66,6 +66,28 @@ func TestRunDIMACSInput(t *testing.T) {
 	}
 }
 
+// TestRunGridExample drives the grid:WxH example: push-relabel must match the
+// exact optimum (relative error 0) on a seeded segmentation grid.
+func TestRunGridExample(t *testing.T) {
+	out, err := runCapture(t, "-example", "grid:24x16", "-seed", "3", "-solver", "push-relabel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"|V|=386", "relative error:      0.00%", "min-cut size:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGridExampleRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"grid:", "grid:12", "grid:0x4", "grid:axb", "grid:12x-3"} {
+		if _, err := runCapture(t, "-example", bad); err == nil {
+			t.Errorf("example %q accepted", bad)
+		}
+	}
+}
+
 func TestRunHelpExitsClean(t *testing.T) {
 	out, err := runCapture(t, "-h")
 	if err != nil {

@@ -1,92 +1,48 @@
 // Image segmentation via minimum cut — the computer-vision motivation the
-// paper cites (Boykov & Kolmogorov).  A small grayscale image is turned into
-// a grid flow network: each pixel is a vertex connected to its neighbours
+// paper cites (Boykov & Kolmogorov).  A grayscale image (bright disc on a
+// dark background) is turned into a grid flow network by
+// graph.SegmentationGrid: each pixel is a vertex connected to its neighbours
 // with capacities that are high inside smooth regions and low across strong
-// intensity edges; the virtual source attaches to bright seed pixels and the
-// sink to dark seed pixels.  The maximum flow then yields the minimum cut,
-// i.e. the segmentation boundary, and the analog substrate solves the same
-// instance for comparison.
+// intensity edges; the virtual source attaches to bright pixels and the sink
+// to dark pixels.  The maximum flow then yields the minimum cut, i.e. the
+// segmentation boundary, and the analog substrate solves the same instance
+// for comparison.
 //
 // Run with:
 //
 //	go run ./examples/imageseg
+//	go run ./examples/imageseg -width 64 -height 48 -seed 7
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"math"
 
 	"analogflow/internal/core"
 	"analogflow/internal/graph"
 	"analogflow/internal/maxflow"
 )
 
-const (
-	width  = 12
-	height = 12
-)
-
-// syntheticImage returns a grayscale image with a bright disc on a dark
-// background plus mild shading.
-func syntheticImage() [][]float64 {
-	img := make([][]float64, height)
-	for y := range img {
-		img[y] = make([]float64, width)
-		for x := range img[y] {
-			dx, dy := float64(x)-5.5, float64(y)-5.5
-			if math.Sqrt(dx*dx+dy*dy) < 3.5 {
-				img[y][x] = 0.9
-			} else {
-				img[y][x] = 0.15 + 0.02*float64((x+y)%3)
-			}
-		}
-	}
-	return img
-}
-
-func pixelVertex(x, y int) int { return 2 + y*width + x }
-
 func main() {
-	img := syntheticImage()
-	// Vertex 0 = source (object seed), vertex 1 = sink (background seed).
-	n := 2 + width*height
-	g := graph.MustNew(n, 0, 1)
+	width := flag.Int("width", 12, "image width in pixels")
+	height := flag.Int("height", 12, "image height in pixels")
+	eight := flag.Bool("eight", false, "use the 8-neighbourhood (diagonal links)")
+	seed := flag.Int64("seed", 0, "per-pixel noise seed; 0 reproduces the original example image")
+	flag.Parse()
 
-	// Neighbour links: capacity falls off with the intensity difference, so
-	// the min cut prefers to cut along strong image edges.
-	link := func(x1, y1, x2, y2 int) {
-		diff := math.Abs(img[y1][x1] - img[y2][x2])
-		capacity := 1 + 9*math.Exp(-10*diff*diff)
-		g.MustAddEdge(pixelVertex(x1, y1), pixelVertex(x2, y2), capacity)
-		g.MustAddEdge(pixelVertex(x2, y2), pixelVertex(x1, y1), capacity)
-	}
-	for y := 0; y < height; y++ {
-		for x := 0; x < width; x++ {
-			if x+1 < width {
-				link(x, y, x+1, y)
-			}
-			if y+1 < height {
-				link(x, y, x, y+1)
-			}
-		}
-	}
-	// Terminal links: bright pixels connect to the source, dark pixels to
-	// the sink, with strength proportional to the confidence.
-	for y := 0; y < height; y++ {
-		for x := 0; x < width; x++ {
-			v := pixelVertex(x, y)
-			bright := img[y][x]
-			if bright > 0.5 {
-				g.MustAddEdge(0, v, 20*bright)
-			} else {
-				g.MustAddEdge(v, 1, 20*(1-bright))
-			}
-		}
+	// The shared generator behind cmd/maxflow -example grid:WxH, the
+	// analogflowd "grid" problem spec and the large-instance benchmarks;
+	// seed 0 at 12x12 is the exact image this example originally hand-built.
+	spec := graph.GridSpec{Width: *width, Height: *height}
+	g, err := graph.SegmentationGrid(*width, *height, *eight, *seed)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Println("segmentation instance:", g)
 
-	// Exact segmentation with push-relabel + min-cut extraction.
+	// Exact segmentation with the heuristic push-relabel kernel + min-cut
+	// extraction.
 	flow, err := maxflow.SolvePushRelabel(g)
 	if err != nil {
 		log.Fatal(err)
@@ -114,9 +70,9 @@ func main() {
 	// Render the segmentation: pixels on the source side of the cut are the
 	// object.
 	fmt.Println("\nsegmentation (█ = object, . = background):")
-	for y := 0; y < height; y++ {
-		for x := 0; x < width; x++ {
-			if cut.SourceSide[pixelVertex(x, y)] {
+	for y := 0; y < *height; y++ {
+		for x := 0; x < *width; x++ {
+			if cut.SourceSide[spec.PixelVertex(x, y)] {
 				fmt.Print("█")
 			} else {
 				fmt.Print(".")

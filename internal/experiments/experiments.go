@@ -998,6 +998,108 @@ func StructuralDynamics(size, steps int, seed int64) (*Table, error) {
 	return t, nil
 }
 
+// --- image segmentation (grid workload) -------------------------------------
+
+// ImageSegmentation sweeps the large-instance grid workload — the
+// computer-vision motivation the paper cites — across grid sides, CPU
+// backends and flat vs budget-sharded routing.  Every instance is a seeded
+// graph.SegmentationGrid (bright disc on a dark background); each backend
+// solves it flat through the registry, then the service re-solves it under a
+// two-region vertex budget with the same backend as the region oracle.  The
+// table reports |V|, |E|, the flow value, the relative error against the
+// exact optimum and the host wall time per row, so kernel and decomposition
+// regressions on grid topologies show up side by side.
+//
+// Flat exact backends must sit at zero error; the sharded rows must stay
+// within the consensus band (two regions converge on grid topologies — see
+// docs/solver.md, "Large instances").
+func ImageSegmentation(sides []int, seed int64) (*Table, error) {
+	if len(sides) == 0 {
+		return nil, errors.New("experiments: image segmentation needs at least one grid side")
+	}
+	t := &Table{
+		Title:   "Image segmentation grids (flat kernels vs budget-sharded service)",
+		Columns: []string{"grid", "|V|", "|E|", "backend", "mode", "flow", "rel err", "wall time"},
+		Notes: []string{
+			"rel err is against the exact optimum; flat exact backends must sit at 0",
+			"sharded rows run the service under a two-region vertex budget",
+		},
+	}
+	backends := []string{"push-relabel", "dinic"}
+	reg := solve.DefaultRegistry()
+	for _, side := range sides {
+		g, err := graph.SegmentationGrid(side, side, false, seed)
+		if err != nil {
+			return nil, err
+		}
+		exact, err := maxflow.OptimalValue(g)
+		if err != nil {
+			return nil, err
+		}
+		// Two-thirds of the instance: small enough to force a split on every
+		// side in the sweep, large enough that a two-region partition plus
+		// its frontier halo fits the budget.
+		budget := solve.Budget{MaxVertices: g.NumVertices() * 2 / 3, MaxRegions: 2}
+		for _, backend := range backends {
+			prob, err := solve.NewProblem(g)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			rep, err := reg.Solve(context.Background(), backend, prob)
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(start)
+			relErr := absRel(rep.FlowValue, exact)
+			if relErr > 1e-9 {
+				return t, fmt.Errorf("experiments: flat %s flow %g deviates from exact %g on %dx%d",
+					backend, rep.FlowValue, exact, side, side)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%dx%d", side, side),
+				fmt.Sprintf("%d", g.NumVertices()),
+				fmt.Sprintf("%d", g.NumEdges()),
+				backend, "flat",
+				fmt.Sprintf("%.2f", rep.FlowValue),
+				fmt.Sprintf("%.2f%%", 100*relErr),
+				wall.Round(10 * time.Microsecond).String(),
+			})
+		}
+		for _, backend := range backends {
+			svc := solve.NewService(solve.Config{Budget: budget})
+			prob, err := solve.NewProblem(g)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			rep, err := svc.Solve(context.Background(), solve.Request{Solver: backend, Problem: prob})
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(start)
+			if rep.Plan == nil || !rep.Plan.Sharded {
+				return t, fmt.Errorf("experiments: %dx%d grid not sharded under budget %+v", side, side, budget)
+			}
+			relErr := absRel(rep.FlowValue, exact)
+			if relErr > 0.25 {
+				return t, fmt.Errorf("experiments: sharded %s flow %g vs exact %g on %dx%d: outside the consensus band",
+					backend, rep.FlowValue, exact, side, side)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%dx%d", side, side),
+				fmt.Sprintf("%d", g.NumVertices()),
+				fmt.Sprintf("%d", g.NumEdges()),
+				backend, fmt.Sprintf("sharded x%d", rep.Plan.Regions),
+				fmt.Sprintf("%.2f", rep.FlowValue),
+				fmt.Sprintf("%.2f%%", 100*relErr),
+				wall.Round(10 * time.Microsecond).String(),
+			})
+		}
+	}
+	return t, nil
+}
+
 // DynamicUpdateStep generates step k of the deterministic capacity-update
 // chain the dynamic-workload measurements share (DynamicUpdates here and
 // BenchmarkUpdateResolve in the repository root): up to eight pseudo-randomly

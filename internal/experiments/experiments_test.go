@@ -233,3 +233,36 @@ func TestStructuralDynamicsSmall(t *testing.T) {
 		t.Error("degenerate size accepted")
 	}
 }
+
+func TestImageSegmentationSmall(t *testing.T) {
+	tab, err := ImageSegmentation([]int{8, 12}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per side: two flat backend rows then two sharded rows.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("want 2 sides x (2 flat + 2 sharded) = 8 rows, got %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		switch i % 4 {
+		case 0, 1:
+			if row[4] != "flat" {
+				t.Errorf("row %d mode %q, want flat", i, row[4])
+			}
+			if row[6] != "0.00%" {
+				t.Errorf("row %d: flat backend rel err %q, want 0.00%%", i, row[6])
+			}
+		default:
+			if !strings.HasPrefix(row[4], "sharded x") {
+				t.Errorf("row %d mode %q, want sharded", i, row[4])
+			}
+		}
+	}
+	// The two flat backends must print the identical (exact) flow value.
+	if tab.Rows[0][5] != tab.Rows[1][5] {
+		t.Errorf("flat backends disagree: %s vs %s", tab.Rows[0][5], tab.Rows[1][5])
+	}
+	if _, err := ImageSegmentation(nil, 1); err == nil {
+		t.Error("empty side list accepted")
+	}
+}

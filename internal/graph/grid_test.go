@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGridDimensionsAndCounts(t *testing.T) {
+	cases := []struct {
+		w, h  int
+		eight bool
+	}{
+		{1, 1, false}, {4, 3, false}, {4, 3, true}, {7, 7, true}, {16, 2, false},
+	}
+	for _, tc := range cases {
+		g, err := Grid(GridSpec{Width: tc.w, Height: tc.h, Eight: tc.eight})
+		if err != nil {
+			t.Fatalf("%dx%d: %v", tc.w, tc.h, err)
+		}
+		if g.NumVertices() != 2+tc.w*tc.h {
+			t.Errorf("%dx%d: %d vertices, want %d", tc.w, tc.h, g.NumVertices(), 2+tc.w*tc.h)
+		}
+		pairs := tc.w*(tc.h-1) + tc.h*(tc.w-1)
+		if tc.eight {
+			pairs += 2 * (tc.w - 1) * (tc.h - 1)
+		}
+		want := 2*pairs + 2 // default Terminal: one source link, one sink link
+		if g.NumEdges() != want {
+			t.Errorf("%dx%d eight=%v: %d edges, want %d", tc.w, tc.h, tc.eight, g.NumEdges(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%dx%d: %v", tc.w, tc.h, err)
+		}
+	}
+}
+
+func TestGridRejectsBadDimensions(t *testing.T) {
+	for _, spec := range []GridSpec{{Width: 0, Height: 4}, {Width: 4, Height: 0}, {Width: -1, Height: -1}} {
+		if _, err := Grid(spec); err == nil {
+			t.Errorf("Grid(%dx%d) succeeded, want error", spec.Width, spec.Height)
+		}
+	}
+}
+
+func TestGridRejectsNegativeCapacity(t *testing.T) {
+	_, err := Grid(GridSpec{
+		Width: 3, Height: 3,
+		Capacity: func(x1, y1, x2, y2 int) float64 { return -1 },
+	})
+	if err == nil {
+		t.Fatal("negative capacity function accepted")
+	}
+}
+
+// TestGridCustomFunctions pins the capacity/terminal plumbing: a 2x1 grid
+// with one neighbour pair and asymmetric terminals has a hand-computable
+// max-flow (min cut = min(src link, neighbour pair, sink link)).
+func TestGridCustomFunctions(t *testing.T) {
+	g, err := Grid(GridSpec{
+		Width: 2, Height: 1,
+		Capacity: func(x1, y1, x2, y2 int) float64 { return 3 },
+		Terminal: func(x, y int) (float64, float64) {
+			if x == 0 {
+				return 5, 0
+			}
+			return 0, 2
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges: pixel0<->pixel1 at 3 each way, s->pixel0 at 5, pixel1->t at 2.
+	if g.NumEdges() != 4 {
+		t.Fatalf("%d edges, want 4", g.NumEdges())
+	}
+	// Max flow is limited by the sink link: 2.
+	if v := mustMaxFlowValue(t, g); math.Abs(v-2) > 1e-9 {
+		t.Errorf("max flow %g, want 2", v)
+	}
+}
+
+// mustMaxFlowValue computes the max-flow value with a self-contained BFS
+// augmenting-path solver so the graph package tests stay independent of
+// internal/maxflow.
+func mustMaxFlowValue(t *testing.T, g *Graph) float64 {
+	t.Helper()
+	type arc struct {
+		to   int
+		cap  float64
+		pair int
+	}
+	arcs := make([]arc, 0, 2*g.NumEdges())
+	adj := make([][]int, g.NumVertices())
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		adj[e.From] = append(adj[e.From], len(arcs))
+		arcs = append(arcs, arc{to: e.To, cap: e.Capacity, pair: len(arcs) + 1})
+		adj[e.To] = append(adj[e.To], len(arcs))
+		arcs = append(arcs, arc{to: e.From, cap: 0, pair: len(arcs) - 1})
+	}
+	total := 0.0
+	for {
+		parent := make([]int, g.NumVertices())
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[g.Source()] = -2
+		queue := []int{g.Source()}
+		for qh := 0; qh < len(queue) && parent[g.Sink()] == -1; qh++ {
+			v := queue[qh]
+			for _, ai := range adj[v] {
+				if arcs[ai].cap > 1e-12 && parent[arcs[ai].to] == -1 {
+					parent[arcs[ai].to] = ai
+					queue = append(queue, arcs[ai].to)
+				}
+			}
+		}
+		if parent[g.Sink()] == -1 {
+			return total
+		}
+		bottleneck := math.Inf(1)
+		for v := g.Sink(); v != g.Source(); {
+			ai := parent[v]
+			bottleneck = math.Min(bottleneck, arcs[ai].cap)
+			v = arcs[arcs[ai].pair].to
+		}
+		for v := g.Sink(); v != g.Source(); {
+			ai := parent[v]
+			arcs[ai].cap -= bottleneck
+			arcs[arcs[ai].pair].cap += bottleneck
+			v = arcs[arcs[ai].pair].to
+		}
+		total += bottleneck
+	}
+}
+
+// TestSegmentationGridMatchesOriginalExample rebuilds the 12x12 instance
+// exactly the way examples/imageseg originally did and checks the generator
+// reproduces it edge for edge (seed 0 disables noise).
+func TestSegmentationGridMatchesOriginalExample(t *testing.T) {
+	const width, height = 12, 12
+	img := make([][]float64, height)
+	for y := range img {
+		img[y] = make([]float64, width)
+		for x := range img[y] {
+			dx, dy := float64(x)-5.5, float64(y)-5.5
+			if math.Sqrt(dx*dx+dy*dy) < 3.5 {
+				img[y][x] = 0.9
+			} else {
+				img[y][x] = 0.15 + 0.02*float64((x+y)%3)
+			}
+		}
+	}
+	pixel := func(x, y int) int { return 2 + y*width + x }
+	want := MustNew(2+width*height, 0, 1)
+	link := func(x1, y1, x2, y2 int) {
+		diff := math.Abs(img[y1][x1] - img[y2][x2])
+		capacity := 1 + 9*math.Exp(-10*diff*diff)
+		want.MustAddEdge(pixel(x1, y1), pixel(x2, y2), capacity)
+		want.MustAddEdge(pixel(x2, y2), pixel(x1, y1), capacity)
+	}
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if x+1 < width {
+				link(x, y, x+1, y)
+			}
+			if y+1 < height {
+				link(x, y, x, y+1)
+			}
+		}
+	}
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			v := pixel(x, y)
+			if bright := img[y][x]; bright > 0.5 {
+				want.MustAddEdge(0, v, 20*bright)
+			} else {
+				want.MustAddEdge(v, 1, 20*(1-bright))
+			}
+		}
+	}
+
+	got, err := SegmentationGrid(width, height, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != want.NumEdges() || got.NumVertices() != want.NumVertices() {
+		t.Fatalf("got %d vertices / %d edges, want %d / %d",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	for i := 0; i < want.NumEdges(); i++ {
+		ge, we := got.Edge(i), want.Edge(i)
+		if ge.From != we.From || ge.To != we.To || math.Abs(ge.Capacity-we.Capacity) > 1e-12 {
+			t.Fatalf("edge %d: got %+v, want %+v", i, ge, we)
+		}
+	}
+}
+
+func TestSegmentationGridSeedDeterminism(t *testing.T) {
+	a := MustSegmentationGrid(16, 16, true, 7)
+	b := MustSegmentationGrid(16, 16, true, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatalf("same seed differs at edge %d", i)
+		}
+	}
+	c := MustSegmentationGrid(16, 16, true, 8)
+	same := a.NumEdges() == c.NumEdges()
+	if same {
+		same = false
+		for i := 0; i < a.NumEdges(); i++ {
+			if a.Edge(i) != c.Edge(i) {
+				break
+			}
+			if i == a.NumEdges()-1 {
+				same = true
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestSegmentationGridRejectsBadDimensions(t *testing.T) {
+	if _, err := SegmentationGrid(0, 5, false, 1); err == nil {
+		t.Error("0-width accepted")
+	}
+}
+
+func TestLongPath(t *testing.T) {
+	g := LongPath(1000)
+	if g.NumVertices() != 1000 || g.NumEdges() != 999 {
+		t.Fatalf("got %d vertices / %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustMaxFlowValue(t, g); math.Abs(v-1) > 1e-12 {
+		t.Errorf("long path max flow %g, want 1", v)
+	}
+}
+
+func TestLongPathRejectsTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LongPath(1) did not panic")
+		}
+	}()
+	LongPath(1)
+}

@@ -71,9 +71,12 @@ func pruneToSTCore(g *Graph, caps []float64) *PruneResult {
 	usable := func(i int, e Edge) bool {
 		return capOf(i) > 0 && e.To != g.Source() && e.From != g.Sink()
 	}
-	reachFromS := make([]bool, n)
+	sc := pruneScratchPool.Get().(*pruneScratch)
+	defer pruneScratchPool.Put(sc)
+	reachFromS := growBoolsCleared(sc.reachFromS, n)
+	sc.reachFromS = reachFromS
 	reachFromS[g.Source()] = true
-	stack := []int{g.Source()}
+	stack := append(sc.stack[:0], g.Source())
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -86,9 +89,10 @@ func pruneToSTCore(g *Graph, caps []float64) *PruneResult {
 		}
 	}
 	// Reverse reachability to the sink.
-	reachToT := make([]bool, n)
+	reachToT := growBoolsCleared(sc.reachToT, n)
+	sc.reachToT = reachToT
 	reachToT[g.Sink()] = true
-	stack = []int{g.Sink()}
+	stack = append(stack[:0], g.Sink())
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -101,7 +105,9 @@ func pruneToSTCore(g *Graph, caps []float64) *PruneResult {
 		}
 	}
 
-	keepVertex := make([]bool, n)
+	sc.stack = stack[:0] // keep any grown capacity for the next pass
+	keepVertex := growBoolsCleared(sc.keepVertex, n)
+	sc.keepVertex = keepVertex
 	for v := 0; v < n; v++ {
 		keepVertex[v] = reachFromS[v] && reachToT[v]
 	}
@@ -111,7 +117,8 @@ func pruneToSTCore(g *Graph, caps []float64) *PruneResult {
 	keepVertex[g.Sink()] = true
 
 	res := &PruneResult{}
-	newIndex := make([]int, n)
+	newIndex := growInts(sc.newIndex, n) // fully overwritten by the next loop
+	sc.newIndex = newIndex
 	for v := 0; v < n; v++ {
 		newIndex[v] = -1
 	}
@@ -133,8 +140,10 @@ func pruneToSTCore(g *Graph, caps []float64) *PruneResult {
 		return keepVertex[e.From] && keepVertex[e.To] &&
 			e.To != g.Source() && e.From != g.Sink() && (capOf(i) > 0 || g.ParkedEdge(i))
 	}
-	outDeg := make([]int, len(res.VertexMap))
-	inDeg := make([]int, len(res.VertexMap))
+	outDeg := growIntsCleared(sc.outDeg, len(res.VertexMap))
+	sc.outDeg = outDeg
+	inDeg := growIntsCleared(sc.inDeg, len(res.VertexMap))
+	sc.inDeg = inDeg
 	kept := 0
 	for i, ne := 0, g.NumEdges(); i < ne; i++ {
 		if e := g.Edge(i); keepEdge(i, e) {
@@ -231,16 +240,19 @@ func (r *PruneResult) ExpandFlow(original *Graph, pruned *Flow) *Flow {
 // of the analog substrate uses it as the number of widget "hops" a settling
 // wave must traverse.
 func STDepth(g *Graph) int {
-	dist := make([]int, g.NumVertices())
+	sc := bfsScratchPool.Get().(*bfsScratch)
+	defer bfsScratchPool.Put(sc)
+	dist := growInts(sc.dist, g.NumVertices())
+	sc.dist = dist
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[g.Source()] = 0
-	queue := []int{g.Source()}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	queue := append(sc.queue[:0], g.Source())
+	for qh := 0; qh < len(queue); qh++ {
+		v := queue[qh]
 		if v == g.Sink() {
+			sc.queue = queue[:0]
 			return dist[v]
 		}
 		for _, idx := range g.OutEdges(v) {
@@ -251,6 +263,7 @@ func STDepth(g *Graph) int {
 			}
 		}
 	}
+	sc.queue = queue[:0]
 	return dist[g.Sink()]
 }
 
@@ -270,16 +283,18 @@ func LongestAugmentingDepth(g *Graph) int {
 // and edge order, so the BFS levels are identical); it skips the redundant
 // re-pruning pass, which matters in the per-instance hot path of the sweeps.
 func LongestAugmentingDepthPruned(p *Graph) int {
-	dist := make([]int, p.NumVertices())
+	sc := bfsScratchPool.Get().(*bfsScratch)
+	defer bfsScratchPool.Put(sc)
+	dist := growInts(sc.dist, p.NumVertices())
+	sc.dist = dist
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[p.Source()] = 0
-	queue := []int{p.Source()}
+	queue := append(sc.queue[:0], p.Source())
 	maxLevel := 0
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for qh := 0; qh < len(queue); qh++ {
+		v := queue[qh]
 		for _, idx := range p.OutEdges(v) {
 			e := p.Edge(idx)
 			if dist[e.To] < 0 {
@@ -291,6 +306,7 @@ func LongestAugmentingDepthPruned(p *Graph) int {
 			}
 		}
 	}
+	sc.queue = queue[:0]
 	if maxLevel == 0 {
 		return 1
 	}

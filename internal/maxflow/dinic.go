@@ -22,7 +22,8 @@ func SolveDinicContext(ctx context.Context, g *graph.Graph) (*graph.Flow, error)
 	if err := checkSolvable(g); err != nil {
 		return nil, err
 	}
-	r := newResidual(g)
+	r := newResidualPooled(g)
+	defer r.release()
 	if err := runDinic(ctx, r); err != nil {
 		return nil, err
 	}
@@ -31,27 +32,29 @@ func SolveDinicContext(ctx context.Context, g *graph.Graph) (*graph.Flow, error)
 
 // runDinic augments the residual network to a maximum flow with Dinitz's
 // algorithm.  It works from any feasible starting state, so it serves both
-// the cold entry points above and the warm-start path of Network.
+// the cold entry points above and the warm-start path of Network.  All
+// per-phase scratch (level graph, current-arc cursors, BFS queue, DFS path)
+// is pooled, so repeated solves allocate nothing once the pool is warm.
 func runDinic(ctx context.Context, r *residual) error {
 	eps := epsilonFor(r.maxArcCapacity())
-	level := make([]int, r.n)
-	iter := make([]int, r.n)
-	queue := make([]int, 0, r.n)
+	sc := getDinicScratch(r.n)
+	defer putDinicScratch(sc)
 
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if !dinicBFS(r, level, queue, eps) {
+		if !dinicBFS(r, sc, eps) {
 			break
 		}
-		copy(iter, r.off[:r.n])
-		for {
-			pushed := dinicDFS(r, level, iter, r.s, inf, eps)
-			if pushed <= eps {
-				break
-			}
+		// Rewind the current-arc cursors: the level graph changed, so arcs
+		// exhausted in the previous phase may be admissible again.  Within a
+		// phase the cursors persist across augmentations, so each arc is
+		// scanned at most once per phase.
+		for v := 0; v < r.n; v++ {
+			sc.iter[v] = int32(r.off[v])
 		}
+		dinicBlockingFlow(r, sc, eps)
 	}
 	return nil
 }
@@ -59,52 +62,92 @@ func runDinic(ctx context.Context, r *residual) error {
 const inf = 1e300
 
 // dinicBFS builds the level graph; it returns false when the sink is no
-// longer reachable, which terminates the algorithm.  The queue buffer is
-// supplied by the caller so that the per-phase BFS allocates nothing.
-func dinicBFS(r *residual, level, queue []int, eps float64) bool {
+// longer reachable, which terminates the algorithm.  The queue buffer lives
+// in the pooled scratch so that the per-phase BFS allocates nothing.
+func dinicBFS(r *residual, sc *dinicScratch, eps float64) bool {
+	level := sc.level
 	for i := range level {
 		level[i] = -1
 	}
 	level[r.s] = 0
-	queue = append(queue[:0], r.s)
+	queue := append(sc.queue[:0], int32(r.s))
 	for qh := 0; qh < len(queue); qh++ {
-		v := queue[qh]
+		v := int(queue[qh])
 		for p := r.off[v]; p < r.off[v+1]; p++ {
 			a := r.adj[p]
 			to := r.arcs[a].to
 			if r.arcs[a].cap > eps && level[to] < 0 {
 				level[to] = level[v] + 1
-				queue = append(queue, to)
+				queue = append(queue, int32(to))
 			}
 		}
 	}
+	sc.queue = queue[:0] // keep any grown capacity for the next phase
 	return level[r.t] >= 0
 }
 
-// dinicDFS sends a blocking-flow augmentation from v toward the sink along
-// strictly increasing levels, using iter as the current-arc positions within
-// each vertex's adjacency segment.
-func dinicDFS(r *residual, level, iter []int, v int, limit, eps float64) float64 {
-	if v == r.t {
-		return limit
-	}
-	for ; iter[v] < r.off[v+1]; iter[v]++ {
-		a := r.adj[iter[v]]
-		to := r.arcs[a].to
-		if r.arcs[a].cap <= eps || level[to] != level[v]+1 {
+// dinicBlockingFlow sends a blocking flow through the current level graph
+// with an explicit-stack DFS: sc.path holds the arcs of the active s→v path
+// and sc.iter the current-arc cursor of every vertex.  The recursive
+// formulation this replaces needed one stack frame per path vertex and blew
+// goroutine stacks once augmenting paths reached ~10^5 vertices; the
+// iterative form is stack-safe at 10^6 and follows the exact same
+// current-arc order, so it routes flow identically.
+func dinicBlockingFlow(r *residual, sc *dinicScratch, eps float64) {
+	path := sc.path[:0]
+	v := r.s
+	for {
+		if v == r.t {
+			// Augment: push the bottleneck along the path, then retreat to
+			// the tail of the shallowest saturated arc and keep searching.
+			bottleneck := inf
+			for _, a := range path {
+				if r.arcs[a].cap < bottleneck {
+					bottleneck = r.arcs[a].cap
+				}
+			}
+			trunc := len(path)
+			for i, a := range path {
+				r.push(int(a), bottleneck)
+				if r.arcs[a].cap <= eps && i < trunc {
+					trunc = i
+				}
+			}
+			path = path[:trunc]
+			if trunc == 0 {
+				v = r.s
+			} else {
+				v = r.arcs[path[trunc-1]].to
+			}
 			continue
 		}
-		avail := limit
-		if r.arcs[a].cap < avail {
-			avail = r.arcs[a].cap
+		advanced := false
+		end := int32(r.off[v+1])
+		for p := sc.iter[v]; p < end; p++ {
+			a := r.adj[p]
+			to := r.arcs[a].to
+			if r.arcs[a].cap > eps && sc.level[to] == sc.level[v]+1 {
+				sc.iter[v] = p
+				path = append(path, a)
+				v = to
+				advanced = true
+				break
+			}
 		}
-		pushed := dinicDFS(r, level, iter, to, avail, eps)
-		if pushed > eps {
-			r.push(int(a), pushed)
-			return pushed
+		if !advanced {
+			// Dead end: prune v from the level graph so no later descent
+			// re-enters it, and retreat one arc.
+			sc.iter[v] = end
+			sc.level[v] = -1
+			if v == r.s {
+				break
+			}
+			a := path[len(path)-1]
+			path = path[:len(path)-1]
+			v = r.tail(int(a))
 		}
 	}
-	return 0
+	sc.path = path[:0]
 }
 
 // SolveEdmondsKarp computes a maximum flow by repeatedly augmenting along
@@ -121,7 +164,8 @@ func SolveEdmondsKarpContext(ctx context.Context, g *graph.Graph) (*graph.Flow, 
 	if err := checkSolvable(g); err != nil {
 		return nil, err
 	}
-	r := newResidual(g)
+	r := newResidualPooled(g)
+	defer r.release()
 	if err := runEdmondsKarp(ctx, r); err != nil {
 		return nil, err
 	}
@@ -129,10 +173,13 @@ func SolveEdmondsKarpContext(ctx context.Context, g *graph.Graph) (*graph.Flow, 
 }
 
 // runEdmondsKarp augments the residual network to a maximum flow along
-// shortest residual paths, from any feasible starting state.
+// shortest residual paths, from any feasible starting state.  The BFS
+// parent/queue scratch is pooled and reused across iterations.
 func runEdmondsKarp(ctx context.Context, r *residual) error {
 	eps := epsilonFor(r.maxArcCapacity())
-	parentArc := make([]int, r.n)
+	sc := getEKScratch(r.n)
+	defer putEKScratch(sc)
+	parentArc := sc.parentArc
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -143,31 +190,31 @@ func runEdmondsKarp(ctx context.Context, r *residual) error {
 			parentArc[i] = -1
 		}
 		parentArc[r.s] = -2
-		queue := []int{r.s}
+		queue := append(sc.queue[:0], int32(r.s))
 		found := false
-		for len(queue) > 0 && !found {
-			v := queue[0]
-			queue = queue[1:]
+		for qh := 0; qh < len(queue) && !found; qh++ {
+			v := int(queue[qh])
 			for p := r.off[v]; p < r.off[v+1]; p++ {
 				a := int(r.adj[p])
 				to := r.arcs[a].to
 				if r.arcs[a].cap > eps && parentArc[to] == -1 {
-					parentArc[to] = a
+					parentArc[to] = int32(a)
 					if to == r.t {
 						found = true
 						break
 					}
-					queue = append(queue, to)
+					queue = append(queue, int32(to))
 				}
 			}
 		}
+		sc.queue = queue[:0]
 		if !found {
 			break
 		}
 		// Bottleneck along the path.
 		bottleneck := inf
 		for v := r.t; v != r.s; {
-			a := parentArc[v]
+			a := int(parentArc[v])
 			if r.arcs[a].cap < bottleneck {
 				bottleneck = r.arcs[a].cap
 			}
@@ -175,7 +222,7 @@ func runEdmondsKarp(ctx context.Context, r *residual) error {
 		}
 		// Augment.
 		for v := r.t; v != r.s; {
-			a := parentArc[v]
+			a := int(parentArc[v])
 			r.push(a, bottleneck)
 			v = r.arcs[a^1].to
 		}

@@ -1,0 +1,175 @@
+package maxflow
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime/debug"
+	"testing"
+
+	"analogflow/internal/graph"
+	"analogflow/internal/rmat"
+)
+
+// TestLongPathBoundedStack is the recursion-depth regression gate: every CPU
+// backend must solve a 250k-vertex single-chain instance — whose one
+// augmenting path touches every vertex — under a stack ceiling far below what
+// per-vertex recursion would need (~25 MB of frames).  The recursive Dinic
+// DFS this pins against blew the goroutine stack here; the iterative kernels
+// need O(1) stack regardless of path length.
+func TestLongPathBoundedStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-path instance is slow under -short")
+	}
+	old := debug.SetMaxStack(4 << 20)
+	defer debug.SetMaxStack(old)
+
+	const n = 250_000
+	g := graph.LongPath(n)
+	solvers := map[string]func(*graph.Graph) (*graph.Flow, error){
+		"dinic":             SolveDinic,
+		"edmonds-karp":      SolveEdmondsKarp,
+		"push-relabel":      SolvePushRelabel,
+		"push-relabel-fifo": SolvePushRelabelFIFO,
+	}
+	for name, solver := range solvers {
+		t.Run(name, func(t *testing.T) {
+			f, err := solver(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(f.Value-1) > 1e-9 {
+				t.Fatalf("long-path flow %g, want 1", f.Value)
+			}
+		})
+	}
+}
+
+// TestGridWarmUpdateChurn runs randomized capacity and structural churn on a
+// segmentation grid through Network.UpdateTo/StructureTo, pinning after every
+// step that the warm re-solve reaches exactly the cold max-flow value and
+// that the warm flow verifies optimal.  This is the grid-shaped companion of
+// TestNetworkWarmMatchesCold: neighbour links carry fractional capacities and
+// the terminals attach per pixel, the regime the large-instance push-relabel
+// heuristics are tuned for.
+func TestGridWarmUpdateChurn(t *testing.T) {
+	for _, alg := range []Algorithm{Dinic, PushRelabel} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			g := graph.MustSegmentationGrid(16, 12, false, 5)
+			net, err := NewNetwork(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := net.Solve(context.Background(), alg); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(23))
+			for step := 0; step < 10; step++ {
+				if step%3 == 2 {
+					// Structural churn: append a long-range link between two
+					// random pixels (an extension, so warm state survives).
+					g2 := g.Clone()
+					u := 2 + rng.Intn(g.NumVertices()-2)
+					v := 2 + rng.Intn(g.NumVertices()-2)
+					for v == u {
+						v = 2 + rng.Intn(g.NumVertices()-2)
+					}
+					if _, err := g2.AddEdge(u, v, 1+rng.Float64()*4); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					g = g2
+					if err := net.StructureTo(g); err != nil {
+						t.Fatalf("step %d: StructureTo: %v", step, err)
+					}
+				} else {
+					// Capacity churn, biased toward decreases so drains run.
+					var upd graph.CapacityUpdate
+					seen := map[int]bool{}
+					for len(upd.Edges) < 8 {
+						e := rng.Intn(g.NumEdges())
+						if seen[e] {
+							continue
+						}
+						seen[e] = true
+						var c float64
+						switch rng.Intn(4) {
+						case 0:
+							c = g.Edge(e).Capacity + rng.Float64()*10
+						case 1, 2:
+							c = g.Edge(e).Capacity / 2
+						default:
+							c = 0
+						}
+						upd.Edges = append(upd.Edges, e)
+						upd.Capacities = append(upd.Capacities, c)
+					}
+					g = applyUpdate(t, g, upd)
+					if err := net.UpdateTo(g); err != nil {
+						t.Fatalf("step %d: UpdateTo: %v", step, err)
+					}
+				}
+				if rep := net.Flow().CheckFeasibility(g); !rep.Feasible(1e-9) {
+					t.Fatalf("step %d: intermediate flow infeasible: %v", step, rep)
+				}
+				warm, err := net.Solve(context.Background(), alg)
+				if err != nil {
+					t.Fatalf("step %d: warm solve: %v", step, err)
+				}
+				cold, err := Solve(g, alg)
+				if err != nil {
+					t.Fatalf("step %d: cold solve: %v", step, err)
+				}
+				// Grid capacities are fractional, so warm and cold runs may
+				// route float round-off differently; the values must still
+				// agree to ULP-level precision, and optimality is certified
+				// independently below.
+				if tol := 1e-11 * math.Max(1, cold.Value); math.Abs(warm.Value-cold.Value) > tol {
+					t.Fatalf("step %d: warm value %v, cold value %v", step, warm.Value, cold.Value)
+				}
+				if err := VerifyOptimal(g, warm, 1e-6); err != nil {
+					t.Fatalf("step %d: warm flow not optimal: %v", step, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPushRelabelMatchesFIFOBaseline differentially tests the highest-label
+// kernel against the frozen FIFO baseline (and Dinic as an independent
+// referee) across grid, R-MAT and chain instances: all three must agree on
+// the max-flow value and each flow must verify optimal.
+func TestPushRelabelMatchesFIFOBaseline(t *testing.T) {
+	instances := map[string]*graph.Graph{
+		"grid-4n":     graph.MustSegmentationGrid(20, 14, false, 9),
+		"grid-8n":     graph.MustSegmentationGrid(14, 14, true, 4),
+		"rmat-sparse": rmat.MustGenerate(rmat.SparseParams(96, 17)),
+		"rmat-dense":  rmat.MustGenerate(rmat.DenseParams(64, 29)),
+		"chain":       graph.LongPath(512),
+	}
+	for name, g := range instances {
+		t.Run(name, func(t *testing.T) {
+			hi, err := SolvePushRelabel(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fifo, err := SolvePushRelabelFIFO(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := SolveDinic(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := 1e-9 * math.Max(1, ref.Value)
+			if math.Abs(hi.Value-fifo.Value) > tol || math.Abs(hi.Value-ref.Value) > tol {
+				t.Fatalf("kernels disagree: highest-label %v, fifo %v, dinic %v", hi.Value, fifo.Value, ref.Value)
+			}
+			for fname, f := range map[string]*graph.Flow{"highest-label": hi, "fifo": fifo} {
+				if err := VerifyOptimal(g, f, 1e-6); err != nil {
+					t.Errorf("%s flow not optimal: %v", fname, err)
+				}
+			}
+		})
+	}
+}

@@ -7,9 +7,13 @@ import (
 )
 
 // SolvePushRelabel computes a maximum flow with the Goldberg-Tarjan
-// push-relabel algorithm, FIFO active-vertex selection, the gap heuristic and
-// periodic global relabelling — the configuration typically used by the
-// reference implementations the paper benchmarks against.
+// push-relabel algorithm in its large-graph configuration: highest-label
+// active-vertex selection through a height-indexed bucket structure, a gap
+// heuristic that relocates exactly the vertices above a gap (per-height
+// vertex lists instead of a full scan), and periodic global relabelling via
+// reverse BFS on the residual network on a work-based schedule.  This is the
+// configuration the reference implementations use once instances reach the
+// 10^5–10^6 vertex range of the paper's vision-style grid workloads.
 func SolvePushRelabel(g *graph.Graph) (*graph.Flow, error) {
 	return SolvePushRelabelContext(context.Background(), g)
 }
@@ -24,7 +28,8 @@ func SolvePushRelabelContext(ctx context.Context, g *graph.Graph) (*graph.Flow, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := newResidual(g)
+	r := newResidualPooled(g)
+	defer r.release()
 	if err := runPushRelabel(ctx, r); err != nil {
 		return nil, err
 	}
@@ -32,67 +37,104 @@ func SolvePushRelabelContext(ctx context.Context, g *graph.Graph) (*graph.Flow, 
 }
 
 // runPushRelabel augments the residual network to a maximum flow with the
-// push-relabel algorithm.  Like the other run helpers it accepts any feasible
-// starting state: the algorithm computes a maximum flow of the residual
-// network, and the arc bookkeeping composes it with whatever flow the
-// residual already encodes.
+// highest-label push-relabel kernel.  Like the other run helpers it accepts
+// any feasible starting state: the algorithm computes a maximum flow of the
+// residual network, and the arc bookkeeping composes it with whatever flow
+// the residual already encodes, which is what the warm path of Network.Solve
+// relies on.  All per-solve state lives in a pooled scratch structure, so
+// repeated solves allocate nothing once the pool is warm.
 func runPushRelabel(ctx context.Context, r *residual) error {
-	return newPushRelabelState(r).run(ctx)
+	st := getPRState(r)
+	err := st.run(ctx)
+	putPRState(st)
+	return err
 }
 
+// pushRelabelState is the pooled scratch of the highest-label kernel.  Widths
+// are int32 throughout: heights and list links never exceed 2n+1, and halving
+// the footprint keeps the working set cache-resident far longer on the
+// 10^5–10^6 vertex instances this kernel is tuned for.
 type pushRelabelState struct {
 	r      *residual
 	excess []float64
-	height []int
-	// countHeight[h] is the number of vertices at height h, used by the gap
-	// heuristic.
-	countHeight []int
-	// active is a FIFO of active vertices: enqueue appends, the run loop pops
-	// from qhead.  The slice is compacted whenever the dead prefix dominates.
-	active  []int
-	qhead   int
-	inQueue []bool
-	eps     float64
-	// relabelBudget triggers a global relabelling once enough relabel
-	// operations have occurred.
-	relabelSinceGlobal int
-	relabelThreshold   int
+	height []int32
+	// countHeight[h] is the number of vertices at height h (terminals
+	// included); a bucket of some h < n dropping to zero is the gap signal.
+	countHeight []int32
+	// cur[v] is the current-arc cursor into adj[off[v]:off[v+1]].  It
+	// persists across discharges and is rewound only when v is relabelled
+	// (or by a global relabelling), so each arc is scanned at most once per
+	// height of its tail.
+	cur []int32
+	// Per-height doubly-linked lists threading every non-terminal vertex
+	// through the bucket of its height.  A gap event walks exactly the
+	// populated buckets above the gap instead of scanning all n vertices.
+	levHead, levNext, levPrev []int32
+	// levMax is an upper bound on the highest height below n whose bucket is
+	// non-empty; it bounds the gap walk.
+	levMax int32
+	// Per-height singly-linked lists of active vertices implement
+	// highest-label selection.  inAct[v] reports whether v has a live entry
+	// in the bucket of its current height; entries orphaned when a gap moves
+	// a vertex are detected lazily by the height check on pop.
+	actHead, actNext []int32
+	inAct            []bool
+	// Two bucket pointers split active processing into the classic phases.
+	// highest bounds the greatest active height below n (vertices still
+	// routing flow to the sink); hiHighest bounds the greatest active height
+	// at or above n (vertices returning trapped excess to the source; empty
+	// sentinel n-1).  The run loop drains the low band first — return-band
+	// work can never enable sink-band work — so a gap lifting vertices to
+	// n+1 never drags a bucket scan across the ~n empty heights in between.
+	highest   int
+	hiHighest int
+	// gapSinceGlobal records that a gap parked vertices at a flat n+1 since
+	// the last global relabelling; the low→high transition then refreshes
+	// labels once so the return flow drains along exact source distances.
+	gapSinceGlobal bool
+	eps            float64
+	// work accumulates relabel arc scans; once it passes workThreshold
+	// (~alpha*(n+m)) a global relabelling recomputes exact heights.  This
+	// work-based schedule replaces the fixed every-n-relabels trigger, which
+	// fired far too rarely on sparse grids and far too often on dense cores.
+	work          int
+	workThreshold int
 	// dist and bfsQueue are globalRelabel scratch buffers.
-	dist     []int
-	bfsQueue []int
+	dist     []int32
+	bfsQueue []int32
 }
 
-func newPushRelabelState(r *residual) *pushRelabelState {
+// attach sizes the scratch for r and clears what run does not rebuild.
+func (st *pushRelabelState) attach(r *residual) {
 	n := r.n
-	st := &pushRelabelState{
-		r:           r,
-		excess:      make([]float64, n),
-		height:      make([]int, n),
-		countHeight: make([]int, 2*n+1),
-		active:      make([]int, 0, n),
-		inQueue:     make([]bool, n),
-		eps:         epsilonFor(r.maxArcCapacity()),
-		dist:        make([]int, n),
-		bfsQueue:    make([]int, 0, n),
+	st.r = r
+	st.eps = epsilonFor(r.maxArcCapacity())
+	st.excess = growSlice(st.excess, n)
+	for i := range st.excess {
+		st.excess[i] = 0
 	}
-	st.relabelThreshold = n
-	if st.relabelThreshold < 16 {
-		st.relabelThreshold = 16
+	st.height = growSlice(st.height, n)
+	st.cur = growSlice(st.cur, n)
+	st.levNext = growSlice(st.levNext, n)
+	st.levPrev = growSlice(st.levPrev, n)
+	st.actNext = growSlice(st.actNext, n)
+	st.inAct = growSlice(st.inAct, n)
+	st.countHeight = growSlice(st.countHeight, 2*n+1)
+	st.levHead = growSlice(st.levHead, 2*n+1)
+	st.actHead = growSlice(st.actHead, 2*n+1)
+	st.dist = growSlice(st.dist, n)
+	if cap(st.bfsQueue) < n {
+		st.bfsQueue = make([]int32, 0, n)
 	}
-	return st
+	st.workThreshold = 4*n + len(r.adj)
+	st.work = 0
 }
 
 func (st *pushRelabelState) run(ctx context.Context) error {
 	r := st.r
-	n := r.n
-	// Initialise: source at height n, saturate all source-adjacent arcs.
-	st.height[r.s] = n
-	for v := 0; v < n; v++ {
-		if v != r.s {
-			st.countHeight[0]++
-		}
-	}
-	st.countHeight[n]++
+	// Initialise the preflow: saturate all source-adjacent arcs.  The first
+	// global relabelling then builds every bucket structure from exact BFS
+	// heights, including the conventional height[s] = n.
 	for p := r.off[r.s]; p < r.off[r.s+1]; p++ {
 		a := int(r.adj[p])
 		if r.arcs[a].cap > st.eps {
@@ -101,55 +143,75 @@ func (st *pushRelabelState) run(ctx context.Context) error {
 			r.push(a, delta)
 			st.excess[to] += delta
 			st.excess[r.s] -= delta
-			st.enqueue(to)
 		}
 	}
 	st.globalRelabel()
 
 	discharges := 0
-	for st.qhead < len(st.active) {
+	for {
+		var v int32
+		switch {
+		case st.highest >= 0:
+			v = st.actHead[st.highest]
+			if v < 0 {
+				st.highest--
+				continue
+			}
+			st.actHead[st.highest] = st.actNext[v]
+			if int(st.height[v]) != st.highest {
+				continue // orphaned by a gap; the live entry sits in another bucket
+			}
+		case st.hiHighest >= r.n:
+			if st.gapSinceGlobal {
+				// Entering the return band with gap-parked flat labels;
+				// refresh once so excess descends exact source distances.
+				st.globalRelabel()
+				continue
+			}
+			v = st.actHead[st.hiHighest]
+			if v < 0 {
+				st.hiHighest--
+				continue
+			}
+			st.actHead[st.hiHighest] = st.actNext[v]
+			if int(st.height[v]) != st.hiHighest {
+				continue
+			}
+		default:
+			return nil
+		}
+		st.inAct[v] = false
+		if st.excess[v] <= st.eps {
+			continue
+		}
 		discharges++
 		if discharges&0xfff == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		v := st.active[st.qhead]
-		st.qhead++
-		if st.qhead > 1024 && st.qhead*2 > len(st.active) {
-			st.active = append(st.active[:0], st.active[st.qhead:]...)
-			st.qhead = 0
-		}
-		st.inQueue[v] = false
-		st.discharge(v)
-		if st.relabelSinceGlobal >= st.relabelThreshold {
+		st.discharge(int(v))
+		if st.work >= st.workThreshold {
 			st.globalRelabel()
-			st.relabelSinceGlobal = 0
 		}
 	}
-	return nil
 }
 
-// enqueue marks v active if it carries excess and is neither terminal.
-func (st *pushRelabelState) enqueue(v int) {
-	if v == st.r.s || v == st.r.t || st.inQueue[v] {
-		return
-	}
-	if st.excess[v] > st.eps {
-		st.inQueue[v] = true
-		st.active = append(st.active, v)
-	}
-}
-
-// discharge pushes the excess at v until it is exhausted or v is relabelled.
+// discharge pushes the excess at v until it is exhausted or v is lifted past
+// 2n.  v has just been popped from the active buckets; neighbours activated
+// by pushes are registered, and v itself simply keeps discharging after a
+// relabel — it remains the highest active vertex.
 func (st *pushRelabelState) discharge(v int) {
 	r := st.r
-	for st.excess[v] > st.eps {
-		pushed := false
-		for p := r.off[v]; p < r.off[v+1]; p++ {
+	h := st.height[v]
+	for {
+		p := st.cur[v]
+		end := int32(r.off[v+1])
+		for ; p < end; p++ {
 			a := int(r.adj[p])
 			arc := &r.arcs[a]
-			if arc.cap <= st.eps || st.height[v] != st.height[arc.to]+1 {
+			to := arc.to
+			if arc.cap <= st.eps || st.height[to]+1 != h {
 				continue
 			}
 			delta := st.excess[v]
@@ -158,78 +220,150 @@ func (st *pushRelabelState) discharge(v int) {
 			}
 			r.push(a, delta)
 			st.excess[v] -= delta
-			st.excess[arc.to] += delta
-			st.enqueue(arc.to)
-			pushed = true
-			if st.excess[v] <= st.eps {
-				break
+			st.excess[to] += delta
+			if to != r.s && to != r.t && !st.inAct[to] {
+				st.actPush(int32(to), st.height[to])
 			}
-		}
-		if st.excess[v] <= st.eps {
-			return
-		}
-		if !pushed {
-			if !st.relabel(v) {
+			if st.excess[v] <= st.eps {
+				st.cur[v] = p
 				return
 			}
 		}
+		st.cur[v] = int32(r.off[v])
+		if !st.relabel(v) {
+			return
+		}
+		h = st.height[v]
 	}
 }
 
-// relabel raises v to one more than its lowest admissible neighbour.  It
-// returns false when v became unreachable (height >= 2n), in which case its
-// excess can never reach the sink and is abandoned (it flows back to the
-// source implicitly via the height function).
+// actPush registers a live active-list entry for v in the bucket of height h,
+// raising the band pointer the bucket belongs to.
+func (st *pushRelabelState) actPush(v, h int32) {
+	st.actNext[v] = st.actHead[h]
+	st.actHead[h] = v
+	st.inAct[v] = true
+	if int(h) < st.r.n {
+		if int(h) > st.highest {
+			st.highest = int(h)
+		}
+	} else if int(h) > st.hiHighest {
+		st.hiHighest = int(h)
+	}
+}
+
+// levAdd inserts v at the head of the height-h vertex list.
+func (st *pushRelabelState) levAdd(v, h int32) {
+	head := st.levHead[h]
+	st.levNext[v] = head
+	st.levPrev[v] = -1
+	if head >= 0 {
+		st.levPrev[head] = v
+	}
+	st.levHead[h] = v
+	if h < int32(st.r.n) && h > st.levMax {
+		st.levMax = h
+	}
+}
+
+// levDel unlinks v from the height-h vertex list.
+func (st *pushRelabelState) levDel(v, h int32) {
+	next, prev := st.levNext[v], st.levPrev[v]
+	if prev >= 0 {
+		st.levNext[prev] = next
+	} else {
+		st.levHead[h] = next
+	}
+	if next >= 0 {
+		st.levPrev[next] = prev
+	}
+}
+
+// relabel raises v to one more than its lowest residual neighbour and fires
+// the gap heuristic when v's old bucket emptied.  It returns false when v
+// reached height 2n, in which case its residual capacities are below the
+// epsilon tolerance and its (tiny) excess is abandoned.
 func (st *pushRelabelState) relabel(v int) bool {
 	r := st.r
-	oldHeight := st.height[v]
-	minH := 2 * r.n
+	lim := int32(2 * r.n)
+	oldH := st.height[v]
+	minH := lim
+	st.work += r.off[v+1] - r.off[v]
 	for p := r.off[v]; p < r.off[v+1]; p++ {
 		a := r.adj[p]
 		if r.arcs[a].cap > st.eps && st.height[r.arcs[a].to] < minH {
 			minH = st.height[r.arcs[a].to]
 		}
 	}
-	newHeight := minH + 1
-	if newHeight >= 2*r.n {
-		newHeight = 2 * r.n
+	newH := minH + 1
+	if newH >= lim {
+		newH = lim
 	}
-	st.countHeight[oldHeight]--
-	st.height[v] = newHeight
-	st.countHeight[newHeight]++
-	st.relabelSinceGlobal++
-
-	// Gap heuristic: if no vertex remains at oldHeight and oldHeight < n,
-	// every vertex above the gap can never route flow to the sink; lift them
-	// all above n at once.
-	if oldHeight < r.n && st.countHeight[oldHeight] == 0 {
-		for u := 0; u < r.n; u++ {
-			if u != r.s && st.height[u] > oldHeight && st.height[u] < r.n {
-				st.countHeight[st.height[u]]--
-				st.height[u] = r.n + 1
-				st.countHeight[r.n+1]++
-			}
-		}
+	st.countHeight[oldH]--
+	st.levDel(int32(v), oldH)
+	st.height[v] = newH
+	st.countHeight[newH]++
+	st.levAdd(int32(v), newH)
+	// Gap heuristic: if no vertex remains at oldH and oldH < n, every vertex
+	// strictly above the gap (and below n) can never route flow to the sink
+	// again; lift them all to n+1 at once.  That may include v itself, which
+	// then simply continues discharging from n+1.
+	if int(oldH) < r.n && st.countHeight[oldH] == 0 {
+		st.gap(oldH)
+		st.gapSinceGlobal = true
 	}
-	return st.height[v] < 2*r.n
+	return st.height[v] < lim
 }
 
-// globalRelabel recomputes exact heights as BFS distances to the sink in the
-// residual network (and to the source for disconnected vertices).
+// gap lifts every vertex with h < height < n to height n+1, walking only the
+// populated height buckets in (h, levMax].  Active vertices among them get a
+// fresh live entry; their old entries are skipped lazily on pop.
+func (st *pushRelabelState) gap(h int32) {
+	n1 := int32(st.r.n + 1)
+	for hh := h + 1; hh <= st.levMax; hh++ {
+		for v := st.levHead[hh]; v >= 0; {
+			next := st.levNext[v]
+			st.countHeight[hh]--
+			st.height[v] = n1
+			st.levAdd(v, n1)
+			st.countHeight[n1]++
+			if st.inAct[v] {
+				st.actPush(v, n1)
+			}
+			v = next
+		}
+		st.levHead[hh] = -1
+	}
+	st.levMax = h - 1
+}
+
+// globalRelabel recomputes exact heights from two reverse BFS passes over
+// the residual network.  Vertices that can still reach the sink get their
+// exact distance to it.  Vertices that cannot — their excess must flow back
+// to the source — get n plus their exact distance to the source, so the
+// return flow drains downhill instead of thrashing on a flat n+1 plateau
+// (on large grids with per-pixel terminal links most of the initial preflow
+// is trapped, and a flat labelling made the return phase quadratic).
+// Vertices that reach neither terminal can never hold excess (any excess has
+// a residual path to the source) and park inertly at 2n.  The labelling is
+// valid: a residual arc from a sink-unreachable to a sink-reachable vertex
+// or from a source-unreachable to a source-reachable one would contradict
+// the respective unreachability.
 func (st *pushRelabelState) globalRelabel() {
 	r := st.r
 	n := r.n
-	const unreached = -1
+	const unreached = int32(-1)
 	dist := st.dist
 	for i := range dist {
 		dist[i] = unreached
 	}
-	// Backward BFS from the sink over arcs with residual capacity in the
-	// forward direction (i.e. arcs a with cap(a)>0 ending at the frontier).
-	queue := append(st.bfsQueue[:0], r.t)
+	// Pass 1: backward BFS from the sink over arcs with residual capacity in
+	// the forward direction (i.e. arcs a with cap(a)>0 ending at the
+	// frontier).
+	queue := append(st.bfsQueue[:0], int32(r.t))
 	dist[r.t] = 0
 	for qh := 0; qh < len(queue); qh++ {
-		v := queue[qh]
+		v := int(queue[qh])
 		for p := r.off[v]; p < r.off[v+1]; p++ {
 			a := int(r.adj[p])
 			// The arc a goes v->to; flow could move to->v if the paired arc
@@ -237,32 +371,58 @@ func (st *pushRelabelState) globalRelabel() {
 			to := r.arcs[a].to
 			if dist[to] == unreached && r.arcs[a^1].cap > st.eps {
 				dist[to] = dist[v] + 1
-				queue = append(queue, to)
+				queue = append(queue, int32(to))
 			}
 		}
 	}
-	st.bfsQueue = queue // keep any grown capacity for the next pass
-	for i := range st.countHeight {
-		st.countHeight[i] = 0
+	// Pass 2: the same reverse BFS seeded at the source, restricted to the
+	// vertices pass 1 did not reach, recording n + distance-to-source.  The
+	// source's own slot is pinned to n first so the frontier arithmetic is
+	// uniform; its height case below overrides whatever pass 1 found.
+	dist[r.s] = int32(n)
+	queue = append(queue[:0], int32(r.s))
+	for qh := 0; qh < len(queue); qh++ {
+		v := int(queue[qh])
+		for p := r.off[v]; p < r.off[v+1]; p++ {
+			a := int(r.adj[p])
+			to := r.arcs[a].to
+			if dist[to] == unreached && r.arcs[a^1].cap > st.eps {
+				dist[to] = dist[v] + 1
+				queue = append(queue, int32(to))
+			}
+		}
 	}
+	st.bfsQueue = queue[:0] // keep any grown capacity for the next pass
+
+	for i := 0; i <= 2*n; i++ {
+		st.countHeight[i] = 0
+		st.levHead[i] = -1
+		st.actHead[i] = -1
+	}
+	st.levMax = -1
+	st.highest = -1
+	st.hiHighest = n - 1
+	st.gapSinceGlobal = false
 	for v := 0; v < n; v++ {
+		st.cur[v] = int32(r.off[v])
+		st.inAct[v] = false
+		var h int32
 		switch {
 		case v == r.s:
-			st.height[v] = n
+			h = int32(n)
 		case dist[v] != unreached:
-			st.height[v] = dist[v]
+			h = dist[v]
 		default:
-			st.height[v] = n + 1
+			h = int32(2 * n)
 		}
-		st.countHeight[st.height[v]]++
+		st.height[v] = h
+		st.countHeight[h]++
+		if v != r.s && v != r.t {
+			st.levAdd(int32(v), h)
+			if st.excess[v] > st.eps {
+				st.actPush(int32(v), h)
+			}
+		}
 	}
-	// Re-seed the active queue: heights changed, so admissibility changed.
-	st.active = st.active[:0]
-	st.qhead = 0
-	for v := 0; v < n; v++ {
-		st.inQueue[v] = false
-	}
-	for v := 0; v < n; v++ {
-		st.enqueue(v)
-	}
+	st.work = 0
 }

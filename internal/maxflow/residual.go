@@ -19,8 +19,9 @@ import (
 type Algorithm int
 
 const (
-	// PushRelabel is the Goldberg-Tarjan FIFO push-relabel algorithm with
-	// gap and global-relabelling heuristics — the paper's CPU baseline.
+	// PushRelabel is the Goldberg-Tarjan push-relabel algorithm with
+	// highest-label selection, gap and global-relabelling heuristics — the
+	// paper's CPU baseline in its large-graph configuration.
 	PushRelabel Algorithm = iota
 	// Dinic is Dinitz's blocking-flow algorithm.
 	Dinic
@@ -86,24 +87,39 @@ type residual struct {
 	adj   []int32 // flat arc indices grouped by tail vertex
 	off   []int   // len n+1; adjacency bounds per vertex
 	gdeps *graph.Graph
+	// pooled marks residuals drawn from residualPool (see pools.go); only
+	// those are returned by release.
+	pooled bool
 }
 
 // tail returns the tail vertex of arc a (the head of its paired reverse).
 func (r *residual) tail(a int) int { return r.arcs[a^1].to }
 
-// newResidual builds the residual network of g.
+// newResidual builds the residual network of g with freshly allocated
+// arrays.  Network uses this constructor because it retains the residual
+// indefinitely; one-shot solves go through newResidualPooled instead.
 func newResidual(g *graph.Graph) *residual {
+	r := &residual{}
+	r.init(g)
+	return r
+}
+
+// init (re)builds the residual network of g in place, reusing any backing
+// arrays the receiver already holds.
+func (r *residual) init(g *graph.Graph) {
 	ne := g.NumEdges()
-	r := &residual{
-		n:     g.NumVertices(),
-		s:     g.Source(),
-		t:     g.Sink(),
-		arcs:  make([]arc, 2*ne),
-		adj:   make([]int32, 2*ne),
-		off:   make([]int, g.NumVertices()+1),
-		gdeps: g,
+	n := g.NumVertices()
+	r.n = n
+	r.s = g.Source()
+	r.t = g.Sink()
+	r.gdeps = g
+	r.arcs = growSlice(r.arcs, 2*ne)
+	r.adj = growSlice(r.adj, 2*ne)
+	r.off = growSlice(r.off, n+1)
+	deg := getIntScratch(n)
+	for v := range deg {
+		deg[v] = 0
 	}
-	deg := make([]int, g.NumVertices())
 	for i := 0; i < ne; i++ {
 		e := g.Edge(i)
 		r.arcs[2*i] = arc{to: e.To, cap: e.Capacity}
@@ -111,19 +127,20 @@ func newResidual(g *graph.Graph) *residual {
 		deg[e.From]++
 		deg[e.To]++
 	}
-	for v := 0; v < g.NumVertices(); v++ {
+	r.off[0] = 0
+	for v := 0; v < n; v++ {
 		r.off[v+1] = r.off[v] + deg[v]
 	}
 	// Fill each vertex's segment in descending arc order by scanning the arcs
 	// from the highest index down.
-	pos := make([]int, g.NumVertices())
-	copy(pos, r.off)
+	pos := deg // reuse the scratch: copy offsets over the spent degree counts
+	copy(pos, r.off[:n])
 	for a := 2*ne - 1; a >= 0; a-- {
 		tail := r.tail(a)
 		r.adj[pos[tail]] = int32(a)
 		pos[tail]++
 	}
-	return r
+	putIntScratch(deg)
 }
 
 // flow extracts the per-edge flow from the residual state: the flow on graph

@@ -26,7 +26,7 @@ func builtinSolvers() []Solver {
 		&cpuSolver{alg: maxflow.EdmondsKarp,
 			desc: "Edmonds-Karp shortest augmenting paths (exact)"},
 		&cpuSolver{alg: maxflow.PushRelabel,
-			desc: "Goldberg-Tarjan FIFO push-relabel with gap + global relabelling (exact, the paper's CPU baseline)"},
+			desc: "Goldberg-Tarjan push-relabel: highest-label selection, gap heuristic, periodic global relabelling (exact, the paper's CPU baseline)"},
 		&lpSolver{desc: "primal simplex on the Section 2 max-flow LP (exact, dense tableau)"},
 		&decomposeSolver{desc: "Section 6.4 dual decomposition into substrate-sized overlapping subproblems"},
 	}
