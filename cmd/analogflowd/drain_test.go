@@ -308,10 +308,11 @@ func TestSessionTTLEvictionFreesWarmState(t *testing.T) {
 	if resp.StatusCode != http.StatusGone {
 		t.Errorf("update on evicted session: status %d, want 410", resp.StatusCode)
 	}
-	if gone["error"] != "session expired" {
-		t.Errorf("410 body %v, want error=session expired", gone)
+	goneErr, _ := gone["error"].(map[string]any)
+	if goneErr == nil || goneErr["code"] != "session_expired" {
+		t.Errorf("410 body %v, want error.code=session_expired", gone)
 	}
-	if idle, ok := gone["idle"].(float64); !ok || idle <= 0 {
+	if idle, ok := goneErr["idle_seconds"].(float64); !ok || idle <= 0 {
 		t.Errorf("410 body %v lacks a positive idle duration", gone)
 	}
 	// An id that never existed stays a plain 404.
@@ -334,7 +335,7 @@ func TestSessionTTLEvictionFreesWarmState(t *testing.T) {
 	if resp.StatusCode != http.StatusGone {
 		t.Errorf("delete on evicted session: status %d, want 410", resp.StatusCode)
 	}
-	resp, err = http.Get(ts.URL + "/v1/healthz")
+	resp, err = http.Get(ts.URL + "/v1/healthz?verbose=1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,6 +349,20 @@ func TestSessionTTLEvictionFreesWarmState(t *testing.T) {
 	}
 	if health["sessions"].(float64) != 0 {
 		t.Errorf("healthz still lists %v sessions", health["sessions"])
+	}
+	// The slim healthz and /v1/stats account the eviction too.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleet map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sessBlock, _ := fleet["sessions"].(map[string]any)
+	if sessBlock == nil || sessBlock["expired"].(float64) != 1 || sessBlock["live"].(float64) != 0 {
+		t.Errorf("stats sessions block %v, want expired=1 live=0", sessBlock)
 	}
 }
 
@@ -419,8 +434,9 @@ func TestShedSolve429WithRetryAfter(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 carries no Retry-After header")
 	}
-	if body["retry_after_seconds"] == nil || body["error"] == nil {
-		t.Errorf("429 body lacks error/retry_after_seconds: %v", body)
+	shedErr, _ := body["error"].(map[string]any)
+	if shedErr == nil || shedErr["code"] != "overloaded" || shedErr["retry_after_seconds"] == nil {
+		t.Errorf("429 body lacks error envelope with code/retry_after_seconds: %v", body)
 	}
 	if gate.calls.Load() != callsBefore {
 		t.Error("shed request consumed a worker slot")
@@ -428,7 +444,7 @@ func TestShedSolve429WithRetryAfter(t *testing.T) {
 
 	close(gate.release)
 	wg.Wait()
-	resp, err = http.Get(ts.URL + "/v1/healthz")
+	resp, err = http.Get(ts.URL + "/v1/healthz?verbose=1")
 	if err != nil {
 		t.Fatal(err)
 	}

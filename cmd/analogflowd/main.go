@@ -6,11 +6,17 @@
 // Endpoints:
 //
 //	GET    /v1/solvers              list the registered backends
-//	GET    /v1/healthz              liveness plus service counters
+//	GET    /v1/healthz              liveness: status, version, draining
+//	GET    /v1/readyz               readiness (503 while draining)
+//	GET    /v1/metrics              Prometheus text-format scrape of every instrument
+//	GET    /v1/stats                fleet JSON: workers, queues, caches, sessions, governor, per-backend latency windows
 //	POST   /v1/solve                solve a batch; results stream back as NDJSON
 //	POST   /v1/sessions             open a long-lived update session (solves the base problem)
 //	POST   /v1/sessions/{id}/update apply capacity-update steps; one NDJSON report per step
 //	DELETE /v1/sessions/{id}        close a session
+//
+// Every non-stream error answers with one uniform JSON envelope,
+// {"error":{"code","message",...}}; docs/api.md tabulates the codes.
 //
 // A solve request names one solver and carries one or more problems, each
 // given inline (vertices/source/sink/edges), as DIMACS text, as an R-MAT
@@ -35,7 +41,7 @@
 // problem larger than the budget is sharded into overlapping regions and
 // solved through the Section 6.4 N-region dual decomposition, with the
 // requested backend solving the regions; the report's "plan" field shows the
-// decision, and /v1/healthz counts planned/sharded solves.
+// decision, and /v1/stats counts planned/sharded solves.
 //
 // Each result is one NDJSON line {"index":i,"report":{...}} (or
 // {"index":i,"error":"..."}), written as the solve completes; the stream
@@ -99,6 +105,10 @@ func run(args []string, stdout io.Writer) error {
 		sessionTTL     = fs.Duration("session-ttl", 10*time.Minute, "idle time after which a session is evicted and its warm solver state released (0 = never)")
 		drainTimeout   = fs.Duration("drain-timeout", 15*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before closing connections")
 		pprofAddr      = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling entirely")
+		govEnabled     = fs.Bool("governor", false, "enable the adaptive governor: tune effective workers and substrate budget from observed saturation")
+		govInterval    = fs.Duration("governor-interval", 0, "governor tick period (0 = 500ms)")
+		govMaxWorkers  = fs.Int("governor-max-workers", 0, "governor clamp: max effective workers (0 = 4 × workers)")
+		govMinBudget   = fs.Int("governor-min-budget-vertices", 0, "governor clamp: min effective budget vertices under load (0 = budget-vertices / 4)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -111,7 +121,16 @@ func run(args []string, stdout io.Writer) error {
 	if err := budget.Validate(); err != nil {
 		return err
 	}
-	svc := solve.NewService(solve.Config{Workers: *workers, MaxCachedInstances: *maxCached, MaxQueue: *maxQueue, Budget: budget})
+	svc := solve.NewService(solve.Config{
+		Workers: *workers, MaxCachedInstances: *maxCached, MaxQueue: *maxQueue, Budget: budget,
+		Governor: solve.GovernorConfig{
+			Enabled:           *govEnabled,
+			Interval:          *govInterval,
+			MaxWorkers:        *govMaxWorkers,
+			MinBudgetVertices: *govMinBudget,
+		},
+	})
+	defer svc.Close()
 	srv := newServer(svc, serverConfig{sessionTTL: *sessionTTL, defaultTimeout: *defaultTimeout})
 	srv.startJanitor()
 	defer srv.stopJanitor()

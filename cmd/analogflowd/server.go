@@ -5,9 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +15,7 @@ import (
 
 	"analogflow/internal/core"
 	"analogflow/internal/graph"
+	"analogflow/internal/metrics"
 	"analogflow/internal/rmat"
 	"analogflow/internal/solve"
 )
@@ -41,9 +42,13 @@ type server struct {
 	draining atomic.Bool
 	// disconnects counts streams and responses cut short by a client that
 	// went away mid-write (broken pipe); expired counts TTL-evicted
-	// sessions.  Both surface in /v1/healthz.
-	disconnects atomic.Int64
-	expired     atomic.Int64
+	// sessions.  Both live in the service's instrument registry, so they
+	// surface in /v1/metrics and /v1/stats alike.
+	disconnects *metrics.Counter
+	expired     *metrics.Counter
+	// verboseHealthzOnce rate-limits the deprecation notice for the
+	// ?verbose=1 healthz compatibility shape to one log line per process.
+	verboseHealthzOnce sync.Once
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -92,10 +97,30 @@ func (sess *session) idle(now time.Time) time.Duration {
 	return now.Sub(time.Unix(0, sess.lastUsed.Load()))
 }
 
-// newServer builds the facade; handler() wires its routes.
+// newServer builds the facade; handler() wires its routes.  The server's
+// own counters (disconnects, expired sessions) and gauges (live sessions,
+// draining flag) register in the service's instrument registry, so one
+// /v1/metrics scrape covers the whole process.
 func newServer(svc *solve.Service, cfg serverConfig) *server {
-	return &server{svc: svc, cfg: cfg, start: time.Now(),
+	s := &server{svc: svc, cfg: cfg, start: time.Now(),
 		sessions: make(map[string]*session), tombstones: make(map[string]tombstone)}
+	m := svc.Metrics()
+	s.disconnects = m.Counter("analogflow_client_disconnects_total",
+		"Streams and responses cut short by a client that went away mid-write.", nil)
+	s.expired = m.Counter("analogflow_expired_sessions_total",
+		"Sessions evicted by the TTL janitor.", nil)
+	m.GaugeFunc("analogflow_sessions_live", "Live update sessions.", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
+	m.GaugeFunc("analogflow_server_draining", "1 while the server is draining.", nil, func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	return s
 }
 
 // newHandler wires the API routes with default failure-domain knobs; it is
@@ -104,23 +129,49 @@ func newHandler(svc *solve.Service) http.Handler {
 	return newServer(svc, serverConfig{}).handler()
 }
 
-// handler wires the API routes behind the drain gate: once the server is
-// draining every route except liveness (/v1/healthz) and readiness
-// (/v1/readyz) refuses with 503 + Retry-After, so load balancers fail over
-// while in-flight work finishes.
+// drainExempt lists the paths that keep answering while the server drains:
+// probes and observability, so load balancers fail over and scrapers keep
+// watching the drain itself.
+var drainExempt = map[string]bool{
+	"/v1/healthz": true,
+	"/v1/readyz":  true,
+	"/v1/metrics": true,
+	"/v1/stats":   true,
+}
+
+// handler wires the API routes behind the drain gate.  Every route is
+// registered with a Go 1.22 method pattern; a path-only fallback per route
+// answers wrong-method requests with the JSON envelope 405 + Allow header
+// (the method pattern is more specific, so it wins for matching methods),
+// and the root fallback answers unknown paths with the envelope 404.  Once
+// the server is draining every route except the drainExempt set refuses
+// with the envelope 503 + Retry-After, so load balancers fail over while
+// in-flight work finishes.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/solvers", s.handleSolvers)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/readyz", s.handleReadyz)
-	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	mux.HandleFunc("POST /v1/sessions/{id}/update", s.handleSessionUpdate)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	// GET routes serve HEAD too, so their Allow lists both.
+	mux.HandleFunc("/v1/solvers", s.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("/v1/healthz", s.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("/v1/readyz", s.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("/v1/metrics", s.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("/v1/stats", s.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("/v1/solve", s.methodNotAllowed("POST"))
+	mux.HandleFunc("/v1/sessions", s.methodNotAllowed("POST"))
+	mux.HandleFunc("/v1/sessions/{id}/update", s.methodNotAllowed("POST"))
+	mux.HandleFunc("/v1/sessions/{id}", s.methodNotAllowed("DELETE"))
+	mux.HandleFunc("/", s.handleNotFound)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() && r.URL.Path != "/v1/healthz" && r.URL.Path != "/v1/readyz" {
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "server draining", http.StatusServiceUnavailable)
+		if s.draining.Load() && !drainExempt[r.URL.Path] {
+			s.writeAPIErrorRetry(w, http.StatusServiceUnavailable, codeDraining, 1, "server draining")
 			return
 		}
 		mux.ServeHTTP(w, r)
@@ -219,7 +270,7 @@ func (s *server) evictExpired(now time.Time) int {
 		s.recordTombstoneLocked(sess.id, idle, now)
 		s.mu.Unlock()
 		s.svc.Release(prob, solver)
-		s.expired.Add(1)
+		s.expired.Inc()
 		n++
 	}
 	return n
@@ -242,14 +293,15 @@ func (s *server) recordTombstoneLocked(id string, idle time.Duration, now time.T
 	s.tombstones[id] = tombstone{idle: idle, at: now}
 }
 
-// writeSessionExpired answers for a tombstoned session id: 410 Gone tells the
+// / writeSessionExpired answers for a tombstoned session id: 410 Gone tells the
 // client the session existed and was TTL-evicted (re-create and replay), as
 // opposed to the 404 an id that never existed gets.
 func (s *server) writeSessionExpired(w http.ResponseWriter, ts tombstone) {
-	s.writeJSON(w, http.StatusGone, map[string]any{
-		"error": "session expired",
-		"idle":  ts.idle.Seconds(),
-	})
+	s.writeJSON(w, http.StatusGone, apiErrorBody{Error: apiError{
+		Code:        codeSessionExpired,
+		Message:     fmt.Sprintf("session expired after %s idle; re-create it and replay", ts.idle.Round(time.Second)),
+		IdleSeconds: ts.idle.Seconds(),
+	}})
 }
 
 // sessionCapError builds the 429 message for a full session table, naming
@@ -273,10 +325,6 @@ func (s *server) sessionCapError(now time.Time) string {
 }
 
 func (s *server) handleSolvers(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	type entry struct {
 		Name        string `json:"name"`
 		Description string `json:"description"`
@@ -295,25 +343,36 @@ func (s *server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is the liveness probe: version, draining flag, nothing
+// else — the counter dump that used to live here moved to /v1/stats.  The
+// legacy shape survives one release behind ?verbose=1 (log-deprecated) for
+// dashboards that still scrape it.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if r.URL.Query().Get("verbose") == "1" {
+		s.verboseHealthzOnce.Do(func() {
+			log.Printf("deprecated: /v1/healthz?verbose=1 is a one-release compatibility shape; scrape /v1/stats instead")
+		})
+		s.mu.Lock()
+		sessions := len(s.sessions)
+		s.mu.Unlock()
+		stats := s.svc.Stats()
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"status":                   "ok",
+			"uptime_seconds":           time.Since(s.start).Seconds(),
+			"sessions":                 sessions,
+			"draining":                 s.draining.Load(),
+			"client_disconnects":       s.disconnects.Value(),
+			"expired_sessions":         s.expired.Value(),
+			"structural_updates":       stats.StructuralUpdates,
+			"slack_exhausted_rebuilds": stats.SlackExhaustedRebuilds,
+			"stats":                    stats,
+		})
 		return
 	}
-	s.mu.Lock()
-	sessions := len(s.sessions)
-	s.mu.Unlock()
-	stats := s.svc.Stats()
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":                   "ok",
-		"uptime_seconds":           time.Since(s.start).Seconds(),
-		"sessions":                 sessions,
-		"draining":                 s.draining.Load(),
-		"client_disconnects":       s.disconnects.Load(),
-		"expired_sessions":         s.expired.Load(),
-		"structural_updates":       stats.StructuralUpdates,
-		"slack_exhausted_rebuilds": stats.SlackExhaustedRebuilds,
-		"stats":                    stats,
+		"status":   "ok",
+		"version":  serverVersion,
+		"draining": s.draining.Load(),
 	})
 }
 
@@ -321,10 +380,6 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // work, 503 the moment draining begins — strictly before /v1/healthz stops
 // answering, which it never does while the process lives.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "1")
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "draining": true})
@@ -543,8 +598,11 @@ type streamItem struct {
 	Index  int           `json:"index"`
 	Report *solve.Report `json:"report,omitempty"`
 	Error  string        `json:"error,omitempty"`
-	Done   bool          `json:"done,omitempty"`
-	Count  int           `json:"count,omitempty"`
+	// Code classifies error records with the same vocabulary the non-stream
+	// JSON envelope uses (solver_error, overloaded, draining, aborted).
+	Code  string `json:"code,omitempty"`
+	Done  bool   `json:"done,omitempty"`
+	Count int    `json:"count,omitempty"`
 	// Aborted marks the terminal record of a stream truncated by request
 	// cancellation — structurally distinct from a per-item error record, so
 	// clients never have to sniff the error text to tell them apart.
@@ -569,40 +627,36 @@ func retryAfterSeconds(ovl *solve.OverloadError) int {
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	var req solveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: %v", err)
 		return
 	}
 	if req.Solver == "" {
-		http.Error(w, "bad request: missing solver", http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: missing solver")
 		return
 	}
 	if _, err := s.svc.Registry().Get(req.Solver); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: %v", err)
 		return
 	}
 	if len(req.Problems) == 0 {
-		http.Error(w, "bad request: no problems", http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: no problems")
 		return
 	}
 	if len(req.Problems) > maxBatchProblems {
-		http.Error(w, fmt.Sprintf("bad request: %d problems exceeds the batch limit of %d", len(req.Problems), maxBatchProblems), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: %d problems exceeds the batch limit of %d", len(req.Problems), maxBatchProblems)
 		return
 	}
 	if req.TimeoutMS < 0 {
-		http.Error(w, fmt.Sprintf("bad request: timeout_ms must be non-negative, got %d", req.TimeoutMS), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: timeout_ms must be non-negative, got %d", req.TimeoutMS)
 		return
 	}
 	opts, err := solveOptions(req.Params, req.Budget)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("bad request: params: %v", err), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: params: %v", err)
 		return
 	}
 	reqs := make([]solve.Request, len(req.Problems))
@@ -611,13 +665,13 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// The aggregate budget is checked before each build, so the worst
 		// overshoot is one problem's own (already capped) size.
 		if totalVertices > maxBatchVertices || totalEdges > maxBatchEdges {
-			http.Error(w, fmt.Sprintf("bad request: batch exceeds the aggregate size budget (%d vertices / %d edges) at problem %d",
-				maxBatchVertices, maxBatchEdges, i), http.StatusBadRequest)
+			s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: batch exceeds the aggregate size budget (%d vertices / %d edges) at problem %d",
+				maxBatchVertices, maxBatchEdges, i)
 			return
 		}
 		prob, err := buildProblem(spec, opts)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("bad request: problem %d: %v", i, err), http.StatusBadRequest)
+			s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: problem %d: %v", i, err)
 			return
 		}
 		totalVertices += prob.Graph().NumVertices()
@@ -659,12 +713,8 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		var ovl *solve.OverloadError
 		if len(reqs) == 1 && res.Err != nil && errors.As(res.Err, &ovl) && !headerWritten {
 			// The whole request was shed before any output: map it to 429.
-			sec := retryAfterSeconds(ovl)
-			w.Header().Set("Retry-After", strconv.Itoa(sec))
-			s.writeJSON(w, http.StatusTooManyRequests, map[string]any{
-				"error":               res.Err.Error(),
-				"retry_after_seconds": sec,
-			})
+			s.writeAPIErrorRetry(w, http.StatusTooManyRequests, codeOverloaded,
+				retryAfterSeconds(ovl), "%v", res.Err)
 			headerWritten = true
 			shedOnly = true
 			return
@@ -674,13 +724,15 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if res.Err != nil {
 			item.Report = nil
 			item.Error = res.Err.Error()
+			item.Code = codeSolverError
 			if errors.As(res.Err, &ovl) {
+				item.Code = codeOverloaded
 				item.RetryAfterSeconds = retryAfterSeconds(ovl)
 			}
 		}
 		if err := enc.Encode(item); err != nil {
 			if clientGone.CompareAndSwap(false, true) {
-				s.disconnects.Add(1)
+				s.disconnects.Inc()
 			}
 			return
 		}
@@ -700,11 +752,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// expired or drained request ends with a marked record instead, so a
 	// truncated stream is never mistaken for a complete one.
 	if stopped > 0 {
-		_ = enc.Encode(streamItem{Draining: true, Error: fmt.Sprintf("server draining: %d of %d results emitted", emitted, len(reqs)), Count: emitted})
+		_ = enc.Encode(streamItem{Draining: true, Code: codeDraining, Error: fmt.Sprintf("server draining: %d of %d results emitted", emitted, len(reqs)), Count: emitted})
 		return
 	}
 	if err := r.Context().Err(); err != nil {
-		_ = enc.Encode(streamItem{Aborted: true, Error: fmt.Sprintf("stream aborted after %d of %d results: %v", emitted, len(reqs), err), Count: emitted})
+		_ = enc.Encode(streamItem{Aborted: true, Code: codeAborted, Error: fmt.Sprintf("stream aborted after %d of %d results: %v", emitted, len(reqs), err), Count: emitted})
 		return
 	}
 	_ = enc.Encode(streamItem{Done: true, Count: len(reqs)})
@@ -820,29 +872,29 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: %v", err)
 		return
 	}
 	if req.Solver == "" {
-		http.Error(w, "bad request: missing solver", http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: missing solver")
 		return
 	}
 	if _, err := s.svc.Registry().Get(req.Solver); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: %v", err)
 		return
 	}
 	if req.TimeoutMS < 0 {
-		http.Error(w, fmt.Sprintf("bad request: timeout_ms must be non-negative, got %d", req.TimeoutMS), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: timeout_ms must be non-negative, got %d", req.TimeoutMS)
 		return
 	}
 	opts, err := solveOptions(req.Params, req.Budget)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("bad request: params: %v", err), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: params: %v", err)
 		return
 	}
 	prob, err := buildProblem(req.Problem, opts)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("bad request: problem: %v", err), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: problem: %v", err)
 		return
 	}
 
@@ -850,7 +902,7 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if len(s.sessions) >= maxSessions {
 		msg := s.sessionCapError(time.Now())
 		s.mu.Unlock()
-		http.Error(w, msg, http.StatusTooManyRequests)
+		s.writeAPIError(w, http.StatusTooManyRequests, codeTooManySessions, "%s", msg)
 		return
 	}
 	s.nextID++
@@ -868,12 +920,10 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var ovl *solve.OverloadError
 		if errors.As(err, &ovl) {
-			sec := retryAfterSeconds(ovl)
-			w.Header().Set("Retry-After", strconv.Itoa(sec))
-			s.writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error(), "retry_after_seconds": sec})
+			s.writeAPIErrorRetry(w, http.StatusTooManyRequests, codeOverloaded, retryAfterSeconds(ovl), "%v", err)
 			return
 		}
-		http.Error(w, fmt.Sprintf("solve failed: %v", err), http.StatusUnprocessableEntity)
+		s.writeAPIError(w, http.StatusUnprocessableEntity, codeSolveFailed, "solve failed: %v", err)
 		return
 	}
 	s.mu.Lock()
@@ -882,7 +932,7 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		// solve; re-check at publish time so the cap is a real bound.
 		msg := s.sessionCapError(time.Now())
 		s.mu.Unlock()
-		http.Error(w, msg, http.StatusTooManyRequests)
+		s.writeAPIError(w, http.StatusTooManyRequests, codeTooManySessions, "%s", msg)
 		return
 	}
 	sess.touch(time.Now())
@@ -917,18 +967,18 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 			s.writeSessionExpired(w, *ts)
 			return
 		}
-		http.Error(w, "no such session", http.StatusNotFound)
+		s.writeAPIError(w, http.StatusNotFound, codeNotFound, "no such session")
 		return
 	}
 	var req sessionUpdateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: %v", err)
 		return
 	}
 	if req.TimeoutMS < 0 {
-		http.Error(w, fmt.Sprintf("bad request: timeout_ms must be non-negative, got %d", req.TimeoutMS), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: timeout_ms must be non-negative, got %d", req.TimeoutMS)
 		return
 	}
 	specs := req.Steps
@@ -936,18 +986,18 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		specs = append([]stepSpec{{Updates: req.Updates, AddEdges: req.AddEdges, RemoveEdges: req.RemoveEdges}}, specs...)
 	}
 	if len(specs) == 0 {
-		http.Error(w, "bad request: no update steps", http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: no update steps")
 		return
 	}
 	if len(specs) > maxUpdateSteps {
-		http.Error(w, fmt.Sprintf("bad request: %d steps exceeds the limit of %d", len(specs), maxUpdateSteps), http.StatusBadRequest)
+		s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: %d steps exceeds the limit of %d", len(specs), maxUpdateSteps)
 		return
 	}
 	steps := make([]updateStep, len(specs))
 	for i, sp := range specs {
 		st, err := sp.step()
 		if err != nil {
-			http.Error(w, fmt.Sprintf("bad request: step %d: %v", i, err), http.StatusBadRequest)
+			s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: step %d: %v", i, err)
 			return
 		}
 		steps[i] = st
@@ -961,7 +1011,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 			s.writeSessionExpired(w, *ts)
 			return
 		}
-		http.Error(w, "no such session", http.StatusNotFound)
+		s.writeAPIError(w, http.StatusNotFound, codeNotFound, "no such session")
 		return
 	}
 
@@ -976,18 +1026,18 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	sim := sess.problem.Graph().Clone()
 	for i, st := range steps {
 		if len(st.capacity.Edges) == 0 && st.structural == nil {
-			http.Error(w, fmt.Sprintf("bad request: step %d: empty update step", i), http.StatusBadRequest)
+			s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: step %d: empty update step", i)
 			return
 		}
 		if len(st.capacity.Edges) > 0 {
 			if _, err := sim.ApplyCapacityUpdate(st.capacity); err != nil {
-				http.Error(w, fmt.Sprintf("bad request: step %d: %v", i, err), http.StatusBadRequest)
+				s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: step %d: %v", i, err)
 				return
 			}
 		}
 		if st.structural != nil {
 			if _, err := sim.ApplyStructuralUpdate(*st.structural); err != nil {
-				http.Error(w, fmt.Sprintf("bad request: step %d: %v", i, err), http.StatusBadRequest)
+				s.writeAPIError(w, http.StatusBadRequest, codeBadRequest, "bad request: step %d: %v", i, err)
 				return
 			}
 		}
@@ -1017,7 +1067,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 			// the terminal draining marker and keep the session consistent
 			// at the last applied problem.
 			startStream()
-			_ = enc.Encode(streamItem{Draining: true, Error: fmt.Sprintf("server draining: %d of %d steps applied", applied, len(steps)), Count: applied})
+			_ = enc.Encode(streamItem{Draining: true, Code: codeDraining, Error: fmt.Sprintf("server draining: %d of %d steps applied", applied, len(steps)), Count: applied})
 			return
 		}
 		res, err := s.svc.Update(r.Context(), solve.UpdateRequest{
@@ -1027,9 +1077,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			var ovl *solve.OverloadError
 			if errors.As(err, &ovl) && !headerWritten {
-				sec := retryAfterSeconds(ovl)
-				w.Header().Set("Retry-After", strconv.Itoa(sec))
-				s.writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error(), "retry_after_seconds": sec})
+				s.writeAPIErrorRetry(w, http.StatusTooManyRequests, codeOverloaded, retryAfterSeconds(ovl), "%v", err)
 				return
 			}
 			// A failed step (e.g. duplicate edge in one step, or a solver
@@ -1037,10 +1085,11 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 			// {"done":true} is reserved for fully applied requests — and
 			// the session stays at the last successfully updated problem.
 			startStream()
-			item := streamItem{Index: i,
+			item := streamItem{Index: i, Code: codeSolverError,
 				Error: fmt.Sprintf("step %d failed after %d of %d steps applied: %v", i, applied, len(steps), err),
 				Count: applied}
 			if errors.As(err, &ovl) {
+				item.Code = codeOverloaded
 				item.RetryAfterSeconds = retryAfterSeconds(ovl)
 			}
 			_ = enc.Encode(item)
@@ -1062,7 +1111,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 			// The client went away mid-stream: the session state is
 			// consistent at the applied step, so stop solving for a dead
 			// socket and account the disconnect.
-			s.disconnects.Add(1)
+			s.disconnects.Inc()
 			return
 		}
 		applied++
@@ -1072,7 +1121,7 @@ func (s *server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	startStream()
 	if err := r.Context().Err(); err != nil {
-		_ = enc.Encode(streamItem{Aborted: true, Error: fmt.Sprintf("stream aborted after %d of %d steps: %v", applied, len(steps), err), Count: applied})
+		_ = enc.Encode(streamItem{Aborted: true, Code: codeAborted, Error: fmt.Sprintf("stream aborted after %d of %d steps: %v", applied, len(steps), err), Count: applied})
 		return
 	}
 	lastUsed, expiresAt := s.sessionTimes(sess)
@@ -1105,7 +1154,7 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 			s.writeSessionExpired(w, ts)
 			return
 		}
-		http.Error(w, "no such session", http.StatusNotFound)
+		s.writeAPIError(w, http.StatusNotFound, codeNotFound, "no such session")
 		return
 	}
 	sess.mu.Lock()
@@ -1121,6 +1170,6 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.disconnects.Add(1)
+		s.disconnects.Inc()
 	}
 }

@@ -165,7 +165,24 @@ func TestHealthzEndpoint(t *testing.T) {
 	srv := newTestServer(t, 1)
 	// Generate one request so the counters move.
 	_, _ = postSolve(t, srv, fmt.Sprintf(`{"solver":"dinic","problems":[%s]}`, figure5Inline))
+	// The slim liveness shape: status, version, draining — nothing else.
 	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slim map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&slim); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if slim["status"] != "ok" || slim["version"] != serverVersion || slim["draining"] != false {
+		t.Errorf("slim healthz = %v, want status/version/draining", slim)
+	}
+	if _, ok := slim["stats"]; ok {
+		t.Errorf("slim healthz still carries the counter dump: %v", slim)
+	}
+	// The one-release compatibility shape keeps the old counter dump.
+	resp, err = http.Get(srv.URL + "/v1/healthz?verbose=1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -477,7 +494,7 @@ func TestSessionStructuralSteps(t *testing.T) {
 		t.Errorf("capacity step record %v unexpectedly marked structural", steps[2])
 	}
 
-	hresp, err := http.Get(srv.URL + "/v1/healthz")
+	hresp, err := http.Get(srv.URL + "/v1/healthz?verbose=1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -563,7 +580,7 @@ func TestSessionShardedChainStaysWarm(t *testing.T) {
 		t.Fatalf("streamed %d steps, want 2", steps)
 	}
 
-	hresp, err := http.Get(srv.URL + "/v1/healthz")
+	hresp, err := http.Get(srv.URL + "/v1/healthz?verbose=1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -850,8 +867,8 @@ func TestSolveWithBudgetShardsAndReportsPlan(t *testing.T) {
 		t.Errorf("sharded flow %v vs exact %v beyond tolerance", flow, exact)
 	}
 
-	// Planner stats are visible through the health endpoint.
-	resp, err := http.Get(srv.URL + "/v1/healthz")
+	// Planner stats are visible through the verbose health endpoint.
+	resp, err := http.Get(srv.URL + "/v1/healthz?verbose=1")
 	if err != nil {
 		t.Fatal(err)
 	}

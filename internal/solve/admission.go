@@ -175,9 +175,24 @@ func (a *admitter) acquireBlocking(lane int) {
 
 // release returns one slot, handing it directly to the longest-waiting
 // waiter in the highest-priority non-empty lane, or freeing it when no one
-// waits.
+// waits.  After a governor shrink (capacity below inUse) the slot is retired
+// instead of handed off, which is how the pool drains down to the new bound.
 func (a *admitter) release() {
 	a.mu.Lock()
+	if a.inUse <= a.capacity {
+		if w := a.popLocked(); w != nil {
+			a.mu.Unlock()
+			close(w.grant)
+			return
+		}
+	}
+	a.inUse--
+	a.mu.Unlock()
+}
+
+// popLocked dequeues the longest-waiting waiter in the highest-priority
+// non-empty lane, or nil.  Callers hold a.mu.
+func (a *admitter) popLocked() *waiter {
 	for lane := 0; lane < numLanes; lane++ {
 		if len(a.lanes[lane]) == 0 {
 			continue
@@ -187,12 +202,34 @@ func (a *admitter) release() {
 		if lane != laneUrgent {
 			a.queued--
 		}
-		a.mu.Unlock()
-		close(w.grant)
-		return
+		return w
 	}
-	a.inUse--
+	return nil
+}
+
+// resize changes the worker-slot capacity.  Growing grants freed slots to
+// queued waiters immediately; shrinking lets in-flight work finish and
+// retires slots as they release (see release).  The governor is the only
+// caller.
+func (a *admitter) resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	var grants []*waiter
+	a.mu.Lock()
+	a.capacity = capacity
+	for a.inUse < a.capacity {
+		w := a.popLocked()
+		if w == nil {
+			break
+		}
+		a.inUse++
+		grants = append(grants, w)
+	}
 	a.mu.Unlock()
+	for _, w := range grants {
+		close(w.grant)
+	}
 }
 
 // remove unqueues w from lane; false means w was already granted.  Callers
@@ -217,56 +254,27 @@ func (a *admitter) queueDepth() int {
 	return a.queued
 }
 
-// latencyEMA tracks an exponential moving average of solve wall time per
-// backend — the estimator the admission queue multiplies by queue depth to
-// decide whether a deadline is still meetable.
-type latencyEMA struct {
-	mu sync.Mutex
-	m  map[string]time.Duration
+// laneDepths reports the waiter count per lane (urgent waiters included).
+func (a *admitter) laneDepths() [numLanes]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var d [numLanes]int
+	for l := range a.lanes {
+		d[l] = len(a.lanes[l])
+	}
+	return d
 }
 
-// emaAlpha weights the newest observation; 0.2 smooths over ~5 recent
-// solves, enough to ride out one outlier without going stale under shifting
-// problem sizes.
-const emaAlpha = 0.2
-
-func newLatencyEMA() *latencyEMA {
-	return &latencyEMA{m: make(map[string]time.Duration)}
+// capacityNow reports the current (possibly governor-adjusted) slot count.
+func (a *admitter) capacityNow() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.capacity
 }
 
-// observe folds one completed solve's wall time into the backend's average.
-func (l *latencyEMA) observe(solver string, d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	prev, ok := l.m[solver]
-	if !ok {
-		l.m[solver] = d
-		return
-	}
-	l.m[solver] = time.Duration(emaAlpha*float64(d) + (1-emaAlpha)*float64(prev))
-}
-
-// estimate returns the backend's current average, or 0 when nothing has
-// been observed yet (which disables deadline shedding for that backend).
-func (l *latencyEMA) estimate(solver string) time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.m[solver]
-}
-
-// snapshot returns the averages in milliseconds for stats exposure.
-func (l *latencyEMA) snapshot() map[string]float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.m) == 0 {
-		return nil
-	}
-	out := make(map[string]float64, len(l.m))
-	for k, v := range l.m {
-		out[k] = float64(v) / float64(time.Millisecond)
-	}
-	return out
+// busy reports how many slots are currently held.
+func (a *admitter) busy() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
 }

@@ -1,0 +1,261 @@
+package solve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"analogflow/internal/metrics"
+)
+
+// GovernorConfig configures the adaptive capacity governor.  The governor
+// closes the observability loop: every tick it reads the admission queue
+// (depth, sheds since the last tick) and the per-backend latency EMA, and
+// adjusts two knobs within hard clamps — the effective worker-slot count
+// (the admitter's capacity) and the effective Budget.MaxVertices the
+// partition planner applies to budget-less problems.  Saturation grows
+// workers and shrinks the substrate budget (smaller regions admit sooner);
+// sustained slack walks both back toward their configured values.
+type GovernorConfig struct {
+	// Enabled starts the background loop.  Disabled, the service behaves
+	// exactly as configured: fixed Workers, fixed Budget.
+	Enabled bool
+	// Interval is the tick period; <= 0 selects 500ms.
+	Interval time.Duration
+	// MinWorkers / MaxWorkers clamp the effective worker count; <= 0 select
+	// the configured Workers and 4 × Workers respectively.
+	MinWorkers int
+	MaxWorkers int
+	// MinBudgetVertices clamps how far saturation may shrink the effective
+	// Budget.MaxVertices; <= 0 selects a quarter of the configured value.
+	// Ignored when the service has no vertex budget.
+	MinBudgetVertices int
+	// TargetWait is the queue-wait the governor steers under: when queue
+	// depth × the worst backend EMA ÷ capacity exceeds it, the pool is
+	// saturated.  <= 0 selects 250ms.
+	TargetWait time.Duration
+}
+
+// withDefaults resolves the zero fields against the service configuration.
+func (g GovernorConfig) withDefaults(workers, budgetVertices int) GovernorConfig {
+	if g.Interval <= 0 {
+		g.Interval = 500 * time.Millisecond
+	}
+	if g.MinWorkers <= 0 {
+		g.MinWorkers = workers
+	}
+	if g.MaxWorkers <= 0 {
+		g.MaxWorkers = 4 * workers
+	}
+	if g.MaxWorkers < g.MinWorkers {
+		g.MaxWorkers = g.MinWorkers
+	}
+	if g.MinBudgetVertices <= 0 && budgetVertices > 0 {
+		g.MinBudgetVertices = budgetVertices / 4
+		if g.MinBudgetVertices < 1 {
+			g.MinBudgetVertices = 1
+		}
+	}
+	if g.TargetWait <= 0 {
+		g.TargetWait = 250 * time.Millisecond
+	}
+	return g
+}
+
+// governor is the service-embedded loop state.  The zero value is a
+// disabled governor (every method is a no-op), so services built without
+// one pay nothing.
+type governor struct {
+	cfg     GovernorConfig
+	enabled bool
+
+	lastSheds atomic.Int64
+
+	workersGauge *metrics.Gauge
+	budgetGauge  *metrics.Gauge
+	adjustments  map[[2]string]*metrics.Counter
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// GovernorSnapshot is the governor view Stats exposes.
+type GovernorSnapshot struct {
+	Enabled bool `json:"enabled"`
+	// EffectiveWorkers / EffectiveMaxVertices are the current knob values
+	// (EffectiveMaxVertices is 0 when the service has no vertex budget);
+	// Adjustments counts every raise or lower since start.
+	EffectiveWorkers     int   `json:"effective_workers"`
+	EffectiveMaxVertices int64 `json:"effective_max_vertices"`
+	Adjustments          int64 `json:"adjustments"`
+}
+
+// startGovernor wires the governor's instruments and, when enabled, starts
+// the tick loop.  Called from NewService.
+func (s *Service) startGovernor(cfg GovernorConfig) {
+	g := &s.gov
+	g.cfg = cfg.withDefaults(s.workers, s.budget.MaxVertices)
+	g.enabled = cfg.Enabled
+	s.effMaxVertices.Store(int64(s.budget.MaxVertices))
+
+	g.workersGauge = s.mreg.Gauge("analogflow_governor_effective_workers",
+		"Worker-slot capacity the governor currently targets.", nil)
+	g.workersGauge.Set(float64(s.workers))
+	g.budgetGauge = s.mreg.Gauge("analogflow_governor_effective_budget_vertices",
+		"Effective Budget.MaxVertices for budget-less problems (0 = no budget).", nil)
+	g.budgetGauge.Set(float64(s.budget.MaxVertices))
+	g.adjustments = make(map[[2]string]*metrics.Counter)
+	for _, target := range []string{"workers", "budget_vertices"} {
+		for _, dir := range []string{"raise", "lower"} {
+			g.adjustments[[2]string{target, dir}] = s.mreg.Counter(
+				"analogflow_governor_adjustments_total",
+				"Governor knob adjustments by target and direction.",
+				metrics.Labels{"target": target, "direction": dir})
+		}
+	}
+
+	if !g.enabled {
+		return
+	}
+	g.stop = make(chan struct{})
+	g.done = make(chan struct{})
+	go func() {
+		defer close(g.done)
+		t := time.NewTicker(g.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.governorTick()
+			case <-g.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the governor loop (idempotent; a no-op when disabled).  The
+// service itself remains usable — Close only ends background adjustment.
+func (s *Service) Close() {
+	g := &s.gov
+	if g.stop == nil {
+		return
+	}
+	g.stopOnce.Do(func() {
+		close(g.stop)
+		<-g.done
+	})
+}
+
+// governorTick runs one control step.  Exposed on the service (unexported)
+// so tests can drive the loop deterministically without timers.
+func (s *Service) governorTick() {
+	g := &s.gov
+	cfg := g.cfg
+
+	sheds := s.shedRequests.Value()
+	shedDelta := sheds - g.lastSheds.Swap(sheds)
+	depth := s.adm.queueDepth()
+	capacity := s.adm.capacityNow()
+	busy := s.adm.busy()
+	est := s.ema.maxEstimate()
+
+	// Estimated wait for the last queued request: depth waves of the worst
+	// backend latency spread over the current capacity.
+	var estWait time.Duration
+	if depth > 0 && est > 0 && capacity > 0 {
+		estWait = time.Duration(float64(est) * float64(depth) / float64(capacity))
+	}
+	saturated := shedDelta > 0 || estWait > cfg.TargetWait
+	relaxed := shedDelta == 0 && depth == 0 && busy < capacity
+
+	switch {
+	case saturated:
+		// Grow aggressively (half the pool again, at least one slot): sheds
+		// mean work is being refused right now.
+		if next := clampInt(capacity+maxInt(1, capacity/2), cfg.MinWorkers, cfg.MaxWorkers); next > capacity {
+			s.adm.resize(next)
+			g.workersGauge.Set(float64(next))
+			g.adjustments[[2]string{"workers", "raise"}].Inc()
+		}
+		// Shrink the substrate budget so oversized instances shard into
+		// smaller regions that clear workers sooner.
+		if cur := s.effMaxVertices.Load(); cur > 0 && cfg.MinBudgetVertices > 0 {
+			if next := maxInt64(cur/2, int64(cfg.MinBudgetVertices)); next < cur {
+				s.effMaxVertices.Store(next)
+				g.budgetGauge.Set(float64(next))
+				g.adjustments[[2]string{"budget_vertices", "lower"}].Inc()
+			}
+		}
+	case relaxed:
+		// Walk back one slot at a time: shrinking is cheap to undo, and slow
+		// decay avoids oscillation against bursty arrivals.
+		if next := clampInt(capacity-1, cfg.MinWorkers, cfg.MaxWorkers); next < capacity {
+			s.adm.resize(next)
+			g.workersGauge.Set(float64(next))
+			g.adjustments[[2]string{"workers", "lower"}].Inc()
+		}
+		if cur := s.effMaxVertices.Load(); cur > 0 && cur < int64(s.budget.MaxVertices) {
+			next := minInt64(cur*2, int64(s.budget.MaxVertices))
+			s.effMaxVertices.Store(next)
+			g.budgetGauge.Set(float64(next))
+			g.adjustments[[2]string{"budget_vertices", "raise"}].Inc()
+		}
+	}
+}
+
+// snapshot builds the Stats view.  Safe on a zero-value governor.
+func (g *governor) snapshot(s *Service) GovernorSnapshot {
+	var adj int64
+	for _, c := range g.adjustments {
+		adj += c.Value()
+	}
+	return GovernorSnapshot{
+		Enabled:              g.enabled,
+		EffectiveWorkers:     s.adm.capacityNow(),
+		EffectiveMaxVertices: s.effMaxVertices.Load(),
+		Adjustments:          adj,
+	}
+}
+
+// fanout is the per-batch concurrency limit: the configured Workers, or the
+// governor's ceiling when it may grow the pool past them (the admitter
+// still bounds actual execution at its current capacity).
+func (s *Service) fanout() int {
+	if s.gov.enabled && s.gov.cfg.MaxWorkers > s.workers {
+		return s.gov.cfg.MaxWorkers
+	}
+	return s.workers
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,284 @@
+// Governor tests: the adaptive capacity loop raises effective workers and
+// shrinks the substrate budget under synthetic saturation, walks both back
+// under slack, and never leaves its clamps — driven through governorTick so
+// every control step is deterministic (no timers).
+package solve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"analogflow/internal/core"
+)
+
+// governorService builds a single-worker service with a vertex budget and a
+// governor clamped to [1, 4] workers, configured but not running its loop —
+// the test drives governorTick by hand.
+func governorService(t *testing.T, gate *gateSolver) *Service {
+	t.Helper()
+	reg := NewRegistry()
+	if err := reg.Register(gate); err != nil {
+		t.Fatal(err)
+	}
+	return NewService(Config{
+		Registry: reg,
+		Workers:  1,
+		MaxQueue: 8,
+		Budget:   Budget{MaxVertices: 200},
+		Governor: GovernorConfig{
+			Interval:   time.Hour, // effectively never: ticks are manual
+			MaxWorkers: 4,
+			TargetWait: 250 * time.Millisecond,
+		},
+	})
+}
+
+// TestGovernorRaisesAndLowersWithinClamps is the synthetic-load acceptance
+// test: saturation (pinned worker, deep queue, slow EMA) makes successive
+// ticks grow the worker pool to its clamp and halve the effective budget to
+// its floor; releasing the load makes successive ticks walk both all the
+// way back — and no tick ever steps outside [MinWorkers, MaxWorkers] or
+// [MinBudgetVertices, Budget.MaxVertices].
+func TestGovernorRaisesAndLowersWithinClamps(t *testing.T) {
+	gate := newGateSolver("gate")
+	svc := governorService(t, gate)
+	prob := figure5Problem(t, core.DefaultParams())
+
+	// Synthetic load: the single worker pinned, four more solves queued,
+	// and an EMA that says each takes a second — estimated wait far above
+	// TargetWait.
+	svc.ema.observe("gate", time.Second)
+	done := occupy(t, svc, gate, prob, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := svc.Solve(context.Background(), Request{Solver: "gate", Problem: prob}); err != nil {
+				t.Errorf("queued solve failed: %v", err)
+			}
+		}()
+	}
+	waitQueueDepth(t, svc, 4)
+
+	if got := svc.adm.capacityNow(); got != 1 {
+		t.Fatalf("initial capacity %d, want 1", got)
+	}
+	if got := svc.effMaxVertices.Load(); got != 200 {
+		t.Fatalf("initial effective budget %d, want 200", got)
+	}
+
+	// Saturated ticks grow the pool and shrink the budget, monotonically,
+	// until both pin at their clamps.  Each resize admits queued waiters,
+	// so drain the started tokens as the pool widens.
+	prevCap, prevBudget := 1, int64(200)
+	for i := 0; i < 6; i++ {
+		svc.governorTick()
+		c, b := svc.adm.capacityNow(), svc.effMaxVertices.Load()
+		if c < prevCap || c > 4 {
+			t.Fatalf("tick %d: capacity %d left [%d, 4]", i, c, prevCap)
+		}
+		if b > prevBudget || b < 50 {
+			t.Fatalf("tick %d: budget %d left [50, %d]", i, b, prevBudget)
+		}
+		for j := prevCap; j < c; j++ { // newly admitted waiters start solving
+			select {
+			case <-gate.started:
+			case <-time.After(5 * time.Second):
+				t.Fatal("granted waiter never started")
+			}
+		}
+		prevCap, prevBudget = c, b
+	}
+	if prevCap != 4 {
+		t.Errorf("saturation never reached the MaxWorkers clamp: capacity %d, want 4", prevCap)
+	}
+	if prevBudget != 50 {
+		t.Errorf("saturation never reached the budget floor: %d, want 50 (a quarter of 200)", prevBudget)
+	}
+	snap := svc.gov.snapshot(svc)
+	if snap.Adjustments < 4 {
+		t.Errorf("snapshot records %d adjustments, want >= 4", snap.Adjustments)
+	}
+
+	// Release the load entirely; relaxed ticks walk both knobs back.
+	done()
+	wg.Wait()
+	if st := svc.Stats(); st.QueueDepth != 0 || st.InFlight != 0 {
+		t.Fatalf("load did not drain: %+v", st)
+	}
+	for i := 0; i < 8; i++ {
+		svc.governorTick()
+		c, b := svc.adm.capacityNow(), svc.effMaxVertices.Load()
+		if c < 1 || c > prevCap {
+			t.Fatalf("relax tick %d: capacity %d left [1, %d]", i, c, prevCap)
+		}
+		if b < prevBudget || b > 200 {
+			t.Fatalf("relax tick %d: budget %d left [%d, 200]", i, b, prevBudget)
+		}
+		prevCap, prevBudget = c, b
+	}
+	if prevCap != 1 {
+		t.Errorf("relaxation never returned to MinWorkers: capacity %d, want 1", prevCap)
+	}
+	if prevBudget != 200 {
+		t.Errorf("relaxation never restored the configured budget: %d, want 200", prevBudget)
+	}
+
+	// The gauges track the knobs.
+	if got := svc.gov.workersGauge.Value(); got != 1 {
+		t.Errorf("workers gauge %v, want 1", got)
+	}
+	if got := svc.gov.budgetGauge.Value(); got != 200 {
+		t.Errorf("budget gauge %v, want 200", got)
+	}
+}
+
+// TestGovernorShedTriggersGrowth pins the other saturation signal: a shed
+// since the last tick grows the pool even when the queue is empty by the
+// time the governor looks.
+func TestGovernorShedTriggersGrowth(t *testing.T) {
+	gate := newGateSolver("gate")
+	svc := governorService(t, gate)
+	svc.shedRequests.Inc() // a shed happened between ticks
+	svc.governorTick()
+	if got := svc.adm.capacityNow(); got != 2 {
+		t.Errorf("capacity after shed tick %d, want 2", got)
+	}
+	// Same shed count next tick: no new sheds, queue empty, pool idle —
+	// the governor relaxes instead.
+	svc.governorTick()
+	if got := svc.adm.capacityNow(); got != 1 {
+		t.Errorf("capacity after relax tick %d, want 1", got)
+	}
+}
+
+// TestGovernorDisabledLeavesServiceFixed: with no governor configured the
+// tick is inert and the effective budget equals the configured one.
+func TestGovernorDisabledKeepsConfiguredShape(t *testing.T) {
+	gate := newGateSolver("gate")
+	reg := NewRegistry()
+	if err := reg.Register(gate); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(Config{Registry: reg, Workers: 2, Budget: Budget{MaxVertices: 100}})
+	snap := svc.gov.snapshot(svc)
+	if snap.Enabled {
+		t.Error("governor reports enabled without configuration")
+	}
+	if snap.EffectiveWorkers != 2 || snap.EffectiveMaxVertices != 100 {
+		t.Errorf("snapshot %+v, want the configured 2 workers / 100 vertices", snap)
+	}
+	if got := svc.fanout(); got != 2 {
+		t.Errorf("fanout %d, want the configured workers", got)
+	}
+	svc.Close() // no-op without a loop
+}
+
+// TestGovernorLoopRunsAndCloses covers the real ticker path: an enabled
+// governor under persistent queue pressure raises capacity on its own, and
+// Close is idempotent.
+func TestGovernorLoopRunsAndCloses(t *testing.T) {
+	gate := newGateSolver("gate")
+	reg := NewRegistry()
+	if err := reg.Register(gate); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(Config{
+		Registry: reg,
+		Workers:  1,
+		MaxQueue: 8,
+		Governor: GovernorConfig{
+			Enabled:    true,
+			Interval:   2 * time.Millisecond,
+			MaxWorkers: 2,
+			TargetWait: time.Nanosecond,
+		},
+	})
+	prob := figure5Problem(t, core.DefaultParams())
+	svc.ema.observe("gate", time.Second)
+	done := occupy(t, svc, gate, prob, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := svc.Solve(context.Background(), Request{Solver: "gate", Problem: prob}); err != nil {
+			t.Errorf("queued solve failed: %v", err)
+		}
+	}()
+	waitQueueDepth(t, svc, 1)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.adm.capacityNow() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("governor loop never raised capacity")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-gate.started: // the queued solve was admitted by the resize
+	case <-time.After(5 * time.Second):
+		t.Fatal("resize never admitted the queued solve")
+	}
+	done()
+	wg.Wait()
+	svc.Close()
+	svc.Close() // idempotent
+}
+
+// TestAdmitterResize pins the resize semantics directly: growing grants
+// queued waiters, shrinking lets in-flight work drain without handoff until
+// usage falls under the new capacity.
+func TestAdmitterResize(t *testing.T) {
+	gate := newGateSolver("gate")
+	svc := gateService(t, gate, nil, 2, 8)
+	prob := figure5Problem(t, core.DefaultParams())
+	done := occupy(t, svc, gate, prob, 2)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := svc.Solve(context.Background(), Request{Solver: "gate", Problem: prob}); err != nil {
+				t.Errorf("queued solve failed: %v", err)
+			}
+		}()
+	}
+	waitQueueDepth(t, svc, 2)
+	if got := svc.adm.busy(); got != 2 {
+		t.Fatalf("busy %d, want 2", got)
+	}
+
+	// Growing to 4 grants both waiters immediately.
+	svc.adm.resize(4)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-gate.started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("resize never granted a queued waiter")
+		}
+	}
+	waitQueueDepth(t, svc, 0)
+	if got := svc.adm.busy(); got != 4 {
+		t.Fatalf("busy after grow %d, want 4", got)
+	}
+
+	// Shrinking below usage retires slots as they free: capacity reads 1
+	// at once, busy drains to it only when the work finishes.
+	svc.adm.resize(1)
+	if got := svc.adm.capacityNow(); got != 1 {
+		t.Fatalf("capacity after shrink %d, want 1", got)
+	}
+	done()
+	wg.Wait()
+	if got := svc.adm.busy(); got != 0 {
+		t.Errorf("busy after drain %d, want 0", got)
+	}
+	// The pool still serves at the shrunken capacity.
+	if _, err := svc.Solve(context.Background(), Request{Solver: "gate", Problem: prob}); err != nil {
+		t.Fatalf("post-shrink solve failed: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"analogflow/internal/decompose"
 	"analogflow/internal/graph"
+	"analogflow/internal/metrics"
 	"analogflow/internal/parallel"
 )
 
@@ -44,6 +45,11 @@ type Config struct {
 	// the estimated queue wait (depth × the backend's recent-latency EMA)
 	// overruns the deadline.
 	MaxQueue int
+	// Governor configures the adaptive capacity governor: a background loop
+	// that tunes the effective worker-slot count and the effective
+	// Budget.MaxVertices from observed saturation.  The zero value leaves
+	// the governor disabled (fixed Workers, fixed budget).
+	Governor GovernorConfig
 }
 
 // Service is the concurrent batch engine on top of the registry: it fans a
@@ -70,8 +76,22 @@ type Service struct {
 	// session chains are never shed behind queued cold batch solves.
 	adm *admitter
 	// ema tracks recent solve latency per backend — the admission queue's
-	// wait estimator.
-	ema *latencyEMA
+	// wait estimator, plus the windowed views /v1/stats and the governor
+	// read.  The name survives from the PR 6 latencyEMA it generalizes.
+	ema *backendWindows
+
+	// mreg is the instrument registry every service counter lives in; the
+	// HTTP plane renders it at /v1/metrics.  meter measures completed
+	// requests per second.
+	mreg  *metrics.Registry
+	meter *metrics.Meter
+
+	// gov is the adaptive governor state (nil-safe zero value when
+	// disabled); effMaxVertices is the governor-adjusted substrate budget
+	// consulted by effectiveBudget for problems that carry no budget of
+	// their own.
+	gov            governor
+	effMaxVertices atomic.Int64
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -82,28 +102,29 @@ type Service struct {
 	// solve and re-published under the fingerprint it then answers for.
 	oracles *oracleCache
 
-	requests       atomic.Int64
-	errors         atomic.Int64
-	hits           atomic.Int64
-	misses         atomic.Int64
-	inFlight       atomic.Int64
-	completed      atomic.Int64
-	updates        atomic.Int64
-	updatesWarm    atomic.Int64
-	structUpdates  atomic.Int64
-	slackExhausted atomic.Int64
-	planned        atomic.Int64
-	sharded        atomic.Int64
-	shardedUpd     atomic.Int64
-	shardedUpdWarm atomic.Int64
-	regionRebuilds atomic.Int64
-	consensusWarm  atomic.Int64
-	consensusEsc   atomic.Int64
-	regionsSkipped atomic.Int64
-	outerIters     atomic.Int64
-	outerRuns      atomic.Int64
-	shedRequests   atomic.Int64
-	solverPanics   atomic.Int64
+	inFlight atomic.Int64
+
+	requests       *metrics.Counter
+	errors         *metrics.Counter
+	hits           *metrics.Counter
+	misses         *metrics.Counter
+	completed      *metrics.Counter
+	updates        *metrics.Counter
+	updatesWarm    *metrics.Counter
+	structUpdates  *metrics.Counter
+	slackExhausted *metrics.Counter
+	planned        *metrics.Counter
+	sharded        *metrics.Counter
+	shardedUpd     *metrics.Counter
+	shardedUpdWarm *metrics.Counter
+	regionRebuilds *metrics.Counter
+	consensusWarm  *metrics.Counter
+	consensusEsc   *metrics.Counter
+	regionsSkipped *metrics.Counter
+	outerIters     *metrics.Counter
+	outerRuns      *metrics.Counter
+	shedRequests   *metrics.Counter
+	solverPanics   *metrics.Counter
 }
 
 // cacheEntry is one warm instance slot.  The sync.Once makes instance
@@ -135,20 +156,82 @@ func NewService(cfg Config) *Service {
 	if maxCached <= 0 {
 		maxCached = 64
 	}
-	return &Service{
+	mreg := metrics.NewRegistry()
+	s := &Service{
 		reg:       reg,
 		workers:   workers,
 		maxCached: maxCached,
 		budget:    cfg.Budget,
 		adm:       newAdmitter(workers, cfg.MaxQueue),
-		ema:       newLatencyEMA(),
+		ema:       newBackendWindows(mreg),
+		mreg:      mreg,
+		meter:     metrics.NewMeter(10 * time.Second),
 		cache:     make(map[string]*cacheEntry),
 		oracles:   newOracleCache(cfg.MaxCachedOracles),
 	}
+	s.registerInstruments()
+	s.startGovernor(cfg.Governor)
+	return s
+}
+
+// registerInstruments creates every service-level counter and gauge in the
+// instrument registry.  Registration order is exposition order.
+func (s *Service) registerInstruments() {
+	m := s.mreg
+	s.requests = m.Counter("analogflow_requests_total", "Solve and update requests accepted for counting (batch items included).", nil)
+	s.errors = m.Counter("analogflow_errors_total", "Requests that completed with an error.", nil)
+	s.completed = m.Counter("analogflow_completed_total", "Requests that finished either way.", nil)
+	s.hits = m.Counter("analogflow_cache_events_total", "Warm-instance cache lookups by outcome.", metrics.Labels{"cache": "instance", "event": "hit"})
+	s.misses = m.Counter("analogflow_cache_events_total", "Warm-instance cache lookups by outcome.", metrics.Labels{"cache": "instance", "event": "miss"})
+	s.updates = m.Counter("analogflow_updates_total", "Update steps.", nil)
+	s.updatesWarm = m.Counter("analogflow_update_warm_hits_total", "Update steps a warm instance absorbed in place.", nil)
+	s.structUpdates = m.Counter("analogflow_structural_updates_total", "Update steps that carried a topology component.", nil)
+	s.slackExhausted = m.Counter("analogflow_slack_exhausted_rebuilds_total", "Structural steps that exhausted reserved slack and forced a cold rebuild.", nil)
+	s.planned = m.Counter("analogflow_planned_solves_total", "Requests the partition planner examined under a budget.", nil)
+	s.sharded = m.Counter("analogflow_sharded_solves_total", "Requests the planner split into regions.", nil)
+	s.shardedUpd = m.Counter("analogflow_sharded_updates_total", "Update steps routed through the N-region decomposition.", nil)
+	s.shardedUpdWarm = m.Counter("analogflow_sharded_update_warm_hits_total", "Sharded update steps that ran on the chain's cached region oracle.", nil)
+	s.regionRebuilds = m.Counter("analogflow_region_cold_rebuilds_total", "Per-region cold rebuilds inside sharded solves.", nil)
+	s.consensusWarm = m.Counter("analogflow_consensus_warm_starts_total", "Sharded solves whose consensus loop was seeded from carried state.", nil)
+	s.consensusEsc = m.Counter("analogflow_consensus_escalations_total", "Warm consensus attempts rejected and re-run in full.", nil)
+	s.regionsSkipped = m.Counter("analogflow_regions_skipped_total", "Clean regions replayed from carried state instead of re-solved.", nil)
+	s.outerIters = m.Counter("analogflow_consensus_outer_iterations_total", "Consensus outer iterations across sharded solves.", nil)
+	s.outerRuns = m.Counter("analogflow_consensus_outer_runs_total", "Sharded solves contributing outer iterations.", nil)
+	s.shedRequests = m.Counter("analogflow_shed_requests_total", "Requests the admission queue rejected with ErrOverloaded.", nil)
+	s.solverPanics = m.Counter("analogflow_solver_panics_total", "Backend panics recovered at the isolation boundary.", nil)
+
+	m.GaugeFunc("analogflow_in_flight_solves", "Solves currently executing.", nil,
+		func() float64 { return float64(s.inFlight.Load()) })
+	m.GaugeFunc("analogflow_workers_effective", "Current worker-slot capacity (governor-adjusted).", nil,
+		func() float64 { return float64(s.adm.capacityNow()) })
+	m.GaugeFunc("analogflow_workers_busy", "Worker slots currently held.", nil,
+		func() float64 { return float64(s.adm.busy()) })
+	for lane, name := range map[int]string{laneUrgent: "urgent", lanePriority: "priority", laneNormal: "normal"} {
+		lane := lane
+		m.GaugeFunc("analogflow_queue_depth", "Admission-queue waiters per lane.", metrics.Labels{"lane": name},
+			func() float64 { return float64(s.adm.laneDepths()[lane]) })
+	}
+	m.GaugeFunc("analogflow_cached_instances", "Warm-instance cache population.", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.cache))
+	})
+	m.GaugeFunc("analogflow_cached_oracles", "Warm region-oracle cache population.", nil,
+		func() float64 { return float64(s.oracles.size()) })
+	m.GaugeFunc("analogflow_warm_hit_ratio", "Warm-hit rate per cache.", metrics.Labels{"cache": "instance"},
+		func() float64 { return ratio(s.hits.Value(), s.misses.Value()) })
+	m.GaugeFunc("analogflow_warm_hit_ratio", "Warm-hit rate per cache.", metrics.Labels{"cache": "oracle"},
+		func() float64 { return ratio(s.shardedUpdWarm.Value(), s.shardedUpd.Value()-s.shardedUpdWarm.Value()) })
+	m.GaugeFunc("analogflow_warm_hit_ratio", "Warm-hit rate per cache.", metrics.Labels{"cache": "consensus"},
+		func() float64 { return ratio(s.consensusWarm.Value(), s.outerRuns.Value()-s.consensusWarm.Value()) })
+	m.GaugeFunc("analogflow_throughput_rps", "Completed requests per second (10s meter).", nil, s.meter.Rate)
 }
 
 // Registry returns the registry the service resolves names against.
 func (s *Service) Registry() *Registry { return s.reg }
+
+// Metrics returns the service's instrument registry, for exposition.
+func (s *Service) Metrics() *metrics.Registry { return s.mreg }
 
 // Stats is a snapshot of the service counters.
 type Stats struct {
@@ -213,6 +296,25 @@ type Stats struct {
 	// BackendEMAms is the recent-solve-latency EMA per backend, in
 	// milliseconds — the admission queue's deadline estimator.
 	BackendEMAms map[string]float64 `json:"backend_ema_ms,omitempty"`
+	// BackendWindows is the full windowed latency view per backend: fixed
+	// EMA, dynamic-window EMA, SMA, and histogram quantiles.
+	BackendWindows map[string]BackendWindow `json:"backend_windows,omitempty"`
+	// EffectiveWorkers is the current worker-slot capacity (equal to the
+	// configured Workers unless the governor has adjusted it); BusyWorkers
+	// the slots currently held; LaneDepths the admission waiters per lane.
+	EffectiveWorkers int              `json:"effective_workers"`
+	BusyWorkers      int              `json:"busy_workers"`
+	LaneDepths       LaneDepths       `json:"lane_depths"`
+	Governor         GovernorSnapshot `json:"governor"`
+	// ThroughputRPS is completed requests per second over a 10s meter.
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// LaneDepths is the admission-queue waiter count per priority lane.
+type LaneDepths struct {
+	Urgent   int `json:"urgent"`
+	Priority int `json:"priority"`
+	Normal   int `json:"normal"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -221,36 +323,47 @@ func (s *Service) Stats() Stats {
 	cached := len(s.cache)
 	s.mu.Unlock()
 	var avgOuter float64
-	if runs := s.outerRuns.Load(); runs > 0 {
-		avgOuter = float64(s.outerIters.Load()) / float64(runs)
+	if runs := s.outerRuns.Value(); runs > 0 {
+		avgOuter = float64(s.outerIters.Value()) / float64(runs)
 	}
+	depths := s.adm.laneDepths()
 	return Stats{
-		Requests:               s.requests.Load(),
-		Errors:                 s.errors.Load(),
-		Completed:              s.completed.Load(),
-		CacheHits:              s.hits.Load(),
-		CacheMisses:            s.misses.Load(),
+		Requests:               s.requests.Value(),
+		Errors:                 s.errors.Value(),
+		Completed:              s.completed.Value(),
+		CacheHits:              s.hits.Value(),
+		CacheMisses:            s.misses.Value(),
 		CachedInstances:        cached,
 		InFlight:               s.inFlight.Load(),
-		Updates:                s.updates.Load(),
-		UpdateWarmHits:         s.updatesWarm.Load(),
-		StructuralUpdates:      s.structUpdates.Load(),
-		SlackExhaustedRebuilds: s.slackExhausted.Load(),
-		PlannedSolves:          s.planned.Load(),
-		ShardedSolves:          s.sharded.Load(),
+		Updates:                s.updates.Value(),
+		UpdateWarmHits:         s.updatesWarm.Value(),
+		StructuralUpdates:      s.structUpdates.Value(),
+		SlackExhaustedRebuilds: s.slackExhausted.Value(),
+		PlannedSolves:          s.planned.Value(),
+		ShardedSolves:          s.sharded.Value(),
 
-		ShardedUpdates:        s.shardedUpd.Load(),
-		ShardedUpdateWarmHits: s.shardedUpdWarm.Load(),
-		RegionColdRebuilds:    s.regionRebuilds.Load(),
+		ShardedUpdates:        s.shardedUpd.Value(),
+		ShardedUpdateWarmHits: s.shardedUpdWarm.Value(),
+		RegionColdRebuilds:    s.regionRebuilds.Value(),
 		CachedOracles:         s.oracles.size(),
-		ConsensusWarmStarts:   s.consensusWarm.Load(),
-		ConsensusEscalations:  s.consensusEsc.Load(),
-		RegionsSkipped:        s.regionsSkipped.Load(),
+		ConsensusWarmStarts:   s.consensusWarm.Value(),
+		ConsensusEscalations:  s.consensusEsc.Value(),
+		RegionsSkipped:        s.regionsSkipped.Value(),
 		AvgOuterIterations:    avgOuter,
-		ShedRequests:          s.shedRequests.Load(),
+		ShedRequests:          s.shedRequests.Value(),
 		QueueDepth:            int64(s.adm.queueDepth()),
-		SolverPanics:          s.solverPanics.Load(),
+		SolverPanics:          s.solverPanics.Value(),
 		BackendEMAms:          s.ema.snapshot(),
+		BackendWindows:        s.ema.windows(),
+		EffectiveWorkers:      s.adm.capacityNow(),
+		BusyWorkers:           s.adm.busy(),
+		LaneDepths: LaneDepths{
+			Urgent:   depths[laneUrgent],
+			Priority: depths[lanePriority],
+			Normal:   depths[laneNormal],
+		},
+		Governor:      s.gov.snapshot(s),
+		ThroughputRPS: s.meter.Rate(),
 	}
 }
 
@@ -288,7 +401,7 @@ type BatchResult struct {
 // deadline (see Config.MaxQueue and Request.Deadline).
 func (s *Service) Solve(ctx context.Context, req Request) (*Report, error) {
 	s.requests.Add(1)
-	rep, err := s.run(ctx, laneNormal, req.Deadline, req.Solver, func(ctx context.Context) (*Report, error) {
+	rep, err := s.run(ctx, laneNormal, req.Deadline, req.Solver, "solve", func(ctx context.Context) (*Report, error) {
 		return s.solve(ctx, req)
 	})
 	s.completed.Add(1)
@@ -303,7 +416,7 @@ func (s *Service) Solve(ctx context.Context, req Request) (*Report, error) {
 // covers queue wait and execution alike), takes a slot through the admission
 // queue in the given lane, runs f, feeds the backend's latency EMA on
 // success, and releases the slot.
-func (s *Service) run(ctx context.Context, lane int, deadline time.Time, solver string, f func(context.Context) (*Report, error)) (*Report, error) {
+func (s *Service) run(ctx context.Context, lane int, deadline time.Time, solver, op string, f func(context.Context) (*Report, error)) (*Report, error) {
 	if !deadline.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, deadline)
@@ -316,8 +429,9 @@ func (s *Service) run(ctx context.Context, lane int, deadline time.Time, solver 
 	start := time.Now()
 	rep, err := f(ctx)
 	if err == nil {
-		s.ema.observe(solver, time.Since(start))
+		s.ema.observeOp(solver, op, time.Since(start))
 	}
+	s.meter.Mark(1)
 	s.inFlight.Add(-1)
 	s.adm.release()
 	return rep, err
@@ -396,12 +510,18 @@ func (s *Service) solve(ctx context.Context, req Request) (*Report, error) {
 }
 
 // effectiveBudget resolves the budget that applies to p: its own when set,
-// the service default otherwise.
+// the service default — with the governor's MaxVertices adjustment, when
+// one is active — otherwise.  A problem-carried budget is a caller contract
+// and is never governor-adjusted.
 func (s *Service) effectiveBudget(p *Problem) Budget {
 	if b := p.Budget(); !b.IsZero() {
 		return b
 	}
-	return s.budget
+	b := s.budget
+	if eff := s.effMaxVertices.Load(); eff > 0 && b.MaxVertices > 0 {
+		b.MaxVertices = int(eff)
+	}
+	return b
 }
 
 // planAndRoute is the planner gate in front of every service solve: under a
@@ -691,7 +811,7 @@ func (s *Service) SolveBatchDrain(ctx context.Context, reqs []Request, onResult 
 func (s *Service) solveBatch(ctx context.Context, reqs []Request, onResult func(BatchResult), stop func() bool) []BatchResult {
 	results := make([]BatchResult, len(reqs))
 	var emitMu sync.Mutex
-	_ = parallel.ForEachLimit(len(reqs), s.workers, func(i int) error {
+	_ = parallel.ForEachLimit(len(reqs), s.fanout(), func(i int) error {
 		var res BatchResult
 		res.Index = i
 		if stop != nil && stop() {
@@ -788,7 +908,7 @@ func (s *Service) Update(ctx context.Context, req UpdateRequest) (*UpdateResult,
 	s.requests.Add(1)
 	s.updates.Add(1)
 	var res *UpdateResult
-	_, err := s.run(ctx, lanePriority, req.Deadline, req.Solver, func(ctx context.Context) (*Report, error) {
+	_, err := s.run(ctx, lanePriority, req.Deadline, req.Solver, "update", func(ctx context.Context) (*Report, error) {
 		var err error
 		res, err = s.update(ctx, req)
 		return nil, err
